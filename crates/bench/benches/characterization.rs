@@ -1,0 +1,39 @@
+//! Benchmark of the one-time characterization cost (per cell) at different
+//! table resolutions — the "library build" side of the flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsm_bench::Setup;
+use mcsm_cells::cell::{CellKind, CellTemplate};
+use mcsm_core::characterize::{characterize_mcsm, characterize_sis};
+use mcsm_core::config::CharacterizationConfig;
+use std::hint::black_box;
+
+fn bench_sis_characterization(c: &mut Criterion) {
+    let setup = Setup::new();
+    let inverter = CellTemplate::new(CellKind::Inverter, setup.technology.clone());
+    let mut group = c.benchmark_group("characterize_sis_inverter");
+    group.sample_size(10);
+    for (label, config) in [
+        ("coarse", CharacterizationConfig::coarse()),
+        ("standard", CharacterizationConfig::standard()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| black_box(characterize_sis(&inverter, 0, cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcsm_characterization(c: &mut Criterion) {
+    let setup = Setup::new();
+    let mut group = c.benchmark_group("characterize_mcsm_nor2");
+    group.sample_size(10);
+    let config = CharacterizationConfig::coarse();
+    group.bench_function("coarse", |b| {
+        b.iter(|| black_box(characterize_mcsm(&setup.nor2, &config).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sis_characterization, bench_mcsm_characterization);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! The efficiency claim behind current-source models: once characterized, a
+//! model evaluation (table-driven waveform integration) is orders of magnitude
+//! cheaper than a transistor-level transient of the same event.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsm_bench::Setup;
+use mcsm_cells::load::FanoutLoad;
+use mcsm_cells::stimuli::InputHistory;
+use mcsm_cells::testbench::{CellTestbench, LoadSpec};
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::sim::{simulate_mcsm, CsmSimOptions, DriveWaveform};
+use mcsm_spice::analysis::TranOptions;
+use std::hint::black_box;
+
+fn bench_mis_event(c: &mut Criterion) {
+    let setup = Setup::new();
+    let vdd = setup.technology.vdd;
+    let mcsm = mcsm_core::characterize::characterize_mcsm(
+        &setup.nor2,
+        &CharacterizationConfig::coarse(),
+    )
+    .unwrap();
+    let load = FanoutLoad::new(setup.technology.clone(), 2).equivalent_capacitance();
+
+    let mut group = c.benchmark_group("nor2_mis_event");
+    group.sample_size(10);
+
+    // Both simulations advance the same 2 ns event with the same 2 ps base step,
+    // so the comparison isolates "table-driven update" vs. "Newton + MNA solve"
+    // per time point. The CSM engine sub-steps internally where its state demands
+    // it, just as the transient engine halves steps when Newton struggles.
+    group.bench_function("mcsm_waveform_eval", |b| {
+        let a = DriveWaveform::falling_ramp(vdd, 0.5e-9, 60e-12);
+        let bb = DriveWaveform::falling_ramp(vdd, 0.5e-9, 60e-12);
+        let options = CsmSimOptions::new(2e-9, 2e-12);
+        b.iter(|| black_box(simulate_mcsm(&mcsm, &a, &bb, load, 0.0, None, &options).unwrap()))
+    });
+
+    group.bench_function("spice_transient", |b| {
+        b.iter(|| {
+            let mut bench = CellTestbench::new(&setup.nor2, &LoadSpec::Fanout(2)).unwrap();
+            let history = InputHistory::simultaneous(
+                vdd,
+                60e-12,
+                vec![true, true],
+                vec![false, false],
+                0.5e-9,
+            );
+            bench.apply_history(&history).unwrap();
+            black_box(bench.run_transient(&TranOptions::new(2e-9, 2e-12)).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis_event);
+criterion_main!(benches);

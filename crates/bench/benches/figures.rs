@@ -1,0 +1,48 @@
+//! Cost of regenerating the paper's figures (reduced-resolution versions, so a
+//! full `cargo bench` stays affordable). The full-resolution data is produced by
+//! the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsm_bench::{
+    fig03_internal_node, fig04_history_outputs, fig05_delay_vs_load, fig09_mcsm_accuracy,
+    fig11_mis_vs_sis, Setup,
+};
+use mcsm_core::config::CharacterizationConfig;
+use std::hint::black_box;
+
+fn bench_history_figures(c: &mut Criterion) {
+    let setup = Setup::new();
+    let mut group = c.benchmark_group("figures_reference_runs");
+    group.sample_size(10);
+    group.bench_function("fig03_internal_node", |b| {
+        b.iter(|| black_box(fig03_internal_node(&setup, 5e-12).unwrap()))
+    });
+    group.bench_function("fig04_history_outputs", |b| {
+        b.iter(|| black_box(fig04_history_outputs(&setup, 5e-12).unwrap()))
+    });
+    group.bench_function("fig05_fo1_fo4", |b| {
+        b.iter(|| black_box(fig05_delay_vs_load(&setup, &[1, 4], 5e-12).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_model_figures(c: &mut Criterion) {
+    let setup = Setup::new();
+    let (mcsm, baseline, sis) = setup
+        .characterize_nor2(&CharacterizationConfig::coarse())
+        .unwrap();
+    let mut group = c.benchmark_group("figures_model_comparisons");
+    group.sample_size(10);
+    group.bench_function("fig09_accuracy", |b| {
+        b.iter(|| {
+            black_box(fig09_mcsm_accuracy(&setup, &mcsm, &baseline, 1, 5e-12, 1e-12).unwrap())
+        })
+    });
+    group.bench_function("fig11_mis_vs_sis", |b| {
+        b.iter(|| black_box(fig11_mis_vs_sis(&setup, &mcsm, &sis, 2, 5e-12, 1e-12).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_history_figures, bench_model_figures);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation benchmark: cost of the 4-D table lookups that dominate MCSM
+//! evaluation, as a function of table resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsm_num::grid::Axis;
+use mcsm_num::lut::LutNd;
+use std::hint::black_box;
+
+fn build_table(points_per_axis: usize) -> LutNd {
+    let axis = || Axis::uniform(-0.1, 1.3, points_per_axis).unwrap();
+    LutNd::from_fn(vec![axis(), axis(), axis(), axis()], |v| {
+        (v[0] - v[1]) * (v[2] + 0.3) - 0.05 * v[3]
+    })
+    .unwrap()
+}
+
+fn bench_lut_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut_eval_4d");
+    for points in [5usize, 9, 13] {
+        let lut = build_table(points);
+        group.bench_with_input(BenchmarkId::from_parameter(points), &points, |b, _| {
+            let mut q = 0.01;
+            b.iter(|| {
+                q = (q + 0.137) % 1.2;
+                black_box(lut.eval(&[q, 1.2 - q, 0.5 * q, 0.9]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lut_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut_build_4d");
+    group.sample_size(20);
+    for points in [5usize, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(points), &points, |b, &p| {
+            b.iter(|| black_box(build_table(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lut_eval, bench_lut_build);
+criterion_main!(benches);

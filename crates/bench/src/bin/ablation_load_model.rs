@@ -1,0 +1,96 @@
+//! Ablation study (DESIGN.md §5): how the two modeling knobs that are *not*
+//! dictated by the paper affect accuracy.
+//!
+//! 1. **Receiver Miller factor** — the lumped-load equivalent of a fanout gate
+//!    counts the receivers' gate–drain capacitance once (factor 1.0) up to twice
+//!    (factor 2.0, full Miller doubling). The sweep shows how the MCSM's delay
+//!    error against the transistor-level reference depends on that choice.
+//! 2. **Selective-modeling threshold** — the load-to-cell-capacitance ratio at
+//!    which the simple (internal-node-blind) MIS model becomes acceptable.
+
+use mcsm_bench::{ps, Setup};
+use mcsm_cells::load::FanoutLoad;
+use mcsm_cells::stimuli::InputHistory;
+use mcsm_cells::testbench::{CellTestbench, LoadSpec};
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::selective::SelectivePolicy;
+use mcsm_core::sim::{simulate_mcsm, CsmSimOptions, DriveWaveform};
+use mcsm_spice::analysis::TranOptions;
+
+fn main() {
+    let setup = Setup::new();
+    let vdd = setup.technology.vdd;
+    let (mcsm, _, _) = setup
+        .characterize_nor2(&CharacterizationConfig::standard())
+        .expect("characterization failed");
+
+    // Reference: slow-history '11' -> '00' transition at FO1 and FO4.
+    let t_first = 1e-9;
+    let t_final = 2e-9;
+    let transition = 50e-12;
+    let event = t_final + 0.5 * transition;
+    let history = InputHistory::nor2_slow_case(vdd, transition, t_first, t_final);
+    let a = DriveWaveform::Analytic(history.waveforms()[0].clone());
+    let b = DriveWaveform::Analytic(history.waveforms()[1].clone());
+
+    println!("# Ablation 1 — receiver Miller factor (slow history)");
+    println!("fanout | factor | SPICE delay [ps] | MCSM delay [ps] | error [%]");
+    println!("------------------------------------------------------------------");
+    for fanout in [1usize, 4] {
+        let mut bench = CellTestbench::new(&setup.nor2, &LoadSpec::Fanout(fanout))
+            .expect("bench construction failed");
+        bench.apply_history(&history).expect("history applies");
+        let reference = bench
+            .run_transient(&TranOptions::new(3.2e-9, 2e-12))
+            .expect("reference transient failed");
+        let spice_delay = reference
+            .node("out")
+            .expect("output recorded")
+            .crossing(0.5 * vdd, true)
+            .expect("output rises")
+            - event;
+
+        for factor in [1.0, 1.25, 1.5, 1.75, 2.0] {
+            let load = FanoutLoad::new(setup.technology.clone(), fanout)
+                .capacitance_with_miller_factor(factor);
+            let out = simulate_mcsm(
+                &mcsm,
+                &a,
+                &b,
+                load,
+                0.0,
+                None,
+                &CsmSimOptions::new(3.2e-9, 0.5e-12),
+            )
+            .expect("model simulation failed")
+            .output;
+            let delay = out.crossing(0.5 * vdd, true).expect("model output rises") - event;
+            println!(
+                "FO{fanout}    | {factor:.2}   | {} | {} | {:+.2}",
+                ps(spice_delay),
+                ps(delay),
+                100.0 * (delay - spice_delay) / spice_delay
+            );
+        }
+    }
+
+    println!();
+    println!("# Ablation 2 — selective-modeling threshold");
+    println!("threshold | FO where the simple model takes over");
+    println!("------------------------------------------------");
+    for threshold in [2.0, 4.0, 8.0, 16.0] {
+        let policy = SelectivePolicy::new(threshold);
+        let mut switch_at = None;
+        for fanout in 1..=32usize {
+            let load = FanoutLoad::new(setup.technology.clone(), fanout).equivalent_capacitance();
+            if policy.choose(&mcsm, load) == mcsm_core::selective::ModelChoice::SimpleMis {
+                switch_at = Some(fanout);
+                break;
+            }
+        }
+        match switch_at {
+            Some(fo) => println!("{threshold:>9.1} | FO{fo}"),
+            None => println!("{threshold:>9.1} | never (complete MCSM everywhere)"),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 3: internal-node voltage of a NOR2 under two input histories.
+//!
+//! Prints the internal-node voltage just before the final `'11' → '00'`
+//! transition for both histories, plus the full waveforms as CSV.
+
+use mcsm_bench::{fig03_internal_node, print_header, print_row, print_waveform_csv, Setup};
+
+fn main() {
+    let setup = Setup::new();
+    let data = fig03_internal_node(&setup, 2e-12).expect("figure 3 simulation failed");
+    print_header(
+        "Fig. 3 — internal node voltage before the final transition",
+        &["history", "V(N) just before '00' [V]"],
+    );
+    print_row(&["'10'->'11'->'00' (fast)".into(), format!("{:.4}", data.v_internal_fast)]);
+    print_row(&["'01'->'11'->'00' (slow)".into(), format!("{:.4}", data.v_internal_slow)]);
+    println!();
+    print_waveform_csv("N (fast history)", &data.fast.internal, 400);
+    print_waveform_csv("N (slow history)", &data.slow.internal, 400);
+    print_waveform_csv("A (fast history)", &data.fast.input_a, 200);
+    print_waveform_csv("B (fast history)", &data.fast.input_b, 200);
+}

@@ -1,0 +1,22 @@
+//! Figure 4: NOR2 output waveforms for the `'11' → '00'` transition under two
+//! different input histories (FO2 load).
+
+use mcsm_bench::{fig04_history_outputs, print_header, print_row, print_waveform_csv, ps, Setup};
+
+fn main() {
+    let setup = Setup::new();
+    let data = fig04_history_outputs(&setup, 2e-12).expect("figure 4 simulation failed");
+    print_header(
+        "Fig. 4 — output delay of the '11'->'00' transition under two histories (FO2)",
+        &["history", "50% delay [ps]"],
+    );
+    print_row(&["fast ('10'->'11'->'00')".into(), ps(data.delay_fast)]);
+    print_row(&["slow ('01'->'11'->'00')".into(), ps(data.delay_slow)]);
+    println!(
+        "\ndelay difference: {:.2} %",
+        100.0 * (data.delay_slow - data.delay_fast) / data.delay_fast
+    );
+    println!();
+    print_waveform_csv("Out1 (fast history)", &data.fast.output, 400);
+    print_waveform_csv("Out2 (slow history)", &data.slow.output, 400);
+}

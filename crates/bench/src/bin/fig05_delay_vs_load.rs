@@ -1,0 +1,22 @@
+//! Figure 5: history-induced delay difference of the NOR2 `'11' → '00'`
+//! transition as a function of the output load (FO1 … FO8).
+
+use mcsm_bench::{fig05_delay_vs_load, print_header, print_row, ps, Setup};
+
+fn main() {
+    let setup = Setup::new();
+    let fanouts: Vec<usize> = (1..=8).collect();
+    let rows = fig05_delay_vs_load(&setup, &fanouts, 2e-12).expect("figure 5 simulation failed");
+    print_header(
+        "Fig. 5 — delay difference between the two input histories vs. output load",
+        &["load", "fast delay [ps]", "slow delay [ps]", "difference [%]"],
+    );
+    for row in rows {
+        print_row(&[
+            format!("FO{}", row.fanout),
+            ps(row.delay_fast),
+            ps(row.delay_slow),
+            format!("{:.2}", row.difference_percent),
+        ]);
+    }
+}

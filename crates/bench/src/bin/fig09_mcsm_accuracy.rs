@@ -1,0 +1,46 @@
+//! Figure 9 (plus the headline 4 % / 22 % claim): MCSM and baseline-MIS accuracy
+//! against the transistor-level reference for the fast and slow input histories.
+
+use mcsm_bench::{fig09_mcsm_accuracy, print_header, print_row, ps, Setup};
+use mcsm_core::config::CharacterizationConfig;
+
+fn main() {
+    let setup = Setup::new();
+    let config = CharacterizationConfig::standard();
+    let (mcsm, baseline, _) = setup
+        .characterize_nor2(&config)
+        .expect("characterization failed");
+    let data = fig09_mcsm_accuracy(&setup, &mcsm, &baseline, 1, 2e-12, 0.5e-12)
+        .expect("figure 9 experiment failed");
+
+    print_header(
+        "Fig. 9 — MCSM vs. baseline MIS CSM vs. SPICE (FO1, both histories)",
+        &[
+            "history",
+            "SPICE delay [ps]",
+            "MCSM delay [ps]",
+            "baseline delay [ps]",
+            "MCSM err [%]",
+            "baseline err [%]",
+            "MCSM nRMSE",
+            "baseline nRMSE",
+        ],
+    );
+    for case in &data.cases {
+        print_row(&[
+            case.label.to_string(),
+            ps(case.spice_delay),
+            ps(case.mcsm_delay),
+            ps(case.baseline_delay),
+            format!("{:.2}", case.mcsm_error_percent),
+            format!("{:.2}", case.baseline_error_percent),
+            format!("{:.4}", case.mcsm_nrmse),
+            format!("{:.4}", case.baseline_nrmse),
+        ]);
+    }
+    println!();
+    println!(
+        "max delay error: MCSM {:.2} % | baseline MIS {:.2} %  (paper: 4 % vs. 22 %)",
+        data.max_mcsm_error_percent, data.max_baseline_error_percent
+    );
+}

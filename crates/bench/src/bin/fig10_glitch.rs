@@ -1,0 +1,28 @@
+//! Figure 10: using the MCSM to model an output glitch caused by a narrow input
+//! pulse, compared against the transistor-level reference.
+
+use mcsm_bench::{fig10_glitch, print_header, print_row, print_waveform_csv, Setup};
+use mcsm_core::config::CharacterizationConfig;
+
+fn main() {
+    let setup = Setup::new();
+    let (mcsm, _, _) = setup
+        .characterize_nor2(&CharacterizationConfig::standard())
+        .expect("characterization failed");
+    let data =
+        fig10_glitch(&setup, &mcsm, 200e-12, 2e-12, 0.5e-12).expect("figure 10 experiment failed");
+
+    print_header(
+        "Fig. 10 — output glitch (input B pulse, A low, FO2 load)",
+        &["quantity", "SPICE", "MCSM"],
+    );
+    print_row(&[
+        "glitch depth [V]".into(),
+        format!("{:.4}", data.spice_glitch_depth),
+        format!("{:.4}", data.mcsm_glitch_depth),
+    ]);
+    println!("\nwaveform RMSE / Vdd: {:.4}", data.normalized_rmse);
+    println!();
+    print_waveform_csv("OUT (SPICE)", &data.spice_output, 400);
+    print_waveform_csv("OUT (MCSM)", &data.mcsm_output, 400);
+}

@@ -1,0 +1,33 @@
+//! Figure 11: a simultaneous multiple-input-switching event on a NOR2 —
+//! MCSM vs. the SIS CSM of reference [5] vs. the transistor-level reference.
+
+use mcsm_bench::{fig11_mis_vs_sis, print_header, print_row, print_waveform_csv, Setup};
+use mcsm_core::config::CharacterizationConfig;
+
+fn main() {
+    let setup = Setup::new();
+    let (mcsm, _, sis) = setup
+        .characterize_nor2(&CharacterizationConfig::standard())
+        .expect("characterization failed");
+    let data = fig11_mis_vs_sis(&setup, &mcsm, &sis, 2, 2e-12, 0.5e-12)
+        .expect("figure 11 experiment failed");
+
+    print_header(
+        "Fig. 11 — simultaneous switching: MCSM vs. SIS CSM vs. SPICE (FO2)",
+        &["model", "delay error [%]", "waveform nRMSE"],
+    );
+    print_row(&[
+        "MCSM".into(),
+        format!("{:.2}", data.mcsm_delay_error_percent),
+        format!("{:.4}", data.mcsm_nrmse),
+    ]);
+    print_row(&[
+        "SIS CSM".into(),
+        format!("{:.2}", data.sis_delay_error_percent),
+        format!("{:.4}", data.sis_nrmse),
+    ]);
+    println!();
+    print_waveform_csv("OUT (SPICE)", &data.spice_output, 400);
+    print_waveform_csv("OUT (MCSM)", &data.mcsm_output, 400);
+    print_waveform_csv("OUT (SIS CSM)", &data.sis_output, 400);
+}

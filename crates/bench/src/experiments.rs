@@ -1,0 +1,711 @@
+//! Data generators for every figure of the paper's evaluation section.
+//!
+//! Each `figNN_*` function reproduces the workload behind the corresponding
+//! figure and returns its data series; the binaries in `src/bin/` print them and
+//! EXPERIMENTS.md records the measured numbers next to the paper's.
+
+use mcsm_cells::cell::{CellKind, CellTemplate};
+use mcsm_cells::load::FanoutLoad;
+use mcsm_cells::stimuli::InputHistory;
+use mcsm_cells::tech::Technology;
+use mcsm_cells::testbench::{CellTestbench, LoadSpec};
+use mcsm_core::characterize::{characterize_mcsm, characterize_mis_baseline, characterize_sis};
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::metrics::compare_waveforms;
+use mcsm_core::model::{McsmModel, MisBaselineModel, SisModel};
+use mcsm_core::sim::{
+    simulate_mcsm, simulate_mis_baseline, simulate_sis, CsmSimOptions, DriveWaveform,
+};
+use mcsm_core::CsmError;
+use mcsm_spice::analysis::TranOptions;
+use mcsm_spice::source::SourceWaveform;
+use mcsm_spice::waveform::Waveform;
+use mcsm_sta::noise::{sweep_injection_times, NoisePoint};
+use mcsm_sta::StaError;
+
+/// Shared experimental setup: the technology and the NOR2 cell every figure uses.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// The synthetic 130 nm technology (Vdd = 1.2 V).
+    pub technology: Technology,
+    /// The NOR2 template (the paper's running example).
+    pub nor2: CellTemplate,
+}
+
+impl Setup {
+    /// Creates the default setup.
+    pub fn new() -> Self {
+        let technology = Technology::cmos_130nm();
+        let nor2 = CellTemplate::new(CellKind::Nor2, technology.clone());
+        Setup { technology, nor2 }
+    }
+
+    /// Characterizes the three model families of the NOR2 with the given grids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn characterize_nor2(
+        &self,
+        config: &CharacterizationConfig,
+    ) -> Result<(McsmModel, MisBaselineModel, SisModel), CsmError> {
+        let mcsm = characterize_mcsm(&self.nor2, config)?;
+        let baseline = characterize_mis_baseline(&self.nor2, config)?;
+        let sis = characterize_sis(&self.nor2, 0, config)?;
+        Ok((mcsm, baseline, sis))
+    }
+}
+
+impl Default for Setup {
+    fn default() -> Self {
+        Setup::new()
+    }
+}
+
+/// Timing of the canonical input history used by Figs. 3, 4, 5 and 9:
+/// the first event at 1 ns, the final `'11' → '00'` transition at 2 ns,
+/// edges with a 50 ps transition time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoryTiming {
+    /// Time of the first input event (seconds).
+    pub t_first: f64,
+    /// Time of the final simultaneous falling transition (seconds).
+    pub t_final: f64,
+    /// Transition (ramp) time of every edge (seconds).
+    pub transition: f64,
+    /// End of the simulated window (seconds).
+    pub t_stop: f64,
+}
+
+impl Default for HistoryTiming {
+    fn default() -> Self {
+        HistoryTiming {
+            t_first: 1e-9,
+            t_final: 2e-9,
+            transition: 50e-12,
+            t_stop: 3.2e-9,
+        }
+    }
+}
+
+impl HistoryTiming {
+    /// The instant the falling inputs cross 50 % of Vdd — the reference event for
+    /// every delay measurement of the history experiments.
+    pub fn input_crossing_time(&self) -> f64 {
+        self.t_final + 0.5 * self.transition
+    }
+
+    fn history(&self, vdd: f64, fast: bool) -> InputHistory {
+        if fast {
+            InputHistory::nor2_fast_case(vdd, self.transition, self.t_first, self.t_final)
+        } else {
+            InputHistory::nor2_slow_case(vdd, self.transition, self.t_first, self.t_final)
+        }
+    }
+}
+
+/// A full transistor-level simulation of one NOR2 input-history scenario.
+#[derive(Debug, Clone)]
+pub struct HistoryReference {
+    /// Waveform of input A.
+    pub input_a: Waveform,
+    /// Waveform of input B.
+    pub input_b: Waveform,
+    /// Waveform of the internal stack node.
+    pub internal: Waveform,
+    /// Waveform of the output.
+    pub output: Waveform,
+}
+
+/// Runs the transistor-level reference for one history case (`fast` selects the
+/// `'10' → '11' → '00'` scenario, otherwise `'01' → '11' → '00'`).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_nor2_history_spice(
+    setup: &Setup,
+    timing: &HistoryTiming,
+    fast: bool,
+    fanout: usize,
+    dt: f64,
+) -> Result<HistoryReference, StaError> {
+    let vdd = setup.technology.vdd;
+    let mut bench = CellTestbench::new(&setup.nor2, &LoadSpec::Fanout(fanout))
+        .map_err(StaError::Spice)?;
+    bench
+        .apply_history(&timing.history(vdd, fast))
+        .map_err(StaError::Spice)?;
+    let result = bench
+        .run_transient(&TranOptions::new(timing.t_stop, dt))
+        .map_err(StaError::Spice)?;
+    let internal_name = bench.internal_names()[0].clone();
+    Ok(HistoryReference {
+        input_a: result.node("a").map_err(StaError::Spice)?.clone(),
+        input_b: result.node("b").map_err(StaError::Spice)?.clone(),
+        internal: result.node(&internal_name).map_err(StaError::Spice)?.clone(),
+        output: result.node("out").map_err(StaError::Spice)?.clone(),
+    })
+}
+
+/// Figure 3: internal-node voltage waveforms under the two input histories.
+#[derive(Debug, Clone)]
+pub struct Fig3Data {
+    /// Reference run of the fast (`'10' → '11' → '00'`) case.
+    pub fast: HistoryReference,
+    /// Reference run of the slow (`'01' → '11' → '00'`) case.
+    pub slow: HistoryReference,
+    /// Internal-node voltage just before the final transition, fast case (volts).
+    pub v_internal_fast: f64,
+    /// Internal-node voltage just before the final transition, slow case (volts).
+    pub v_internal_slow: f64,
+}
+
+/// Generates the Fig. 3 data.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig03_internal_node(setup: &Setup, dt: f64) -> Result<Fig3Data, StaError> {
+    let timing = HistoryTiming::default();
+    let fast = run_nor2_history_spice(setup, &timing, true, 1, dt)?;
+    let slow = run_nor2_history_spice(setup, &timing, false, 1, dt)?;
+    let probe_time = timing.t_final - 20e-12;
+    let v_internal_fast = fast.internal.value_at(probe_time);
+    let v_internal_slow = slow.internal.value_at(probe_time);
+    Ok(Fig3Data {
+        fast,
+        slow,
+        v_internal_fast,
+        v_internal_slow,
+    })
+}
+
+/// Figure 4: output waveforms of the two histories (FO2 load) and their 50 %
+/// delays measured from the falling-input crossing.
+#[derive(Debug, Clone)]
+pub struct Fig4Data {
+    /// Reference run of the fast case.
+    pub fast: HistoryReference,
+    /// Reference run of the slow case.
+    pub slow: HistoryReference,
+    /// 50 % rising delay of the fast case (seconds).
+    pub delay_fast: f64,
+    /// 50 % rising delay of the slow case (seconds).
+    pub delay_slow: f64,
+}
+
+/// Generates the Fig. 4 data.
+///
+/// # Errors
+///
+/// Propagates simulation failures, or reports a missing output edge.
+pub fn fig04_history_outputs(setup: &Setup, dt: f64) -> Result<Fig4Data, StaError> {
+    let timing = HistoryTiming::default();
+    let vdd = setup.technology.vdd;
+    let event = timing.input_crossing_time();
+    let fast = run_nor2_history_spice(setup, &timing, true, 2, dt)?;
+    let slow = run_nor2_history_spice(setup, &timing, false, 2, dt)?;
+    let delay_of = |w: &Waveform| -> Result<f64, StaError> {
+        w.crossing(0.5 * vdd, true)
+            .map(|t| t - event)
+            .ok_or_else(|| StaError::InvalidParameter("output never rises".into()))
+    };
+    let delay_fast = delay_of(&fast.output)?;
+    let delay_slow = delay_of(&slow.output)?;
+    Ok(Fig4Data {
+        fast,
+        slow,
+        delay_fast,
+        delay_slow,
+    })
+}
+
+/// One row of Fig. 5: the history-induced delay difference at one fanout load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Row {
+    /// Fanout (number of unit-inverter receivers).
+    pub fanout: usize,
+    /// 50 % delay of the fast case (seconds).
+    pub delay_fast: f64,
+    /// 50 % delay of the slow case (seconds).
+    pub delay_slow: f64,
+    /// Relative difference `(slow − fast) / fast` in percent.
+    pub difference_percent: f64,
+}
+
+/// Generates the Fig. 5 sweep: delay difference between the two histories for
+/// each fanout load.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig05_delay_vs_load(
+    setup: &Setup,
+    fanouts: &[usize],
+    dt: f64,
+) -> Result<Vec<Fig5Row>, StaError> {
+    let timing = HistoryTiming::default();
+    let vdd = setup.technology.vdd;
+    let event = timing.input_crossing_time();
+    let mut rows = Vec::with_capacity(fanouts.len());
+    for &fanout in fanouts {
+        let fast = run_nor2_history_spice(setup, &timing, true, fanout, dt)?;
+        let slow = run_nor2_history_spice(setup, &timing, false, fanout, dt)?;
+        let delay_fast = fast
+            .output
+            .crossing(0.5 * vdd, true)
+            .ok_or_else(|| StaError::InvalidParameter("fast output never rises".into()))?
+            - event;
+        let delay_slow = slow
+            .output
+            .crossing(0.5 * vdd, true)
+            .ok_or_else(|| StaError::InvalidParameter("slow output never rises".into()))?
+            - event;
+        rows.push(Fig5Row {
+            fanout,
+            delay_fast,
+            delay_slow,
+            difference_percent: 100.0 * (delay_slow - delay_fast) / delay_fast,
+        });
+    }
+    Ok(rows)
+}
+
+/// Runs a model (MCSM or baseline) on one history scenario, mirroring the SPICE
+/// reference: same input waveforms, lumped-capacitance equivalent of the fanout
+/// load, output initially low.
+fn model_history_output(
+    setup: &Setup,
+    timing: &HistoryTiming,
+    mcsm: Option<&McsmModel>,
+    baseline: Option<&MisBaselineModel>,
+    fast: bool,
+    fanout: usize,
+    dt: f64,
+) -> Result<Waveform, CsmError> {
+    let vdd = setup.technology.vdd;
+    let history = timing.history(vdd, fast);
+    let waveforms = history.waveforms();
+    let a = DriveWaveform::Analytic(waveforms[0].clone());
+    let b = DriveWaveform::Analytic(waveforms[1].clone());
+    let load = FanoutLoad::new(setup.technology.clone(), fanout).equivalent_capacitance();
+    let options = CsmSimOptions::new(timing.t_stop, dt);
+    // Initial output: with one input high in both histories, the NOR2 output is low.
+    let v_out0 = 0.0;
+    if let Some(model) = mcsm {
+        let result = simulate_mcsm(model, &a, &b, load, v_out0, None, &options)?;
+        return Ok(result.output);
+    }
+    let model = baseline.expect("either an MCSM or a baseline model must be provided");
+    simulate_mis_baseline(model, &a, &b, load, v_out0, &options)
+}
+
+/// One case (fast or slow history) of the Fig. 9 accuracy comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Case {
+    /// `"fast"` or `"slow"`.
+    pub label: &'static str,
+    /// Reference (SPICE) 50 % delay, seconds.
+    pub spice_delay: f64,
+    /// Complete-MCSM 50 % delay, seconds.
+    pub mcsm_delay: f64,
+    /// Baseline-MIS 50 % delay, seconds.
+    pub baseline_delay: f64,
+    /// Relative MCSM delay error, percent.
+    pub mcsm_error_percent: f64,
+    /// Relative baseline delay error, percent.
+    pub baseline_error_percent: f64,
+    /// MCSM waveform RMSE normalized to Vdd.
+    pub mcsm_nrmse: f64,
+    /// Baseline waveform RMSE normalized to Vdd.
+    pub baseline_nrmse: f64,
+}
+
+/// The Fig. 9 experiment: MCSM and baseline-MIS waveforms against SPICE for the
+/// fast and slow input histories (the paper reports 4 % vs. 22 % maximum delay
+/// error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Data {
+    /// Per-history comparisons.
+    pub cases: Vec<Fig9Case>,
+    /// Maximum MCSM delay error over the cases, percent.
+    pub max_mcsm_error_percent: f64,
+    /// Maximum baseline delay error over the cases, percent.
+    pub max_baseline_error_percent: f64,
+}
+
+/// Generates the Fig. 9 comparison at the given fanout load.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig09_mcsm_accuracy(
+    setup: &Setup,
+    mcsm: &McsmModel,
+    baseline: &MisBaselineModel,
+    fanout: usize,
+    spice_dt: f64,
+    csm_dt: f64,
+) -> Result<Fig9Data, StaError> {
+    let timing = HistoryTiming::default();
+    let vdd = setup.technology.vdd;
+    let event = timing.input_crossing_time();
+    let mut cases = Vec::new();
+    for (label, fast) in [("fast", true), ("slow", false)] {
+        let reference = run_nor2_history_spice(setup, &timing, fast, fanout, spice_dt)?;
+        let mcsm_out =
+            model_history_output(setup, &timing, Some(mcsm), None, fast, fanout, csm_dt)?;
+        let base_out =
+            model_history_output(setup, &timing, None, Some(baseline), fast, fanout, csm_dt)?;
+
+        let delay_of = |w: &Waveform| -> Result<f64, StaError> {
+            w.crossing(0.5 * vdd, true)
+                .map(|t| t - event)
+                .ok_or_else(|| StaError::InvalidParameter(format!("{label}: output never rises")))
+        };
+        let spice_delay = delay_of(&reference.output)?;
+        let mcsm_delay = delay_of(&mcsm_out)?;
+        let baseline_delay = delay_of(&base_out)?;
+
+        let mcsm_cmp = compare_waveforms(&reference.output, &mcsm_out, vdd, true)?;
+        let base_cmp = compare_waveforms(&reference.output, &base_out, vdd, true)?;
+
+        cases.push(Fig9Case {
+            label,
+            spice_delay,
+            mcsm_delay,
+            baseline_delay,
+            mcsm_error_percent: 100.0 * (mcsm_delay - spice_delay).abs() / spice_delay,
+            baseline_error_percent: 100.0 * (baseline_delay - spice_delay).abs() / spice_delay,
+            mcsm_nrmse: mcsm_cmp.normalized_rmse,
+            baseline_nrmse: base_cmp.normalized_rmse,
+        });
+    }
+    let max_mcsm = cases
+        .iter()
+        .map(|c| c.mcsm_error_percent)
+        .fold(0.0, f64::max);
+    let max_base = cases
+        .iter()
+        .map(|c| c.baseline_error_percent)
+        .fold(0.0, f64::max);
+    Ok(Fig9Data {
+        cases,
+        max_mcsm_error_percent: max_mcsm,
+        max_baseline_error_percent: max_base,
+    })
+}
+
+/// Figure 10: an output glitch caused by a narrow input pulse, SPICE vs. MCSM.
+#[derive(Debug, Clone)]
+pub struct Fig10Data {
+    /// Reference output waveform.
+    pub spice_output: Waveform,
+    /// MCSM-predicted output waveform.
+    pub mcsm_output: Waveform,
+    /// Deepest excursion of the reference glitch (volts).
+    pub spice_glitch_depth: f64,
+    /// Deepest excursion of the MCSM glitch (volts).
+    pub mcsm_glitch_depth: f64,
+    /// Waveform RMSE normalized to Vdd.
+    pub normalized_rmse: f64,
+}
+
+/// Generates the Fig. 10 glitch comparison: input A static low, input B pulses
+/// high for a short time, the FO2-loaded output dips and recovers.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig10_glitch(
+    setup: &Setup,
+    mcsm: &McsmModel,
+    pulse_width: f64,
+    spice_dt: f64,
+    csm_dt: f64,
+) -> Result<Fig10Data, StaError> {
+    let vdd = setup.technology.vdd;
+    let t_stop = 3e-9;
+    let pulse = SourceWaveform::Pulse {
+        base: 0.0,
+        peak: vdd,
+        t_delay: 1e-9,
+        t_rise: 50e-12,
+        t_width: pulse_width,
+        t_fall: 50e-12,
+    };
+
+    // Reference: transistor-level testbench with FO2 load.
+    let mut bench =
+        CellTestbench::new(&setup.nor2, &LoadSpec::Fanout(2)).map_err(StaError::Spice)?;
+    bench
+        .set_input_waveform(0, SourceWaveform::dc(0.0))
+        .map_err(StaError::Spice)?;
+    bench
+        .set_input_waveform(1, pulse.clone())
+        .map_err(StaError::Spice)?;
+    let result = bench
+        .run_transient(&TranOptions::new(t_stop, spice_dt))
+        .map_err(StaError::Spice)?;
+    let spice_output = result.node("out").map_err(StaError::Spice)?.clone();
+
+    // MCSM prediction with the lumped-equivalent load.
+    let load = FanoutLoad::new(setup.technology.clone(), 2).equivalent_capacitance();
+    let a = DriveWaveform::dc(0.0);
+    let b = DriveWaveform::Analytic(pulse);
+    let options = CsmSimOptions::new(t_stop, csm_dt);
+    let mcsm_output = simulate_mcsm(mcsm, &a, &b, load, vdd, None, &options)
+        .map_err(StaError::Model)?
+        .output;
+
+    let comparison = compare_waveforms(&spice_output, &mcsm_output, vdd, false)?;
+    Ok(Fig10Data {
+        spice_glitch_depth: vdd - spice_output.min_value(),
+        mcsm_glitch_depth: vdd - mcsm_output.min_value(),
+        normalized_rmse: comparison.normalized_rmse,
+        spice_output,
+        mcsm_output,
+    })
+}
+
+/// Figure 11: a simultaneous multiple-input-switching event, SPICE vs. MCSM vs.
+/// the SIS CSM of reference [5].
+#[derive(Debug, Clone)]
+pub struct Fig11Data {
+    /// Reference output waveform.
+    pub spice_output: Waveform,
+    /// MCSM output waveform.
+    pub mcsm_output: Waveform,
+    /// SIS-CSM output waveform.
+    pub sis_output: Waveform,
+    /// MCSM waveform RMSE normalized to Vdd.
+    pub mcsm_nrmse: f64,
+    /// SIS waveform RMSE normalized to Vdd.
+    pub sis_nrmse: f64,
+    /// MCSM 50 % delay error vs. SPICE, percent.
+    pub mcsm_delay_error_percent: f64,
+    /// SIS 50 % delay error vs. SPICE, percent.
+    pub sis_delay_error_percent: f64,
+}
+
+/// Generates the Fig. 11 comparison: both NOR2 inputs fall simultaneously and
+/// the three models are compared against the transistor-level reference.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig11_mis_vs_sis(
+    setup: &Setup,
+    mcsm: &McsmModel,
+    sis: &SisModel,
+    fanout: usize,
+    spice_dt: f64,
+    csm_dt: f64,
+) -> Result<Fig11Data, StaError> {
+    let vdd = setup.technology.vdd;
+    let t_switch = 2e-9;
+    let transition = 60e-12;
+    let t_stop = 3.2e-9;
+    let event = t_switch + 0.5 * transition;
+
+    // Reference.
+    let history = InputHistory::simultaneous(
+        vdd,
+        transition,
+        vec![true, true],
+        vec![false, false],
+        t_switch,
+    );
+    let mut bench =
+        CellTestbench::new(&setup.nor2, &LoadSpec::Fanout(fanout)).map_err(StaError::Spice)?;
+    bench.apply_history(&history).map_err(StaError::Spice)?;
+    let result = bench
+        .run_transient(&TranOptions::new(t_stop, spice_dt))
+        .map_err(StaError::Spice)?;
+    let spice_output = result.node("out").map_err(StaError::Spice)?.clone();
+
+    // Models.
+    let load = FanoutLoad::new(setup.technology.clone(), fanout).equivalent_capacitance();
+    let a = DriveWaveform::falling_ramp(vdd, t_switch, transition);
+    let b = DriveWaveform::falling_ramp(vdd, t_switch, transition);
+    let options = CsmSimOptions::new(t_stop, csm_dt);
+    let mcsm_output = simulate_mcsm(mcsm, &a, &b, load, 0.0, None, &options)
+        .map_err(StaError::Model)?
+        .output;
+    // The SIS model only sees one switching input (the other is assumed stable at
+    // its non-controlling value) — exactly the approximation the paper critiques.
+    let sis_output = simulate_sis(sis, &a, load, 0.0, &options).map_err(StaError::Model)?;
+
+    let delay_of = |w: &Waveform| -> Result<f64, StaError> {
+        w.crossing(0.5 * vdd, true)
+            .map(|t| t - event)
+            .ok_or_else(|| StaError::InvalidParameter("output never rises".into()))
+    };
+    let d_spice = delay_of(&spice_output)?;
+    let d_mcsm = delay_of(&mcsm_output)?;
+    let d_sis = delay_of(&sis_output)?;
+
+    let mcsm_cmp = compare_waveforms(&spice_output, &mcsm_output, vdd, true)?;
+    let sis_cmp = compare_waveforms(&spice_output, &sis_output, vdd, true)?;
+
+    Ok(Fig11Data {
+        spice_output,
+        mcsm_output,
+        sis_output,
+        mcsm_nrmse: mcsm_cmp.normalized_rmse,
+        sis_nrmse: sis_cmp.normalized_rmse,
+        mcsm_delay_error_percent: 100.0 * (d_mcsm - d_spice).abs() / d_spice,
+        sis_delay_error_percent: 100.0 * (d_sis - d_spice).abs() / d_spice,
+    })
+}
+
+/// Generates the Fig. 12 noise-injection sweep.
+///
+/// `step` is the spacing of aggressor arrival times between 2 ns and 3 ns
+/// (the paper uses 10 ps; coarser steps keep quick runs affordable).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig12_noise_sweep(
+    setup: &Setup,
+    mcsm: &McsmModel,
+    step: f64,
+    spice_dt: f64,
+    csm_dt: f64,
+) -> Result<Vec<NoisePoint>, StaError> {
+    let mut times = Vec::new();
+    let mut t = 2.0e-9;
+    while t <= 3.0e-9 + 1e-15 {
+        times.push(t);
+        t += step;
+    }
+    let options = CsmSimOptions::new(4.5e-9, csm_dt);
+    sweep_injection_times(&setup.technology, mcsm, &times, spice_dt, &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_setup() -> (Setup, McsmModel, MisBaselineModel, SisModel) {
+        let setup = Setup::new();
+        let (mcsm, baseline, sis) = setup
+            .characterize_nor2(&CharacterizationConfig::coarse())
+            .unwrap();
+        (setup, mcsm, baseline, sis)
+    }
+
+    #[test]
+    fn fig03_internal_node_voltages_differ_between_histories() {
+        let setup = Setup::new();
+        let data = fig03_internal_node(&setup, 4e-12).unwrap();
+        let vdd = setup.technology.vdd;
+        assert!(
+            data.v_internal_fast > 0.9 * vdd,
+            "fast case internal node = {}",
+            data.v_internal_fast
+        );
+        // The slow case sits near the body-affected |Vt,p| plus the Miller kick —
+        // well below the supply and far below the fast case.
+        assert!(
+            data.v_internal_slow < 0.75 * vdd,
+            "slow case internal node = {}",
+            data.v_internal_slow
+        );
+        assert!(
+            data.v_internal_fast - data.v_internal_slow > 0.3 * vdd,
+            "histories should separate the internal node: {} vs {}",
+            data.v_internal_fast,
+            data.v_internal_slow
+        );
+    }
+
+    #[test]
+    fn fig04_slow_history_has_larger_delay() {
+        let setup = Setup::new();
+        let data = fig04_history_outputs(&setup, 4e-12).unwrap();
+        assert!(data.delay_slow > data.delay_fast);
+    }
+
+    #[test]
+    fn fig05_difference_is_positive_and_decreases_with_load() {
+        let setup = Setup::new();
+        let rows = fig05_delay_vs_load(&setup, &[1, 4], 4e-12).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].difference_percent > 0.0);
+        assert!(rows[1].difference_percent > 0.0);
+        assert!(
+            rows[0].difference_percent > rows[1].difference_percent,
+            "difference should shrink with load: {:?}",
+            rows
+        );
+    }
+
+    #[test]
+    fn fig09_mcsm_beats_baseline_on_the_history_dependent_case() {
+        let (setup, mcsm, baseline, _) = quick_setup();
+        let data = fig09_mcsm_accuracy(&setup, &mcsm, &baseline, 1, 4e-12, 1e-12).unwrap();
+        assert_eq!(data.cases.len(), 2);
+        // The slow history is the one whose delay depends on the stored stack
+        // charge; there the internal-node-blind baseline must lose.
+        let slow = data.cases.iter().find(|c| c.label == "slow").unwrap();
+        assert!(
+            slow.mcsm_error_percent < slow.baseline_error_percent,
+            "slow case: MCSM ({:.1}%) should beat the baseline ({:.1}%)",
+            slow.mcsm_error_percent,
+            slow.baseline_error_percent
+        );
+        // And the complete model stays accurate overall even with coarse tables.
+        assert!(
+            data.max_mcsm_error_percent < 15.0,
+            "MCSM max error {:.1}%",
+            data.max_mcsm_error_percent
+        );
+    }
+
+    #[test]
+    fn fig10_glitch_is_reproduced() {
+        let (setup, mcsm, _, _) = quick_setup();
+        let data = fig10_glitch(&setup, &mcsm, 200e-12, 4e-12, 1e-12).unwrap();
+        // The reference produces a real glitch and the model sees one too.
+        assert!(data.spice_glitch_depth > 0.1);
+        assert!(data.mcsm_glitch_depth > 0.05);
+        assert!(data.normalized_rmse < 0.15, "nrmse = {}", data.normalized_rmse);
+    }
+
+    #[test]
+    fn fig11_mcsm_tracks_the_mis_event() {
+        // For this NOR2 sizing the SIS penalty on a rising (series-stack) output
+        // is modest — see EXPERIMENTS.md — so the robust assertions are that the
+        // MCSM tracks the reference closely and that the SIS model is not
+        // dramatically better than it (which would indicate a bug).
+        let (setup, mcsm, _, sis) = quick_setup();
+        let data = fig11_mis_vs_sis(&setup, &mcsm, &sis, 2, 4e-12, 1e-12).unwrap();
+        assert!(
+            data.mcsm_delay_error_percent < 12.0,
+            "MCSM delay error {:.1}%",
+            data.mcsm_delay_error_percent
+        );
+        assert!(data.mcsm_nrmse < 0.06, "MCSM nRMSE {:.3}", data.mcsm_nrmse);
+        assert!(data.sis_nrmse < 0.1, "SIS nRMSE {:.3}", data.sis_nrmse);
+        assert!(
+            data.mcsm_delay_error_percent <= data.sis_delay_error_percent + 5.0,
+            "MCSM ({:.1}%) should not be clearly worse than SIS ({:.1}%)",
+            data.mcsm_delay_error_percent,
+            data.sis_delay_error_percent
+        );
+    }
+
+    #[test]
+    fn fig12_sweep_produces_points() {
+        let (setup, mcsm, _, _) = quick_setup();
+        let points = fig12_noise_sweep(&setup, &mcsm, 0.5e-9, 6e-12, 2e-12).unwrap();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.normalized_rmse.is_finite());
+            assert!(p.normalized_rmse < 0.15);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment drivers for the paper's figures and the Criterion benchmarks.
+//!
+//! Every table/figure of the paper's evaluation section has a function here that
+//! produces its data series; the `src/bin/fig*.rs` binaries print them and
+//! `benches/figures.rs` measures their cost. Keeping the logic in a library
+//! makes the binaries trivial and lets integration tests assert on the *shape*
+//! of each result (who wins, by roughly how much) without duplicating setup.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::*;

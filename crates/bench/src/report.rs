@@ -1,0 +1,67 @@
+//! Small text-report helpers shared by the figure binaries.
+//!
+//! The binaries print aligned tables to stdout so their output can be pasted
+//! into EXPERIMENTS.md or redirected to CSV-ish files; nothing here is specific
+//! to one figure.
+
+use mcsm_spice::waveform::Waveform;
+
+/// Formats a time in picoseconds with two decimals.
+pub fn ps(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e12)
+}
+
+/// Formats a value in percent with two decimals.
+pub fn pct(fraction_or_percent: f64) -> String {
+    format!("{:.2}", fraction_or_percent)
+}
+
+/// Prints a table header followed by an underline of the same width.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("# {title}");
+    let row = columns.join(" | ");
+    println!("{row}");
+    println!("{}", "-".repeat(row.len()));
+}
+
+/// Prints one table row from pre-formatted cells.
+pub fn print_row(cells: &[String]) {
+    println!("{}", cells.join(" | "));
+}
+
+/// Prints a waveform as `time_ns, voltage` CSV lines, downsampled to at most
+/// `max_points` samples, prefixed by a `## name` marker so several waveforms can
+/// share one output stream.
+pub fn print_waveform_csv(name: &str, waveform: &Waveform, max_points: usize) {
+    println!("## waveform: {name}");
+    let n = waveform.len();
+    let stride = (n / max_points.max(1)).max(1);
+    for i in (0..n).step_by(stride) {
+        let t = waveform.times()[i];
+        let v = waveform.values()[i];
+        println!("{:.6}, {:.6}", t * 1e9, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ps(1e-12), "1.00");
+        assert_eq!(ps(123.456e-12), "123.46");
+        assert_eq!(pct(3.14159), "3.14");
+    }
+
+    #[test]
+    fn waveform_csv_downsamples() {
+        let times: Vec<f64> = (0..100).map(|i| i as f64 * 1e-12).collect();
+        let values = vec![0.5; 100];
+        let w = Waveform::new(times, values).unwrap();
+        // Just exercise the printing path; `print_waveform_csv` writes to stdout.
+        print_waveform_csv("test", &w, 10);
+        print_header("demo", &["a", "b"]);
+        print_row(&["1".to_string(), "2".to_string()]);
+    }
+}

@@ -1,0 +1,603 @@
+//! Transistor-level CMOS cell templates.
+//!
+//! Each [`CellKind`] describes the topology of a standard cell; a
+//! [`CellTemplate`] binds a kind to a technology and a drive strength and can
+//! instantiate the transistor-level netlist into a [`Circuit`]. The internal
+//! (stack) nodes are first-class citizens: they are named, exposed through
+//! [`CellPorts`], and available for probing and characterization — the whole
+//! point of the paper is that these nodes carry history.
+
+use crate::tech::Technology;
+use mcsm_spice::circuit::{Circuit, NodeId};
+use mcsm_spice::devices::mosfet::MosfetGeometry;
+use mcsm_spice::error::SpiceError;
+use serde::{Deserialize, Serialize};
+
+/// The cell topologies provided by the library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Static CMOS inverter.
+    Inverter,
+    /// 2-input NAND (series NMOS stack, one internal node).
+    Nand2,
+    /// 3-input NAND (series NMOS stack, two internal nodes).
+    Nand3,
+    /// 2-input NOR (series PMOS stack, one internal node) — the paper's example.
+    Nor2,
+    /// 3-input NOR (series PMOS stack, two internal nodes).
+    Nor3,
+    /// AND-OR-INVERT21: `!(A·B + C)`; one internal node in each stack.
+    Aoi21,
+}
+
+impl CellKind {
+    /// Cell name as it would appear in a library.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellKind::Inverter => "INV",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nand3 => "NAND3",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Nor3 => "NOR3",
+            CellKind::Aoi21 => "AOI21",
+        }
+    }
+
+    /// Number of logic inputs.
+    pub fn input_count(self) -> usize {
+        match self {
+            CellKind::Inverter => 1,
+            CellKind::Nand2 | CellKind::Nor2 => 2,
+            CellKind::Nand3 | CellKind::Nor3 | CellKind::Aoi21 => 3,
+        }
+    }
+
+    /// Conventional input pin names (`A`, `B`, `C`…).
+    pub fn input_names(self) -> Vec<&'static str> {
+        ["A", "B", "C"][..self.input_count()].to_vec()
+    }
+
+    /// Number of internal (stack) nodes in the transistor topology.
+    pub fn internal_node_count(self) -> usize {
+        match self {
+            CellKind::Inverter => 0,
+            CellKind::Nand2 | CellKind::Nor2 => 1,
+            CellKind::Nand3 | CellKind::Nor3 => 2,
+            CellKind::Aoi21 => 2,
+        }
+    }
+
+    /// Boolean function of the cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`CellKind::input_count`].
+    pub fn evaluate(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "{} expects {} inputs",
+            self.name(),
+            self.input_count()
+        );
+        match self {
+            CellKind::Inverter => !inputs[0],
+            CellKind::Nand2 => !(inputs[0] && inputs[1]),
+            CellKind::Nand3 => !(inputs[0] && inputs[1] && inputs[2]),
+            CellKind::Nor2 => !(inputs[0] || inputs[1]),
+            CellKind::Nor3 => !(inputs[0] || inputs[1] || inputs[2]),
+            CellKind::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+        }
+    }
+
+    /// The logic value an input must hold so that it does **not** control the
+    /// output (`1` for NAND-like pull-down stacks, `0` for NOR-like pull-up
+    /// stacks). Used when characterizing a pair of switching inputs while the
+    /// remaining inputs sit at their non-controlling value (Section 3 of the
+    /// paper).
+    pub fn non_controlling_value(self) -> bool {
+        match self {
+            CellKind::Inverter => false,
+            CellKind::Nand2 | CellKind::Nand3 => true,
+            CellKind::Nor2 | CellKind::Nor3 => false,
+            // For AOI21 the non-controlling value of every input is 0 (C = 0
+            // disables the OR branch; A·B = 0 as long as either is 0).
+            CellKind::Aoi21 => false,
+        }
+    }
+}
+
+/// Node handles of one instantiated cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPorts {
+    /// Input nodes in pin order (`A`, `B`, …).
+    pub inputs: Vec<NodeId>,
+    /// Output node.
+    pub output: NodeId,
+    /// Supply node the cell was tied to.
+    pub vdd: NodeId,
+    /// Internal stack nodes, in the order documented per topology
+    /// (e.g. for NOR2 the single entry is the node between the two PMOS devices).
+    pub internal: Vec<NodeId>,
+}
+
+/// A cell bound to a technology and drive strength, ready to be instantiated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTemplate {
+    kind: CellKind,
+    technology: Technology,
+    drive: f64,
+}
+
+impl CellTemplate {
+    /// Creates a template with drive strength 1 (unit-sized devices).
+    pub fn new(kind: CellKind, technology: Technology) -> Self {
+        CellTemplate {
+            kind,
+            technology,
+            drive: 1.0,
+        }
+    }
+
+    /// Creates a template with a drive-strength multiplier (device widths scale
+    /// linearly with it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drive` is not strictly positive.
+    pub fn with_drive(kind: CellKind, technology: Technology, drive: f64) -> Self {
+        assert!(drive > 0.0, "drive strength must be positive, got {drive}");
+        CellTemplate {
+            kind,
+            technology,
+            drive,
+        }
+    }
+
+    /// The cell topology.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The technology the template is bound to.
+    pub fn technology(&self) -> &Technology {
+        &self.technology
+    }
+
+    /// The drive-strength multiplier.
+    pub fn drive(&self) -> f64 {
+        self.drive
+    }
+
+    fn nmos_geometry(&self, stack_depth: usize) -> MosfetGeometry {
+        MosfetGeometry::new(
+            self.technology.unit_nmos_width * self.drive * stack_depth as f64,
+            self.technology.channel_length,
+        )
+    }
+
+    fn pmos_geometry(&self, stack_depth: usize) -> MosfetGeometry {
+        MosfetGeometry::new(
+            self.technology.unit_pmos_width * self.drive * stack_depth as f64,
+            self.technology.channel_length,
+        )
+    }
+
+    /// Instantiates the transistor-level netlist of this cell into `circuit`.
+    ///
+    /// `prefix` namespaces the internal node names (`"<prefix>.n1"`, …) so the
+    /// same cell can be instantiated several times in one circuit. The supplied
+    /// `inputs`, `output` and `vdd` nodes are connected as the cell pins; ground
+    /// is always [`Circuit::ground`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::InvalidParameter`] if the number of input nodes does not
+    ///   match the cell's pin count.
+    /// * Any circuit-construction error (unknown nodes, bad geometry).
+    pub fn instantiate(
+        &self,
+        circuit: &mut Circuit,
+        prefix: &str,
+        inputs: &[NodeId],
+        output: NodeId,
+        vdd: NodeId,
+    ) -> Result<CellPorts, SpiceError> {
+        if inputs.len() != self.kind.input_count() {
+            return Err(SpiceError::InvalidParameter(format!(
+                "{} expects {} inputs, got {}",
+                self.kind.name(),
+                self.kind.input_count(),
+                inputs.len()
+            )));
+        }
+        let gnd = Circuit::ground();
+        let tech = &self.technology;
+        let mut internal = Vec::new();
+
+        match self.kind {
+            CellKind::Inverter => {
+                circuit.add_mosfet(
+                    output,
+                    inputs[0],
+                    gnd,
+                    gnd,
+                    tech.nmos.clone(),
+                    self.nmos_geometry(1),
+                )?;
+                circuit.add_mosfet(
+                    output,
+                    inputs[0],
+                    vdd,
+                    vdd,
+                    tech.pmos.clone(),
+                    self.pmos_geometry(1),
+                )?;
+            }
+            CellKind::Nand2 => {
+                // NMOS series stack OUT - A - n1 - B - GND; PMOS in parallel.
+                let n1 = circuit.node(&format!("{prefix}.n1"));
+                internal.push(n1);
+                circuit.add_mosfet(
+                    output,
+                    inputs[0],
+                    n1,
+                    gnd,
+                    tech.nmos.clone(),
+                    self.nmos_geometry(2),
+                )?;
+                circuit.add_mosfet(
+                    n1,
+                    inputs[1],
+                    gnd,
+                    gnd,
+                    tech.nmos.clone(),
+                    self.nmos_geometry(2),
+                )?;
+                for &input in inputs {
+                    circuit.add_mosfet(
+                        output,
+                        input,
+                        vdd,
+                        vdd,
+                        tech.pmos.clone(),
+                        self.pmos_geometry(1),
+                    )?;
+                }
+            }
+            CellKind::Nand3 => {
+                let n1 = circuit.node(&format!("{prefix}.n1"));
+                let n2 = circuit.node(&format!("{prefix}.n2"));
+                internal.push(n1);
+                internal.push(n2);
+                circuit.add_mosfet(
+                    output,
+                    inputs[0],
+                    n1,
+                    gnd,
+                    tech.nmos.clone(),
+                    self.nmos_geometry(3),
+                )?;
+                circuit.add_mosfet(
+                    n1,
+                    inputs[1],
+                    n2,
+                    gnd,
+                    tech.nmos.clone(),
+                    self.nmos_geometry(3),
+                )?;
+                circuit.add_mosfet(
+                    n2,
+                    inputs[2],
+                    gnd,
+                    gnd,
+                    tech.nmos.clone(),
+                    self.nmos_geometry(3),
+                )?;
+                for &input in inputs {
+                    circuit.add_mosfet(
+                        output,
+                        input,
+                        vdd,
+                        vdd,
+                        tech.pmos.clone(),
+                        self.pmos_geometry(1),
+                    )?;
+                }
+            }
+            CellKind::Nor2 => {
+                // PMOS series stack VDD - (gate B) - n1 - (gate A) - OUT, as in
+                // Fig. 2 of the paper: with inputs '10' the upper device (gate B)
+                // is on and the internal node sits at Vdd.
+                let n1 = circuit.node(&format!("{prefix}.n1"));
+                internal.push(n1);
+                circuit.add_mosfet(
+                    n1,
+                    inputs[1],
+                    vdd,
+                    vdd,
+                    tech.pmos.clone(),
+                    self.pmos_geometry(2),
+                )?;
+                circuit.add_mosfet(
+                    output,
+                    inputs[0],
+                    n1,
+                    vdd,
+                    tech.pmos.clone(),
+                    self.pmos_geometry(2),
+                )?;
+                for &input in inputs {
+                    circuit.add_mosfet(
+                        output,
+                        input,
+                        gnd,
+                        gnd,
+                        tech.nmos.clone(),
+                        self.nmos_geometry(1),
+                    )?;
+                }
+            }
+            CellKind::Nor3 => {
+                let n1 = circuit.node(&format!("{prefix}.n1"));
+                let n2 = circuit.node(&format!("{prefix}.n2"));
+                internal.push(n1);
+                internal.push(n2);
+                // VDD - (gate C) - n2 - (gate B) - n1 - (gate A) - OUT.
+                circuit.add_mosfet(
+                    n2,
+                    inputs[2],
+                    vdd,
+                    vdd,
+                    tech.pmos.clone(),
+                    self.pmos_geometry(3),
+                )?;
+                circuit.add_mosfet(
+                    n1,
+                    inputs[1],
+                    n2,
+                    vdd,
+                    tech.pmos.clone(),
+                    self.pmos_geometry(3),
+                )?;
+                circuit.add_mosfet(
+                    output,
+                    inputs[0],
+                    n1,
+                    vdd,
+                    tech.pmos.clone(),
+                    self.pmos_geometry(3),
+                )?;
+                for &input in inputs {
+                    circuit.add_mosfet(
+                        output,
+                        input,
+                        gnd,
+                        gnd,
+                        tech.nmos.clone(),
+                        self.nmos_geometry(1),
+                    )?;
+                }
+            }
+            CellKind::Aoi21 => {
+                // Pull-down: (A series B) parallel with C. Pull-up: C in series
+                // with (A parallel B).
+                let n_dn = circuit.node(&format!("{prefix}.n1"));
+                let n_up = circuit.node(&format!("{prefix}.n2"));
+                internal.push(n_dn);
+                internal.push(n_up);
+                // NMOS: OUT - A - n1 - B - GND, plus OUT - C - GND.
+                circuit.add_mosfet(
+                    output,
+                    inputs[0],
+                    n_dn,
+                    gnd,
+                    tech.nmos.clone(),
+                    self.nmos_geometry(2),
+                )?;
+                circuit.add_mosfet(
+                    n_dn,
+                    inputs[1],
+                    gnd,
+                    gnd,
+                    tech.nmos.clone(),
+                    self.nmos_geometry(2),
+                )?;
+                circuit.add_mosfet(
+                    output,
+                    inputs[2],
+                    gnd,
+                    gnd,
+                    tech.nmos.clone(),
+                    self.nmos_geometry(1),
+                )?;
+                // PMOS: VDD - A - n2 and VDD - B - n2 (parallel), then n2 - C - OUT.
+                circuit.add_mosfet(
+                    n_up,
+                    inputs[0],
+                    vdd,
+                    vdd,
+                    tech.pmos.clone(),
+                    self.pmos_geometry(2),
+                )?;
+                circuit.add_mosfet(
+                    n_up,
+                    inputs[1],
+                    vdd,
+                    vdd,
+                    tech.pmos.clone(),
+                    self.pmos_geometry(2),
+                )?;
+                circuit.add_mosfet(
+                    output,
+                    inputs[2],
+                    n_up,
+                    vdd,
+                    tech.pmos.clone(),
+                    self.pmos_geometry(2),
+                )?;
+            }
+        }
+
+        Ok(CellPorts {
+            inputs: inputs.to_vec(),
+            output,
+            vdd,
+            internal,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_counts_and_names() {
+        assert_eq!(CellKind::Inverter.input_count(), 1);
+        assert_eq!(CellKind::Nand2.input_count(), 2);
+        assert_eq!(CellKind::Nor3.input_count(), 3);
+        assert_eq!(CellKind::Nor2.input_names(), vec!["A", "B"]);
+        assert_eq!(CellKind::Aoi21.input_names(), vec!["A", "B", "C"]);
+        assert_eq!(CellKind::Nand2.name(), "NAND2");
+    }
+
+    #[test]
+    fn logic_truth_tables() {
+        assert!(CellKind::Inverter.evaluate(&[false]));
+        assert!(!CellKind::Inverter.evaluate(&[true]));
+
+        assert!(CellKind::Nand2.evaluate(&[true, false]));
+        assert!(!CellKind::Nand2.evaluate(&[true, true]));
+
+        assert!(CellKind::Nor2.evaluate(&[false, false]));
+        assert!(!CellKind::Nor2.evaluate(&[true, false]));
+        assert!(!CellKind::Nor2.evaluate(&[false, true]));
+
+        assert!(CellKind::Nand3.evaluate(&[true, true, false]));
+        assert!(!CellKind::Nand3.evaluate(&[true, true, true]));
+
+        assert!(CellKind::Nor3.evaluate(&[false, false, false]));
+        assert!(!CellKind::Nor3.evaluate(&[false, true, false]));
+
+        assert!(CellKind::Aoi21.evaluate(&[true, false, false]));
+        assert!(!CellKind::Aoi21.evaluate(&[true, true, false]));
+        assert!(!CellKind::Aoi21.evaluate(&[false, false, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn evaluate_panics_on_wrong_arity() {
+        CellKind::Nand2.evaluate(&[true]);
+    }
+
+    #[test]
+    fn non_controlling_values() {
+        assert!(CellKind::Nand2.non_controlling_value());
+        assert!(CellKind::Nand3.non_controlling_value());
+        assert!(!CellKind::Nor2.non_controlling_value());
+        assert!(!CellKind::Nor3.non_controlling_value());
+        assert!(!CellKind::Aoi21.non_controlling_value());
+    }
+
+    #[test]
+    fn internal_node_counts_match_topology() {
+        assert_eq!(CellKind::Inverter.internal_node_count(), 0);
+        assert_eq!(CellKind::Nand2.internal_node_count(), 1);
+        assert_eq!(CellKind::Nor2.internal_node_count(), 1);
+        assert_eq!(CellKind::Nand3.internal_node_count(), 2);
+        assert_eq!(CellKind::Nor3.internal_node_count(), 2);
+        assert_eq!(CellKind::Aoi21.internal_node_count(), 2);
+    }
+
+    #[test]
+    fn instantiation_exposes_internal_nodes() {
+        let tech = Technology::cmos_130nm();
+        for kind in [
+            CellKind::Inverter,
+            CellKind::Nand2,
+            CellKind::Nand3,
+            CellKind::Nor2,
+            CellKind::Nor3,
+            CellKind::Aoi21,
+        ] {
+            let template = CellTemplate::new(kind, tech.clone());
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let out = c.node("out");
+            let inputs: Vec<NodeId> = kind
+                .input_names()
+                .iter()
+                .map(|n| c.node(&format!("in_{n}")))
+                .collect();
+            let ports = template
+                .instantiate(&mut c, "x0", &inputs, out, vdd)
+                .unwrap();
+            assert_eq!(ports.internal.len(), kind.internal_node_count());
+            assert_eq!(ports.inputs.len(), kind.input_count());
+            // Each cell has at least input_count transistors.
+            assert!(c.elements().len() >= kind.input_count());
+        }
+    }
+
+    #[test]
+    fn instantiation_rejects_wrong_pin_count() {
+        let tech = Technology::cmos_130nm();
+        let template = CellTemplate::new(CellKind::Nand2, tech);
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        let a = c.node("a");
+        assert!(template.instantiate(&mut c, "x0", &[a], out, vdd).is_err());
+    }
+
+    #[test]
+    fn drive_strength_scales_widths() {
+        let tech = Technology::cmos_130nm();
+        let x1 = CellTemplate::new(CellKind::Inverter, tech.clone());
+        let x4 = CellTemplate::with_drive(CellKind::Inverter, tech, 4.0);
+        assert_eq!(x1.drive(), 1.0);
+        assert_eq!(x4.drive(), 4.0);
+
+        let widths = |t: &CellTemplate| {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let out = c.node("out");
+            let a = c.node("a");
+            t.instantiate(&mut c, "x", &[a], out, vdd).unwrap();
+            c.elements()
+                .iter()
+                .filter_map(|e| match e {
+                    mcsm_spice::circuit::Element::Mosfet { geometry, .. } => Some(geometry.width),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let w1 = widths(&x1);
+        let w4 = widths(&x4);
+        for (a, b) in w1.iter().zip(&w4) {
+            assert!((b / a - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drive strength")]
+    fn non_positive_drive_panics() {
+        let _ = CellTemplate::with_drive(CellKind::Inverter, Technology::cmos_130nm(), 0.0);
+    }
+
+    #[test]
+    fn two_instances_do_not_collide() {
+        let tech = Technology::cmos_130nm();
+        let template = CellTemplate::new(CellKind::Nor2, tech);
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out1 = c.node("out1");
+        let out2 = c.node("out2");
+        let a = c.node("a");
+        let b = c.node("b");
+        let p1 = template.instantiate(&mut c, "x1", &[a, b], out1, vdd).unwrap();
+        let p2 = template.instantiate(&mut c, "x2", &[a, b], out2, vdd).unwrap();
+        assert_ne!(p1.internal[0], p2.internal[0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Synthetic technology and transistor-level CMOS cell library.
+//!
+//! This crate provides the "standard cell library" side of the reproduction:
+//!
+//! * [`tech::Technology`] — a synthetic 130 nm-like process card (Vdd = 1.2 V),
+//!   the stand-in for the commercial library used in the paper;
+//! * [`cell::CellTemplate`] / [`cell::CellKind`] — transistor-level netlist
+//!   builders for INV, NAND2/3, NOR2/3 and AOI21, with **named internal stack
+//!   nodes** (the paper's node *N*);
+//! * [`load`] — fanout-of-N inverter loads and lumped capacitive loads;
+//! * [`stimuli::InputHistory`] — input-history stimuli, including the paper's
+//!   NOR2 `'10'→'11'→'00'` (fast) and `'01'→'11'→'00'` (slow) scenarios;
+//! * [`testbench::CellTestbench`] — a cell, its supply, its drivers and its load
+//!   assembled into one simulatable circuit;
+//! * [`library::CellLibrary`] — the default set of templates.
+//!
+//! # Example: the stack-effect experiment of Section 2.2
+//!
+//! ```
+//! use mcsm_cells::cell::{CellKind, CellTemplate};
+//! use mcsm_cells::stimuli::InputHistory;
+//! use mcsm_cells::tech::Technology;
+//! use mcsm_cells::testbench::{CellTestbench, LoadSpec};
+//! use mcsm_spice::analysis::TranOptions;
+//!
+//! # fn main() -> Result<(), mcsm_spice::SpiceError> {
+//! let tech = Technology::cmos_130nm();
+//! let nor2 = CellTemplate::new(CellKind::Nor2, tech.clone());
+//! let mut bench = CellTestbench::new(&nor2, &LoadSpec::Fanout(2))?;
+//! let history = InputHistory::nor2_fast_case(tech.vdd, 50e-12, 1e-9, 2e-9);
+//! bench.apply_history(&history)?;
+//! let result = bench.run_transient(&TranOptions::new(3e-9, 5e-12))?;
+//! let out = result.node("out")?;
+//! assert!(out.final_value() > 0.9 * tech.vdd);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cell;
+pub mod library;
+pub mod load;
+pub mod stimuli;
+pub mod tech;
+pub mod testbench;
+
+pub use cell::{CellKind, CellPorts, CellTemplate};
+pub use library::CellLibrary;
+pub use load::{CapacitiveLoad, FanoutLoad};
+pub use stimuli::{single_ramp, InputHistory};
+pub use tech::Technology;
+pub use testbench::{CellTestbench, LoadSpec};

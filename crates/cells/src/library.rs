@@ -1,0 +1,98 @@
+//! A small standard-cell library: the set of cell templates available in one
+//! technology, looked up by name.
+
+use crate::cell::{CellKind, CellTemplate};
+use crate::tech::Technology;
+use serde::{Deserialize, Serialize};
+
+/// A named collection of [`CellTemplate`]s sharing one technology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    technology: Technology,
+    cells: Vec<CellTemplate>,
+}
+
+impl CellLibrary {
+    /// Builds the default library: INV, NAND2, NAND3, NOR2, NOR3 and AOI21 at
+    /// drive strength 1 — the "common logic cells" evaluated in the paper.
+    pub fn standard(technology: Technology) -> Self {
+        let kinds = [
+            CellKind::Inverter,
+            CellKind::Nand2,
+            CellKind::Nand3,
+            CellKind::Nor2,
+            CellKind::Nor3,
+            CellKind::Aoi21,
+        ];
+        let cells = kinds
+            .iter()
+            .map(|&k| CellTemplate::new(k, technology.clone()))
+            .collect();
+        CellLibrary { technology, cells }
+    }
+
+    /// The library technology.
+    pub fn technology(&self) -> &Technology {
+        &self.technology
+    }
+
+    /// All templates.
+    pub fn cells(&self) -> &[CellTemplate] {
+        &self.cells
+    }
+
+    /// Looks up a template by cell name (e.g. `"NOR2"`).
+    pub fn find(&self, name: &str) -> Option<&CellTemplate> {
+        self.cells.iter().find(|c| c.kind().name() == name)
+    }
+
+    /// Adds (or replaces) a template, keyed by its cell kind and drive.
+    pub fn insert(&mut self, template: CellTemplate) {
+        if let Some(existing) = self
+            .cells
+            .iter_mut()
+            .find(|c| c.kind() == template.kind() && (c.drive() - template.drive()).abs() < 1e-12)
+        {
+            *existing = template;
+        } else {
+            self.cells.push(template);
+        }
+    }
+
+    /// Number of templates in the library.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_contains_paper_cells() {
+        let lib = CellLibrary::standard(Technology::cmos_130nm());
+        assert_eq!(lib.len(), 6);
+        assert!(!lib.is_empty());
+        for name in ["INV", "NAND2", "NOR2", "NAND3", "NOR3", "AOI21"] {
+            assert!(lib.find(name).is_some(), "missing {name}");
+        }
+        assert!(lib.find("XOR2").is_none());
+    }
+
+    #[test]
+    fn insert_replaces_same_kind_and_drive() {
+        let tech = Technology::cmos_130nm();
+        let mut lib = CellLibrary::standard(tech.clone());
+        let before = lib.len();
+        lib.insert(CellTemplate::new(CellKind::Nor2, tech.clone()));
+        assert_eq!(lib.len(), before);
+        lib.insert(CellTemplate::with_drive(CellKind::Nor2, tech, 4.0));
+        assert_eq!(lib.len(), before + 1);
+    }
+}

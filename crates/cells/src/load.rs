@@ -1,0 +1,205 @@
+//! Output loads: fanout-of-N gate loads and lumped capacitors.
+//!
+//! The paper reports delay differences "under different output loads"
+//! (FO1 … FO8 in Fig. 5) and uses an FO2 load in the noise experiment. A
+//! fanout-of-N load is N copies of a reference inverter whose inputs hang on the
+//! driven net. [`FanoutLoad`] instantiates real transistor-level inverters so
+//! the load is nonlinear and Miller-coupled exactly like in the reference flow;
+//! [`FanoutLoad::equivalent_capacitance`] provides the lumped-C approximation
+//! the CSM engine can use when a full receiver model is not wanted.
+
+use crate::cell::{CellKind, CellTemplate};
+use crate::tech::Technology;
+use mcsm_spice::circuit::{Circuit, NodeId};
+use mcsm_spice::devices::mosfet::device_caps;
+use mcsm_spice::error::SpiceError;
+use serde::{Deserialize, Serialize};
+
+/// A fanout-of-N inverter load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FanoutLoad {
+    technology: Technology,
+    fanout: usize,
+}
+
+impl FanoutLoad {
+    /// Creates a fanout-of-`fanout` load of unit inverters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero; use [`CapacitiveLoad`] for an unloaded net.
+    pub fn new(technology: Technology, fanout: usize) -> Self {
+        assert!(fanout > 0, "fanout must be at least 1");
+        FanoutLoad {
+            technology,
+            fanout,
+        }
+    }
+
+    /// Number of inverter receivers.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Attaches the load to `driven` inside `circuit`: `fanout` unit inverters
+    /// whose inputs connect to `driven` and whose outputs are left to float on
+    /// their own (lightly loaded) nets.
+    ///
+    /// Returns the output nodes of the receiver inverters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors.
+    pub fn attach(
+        &self,
+        circuit: &mut Circuit,
+        prefix: &str,
+        driven: NodeId,
+        vdd: NodeId,
+    ) -> Result<Vec<NodeId>, SpiceError> {
+        let inverter = CellTemplate::new(CellKind::Inverter, self.technology.clone());
+        let mut outputs = Vec::with_capacity(self.fanout);
+        for k in 0..self.fanout {
+            let out = circuit.node(&format!("{prefix}.fo{k}.out"));
+            inverter.instantiate(circuit, &format!("{prefix}.fo{k}"), &[driven], out, vdd)?;
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    /// The lumped capacitance equivalent of this load: the summed gate
+    /// capacitances of the receiver devices, with the gate–drain terms counted
+    /// twice. The doubling is the classic Miller allowance — while the driven
+    /// net transitions, each receiver's output swings the opposite way, so its
+    /// gate–drain capacitance is charged through roughly twice the voltage
+    /// excursion. This is the value a simple `C_L` load model should use when it
+    /// stands in for real receiver gates.
+    pub fn equivalent_capacitance(&self) -> f64 {
+        self.capacitance_with_miller_factor(2.0)
+    }
+
+    /// The lumped equivalent with an explicit multiplier on the receivers'
+    /// gate–drain capacitance (1.0 = no Miller amplification, 2.0 = full
+    /// doubling). Exposed so the load-model ablation can sweep it.
+    pub fn capacitance_with_miller_factor(&self, miller_factor: f64) -> f64 {
+        let t = &self.technology;
+        let n_geom = mcsm_spice::devices::mosfet::MosfetGeometry::new(
+            t.unit_nmos_width,
+            t.channel_length,
+        );
+        let p_geom = mcsm_spice::devices::mosfet::MosfetGeometry::new(
+            t.unit_pmos_width,
+            t.channel_length,
+        );
+        let n_caps = device_caps(&t.nmos, &n_geom);
+        let p_caps = device_caps(&t.pmos, &p_geom);
+        let per_inverter = n_caps.cgs
+            + miller_factor * n_caps.cgd
+            + n_caps.cgb
+            + p_caps.cgs
+            + miller_factor * p_caps.cgd
+            + p_caps.cgb;
+        per_inverter * self.fanout as f64
+    }
+}
+
+/// A simple lumped capacitive load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacitiveLoad {
+    /// Capacitance to ground (farads).
+    pub farads: f64,
+}
+
+impl CapacitiveLoad {
+    /// Creates a lumped load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is negative.
+    pub fn new(farads: f64) -> Self {
+        assert!(farads >= 0.0, "capacitance must be non-negative");
+        CapacitiveLoad { farads }
+    }
+
+    /// Attaches the load capacitor between `driven` and ground.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors.
+    pub fn attach(&self, circuit: &mut Circuit, driven: NodeId) -> Result<(), SpiceError> {
+        if self.farads > 0.0 {
+            circuit.add_capacitor(driven, Circuit::ground(), self.farads)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_load_instantiates_n_inverters() {
+        let tech = Technology::cmos_130nm();
+        let load = FanoutLoad::new(tech, 4);
+        assert_eq!(load.fanout(), 4);
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let net = c.node("net");
+        let outs = load.attach(&mut c, "load", net, vdd).unwrap();
+        assert_eq!(outs.len(), 4);
+        // Each inverter adds 2 MOSFETs.
+        let fet_count = c
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, mcsm_spice::circuit::Element::Mosfet { .. }))
+            .count();
+        assert_eq!(fet_count, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn zero_fanout_panics() {
+        let _ = FanoutLoad::new(Technology::cmos_130nm(), 0);
+    }
+
+    #[test]
+    fn equivalent_capacitance_scales_with_fanout() {
+        let tech = Technology::cmos_130nm();
+        let c1 = FanoutLoad::new(tech.clone(), 1).equivalent_capacitance();
+        let c4 = FanoutLoad::new(tech, 4).equivalent_capacitance();
+        assert!(c1 > 0.0);
+        assert!((c4 / c1 - 4.0).abs() < 1e-12);
+        // Order of magnitude: a 130 nm unit inverter gate is a couple of fF.
+        assert!(c1 > 0.1e-15 && c1 < 20e-15, "c1 = {c1}");
+    }
+
+    #[test]
+    fn miller_factor_increases_the_equivalent_load() {
+        let tech = Technology::cmos_130nm();
+        let load = FanoutLoad::new(tech, 2);
+        let plain = load.capacitance_with_miller_factor(1.0);
+        let doubled = load.capacitance_with_miller_factor(2.0);
+        assert!(doubled > plain);
+        assert_eq!(doubled, load.equivalent_capacitance());
+        // The Miller allowance is a meaningful but bounded correction.
+        assert!(doubled / plain > 1.1 && doubled / plain < 2.0);
+    }
+
+    #[test]
+    fn capacitive_load_attaches_capacitor() {
+        let mut c = Circuit::new();
+        let net = c.node("net");
+        CapacitiveLoad::new(5e-15).attach(&mut c, net).unwrap();
+        assert_eq!(c.elements().len(), 1);
+        // Zero load adds nothing.
+        CapacitiveLoad::new(0.0).attach(&mut c, net).unwrap();
+        assert_eq!(c.elements().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacitance_panics() {
+        let _ = CapacitiveLoad::new(-1e-15);
+    }
+}

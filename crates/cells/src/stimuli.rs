@@ -1,0 +1,244 @@
+//! Input stimuli: saturated ramps and multi-event input histories.
+//!
+//! The key experiments in the paper are defined by *input histories* — ordered
+//! sequences of logic states applied to the cell inputs, each reached through a
+//! saturated ramp of a given transition time. [`InputHistory`] captures such a
+//! sequence and renders one [`SourceWaveform`] per input pin.
+//!
+//! The two canonical NOR2 scenarios of Section 2.2 are provided as constructors:
+//!
+//! * [`InputHistory::nor2_fast_case`]: `'10' → '11' → '00'` — the internal node
+//!   starts at Vdd (plus a Miller kick), so the final rising output is fast.
+//! * [`InputHistory::nor2_slow_case`]: `'01' → '11' → '00'` — the internal node
+//!   starts near the body-affected `|Vt,p|`, so the output is slower.
+
+use mcsm_spice::source::SourceWaveform;
+use serde::{Deserialize, Serialize};
+
+/// A timed sequence of logic states applied to a set of input pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputHistory {
+    /// Supply voltage used for logic-high levels (volts).
+    vdd: f64,
+    /// Transition (ramp) time of every edge (seconds).
+    transition_time: f64,
+    /// Initial logic state of each input.
+    initial: Vec<bool>,
+    /// Events: at `time`, the inputs start ramping towards `state`.
+    events: Vec<(f64, Vec<bool>)>,
+}
+
+impl InputHistory {
+    /// Creates a history starting from `initial` with the given supply and edge
+    /// transition time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` or `transition_time` is not strictly positive, or if
+    /// `initial` is empty.
+    pub fn new(vdd: f64, transition_time: f64, initial: Vec<bool>) -> Self {
+        assert!(vdd > 0.0, "vdd must be positive");
+        assert!(transition_time > 0.0, "transition time must be positive");
+        assert!(!initial.is_empty(), "at least one input is required");
+        InputHistory {
+            vdd,
+            transition_time,
+            initial,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event: at `time` the inputs start ramping to `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state arity differs from the initial state, or if events are
+    /// not appended in increasing time order.
+    pub fn then_at(mut self, time: f64, state: Vec<bool>) -> Self {
+        assert_eq!(
+            state.len(),
+            self.initial.len(),
+            "event arity must match the number of inputs"
+        );
+        if let Some((last_time, _)) = self.events.last() {
+            assert!(time > *last_time, "events must be in increasing time order");
+        }
+        self.events.push((time, state));
+        self
+    }
+
+    /// Number of input pins.
+    pub fn input_count(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// Supply voltage (volts).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Edge transition time (seconds).
+    pub fn transition_time(&self) -> f64 {
+        self.transition_time
+    }
+
+    /// The time of the last event, or 0 if there are none.
+    pub fn last_event_time(&self) -> f64 {
+        self.events.last().map(|(t, _)| *t).unwrap_or(0.0)
+    }
+
+    /// The logic state the inputs settle to at the end of the history.
+    pub fn final_state(&self) -> &[bool] {
+        self.events
+            .last()
+            .map(|(_, s)| s.as_slice())
+            .unwrap_or(&self.initial)
+    }
+
+    /// Renders the history as one piecewise-linear waveform per input pin.
+    pub fn waveforms(&self) -> Vec<SourceWaveform> {
+        let level = |b: bool| if b { self.vdd } else { 0.0 };
+        (0..self.initial.len())
+            .map(|pin| {
+                let mut points = vec![(0.0, level(self.initial[pin]))];
+                let mut current = self.initial[pin];
+                for (time, state) in &self.events {
+                    let target = state[pin];
+                    if target != current {
+                        points.push((*time, level(current)));
+                        points.push((*time + self.transition_time, level(target)));
+                        current = target;
+                    }
+                }
+                SourceWaveform::Pwl { points }
+            })
+            .collect()
+    }
+
+    /// The paper's "fast" NOR2 scenario: inputs go `'10' → '11' → '00'`.
+    ///
+    /// With `(A, B) = (1, 0)` the upper PMOS (gate B) conducts and the internal
+    /// node charges to Vdd; when B rises the node floats and is kicked slightly
+    /// above Vdd through the gate–drain capacitance.
+    pub fn nor2_fast_case(vdd: f64, transition_time: f64, t_first: f64, t_final: f64) -> Self {
+        InputHistory::new(vdd, transition_time, vec![true, false])
+            .then_at(t_first, vec![true, true])
+            .then_at(t_final, vec![false, false])
+    }
+
+    /// The paper's "slow" NOR2 scenario: inputs go `'01' → '11' → '00'`.
+    ///
+    /// With `(A, B) = (0, 1)` the internal node is discharged towards the
+    /// body-affected `|Vt,p|` through the lower PMOS; the final rising output
+    /// must first recharge it, so the transition is slower.
+    pub fn nor2_slow_case(vdd: f64, transition_time: f64, t_first: f64, t_final: f64) -> Self {
+        InputHistory::new(vdd, transition_time, vec![false, true])
+            .then_at(t_first, vec![true, true])
+            .then_at(t_final, vec![false, false])
+    }
+
+    /// A simultaneous multiple-input-switching event: all inputs start at
+    /// `initial` and ramp together to `target` at `t_switch`.
+    pub fn simultaneous(
+        vdd: f64,
+        transition_time: f64,
+        initial: Vec<bool>,
+        target: Vec<bool>,
+        t_switch: f64,
+    ) -> Self {
+        InputHistory::new(vdd, transition_time, initial).then_at(t_switch, target)
+    }
+}
+
+/// Builds a single saturated ramp stimulus for one pin (convenience wrapper used
+/// by single-input-switching characterization).
+pub fn single_ramp(vdd: f64, rising: bool, t_start: f64, transition_time: f64) -> SourceWaveform {
+    if rising {
+        SourceWaveform::rising_ramp(vdd, t_start, transition_time)
+    } else {
+        SourceWaveform::falling_ramp(vdd, t_start, transition_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_case_matches_paper_sequence() {
+        let h = InputHistory::nor2_fast_case(1.2, 50e-12, 1e-9, 2e-9);
+        assert_eq!(h.input_count(), 2);
+        assert_eq!(h.final_state(), &[false, false]);
+        assert_eq!(h.last_event_time(), 2e-9);
+        let w = h.waveforms();
+        // A: 1 until 2 ns, then falls.
+        assert!((w[0].eval(0.0) - 1.2).abs() < 1e-12);
+        assert!((w[0].eval(1.5e-9) - 1.2).abs() < 1e-12);
+        assert!(w[0].eval(2.2e-9) < 1e-12);
+        // B: 0, rises at 1 ns, falls at 2 ns.
+        assert!(w[1].eval(0.5e-9) < 1e-12);
+        assert!((w[1].eval(1.5e-9) - 1.2).abs() < 1e-12);
+        assert!(w[1].eval(2.5e-9) < 1e-12);
+    }
+
+    #[test]
+    fn slow_case_swaps_roles() {
+        let h = InputHistory::nor2_slow_case(1.2, 50e-12, 1e-9, 2e-9);
+        let w = h.waveforms();
+        // A starts low, B starts high.
+        assert!(w[0].eval(0.0) < 1e-12);
+        assert!((w[1].eval(0.0) - 1.2).abs() < 1e-12);
+        // Both end low.
+        assert!(w[0].eval(3e-9) < 1e-12);
+        assert!(w[1].eval(3e-9) < 1e-12);
+    }
+
+    #[test]
+    fn ramp_midpoint_is_halfway_through_transition() {
+        let h = InputHistory::nor2_fast_case(1.2, 100e-12, 1e-9, 2e-9);
+        let w = h.waveforms();
+        // B rising edge at 1 ns with 100 ps transition → 0.6 V at 1.05 ns.
+        assert!((w[1].eval(1.05e-9) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unchanged_pins_produce_flat_waveforms() {
+        let h = InputHistory::new(1.2, 50e-12, vec![true, false]).then_at(1e-9, vec![true, true]);
+        let w = h.waveforms();
+        assert_eq!(w[0].eval(0.0), w[0].eval(5e-9));
+    }
+
+    #[test]
+    fn simultaneous_switching_builder() {
+        let h = InputHistory::simultaneous(1.2, 80e-12, vec![false, false], vec![true, true], 2e-9);
+        let w = h.waveforms();
+        for wf in &w {
+            assert!(wf.eval(1.9e-9) < 1e-12);
+            assert!((wf.eval(2.5e-9) - 1.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_ramp_directions() {
+        let r = single_ramp(1.2, true, 1e-9, 50e-12);
+        assert_eq!(r.eval(0.0), 0.0);
+        assert_eq!(r.eval(2e-9), 1.2);
+        let f = single_ramp(1.2, false, 1e-9, 50e-12);
+        assert_eq!(f.eval(0.0), 1.2);
+        assert_eq!(f.eval(2e-9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing time order")]
+    fn out_of_order_events_panic() {
+        let _ = InputHistory::new(1.2, 50e-12, vec![false])
+            .then_at(2e-9, vec![true])
+            .then_at(1e-9, vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_event_panics() {
+        let _ = InputHistory::new(1.2, 50e-12, vec![false, true]).then_at(1e-9, vec![true]);
+    }
+}

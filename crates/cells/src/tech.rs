@@ -1,0 +1,122 @@
+//! Synthetic technology description.
+//!
+//! The paper characterizes a commercial 130 nm library at Vdd = 1.2 V. We cannot
+//! ship that library, so [`Technology::cmos_130nm`] defines a synthetic process
+//! with the same supply voltage and plausible 130 nm-class device parameters.
+//! The absolute currents differ from any real foundry process, but every effect
+//! the paper studies (stack-node charge storage, Miller injection, body-effect
+//! plateaus, load-dependent delay) is governed by ratios that this card
+//! preserves.
+
+use mcsm_spice::devices::mosfet::{MosfetKind, MosfetParams};
+use serde::{Deserialize, Serialize};
+
+/// A CMOS technology card: supply, device model cards and default geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Human-readable name.
+    pub name: String,
+    /// Supply voltage (volts).
+    pub vdd: f64,
+    /// N-channel model card.
+    pub nmos: MosfetParams,
+    /// P-channel model card.
+    pub pmos: MosfetParams,
+    /// Minimum (unit) NMOS width (meters).
+    pub unit_nmos_width: f64,
+    /// Minimum (unit) PMOS width (meters).
+    pub unit_pmos_width: f64,
+    /// Drawn channel length used by all logic devices (meters).
+    pub channel_length: f64,
+}
+
+impl Technology {
+    /// The synthetic 130 nm-like technology used throughout the reproduction
+    /// (Vdd = 1.2 V, |Vt| ≈ 0.35 V).
+    pub fn cmos_130nm() -> Self {
+        let nmos = MosfetParams {
+            kind: MosfetKind::Nmos,
+            vt0: 0.35,
+            n: 1.35,
+            k_prime: 300e-6,
+            lambda: 0.15,
+            gamma: 0.35,
+            phi: 0.8,
+            cox: 9e-3,
+            cgdo: 3.0e-10,
+            cgso: 3.0e-10,
+            cgbo: 1.0e-10,
+            cj: 8.0e-10,
+            thermal_voltage: 0.02585,
+        };
+        let pmos = MosfetParams {
+            kind: MosfetKind::Pmos,
+            vt0: 0.38,
+            k_prime: 120e-6,
+            gamma: 0.40,
+            ..nmos.clone()
+        };
+        Technology {
+            name: "synthetic-130nm".to_string(),
+            vdd: 1.2,
+            nmos,
+            pmos,
+            unit_nmos_width: 0.4e-6,
+            unit_pmos_width: 0.8e-6,
+            channel_length: 0.13e-6,
+        }
+    }
+
+    /// Thermal voltage of the process card (volts).
+    pub fn thermal_voltage(&self) -> f64 {
+        self.nmos.thermal_voltage
+    }
+
+    /// The half-supply level used for 50 % delay measurements (volts).
+    pub fn half_vdd(&self) -> f64 {
+        0.5 * self.vdd
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::cmos_130nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_technology_matches_paper_supply() {
+        let t = Technology::default();
+        assert!((t.vdd - 1.2).abs() < 1e-12);
+        assert_eq!(t.nmos.kind, MosfetKind::Nmos);
+        assert_eq!(t.pmos.kind, MosfetKind::Pmos);
+        assert!((t.half_vdd() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmos_is_weaker_per_width_than_nmos() {
+        let t = Technology::cmos_130nm();
+        assert!(t.pmos.k_prime < t.nmos.k_prime);
+        // ... which is why the unit PMOS is drawn wider.
+        assert!(t.unit_pmos_width > t.unit_nmos_width);
+    }
+
+    #[test]
+    fn geometry_is_130nm_class() {
+        let t = Technology::cmos_130nm();
+        assert!((t.channel_length - 0.13e-6).abs() < 1e-12);
+        assert!(t.unit_nmos_width > t.channel_length);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Technology::cmos_130nm();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Technology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

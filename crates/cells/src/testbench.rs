@@ -1,0 +1,316 @@
+//! Cell test benches: a cell, its supply, its input drivers and its load,
+//! assembled into one simulatable circuit.
+//!
+//! Every experiment in the paper boils down to "drive this cell with these input
+//! waveforms into this load and look at the output (and internal) waveforms".
+//! [`CellTestbench`] packages that setup so characterization, the figure
+//! binaries and the tests all build it the same way.
+
+use crate::cell::{CellPorts, CellTemplate};
+use crate::load::{CapacitiveLoad, FanoutLoad};
+use crate::stimuli::InputHistory;
+use crate::tech::Technology;
+use mcsm_spice::analysis::{transient, TranOptions, TranResult};
+use mcsm_spice::circuit::{Circuit, ElementId, NodeId};
+use mcsm_spice::error::SpiceError;
+use mcsm_spice::source::SourceWaveform;
+use serde::{Deserialize, Serialize};
+
+/// The load attached to the cell output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadSpec {
+    /// No explicit load (only the cell's own diffusion capacitance).
+    None,
+    /// A lumped capacitor to ground (farads).
+    Lumped(f64),
+    /// A fanout-of-N load of unit inverters.
+    Fanout(usize),
+}
+
+impl LoadSpec {
+    /// The lumped-capacitance equivalent of this load in the given technology
+    /// (used by CSM simulations that model the load as a single `C_L`).
+    pub fn equivalent_capacitance(&self, technology: &Technology) -> f64 {
+        match self {
+            LoadSpec::None => 0.0,
+            LoadSpec::Lumped(c) => *c,
+            LoadSpec::Fanout(n) => {
+                FanoutLoad::new(technology.clone(), (*n).max(1)).equivalent_capacitance()
+            }
+        }
+    }
+}
+
+/// A complete, simulatable test bench around one cell instance.
+#[derive(Debug, Clone)]
+pub struct CellTestbench {
+    circuit: Circuit,
+    ports: CellPorts,
+    input_sources: Vec<ElementId>,
+    vdd_source: ElementId,
+    technology: Technology,
+    output_name: String,
+    input_names: Vec<String>,
+    internal_names: Vec<String>,
+}
+
+impl CellTestbench {
+    /// Standard node name of the cell output in the bench.
+    pub const OUTPUT: &'static str = "out";
+
+    /// Builds a test bench: supply source, one voltage source per input
+    /// (initially 0 V DC), the cell, and the requested load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist-construction errors.
+    pub fn new(template: &CellTemplate, load: &LoadSpec) -> Result<Self, SpiceError> {
+        let technology = template.technology().clone();
+        let mut circuit = Circuit::new();
+        let vdd = circuit.node("vdd");
+        let out = circuit.node(Self::OUTPUT);
+        let kind = template.kind();
+        let input_names: Vec<String> = kind
+            .input_names()
+            .iter()
+            .map(|n| n.to_lowercase())
+            .collect();
+        let inputs: Vec<NodeId> = input_names.iter().map(|n| circuit.node(n)).collect();
+
+        let vdd_source =
+            circuit.add_vsource(vdd, Circuit::ground(), SourceWaveform::dc(technology.vdd))?;
+        let input_sources: Vec<ElementId> = inputs
+            .iter()
+            .map(|&n| circuit.add_vsource(n, Circuit::ground(), SourceWaveform::dc(0.0)))
+            .collect::<Result<_, _>>()?;
+
+        let ports = template.instantiate(&mut circuit, "dut", &inputs, out, vdd)?;
+
+        match load {
+            LoadSpec::None => {}
+            LoadSpec::Lumped(c) => CapacitiveLoad::new(*c).attach(&mut circuit, out)?,
+            LoadSpec::Fanout(n) => {
+                FanoutLoad::new(technology.clone(), *n).attach(&mut circuit, "load", out, vdd)?;
+            }
+        }
+
+        let internal_names = ports
+            .internal
+            .iter()
+            .map(|&n| circuit.node_name(n).map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(CellTestbench {
+            circuit,
+            ports,
+            input_sources,
+            vdd_source,
+            technology,
+            output_name: Self::OUTPUT.to_string(),
+            input_names,
+            internal_names,
+        })
+    }
+
+    /// The underlying circuit (read-only).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Mutable access to the underlying circuit, for callers that need to attach
+    /// extra elements (e.g. a coupling capacitor for a crosstalk experiment).
+    pub fn circuit_mut(&mut self) -> &mut Circuit {
+        &mut self.circuit
+    }
+
+    /// The cell ports (inputs, output, supply, internal nodes).
+    pub fn ports(&self) -> &CellPorts {
+        &self.ports
+    }
+
+    /// The technology the bench was built in.
+    pub fn technology(&self) -> &Technology {
+        &self.technology
+    }
+
+    /// Node names of the inputs, in pin order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Node name of the output.
+    pub fn output_name(&self) -> &str {
+        &self.output_name
+    }
+
+    /// Node names of the internal (stack) nodes.
+    pub fn internal_names(&self) -> &[String] {
+        &self.internal_names
+    }
+
+    /// The voltage-source element driving a given input pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidParameter`] if the pin index is out of range.
+    pub fn input_source(&self, pin: usize) -> Result<ElementId, SpiceError> {
+        self.input_sources.get(pin).copied().ok_or_else(|| {
+            SpiceError::InvalidParameter(format!(
+                "input pin {pin} out of range (cell has {})",
+                self.input_sources.len()
+            ))
+        })
+    }
+
+    /// The supply voltage source.
+    pub fn vdd_source(&self) -> ElementId {
+        self.vdd_source
+    }
+
+    /// Sets the waveform driving one input pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pin index is out of range.
+    pub fn set_input_waveform(
+        &mut self,
+        pin: usize,
+        waveform: SourceWaveform,
+    ) -> Result<(), SpiceError> {
+        let id = self.input_source(pin)?;
+        self.circuit.set_vsource_waveform(id, waveform)
+    }
+
+    /// Applies an [`InputHistory`] to the cell inputs (one waveform per pin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidParameter`] if the history arity does not
+    /// match the cell's input count.
+    pub fn apply_history(&mut self, history: &InputHistory) -> Result<(), SpiceError> {
+        if history.input_count() != self.input_sources.len() {
+            return Err(SpiceError::InvalidParameter(format!(
+                "history drives {} pins but the cell has {}",
+                history.input_count(),
+                self.input_sources.len()
+            )));
+        }
+        for (pin, waveform) in history.waveforms().into_iter().enumerate() {
+            self.set_input_waveform(pin, waveform)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a transient analysis of the bench.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors.
+    pub fn run_transient(&self, options: &TranOptions) -> Result<TranResult, SpiceError> {
+        transient(&self.circuit, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use mcsm_spice::waveform::propagation_delay;
+
+    fn nor2_bench(load: LoadSpec) -> CellTestbench {
+        let tech = Technology::cmos_130nm();
+        let template = CellTemplate::new(CellKind::Nor2, tech);
+        CellTestbench::new(&template, &load).unwrap()
+    }
+
+    #[test]
+    fn bench_exposes_expected_names() {
+        let tb = nor2_bench(LoadSpec::Fanout(2));
+        assert_eq!(tb.input_names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(tb.output_name(), "out");
+        assert_eq!(tb.internal_names().len(), 1);
+        assert!(tb.internal_names()[0].contains("n1"));
+        assert!(tb.input_source(0).is_ok());
+        assert!(tb.input_source(5).is_err());
+    }
+
+    #[test]
+    fn load_spec_equivalent_capacitance() {
+        let tech = Technology::cmos_130nm();
+        assert_eq!(LoadSpec::None.equivalent_capacitance(&tech), 0.0);
+        assert_eq!(LoadSpec::Lumped(3e-15).equivalent_capacitance(&tech), 3e-15);
+        assert!(LoadSpec::Fanout(2).equivalent_capacitance(&tech) > 0.0);
+    }
+
+    #[test]
+    fn nor2_switches_when_both_inputs_fall() {
+        let mut tb = nor2_bench(LoadSpec::Lumped(2e-15));
+        let vdd = tb.technology().vdd;
+        // Both inputs high → output low; both fall at 1 ns → output rises.
+        let history = InputHistory::simultaneous(
+            vdd,
+            50e-12,
+            vec![true, true],
+            vec![false, false],
+            1e-9,
+        );
+        tb.apply_history(&history).unwrap();
+        let result = tb.run_transient(&TranOptions::new(3e-9, 2e-12)).unwrap();
+        let out = result.node("out").unwrap();
+        assert!(out.value_at(0.5e-9) < 0.1 * vdd);
+        assert!(out.final_value() > 0.9 * vdd);
+        let a = result.node("a").unwrap();
+        let d = propagation_delay(a, out, vdd, false, true).unwrap();
+        assert!(d > 0.0 && d < 1e-9, "delay = {d}");
+    }
+
+    #[test]
+    fn internal_node_follows_paper_history_analysis() {
+        // Fast case: with (A,B) = (1,0) the internal node sits at Vdd.
+        let mut tb = nor2_bench(LoadSpec::Fanout(1));
+        let vdd = tb.technology().vdd;
+        let fast = InputHistory::nor2_fast_case(vdd, 50e-12, 1e-9, 2e-9);
+        tb.apply_history(&fast).unwrap();
+        let result = tb.run_transient(&TranOptions::new(2.0e-9, 2e-12)).unwrap();
+        let n1 = result.node(&tb.internal_names()[0]).unwrap();
+        // Just before the first event the internal node is at ~Vdd.
+        assert!(
+            n1.value_at(0.95e-9) > 0.9 * vdd,
+            "fast case internal node = {}",
+            n1.value_at(0.95e-9)
+        );
+
+        // Slow case: with (A,B) = (0,1) the internal node settles near |Vt,p|.
+        let mut tb2 = nor2_bench(LoadSpec::Fanout(1));
+        let slow = InputHistory::nor2_slow_case(vdd, 50e-12, 1e-9, 2e-9);
+        tb2.apply_history(&slow).unwrap();
+        let result2 = tb2.run_transient(&TranOptions::new(2.0e-9, 2e-12)).unwrap();
+        let n1_slow = result2.node(&tb2.internal_names()[0]).unwrap();
+        let v_before = n1_slow.value_at(0.95e-9);
+        assert!(
+            v_before < 0.6 * vdd,
+            "slow case internal node should sit well below Vdd, got {v_before}"
+        );
+    }
+
+    #[test]
+    fn history_arity_mismatch_is_rejected() {
+        let mut tb = nor2_bench(LoadSpec::None);
+        let history = InputHistory::new(1.2, 50e-12, vec![true]);
+        assert!(tb.apply_history(&history).is_err());
+    }
+
+    #[test]
+    fn inverter_bench_round_trip() {
+        let tech = Technology::cmos_130nm();
+        let template = CellTemplate::new(CellKind::Inverter, tech);
+        let mut tb = CellTestbench::new(&template, &LoadSpec::Fanout(2)).unwrap();
+        let vdd = tb.technology().vdd;
+        tb.set_input_waveform(0, SourceWaveform::rising_ramp(vdd, 0.5e-9, 60e-12))
+            .unwrap();
+        let result = tb.run_transient(&TranOptions::new(2e-9, 2e-12)).unwrap();
+        let out = result.node("out").unwrap();
+        assert!(out.value_at(0.0) > 0.9 * vdd);
+        assert!(out.final_value() < 0.1 * vdd);
+    }
+}

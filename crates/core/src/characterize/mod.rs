@@ -1,0 +1,16 @@
+//! Model characterization (Section 3.3 of the paper).
+//!
+//! Characterization turns a transistor-level [`CellTemplate`] into a
+//! current-source model by driving a [`rig::Rig`] — the cell with every probed
+//! pin forced by its own voltage source — through DC sweeps (current tables) and
+//! ramp probes (capacitance tables).
+//!
+//! [`CellTemplate`]: mcsm_cells::cell::CellTemplate
+
+pub mod flows;
+pub mod rig;
+pub mod tables;
+
+pub use flows::{characterize_mcsm, characterize_mis_baseline, characterize_sis};
+pub use rig::{Rig, RigPin};
+pub use tables::{capacitance_tables, current_tables, input_pin_capacitance, CapacitanceTables};

@@ -1,0 +1,337 @@
+//! The characterization rig: a cell with voltage sources on every table axis.
+//!
+//! Characterization (Section 3.3 of the paper) forces DC or ramp voltages onto
+//! the cell's pins — inputs, output, and (for the complete MCSM) the internal
+//! stack node — and measures the currents delivered by those sources. A [`Rig`]
+//! owns that circuit together with the bookkeeping needed to read the currents
+//! with consistent sign conventions, and implements the two probing primitives:
+//!
+//! * [`Rig::dc_point`] — a DC solve at one grid point, returning the current each
+//!   pin injects **into the cell** (the table convention for `I_o` and `I_N`);
+//! * [`Rig::probe_charges`] — a short ramp on one pin with all others held, which
+//!   integrates the *capacitive* charge seen at every pin (total transient charge
+//!   minus the conduction charge predicted by DC solves along the ramp). Dividing
+//!   by the ramp amplitude yields the capacitance tables.
+
+use crate::error::CsmError;
+use mcsm_spice::analysis::dc::{operating_point_with_guess, DcOptions, DcSolution};
+use mcsm_spice::analysis::tran::{transient, TranOptions};
+use mcsm_spice::circuit::{Circuit, ElementId, NodeId};
+use mcsm_spice::source::SourceWaveform;
+
+/// One probed pin of the rig: its name, forcing source and node.
+#[derive(Debug, Clone)]
+pub struct RigPin {
+    /// Human-readable name (`"a"`, `"b"`, `"n"`, `"out"`).
+    pub name: String,
+    /// The voltage source forcing this pin.
+    pub source: ElementId,
+    /// The node being forced.
+    pub node: NodeId,
+}
+
+/// A characterization circuit: the cell under test with every probed pin forced
+/// by its own voltage source.
+#[derive(Debug, Clone)]
+pub struct Rig {
+    circuit: Circuit,
+    pins: Vec<RigPin>,
+    vdd: f64,
+    dc_options: DcOptions,
+}
+
+impl Rig {
+    /// Wraps an already-built circuit. `pins` lists the probed pins in table-axis
+    /// order; every listed source must belong to `circuit`.
+    pub(crate) fn new(circuit: Circuit, pins: Vec<RigPin>, vdd: f64) -> Self {
+        Rig {
+            circuit,
+            pins,
+            vdd,
+            dc_options: DcOptions::default(),
+        }
+    }
+
+    /// The probed pins in axis order.
+    pub fn pins(&self) -> &[RigPin] {
+        &self.pins
+    }
+
+    /// Number of probed pins (table dimensionality).
+    pub fn pin_count(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Supply voltage of the rig.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Read-only access to the underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    fn set_dc(&mut self, voltages: &[f64]) -> Result<(), CsmError> {
+        if voltages.len() != self.pins.len() {
+            return Err(CsmError::InvalidParameter(format!(
+                "rig has {} pins but {} voltages were given",
+                self.pins.len(),
+                voltages.len()
+            )));
+        }
+        for (pin, &v) in self.pins.iter().zip(voltages) {
+            self.circuit
+                .set_vsource_waveform(pin.source, SourceWaveform::dc(v))?;
+        }
+        Ok(())
+    }
+
+    /// Solves the DC operating point with the pins forced to `voltages`
+    /// (axis order), optionally warm-starting from a previous solution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC convergence failures.
+    pub fn dc_point(
+        &mut self,
+        voltages: &[f64],
+        guess: Option<&[f64]>,
+    ) -> Result<DcSolution, CsmError> {
+        self.set_dc(voltages)?;
+        Ok(operating_point_with_guess(
+            &self.circuit,
+            &self.dc_options,
+            guess,
+        )?)
+    }
+
+    /// Current the cell draws **from the node into the cell** at the given pin
+    /// for a DC solution (amps). This is the sign convention of the paper's
+    /// `I_o` and `I_N`: a positive value discharges the node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pin index is out of range.
+    pub fn current_into_cell(
+        &self,
+        solution: &DcSolution,
+        pin: usize,
+    ) -> Result<f64, CsmError> {
+        let pin = self.pins.get(pin).ok_or_else(|| {
+            CsmError::InvalidParameter(format!("pin index {pin} out of range"))
+        })?;
+        // The source's branch current flows from the node into the source; the
+        // current into the cell is everything else leaving the node, which by KCL
+        // is the negative of the branch current.
+        Ok(-solution.vsource_current(pin.source)?)
+    }
+
+    /// Ramps one pin by `delta_v` over `ramp_time` while all others stay at their
+    /// base values, and returns for every pin the **capacitive** charge that
+    /// flowed out of that pin's node into its source (coulombs).
+    ///
+    /// The conduction component is removed by subtracting, at each transient
+    /// sample, the DC current obtained from an operating-point solve at the
+    /// instantaneous forced voltages (all probed nodes are forced, so that DC
+    /// solve is exact).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures and invalid arguments.
+    pub fn probe_charges(
+        &mut self,
+        base: &[f64],
+        ramped: usize,
+        delta_v: f64,
+        ramp_time: f64,
+        dt: f64,
+    ) -> Result<Vec<f64>, CsmError> {
+        if ramped >= self.pins.len() {
+            return Err(CsmError::InvalidParameter(format!(
+                "ramped pin index {ramped} out of range"
+            )));
+        }
+        if !(delta_v.abs() > 0.0) || !(ramp_time > 0.0) || !(dt > 0.0) {
+            return Err(CsmError::InvalidParameter(
+                "probe needs non-zero delta_v and positive ramp_time / dt".into(),
+            ));
+        }
+        self.set_dc(base)?;
+        let pin = &self.pins[ramped];
+        self.circuit.set_vsource_waveform(
+            pin.source,
+            SourceWaveform::SaturatedRamp {
+                start: base[ramped],
+                end: base[ramped] + delta_v,
+                t_start: 0.0,
+                t_transition: ramp_time,
+            },
+        )?;
+
+        let mut options = TranOptions::new(ramp_time, dt);
+        options.dc = self.dc_options.clone();
+        let result = transient(&self.circuit, &options)?;
+
+        // Time base of the transient (identical for every recorded signal).
+        let times = result
+            .vsource_current(self.pins[0].source)?
+            .times()
+            .to_vec();
+
+        // Conduction currents along the (known, fully forced) voltage trajectory.
+        let mut conduction: Vec<Vec<f64>> = vec![Vec::with_capacity(times.len()); self.pins.len()];
+        let mut guess: Option<Vec<f64>> = None;
+        for &t in &times {
+            let mut v = base.to_vec();
+            let ramp_fraction = (t / ramp_time).clamp(0.0, 1.0);
+            v[ramped] = base[ramped] + delta_v * ramp_fraction;
+            self.set_dc(&v)?;
+            let sol = operating_point_with_guess(
+                &self.circuit,
+                &self.dc_options,
+                guess.as_deref(),
+            )?;
+            for (k, pin) in self.pins.iter().enumerate() {
+                conduction[k].push(sol.vsource_current(pin.source)?);
+            }
+            guess = Some(sol.raw_unknowns().to_vec());
+        }
+
+        // Integrate (transient − conduction) per pin with the trapezoidal rule.
+        let mut charges = vec![0.0; self.pins.len()];
+        for (k, pin) in self.pins.iter().enumerate() {
+            let wave = result.vsource_current(pin.source)?;
+            let values = wave.values();
+            let mut q = 0.0;
+            for i in 1..times.len() {
+                let dt_i = times[i] - times[i - 1];
+                let f0 = values[i - 1] - conduction[k][i - 1];
+                let f1 = values[i] - conduction[k][i];
+                q += 0.5 * (f0 + f1) * dt_i;
+            }
+            charges[k] = q;
+        }
+
+        // Restore DC waveforms so the rig can be reused.
+        self.set_dc(base)?;
+        Ok(charges)
+    }
+
+    /// Capacitance seen looking into the ramped pin itself: `-Q/ΔV` of the ramped
+    /// pin's own charge (the source must *supply* charge to raise the node, so the
+    /// measured into-source charge is negative for a positive ramp).
+    pub fn self_capacitance(charges: &[f64], ramped: usize, delta_v: f64) -> f64 {
+        -charges[ramped] / delta_v
+    }
+
+    /// Coupling capacitance from the ramped pin into another (held) pin:
+    /// `+Q/ΔV` of the held pin's charge.
+    pub fn coupling_capacitance(charges: &[f64], held: usize, delta_v: f64) -> f64 {
+        charges[held] / delta_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsm_spice::circuit::Circuit;
+    use mcsm_spice::source::SourceWaveform;
+
+    /// Builds a rig around a known linear network:
+    /// node X — 2 fF to ground, 1 fF coupling to node Y; node Y — 3 fF to ground,
+    /// plus a 10 kΩ resistor from X to ground to provide a conduction component.
+    fn linear_rig() -> Rig {
+        let mut c = Circuit::new();
+        let x = c.node("x");
+        let y = c.node("y");
+        let vx = c
+            .add_vsource(x, Circuit::ground(), SourceWaveform::dc(0.0))
+            .unwrap();
+        let vy = c
+            .add_vsource(y, Circuit::ground(), SourceWaveform::dc(0.0))
+            .unwrap();
+        c.add_capacitor(x, Circuit::ground(), 2e-15).unwrap();
+        c.add_capacitor(x, y, 1e-15).unwrap();
+        c.add_capacitor(y, Circuit::ground(), 3e-15).unwrap();
+        c.add_resistor(x, Circuit::ground(), 10_000.0).unwrap();
+        Rig::new(
+            c,
+            vec![
+                RigPin {
+                    name: "x".into(),
+                    source: vx,
+                    node: x,
+                },
+                RigPin {
+                    name: "y".into(),
+                    source: vy,
+                    node: y,
+                },
+            ],
+            1.2,
+        )
+    }
+
+    #[test]
+    fn dc_point_reports_conduction_current() {
+        let mut rig = linear_rig();
+        let sol = rig.dc_point(&[1.0, 0.0], None).unwrap();
+        // 1 V across 10 kΩ → 100 µA flows from node X into the resistor, i.e.
+        // into the "cell".
+        let i = rig.current_into_cell(&sol, 0).unwrap();
+        assert!((i - 1.0e-4).abs() < 1e-9, "i = {i}");
+        // Pin Y draws nothing in DC.
+        let iy = rig.current_into_cell(&sol, 1).unwrap();
+        assert!(iy.abs() < 1e-12);
+        assert!(rig.current_into_cell(&sol, 7).is_err());
+    }
+
+    #[test]
+    fn probe_recovers_known_capacitances() {
+        let mut rig = linear_rig();
+        let dv = 0.1;
+        let charges = rig
+            .probe_charges(&[0.5, 0.0], 0, dv, 20e-12, 0.5e-12)
+            .unwrap();
+        // Self capacitance at X: 2 fF to ground + 1 fF to (held) Y = 3 fF.
+        let c_self = Rig::self_capacitance(&charges, 0, dv);
+        assert!(
+            (c_self - 3e-15).abs() < 0.15e-15,
+            "self capacitance {c_self}"
+        );
+        // Coupling into Y: 1 fF.
+        let c_couple = Rig::coupling_capacitance(&charges, 1, dv);
+        assert!(
+            (c_couple - 1e-15).abs() < 0.1e-15,
+            "coupling capacitance {c_couple}"
+        );
+
+        // Ramping Y instead: self capacitance 4 fF, coupling into X 1 fF.
+        let charges = rig
+            .probe_charges(&[0.5, 0.0], 1, dv, 20e-12, 0.5e-12)
+            .unwrap();
+        let c_self_y = Rig::self_capacitance(&charges, 1, dv);
+        let c_into_x = Rig::coupling_capacitance(&charges, 0, dv);
+        assert!((c_self_y - 4e-15).abs() < 0.2e-15, "c_self_y = {c_self_y}");
+        assert!((c_into_x - 1e-15).abs() < 0.1e-15, "c_into_x = {c_into_x}");
+    }
+
+    #[test]
+    fn probe_validates_arguments() {
+        let mut rig = linear_rig();
+        assert!(rig.probe_charges(&[0.0, 0.0], 5, 0.1, 1e-12, 1e-13).is_err());
+        assert!(rig.probe_charges(&[0.0, 0.0], 0, 0.0, 1e-12, 1e-13).is_err());
+        assert!(rig.probe_charges(&[0.0], 0, 0.1, 1e-12, 1e-13).is_err());
+        assert!(rig.dc_point(&[0.0], None).is_err());
+    }
+
+    #[test]
+    fn rig_accessors() {
+        let rig = linear_rig();
+        assert_eq!(rig.pin_count(), 2);
+        assert_eq!(rig.pins()[0].name, "x");
+        assert!((rig.vdd() - 1.2).abs() < 1e-12);
+        assert!(rig.circuit().node_count() >= 3);
+    }
+}

@@ -1,0 +1,296 @@
+//! Grid sweeps that fill current and capacitance tables from a [`Rig`].
+//!
+//! These helpers are shared by the MCSM, baseline-MIS and SIS characterization
+//! flows; only the rig construction (which pins exist) differs between them.
+
+use super::rig::Rig;
+use crate::config::CharacterizationConfig;
+use crate::error::CsmError;
+use mcsm_num::grid::Axis;
+use mcsm_num::lut::LutNd;
+
+/// Iterates a row-major grid over `axes`, invoking `f` with the per-axis
+/// coordinates for every point, and returns one flat value vector per requested
+/// output (the closure returns a small vector, one entry per output).
+fn sweep_grid<F>(axes: &[Axis], outputs: usize, mut f: F) -> Result<Vec<Vec<f64>>, CsmError>
+where
+    F: FnMut(&[f64]) -> Result<Vec<f64>, CsmError>,
+{
+    let dims: Vec<usize> = axes.iter().map(Axis::len).collect();
+    let total: usize = dims.iter().product();
+    let mut values: Vec<Vec<f64>> = vec![Vec::with_capacity(total); outputs];
+    let mut coord = vec![0.0; axes.len()];
+    let mut idx = vec![0usize; axes.len()];
+    for flat in 0..total {
+        let mut rem = flat;
+        for d in (0..dims.len()).rev() {
+            idx[d] = rem % dims[d];
+            rem /= dims[d];
+        }
+        for d in 0..dims.len() {
+            coord[d] = axes[d].points()[idx[d]];
+        }
+        let out = f(&coord)?;
+        if out.len() != outputs {
+            return Err(CsmError::InvalidParameter(format!(
+                "sweep closure returned {} values, expected {outputs}",
+                out.len()
+            )));
+        }
+        for (store, v) in values.iter_mut().zip(out) {
+            store.push(v);
+        }
+    }
+    Ok(values)
+}
+
+/// Sweeps DC operating points over the full pin grid and returns one current
+/// table per entry of `current_pins` (the current flowing from that pin's node
+/// into the cell, the `I_o` / `I_N` convention).
+///
+/// # Errors
+///
+/// Propagates DC convergence failures.
+pub fn current_tables(
+    rig: &mut Rig,
+    axes: &[Axis],
+    current_pins: &[usize],
+) -> Result<Vec<LutNd>, CsmError> {
+    if axes.len() != rig.pin_count() {
+        return Err(CsmError::InvalidParameter(format!(
+            "rig has {} pins but {} axes were given",
+            rig.pin_count(),
+            axes.len()
+        )));
+    }
+    let mut guess: Option<Vec<f64>> = None;
+    let values = sweep_grid(axes, current_pins.len(), |coords| {
+        let sol = rig.dc_point(coords, guess.as_deref())?;
+        guess = Some(sol.raw_unknowns().to_vec());
+        current_pins
+            .iter()
+            .map(|&p| rig.current_into_cell(&sol, p))
+            .collect()
+    })?;
+    values
+        .into_iter()
+        .map(|v| LutNd::new(axes.to_vec(), v).map_err(CsmError::from))
+        .collect()
+}
+
+/// Capacitance tables extracted by ramp probing over the full pin grid.
+#[derive(Debug, Clone)]
+pub struct CapacitanceTables {
+    /// Miller (coupling) capacitance from each listed input pin into the output,
+    /// in the same order as the `input_pins` argument.
+    pub miller_to_output: Vec<LutNd>,
+    /// Total capacitance seen at the output node (includes the Miller terms).
+    pub output_total: LutNd,
+    /// Capacitance seen at the internal node, when an internal pin exists.
+    pub internal: Option<LutNd>,
+}
+
+/// Probes the capacitances of the cell over the full pin grid.
+///
+/// For every grid point and every probe slew in the configuration this ramps, in
+/// turn, each input pin (measuring the coupling into the output), the output pin
+/// (measuring the total output capacitance) and the internal pin if present
+/// (measuring its self-capacitance); results are averaged over the slews, as the
+/// paper prescribes.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn capacitance_tables(
+    rig: &mut Rig,
+    axes: &[Axis],
+    input_pins: &[usize],
+    output_pin: usize,
+    internal_pin: Option<usize>,
+    config: &CharacterizationConfig,
+) -> Result<CapacitanceTables, CsmError> {
+    if axes.len() != rig.pin_count() {
+        return Err(CsmError::InvalidParameter(format!(
+            "rig has {} pins but {} axes were given",
+            rig.pin_count(),
+            axes.len()
+        )));
+    }
+    let n_outputs = input_pins.len() + 1 + usize::from(internal_pin.is_some());
+    let dv = config.probe_delta_v;
+
+    let values = sweep_grid(axes, n_outputs, |coords| {
+        let mut miller = vec![0.0; input_pins.len()];
+        let mut out_total = 0.0;
+        let mut internal_self = 0.0;
+        for &ramp_time in &config.probe_ramp_times {
+            for (k, &pin) in input_pins.iter().enumerate() {
+                let charges = rig.probe_charges(coords, pin, dv, ramp_time, config.probe_dt)?;
+                miller[k] += Rig::coupling_capacitance(&charges, output_pin, dv);
+            }
+            let charges = rig.probe_charges(coords, output_pin, dv, ramp_time, config.probe_dt)?;
+            out_total += Rig::self_capacitance(&charges, output_pin, dv);
+            if let Some(n_pin) = internal_pin {
+                let charges = rig.probe_charges(coords, n_pin, dv, ramp_time, config.probe_dt)?;
+                internal_self += Rig::self_capacitance(&charges, n_pin, dv);
+            }
+        }
+        let slews = config.probe_ramp_times.len() as f64;
+        let mut out: Vec<f64> = miller.iter().map(|m| m / slews).collect();
+        out.push(out_total / slews);
+        if internal_pin.is_some() {
+            out.push(internal_self / slews);
+        }
+        Ok(out)
+    })?;
+
+    let mut iter = values.into_iter();
+    let miller_to_output: Vec<LutNd> = (0..input_pins.len())
+        .map(|_| {
+            LutNd::new(axes.to_vec(), iter.next().expect("sweep output count checked"))
+                .map_err(CsmError::from)
+        })
+        .collect::<Result<_, _>>()?;
+    let output_total = LutNd::new(axes.to_vec(), iter.next().expect("output total present"))?;
+    let internal = if internal_pin.is_some() {
+        Some(LutNd::new(
+            axes.to_vec(),
+            iter.next().expect("internal table present"),
+        )?)
+    } else {
+        None
+    };
+
+    Ok(CapacitanceTables {
+        miller_to_output,
+        output_total,
+        internal,
+    })
+}
+
+/// Characterizes the total pin capacitance of one input as a 1-D table over its
+/// own voltage, holding every other pin at the given values (paper Eq. 3: in
+/// practice only the input-voltage dependence is kept).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn input_pin_capacitance(
+    rig: &mut Rig,
+    axis: &Axis,
+    pin: usize,
+    held: &[f64],
+    config: &CharacterizationConfig,
+) -> Result<LutNd, CsmError> {
+    if held.len() != rig.pin_count() {
+        return Err(CsmError::InvalidParameter(format!(
+            "held voltages must cover all {} pins",
+            rig.pin_count()
+        )));
+    }
+    let dv = config.probe_delta_v;
+    let mut values = Vec::with_capacity(axis.len());
+    for &v_in in axis.points() {
+        let mut base = held.to_vec();
+        base[pin] = v_in;
+        let mut acc = 0.0;
+        for &ramp_time in &config.probe_ramp_times {
+            let charges = rig.probe_charges(&base, pin, dv, ramp_time, config.probe_dt)?;
+            acc += Rig::self_capacitance(&charges, pin, dv);
+        }
+        values.push(acc / config.probe_ramp_times.len() as f64);
+    }
+    LutNd::new(vec![axis.clone()], values).map_err(CsmError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::rig::RigPin;
+    use mcsm_spice::circuit::Circuit;
+    use mcsm_spice::source::SourceWaveform;
+
+    /// A two-pin linear network with known values: 10 kΩ from pin 0 to ground,
+    /// 2 fF at pin 0, 1 fF coupling, 3 fF at pin 1 (treated as the "output").
+    fn linear_rig() -> Rig {
+        let mut c = Circuit::new();
+        let x = c.node("x");
+        let y = c.node("y");
+        let vx = c
+            .add_vsource(x, Circuit::ground(), SourceWaveform::dc(0.0))
+            .unwrap();
+        let vy = c
+            .add_vsource(y, Circuit::ground(), SourceWaveform::dc(0.0))
+            .unwrap();
+        c.add_resistor(x, Circuit::ground(), 10_000.0).unwrap();
+        c.add_capacitor(x, Circuit::ground(), 2e-15).unwrap();
+        c.add_capacitor(x, y, 1e-15).unwrap();
+        c.add_capacitor(y, Circuit::ground(), 3e-15).unwrap();
+        Rig::new(
+            c,
+            vec![
+                RigPin {
+                    name: "x".into(),
+                    source: vx,
+                    node: x,
+                },
+                RigPin {
+                    name: "y".into(),
+                    source: vy,
+                    node: y,
+                },
+            ],
+            1.2,
+        )
+    }
+
+    fn axes2() -> Vec<Axis> {
+        vec![
+            Axis::uniform(0.0, 1.2, 3).unwrap(),
+            Axis::uniform(0.0, 1.2, 3).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn current_tables_capture_the_resistor() {
+        let mut rig = linear_rig();
+        let axes = axes2();
+        let tables = current_tables(&mut rig, &axes, &[0, 1]).unwrap();
+        assert_eq!(tables.len(), 2);
+        // Current into the "cell" at pin x is V/10k, independent of pin y.
+        let i = tables[0].eval(&[1.0, 0.3]).unwrap();
+        assert!((i - 1e-4).abs() < 1e-9);
+        // Pin y draws (almost) nothing in DC.
+        let iy = tables[1].eval(&[1.0, 0.3]).unwrap();
+        assert!(iy.abs() < 1e-9);
+        // Axis count mismatch is rejected.
+        assert!(current_tables(&mut rig, &axes[..1], &[0]).is_err());
+    }
+
+    #[test]
+    fn capacitance_tables_recover_linear_network() {
+        let mut rig = linear_rig();
+        let axes = axes2();
+        let cfg = CharacterizationConfig::coarse();
+        // Treat pin 0 as the single "input" and pin 1 as the "output".
+        let caps = capacitance_tables(&mut rig, &axes, &[0], 1, None, &cfg).unwrap();
+        let cm = caps.miller_to_output[0].eval(&[0.6, 0.6]).unwrap();
+        let co_total = caps.output_total.eval(&[0.6, 0.6]).unwrap();
+        assert!((cm - 1e-15).abs() < 0.15e-15, "cm = {cm}");
+        assert!((co_total - 4e-15).abs() < 0.3e-15, "co_total = {co_total}");
+        assert!(caps.internal.is_none());
+    }
+
+    #[test]
+    fn input_pin_capacitance_is_flat_for_linear_network() {
+        let mut rig = linear_rig();
+        let axis = Axis::uniform(0.0, 1.2, 3).unwrap();
+        let cfg = CharacterizationConfig::coarse();
+        let table = input_pin_capacitance(&mut rig, &axis, 0, &[0.0, 0.6], &cfg).unwrap();
+        for &v in axis.points() {
+            let c = table.eval(&[v]).unwrap();
+            assert!((c - 3e-15).abs() < 0.3e-15, "c({v}) = {c}");
+        }
+        assert!(input_pin_capacitance(&mut rig, &axis, 0, &[0.0], &cfg).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Characterization configuration.
+//!
+//! The paper sweeps every table axis from `-Δv` to `Vdd + Δv` (Section 3.3) and
+//! averages the capacitance tables over several input-ramp slopes. The grid
+//! resolutions here trade characterization time against table accuracy; the
+//! defaults are sized so a full NOR2 characterization runs in seconds in release
+//! builds, while tests use [`CharacterizationConfig::coarse`].
+
+use serde::{Deserialize, Serialize};
+
+/// Controls for table grids and characterization stimuli.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationConfig {
+    /// Number of grid points per voltage axis for the current tables
+    /// (`I_o`, `I_N`).
+    pub current_grid_points: usize,
+    /// Number of grid points per voltage axis for the capacitance tables
+    /// (`C_mA`, `C_mB`, `C_o`, `C_N`).
+    pub capacitance_grid_points: usize,
+    /// Voltage margin Δv added below 0 and above Vdd on every axis (volts).
+    pub voltage_margin: f64,
+    /// Voltage step used by the capacitance-probing ramps (volts).
+    pub probe_delta_v: f64,
+    /// Ramp durations used for capacitance probing; the extracted values are
+    /// averaged over these slews, as in the paper (seconds).
+    pub probe_ramp_times: Vec<f64>,
+    /// Time step used by the probing transients (seconds).
+    pub probe_dt: f64,
+    /// Number of grid points for the 1-D input pin-capacitance tables.
+    pub input_cap_grid_points: usize,
+}
+
+impl CharacterizationConfig {
+    /// Default accuracy/speed trade-off used by examples and benches.
+    pub fn standard() -> Self {
+        CharacterizationConfig {
+            current_grid_points: 9,
+            capacitance_grid_points: 5,
+            voltage_margin: 0.1,
+            probe_delta_v: 0.1,
+            probe_ramp_times: vec![20e-12, 40e-12],
+            probe_dt: 1e-12,
+            input_cap_grid_points: 7,
+        }
+    }
+
+    /// Very coarse settings for fast unit tests.
+    pub fn coarse() -> Self {
+        CharacterizationConfig {
+            current_grid_points: 5,
+            capacitance_grid_points: 3,
+            voltage_margin: 0.1,
+            probe_delta_v: 0.1,
+            probe_ramp_times: vec![20e-12],
+            probe_dt: 2e-12,
+            input_cap_grid_points: 3,
+        }
+    }
+
+    /// Finer grids for accuracy studies (slower).
+    pub fn fine() -> Self {
+        CharacterizationConfig {
+            current_grid_points: 13,
+            capacitance_grid_points: 7,
+            voltage_margin: 0.1,
+            probe_delta_v: 0.08,
+            probe_ramp_times: vec![15e-12, 30e-12, 60e-12],
+            probe_dt: 0.5e-12,
+            input_cap_grid_points: 9,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.current_grid_points < 2 {
+            return Err("current_grid_points must be at least 2".into());
+        }
+        if self.capacitance_grid_points < 2 {
+            return Err("capacitance_grid_points must be at least 2".into());
+        }
+        if self.input_cap_grid_points < 2 {
+            return Err("input_cap_grid_points must be at least 2".into());
+        }
+        if !(self.voltage_margin >= 0.0) {
+            return Err("voltage_margin must be non-negative".into());
+        }
+        if !(self.probe_delta_v > 0.0) {
+            return Err("probe_delta_v must be positive".into());
+        }
+        if self.probe_ramp_times.is_empty() || self.probe_ramp_times.iter().any(|t| *t <= 0.0) {
+            return Err("probe_ramp_times must be non-empty and positive".into());
+        }
+        if !(self.probe_dt > 0.0) {
+            return Err("probe_dt must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> Self {
+        CharacterizationConfig::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(CharacterizationConfig::standard().validate().is_ok());
+        assert!(CharacterizationConfig::coarse().validate().is_ok());
+        assert!(CharacterizationConfig::fine().validate().is_ok());
+        assert_eq!(
+            CharacterizationConfig::default(),
+            CharacterizationConfig::standard()
+        );
+    }
+
+    #[test]
+    fn coarse_is_smaller_than_fine() {
+        let c = CharacterizationConfig::coarse();
+        let f = CharacterizationConfig::fine();
+        assert!(c.current_grid_points < f.current_grid_points);
+        assert!(c.capacitance_grid_points < f.capacitance_grid_points);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut cfg = CharacterizationConfig::standard();
+        cfg.current_grid_points = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CharacterizationConfig::standard();
+        cfg.capacitance_grid_points = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CharacterizationConfig::standard();
+        cfg.probe_delta_v = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CharacterizationConfig::standard();
+        cfg.probe_ramp_times.clear();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CharacterizationConfig::standard();
+        cfg.probe_dt = -1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CharacterizationConfig::standard();
+        cfg.voltage_margin = -0.1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CharacterizationConfig::standard();
+        cfg.input_cap_grid_points = 1;
+        assert!(cfg.validate().is_err());
+    }
+}

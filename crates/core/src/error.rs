@@ -1,0 +1,84 @@
+//! Error type for model characterization and simulation.
+
+use mcsm_num::NumError;
+use mcsm_spice::SpiceError;
+use std::fmt;
+
+/// Errors produced while characterizing or evaluating current-source models.
+#[derive(Debug)]
+pub enum CsmError {
+    /// The cell topology is not supported by the requested model
+    /// (e.g. an MCSM for a cell without an internal stack node).
+    UnsupportedCell(String),
+    /// A characterization or simulation parameter was invalid.
+    InvalidParameter(String),
+    /// The underlying circuit simulation failed.
+    Spice(SpiceError),
+    /// A numerical routine failed.
+    Numerical(NumError),
+    /// Serialization or deserialization of a stored model failed.
+    Storage(String),
+}
+
+impl fmt::Display for CsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsmError::UnsupportedCell(msg) => write!(f, "unsupported cell: {msg}"),
+            CsmError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CsmError::Spice(e) => write!(f, "circuit simulation failed: {e}"),
+            CsmError::Numerical(e) => write!(f, "numerical error: {e}"),
+            CsmError::Storage(msg) => write!(f, "model storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsmError::Spice(e) => Some(e),
+            CsmError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for CsmError {
+    fn from(e: SpiceError) -> Self {
+        CsmError::Spice(e)
+    }
+}
+
+impl From<NumError> for CsmError {
+    fn from(e: NumError) -> Self {
+        CsmError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CsmError::UnsupportedCell("INV has no internal node".into());
+        assert!(e.to_string().contains("unsupported"));
+        assert!(e.source().is_none());
+
+        let e = CsmError::from(SpiceError::UnknownNode("x".into()));
+        assert!(e.source().is_some());
+
+        let e = CsmError::from(NumError::SingularMatrix { column: 0 });
+        assert!(e.to_string().contains("numerical"));
+        assert!(e.source().is_some());
+
+        assert!(CsmError::Storage("bad json".into()).to_string().contains("storage"));
+        assert!(CsmError::InvalidParameter("dt".into()).to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<CsmError>();
+    }
+}

@@ -1,0 +1,68 @@
+//! MCSM — current-source models of CMOS logic cells with multiple-input
+//! switching and internal (stack) node effect.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (*Amelifard, Hatami, Fatemi, Pedram — "A Current Source Model for CMOS Logic
+//! Cells Considering Multiple Input Switching and Stack Effect", DATE 2008*):
+//!
+//! 1. **Characterization** ([`characterize`]) — turns a transistor-level cell
+//!    (from `mcsm-cells`) into lookup-table models by DC sweeps (current
+//!    sources) and ramp probing (capacitances), all performed with the
+//!    `mcsm-spice` simulator standing in for HSPICE.
+//! 2. **Models** ([`model`]) — three families:
+//!    the single-input-switching CSM of Section 2.1 ([`model::SisModel`]),
+//!    the baseline MIS CSM of Section 3.1 which ignores the internal node
+//!    ([`model::MisBaselineModel`]), and the complete MCSM of Sections 3.2–3.4
+//!    ([`model::McsmModel`]).
+//! 3. **Simulation** ([`sim`]) — load-independent output-waveform computation by
+//!    time-stepping the paper's Eqs. (4)–(5), driving the models with analytic
+//!    or sampled (e.g. noisy) input waveforms.
+//! 4. **Metrics, selective modeling and storage** ([`metrics`], [`selective`],
+//!    [`store`]).
+//!
+//! # Example: characterize a NOR2 and reproduce the stack effect
+//!
+//! ```no_run
+//! use mcsm_cells::cell::{CellKind, CellTemplate};
+//! use mcsm_cells::tech::Technology;
+//! use mcsm_core::characterize::characterize_mcsm;
+//! use mcsm_core::config::CharacterizationConfig;
+//! use mcsm_core::sim::{simulate_mcsm, CsmSimOptions, DriveWaveform};
+//!
+//! # fn main() -> Result<(), mcsm_core::CsmError> {
+//! let tech = Technology::cmos_130nm();
+//! let nor2 = CellTemplate::new(CellKind::Nor2, tech.clone());
+//! let model = characterize_mcsm(&nor2, &CharacterizationConfig::standard())?;
+//!
+//! // Both inputs fall simultaneously ('11' → '00'); the initial internal-node
+//! // voltage encodes the input history and changes the delay.
+//! let a = DriveWaveform::falling_ramp(tech.vdd, 0.2e-9, 50e-12);
+//! let b = DriveWaveform::falling_ramp(tech.vdd, 0.2e-9, 50e-12);
+//! let options = CsmSimOptions::new(2e-9, 0.5e-12);
+//! let fast = simulate_mcsm(&model, &a, &b, 4e-15, 0.0, Some(tech.vdd), &options)?;
+//! let slow = simulate_mcsm(&model, &a, &b, 4e-15, 0.0, Some(0.35), &options)?;
+//! assert!(fast.output.crossing(0.6, true) < slow.output.crossing(0.6, true));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod characterize;
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod model;
+pub mod selective;
+pub mod sim;
+pub mod store;
+pub mod table;
+
+pub use characterize::{characterize_mcsm, characterize_mis_baseline, characterize_sis};
+pub use config::CharacterizationConfig;
+pub use error::CsmError;
+pub use model::{McsmModel, MisBaselineModel, SisModel};
+pub use selective::{ModelChoice, SelectivePolicy};
+pub use sim::{
+    simulate_mcsm, simulate_mis_baseline, simulate_sis, CsmIntegration, CsmSimOptions,
+    DriveWaveform, McsmSimResult,
+};
+pub use store::ModelStore;

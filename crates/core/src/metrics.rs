@@ -1,0 +1,173 @@
+//! Accuracy metrics for comparing model waveforms against a reference.
+//!
+//! The paper reports three kinds of numbers: 50 % propagation delays (and their
+//! relative errors against HSPICE), output waveform RMSE normalized to Vdd
+//! (Eq. 6), and delay differences between scenarios (Fig. 5). The helpers here
+//! compute all of them from [`Waveform`]s, regardless of whether those came from
+//! the SPICE substrate or from a CSM simulation.
+
+use crate::error::CsmError;
+use mcsm_spice::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+/// A delay measurement referenced to an absolute input event time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayMeasurement {
+    /// 50 % crossing time of the output edge (seconds).
+    pub output_crossing: f64,
+    /// Delay from the input event to the output crossing (seconds).
+    pub delay: f64,
+}
+
+/// Measures the 50 % delay of an output edge relative to `input_event_time`.
+///
+/// # Errors
+///
+/// Returns [`CsmError::InvalidParameter`] if the waveform never crosses the 50 %
+/// level in the requested direction.
+pub fn delay_50(
+    output: &Waveform,
+    input_event_time: f64,
+    vdd: f64,
+    output_rising: bool,
+) -> Result<DelayMeasurement, CsmError> {
+    let crossing = output
+        .crossing(0.5 * vdd, output_rising)
+        .ok_or_else(|| {
+            CsmError::InvalidParameter(format!(
+                "output never crosses {:.3} V {}",
+                0.5 * vdd,
+                if output_rising { "rising" } else { "falling" }
+            ))
+        })?;
+    Ok(DelayMeasurement {
+        output_crossing: crossing,
+        delay: crossing - input_event_time,
+    })
+}
+
+/// Relative error of a model delay against a reference delay, in percent.
+pub fn delay_error_percent(reference: DelayMeasurement, candidate: DelayMeasurement) -> f64 {
+    if reference.delay == 0.0 {
+        return f64::INFINITY;
+    }
+    100.0 * (candidate.delay - reference.delay).abs() / reference.delay.abs()
+}
+
+/// Comparison of one model waveform against a reference waveform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveformComparison {
+    /// RMSE normalized to Vdd (the paper's Eq. 6), dimensionless.
+    pub normalized_rmse: f64,
+    /// Maximum absolute voltage difference (volts).
+    pub max_abs_error: f64,
+    /// Difference in 50 % crossing times (candidate − reference, seconds), if
+    /// both waveforms have the requested edge.
+    pub delay_difference: Option<f64>,
+}
+
+/// Compares a candidate (model) waveform against a reference (SPICE) waveform
+/// over the reference's time window.
+///
+/// # Errors
+///
+/// Propagates resampling errors.
+pub fn compare_waveforms(
+    reference: &Waveform,
+    candidate: &Waveform,
+    vdd: f64,
+    output_rising: bool,
+) -> Result<WaveformComparison, CsmError> {
+    let resampled = candidate.resample_onto(reference.times())?;
+    let normalized_rmse = resampled.normalized_rmse_against(reference, vdd)?;
+    let max_abs_error = reference
+        .values()
+        .iter()
+        .zip(resampled.values())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    let delay_difference = match (
+        reference.crossing(0.5 * vdd, output_rising),
+        candidate.crossing(0.5 * vdd, output_rising),
+    ) {
+        (Some(r), Some(c)) => Some(c - r),
+        _ => None,
+    };
+    Ok(WaveformComparison {
+        normalized_rmse,
+        max_abs_error,
+        delay_difference,
+    })
+}
+
+/// Relative difference between two delays, in percent of the first
+/// (used for the Fig. 5 "delay difference between histories" metric).
+pub fn relative_difference_percent(reference: f64, other: f64) -> f64 {
+    if reference == 0.0 {
+        return f64::INFINITY;
+    }
+    100.0 * (other - reference).abs() / reference.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rising_ramp(t_start: f64, duration: f64, vdd: f64) -> Waveform {
+        let times: Vec<f64> = (0..=200).map(|i| i as f64 * 20e-12).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| {
+                if t <= t_start {
+                    0.0
+                } else if t >= t_start + duration {
+                    vdd
+                } else {
+                    vdd * (t - t_start) / duration
+                }
+            })
+            .collect();
+        Waveform::new(times, values).unwrap()
+    }
+
+    #[test]
+    fn delay_measurement_and_error() {
+        let vdd = 1.2;
+        let reference = rising_ramp(1e-9, 0.4e-9, vdd);
+        let slow = rising_ramp(1.2e-9, 0.4e-9, vdd);
+        let d_ref = delay_50(&reference, 0.8e-9, vdd, true).unwrap();
+        let d_slow = delay_50(&slow, 0.8e-9, vdd, true).unwrap();
+        assert!((d_ref.delay - 0.4e-9).abs() < 1e-12);
+        assert!((d_slow.delay - 0.6e-9).abs() < 1e-12);
+        let err = delay_error_percent(d_ref, d_slow);
+        assert!((err - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_missing_edge_is_an_error() {
+        let vdd = 1.2;
+        let flat = Waveform::new(vec![0.0, 1e-9], vec![0.0, 0.0]).unwrap();
+        assert!(delay_50(&flat, 0.0, vdd, true).is_err());
+    }
+
+    #[test]
+    fn waveform_comparison_metrics() {
+        let vdd = 1.2;
+        let reference = rising_ramp(1e-9, 0.4e-9, vdd);
+        let identical = compare_waveforms(&reference, &reference, vdd, true).unwrap();
+        assert!(identical.normalized_rmse < 1e-12);
+        assert!(identical.max_abs_error < 1e-12);
+        assert!(identical.delay_difference.unwrap().abs() < 1e-15);
+
+        let shifted = rising_ramp(1.1e-9, 0.4e-9, vdd);
+        let cmp = compare_waveforms(&reference, &shifted, vdd, true).unwrap();
+        assert!(cmp.normalized_rmse > 0.01);
+        assert!(cmp.delay_difference.unwrap() > 0.05e-9);
+    }
+
+    #[test]
+    fn relative_difference() {
+        assert!((relative_difference_percent(100e-12, 120e-12) - 20.0).abs() < 1e-9);
+        assert!(relative_difference_percent(0.0, 1.0).is_infinite());
+    }
+}

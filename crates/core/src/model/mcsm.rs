@@ -1,0 +1,253 @@
+//! The complete MCSM: the paper's multiple-input-switching current-source model
+//! with an explicit internal (stack) node.
+//!
+//! The model consists of (Fig. 8 of the paper):
+//!
+//! * two nonlinear current sources, `I_o(V_A, V_B, V_N, V_o)` at the output and
+//!   `I_N(V_A, V_B, V_N, V_o)` at the internal node,
+//! * six nonlinear capacitances: the Miller couplings `C_mA`, `C_mB`, the output
+//!   capacitance `C_o`, the internal-node capacitance `C_N` (all 4-dimensional),
+//!   and the input pin capacitances `C_A`, `C_B` (1-dimensional, Eq. 3).
+//!
+//! The sign convention for both current sources is *current flowing from the node
+//! into the cell*: positive `I_o` discharges the output, positive `I_N`
+//! discharges the internal node, matching Eqs. (4) and (5).
+
+use crate::error::CsmError;
+use crate::table::{Table1, Table4};
+use serde::{Deserialize, Serialize};
+
+/// The complete multiple-input-switching current-source model of one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McsmModel {
+    /// Name of the characterized cell (e.g. `"NOR2"`).
+    pub cell_name: String,
+    /// Supply voltage the model was characterized at (volts).
+    pub vdd: f64,
+    /// Output current source `I_o(V_A, V_B, V_N, V_o)` (amps, into the cell).
+    pub io: Table4,
+    /// Internal-node current source `I_N(V_A, V_B, V_N, V_o)` (amps, into the cell).
+    pub i_n: Table4,
+    /// Miller capacitance between input A and the output (farads).
+    pub cm_a: Table4,
+    /// Miller capacitance between input B and the output (farads).
+    pub cm_b: Table4,
+    /// Output parasitic capacitance (farads).
+    pub c_o: Table4,
+    /// Internal-node capacitance (farads).
+    pub c_n: Table4,
+    /// Input pin capacitance of A (farads), used for receiver loading.
+    pub c_in_a: Table1,
+    /// Input pin capacitance of B (farads), used for receiver loading.
+    pub c_in_b: Table1,
+}
+
+impl McsmModel {
+    /// Output current source at the given node voltages (amps, into the cell).
+    pub fn output_current(&self, v_a: f64, v_b: f64, v_n: f64, v_o: f64) -> f64 {
+        self.io.eval(v_a, v_b, v_n, v_o)
+    }
+
+    /// Internal-node current source at the given node voltages (amps, into the cell).
+    pub fn internal_current(&self, v_a: f64, v_b: f64, v_n: f64, v_o: f64) -> f64 {
+        self.i_n.eval(v_a, v_b, v_n, v_o)
+    }
+
+    /// The four capacitances `(C_mA, C_mB, C_o, C_N)` at the given node voltages.
+    pub fn capacitances(&self, v_a: f64, v_b: f64, v_n: f64, v_o: f64) -> (f64, f64, f64, f64) {
+        (
+            self.cm_a.eval(v_a, v_b, v_n, v_o),
+            self.cm_b.eval(v_a, v_b, v_n, v_o),
+            self.c_o.eval(v_a, v_b, v_n, v_o),
+            self.c_n.eval(v_a, v_b, v_n, v_o),
+        )
+    }
+
+    /// Input pin capacitance of pin `A` (`pin = 0`) or `B` (`pin = 1`) at the given
+    /// input voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::InvalidParameter`] for other pin indices.
+    pub fn input_capacitance(&self, pin: usize, v_in: f64) -> Result<f64, CsmError> {
+        match pin {
+            0 => Ok(self.c_in_a.eval(v_in)),
+            1 => Ok(self.c_in_b.eval(v_in)),
+            _ => Err(CsmError::InvalidParameter(format!(
+                "MCSM has two inputs; pin {pin} does not exist"
+            ))),
+        }
+    }
+
+    /// Finds the DC-equilibrium internal-node voltage for the given input and
+    /// output voltages by locating the `V_N` that minimizes `|I_N|` over the
+    /// characterized range (refined with a local bisection when a sign change
+    /// exists).
+    ///
+    /// This is how a simulation decides the *initial* internal-node voltage from
+    /// the pre-transition logic state — the quantity whose history dependence the
+    /// paper studies.
+    pub fn equilibrium_internal_voltage(&self, v_a: f64, v_b: f64, v_o: f64) -> f64 {
+        let axis = &self.i_n.lut().axes()[2];
+        let points = axis.points();
+        // Coarse scan for the minimum |I_N| and for a sign change.
+        let mut best_v = points[0];
+        let mut best_abs = f64::INFINITY;
+        let mut bracket: Option<(f64, f64, f64, f64)> = None;
+        let mut prev: Option<(f64, f64)> = None;
+        for &v_n in points {
+            let i = self.internal_current(v_a, v_b, v_n, v_o);
+            if i.abs() < best_abs {
+                best_abs = i.abs();
+                best_v = v_n;
+            }
+            if let Some((pv, pi)) = prev {
+                if pi.signum() != i.signum() && pi != 0.0 && i != 0.0 && bracket.is_none() {
+                    bracket = Some((pv, v_n, pi, i));
+                }
+            }
+            prev = Some((v_n, i));
+        }
+        if let Some((lo, hi, _, _)) = bracket {
+            // Bisection refinement inside the bracketing cell.
+            let mut lo = lo;
+            let mut hi = hi;
+            let mut f_lo = self.internal_current(v_a, v_b, lo, v_o);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                let f_mid = self.internal_current(v_a, v_b, mid, v_o);
+                if f_mid == 0.0 || (hi - lo) < 1e-9 {
+                    return mid;
+                }
+                if f_mid.signum() == f_lo.signum() {
+                    lo = mid;
+                    f_lo = f_mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            return 0.5 * (lo + hi);
+        }
+        best_v
+    }
+
+    /// Sum of the capacitances loading the output node at a representative
+    /// mid-transition point — used by the selective-modeling policy to compare
+    /// the cell's own (diffusion) capacitance against the external load.
+    pub fn representative_output_capacitance(&self) -> f64 {
+        let mid = 0.5 * self.vdd;
+        let (cm_a, cm_b, c_o, _) = self.capacitances(mid, mid, mid, mid);
+        cm_a + cm_b + c_o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{voltage_axis, Table1, Table4};
+
+    /// Builds a synthetic model whose components are simple analytic functions —
+    /// enough to test the evaluation plumbing without running characterization.
+    pub(crate) fn synthetic_model() -> McsmModel {
+        let vdd = 1.2;
+        let axes = || {
+            [
+                voltage_axis(vdd, 0.1, 5).unwrap(),
+                voltage_axis(vdd, 0.1, 5).unwrap(),
+                voltage_axis(vdd, 0.1, 5).unwrap(),
+                voltage_axis(vdd, 0.1, 5).unwrap(),
+            ]
+        };
+        // A NOR2-like output current: pulls down when any input is high, pulls up
+        // when both are low, scaled to ~100 µA. The pull-up strength depends on
+        // the internal-node voltage (a discharged stack node weakens the drive),
+        // which is the mechanism the MCSM exists to capture.
+        let io = Table4::from_fn(axes(), |v| {
+            let (va, vb, vn, vo) = (v[0], v[1], v[2], v[3]);
+            let stack_strength = 0.25 + 0.75 * (vn / vdd).clamp(0.0, 1.0);
+            let pull_down = 1e-4 * ((va / vdd).max(0.0) + (vb / vdd).max(0.0)) * (vo / vdd);
+            let pull_up = -1e-4 * ((1.0 - va / vdd).max(0.0) * (1.0 - vb / vdd).max(0.0))
+                * ((vdd - vo) / vdd)
+                * stack_strength;
+            pull_down + pull_up
+        })
+        .unwrap();
+        // Internal node current: drives V_N towards Vdd when both inputs are low,
+        // towards V_o when A is low and B is high.
+        let i_n = Table4::from_fn(axes(), |v| {
+            let (va, vb, vn, vo) = (v[0], v[1], v[2], v[3]);
+            let to_vdd = (1.0 - vb / vdd).max(0.0) * (vn - vdd) * 1e-4 / vdd;
+            let to_out = (1.0 - va / vdd).max(0.0) * (vn - vo) * 1e-4 / vdd;
+            to_vdd + to_out
+        })
+        .unwrap();
+        let cap = |value: f64| Table4::from_fn(axes(), move |_| value).unwrap();
+        let cin = |value: f64| {
+            Table1::from_fn([voltage_axis(vdd, 0.1, 3).unwrap()], move |_| value).unwrap()
+        };
+        McsmModel {
+            cell_name: "NOR2".into(),
+            vdd,
+            io,
+            i_n,
+            cm_a: cap(0.5e-15),
+            cm_b: cap(0.4e-15),
+            c_o: cap(2e-15),
+            c_n: cap(1e-15),
+            c_in_a: cin(1.5e-15),
+            c_in_b: cin(1.4e-15),
+        }
+    }
+
+    #[test]
+    fn component_evaluation() {
+        let m = synthetic_model();
+        // Both inputs high, output high → strong pull-down (positive I_o).
+        assert!(m.output_current(1.2, 1.2, 1.2, 1.2) > 0.0);
+        // Both inputs low, output low → pull-up (negative I_o).
+        assert!(m.output_current(0.0, 0.0, 1.2, 0.0) < 0.0);
+        let (cma, cmb, co, cn) = m.capacitances(0.6, 0.6, 0.6, 0.6);
+        assert!((cma - 0.5e-15).abs() < 1e-20);
+        assert!((cmb - 0.4e-15).abs() < 1e-20);
+        assert!((co - 2e-15).abs() < 1e-20);
+        assert!((cn - 1e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn input_capacitance_lookup() {
+        let m = synthetic_model();
+        assert!((m.input_capacitance(0, 0.6).unwrap() - 1.5e-15).abs() < 1e-20);
+        assert!((m.input_capacitance(1, 0.6).unwrap() - 1.4e-15).abs() < 1e-20);
+        assert!(m.input_capacitance(2, 0.6).is_err());
+    }
+
+    #[test]
+    fn equilibrium_internal_voltage_follows_input_state() {
+        let m = synthetic_model();
+        // With B low the internal node is pulled towards Vdd (table interpolation
+        // on the coarse synthetic grid leaves a small offset).
+        let v_10 = m.equilibrium_internal_voltage(1.2, 0.0, 0.0);
+        assert!(v_10 > 0.9 * 1.2, "v_10 = {v_10}");
+        // With A low and B high it is pulled to the output voltage (here 0).
+        let v_01 = m.equilibrium_internal_voltage(0.0, 1.2, 0.0);
+        assert!(v_01 < 0.3, "v_01 = {v_01}");
+    }
+
+    #[test]
+    fn representative_capacitance_is_positive() {
+        let m = synthetic_model();
+        let c = m.representative_output_capacitance();
+        assert!(c > 0.0 && c < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = synthetic_model();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: McsmModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::synthetic_model;

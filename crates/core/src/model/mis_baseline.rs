@@ -1,0 +1,122 @@
+//! The baseline MIS current-source model (Section 3.1 of the paper): multiple
+//! input switching is modeled, but the internal stack node is **not** — every
+//! component depends only on `(V_A, V_B, V_o)`.
+//!
+//! This is the model the paper shows to mis-predict delay by ~20 % for lightly
+//! loaded cells whose internal node carries history; it exists here as the
+//! comparison baseline for Fig. 9.
+
+use crate::error::CsmError;
+use crate::table::{Table1, Table3};
+use serde::{Deserialize, Serialize};
+
+/// A MIS current-source model without internal-node state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MisBaselineModel {
+    /// Name of the characterized cell.
+    pub cell_name: String,
+    /// Supply voltage the model was characterized at (volts).
+    pub vdd: f64,
+    /// Output current source `I_o(V_A, V_B, V_o)` (amps, into the cell).
+    pub io: Table3,
+    /// Miller capacitance between input A and the output (farads).
+    pub cm_a: Table3,
+    /// Miller capacitance between input B and the output (farads).
+    pub cm_b: Table3,
+    /// Output parasitic capacitance (farads).
+    pub c_o: Table3,
+    /// Input pin capacitance of A (farads).
+    pub c_in_a: Table1,
+    /// Input pin capacitance of B (farads).
+    pub c_in_b: Table1,
+}
+
+impl MisBaselineModel {
+    /// Output current source (amps, into the cell).
+    pub fn output_current(&self, v_a: f64, v_b: f64, v_o: f64) -> f64 {
+        self.io.eval(v_a, v_b, v_o)
+    }
+
+    /// The capacitances `(C_mA, C_mB, C_o)` at the given node voltages.
+    pub fn capacitances(&self, v_a: f64, v_b: f64, v_o: f64) -> (f64, f64, f64) {
+        (
+            self.cm_a.eval(v_a, v_b, v_o),
+            self.cm_b.eval(v_a, v_b, v_o),
+            self.c_o.eval(v_a, v_b, v_o),
+        )
+    }
+
+    /// Input pin capacitance of pin `A` (`pin = 0`) or `B` (`pin = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::InvalidParameter`] for other pin indices.
+    pub fn input_capacitance(&self, pin: usize, v_in: f64) -> Result<f64, CsmError> {
+        match pin {
+            0 => Ok(self.c_in_a.eval(v_in)),
+            1 => Ok(self.c_in_b.eval(v_in)),
+            _ => Err(CsmError::InvalidParameter(format!(
+                "baseline MIS model has two inputs; pin {pin} does not exist"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::voltage_axis;
+
+    pub(crate) fn synthetic_baseline() -> MisBaselineModel {
+        let vdd = 1.2;
+        let axes = || {
+            [
+                voltage_axis(vdd, 0.1, 5).unwrap(),
+                voltage_axis(vdd, 0.1, 5).unwrap(),
+                voltage_axis(vdd, 0.1, 5).unwrap(),
+            ]
+        };
+        let io = Table3::from_fn(axes(), |v| {
+            let (va, vb, vo) = (v[0], v[1], v[2]);
+            1e-4 * ((va + vb) / vdd) * (vo / vdd)
+                - 1e-4 * ((vdd - va) / vdd) * ((vdd - vb) / vdd) * ((vdd - vo) / vdd)
+        })
+        .unwrap();
+        let cap = |value: f64| Table3::from_fn(axes(), move |_| value).unwrap();
+        let cin = |value: f64| {
+            Table1::from_fn([voltage_axis(vdd, 0.1, 3).unwrap()], move |_| value).unwrap()
+        };
+        MisBaselineModel {
+            cell_name: "NOR2".into(),
+            vdd,
+            io,
+            cm_a: cap(0.5e-15),
+            cm_b: cap(0.4e-15),
+            c_o: cap(2e-15),
+            c_in_a: cin(1.5e-15),
+            c_in_b: cin(1.4e-15),
+        }
+    }
+
+    #[test]
+    fn evaluation_and_errors() {
+        let m = synthetic_baseline();
+        assert!(m.output_current(1.2, 1.2, 1.2) > 0.0);
+        assert!(m.output_current(0.0, 0.0, 0.0) < 0.0);
+        let (a, b, o) = m.capacitances(0.6, 0.6, 0.6);
+        assert!(a > 0.0 && b > 0.0 && o > 0.0);
+        assert!(m.input_capacitance(0, 0.6).is_ok());
+        assert!(m.input_capacitance(3, 0.6).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = synthetic_baseline();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MisBaselineModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::synthetic_baseline;

@@ -1,0 +1,16 @@
+//! The three cell-model families compared in the paper.
+//!
+//! * [`sis::SisModel`] — single input switching, no internal node (the model of
+//!   reference [5]; Section 2.1).
+//! * [`mis_baseline::MisBaselineModel`] — multiple input switching without the
+//!   internal node (Section 3.1; the ~20 %-error baseline).
+//! * [`mcsm::McsmModel`] — the paper's contribution: multiple input switching
+//!   with the internal (stack) node modeled explicitly (Sections 3.2–3.4).
+
+pub mod mcsm;
+pub mod mis_baseline;
+pub mod sis;
+
+pub use mcsm::McsmModel;
+pub use mis_baseline::MisBaselineModel;
+pub use sis::SisModel;

@@ -1,0 +1,103 @@
+//! The single-input-switching (SIS) current-source model of Section 2.1
+//! (the model of reference [5] in the paper).
+//!
+//! One input is the switching input; every other input is assumed to sit at its
+//! non-controlling value. All components depend only on `(V_in, V_o)`. The paper
+//! uses this model as the second comparison point (Fig. 11): when a real MIS
+//! event occurs, the SIS model is significantly wrong.
+
+use crate::table::{Table1, Table2};
+use serde::{Deserialize, Serialize};
+
+/// A single-input-switching current-source model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SisModel {
+    /// Name of the characterized cell.
+    pub cell_name: String,
+    /// Supply voltage the model was characterized at (volts).
+    pub vdd: f64,
+    /// Index of the switching input pin this model was characterized for.
+    pub switching_pin: usize,
+    /// Logic value the non-switching inputs were held at during characterization.
+    pub other_inputs_high: bool,
+    /// Output current source `I_o(V_in, V_o)` (amps, into the cell).
+    pub io: Table2,
+    /// Miller capacitance between the switching input and the output (farads).
+    pub cm: Table2,
+    /// Output parasitic capacitance (farads).
+    pub c_o: Table2,
+    /// Input pin capacitance of the switching input (farads).
+    pub c_in: Table1,
+}
+
+impl SisModel {
+    /// Output current source (amps, into the cell).
+    pub fn output_current(&self, v_in: f64, v_o: f64) -> f64 {
+        self.io.eval(v_in, v_o)
+    }
+
+    /// The capacitances `(C_m, C_o)` at the given voltages.
+    pub fn capacitances(&self, v_in: f64, v_o: f64) -> (f64, f64) {
+        (self.cm.eval(v_in, v_o), self.c_o.eval(v_in, v_o))
+    }
+
+    /// Input pin capacitance of the switching input.
+    pub fn input_capacitance(&self, v_in: f64) -> f64 {
+        self.c_in.eval(v_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::voltage_axis;
+
+    pub(crate) fn synthetic_sis() -> SisModel {
+        let vdd = 1.2;
+        let axes = || {
+            [
+                voltage_axis(vdd, 0.1, 5).unwrap(),
+                voltage_axis(vdd, 0.1, 5).unwrap(),
+            ]
+        };
+        // Inverter-like: input high pulls output down.
+        let io = Table2::from_fn(axes(), |v| {
+            let (vin, vo) = (v[0], v[1]);
+            1e-4 * (vin / vdd) * (vo / vdd) - 1e-4 * ((vdd - vin) / vdd) * ((vdd - vo) / vdd)
+        })
+        .unwrap();
+        let cap = |value: f64| Table2::from_fn(axes(), move |_| value).unwrap();
+        SisModel {
+            cell_name: "NOR2".into(),
+            vdd,
+            switching_pin: 0,
+            other_inputs_high: false,
+            io,
+            cm: cap(0.5e-15),
+            c_o: cap(2e-15),
+            c_in: Table1::from_fn([voltage_axis(vdd, 0.1, 3).unwrap()], |_| 1.5e-15).unwrap(),
+        }
+    }
+
+    #[test]
+    fn evaluation() {
+        let m = synthetic_sis();
+        assert!(m.output_current(1.2, 1.2) > 0.0);
+        assert!(m.output_current(0.0, 0.0) < 0.0);
+        let (cm, co) = m.capacitances(0.6, 0.6);
+        assert!(cm > 0.0 && co > cm);
+        assert!((m.input_capacitance(0.6) - 1.5e-15).abs() < 1e-20);
+        assert_eq!(m.switching_pin, 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = synthetic_sis();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SisModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::synthetic_sis;

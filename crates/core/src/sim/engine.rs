@@ -1,0 +1,438 @@
+//! Output-waveform computation from a characterized model.
+//!
+//! This is the run-time half of the paper: given the pre-characterized tables,
+//! the input waveforms and a load, integrate the two KCL equations (paper
+//! Eqs. (1)–(2)) forward in time. Two integration schemes are provided:
+//!
+//! * [`CsmIntegration::Explicit`] — the paper's update (Eqs. (4)–(5)): evaluate
+//!   all tables at the previous time point and step forward;
+//! * [`CsmIntegration::PredictorCorrector`] — an inexpensive refinement that
+//!   re-evaluates the output current at the predicted end point and averages
+//!   (trapezoidal in the current), which tolerates larger time steps. This is
+//!   one of the ablations called out in DESIGN.md.
+
+use super::drive::DriveWaveform;
+use crate::error::CsmError;
+use crate::model::{McsmModel, MisBaselineModel, SisModel};
+use mcsm_spice::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+/// Integration scheme for the CSM state equations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CsmIntegration {
+    /// The paper's explicit update (Eq. 4 / Eq. 5).
+    #[default]
+    Explicit,
+    /// Explicit predictor followed by one trapezoidal corrector pass.
+    PredictorCorrector,
+}
+
+/// Options for a model simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsmSimOptions {
+    /// Time step (seconds). The explicit scheme needs `dt` small compared to the
+    /// smallest `C / (dI/dV)` time constant; 0.5 ps is a safe default for the
+    /// synthetic 130 nm library.
+    pub dt: f64,
+    /// Stop time (seconds); simulation starts at `t = 0`.
+    pub t_stop: f64,
+    /// Integration scheme.
+    pub integration: CsmIntegration,
+}
+
+impl CsmSimOptions {
+    /// Creates options with the default explicit integration.
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        CsmSimOptions {
+            dt,
+            t_stop,
+            integration: CsmIntegration::Explicit,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CsmError> {
+        if !(self.dt > 0.0) || !(self.t_stop > 0.0) || self.t_stop < self.dt {
+            return Err(CsmError::InvalidParameter(format!(
+                "simulation needs 0 < dt <= t_stop (got dt = {}, t_stop = {})",
+                self.dt, self.t_stop
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Result of an MCSM simulation: the output waveform and the internal-node
+/// waveform the model tracked alongside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McsmSimResult {
+    /// Output voltage waveform.
+    pub output: Waveform,
+    /// Internal (stack) node voltage waveform.
+    pub internal: Waveform,
+}
+
+/// Clamp helper: keeps the state inside the characterized voltage range plus a
+/// little headroom so a coarse step cannot launch the explicit integration into
+/// the flat extrapolation region and stall there.
+fn clamp_voltage(v: f64, vdd: f64) -> f64 {
+    v.clamp(-0.3, vdd + 0.3)
+}
+
+/// Largest per-(sub)step voltage change the explicit update is allowed to take.
+/// The internal-node capacitance is only a couple of femtofarads, so its time
+/// constant can be shorter than a comfortable output time step; sub-stepping
+/// keeps the update accurate without forcing the caller to shrink `dt` globally.
+const MAX_STEP_VOLTAGE: f64 = 0.02;
+
+/// Maximum number of sub-steps one time step may be split into.
+const MAX_SUBSTEPS: usize = 64;
+
+/// Number of sub-steps needed so no state variable moves more than
+/// [`MAX_STEP_VOLTAGE`] per sub-step.
+fn substeps_for(deltas: &[f64]) -> usize {
+    let worst = deltas.iter().fold(0.0_f64, |acc, d| acc.max(d.abs()));
+    ((worst / MAX_STEP_VOLTAGE).ceil() as usize).clamp(1, MAX_SUBSTEPS)
+}
+
+/// Simulates the complete MCSM (paper Eqs. (4)–(5)).
+///
+/// * `a`, `b` — input drive waveforms;
+/// * `load_capacitance` — the lumped load `C_L` at the output (farads);
+/// * `v_out_initial` — output voltage at `t = 0`;
+/// * `v_internal_initial` — internal-node voltage at `t = 0`, or `None` to use
+///   the DC equilibrium implied by the initial input/output voltages.
+///
+/// # Errors
+///
+/// Returns [`CsmError::InvalidParameter`] for invalid options or a negative load.
+pub fn simulate_mcsm(
+    model: &McsmModel,
+    a: &DriveWaveform,
+    b: &DriveWaveform,
+    load_capacitance: f64,
+    v_out_initial: f64,
+    v_internal_initial: Option<f64>,
+    options: &CsmSimOptions,
+) -> Result<McsmSimResult, CsmError> {
+    options.validate()?;
+    if load_capacitance < 0.0 {
+        return Err(CsmError::InvalidParameter(format!(
+            "load capacitance must be non-negative, got {load_capacitance}"
+        )));
+    }
+    let vdd = model.vdd;
+    let steps = (options.t_stop / options.dt).ceil() as usize;
+    let dt = options.t_stop / steps as f64;
+
+    let mut v_o = v_out_initial;
+    let mut v_n = match v_internal_initial {
+        Some(v) => v,
+        None => model.equilibrium_internal_voltage(a.initial_value(), b.initial_value(), v_out_initial),
+    };
+
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut out_values = Vec::with_capacity(steps + 1);
+    let mut internal_values = Vec::with_capacity(steps + 1);
+    times.push(0.0);
+    out_values.push(v_o);
+    internal_values.push(v_n);
+
+    // One application of the paper's update (Eq. 4 / Eq. 5) over a step of `h`
+    // seconds, starting from the given state and ending at the given input
+    // voltages. Returns the (unclamped) next output and internal voltages.
+    let advance = |v_a: f64,
+                   v_b: f64,
+                   v_n: f64,
+                   v_o: f64,
+                   v_a_next: f64,
+                   v_b_next: f64,
+                   h: f64|
+     -> (f64, f64) {
+        let (cm_a, cm_b, c_o, c_n) = model.capacitances(v_a, v_b, v_n, v_o);
+        let io_prev = model.output_current(v_a, v_b, v_n, v_o);
+        let in_prev = model.internal_current(v_a, v_b, v_n, v_o);
+        let denom = (load_capacitance + c_o + cm_a + cm_b).max(1e-21);
+        let c_n_safe = c_n.max(1e-21);
+        let miller_kick = cm_a * (v_a_next - v_a) + cm_b * (v_b_next - v_b);
+
+        let mut v_o_next = v_o + (miller_kick - io_prev * h) / denom;
+        let mut v_n_next = v_n - in_prev * h / c_n_safe;
+
+        if options.integration == CsmIntegration::PredictorCorrector {
+            let io_pred =
+                model.output_current(v_a_next, v_b_next, v_n_next, clamp_voltage(v_o_next, vdd));
+            let in_pred =
+                model.internal_current(v_a_next, v_b_next, clamp_voltage(v_n_next, vdd), v_o_next);
+            v_o_next = v_o + (miller_kick - 0.5 * (io_prev + io_pred) * h) / denom;
+            v_n_next = v_n - 0.5 * (in_prev + in_pred) * h / c_n_safe;
+        }
+        (v_o_next, v_n_next)
+    };
+
+    for k in 0..steps {
+        let t_prev = k as f64 * dt;
+        let t_next = (k + 1) as f64 * dt;
+        let v_a_prev = a.eval(t_prev);
+        let v_b_prev = b.eval(t_prev);
+        let v_a_next = a.eval(t_next);
+        let v_b_next = b.eval(t_next);
+
+        // Probe the full step to decide how finely to subdivide it: the
+        // internal-node time constant can be much shorter than `dt`.
+        let (probe_o, probe_n) = advance(v_a_prev, v_b_prev, v_n, v_o, v_a_next, v_b_next, dt);
+        let n_sub = substeps_for(&[probe_o - v_o, probe_n - v_n]);
+        let h = dt / n_sub as f64;
+        for s in 0..n_sub {
+            let t0 = t_prev + s as f64 * h;
+            let t1 = t0 + h;
+            let (va0, vb0) = (a.eval(t0), b.eval(t0));
+            let (va1, vb1) = (a.eval(t1), b.eval(t1));
+            let (next_o, next_n) = advance(va0, vb0, v_n, v_o, va1, vb1, h);
+            v_o = clamp_voltage(next_o, vdd);
+            v_n = clamp_voltage(next_n, vdd);
+        }
+
+        times.push(t_next);
+        out_values.push(v_o);
+        internal_values.push(v_n);
+    }
+
+    Ok(McsmSimResult {
+        output: Waveform::new(times.clone(), out_values)?,
+        internal: Waveform::new(times, internal_values)?,
+    })
+}
+
+/// Simulates the baseline MIS model (no internal node, Section 3.1).
+///
+/// # Errors
+///
+/// Returns [`CsmError::InvalidParameter`] for invalid options or a negative load.
+pub fn simulate_mis_baseline(
+    model: &MisBaselineModel,
+    a: &DriveWaveform,
+    b: &DriveWaveform,
+    load_capacitance: f64,
+    v_out_initial: f64,
+    options: &CsmSimOptions,
+) -> Result<Waveform, CsmError> {
+    options.validate()?;
+    if load_capacitance < 0.0 {
+        return Err(CsmError::InvalidParameter(format!(
+            "load capacitance must be non-negative, got {load_capacitance}"
+        )));
+    }
+    let vdd = model.vdd;
+    let steps = (options.t_stop / options.dt).ceil() as usize;
+    let dt = options.t_stop / steps as f64;
+
+    let mut v_o = v_out_initial;
+
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut out_values = Vec::with_capacity(steps + 1);
+    times.push(0.0);
+    out_values.push(v_o);
+
+    let advance = |v_a: f64, v_b: f64, v_o: f64, v_a_next: f64, v_b_next: f64, h: f64| -> f64 {
+        let (cm_a, cm_b, c_o) = model.capacitances(v_a, v_b, v_o);
+        let io_prev = model.output_current(v_a, v_b, v_o);
+        let denom = (load_capacitance + c_o + cm_a + cm_b).max(1e-21);
+        let miller_kick = cm_a * (v_a_next - v_a) + cm_b * (v_b_next - v_b);
+        let mut v_o_next = v_o + (miller_kick - io_prev * h) / denom;
+        if options.integration == CsmIntegration::PredictorCorrector {
+            let io_pred = model.output_current(v_a_next, v_b_next, clamp_voltage(v_o_next, vdd));
+            v_o_next = v_o + (miller_kick - 0.5 * (io_prev + io_pred) * h) / denom;
+        }
+        v_o_next
+    };
+
+    for k in 0..steps {
+        let t_prev = k as f64 * dt;
+        let t_next = (k + 1) as f64 * dt;
+        let probe = advance(
+            a.eval(t_prev),
+            b.eval(t_prev),
+            v_o,
+            a.eval(t_next),
+            b.eval(t_next),
+            dt,
+        );
+        let n_sub = substeps_for(&[probe - v_o]);
+        let h = dt / n_sub as f64;
+        for s in 0..n_sub {
+            let t0 = t_prev + s as f64 * h;
+            let t1 = t0 + h;
+            let next = advance(a.eval(t0), b.eval(t0), v_o, a.eval(t1), b.eval(t1), h);
+            v_o = clamp_voltage(next, vdd);
+        }
+        times.push(t_next);
+        out_values.push(v_o);
+    }
+
+    Ok(Waveform::new(times, out_values)?)
+}
+
+/// Simulates the single-input-switching model (Section 2.1): only `input` drives
+/// the cell; all other inputs are assumed static at their non-controlling value
+/// (that assumption is baked into the SIS tables).
+///
+/// # Errors
+///
+/// Returns [`CsmError::InvalidParameter`] for invalid options or a negative load.
+pub fn simulate_sis(
+    model: &SisModel,
+    input: &DriveWaveform,
+    load_capacitance: f64,
+    v_out_initial: f64,
+    options: &CsmSimOptions,
+) -> Result<Waveform, CsmError> {
+    options.validate()?;
+    if load_capacitance < 0.0 {
+        return Err(CsmError::InvalidParameter(format!(
+            "load capacitance must be non-negative, got {load_capacitance}"
+        )));
+    }
+    let vdd = model.vdd;
+    let steps = (options.t_stop / options.dt).ceil() as usize;
+    let dt = options.t_stop / steps as f64;
+
+    let mut v_o = v_out_initial;
+
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut out_values = Vec::with_capacity(steps + 1);
+    times.push(0.0);
+    out_values.push(v_o);
+
+    let advance = |v_in: f64, v_o: f64, v_in_next: f64, h: f64| -> f64 {
+        let (cm, c_o) = model.capacitances(v_in, v_o);
+        let io_prev = model.output_current(v_in, v_o);
+        let denom = (load_capacitance + c_o + cm).max(1e-21);
+        let miller_kick = cm * (v_in_next - v_in);
+        let mut v_o_next = v_o + (miller_kick - io_prev * h) / denom;
+        if options.integration == CsmIntegration::PredictorCorrector {
+            let io_pred = model.output_current(v_in_next, clamp_voltage(v_o_next, vdd));
+            v_o_next = v_o + (miller_kick - 0.5 * (io_prev + io_pred) * h) / denom;
+        }
+        v_o_next
+    };
+
+    for k in 0..steps {
+        let t_prev = k as f64 * dt;
+        let t_next = (k + 1) as f64 * dt;
+        let probe = advance(input.eval(t_prev), v_o, input.eval(t_next), dt);
+        let n_sub = substeps_for(&[probe - v_o]);
+        let h = dt / n_sub as f64;
+        for s in 0..n_sub {
+            let t0 = t_prev + s as f64 * h;
+            let t1 = t0 + h;
+            let next = advance(input.eval(t0), v_o, input.eval(t1), h);
+            v_o = clamp_voltage(next, vdd);
+        }
+        times.push(t_next);
+        out_values.push(v_o);
+    }
+
+    Ok(Waveform::new(times, out_values)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::mcsm::synthetic_model;
+    use crate::model::mis_baseline::synthetic_baseline;
+    use crate::model::sis::synthetic_sis;
+
+    #[test]
+    fn options_validation() {
+        let m = synthetic_model();
+        let a = DriveWaveform::dc(0.0);
+        let b = DriveWaveform::dc(0.0);
+        let bad = CsmSimOptions::new(0.0, 1e-12);
+        assert!(simulate_mcsm(&m, &a, &b, 1e-15, 0.0, None, &bad).is_err());
+        let bad_load = CsmSimOptions::new(1e-9, 1e-12);
+        assert!(simulate_mcsm(&m, &a, &b, -1.0, 0.0, None, &bad_load).is_err());
+        assert!(simulate_mis_baseline(&synthetic_baseline(), &a, &b, -1.0, 0.0, &bad_load).is_err());
+        assert!(simulate_sis(&synthetic_sis(), &a, -1.0, 0.0, &bad_load).is_err());
+    }
+
+    #[test]
+    fn mcsm_output_rises_when_inputs_fall() {
+        let m = synthetic_model();
+        // NOR2-like synthetic model: both inputs falling → output should rise.
+        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let opts = CsmSimOptions::new(3e-9, 0.5e-12);
+        let result = simulate_mcsm(&m, &a, &b, 2e-15, 0.0, None, &opts).unwrap();
+        assert!(result.output.value_at(0.0) < 0.1);
+        assert!(result.output.final_value() > 1.0, "final = {}", result.output.final_value());
+        // The internal node also ends near the rail.
+        assert!(result.internal.final_value() > 0.8);
+    }
+
+    #[test]
+    fn mcsm_initial_internal_state_matters() {
+        let m = synthetic_model();
+        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let opts = CsmSimOptions::new(2e-9, 0.5e-12);
+        let cl = 1e-15;
+        let fast = simulate_mcsm(&m, &a, &b, cl, 0.0, Some(1.2), &opts).unwrap();
+        let slow = simulate_mcsm(&m, &a, &b, cl, 0.0, Some(0.2), &opts).unwrap();
+        let t_fast = fast.output.crossing(0.6, true).unwrap();
+        let t_slow = slow.output.crossing(0.6, true).unwrap();
+        assert!(
+            t_slow > t_fast,
+            "discharged internal node must slow the transition ({t_slow} !> {t_fast})"
+        );
+    }
+
+    #[test]
+    fn predictor_corrector_matches_explicit_at_small_steps() {
+        let m = synthetic_model();
+        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let fine = CsmSimOptions::new(2e-9, 0.2e-12);
+        let mut pc = fine.clone();
+        pc.integration = CsmIntegration::PredictorCorrector;
+        let explicit = simulate_mcsm(&m, &a, &b, 2e-15, 0.0, None, &fine).unwrap();
+        let corrected = simulate_mcsm(&m, &a, &b, 2e-15, 0.0, None, &pc).unwrap();
+        let nrmse = corrected
+            .output
+            .normalized_rmse_against(&explicit.output, 1.2)
+            .unwrap();
+        assert!(nrmse < 0.02, "schemes diverge: nrmse = {nrmse}");
+    }
+
+    #[test]
+    fn baseline_output_rises_when_inputs_fall() {
+        let m = synthetic_baseline();
+        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let opts = CsmSimOptions::new(3e-9, 0.5e-12);
+        let out = simulate_mis_baseline(&m, &a, &b, 2e-15, 0.0, &opts).unwrap();
+        assert!(out.final_value() > 1.0);
+    }
+
+    #[test]
+    fn sis_inverter_like_response() {
+        let m = synthetic_sis();
+        let input = DriveWaveform::rising_ramp(1.2, 0.2e-9, 50e-12);
+        let opts = CsmSimOptions::new(3e-9, 0.5e-12);
+        let out = simulate_sis(&m, &input, 2e-15, 1.2, &opts).unwrap();
+        assert!(out.value_at(0.0) > 1.1);
+        assert!(out.final_value() < 0.2);
+    }
+
+    #[test]
+    fn heavier_load_slows_the_transition() {
+        let m = synthetic_model();
+        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let opts = CsmSimOptions::new(4e-9, 0.5e-12);
+        let light = simulate_mcsm(&m, &a, &b, 1e-15, 0.0, None, &opts).unwrap();
+        let heavy = simulate_mcsm(&m, &a, &b, 8e-15, 0.0, None, &opts).unwrap();
+        let t_light = light.output.crossing(0.6, true).unwrap();
+        let t_heavy = heavy.output.crossing(0.6, true).unwrap();
+        assert!(t_heavy > t_light);
+    }
+}

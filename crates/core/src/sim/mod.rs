@@ -1,0 +1,11 @@
+//! Model simulation: turning characterized tables plus input waveforms into
+//! output (and internal-node) waveforms.
+
+pub mod drive;
+pub mod engine;
+
+pub use drive::DriveWaveform;
+pub use engine::{
+    simulate_mcsm, simulate_mis_baseline, simulate_sis, CsmIntegration, CsmSimOptions,
+    McsmSimResult,
+};

@@ -1,0 +1,116 @@
+//! Persistence of characterized models.
+//!
+//! Characterization is the expensive, once-per-library step of the flow; the
+//! resulting tables are reused across every timing run. [`ModelStore`] bundles
+//! the three model families for one cell and serializes to JSON so examples,
+//! benches and downstream tools can share characterized data.
+
+use crate::error::CsmError;
+use crate::model::{McsmModel, MisBaselineModel, SisModel};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// A bundle of characterized models for one cell.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ModelStore {
+    /// The complete MCSM, if characterized.
+    pub mcsm: Option<McsmModel>,
+    /// The baseline MIS model, if characterized.
+    pub mis_baseline: Option<MisBaselineModel>,
+    /// SIS models, one per characterized switching pin.
+    pub sis: Vec<SisModel>,
+}
+
+impl ModelStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ModelStore::default()
+    }
+
+    /// Serializes the store to a pretty-printed JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::Storage`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, CsmError> {
+        serde_json::to_string_pretty(self).map_err(|e| CsmError::Storage(e.to_string()))
+    }
+
+    /// Deserializes a store from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::Storage`] if parsing fails.
+    pub fn from_json(json: &str) -> Result<Self, CsmError> {
+        serde_json::from_str(json).map_err(|e| CsmError::Storage(e.to_string()))
+    }
+
+    /// Writes the store to a file as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::Storage`] on I/O or serialization failure.
+    pub fn save(&self, path: &Path) -> Result<(), CsmError> {
+        let json = self.to_json()?;
+        fs::write(path, json).map_err(|e| CsmError::Storage(e.to_string()))
+    }
+
+    /// Reads a store from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::Storage`] on I/O or parse failure.
+    pub fn load(path: &Path) -> Result<Self, CsmError> {
+        let json = fs::read_to_string(path).map_err(|e| CsmError::Storage(e.to_string()))?;
+        Self::from_json(&json)
+    }
+
+    /// Looks up the SIS model characterized for the given switching pin.
+    pub fn sis_for_pin(&self, pin: usize) -> Option<&SisModel> {
+        self.sis.iter().find(|m| m.switching_pin == pin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::mcsm::synthetic_model;
+    use crate::model::sis::synthetic_sis;
+
+    #[test]
+    fn json_round_trip() {
+        let mut store = ModelStore::new();
+        store.mcsm = Some(synthetic_model());
+        store.sis.push(synthetic_sis());
+        let json = store.to_json().unwrap();
+        let back = ModelStore::from_json(&json).unwrap();
+        assert_eq!(store, back);
+        assert!(back.sis_for_pin(0).is_some());
+        assert!(back.sis_for_pin(1).is_none());
+        assert!(back.mis_baseline.is_none());
+    }
+
+    #[test]
+    fn bad_json_is_a_storage_error() {
+        let err = ModelStore::from_json("{not json");
+        assert!(matches!(err, Err(CsmError::Storage(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut store = ModelStore::new();
+        store.mcsm = Some(synthetic_model());
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mcsm_store_test_{}.json", std::process::id()));
+        store.save(&path).unwrap();
+        let back = ModelStore::load(&path).unwrap();
+        assert_eq!(store, back);
+        let _ = std::fs::remove_file(&path);
+        // Loading a missing file is a storage error.
+        assert!(matches!(
+            ModelStore::load(&dir.join("definitely_missing_mcsm.json")),
+            Err(CsmError::Storage(_))
+        ));
+    }
+}

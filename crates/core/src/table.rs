@@ -1,0 +1,176 @@
+//! Voltage-indexed lookup tables used by the current-source models.
+//!
+//! All model components are stored as [`LutNd`] tables over voltage axes. The
+//! wrappers here fix the axis order per model family and give the query sites
+//! readable names:
+//!
+//! * [`Table4`] — `(V_A, V_B, V_N, V_o)`, the paper's 4-dimensional MCSM tables;
+//! * [`Table3`] — `(V_A, V_B, V_o)`, the baseline MIS model that ignores the
+//!   internal node (Section 3.1);
+//! * [`Table2`] — `(V_in, V_o)`, the single-input-switching model (Section 2.1);
+//! * [`Table1`] — `(V_in)`, input pin capacitances (Eq. 3).
+
+use mcsm_num::grid::Axis;
+use mcsm_num::lut::LutNd;
+use mcsm_num::NumError;
+use serde::{Deserialize, Serialize};
+
+macro_rules! voltage_table {
+    ($(#[$doc:meta])* $name:ident, $dims:expr, [$($arg:ident),+]) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        pub struct $name {
+            lut: LutNd,
+        }
+
+        impl $name {
+            /// Wraps a lookup table, checking its dimensionality.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`NumError::InvalidQuery`] if the table does not have the
+            /// expected number of axes.
+            pub fn new(lut: LutNd) -> Result<Self, NumError> {
+                if lut.dimensions() != $dims {
+                    return Err(NumError::InvalidQuery(format!(
+                        concat!(stringify!($name), " needs {} axes, got {}"),
+                        $dims,
+                        lut.dimensions()
+                    )));
+                }
+                Ok(Self { lut })
+            }
+
+            /// Builds a table by sampling `f` on the given axes.
+            ///
+            /// # Errors
+            ///
+            /// Propagates grid-construction errors.
+            pub fn from_fn<F: FnMut(&[f64]) -> f64>(
+                axes: [Axis; $dims],
+                f: F,
+            ) -> Result<Self, NumError> {
+                Self::new(LutNd::from_fn(axes.to_vec(), f)?)
+            }
+
+            /// Evaluates the table by multilinear interpolation.
+            pub fn eval(&self, $($arg: f64),+) -> f64 {
+                self.lut
+                    .eval(&[$($arg),+])
+                    .expect("constructor guarantees the axis count")
+            }
+
+            /// The underlying lookup table.
+            pub fn lut(&self) -> &LutNd {
+                &self.lut
+            }
+
+            /// Partial derivative along the given axis index.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`NumError::InvalidQuery`] for an out-of-range axis.
+            pub fn partial(&self, coords: &[f64; $dims], axis: usize) -> Result<f64, NumError> {
+                self.lut.eval_partial(coords, axis)
+            }
+        }
+    };
+}
+
+voltage_table!(
+    /// A 4-D table over `(V_A, V_B, V_N, V_o)` — the complete MCSM component shape.
+    Table4,
+    4,
+    [v_a, v_b, v_n, v_o]
+);
+
+voltage_table!(
+    /// A 3-D table over `(V_A, V_B, V_o)` — baseline MIS components (no internal node).
+    Table3,
+    3,
+    [v_a, v_b, v_o]
+);
+
+voltage_table!(
+    /// A 2-D table over `(V_in, V_o)` — single-input-switching components.
+    Table2,
+    2,
+    [v_in, v_o]
+);
+
+voltage_table!(
+    /// A 1-D table over `(V_in)` — input pin capacitances.
+    Table1,
+    1,
+    [v_in]
+);
+
+/// Builds the voltage axis used by every table: `[-margin, vdd + margin]` with
+/// `points` samples.
+///
+/// # Errors
+///
+/// Propagates axis-construction errors.
+pub fn voltage_axis(vdd: f64, margin: f64, points: usize) -> Result<Axis, NumError> {
+    Axis::voltage_with_margin(vdd, margin, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis(n: usize) -> Axis {
+        Axis::uniform(0.0, 1.2, n).unwrap()
+    }
+
+    #[test]
+    fn table4_round_trip() {
+        let t = Table4::from_fn([axis(3), axis(3), axis(3), axis(3)], |v| {
+            v[0] + 2.0 * v[1] + 3.0 * v[2] + 4.0 * v[3]
+        })
+        .unwrap();
+        let v = t.eval(0.3, 0.6, 0.9, 1.2);
+        assert!((v - (0.3 + 1.2 + 2.7 + 4.8)).abs() < 1e-12);
+        assert_eq!(t.lut().dimensions(), 4);
+        let d = t.partial(&[0.3, 0.6, 0.9, 1.2], 3).unwrap();
+        assert!((d - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let lut2 = LutNd::from_fn(vec![axis(3), axis(3)], |v| v[0]).unwrap();
+        assert!(Table4::new(lut2.clone()).is_err());
+        assert!(Table3::new(lut2.clone()).is_err());
+        assert!(Table2::new(lut2).is_ok());
+    }
+
+    #[test]
+    fn table1_and_table2() {
+        let t1 = Table1::from_fn([axis(5)], |v| 2.0 * v[0]).unwrap();
+        assert!((t1.eval(0.6) - 1.2).abs() < 1e-12);
+        let t2 = Table2::from_fn([axis(3), axis(3)], |v| v[0] - v[1]).unwrap();
+        assert!((t2.eval(1.0, 0.25) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_axis_covers_margin() {
+        let a = voltage_axis(1.2, 0.1, 5).unwrap();
+        assert!((a.min() + 0.1).abs() < 1e-12);
+        assert!((a.max() - 1.3).abs() < 1e-12);
+        assert!(voltage_axis(1.2, 0.1, 1).is_err());
+    }
+
+    #[test]
+    fn table3_partial_out_of_range() {
+        let t = Table3::from_fn([axis(3), axis(3), axis(3)], |v| v[0]).unwrap();
+        assert!(t.partial(&[0.1, 0.2, 0.3], 3).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Table2::from_fn([axis(3), axis(3)], |v| v[0] * v[1]).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table2 = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,245 @@
+//! Sampling axes for lookup tables and characterization sweeps.
+//!
+//! An [`Axis`] is a strictly increasing list of sample points along one voltage
+//! dimension. The paper characterizes its tables on voltages swept from
+//! `-Δv` to `Vdd + Δv` (Section 3.3); [`Axis::uniform`] with a margin is the
+//! direct counterpart.
+
+use crate::error::NumError;
+use serde::{Deserialize, Serialize};
+
+/// A strictly increasing 1-D sampling axis.
+///
+/// # Example
+///
+/// ```
+/// use mcsm_num::grid::Axis;
+///
+/// # fn main() -> Result<(), mcsm_num::NumError> {
+/// let axis = Axis::uniform(0.0, 1.2, 7)?;
+/// assert_eq!(axis.len(), 7);
+/// assert_eq!(axis.points()[0], 0.0);
+/// assert!((axis.points()[6] - 1.2).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    points: Vec<f64>,
+}
+
+impl Axis {
+    /// Creates an axis from explicit sample points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidGrid`] if fewer than two points are provided,
+    /// any point is not finite, or the points are not strictly increasing.
+    pub fn new(points: Vec<f64>) -> Result<Self, NumError> {
+        if points.len() < 2 {
+            return Err(NumError::InvalidGrid(format!(
+                "axis needs at least 2 points, got {}",
+                points.len()
+            )));
+        }
+        for w in points.windows(2) {
+            if !w[0].is_finite() || !w[1].is_finite() {
+                return Err(NumError::InvalidGrid("axis points must be finite".into()));
+            }
+            if w[1] <= w[0] {
+                return Err(NumError::InvalidGrid(format!(
+                    "axis points must be strictly increasing ({} then {})",
+                    w[0], w[1]
+                )));
+            }
+        }
+        Ok(Axis { points })
+    }
+
+    /// Creates a uniformly spaced axis with `count` points over `[start, stop]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidGrid`] if `count < 2` or `stop <= start`.
+    pub fn uniform(start: f64, stop: f64, count: usize) -> Result<Self, NumError> {
+        if count < 2 {
+            return Err(NumError::InvalidGrid(format!(
+                "uniform axis needs at least 2 points, got {count}"
+            )));
+        }
+        if !(stop > start) {
+            return Err(NumError::InvalidGrid(format!(
+                "uniform axis needs stop > start (got [{start}, {stop}])"
+            )));
+        }
+        let step = (stop - start) / (count - 1) as f64;
+        let points = (0..count).map(|i| start + step * i as f64).collect();
+        Axis::new(points)
+    }
+
+    /// Creates a uniform voltage axis covering `[-margin, vdd + margin]`, the
+    /// sweep range the paper uses for current-source characterization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidGrid`] on an empty range or too few points.
+    pub fn voltage_with_margin(vdd: f64, margin: f64, count: usize) -> Result<Self, NumError> {
+        Axis::uniform(-margin, vdd + margin, count)
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the axis is empty (never true for a constructed axis).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The sample points.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Lowest sample point.
+    pub fn min(&self) -> f64 {
+        self.points[0]
+    }
+
+    /// Highest sample point.
+    pub fn max(&self) -> f64 {
+        *self.points.last().expect("axis is never empty")
+    }
+
+    /// Locates `x` on the axis: returns the index `i` of the cell `[p[i], p[i+1]]`
+    /// containing `x` and the normalized position `t ∈ [0, 1]` within that cell.
+    ///
+    /// Queries outside the axis range are clamped to the first/last cell, which
+    /// makes table evaluation a flat extrapolation — the standard, safe choice for
+    /// characterized device tables.
+    pub fn locate(&self, x: f64) -> (usize, f64) {
+        let pts = &self.points;
+        let n = pts.len();
+        if x <= pts[0] {
+            return (0, 0.0);
+        }
+        if x >= pts[n - 1] {
+            return (n - 2, 1.0);
+        }
+        // Binary search for the containing cell.
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if pts[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (x - pts[lo]) / (pts[lo + 1] - pts[lo]);
+        (lo, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_axis_endpoints() {
+        let a = Axis::uniform(-0.1, 1.3, 15).unwrap();
+        assert_eq!(a.len(), 15);
+        assert!((a.min() + 0.1).abs() < 1e-12);
+        assert!((a.max() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_margin_axis_matches_paper_sweep() {
+        let a = Axis::voltage_with_margin(1.2, 0.1, 10).unwrap();
+        assert!((a.min() + 0.1).abs() < 1e-12);
+        assert!((a.max() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_too_few_points() {
+        assert!(Axis::new(vec![1.0]).is_err());
+        assert!(Axis::uniform(0.0, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_non_monotonic() {
+        assert!(Axis::new(vec![0.0, 1.0, 0.5]).is_err());
+        assert!(Axis::new(vec![0.0, 0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(Axis::new(vec![0.0, f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_reversed_uniform_range() {
+        assert!(Axis::uniform(1.0, 0.0, 5).is_err());
+    }
+
+    #[test]
+    fn locate_interior_point() {
+        let a = Axis::uniform(0.0, 1.0, 5).unwrap(); // points at 0, .25, .5, .75, 1
+        let (i, t) = a.locate(0.6);
+        assert_eq!(i, 2);
+        assert!((t - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_exact_grid_point() {
+        let a = Axis::uniform(0.0, 1.0, 5).unwrap();
+        let (i, t) = a.locate(0.5);
+        assert_eq!(i, 2);
+        assert!(t.abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_clamps_out_of_range() {
+        let a = Axis::uniform(0.0, 1.0, 5).unwrap();
+        assert_eq!(a.locate(-2.0), (0, 0.0));
+        let (i, t) = a.locate(7.0);
+        assert_eq!(i, 3);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_uniform_axis_locate() {
+        let a = Axis::new(vec![0.0, 0.1, 0.5, 1.2]).unwrap();
+        let (i, t) = a.locate(0.3);
+        assert_eq!(i, 1);
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn locate_is_consistent_with_points(
+            count in 2usize..20,
+            start in -5.0..0.0f64,
+            span in 0.1..10.0f64,
+            q in -10.0..10.0f64
+        ) {
+            let a = Axis::uniform(start, start + span, count).unwrap();
+            let (i, t) = a.locate(q);
+            prop_assert!(i + 1 < a.len());
+            prop_assert!((0.0..=1.0).contains(&t));
+            let reconstructed = a.points()[i] * (1.0 - t) + a.points()[i + 1] * t;
+            // Inside the range, locate followed by interpolation reproduces q.
+            if q >= a.min() && q <= a.max() {
+                prop_assert!((reconstructed - q).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Time-integration helpers.
+//!
+//! Two integration styles appear in the workspace:
+//!
+//! * The SPICE transient engine replaces each capacitor with a *companion model*
+//!   (a conductance in parallel with a current source) derived from backward
+//!   Euler or the trapezoidal rule — [`CompanionMethod`] and [`CapacitorCompanion`].
+//! * The CSM waveform engine advances the paper's Eqs. (4)–(5) explicitly;
+//!   [`explicit_step`] is that one-liner given a name so it can be documented and
+//!   tested once.
+
+use serde::{Deserialize, Serialize};
+
+/// Integration method used to build capacitor companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CompanionMethod {
+    /// First-order backward Euler: robust, strongly damped.
+    #[default]
+    BackwardEuler,
+    /// Second-order trapezoidal rule: more accurate, may ring on stiff steps.
+    Trapezoidal,
+}
+
+/// Companion-model coefficients for a linear capacitor over one time step.
+///
+/// The capacitor branch current is represented as
+/// `i = g_eq * v(t_{n+1}) + i_eq`
+/// where `g_eq` and `i_eq` depend on the method, the step size and the state at
+/// the previous time point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacitorCompanion {
+    /// Equivalent conductance (siemens).
+    pub g_eq: f64,
+    /// Equivalent history current source (amps).
+    pub i_eq: f64,
+}
+
+impl CapacitorCompanion {
+    /// Builds the companion model of a capacitor `c` for a step of `dt` seconds,
+    /// given the capacitor voltage and current at the previous time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive (a zero step is a programming error
+    /// in the time-stepping loop, not a recoverable condition).
+    pub fn new(
+        method: CompanionMethod,
+        c: f64,
+        dt: f64,
+        v_prev: f64,
+        i_prev: f64,
+    ) -> CapacitorCompanion {
+        assert!(dt > 0.0, "companion model requires dt > 0, got {dt}");
+        match method {
+            CompanionMethod::BackwardEuler => {
+                let g_eq = c / dt;
+                CapacitorCompanion {
+                    g_eq,
+                    i_eq: -g_eq * v_prev,
+                }
+            }
+            CompanionMethod::Trapezoidal => {
+                let g_eq = 2.0 * c / dt;
+                CapacitorCompanion {
+                    g_eq,
+                    i_eq: -g_eq * v_prev - i_prev,
+                }
+            }
+        }
+    }
+
+    /// Branch current through the capacitor at the new voltage `v_new`.
+    pub fn current(&self, v_new: f64) -> f64 {
+        self.g_eq * v_new + self.i_eq
+    }
+}
+
+/// One explicit (forward-Euler) update `x_{k+1} = x_k + dt * dxdt`.
+///
+/// This is the update rule of the paper's Eqs. (4) and (5): the new output (or
+/// internal-node) voltage is the previous one plus the net capacitor-charging
+/// current divided by the effective capacitance, times the step.
+#[inline]
+pub fn explicit_step(x_prev: f64, dxdt: f64, dt: f64) -> f64 {
+    x_prev + dt * dxdt
+}
+
+/// Richardson-style local truncation error estimate between a full step and two
+/// half steps; used by the adaptive transient stepping to decide refinement.
+#[inline]
+pub fn truncation_error(full_step: f64, two_half_steps: f64) -> f64 {
+    (full_step - two_half_steps).abs()
+}
+
+/// Suggests the next time step given the current step, an error estimate and a
+/// tolerance, bounded to `[shrink_limit, grow_limit]` times the current step.
+pub fn suggest_step(dt: f64, error: f64, tolerance: f64, shrink_limit: f64, grow_limit: f64) -> f64 {
+    if error <= 0.0 || !error.is_finite() {
+        return dt * grow_limit;
+    }
+    let factor = (tolerance / error).sqrt().clamp(shrink_limit, grow_limit);
+    dt * factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates an RC discharge (R to ground) with companion models and checks
+    /// the result against the analytic exponential.
+    fn simulate_rc(method: CompanionMethod, steps: usize) -> f64 {
+        let r = 1_000.0;
+        let c = 1e-12;
+        let t_end = 5e-9;
+        let dt = t_end / steps as f64;
+        let mut v = 1.0;
+        let mut i_cap = -v / r; // capacitor current (discharging into R)
+        for _ in 0..steps {
+            let comp = CapacitorCompanion::new(method, c, dt, v, i_cap);
+            // KCL at the single node: v/R + g_eq v + i_eq = 0
+            let v_new = -comp.i_eq / (1.0 / r + comp.g_eq);
+            i_cap = comp.current(v_new);
+            v = v_new;
+        }
+        v
+    }
+
+    #[test]
+    fn backward_euler_tracks_rc_discharge() {
+        let v = simulate_rc(CompanionMethod::BackwardEuler, 2_000);
+        let expected = (-5e-9 / (1_000.0 * 1e-12) as f64).exp();
+        assert!((v - expected).abs() < 5e-3, "v = {v}, expected {expected}");
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        let steps = 100;
+        let expected = (-5e-9 / (1_000.0 * 1e-12) as f64).exp();
+        let be = (simulate_rc(CompanionMethod::BackwardEuler, steps) - expected).abs();
+        let trap = (simulate_rc(CompanionMethod::Trapezoidal, steps) - expected).abs();
+        assert!(trap < be, "trapezoidal ({trap}) should beat backward Euler ({be})");
+    }
+
+    #[test]
+    fn companion_conductance_scales_with_c_over_dt() {
+        let comp = CapacitorCompanion::new(CompanionMethod::BackwardEuler, 2e-15, 1e-12, 0.0, 0.0);
+        assert!((comp.g_eq - 2e-3).abs() < 1e-15);
+        let comp_trap = CapacitorCompanion::new(CompanionMethod::Trapezoidal, 2e-15, 1e-12, 0.0, 0.0);
+        assert!((comp_trap.g_eq - 4e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt > 0")]
+    fn zero_step_panics() {
+        let _ = CapacitorCompanion::new(CompanionMethod::BackwardEuler, 1e-15, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn explicit_step_is_forward_euler() {
+        assert!((explicit_step(1.0, -2.0, 0.25) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn step_suggestion_grows_and_shrinks() {
+        let grown = suggest_step(1e-12, 1e-9, 1e-6, 0.2, 4.0);
+        assert!(grown > 1e-12);
+        let shrunk = suggest_step(1e-12, 1e-3, 1e-6, 0.2, 4.0);
+        assert!(shrunk < 1e-12);
+        assert!(shrunk >= 0.2e-12 * 0.999);
+        // Zero error means "grow as much as allowed".
+        assert!((suggest_step(1e-12, 0.0, 1e-6, 0.2, 4.0) - 4e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn truncation_error_is_absolute_difference() {
+        assert!((truncation_error(1.0, 0.75) - 0.25).abs() < 1e-15);
+        assert!((truncation_error(-1.0, 1.0) - 2.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,267 @@
+//! One-dimensional interpolation helpers.
+//!
+//! These are used for waveform resampling (comparing an MCSM waveform against a
+//! SPICE reference requires evaluating both on a common time base) and for the
+//! per-axis steps of multilinear table evaluation.
+
+use crate::error::NumError;
+
+/// Linear interpolation between two samples: `a + t (b - a)`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + t * (b - a)
+}
+
+/// Evaluates a piecewise-linear function defined by `(xs, ys)` at `x`.
+///
+/// Queries outside the sampled range are clamped to the end values (flat
+/// extrapolation), matching the behaviour of the table lookups.
+///
+/// # Errors
+///
+/// * [`NumError::DimensionMismatch`] if `xs` and `ys` have different lengths.
+/// * [`NumError::InvalidGrid`] if fewer than one sample is provided or `xs` is
+///   not strictly increasing.
+pub fn interp1(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, NumError> {
+    if xs.len() != ys.len() {
+        return Err(NumError::DimensionMismatch {
+            got: ys.len(),
+            expected: xs.len(),
+            context: "interp1",
+        });
+    }
+    if xs.is_empty() {
+        return Err(NumError::InvalidGrid("interp1 needs at least one sample".into()));
+    }
+    if xs.len() == 1 {
+        return Ok(ys[0]);
+    }
+    for w in xs.windows(2) {
+        if w[1] <= w[0] {
+            return Err(NumError::InvalidGrid(
+                "interp1 abscissae must be strictly increasing".into(),
+            ));
+        }
+    }
+    if x <= xs[0] {
+        return Ok(ys[0]);
+    }
+    if x >= xs[xs.len() - 1] {
+        return Ok(ys[ys.len() - 1]);
+    }
+    // Binary search for the containing interval.
+    let mut lo = 0usize;
+    let mut hi = xs.len() - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if xs[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let t = (x - xs[lo]) / (xs[lo + 1] - xs[lo]);
+    Ok(lerp(ys[lo], ys[lo + 1], t))
+}
+
+/// Resamples a piecewise-linear signal `(xs, ys)` onto the abscissae `new_xs`.
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`interp1`].
+pub fn resample(xs: &[f64], ys: &[f64], new_xs: &[f64]) -> Result<Vec<f64>, NumError> {
+    new_xs.iter().map(|&x| interp1(xs, ys, x)).collect()
+}
+
+/// Finds the first time at which a piecewise-linear signal crosses `level`,
+/// searching from the beginning, with the requested direction.
+///
+/// Returns `None` if the signal never crosses the level in that direction.
+///
+/// # Errors
+///
+/// * [`NumError::DimensionMismatch`] if the slices differ in length.
+pub fn first_crossing(
+    xs: &[f64],
+    ys: &[f64],
+    level: f64,
+    rising: bool,
+) -> Result<Option<f64>, NumError> {
+    if xs.len() != ys.len() {
+        return Err(NumError::DimensionMismatch {
+            got: ys.len(),
+            expected: xs.len(),
+            context: "first_crossing",
+        });
+    }
+    for i in 1..xs.len() {
+        let (y0, y1) = (ys[i - 1], ys[i]);
+        let crosses = if rising {
+            y0 < level && y1 >= level
+        } else {
+            y0 > level && y1 <= level
+        };
+        if crosses {
+            if (y1 - y0).abs() < f64::EPSILON {
+                return Ok(Some(xs[i]));
+            }
+            let t = (level - y0) / (y1 - y0);
+            return Ok(Some(lerp(xs[i - 1], xs[i], t)));
+        }
+    }
+    Ok(None)
+}
+
+/// Finds the last time at which a piecewise-linear signal crosses `level` in the
+/// requested direction.
+///
+/// # Errors
+///
+/// * [`NumError::DimensionMismatch`] if the slices differ in length.
+pub fn last_crossing(
+    xs: &[f64],
+    ys: &[f64],
+    level: f64,
+    rising: bool,
+) -> Result<Option<f64>, NumError> {
+    if xs.len() != ys.len() {
+        return Err(NumError::DimensionMismatch {
+            got: ys.len(),
+            expected: xs.len(),
+            context: "last_crossing",
+        });
+    }
+    let mut found = None;
+    for i in 1..xs.len() {
+        let (y0, y1) = (ys[i - 1], ys[i]);
+        let crosses = if rising {
+            y0 < level && y1 >= level
+        } else {
+            y0 > level && y1 <= level
+        };
+        if crosses {
+            let t = if (y1 - y0).abs() < f64::EPSILON {
+                1.0
+            } else {
+                (level - y0) / (y1 - y0)
+            };
+            found = Some(lerp(xs[i - 1], xs[i], t));
+        }
+    }
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        assert_eq!(lerp(1.0, 3.0, 0.0), 1.0);
+        assert_eq!(lerp(1.0, 3.0, 1.0), 3.0);
+        assert_eq!(lerp(1.0, 3.0, 0.5), 2.0);
+    }
+
+    #[test]
+    fn interp1_reproduces_samples() {
+        let xs = [0.0, 1.0, 2.0, 4.0];
+        let ys = [0.0, 2.0, 1.0, 5.0];
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((interp1(&xs, &ys, *x).unwrap() - y).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn interp1_interpolates_between_samples() {
+        let xs = [0.0, 1.0, 3.0];
+        let ys = [0.0, 10.0, 30.0];
+        assert!((interp1(&xs, &ys, 0.5).unwrap() - 5.0).abs() < 1e-12);
+        assert!((interp1(&xs, &ys, 2.0).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interp1_clamps_outside_range() {
+        let xs = [0.0, 1.0];
+        let ys = [2.0, 4.0];
+        assert_eq!(interp1(&xs, &ys, -10.0).unwrap(), 2.0);
+        assert_eq!(interp1(&xs, &ys, 10.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn interp1_single_sample_is_constant() {
+        assert_eq!(interp1(&[1.0], &[7.0], 100.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn interp1_validates_inputs() {
+        assert!(interp1(&[0.0, 1.0], &[0.0], 0.5).is_err());
+        assert!(interp1(&[1.0, 0.5], &[0.0, 1.0], 0.7).is_err());
+        assert!(interp1(&[], &[], 0.0).is_err());
+    }
+
+    #[test]
+    fn resample_onto_denser_grid() {
+        let xs = [0.0, 2.0];
+        let ys = [0.0, 4.0];
+        let out = resample(&xs, &ys, &[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap();
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn first_crossing_rising_edge() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 0.4, 0.8, 1.2];
+        let t = first_crossing(&xs, &ys, 0.6, true).unwrap().unwrap();
+        assert!((t - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_crossing_falling_edge() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.2, 0.6, 0.0];
+        let t = first_crossing(&xs, &ys, 0.6, false).unwrap().unwrap();
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_absent_returns_none() {
+        let xs = [0.0, 1.0];
+        let ys = [0.0, 0.2];
+        assert!(first_crossing(&xs, &ys, 0.6, true).unwrap().is_none());
+        assert!(first_crossing(&xs, &ys, 0.6, false).unwrap().is_none());
+    }
+
+    #[test]
+    fn last_crossing_of_glitch() {
+        // A pulse that rises above and falls back below 0.5: two falling crossings? No —
+        // one rising (index 1) and one falling (index 3); last falling is the tail.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.0, 1.0, 1.0, 0.0, 0.0];
+        let rising = last_crossing(&xs, &ys, 0.5, true).unwrap().unwrap();
+        let falling = last_crossing(&xs, &ys, 0.5, false).unwrap().unwrap();
+        assert!((rising - 0.5).abs() < 1e-12);
+        assert!((falling - 2.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn interp1_is_bounded_by_neighbour_samples(
+            n in 2usize..12,
+            seed_ys in proptest::collection::vec(-5.0..5.0f64, 12),
+            q in 0.0..1.0f64
+        ) {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+            let ys = &seed_ys[..n];
+            let v = interp1(&xs, ys, q).unwrap();
+            let min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-12 && v <= max + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Numerical substrate for the MCSM reproduction.
+//!
+//! This crate collects the small, dependency-free numerical building blocks the
+//! rest of the workspace relies on:
+//!
+//! * [`matrix`] — dense matrices and LU factorization used by the modified nodal
+//!   analysis (MNA) solver of `mcsm-spice`.
+//! * [`newton`] — a damped Newton–Raphson driver shared by DC and transient
+//!   analyses.
+//! * [`grid`] / [`lut`] — N-dimensional grids and multilinear-interpolated lookup
+//!   tables; the paper's 4-dimensional `I_o(V_A, V_B, V_N, V_o)` tables are built
+//!   on these.
+//! * [`interp`] — 1-D interpolation helpers.
+//! * [`integrate`] — companion-model coefficients for backward-Euler and
+//!   trapezoidal integration plus the explicit update used by the CSM engine.
+//! * [`rootfind`] — bracketing root finders for threshold-crossing extraction.
+//! * [`stats`] — RMSE / error metrics (paper Eq. 6).
+//! * [`units`] — light newtypes for electrical quantities.
+//!
+//! # Example
+//!
+//! ```
+//! use mcsm_num::lut::LutNd;
+//! use mcsm_num::grid::Axis;
+//!
+//! # fn main() -> Result<(), mcsm_num::NumError> {
+//! // A 2-D table of f(x, y) = x + 2 y sampled on a coarse grid.
+//! let axes = vec![Axis::uniform(0.0, 1.0, 3)?, Axis::uniform(0.0, 1.0, 3)?];
+//! let lut = LutNd::from_fn(axes, |v| v[0] + 2.0 * v[1])?;
+//! let value = lut.eval(&[0.25, 0.75])?;
+//! assert!((value - 1.75).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod grid;
+pub mod integrate;
+pub mod interp;
+pub mod lut;
+pub mod matrix;
+pub mod newton;
+pub mod rootfind;
+pub mod stats;
+pub mod units;
+
+pub use error::NumError;
+pub use grid::Axis;
+pub use lut::LutNd;
+pub use matrix::DenseMatrix;
+pub use newton::{NewtonOptions, NewtonOutcome, NewtonSystem};
+pub use units::{Amps, Farads, Seconds, Volts};

@@ -1,0 +1,462 @@
+//! N-dimensional lookup tables with multilinear interpolation.
+//!
+//! The heart of a current-source model is a set of pre-characterized tables:
+//! the paper stores `I_o`, `I_N`, `C_mA`, `C_mB`, `C_o` and `C_N` as
+//! **4-dimensional** tables over `(V_A, V_B, V_N, V_o)` and evaluates them by
+//! interpolation at simulation time (Section 3.3). [`LutNd`] is that container,
+//! generic over the number of axes so the same type also serves the 2-D tables
+//! of the single-input-switching model and the 1-D input-capacitance tables.
+
+use crate::error::NumError;
+use crate::grid::Axis;
+use serde::{Deserialize, Serialize};
+
+/// An N-dimensional lookup table evaluated by multilinear interpolation.
+///
+/// Data is stored in row-major order over the axes: the index of the sample at
+/// grid coordinates `(i_0, i_1, …, i_{d-1})` is
+/// `((i_0 * n_1 + i_1) * n_2 + i_2) * … + i_{d-1}`.
+///
+/// Queries outside the grid range are clamped to the boundary (flat
+/// extrapolation), which is the conservative behaviour expected from
+/// characterized device tables: beyond the characterized voltage range the
+/// table holds its boundary value rather than extrapolating a slope that was
+/// never measured.
+///
+/// # Example
+///
+/// ```
+/// use mcsm_num::{grid::Axis, lut::LutNd};
+///
+/// # fn main() -> Result<(), mcsm_num::NumError> {
+/// let axes = vec![
+///     Axis::uniform(0.0, 1.0, 5)?,
+///     Axis::uniform(0.0, 2.0, 5)?,
+/// ];
+/// // f(x, y) = 3 x - y is affine, so multilinear interpolation is exact.
+/// let lut = LutNd::from_fn(axes, |v| 3.0 * v[0] - v[1])?;
+/// assert!((lut.eval(&[0.3, 1.1])? - (0.9 - 1.1)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LutNd {
+    axes: Vec<Axis>,
+    values: Vec<f64>,
+}
+
+impl LutNd {
+    /// Creates a table from axes and a flat row-major value vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::InvalidGrid`] if no axes are given.
+    /// * [`NumError::DimensionMismatch`] if `values.len()` does not equal the
+    ///   product of axis lengths.
+    pub fn new(axes: Vec<Axis>, values: Vec<f64>) -> Result<Self, NumError> {
+        if axes.is_empty() {
+            return Err(NumError::InvalidGrid("lut needs at least one axis".into()));
+        }
+        let expected: usize = axes.iter().map(Axis::len).product();
+        if values.len() != expected {
+            return Err(NumError::DimensionMismatch {
+                got: values.len(),
+                expected,
+                context: "LutNd::new values length",
+            });
+        }
+        Ok(LutNd { axes, values })
+    }
+
+    /// Creates a table by evaluating `f` at every grid point.
+    ///
+    /// The closure receives the coordinates of the grid point, one per axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidGrid`] if no axes are given.
+    pub fn from_fn<F>(axes: Vec<Axis>, mut f: F) -> Result<Self, NumError>
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        if axes.is_empty() {
+            return Err(NumError::InvalidGrid("lut needs at least one axis".into()));
+        }
+        let total: usize = axes.iter().map(Axis::len).product();
+        let dims: Vec<usize> = axes.iter().map(Axis::len).collect();
+        let mut values = Vec::with_capacity(total);
+        let mut coord = vec![0.0; axes.len()];
+        let mut idx = vec![0usize; axes.len()];
+        for flat in 0..total {
+            // Decode the flat index into per-axis indices (row-major).
+            let mut rem = flat;
+            for d in (0..dims.len()).rev() {
+                idx[d] = rem % dims[d];
+                rem /= dims[d];
+            }
+            for d in 0..dims.len() {
+                coord[d] = axes[d].points()[idx[d]];
+            }
+            values.push(f(&coord));
+        }
+        LutNd::new(axes, values)
+    }
+
+    /// Creates a fallible variant of [`LutNd::from_fn`], aborting on the first error.
+    ///
+    /// This is used by characterization, where each grid point requires a SPICE
+    /// analysis that can fail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `f`, or [`NumError::InvalidGrid`]
+    /// if no axes are given.
+    pub fn try_from_fn<F, E>(axes: Vec<Axis>, mut f: F) -> Result<Result<Self, E>, NumError>
+    where
+        F: FnMut(&[f64]) -> Result<f64, E>,
+    {
+        if axes.is_empty() {
+            return Err(NumError::InvalidGrid("lut needs at least one axis".into()));
+        }
+        let total: usize = axes.iter().map(Axis::len).product();
+        let dims: Vec<usize> = axes.iter().map(Axis::len).collect();
+        let mut values = Vec::with_capacity(total);
+        let mut coord = vec![0.0; axes.len()];
+        let mut idx = vec![0usize; axes.len()];
+        for flat in 0..total {
+            let mut rem = flat;
+            for d in (0..dims.len()).rev() {
+                idx[d] = rem % dims[d];
+                rem /= dims[d];
+            }
+            for d in 0..dims.len() {
+                coord[d] = axes[d].points()[idx[d]];
+            }
+            match f(&coord) {
+                Ok(v) => values.push(v),
+                Err(e) => return Ok(Err(e)),
+            }
+        }
+        Ok(Ok(LutNd::new(axes, values)?))
+    }
+
+    /// Number of dimensions (axes).
+    pub fn dimensions(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// The sampling axes.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// The raw sample values in row-major order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total number of stored samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table holds no samples (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the stored sample at the given per-axis indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidQuery`] if the number of indices is wrong or
+    /// any index is out of bounds.
+    pub fn at(&self, indices: &[usize]) -> Result<f64, NumError> {
+        if indices.len() != self.axes.len() {
+            return Err(NumError::InvalidQuery(format!(
+                "expected {} indices, got {}",
+                self.axes.len(),
+                indices.len()
+            )));
+        }
+        let mut flat = 0usize;
+        for (d, (&i, axis)) in indices.iter().zip(&self.axes).enumerate() {
+            if i >= axis.len() {
+                return Err(NumError::InvalidQuery(format!(
+                    "index {i} out of bounds for axis {d} of length {}",
+                    axis.len()
+                )));
+            }
+            flat = flat * axis.len() + i;
+        }
+        Ok(self.values[flat])
+    }
+
+    /// Evaluates the table at `coords` by multilinear interpolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidQuery`] if the number of coordinates differs
+    /// from the number of axes.
+    pub fn eval(&self, coords: &[f64]) -> Result<f64, NumError> {
+        if coords.len() != self.axes.len() {
+            return Err(NumError::InvalidQuery(format!(
+                "expected {} coordinates, got {}",
+                self.axes.len(),
+                coords.len()
+            )));
+        }
+        let d = self.axes.len();
+        // Locate every coordinate on its axis.
+        let mut base = vec![0usize; d];
+        let mut frac = vec![0.0; d];
+        for k in 0..d {
+            let (i, t) = self.axes[k].locate(coords[k]);
+            base[k] = i;
+            frac[k] = t;
+        }
+        // Sum over the 2^d corners of the containing cell.
+        let corners = 1usize << d;
+        let mut acc = 0.0;
+        for corner in 0..corners {
+            let mut weight = 1.0;
+            let mut flat = 0usize;
+            for k in 0..d {
+                let high = (corner >> k) & 1 == 1;
+                let idx = base[k] + usize::from(high);
+                weight *= if high { frac[k] } else { 1.0 - frac[k] };
+                flat = flat * self.axes[k].len() + idx;
+            }
+            if weight != 0.0 {
+                acc += weight * self.values[flat];
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Evaluates the partial derivative of the interpolant along `axis` at `coords`
+    /// using the slope of the containing cell.
+    ///
+    /// The CSM simulation engine uses these derivatives when running its implicit
+    /// (Newton) integrator, where `dI_o/dV_o` acts as a conductance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidQuery`] if `axis` is out of range or the number
+    /// of coordinates differs from the number of axes.
+    pub fn eval_partial(&self, coords: &[f64], axis: usize) -> Result<f64, NumError> {
+        if axis >= self.axes.len() {
+            return Err(NumError::InvalidQuery(format!(
+                "axis {axis} out of range for a {}-dimensional table",
+                self.axes.len()
+            )));
+        }
+        let pts = self.axes[axis].points();
+        let (cell, _) = self.axes[axis].locate(coords[axis]);
+        let h = pts[cell + 1] - pts[cell];
+        let mut lo = coords.to_vec();
+        let mut hi = coords.to_vec();
+        lo[axis] = pts[cell];
+        hi[axis] = pts[cell + 1];
+        let f_lo = self.eval(&lo)?;
+        let f_hi = self.eval(&hi)?;
+        Ok((f_hi - f_lo) / h)
+    }
+
+    /// Applies a function to every stored value, returning a new table with the
+    /// same axes (used e.g. to average capacitance tables over several slews).
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> LutNd {
+        LutNd {
+            axes: self.axes.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Combines two tables sample-by-sample (they must share identical axes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidQuery`] if the axes differ.
+    pub fn zip_with<F: FnMut(f64, f64) -> f64>(
+        &self,
+        other: &LutNd,
+        mut f: F,
+    ) -> Result<LutNd, NumError> {
+        if self.axes != other.axes {
+            return Err(NumError::InvalidQuery(
+                "zip_with requires identical axes".into(),
+            ));
+        }
+        Ok(LutNd {
+            axes: self.axes.clone(),
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Minimum stored sample value.
+    pub fn min_value(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum stored sample value.
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis(n: usize) -> Axis {
+        Axis::uniform(0.0, 1.0, n).unwrap()
+    }
+
+    #[test]
+    fn one_dimensional_table_matches_interp() {
+        let lut = LutNd::from_fn(vec![axis(5)], |v| v[0] * v[0]).unwrap();
+        // At grid points the value is exact.
+        assert!((lut.eval(&[0.5]).unwrap() - 0.25).abs() < 1e-12);
+        // Between grid points it is the chord of x^2.
+        let v = lut.eval(&[0.375]).unwrap();
+        let expected = 0.5 * (0.0625 + 0.25);
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_functions_are_exact_in_4d() {
+        let axes = vec![axis(3), axis(4), axis(5), axis(3)];
+        let f = |v: &[f64]| 1.0 + 2.0 * v[0] - 3.0 * v[1] + 0.5 * v[2] + 4.0 * v[3];
+        let lut = LutNd::from_fn(axes, f).unwrap();
+        let q = [0.21, 0.68, 0.43, 0.9];
+        assert!((lut.eval(&q).unwrap() - f(&q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_extrapolation_beyond_range() {
+        let lut = LutNd::from_fn(vec![axis(3)], |v| v[0]).unwrap();
+        assert!((lut.eval(&[-5.0]).unwrap() - 0.0).abs() < 1e-12);
+        assert!((lut.eval(&[5.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_retrieves_exact_samples() {
+        let lut = LutNd::from_fn(vec![axis(3), axis(3)], |v| v[0] + 10.0 * v[1]).unwrap();
+        assert!((lut.at(&[1, 2]).unwrap() - (0.5 + 10.0)).abs() < 1e-12);
+        assert!(lut.at(&[3, 0]).is_err());
+        assert!(lut.at(&[0]).is_err());
+    }
+
+    #[test]
+    fn eval_rejects_wrong_arity() {
+        let lut = LutNd::from_fn(vec![axis(3), axis(3)], |v| v[0]).unwrap();
+        assert!(lut.eval(&[0.5]).is_err());
+        assert!(lut.eval(&[0.5, 0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn new_validates_value_count() {
+        let err = LutNd::new(vec![axis(3), axis(3)], vec![0.0; 8]);
+        assert!(matches!(err, Err(NumError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_axes_rejected() {
+        assert!(LutNd::new(vec![], vec![]).is_err());
+        assert!(LutNd::from_fn(vec![], |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn partial_derivative_of_affine_function() {
+        let axes = vec![axis(4), axis(4)];
+        let lut = LutNd::from_fn(axes, |v| 2.0 * v[0] - 7.0 * v[1]).unwrap();
+        assert!((lut.eval_partial(&[0.4, 0.6], 0).unwrap() - 2.0).abs() < 1e-10);
+        assert!((lut.eval_partial(&[0.4, 0.6], 1).unwrap() + 7.0).abs() < 1e-10);
+        assert!(lut.eval_partial(&[0.4, 0.6], 2).is_err());
+    }
+
+    #[test]
+    fn map_and_zip_with() {
+        let a = LutNd::from_fn(vec![axis(3)], |v| v[0]).unwrap();
+        let b = a.map(|v| 2.0 * v);
+        assert!((b.eval(&[1.0]).unwrap() - 2.0).abs() < 1e-12);
+        let c = a.zip_with(&b, |x, y| x + y).unwrap();
+        assert!((c.eval(&[1.0]).unwrap() - 3.0).abs() < 1e-12);
+        let other_axes = LutNd::from_fn(vec![axis(4)], |v| v[0]).unwrap();
+        assert!(a.zip_with(&other_axes, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn try_from_fn_propagates_errors() {
+        let result: Result<Result<LutNd, &str>, NumError> =
+            LutNd::try_from_fn(vec![axis(3)], |v| {
+                if v[0] > 0.6 {
+                    Err("boom")
+                } else {
+                    Ok(v[0])
+                }
+            });
+        assert_eq!(result.unwrap().unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn min_max_values() {
+        let lut = LutNd::from_fn(vec![axis(5)], |v| v[0] - 0.5).unwrap();
+        assert!((lut.min_value() + 0.5).abs() < 1e-12);
+        assert!((lut.max_value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let lut = LutNd::from_fn(vec![axis(3), axis(3)], |v| v[0] * v[1]).unwrap();
+        let json = serde_json::to_string(&lut).unwrap();
+        let back: LutNd = serde_json::from_str(&json).unwrap();
+        assert_eq!(lut, back);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn interpolation_stays_within_sample_bounds(
+            values in proptest::collection::vec(-10.0..10.0f64, 16),
+            qx in -0.5..1.5f64,
+            qy in -0.5..1.5f64
+        ) {
+            let axes = vec![Axis::uniform(0.0, 1.0, 4).unwrap(), Axis::uniform(0.0, 1.0, 4).unwrap()];
+            let lut = LutNd::new(axes, values.clone()).unwrap();
+            let v = lut.eval(&[qx, qy]).unwrap();
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+
+        #[test]
+        fn grid_points_are_reproduced_exactly(
+            values in proptest::collection::vec(-10.0..10.0f64, 27),
+            ix in 0usize..3,
+            iy in 0usize..3,
+            iz in 0usize..3
+        ) {
+            let axes = vec![
+                Axis::uniform(0.0, 1.0, 3).unwrap(),
+                Axis::uniform(-1.0, 1.0, 3).unwrap(),
+                Axis::uniform(0.0, 2.0, 3).unwrap(),
+            ];
+            let lut = LutNd::new(axes.clone(), values).unwrap();
+            let q = [axes[0].points()[ix], axes[1].points()[iy], axes[2].points()[iz]];
+            let direct = lut.at(&[ix, iy, iz]).unwrap();
+            let interp = lut.eval(&q).unwrap();
+            prop_assert!((direct - interp).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Dense matrices and LU factorization.
+//!
+//! Circuits in this workspace are tiny (a handful of nodes for a logic cell plus
+//! its load), so a dense, row-major matrix with partial-pivoting LU is the right
+//! tool: simple, robust and cache-friendly at these sizes. The MNA assembly in
+//! `mcsm-spice` stamps directly into a [`DenseMatrix`].
+
+use crate::error::NumError;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use mcsm_num::matrix::DenseMatrix;
+///
+/// # fn main() -> Result<(), mcsm_num::NumError> {
+/// let mut a = DenseMatrix::zeros(2, 2);
+/// a.set(0, 0, 2.0);
+/// a.set(0, 1, 1.0);
+/// a.set(1, 0, 1.0);
+/// a.set(1, 1, 3.0);
+/// let x = a.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a nested slice of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, NumError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(NumError::DimensionMismatch {
+                    got: row.len(),
+                    expected: ncols,
+                    context: "DenseMatrix::from_rows",
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(DenseMatrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Adds `value` to the element at `(row, col)` — the MNA "stamp" primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] += value;
+    }
+
+    /// Resets every element to zero while keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumError> {
+        if x.len() != self.cols {
+            return Err(NumError::DimensionMismatch {
+                got: x.len(),
+                expected: self.cols,
+                context: "DenseMatrix::mul_vec",
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Solves `A x = b` by LU factorization with partial pivoting.
+    ///
+    /// The matrix is left untouched; a factored copy is used internally.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::DimensionMismatch`] if the matrix is not square or `b` has
+    ///   the wrong length.
+    /// * [`NumError::SingularMatrix`] if a pivot is numerically zero.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        let lu = LuFactors::factor(self)?;
+        lu.solve(b)
+    }
+
+    /// Computes the infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// An LU factorization (with partial pivoting) of a square [`DenseMatrix`].
+///
+/// Factoring once and solving repeatedly is useful when several right-hand sides
+/// share the same Jacobian (for example sensitivity sweeps).
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    pivots: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::DimensionMismatch`] if the matrix is not square.
+    /// * [`NumError::SingularMatrix`] if elimination encounters a zero pivot.
+    pub fn factor(matrix: &DenseMatrix) -> Result<Self, NumError> {
+        if matrix.rows != matrix.cols {
+            return Err(NumError::DimensionMismatch {
+                got: matrix.cols,
+                expected: matrix.rows,
+                context: "LuFactors::factor (matrix must be square)",
+            });
+        }
+        let n = matrix.rows;
+        let mut lu = matrix.data.clone();
+        let mut pivots = vec![0usize; n];
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < f64::MIN_POSITIVE * 1e4 || !max.is_finite() {
+                return Err(NumError::SingularMatrix { column: k });
+            }
+            pivots[k] = p;
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+
+        Ok(LuFactors { n, lu, pivots })
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        if b.len() != self.n {
+            return Err(NumError::DimensionMismatch {
+                got: b.len(),
+                expected: self.n,
+                context: "LuFactors::solve",
+            });
+        }
+        let n = self.n;
+        let mut x = b.to_vec();
+
+        // Apply the row permutation.
+        for k in 0..n {
+            let p = self.pivots[k];
+            if p != k {
+                x.swap(k, p);
+            }
+        }
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = sum / self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+/// Computes the infinity norm of a vector.
+pub fn vec_norm_inf(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).fold(0.0, f64::max)
+}
+
+/// Computes the Euclidean (L2) norm of a vector.
+pub fn vec_norm_2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = DenseMatrix::identity(4);
+        let b = vec![1.0, -2.0, 3.5, 0.0];
+        let x = a.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn solve_small_system() {
+        let a = DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x_true = vec![1.0, 2.0, -1.0];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        match a.solve(&[1.0, 2.0]) {
+            Err(NumError::SingularMatrix { .. }) => {}
+            other => panic!("expected SingularMatrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = DenseMatrix::identity(3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert!(matches!(err, Err(NumError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.add(0, 0, 1.5);
+        a.add(0, 0, 2.5);
+        assert!((a.get(0, 0) - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clear_preserves_shape() {
+        let mut a = DenseMatrix::identity(3);
+        a.clear();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a.norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn lu_factor_reuse_for_multiple_rhs() {
+        let a = DenseMatrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let lu = LuFactors::factor(&a).unwrap();
+        for rhs in [[1.0, 0.0], [0.0, 1.0], [2.0, -3.0]] {
+            let x = lu.solve(&rhs).unwrap();
+            let back = a.mul_vec(&x).unwrap();
+            assert!((back[0] - rhs[0]).abs() < 1e-12);
+            assert!((back[1] - rhs[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vector_norms() {
+        assert!((vec_norm_inf(&[1.0, -3.0, 2.0]) - 3.0).abs() < 1e-15);
+        assert!((vec_norm_2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm_inf_of_matrix() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 0.25]]).unwrap();
+        assert!((a.norm_inf() - 3.0).abs() < 1e-15);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn well_conditioned_matrix(n: usize) -> impl Strategy<Value = DenseMatrix> {
+        // Diagonally dominant matrices are always solvable.
+        proptest::collection::vec(proptest::collection::vec(-1.0..1.0f64, n), n).prop_map(
+            move |rows| {
+                let mut m = DenseMatrix::zeros(n, n);
+                for (i, row) in rows.iter().enumerate() {
+                    let mut diag = 0.0;
+                    for (j, &v) in row.iter().enumerate() {
+                        if i != j {
+                            m.set(i, j, v);
+                            diag += v.abs();
+                        }
+                    }
+                    m.set(i, i, diag + 1.0);
+                }
+                m
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_recovers_rhs(
+            a in well_conditioned_matrix(5),
+            b in proptest::collection::vec(-10.0..10.0f64, 5)
+        ) {
+            let x = a.solve(&b).unwrap();
+            let back = a.mul_vec(&x).unwrap();
+            for (bi, ri) in b.iter().zip(&back) {
+                prop_assert!((bi - ri).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn identity_is_neutral(b in proptest::collection::vec(-100.0..100.0f64, 6)) {
+            let a = DenseMatrix::identity(6);
+            let x = a.solve(&b).unwrap();
+            for (xi, bi) in x.iter().zip(&b) {
+                prop_assert!((xi - bi).abs() < 1e-12);
+            }
+        }
+    }
+}

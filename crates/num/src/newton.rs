@@ -1,0 +1,280 @@
+//! Damped Newton–Raphson solver for nonlinear algebraic systems.
+//!
+//! Both the DC operating-point analysis and every transient time step of
+//! `mcsm-spice` reduce to solving `F(x) = 0` where `x` is the vector of node
+//! voltages (plus branch currents for voltage sources). The solver here is a
+//! textbook Newton iteration with:
+//!
+//! * step damping (limit the per-iteration voltage change, which is essential
+//!   for the exponential subthreshold characteristics of MOSFETs),
+//! * both absolute and relative convergence criteria, and
+//! * a residual-based fallback check so "flat" systems still terminate.
+
+use crate::error::NumError;
+use crate::matrix::{vec_norm_inf, DenseMatrix};
+
+/// A nonlinear system `F(x) = 0` with an explicitly assembled Jacobian.
+///
+/// Implementors fill the Jacobian matrix and residual vector for a given iterate.
+/// The solver owns the workspace allocation; `assemble` must not resize it.
+pub trait NewtonSystem {
+    /// Dimension of the unknown vector.
+    fn dimension(&self) -> usize;
+
+    /// Assembles the Jacobian `J = dF/dx` and the residual `F(x)` at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail (for example on non-finite device evaluations);
+    /// such failures abort the Newton iteration.
+    fn assemble(
+        &mut self,
+        x: &[f64],
+        jacobian: &mut DenseMatrix,
+        residual: &mut Vec<f64>,
+    ) -> Result<(), NumError>;
+}
+
+/// Options controlling the Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Absolute tolerance on the update infinity-norm (volts).
+    pub tolerance_abs: f64,
+    /// Relative tolerance on the update vs. the iterate magnitude.
+    pub tolerance_rel: f64,
+    /// Absolute tolerance on the residual infinity-norm (amps).
+    pub residual_tolerance: f64,
+    /// Maximum per-component update magnitude applied in one iteration (volts).
+    ///
+    /// Limiting the step is the standard way to keep exponential device models
+    /// from overflowing during the first iterations.
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iterations: 200,
+            tolerance_abs: 1e-9,
+            tolerance_rel: 1e-6,
+            residual_tolerance: 1e-9,
+            max_step: 0.3,
+        }
+    }
+}
+
+/// Convergence report returned by [`solve_newton`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOutcome {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Infinity norm of the final update.
+    pub final_update: f64,
+    /// Infinity norm of the final residual.
+    pub final_residual: f64,
+}
+
+/// Solves `F(x) = 0` starting from `x0`, returning the solution and a report.
+///
+/// # Errors
+///
+/// * [`NumError::DidNotConverge`] if the iteration budget is exhausted.
+/// * Any error surfaced by the system assembly or the linear solve
+///   ([`NumError::SingularMatrix`] for a structurally broken circuit).
+pub fn solve_newton<S: NewtonSystem>(
+    system: &mut S,
+    x0: &[f64],
+    options: &NewtonOptions,
+) -> Result<(Vec<f64>, NewtonOutcome), NumError> {
+    let n = system.dimension();
+    if x0.len() != n {
+        return Err(NumError::DimensionMismatch {
+            got: x0.len(),
+            expected: n,
+            context: "solve_newton initial guess",
+        });
+    }
+
+    let mut x = x0.to_vec();
+    let mut jacobian = DenseMatrix::zeros(n, n);
+    let mut residual = vec![0.0; n];
+
+    let mut last_update = f64::INFINITY;
+    let mut last_residual = f64::INFINITY;
+
+    for iteration in 1..=options.max_iterations {
+        jacobian.clear();
+        residual.iter_mut().for_each(|v| *v = 0.0);
+        system.assemble(&x, &mut jacobian, &mut residual)?;
+
+        last_residual = vec_norm_inf(&residual);
+        if !last_residual.is_finite() {
+            return Err(NumError::DidNotConverge {
+                iterations: iteration,
+                residual: last_residual,
+            });
+        }
+
+        // Newton step: J * dx = -F(x)
+        let neg_res: Vec<f64> = residual.iter().map(|v| -v).collect();
+        let mut dx = jacobian.solve(&neg_res)?;
+
+        // Damping: clamp each component to ±max_step. If any component was
+        // clamped, the update norm is not a valid convergence signal (the true
+        // Newton step wanted to go further), so update-based convergence is
+        // suppressed for this iteration.
+        let mut clamped = false;
+        for d in dx.iter_mut() {
+            if *d > options.max_step {
+                *d = options.max_step;
+                clamped = true;
+            } else if *d < -options.max_step {
+                *d = -options.max_step;
+                clamped = true;
+            }
+        }
+
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += di;
+        }
+
+        last_update = vec_norm_inf(&dx);
+        let x_norm = vec_norm_inf(&x).max(1.0);
+        let converged_update = !clamped
+            && last_update < options.tolerance_abs + options.tolerance_rel * x_norm;
+        let converged_residual = last_residual < options.residual_tolerance;
+
+        if converged_update || (converged_residual && iteration > 1) {
+            return Ok((
+                x,
+                NewtonOutcome {
+                    iterations: iteration,
+                    final_update: last_update,
+                    final_residual: last_residual,
+                },
+            ));
+        }
+    }
+
+    Err(NumError::DidNotConverge {
+        iterations: options.max_iterations,
+        residual: last_residual.min(last_update),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scalar test system: x^2 - 4 = 0.
+    struct Quadratic;
+
+    impl NewtonSystem for Quadratic {
+        fn dimension(&self) -> usize {
+            1
+        }
+        fn assemble(
+            &mut self,
+            x: &[f64],
+            jacobian: &mut DenseMatrix,
+            residual: &mut Vec<f64>,
+        ) -> Result<(), NumError> {
+            jacobian.set(0, 0, 2.0 * x[0]);
+            residual[0] = x[0] * x[0] - 4.0;
+            Ok(())
+        }
+    }
+
+    /// A 2-D coupled system with solution (1, 2): { x + y - 3 = 0, x * y - 2 = 0 }.
+    struct Coupled;
+
+    impl NewtonSystem for Coupled {
+        fn dimension(&self) -> usize {
+            2
+        }
+        fn assemble(
+            &mut self,
+            x: &[f64],
+            jacobian: &mut DenseMatrix,
+            residual: &mut Vec<f64>,
+        ) -> Result<(), NumError> {
+            jacobian.set(0, 0, 1.0);
+            jacobian.set(0, 1, 1.0);
+            jacobian.set(1, 0, x[1]);
+            jacobian.set(1, 1, x[0]);
+            residual[0] = x[0] + x[1] - 3.0;
+            residual[1] = x[0] * x[1] - 2.0;
+            Ok(())
+        }
+    }
+
+    /// An exponential system mimicking a diode: exp(x / 0.026) - 1 - 1e6 = 0.
+    struct DiodeLike;
+
+    impl NewtonSystem for DiodeLike {
+        fn dimension(&self) -> usize {
+            1
+        }
+        fn assemble(
+            &mut self,
+            x: &[f64],
+            jacobian: &mut DenseMatrix,
+            residual: &mut Vec<f64>,
+        ) -> Result<(), NumError> {
+            let vt = 0.026;
+            let e = (x[0] / vt).exp();
+            jacobian.set(0, 0, e / vt);
+            residual[0] = e - 1.0 - 1e6;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn scalar_quadratic_converges_to_positive_root() {
+        let (x, outcome) =
+            solve_newton(&mut Quadratic, &[3.0], &NewtonOptions::default()).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-8);
+        assert!(outcome.iterations < 30);
+    }
+
+    #[test]
+    fn coupled_system_converges() {
+        let opts = NewtonOptions {
+            max_step: 1.0,
+            ..NewtonOptions::default()
+        };
+        let (x, _) = solve_newton(&mut Coupled, &[0.4, 2.8], &opts).unwrap();
+        // Roots are (1, 2) and (2, 1); from this start it lands on one of them.
+        let sum = x[0] + x[1];
+        let prod = x[0] * x[1];
+        assert!((sum - 3.0).abs() < 1e-8);
+        assert!((prod - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn damping_tames_exponential_system() {
+        // Without the per-step clamp this overflows immediately from x0 = 0.
+        let (x, _) = solve_newton(&mut DiodeLike, &[0.0], &NewtonOptions::default()).unwrap();
+        let expected = 0.026 * (1.0f64 + 1e6).ln();
+        assert!((x[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrong_initial_guess_length_is_rejected() {
+        let err = solve_newton(&mut Quadratic, &[1.0, 2.0], &NewtonOptions::default());
+        assert!(matches!(err, Err(NumError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn iteration_budget_is_honoured() {
+        let opts = NewtonOptions {
+            max_iterations: 2,
+            max_step: 1e-6, // absurdly small steps cannot reach the root
+            ..NewtonOptions::default()
+        };
+        let err = solve_newton(&mut Quadratic, &[10.0], &opts);
+        assert!(matches!(err, Err(NumError::DidNotConverge { .. })));
+    }
+}

@@ -1,0 +1,247 @@
+//! Bracketing root finders.
+//!
+//! Threshold-crossing extraction (50 % delay points, 10 %/90 % slew points) on
+//! analytic or interpolated waveforms is a scalar root-finding problem; the
+//! robust bracketing methods here never diverge as long as the bracket is valid.
+
+use crate::error::NumError;
+
+/// Options for the scalar root finders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the abscissa.
+    pub x_tolerance: f64,
+    /// Absolute tolerance on the function value.
+    pub f_tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        RootOptions {
+            x_tolerance: 1e-15,
+            f_tolerance: 1e-12,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// # Errors
+///
+/// * [`NumError::InvalidBracket`] if `f(lo)` and `f(hi)` have the same sign.
+/// * [`NumError::DidNotConverge`] if the iteration budget is exhausted.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    options: &RootOptions,
+) -> Result<f64, NumError> {
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    for _ in 0..options.max_iterations {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm.abs() < options.f_tolerance || (b - a).abs() < options.x_tolerance {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(NumError::DidNotConverge {
+        iterations: options.max_iterations,
+        residual: (b - a).abs(),
+    })
+}
+
+/// Finds a root of `f` in `[lo, hi]` using Brent's method (inverse quadratic
+/// interpolation with bisection fallback).
+///
+/// # Errors
+///
+/// * [`NumError::InvalidBracket`] if `f(lo)` and `f(hi)` have the same sign.
+/// * [`NumError::DidNotConverge`] if the iteration budget is exhausted.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    options: &RootOptions,
+) -> Result<f64, NumError> {
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = a;
+
+    for _ in 0..options.max_iterations {
+        if fb.abs() < options.f_tolerance || (b - a).abs() < options.x_tolerance {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let cond_range = {
+            let low = (3.0 * a + b) / 4.0;
+            let (lo_r, hi_r) = if low < b { (low, b) } else { (b, low) };
+            s < lo_r || s > hi_r
+        };
+        let cond_mflag = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond_nflag = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond_small_m = mflag && (b - c).abs() < options.x_tolerance;
+        let cond_small_n = !mflag && (c - d).abs() < options.x_tolerance;
+
+        if cond_range || cond_mflag || cond_nflag || cond_small_m || cond_small_n {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumError::DidNotConverge {
+        iterations: options.max_iterations,
+        residual: fb.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt_two() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, &RootOptions::default()).unwrap();
+        assert!((root - 2.0f64.sqrt()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn brent_finds_sqrt_two_quickly() {
+        let mut calls = 0usize;
+        let root = brent(
+            |x| {
+                calls += 1;
+                x * x - 2.0
+            },
+            0.0,
+            2.0,
+            &RootOptions::default(),
+        )
+        .unwrap();
+        assert!((root - 2.0f64.sqrt()).abs() < 1e-10);
+        assert!(calls < 60, "brent used {calls} evaluations");
+    }
+
+    #[test]
+    fn invalid_bracket_is_reported() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, &RootOptions::default());
+        assert!(matches!(err, Err(NumError::InvalidBracket { .. })));
+        let err = brent(|x| x * x + 1.0, -1.0, 1.0, &RootOptions::default());
+        assert!(matches!(err, Err(NumError::InvalidBracket { .. })));
+    }
+
+    #[test]
+    fn exact_endpoint_roots_are_returned() {
+        let root = bisect(|x| x, 0.0, 1.0, &RootOptions::default()).unwrap();
+        assert_eq!(root, 0.0);
+        let root = brent(|x| x - 1.0, 0.0, 1.0, &RootOptions::default()).unwrap();
+        assert_eq!(root, 1.0);
+    }
+
+    #[test]
+    fn brent_handles_steep_functions() {
+        // Models a sharp CMOS transition: tanh with a large slope.
+        let root = brent(
+            |x| ((x - 0.6312) * 200.0).tanh(),
+            0.0,
+            1.2,
+            &RootOptions::default(),
+        )
+        .unwrap();
+        assert!((root - 0.6312).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let opts = RootOptions {
+            max_iterations: 3,
+            x_tolerance: 1e-300,
+            f_tolerance: 1e-300,
+        };
+        let err = bisect(|x| x * x - 2.0, 0.0, 2.0, &opts);
+        assert!(matches!(err, Err(NumError::DidNotConverge { .. })));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn both_methods_agree_on_cubic_roots(shift in -0.9..0.9f64) {
+            // f(x) = x^3 - shift has a single real root at cbrt(shift).
+            let f = |x: f64| x * x * x - shift;
+            let opts = RootOptions::default();
+            let b = bisect(f, -2.0, 2.0, &opts).unwrap();
+            let r = brent(f, -2.0, 2.0, &opts).unwrap();
+            prop_assert!((b - r).abs() < 1e-6);
+            prop_assert!((r - shift.cbrt()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Error metrics used to compare model waveforms against reference waveforms.
+//!
+//! The paper's accuracy metric (Eq. 6) is the root-mean-squared error between
+//! the SPICE waveform and the MCSM waveform over the switching window,
+//! normalized to Vdd. The helpers here implement that plus the usual maximum /
+//! mean absolute error summaries used in EXPERIMENTS.md.
+
+use crate::error::NumError;
+
+/// Root-mean-squared difference between two equally sampled sequences
+/// (the paper's Eq. 6 before normalization).
+///
+/// # Errors
+///
+/// Returns [`NumError::DimensionMismatch`] if the slices differ in length or
+/// [`NumError::InvalidArgument`] if they are empty.
+pub fn rmse(reference: &[f64], candidate: &[f64]) -> Result<f64, NumError> {
+    if reference.len() != candidate.len() {
+        return Err(NumError::DimensionMismatch {
+            got: candidate.len(),
+            expected: reference.len(),
+            context: "rmse",
+        });
+    }
+    if reference.is_empty() {
+        return Err(NumError::InvalidArgument("rmse of empty sequences".into()));
+    }
+    let sum: f64 = reference
+        .iter()
+        .zip(candidate)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    Ok((sum / reference.len() as f64).sqrt())
+}
+
+/// RMSE normalized to a scale (the paper normalizes to Vdd).
+///
+/// # Errors
+///
+/// Propagates [`rmse`] errors and rejects a non-positive scale.
+pub fn normalized_rmse(reference: &[f64], candidate: &[f64], scale: f64) -> Result<f64, NumError> {
+    if scale <= 0.0 {
+        return Err(NumError::InvalidArgument(format!(
+            "normalization scale must be positive, got {scale}"
+        )));
+    }
+    Ok(rmse(reference, candidate)? / scale)
+}
+
+/// Maximum absolute difference between two equally sampled sequences.
+///
+/// # Errors
+///
+/// Returns [`NumError::DimensionMismatch`] on length mismatch.
+pub fn max_abs_error(reference: &[f64], candidate: &[f64]) -> Result<f64, NumError> {
+    if reference.len() != candidate.len() {
+        return Err(NumError::DimensionMismatch {
+            got: candidate.len(),
+            expected: reference.len(),
+            context: "max_abs_error",
+        });
+    }
+    Ok(reference
+        .iter()
+        .zip(candidate)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max))
+}
+
+/// Mean absolute difference between two equally sampled sequences.
+///
+/// # Errors
+///
+/// Returns [`NumError::DimensionMismatch`] on length mismatch or
+/// [`NumError::InvalidArgument`] for empty input.
+pub fn mean_abs_error(reference: &[f64], candidate: &[f64]) -> Result<f64, NumError> {
+    if reference.len() != candidate.len() {
+        return Err(NumError::DimensionMismatch {
+            got: candidate.len(),
+            expected: reference.len(),
+            context: "mean_abs_error",
+        });
+    }
+    if reference.is_empty() {
+        return Err(NumError::InvalidArgument(
+            "mean_abs_error of empty sequences".into(),
+        ));
+    }
+    let sum: f64 = reference
+        .iter()
+        .zip(candidate)
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    Ok(sum / reference.len() as f64)
+}
+
+/// Relative error `|candidate - reference| / |reference|` expressed in percent.
+///
+/// A zero reference with a zero candidate gives 0 %; a zero reference with a
+/// non-zero candidate gives infinity, which callers should treat as "undefined".
+pub fn percent_error(reference: f64, candidate: f64) -> f64 {
+    if reference == 0.0 {
+        if candidate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (candidate - reference).abs() / reference.abs()
+    }
+}
+
+/// Arithmetic mean of a sequence; returns `None` for empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample standard deviation of a sequence; returns `None` for fewer than two samples.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_identical_sequences_is_zero() {
+        let a = [0.0, 0.5, 1.2];
+        assert_eq!(rmse(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_constant_offset() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.5, 1.5, 2.5];
+        assert!((rmse(&a, &b).unwrap() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalized_rmse_matches_paper_definition() {
+        let vdd = 1.2;
+        let spice = [0.0, 0.6, 1.2];
+        let model = [0.0, 0.72, 1.2];
+        let expected = ((0.12f64 * 0.12) / 3.0).sqrt() / vdd;
+        assert!((normalized_rmse(&spice, &model, vdd).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_rmse_rejects_bad_scale() {
+        assert!(normalized_rmse(&[1.0], &[1.0], 0.0).is_err());
+        assert!(normalized_rmse(&[1.0], &[1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn max_and_mean_abs_error() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 1.5, 1.0, 3.0];
+        assert!((max_abs_error(&a, &b).unwrap() - 1.0).abs() < 1e-15);
+        assert!((mean_abs_error(&a, &b).unwrap() - 0.375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn errors_on_length_mismatch_and_empty() {
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(rmse(&[], &[]).is_err());
+        assert!(max_abs_error(&[1.0], &[]).is_err());
+        assert!(mean_abs_error(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn percent_error_cases() {
+        assert!((percent_error(2.0, 2.2) - 10.0).abs() < 1e-10);
+        assert_eq!(percent_error(0.0, 0.0), 0.0);
+        assert!(percent_error(0.0, 1.0).is_infinite());
+        // Symmetric in magnitude of deviation, relative to reference.
+        assert!((percent_error(-2.0, -1.0) - 50.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0]), None);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.138089935299395).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn rmse_bounded_by_max_error(
+            a in proptest::collection::vec(-5.0..5.0f64, 1..40),
+            offsets in proptest::collection::vec(-1.0..1.0f64, 40)
+        ) {
+            let b: Vec<f64> = a.iter().zip(&offsets).map(|(x, o)| x + o).collect();
+            let r = rmse(&a, &b).unwrap();
+            let m = max_abs_error(&a, &b).unwrap();
+            let mae = mean_abs_error(&a, &b).unwrap();
+            prop_assert!(r <= m + 1e-12);
+            prop_assert!(mae <= r + 1e-12);
+        }
+
+        #[test]
+        fn rmse_is_symmetric(
+            a in proptest::collection::vec(-5.0..5.0f64, 1..20),
+            b_seed in proptest::collection::vec(-5.0..5.0f64, 20)
+        ) {
+            let b = &b_seed[..a.len()];
+            prop_assert!((rmse(&a, b).unwrap() - rmse(b, &a).unwrap()).abs() < 1e-12);
+        }
+    }
+}

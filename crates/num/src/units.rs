@@ -1,0 +1,227 @@
+//! Light newtype wrappers for electrical quantities.
+//!
+//! The simulator and characterization code mostly manipulate raw `f64` values in
+//! SI units; these newtypes are used at API boundaries where mixing up a voltage
+//! and a time (both `f64`) would be an easy and expensive mistake — for example
+//! when declaring characterization sweep ranges.
+//!
+//! Each wrapper is a transparent `f64` with arithmetic against its own kind and
+//! scaling by plain scalars.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Creates a new value from an `f64` expressed in SI units.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the underlying `f64` in SI units.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// A voltage in volts.
+    Volts,
+    "V"
+);
+unit_newtype!(
+    /// A time in seconds.
+    Seconds,
+    "s"
+);
+unit_newtype!(
+    /// A capacitance in farads.
+    Farads,
+    "F"
+);
+unit_newtype!(
+    /// A current in amperes.
+    Amps,
+    "A"
+);
+
+impl Seconds {
+    /// Convenience constructor from nanoseconds.
+    pub fn from_nanos(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Convenience constructor from picoseconds.
+    pub fn from_picos(ps: f64) -> Self {
+        Seconds(ps * 1e-12)
+    }
+
+    /// Value in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Value in picoseconds.
+    pub fn as_picos(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl Farads {
+    /// Convenience constructor from femtofarads.
+    pub fn from_femtos(ff: f64) -> Self {
+        Farads(ff * 1e-15)
+    }
+
+    /// Value in femtofarads.
+    pub fn as_femtos(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Amps {
+    /// Convenience constructor from microamperes.
+    pub fn from_micros(ua: f64) -> Self {
+        Amps(ua * 1e-6)
+    }
+
+    /// Value in microamperes.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Volts::new(1.2);
+        let b = Volts::new(0.2);
+        assert!(((a - b).value() - 1.0).abs() < 1e-15);
+        assert!(((a + b).value() - 1.4).abs() < 1e-15);
+        assert!(((-b).value() + 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaling_and_ratio() {
+        let t = Seconds::from_nanos(2.0);
+        assert!((t.as_picos() - 2000.0).abs() < 1e-9);
+        let half = t / 2.0;
+        assert!((half.as_nanos() - 1.0).abs() < 1e-12);
+        let ratio = t / half;
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn farads_and_amps_conversions() {
+        assert!((Farads::from_femtos(50.0).value() - 50e-15).abs() < 1e-25);
+        assert!((Amps::from_micros(3.0).as_micros() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert!(Volts::new(1.2).to_string().contains('V'));
+        assert!(Seconds::new(1e-9).to_string().contains('s'));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Volts::new(-0.3);
+        assert!((a.abs().value() - 0.3).abs() < 1e-15);
+        assert_eq!(a.max(Volts::new(0.0)), Volts::new(0.0));
+        assert_eq!(a.min(Volts::new(0.0)), a);
+    }
+
+    #[test]
+    fn from_into_f64() {
+        let v: Volts = 0.6.into();
+        let raw: f64 = v.into();
+        assert!((raw - 0.6).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,338 @@
+//! DC operating-point analysis and sweeps.
+//!
+//! The operating point solves the nonlinear MNA system with all capacitors open.
+//! If a cold-start Newton fails (strongly nonlinear circuits, floating stack
+//! nodes), the solver falls back to *source stepping*: all independent sources
+//! are ramped from zero to their full value in a sequence of Newton solves, each
+//! warm-started from the previous one.
+
+use super::{AssemblyMode, MnaLayout, MnaSystem};
+use crate::circuit::{Circuit, ElementId, NodeId};
+use crate::error::SpiceError;
+use mcsm_num::newton::{solve_newton, NewtonOptions};
+
+/// Options for the DC operating-point analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcOptions {
+    /// Newton iteration controls.
+    pub newton: NewtonOptions,
+    /// Minimum conductance from every node to ground (siemens).
+    pub gmin: f64,
+    /// Number of source-stepping increments used when the cold start fails.
+    pub source_steps: usize,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            newton: NewtonOptions::default(),
+            gmin: 1e-12,
+            source_steps: 20,
+        }
+    }
+}
+
+/// A converged DC solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    /// Node voltages indexed by [`NodeId::index`] (including ground at index 0).
+    voltages: Vec<f64>,
+    /// Branch currents of the voltage sources, in MNA (insertion) order.
+    vsource_currents: Vec<f64>,
+    /// The voltage-source elements in the same order as `vsource_currents`.
+    vsource_ids: Vec<ElementId>,
+    /// The raw unknown vector (useful as a warm start for a following analysis).
+    raw: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage of a node (volts).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.voltages[node.index()]
+    }
+
+    /// Voltage of a node looked up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] if the name does not exist.
+    pub fn voltage_by_name(&self, circuit: &Circuit, name: &str) -> Result<f64, SpiceError> {
+        Ok(self.voltage(circuit.find_node(name)?))
+    }
+
+    /// All node voltages indexed by node id (ground included at index 0).
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Current flowing *into the positive terminal* of the given voltage source
+    /// (amps). The current the source delivers into the circuit at its positive
+    /// terminal is the negative of this value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidElement`] if `id` is not a voltage source of
+    /// this circuit.
+    pub fn vsource_current(&self, id: ElementId) -> Result<f64, SpiceError> {
+        self.vsource_ids
+            .iter()
+            .position(|v| *v == id)
+            .map(|i| self.vsource_currents[i])
+            .ok_or_else(|| {
+                SpiceError::InvalidElement(format!("element #{} is not a voltage source", id.index()))
+            })
+    }
+
+    /// The raw MNA unknown vector (non-ground node voltages then branch currents).
+    pub fn raw_unknowns(&self) -> &[f64] {
+        &self.raw
+    }
+}
+
+fn pack_solution(circuit: &Circuit, layout: &MnaLayout, x: Vec<f64>) -> DcSolution {
+    let mut voltages = vec![0.0; circuit.node_count()];
+    for idx in 1..circuit.node_count() {
+        voltages[idx] = x[idx - 1];
+    }
+    let vsource_ids = layout.vsources().to_vec();
+    let vsource_currents = (0..vsource_ids.len())
+        .map(|k| x[layout.vsource_slot(k)])
+        .collect();
+    DcSolution {
+        voltages,
+        vsource_currents,
+        vsource_ids,
+        raw: x,
+    }
+}
+
+/// Computes the DC operating point of a circuit (sources evaluated at `t = 0`).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::DcConvergence`] if neither the cold start nor source
+/// stepping converges, or a numerical error for structurally broken circuits.
+pub fn operating_point(circuit: &Circuit, options: &DcOptions) -> Result<DcSolution, SpiceError> {
+    operating_point_with_guess(circuit, options, None)
+}
+
+/// Computes the DC operating point, optionally warm-starting from a previous
+/// solution's raw unknown vector (useful for sweeps).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::DcConvergence`] if the analysis does not converge.
+pub fn operating_point_with_guess(
+    circuit: &Circuit,
+    options: &DcOptions,
+    guess: Option<&[f64]>,
+) -> Result<DcSolution, SpiceError> {
+    let layout = MnaLayout::new(circuit);
+    let n = layout.unknowns();
+    let x0: Vec<f64> = match guess {
+        Some(g) if g.len() == n => g.to_vec(),
+        _ => vec![0.0; n],
+    };
+
+    // Cold (or warm) start at full source strength.
+    let mut system = MnaSystem {
+        circuit,
+        layout: &layout,
+        mode: AssemblyMode::Dc,
+        time: 0.0,
+        source_scale: 1.0,
+        gmin: options.gmin,
+        cap_state: None,
+    };
+    if let Ok((x, _)) = solve_newton(&mut system, &x0, &options.newton) {
+        return Ok(pack_solution(circuit, &layout, x));
+    }
+
+    // Source stepping fallback.
+    let mut x = vec![0.0; n];
+    let steps = options.source_steps.max(2);
+    let mut last_err = String::from("source stepping failed at the first step");
+    for k in 1..=steps {
+        let scale = k as f64 / steps as f64;
+        let mut system = MnaSystem {
+            circuit,
+            layout: &layout,
+            mode: AssemblyMode::Dc,
+            time: 0.0,
+            source_scale: scale,
+            gmin: options.gmin,
+            cap_state: None,
+        };
+        match solve_newton(&mut system, &x, &options.newton) {
+            Ok((next, _)) => x = next,
+            Err(e) => {
+                last_err = format!("scale {scale:.2}: {e}");
+                return Err(SpiceError::DcConvergence { detail: last_err });
+            }
+        }
+    }
+    let _ = last_err;
+    Ok(pack_solution(circuit, &layout, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::devices::mosfet::{MosfetGeometry, MosfetKind, MosfetParams};
+    use crate::source::SourceWaveform;
+
+    fn nmos() -> MosfetParams {
+        MosfetParams {
+            kind: MosfetKind::Nmos,
+            vt0: 0.35,
+            n: 1.35,
+            k_prime: 300e-6,
+            lambda: 0.15,
+            gamma: 0.35,
+            phi: 0.8,
+            cox: 9e-3,
+            cgdo: 3e-10,
+            cgso: 3e-10,
+            cgbo: 1e-10,
+            cj: 8e-10,
+            thermal_voltage: 0.02585,
+        }
+    }
+
+    fn pmos() -> MosfetParams {
+        MosfetParams {
+            kind: MosfetKind::Pmos,
+            k_prime: 120e-6,
+            ..nmos()
+        }
+    }
+
+    #[test]
+    fn resistive_divider() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        let v = c
+            .add_vsource(top, Circuit::ground(), SourceWaveform::dc(1.2))
+            .unwrap();
+        c.add_resistor(top, mid, 1_000.0).unwrap();
+        c.add_resistor(mid, Circuit::ground(), 3_000.0).unwrap();
+        let sol = operating_point(&c, &DcOptions::default()).unwrap();
+        assert!((sol.voltage(top) - 1.2).abs() < 1e-9);
+        assert!((sol.voltage(mid) - 0.9).abs() < 1e-9);
+        // 1.2 V across 4 kΩ → 0.3 mA flowing out of the source's + terminal,
+        // i.e. −0.3 mA into it.
+        let i = sol.vsource_current(v).unwrap();
+        assert!((i + 0.3e-3).abs() < 1e-9, "i = {i}");
+        assert!((sol.voltage_by_name(&c, "mid").unwrap() - 0.9).abs() < 1e-9);
+        assert!(sol.voltage_by_name(&c, "nope").is_err());
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let n1 = c.node("n1");
+        c.add_isource(Circuit::ground(), n1, SourceWaveform::dc(1e-3))
+            .unwrap();
+        c.add_resistor(n1, Circuit::ground(), 2_000.0).unwrap();
+        let sol = operating_point(&c, &DcOptions::default()).unwrap();
+        assert!((sol.voltage(n1) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_settles_to_ground_via_gmin() {
+        let mut c = Circuit::new();
+        let lonely = c.node("lonely");
+        let driven = c.node("driven");
+        c.add_vsource(driven, Circuit::ground(), SourceWaveform::dc(1.0))
+            .unwrap();
+        c.add_resistor(driven, Circuit::ground(), 1e3).unwrap();
+        // `lonely` is only connected through a capacitor — open in DC.
+        c.add_capacitor(lonely, driven, 1e-15).unwrap();
+        let sol = operating_point(&c, &DcOptions::default()).unwrap();
+        assert!(sol.voltage(lonely).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cmos_inverter_transfer_points() {
+        // A minimum inverter: NMOS pulls down, PMOS pulls up.
+        let vdd = 1.2;
+        let build = |vin: f64| {
+            let mut c = Circuit::new();
+            let vdd_n = c.node("vdd");
+            let in_n = c.node("in");
+            let out_n = c.node("out");
+            c.add_vsource(vdd_n, Circuit::ground(), SourceWaveform::dc(vdd))
+                .unwrap();
+            c.add_vsource(in_n, Circuit::ground(), SourceWaveform::dc(vin))
+                .unwrap();
+            c.add_mosfet(
+                out_n,
+                in_n,
+                Circuit::ground(),
+                Circuit::ground(),
+                nmos(),
+                MosfetGeometry::new(0.4e-6, 0.13e-6),
+            )
+            .unwrap();
+            c.add_mosfet(
+                out_n,
+                in_n,
+                vdd_n,
+                vdd_n,
+                pmos(),
+                MosfetGeometry::new(0.8e-6, 0.13e-6),
+            )
+            .unwrap();
+            let out = c.find_node("out").unwrap();
+            (c, out)
+        };
+
+        let (c_low, out_low) = build(0.0);
+        let sol_low = operating_point(&c_low, &DcOptions::default()).unwrap();
+        assert!(
+            sol_low.voltage(out_low) > 0.95 * vdd,
+            "inverter with low input should output ~Vdd, got {}",
+            sol_low.voltage(out_low)
+        );
+
+        let (c_high, out_high) = build(vdd);
+        let sol_high = operating_point(&c_high, &DcOptions::default()).unwrap();
+        assert!(
+            sol_high.voltage(out_high) < 0.05 * vdd,
+            "inverter with high input should output ~0, got {}",
+            sol_high.voltage(out_high)
+        );
+
+        // Mid-rail input should land somewhere strictly between the rails.
+        let (c_mid, out_mid) = build(0.6);
+        let sol_mid = operating_point(&c_mid, &DcOptions::default()).unwrap();
+        let v = sol_mid.voltage(out_mid);
+        assert!(v > 0.05 * vdd && v < 0.95 * vdd, "mid output {v}");
+    }
+
+    #[test]
+    fn warm_start_reuses_previous_solution() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource(a, Circuit::ground(), SourceWaveform::dc(1.0))
+            .unwrap();
+        c.add_resistor(a, Circuit::ground(), 1e3).unwrap();
+        let opts = DcOptions::default();
+        let first = operating_point(&c, &opts).unwrap();
+        let second = operating_point_with_guess(&c, &opts, Some(first.raw_unknowns())).unwrap();
+        assert!((second.voltage(a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vsource_current_rejects_non_sources() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let r = c.add_resistor(a, Circuit::ground(), 1e3).unwrap();
+        c.add_vsource(a, Circuit::ground(), SourceWaveform::dc(1.0))
+            .unwrap();
+        let sol = operating_point(&c, &DcOptions::default()).unwrap();
+        assert!(sol.vsource_current(r).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! Circuit analyses: DC operating point / sweeps and transient simulation.
+//!
+//! Both analyses share the same modified-nodal-analysis (MNA) assembly
+//! implemented in this module: unknowns are the non-ground node voltages plus
+//! one branch current per voltage source, and every element "stamps" its
+//! contribution into the Jacobian and residual of a Newton iteration.
+
+pub mod dc;
+pub mod tran;
+
+pub use dc::{operating_point, operating_point_with_guess, DcOptions, DcSolution};
+pub use tran::{transient, TranOptions, TranResult};
+
+use crate::circuit::{Circuit, Element, ElementId, NodeId};
+use crate::devices::mosfet::{device_caps, evaluate_ids};
+use mcsm_num::integrate::{CapacitorCompanion, CompanionMethod};
+use mcsm_num::matrix::DenseMatrix;
+use mcsm_num::{NewtonSystem, NumError};
+
+/// Mapping from circuit nodes / voltage sources to MNA unknown slots.
+#[derive(Debug, Clone)]
+pub(crate) struct MnaLayout {
+    node_count: usize,
+    vsources: Vec<ElementId>,
+}
+
+impl MnaLayout {
+    pub(crate) fn new(circuit: &Circuit) -> Self {
+        MnaLayout {
+            node_count: circuit.node_count(),
+            vsources: circuit.vsource_elements(),
+        }
+    }
+
+    /// Total number of unknowns.
+    pub(crate) fn unknowns(&self) -> usize {
+        (self.node_count - 1) + self.vsources.len()
+    }
+
+    /// Unknown slot of a node voltage, or `None` for ground.
+    pub(crate) fn node_slot(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Unknown slot of the branch current of the `k`-th voltage source.
+    pub(crate) fn vsource_slot(&self, ordinal: usize) -> usize {
+        (self.node_count - 1) + ordinal
+    }
+
+    /// Ordinal (position among voltage sources) of a voltage-source element.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn vsource_ordinal(&self, id: ElementId) -> Option<usize> {
+        self.vsources.iter().position(|v| *v == id)
+    }
+
+    /// The voltage-source elements in MNA order.
+    pub(crate) fn vsources(&self) -> &[ElementId] {
+        &self.vsources
+    }
+
+    /// Voltage of `node` in the unknown vector `x` (ground reads as 0).
+    pub(crate) fn voltage(&self, x: &[f64], node: NodeId) -> f64 {
+        match self.node_slot(node) {
+            Some(slot) => x[slot],
+            None => 0.0,
+        }
+    }
+}
+
+/// Per-element capacitive branch descriptions used by the transient analysis.
+///
+/// Each branch is `(positive node, negative node, capacitance)`.
+pub(crate) fn capacitive_branches(element: &Element) -> Vec<(NodeId, NodeId, f64)> {
+    match element {
+        Element::Capacitor { a, b, farads } => vec![(*a, *b, *farads)],
+        Element::Mosfet {
+            drain,
+            gate,
+            source,
+            bulk,
+            params,
+            geometry,
+        } => {
+            let caps = device_caps(params, geometry);
+            vec![
+                (*gate, *source, caps.cgs),
+                (*gate, *drain, caps.cgd),
+                (*gate, *bulk, caps.cgb),
+                (*drain, *bulk, caps.cdb),
+                (*source, *bulk, caps.csb),
+            ]
+        }
+        _ => vec![],
+    }
+}
+
+/// Companion-model state for one transient step: for every capacitive branch the
+/// voltage across it and the current through it at the previous accepted time
+/// point.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CapacitorState {
+    /// Flattened per-branch `(v_prev, i_prev)` pairs, in element order.
+    pub branches: Vec<(f64, f64)>,
+    /// Offset of each element's first branch in `branches`.
+    pub offsets: Vec<usize>,
+}
+
+impl CapacitorState {
+    pub(crate) fn new(circuit: &Circuit) -> Self {
+        let mut offsets = Vec::with_capacity(circuit.elements().len());
+        let mut total = 0usize;
+        for e in circuit.elements() {
+            offsets.push(total);
+            total += e.capacitive_branches();
+        }
+        CapacitorState {
+            branches: vec![(0.0, 0.0); total],
+            offsets,
+        }
+    }
+
+    /// Initializes the branch voltages from a DC solution (currents start at 0).
+    pub(crate) fn initialize(&mut self, circuit: &Circuit, layout: &MnaLayout, x: &[f64]) {
+        for (idx, element) in circuit.elements().iter().enumerate() {
+            let branches = capacitive_branches(element);
+            for (k, (a, b, _)) in branches.iter().enumerate() {
+                let v = layout.voltage(x, *a) - layout.voltage(x, *b);
+                self.branches[self.offsets[idx] + k] = (v, 0.0);
+            }
+        }
+    }
+}
+
+/// What the assembly is being used for.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AssemblyMode {
+    /// DC: capacitors are open circuits; sources may be scaled for continuation.
+    Dc,
+    /// Transient: capacitors are replaced by companion models for a step of `dt`
+    /// ending at time `time`.
+    Transient {
+        /// Step size (seconds).
+        dt: f64,
+        /// Integration method.
+        method: CompanionMethod,
+    },
+}
+
+/// The MNA system handed to the shared Newton solver.
+pub(crate) struct MnaSystem<'a> {
+    pub circuit: &'a Circuit,
+    pub layout: &'a MnaLayout,
+    pub mode: AssemblyMode,
+    /// Absolute time at which sources are evaluated.
+    pub time: f64,
+    /// Scale factor applied to all independent sources (source stepping).
+    pub source_scale: f64,
+    /// Minimum conductance from every node to ground.
+    pub gmin: f64,
+    /// Previous-step capacitor state (transient only).
+    pub cap_state: Option<&'a CapacitorState>,
+}
+
+impl<'a> MnaSystem<'a> {
+    fn stamp_conductance(
+        &self,
+        jacobian: &mut DenseMatrix,
+        residual: &mut [f64],
+        a: NodeId,
+        b: NodeId,
+        g: f64,
+        x: &[f64],
+        extra_current: f64,
+    ) {
+        // Branch current a → b: i = g (Va - Vb) + extra_current.
+        let va = self.layout.voltage(x, a);
+        let vb = self.layout.voltage(x, b);
+        let i = g * (va - vb) + extra_current;
+        if let Some(ra) = self.layout.node_slot(a) {
+            residual[ra] += i;
+            jacobian.add(ra, ra, g);
+            if let Some(cb) = self.layout.node_slot(b) {
+                jacobian.add(ra, cb, -g);
+            }
+        }
+        if let Some(rb) = self.layout.node_slot(b) {
+            residual[rb] -= i;
+            jacobian.add(rb, rb, g);
+            if let Some(ca) = self.layout.node_slot(a) {
+                jacobian.add(rb, ca, -g);
+            }
+        }
+    }
+
+    fn stamp_current(&self, residual: &mut [f64], from: NodeId, to: NodeId, amps: f64) {
+        if let Some(rf) = self.layout.node_slot(from) {
+            residual[rf] += amps;
+        }
+        if let Some(rt) = self.layout.node_slot(to) {
+            residual[rt] -= amps;
+        }
+    }
+}
+
+impl<'a> NewtonSystem for MnaSystem<'a> {
+    fn dimension(&self) -> usize {
+        self.layout.unknowns()
+    }
+
+    fn assemble(
+        &mut self,
+        x: &[f64],
+        jacobian: &mut DenseMatrix,
+        residual: &mut Vec<f64>,
+    ) -> Result<(), NumError> {
+        let mut vsource_ordinal = 0usize;
+        for (elem_idx, element) in self.circuit.elements().iter().enumerate() {
+            match element {
+                Element::Resistor { a, b, ohms } => {
+                    self.stamp_conductance(jacobian, residual, *a, *b, 1.0 / ohms, x, 0.0);
+                }
+                Element::Capacitor { .. } | Element::Mosfet { .. } => {
+                    // Capacitive branches (transient only) are stamped below; the
+                    // MOSFET channel current is stamped here for both modes.
+                    if let Element::Mosfet {
+                        drain,
+                        gate,
+                        source,
+                        bulk,
+                        params,
+                        geometry,
+                    } = element
+                    {
+                        let vg = self.layout.voltage(x, *gate);
+                        let vd = self.layout.voltage(x, *drain);
+                        let vs = self.layout.voltage(x, *source);
+                        let vb = self.layout.voltage(x, *bulk);
+                        let eval = evaluate_ids(params, geometry, vg, vd, vs, vb);
+                        // ids flows drain → source.
+                        if let Some(rd) = self.layout.node_slot(*drain) {
+                            residual[rd] += eval.ids;
+                            for (node, g) in [
+                                (*gate, eval.gm_g),
+                                (*drain, eval.gm_d),
+                                (*source, eval.gm_s),
+                                (*bulk, eval.gm_b),
+                            ] {
+                                if let Some(c) = self.layout.node_slot(node) {
+                                    jacobian.add(rd, c, g);
+                                }
+                            }
+                        }
+                        if let Some(rs) = self.layout.node_slot(*source) {
+                            residual[rs] -= eval.ids;
+                            for (node, g) in [
+                                (*gate, eval.gm_g),
+                                (*drain, eval.gm_d),
+                                (*source, eval.gm_s),
+                                (*bulk, eval.gm_b),
+                            ] {
+                                if let Some(c) = self.layout.node_slot(node) {
+                                    jacobian.add(rs, c, -g);
+                                }
+                            }
+                        }
+                    }
+                    // Companion models for the capacitive branches.
+                    if let (
+                        AssemblyMode::Transient { dt, method },
+                        Some(state),
+                    ) = (self.mode, self.cap_state)
+                    {
+                        let branches = capacitive_branches(element);
+                        let offset = state.offsets[elem_idx];
+                        for (k, (a, b, c)) in branches.iter().enumerate() {
+                            if *c <= 0.0 {
+                                continue;
+                            }
+                            let (v_prev, i_prev) = state.branches[offset + k];
+                            let comp = CapacitorCompanion::new(method, *c, dt, v_prev, i_prev);
+                            self.stamp_conductance(
+                                jacobian,
+                                residual,
+                                *a,
+                                *b,
+                                comp.g_eq,
+                                x,
+                                comp.i_eq,
+                            );
+                        }
+                    }
+                }
+                Element::VoltageSource {
+                    plus,
+                    minus,
+                    waveform,
+                } => {
+                    let slot = self.layout.vsource_slot(vsource_ordinal);
+                    vsource_ordinal += 1;
+                    let i_br = x[slot];
+                    // Branch current flows into the plus terminal, out of the minus
+                    // terminal (through the source).
+                    if let Some(rp) = self.layout.node_slot(*plus) {
+                        residual[rp] += i_br;
+                        jacobian.add(rp, slot, 1.0);
+                    }
+                    if let Some(rm) = self.layout.node_slot(*minus) {
+                        residual[rm] -= i_br;
+                        jacobian.add(rm, slot, -1.0);
+                    }
+                    // Branch equation: V(plus) - V(minus) = value.
+                    let value = waveform.eval(self.time) * self.source_scale;
+                    let vp = self.layout.voltage(x, *plus);
+                    let vm = self.layout.voltage(x, *minus);
+                    residual[slot] = vp - vm - value;
+                    if let Some(cp) = self.layout.node_slot(*plus) {
+                        jacobian.add(slot, cp, 1.0);
+                    }
+                    if let Some(cm) = self.layout.node_slot(*minus) {
+                        jacobian.add(slot, cm, -1.0);
+                    }
+                }
+                Element::CurrentSource { from, to, waveform } => {
+                    let amps = waveform.eval(self.time) * self.source_scale;
+                    self.stamp_current(residual, *from, *to, amps);
+                }
+            }
+        }
+
+        // gmin from every non-ground node to ground keeps floating nodes solvable.
+        for node_idx in 1..self.layout.node_count {
+            let slot = node_idx - 1;
+            residual[slot] += self.gmin * x[slot];
+            jacobian.add(slot, slot, self.gmin);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWaveform;
+
+    #[test]
+    fn layout_maps_nodes_and_sources() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor(a, b, 1.0).unwrap();
+        let v = c
+            .add_vsource(a, Circuit::ground(), SourceWaveform::dc(1.0))
+            .unwrap();
+        let layout = MnaLayout::new(&c);
+        assert_eq!(layout.unknowns(), 3);
+        assert_eq!(layout.node_slot(Circuit::ground()), None);
+        assert_eq!(layout.node_slot(a), Some(0));
+        assert_eq!(layout.node_slot(b), Some(1));
+        assert_eq!(layout.vsource_ordinal(v), Some(0));
+        assert_eq!(layout.vsource_slot(0), 2);
+        let x = vec![1.0, 0.5, -0.1];
+        assert_eq!(layout.voltage(&x, a), 1.0);
+        assert_eq!(layout.voltage(&x, Circuit::ground()), 0.0);
+    }
+
+    #[test]
+    fn capacitor_state_sizing() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_capacitor(a, Circuit::ground(), 1e-15).unwrap();
+        c.add_resistor(a, Circuit::ground(), 1e3).unwrap();
+        let state = CapacitorState::new(&c);
+        assert_eq!(state.branches.len(), 1);
+        assert_eq!(state.offsets, vec![0, 1]);
+    }
+}

@@ -1,0 +1,484 @@
+//! Transient analysis.
+//!
+//! The transient engine advances the circuit from its DC operating point with a
+//! fixed base time step (refined automatically when a step fails to converge),
+//! replacing every capacitive branch with a backward-Euler or trapezoidal
+//! companion model and solving the resulting nonlinear system with the shared
+//! Newton driver. Source breakpoints (ramp corners, pulse edges) are always
+//! inserted into the time grid so sharp stimuli are never stepped over.
+
+use super::dc::{operating_point, DcOptions};
+use super::{capacitive_branches, AssemblyMode, CapacitorState, MnaLayout, MnaSystem};
+use crate::circuit::{Circuit, Element, ElementId};
+use crate::error::SpiceError;
+use crate::waveform::{Waveform, WaveformSet};
+use mcsm_num::integrate::{CapacitorCompanion, CompanionMethod};
+use mcsm_num::newton::{solve_newton, NewtonOptions};
+
+/// Options for a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranOptions {
+    /// Stop time (seconds); simulation starts at `t = 0`.
+    pub t_stop: f64,
+    /// Base time step (seconds).
+    pub dt: f64,
+    /// Integration method for capacitor companion models.
+    pub method: CompanionMethod,
+    /// Newton iteration controls for each time step.
+    pub newton: NewtonOptions,
+    /// Options used for the initial DC operating point.
+    pub dc: DcOptions,
+    /// Maximum number of times a failing step is halved before giving up.
+    pub max_step_halvings: usize,
+}
+
+impl TranOptions {
+    /// Creates options for a run until `t_stop` with the given base step,
+    /// using trapezoidal integration and default solver settings.
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        TranOptions {
+            t_stop,
+            dt,
+            method: CompanionMethod::Trapezoidal,
+            newton: NewtonOptions::default(),
+            dc: DcOptions::default(),
+            max_step_halvings: 8,
+        }
+    }
+}
+
+/// Result of a transient run: a waveform per node plus per-source branch currents.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    signals: WaveformSet,
+    vsource_ids: Vec<ElementId>,
+}
+
+impl TranResult {
+    /// The waveform of a node, by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::MissingSignal`] if the node is unknown.
+    pub fn node(&self, name: &str) -> Result<&Waveform, SpiceError> {
+        self.signals.get(name)
+    }
+
+    /// The branch-current waveform of a voltage source (current flowing into its
+    /// positive terminal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::MissingSignal`] if the element is not a recorded
+    /// voltage source.
+    pub fn vsource_current(&self, id: ElementId) -> Result<&Waveform, SpiceError> {
+        if !self.vsource_ids.contains(&id) {
+            return Err(SpiceError::MissingSignal(format!(
+                "element #{} is not a recorded voltage source",
+                id.index()
+            )));
+        }
+        self.signals.get(&branch_signal_name(id))
+    }
+
+    /// All recorded signals.
+    pub fn signals(&self) -> &WaveformSet {
+        &self.signals
+    }
+}
+
+fn branch_signal_name(id: ElementId) -> String {
+    format!("i(v#{})", id.index())
+}
+
+/// Runs a transient analysis.
+///
+/// # Errors
+///
+/// * [`SpiceError::InvalidParameter`] for non-positive `t_stop` or `dt`.
+/// * [`SpiceError::DcConvergence`] if the initial operating point fails.
+/// * [`SpiceError::TranConvergence`] if a time step cannot be made to converge
+///   even after the allowed number of step halvings.
+pub fn transient(circuit: &Circuit, options: &TranOptions) -> Result<TranResult, SpiceError> {
+    if !(options.t_stop > 0.0) || !(options.dt > 0.0) {
+        return Err(SpiceError::InvalidParameter(format!(
+            "transient needs positive t_stop and dt (got {} and {})",
+            options.t_stop, options.dt
+        )));
+    }
+
+    let layout = MnaLayout::new(circuit);
+
+    // Initial condition: DC operating point with sources at t = 0.
+    let dc = operating_point(circuit, &options.dc)?;
+    let mut x = dc.raw_unknowns().to_vec();
+    let mut cap_state = CapacitorState::new(circuit);
+    cap_state.initialize(circuit, &layout, &x);
+
+    // Build the time grid: uniform steps plus every source breakpoint.
+    let mut grid: Vec<f64> = Vec::new();
+    let steps = (options.t_stop / options.dt).ceil() as usize;
+    for k in 0..=steps {
+        grid.push((k as f64 * options.dt).min(options.t_stop));
+    }
+    for element in circuit.elements() {
+        let wf = match element {
+            Element::VoltageSource { waveform, .. } => Some(waveform),
+            Element::CurrentSource { waveform, .. } => Some(waveform),
+            _ => None,
+        };
+        if let Some(wf) = wf {
+            for bp in wf.breakpoints() {
+                if bp > 0.0 && bp < options.t_stop {
+                    grid.push(bp);
+                }
+            }
+        }
+    }
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("time points are finite"));
+    grid.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+
+    // Recorded samples.
+    let mut times: Vec<f64> = vec![0.0];
+    let mut node_samples: Vec<Vec<f64>> = (0..circuit.node_count())
+        .map(|idx| {
+            if idx == 0 {
+                vec![0.0]
+            } else {
+                vec![x[idx - 1]]
+            }
+        })
+        .collect();
+    let mut branch_samples: Vec<Vec<f64>> = layout
+        .vsources()
+        .iter()
+        .enumerate()
+        .map(|(k, _)| vec![x[layout.vsource_slot(k)]])
+        .collect();
+
+    let mut t_prev = 0.0;
+    for &t_target in grid.iter().skip(1) {
+        let mut t_local = t_prev;
+        let mut x_local = x.clone();
+        let mut state_local = cap_state.clone();
+
+        // Advance from t_prev to t_target, halving the sub-step on failure.
+        let mut remaining = t_target - t_local;
+        let mut halvings = 0usize;
+        while remaining > 1e-21 {
+            let dt_try = remaining / (1 << halvings) as f64;
+            let t_next = t_local + dt_try;
+            match advance_step(
+                circuit,
+                &layout,
+                &x_local,
+                &state_local,
+                t_next,
+                dt_try,
+                options,
+            ) {
+                Ok((x_new, state_new)) => {
+                    x_local = x_new;
+                    state_local = state_new;
+                    t_local = t_next;
+                    remaining = t_target - t_local;
+                    if halvings > 0 {
+                        halvings -= 1;
+                    }
+                }
+                Err(detail) => {
+                    halvings += 1;
+                    if halvings > options.max_step_halvings {
+                        return Err(SpiceError::TranConvergence {
+                            time: t_next,
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
+
+        x = x_local;
+        cap_state = state_local;
+        t_prev = t_target;
+
+        times.push(t_target);
+        for idx in 1..circuit.node_count() {
+            node_samples[idx].push(x[idx - 1]);
+        }
+        node_samples[0].push(0.0);
+        for (k, samples) in branch_samples.iter_mut().enumerate() {
+            samples.push(x[layout.vsource_slot(k)]);
+        }
+    }
+
+    // Package waveforms.
+    let mut signals = WaveformSet::new();
+    for (idx, name) in circuit.node_names().iter().enumerate() {
+        signals.insert(
+            name.clone(),
+            Waveform::new(times.clone(), node_samples[idx].clone())?,
+        );
+    }
+    for (k, id) in layout.vsources().iter().enumerate() {
+        signals.insert(
+            branch_signal_name(*id),
+            Waveform::new(times.clone(), branch_samples[k].clone())?,
+        );
+    }
+
+    Ok(TranResult {
+        signals,
+        vsource_ids: layout.vsources().to_vec(),
+    })
+}
+
+/// Attempts a single step to absolute time `t_next` with step `dt`.
+/// Returns the new unknown vector and updated capacitor state, or a description
+/// of the failure.
+#[allow(clippy::too_many_arguments)]
+fn advance_step(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x_prev: &[f64],
+    cap_state: &CapacitorState,
+    t_next: f64,
+    dt: f64,
+    options: &TranOptions,
+) -> Result<(Vec<f64>, CapacitorState), String> {
+    let mut system = MnaSystem {
+        circuit,
+        layout,
+        mode: AssemblyMode::Transient {
+            dt,
+            method: options.method,
+        },
+        time: t_next,
+        source_scale: 1.0,
+        gmin: options.dc.gmin,
+        cap_state: Some(cap_state),
+    };
+    let (x_new, _) =
+        solve_newton(&mut system, x_prev, &options.newton).map_err(|e| e.to_string())?;
+
+    // Update the capacitor history for the accepted step.
+    let mut new_state = cap_state.clone();
+    for (elem_idx, element) in circuit.elements().iter().enumerate() {
+        let branches = capacitive_branches(element);
+        let offset = cap_state.offsets[elem_idx];
+        for (k, (a, b, c)) in branches.iter().enumerate() {
+            let v_new = layout.voltage(&x_new, *a) - layout.voltage(&x_new, *b);
+            if *c <= 0.0 {
+                new_state.branches[offset + k] = (v_new, 0.0);
+                continue;
+            }
+            let (v_prev, i_prev) = cap_state.branches[offset + k];
+            let comp = CapacitorCompanion::new(options.method, *c, dt, v_prev, i_prev);
+            let i_new = comp.current(v_new);
+            new_state.branches[offset + k] = (v_new, i_new);
+        }
+    }
+    Ok((x_new, new_state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::devices::mosfet::{MosfetGeometry, MosfetKind, MosfetParams};
+    use crate::source::SourceWaveform;
+    use crate::waveform::propagation_delay;
+
+    fn nmos() -> MosfetParams {
+        MosfetParams {
+            kind: MosfetKind::Nmos,
+            vt0: 0.35,
+            n: 1.35,
+            k_prime: 300e-6,
+            lambda: 0.15,
+            gamma: 0.35,
+            phi: 0.8,
+            cox: 9e-3,
+            cgdo: 3e-10,
+            cgso: 3e-10,
+            cgbo: 1e-10,
+            cj: 8e-10,
+            thermal_voltage: 0.02585,
+        }
+    }
+
+    fn pmos() -> MosfetParams {
+        MosfetParams {
+            kind: MosfetKind::Pmos,
+            k_prime: 120e-6,
+            ..nmos()
+        }
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource(
+            inp,
+            Circuit::ground(),
+            SourceWaveform::SaturatedRamp {
+                start: 0.0,
+                end: 1.0,
+                t_start: 0.0,
+                t_transition: 1e-12,
+            },
+        )
+        .unwrap();
+        c.add_resistor(inp, out, 1_000.0).unwrap();
+        c.add_capacitor(out, Circuit::ground(), 1e-12).unwrap();
+
+        let result = transient(&c, &TranOptions::new(5e-9, 5e-12)).unwrap();
+        let wave = result.node("out").unwrap();
+        // After one time constant (1 ns) the output should be ≈ 63.2 %.
+        let v_tau = wave.value_at(1e-9 + 1e-12);
+        assert!((v_tau - 0.632).abs() < 0.02, "v(τ) = {v_tau}");
+        // Final value approaches 1.
+        assert!(wave.final_value() > 0.99);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let c = Circuit::new();
+        assert!(transient(&c, &TranOptions::new(0.0, 1e-12)).is_err());
+        assert!(transient(&c, &TranOptions::new(1e-9, 0.0)).is_err());
+    }
+
+    #[test]
+    fn inverter_inverts_a_ramp() {
+        let vdd = 1.2;
+        let mut c = Circuit::new();
+        let vdd_n = c.node("vdd");
+        let in_n = c.node("in");
+        let out_n = c.node("out");
+        c.add_vsource(vdd_n, Circuit::ground(), SourceWaveform::dc(vdd))
+            .unwrap();
+        c.add_vsource(
+            in_n,
+            Circuit::ground(),
+            SourceWaveform::rising_ramp(vdd, 0.5e-9, 50e-12),
+        )
+        .unwrap();
+        c.add_mosfet(
+            out_n,
+            in_n,
+            Circuit::ground(),
+            Circuit::ground(),
+            nmos(),
+            MosfetGeometry::new(0.4e-6, 0.13e-6),
+        )
+        .unwrap();
+        c.add_mosfet(
+            out_n,
+            in_n,
+            vdd_n,
+            vdd_n,
+            pmos(),
+            MosfetGeometry::new(0.8e-6, 0.13e-6),
+        )
+        .unwrap();
+        // FO-like load.
+        c.add_capacitor(out_n, Circuit::ground(), 2e-15).unwrap();
+
+        let result = transient(&c, &TranOptions::new(2e-9, 2e-12)).unwrap();
+        let vin = result.node("in").unwrap();
+        let vout = result.node("out").unwrap();
+        // Starts high, ends low.
+        assert!(vout.value_at(0.0) > 0.95 * vdd);
+        assert!(vout.final_value() < 0.05 * vdd);
+        // Delay is positive and sub-nanosecond for this light load.
+        let d = propagation_delay(vin, vout, vdd, true, false).unwrap();
+        assert!(d > 0.0 && d < 0.5e-9, "delay = {d}");
+    }
+
+    #[test]
+    fn inverter_delay_grows_with_load() {
+        let vdd = 1.2;
+        let delay_with_load = |cl: f64| {
+            let mut c = Circuit::new();
+            let vdd_n = c.node("vdd");
+            let in_n = c.node("in");
+            let out_n = c.node("out");
+            c.add_vsource(vdd_n, Circuit::ground(), SourceWaveform::dc(vdd))
+                .unwrap();
+            c.add_vsource(
+                in_n,
+                Circuit::ground(),
+                SourceWaveform::rising_ramp(vdd, 0.5e-9, 50e-12),
+            )
+            .unwrap();
+            c.add_mosfet(
+                out_n,
+                in_n,
+                Circuit::ground(),
+                Circuit::ground(),
+                nmos(),
+                MosfetGeometry::new(0.4e-6, 0.13e-6),
+            )
+            .unwrap();
+            c.add_mosfet(
+                out_n,
+                in_n,
+                vdd_n,
+                vdd_n,
+                pmos(),
+                MosfetGeometry::new(0.8e-6, 0.13e-6),
+            )
+            .unwrap();
+            c.add_capacitor(out_n, Circuit::ground(), cl).unwrap();
+            let result = transient(&c, &TranOptions::new(3e-9, 2e-12)).unwrap();
+            propagation_delay(
+                result.node("in").unwrap(),
+                result.node("out").unwrap(),
+                vdd,
+                true,
+                false,
+            )
+            .unwrap()
+        };
+        let d_small = delay_with_load(1e-15);
+        let d_large = delay_with_load(10e-15);
+        assert!(
+            d_large > 1.5 * d_small,
+            "delay should grow with load: {d_small} vs {d_large}"
+        );
+    }
+
+    #[test]
+    fn vsource_branch_current_is_recorded() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let v = c
+            .add_vsource(a, Circuit::ground(), SourceWaveform::dc(1.0))
+            .unwrap();
+        let r = c.add_resistor(a, Circuit::ground(), 1_000.0).unwrap();
+        let result = transient(&c, &TranOptions::new(1e-10, 1e-11)).unwrap();
+        let i = result.vsource_current(v).unwrap();
+        // 1 mA flows out of the + terminal, so the into-terminal current is −1 mA.
+        assert!((i.final_value() + 1e-3).abs() < 1e-6);
+        assert!(result.vsource_current(r).is_err());
+        assert!(result.node("a").is_ok());
+        assert!(result.node("zz").is_err());
+    }
+
+    #[test]
+    fn backward_euler_also_converges() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource(inp, Circuit::ground(), SourceWaveform::dc(1.0))
+            .unwrap();
+        c.add_resistor(inp, out, 1_000.0).unwrap();
+        c.add_capacitor(out, Circuit::ground(), 1e-12).unwrap();
+        let mut opts = TranOptions::new(5e-9, 10e-12);
+        opts.method = CompanionMethod::BackwardEuler;
+        let result = transient(&c, &opts).unwrap();
+        assert!(result.node("out").unwrap().final_value() > 0.98);
+    }
+}

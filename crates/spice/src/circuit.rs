@@ -1,0 +1,528 @@
+//! Circuit description: nodes, elements and the netlist builder.
+//!
+//! A [`Circuit`] is a flat netlist of named nodes and elements. The builder API
+//! mirrors how one writes a SPICE deck: create (or look up) nodes, then attach
+//! resistors, capacitors, sources and MOSFETs between them. Analyses
+//! ([`crate::analysis`]) consume the circuit read-only, so a characterized cell
+//! netlist can be reused across many sweeps.
+
+use crate::devices::mosfet::{MosfetGeometry, MosfetParams};
+use crate::error::SpiceError;
+use crate::source::SourceWaveform;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a circuit node.
+///
+/// `NodeId::GROUND` is the reference node; every circuit has it implicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground / reference node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of the node (0 is ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifier of an element within its circuit (index into the element list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// Raw index of the element.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A netlist element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Element {
+    /// A linear resistor between two nodes.
+    Resistor {
+        /// Positive terminal.
+        a: NodeId,
+        /// Negative terminal.
+        b: NodeId,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// A linear capacitor between two nodes.
+    Capacitor {
+        /// Positive terminal.
+        a: NodeId,
+        /// Negative terminal.
+        b: NodeId,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// An independent voltage source; `plus` is held at `waveform(t)` volts above
+    /// `minus`. Contributes one branch-current unknown to the MNA system.
+    VoltageSource {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Voltage as a function of time.
+        waveform: SourceWaveform,
+    },
+    /// An independent current source pushing `waveform(t)` amps from `from`
+    /// through the source into `to`.
+    CurrentSource {
+        /// Terminal the current leaves.
+        from: NodeId,
+        /// Terminal the current enters.
+        to: NodeId,
+        /// Current as a function of time.
+        waveform: SourceWaveform,
+    },
+    /// A four-terminal MOSFET.
+    Mosfet {
+        /// Drain terminal.
+        drain: NodeId,
+        /// Gate terminal.
+        gate: NodeId,
+        /// Source terminal.
+        source: NodeId,
+        /// Bulk terminal.
+        bulk: NodeId,
+        /// Model card.
+        params: MosfetParams,
+        /// Instance geometry.
+        geometry: MosfetGeometry,
+    },
+}
+
+impl Element {
+    /// Number of internal capacitive branches this element contributes to a
+    /// transient analysis (used to size the history state).
+    pub(crate) fn capacitive_branches(&self) -> usize {
+        match self {
+            Element::Capacitor { .. } => 1,
+            Element::Mosfet { .. } => 5,
+            _ => 0,
+        }
+    }
+}
+
+/// A flat netlist of nodes and elements.
+///
+/// # Example
+///
+/// ```
+/// use mcsm_spice::circuit::Circuit;
+/// use mcsm_spice::source::SourceWaveform;
+///
+/// # fn main() -> Result<(), mcsm_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let out = ckt.node("out");
+/// ckt.add_vsource(vin, Circuit::ground(), SourceWaveform::dc(1.0))?;
+/// ckt.add_resistor(vin, out, 1_000.0)?;
+/// ckt.add_resistor(out, Circuit::ground(), 1_000.0)?;
+/// assert_eq!(ckt.node_count(), 3); // ground + in + out
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_to_node: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node (named `"0"`).
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            node_names: Vec::new(),
+            name_to_node: HashMap::new(),
+            elements: Vec::new(),
+        };
+        c.node_names.push("0".to_string());
+        c.name_to_node.insert("0".to_string(), NodeId::GROUND);
+        c
+    }
+
+    /// The ground node.
+    pub fn ground() -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.name_to_node.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.name_to_node.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] if no node with that name exists.
+    pub fn find_node(&self, name: &str) -> Result<NodeId, SpiceError> {
+        self.name_to_node
+            .get(name)
+            .copied()
+            .ok_or_else(|| SpiceError::UnknownNode(name.to_string()))
+    }
+
+    /// Name of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] if the id is out of range.
+    pub fn node_name(&self, node: NodeId) -> Result<&str, SpiceError> {
+        self.node_names
+            .get(node.0)
+            .map(String::as_str)
+            .ok_or_else(|| SpiceError::UnknownNode(format!("#{}", node.0)))
+    }
+
+    /// Total number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// All elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// The element with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidElement`] if the id is out of range.
+    pub fn element(&self, id: ElementId) -> Result<&Element, SpiceError> {
+        self.elements
+            .get(id.0)
+            .ok_or_else(|| SpiceError::InvalidElement(format!("no element #{}", id.0)))
+    }
+
+    fn check_node(&self, node: NodeId, context: &str) -> Result<(), SpiceError> {
+        if node.0 < self.node_names.len() {
+            Ok(())
+        } else {
+            Err(SpiceError::UnknownNode(format!(
+                "{context}: node #{} does not exist",
+                node.0
+            )))
+        }
+    }
+
+    fn push(&mut self, element: Element) -> ElementId {
+        let id = ElementId(self.elements.len());
+        self.elements.push(element);
+        id
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive resistance.
+    pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<ElementId, SpiceError> {
+        self.check_node(a, "resistor")?;
+        self.check_node(b, "resistor")?;
+        if !(ohms > 0.0) || !ohms.is_finite() {
+            return Err(SpiceError::InvalidParameter(format!(
+                "resistance must be positive and finite, got {ohms}"
+            )));
+        }
+        Ok(self.push(Element::Resistor { a, b, ohms }))
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and negative or non-finite capacitance.
+    pub fn add_capacitor(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<ElementId, SpiceError> {
+        self.check_node(a, "capacitor")?;
+        self.check_node(b, "capacitor")?;
+        if farads < 0.0 || !farads.is_finite() {
+            return Err(SpiceError::InvalidParameter(format!(
+                "capacitance must be non-negative and finite, got {farads}"
+            )));
+        }
+        Ok(self.push(Element::Capacitor { a, b, farads }))
+    }
+
+    /// Adds an independent voltage source holding `plus` at `waveform(t)` volts
+    /// above `minus`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and a source shorted onto a single node.
+    pub fn add_vsource(
+        &mut self,
+        plus: NodeId,
+        minus: NodeId,
+        waveform: SourceWaveform,
+    ) -> Result<ElementId, SpiceError> {
+        self.check_node(plus, "vsource")?;
+        self.check_node(minus, "vsource")?;
+        if plus == minus {
+            return Err(SpiceError::InvalidElement(
+                "voltage source terminals must differ".into(),
+            ));
+        }
+        Ok(self.push(Element::VoltageSource {
+            plus,
+            minus,
+            waveform,
+        }))
+    }
+
+    /// Adds an independent current source pushing `waveform(t)` amps from `from`
+    /// into `to`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn add_isource(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        waveform: SourceWaveform,
+    ) -> Result<ElementId, SpiceError> {
+        self.check_node(from, "isource")?;
+        self.check_node(to, "isource")?;
+        Ok(self.push(Element::CurrentSource { from, to, waveform }))
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive geometry.
+    pub fn add_mosfet(
+        &mut self,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        bulk: NodeId,
+        params: MosfetParams,
+        geometry: MosfetGeometry,
+    ) -> Result<ElementId, SpiceError> {
+        self.check_node(drain, "mosfet")?;
+        self.check_node(gate, "mosfet")?;
+        self.check_node(source, "mosfet")?;
+        self.check_node(bulk, "mosfet")?;
+        if !(geometry.width > 0.0) || !(geometry.length > 0.0) {
+            return Err(SpiceError::InvalidParameter(format!(
+                "mosfet geometry must be positive (w = {}, l = {})",
+                geometry.width, geometry.length
+            )));
+        }
+        Ok(self.push(Element::Mosfet {
+            drain,
+            gate,
+            source,
+            bulk,
+            params,
+            geometry,
+        }))
+    }
+
+    /// Replaces the waveform of an existing voltage source (used heavily by
+    /// characterization sweeps that re-run the same netlist with new stimuli).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidElement`] if `id` is not a voltage source.
+    pub fn set_vsource_waveform(
+        &mut self,
+        id: ElementId,
+        waveform: SourceWaveform,
+    ) -> Result<(), SpiceError> {
+        match self.elements.get_mut(id.0) {
+            Some(Element::VoltageSource { waveform: w, .. }) => {
+                *w = waveform;
+                Ok(())
+            }
+            Some(_) => Err(SpiceError::InvalidElement(format!(
+                "element #{} is not a voltage source",
+                id.0
+            ))),
+            None => Err(SpiceError::InvalidElement(format!("no element #{}", id.0))),
+        }
+    }
+
+    /// Names of all nodes, indexed by [`NodeId::index`].
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Indices (into the MNA unknown vector layout) of all voltage sources, in
+    /// insertion order. Used by analyses to map sources to branch currents.
+    pub(crate) fn vsource_elements(&self) -> Vec<ElementId> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Element::VoltageSource { .. } => Some(ElementId(i)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total number of MNA unknowns: non-ground node voltages plus one branch
+    /// current per voltage source.
+    pub fn unknown_count(&self) -> usize {
+        (self.node_count() - 1) + self.vsource_elements().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::mosfet::{MosfetKind, MosfetParams};
+
+    fn any_params() -> MosfetParams {
+        MosfetParams {
+            kind: MosfetKind::Nmos,
+            vt0: 0.35,
+            n: 1.3,
+            k_prime: 3e-4,
+            lambda: 0.1,
+            gamma: 0.3,
+            phi: 0.8,
+            cox: 9e-3,
+            cgdo: 3e-10,
+            cgso: 3e-10,
+            cgbo: 1e-10,
+            cj: 8e-10,
+            thermal_voltage: 0.02585,
+        }
+    }
+
+    #[test]
+    fn nodes_are_deduplicated_by_name() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.find_node("a").unwrap(), a);
+        assert!(c.find_node("missing").is_err());
+        assert_eq!(c.node_name(a).unwrap(), "a");
+        assert_eq!(c.node_name(Circuit::ground()).unwrap(), "0");
+    }
+
+    #[test]
+    fn unknown_count_counts_vsources() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor(a, b, 100.0).unwrap();
+        assert_eq!(c.unknown_count(), 2);
+        c.add_vsource(a, Circuit::ground(), SourceWaveform::dc(1.0))
+            .unwrap();
+        assert_eq!(c.unknown_count(), 3);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        assert!(c.add_resistor(a, Circuit::ground(), 0.0).is_err());
+        assert!(c.add_resistor(a, Circuit::ground(), -5.0).is_err());
+        assert!(c.add_capacitor(a, Circuit::ground(), -1e-15).is_err());
+        assert!(c
+            .add_vsource(a, a, SourceWaveform::dc(1.0))
+            .is_err());
+        assert!(c
+            .add_mosfet(
+                a,
+                a,
+                a,
+                a,
+                any_params(),
+                MosfetGeometry::new(0.0, 0.13e-6)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_nodes_are_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let bogus = NodeId(42);
+        assert!(c.add_resistor(a, bogus, 100.0).is_err());
+        assert!(c.node_name(bogus).is_err());
+    }
+
+    #[test]
+    fn set_vsource_waveform_replaces_only_vsources() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let r = c.add_resistor(a, Circuit::ground(), 100.0).unwrap();
+        let v = c
+            .add_vsource(a, Circuit::ground(), SourceWaveform::dc(0.0))
+            .unwrap();
+        assert!(c.set_vsource_waveform(v, SourceWaveform::dc(1.2)).is_ok());
+        assert!(c.set_vsource_waveform(r, SourceWaveform::dc(1.2)).is_err());
+        assert!(c
+            .set_vsource_waveform(ElementId(99), SourceWaveform::dc(1.2))
+            .is_err());
+        match c.element(v).unwrap() {
+            Element::VoltageSource { waveform, .. } => {
+                assert_eq!(waveform.eval(0.0), 1.2);
+            }
+            _ => panic!("expected voltage source"),
+        }
+    }
+
+    #[test]
+    fn capacitive_branch_counts() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let cap = c.add_capacitor(a, Circuit::ground(), 1e-15).unwrap();
+        let res = c.add_resistor(a, Circuit::ground(), 1e3).unwrap();
+        let mos = c
+            .add_mosfet(
+                a,
+                a,
+                Circuit::ground(),
+                Circuit::ground(),
+                any_params(),
+                MosfetGeometry::new(0.2e-6, 0.13e-6),
+            )
+            .unwrap();
+        assert_eq!(c.element(cap).unwrap().capacitive_branches(), 1);
+        assert_eq!(c.element(res).unwrap().capacitive_branches(), 0);
+        assert_eq!(c.element(mos).unwrap().capacitive_branches(), 5);
+    }
+
+    #[test]
+    fn elements_are_returned_in_insertion_order() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor(a, Circuit::ground(), 1.0).unwrap();
+        c.add_capacitor(a, Circuit::ground(), 1e-15).unwrap();
+        assert_eq!(c.elements().len(), 2);
+        assert!(matches!(c.elements()[0], Element::Resistor { .. }));
+        assert!(matches!(c.elements()[1], Element::Capacitor { .. }));
+    }
+}

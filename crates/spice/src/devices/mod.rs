@@ -1,0 +1,11 @@
+//! Device models used by the circuit simulator.
+//!
+//! Only the MOSFET warrants its own module; the linear elements (resistor,
+//! capacitor, sources) are simple enough to live directly in the
+//! [`crate::circuit::Element`] enum.
+
+pub mod mosfet;
+
+pub use mosfet::{
+    device_caps, evaluate_ids, MosfetCaps, MosfetEval, MosfetGeometry, MosfetKind, MosfetParams,
+};

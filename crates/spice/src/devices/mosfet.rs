@@ -1,0 +1,444 @@
+//! A smooth EKV-style MOSFET compact model.
+//!
+//! The reproduction does not need a production BSIM model — it needs a model
+//! that is (a) smooth enough for Newton to converge reliably and (b) physically
+//! rich enough to produce the effects the paper studies:
+//!
+//! * saturation / triode behaviour and channel-length modulation (output
+//!   conductance) so gate delays scale sensibly with load and input slew;
+//! * **body effect**, because the internal node of a NOR2 pulled down through
+//!   the lower PMOS settles at a body-affected `|Vt,p|` (Section 2.2);
+//! * subthreshold conduction so "off" stacks leak a little and floating nodes
+//!   behave smoothly;
+//! * gate-overlap (Miller) capacitances, because the `ΔV` kicks on the internal
+//!   node in Fig. 3 are injected through the gate–drain capacitance of the stack
+//!   devices;
+//! * source/drain junction capacitances, which form the internal-node
+//!   capacitance `C_N` that stores the history charge.
+//!
+//! The EKV formulation (`I_D = I_S · [F(v_p − v_s) − F(v_p − v_d)]` with
+//! `F(v) = ln²(1 + e^{v/2})`) is used because it is symmetric in drain/source
+//! (stack devices routinely swap roles) and is smooth across all operating
+//! regions, which keeps the Newton iterations robust.
+
+use serde::{Deserialize, Serialize};
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosfetKind {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Technology-level model card shared by all devices of one polarity.
+///
+/// All values are in SI units. The defaults in `mcsm-cells` describe a synthetic
+/// 130 nm-like process with a 1.2 V supply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MosfetParams {
+    /// Channel polarity.
+    pub kind: MosfetKind,
+    /// Zero-bias threshold voltage magnitude (volts, positive for both kinds).
+    pub vt0: f64,
+    /// Subthreshold slope factor `n` (dimensionless, ≥ 1).
+    pub n: f64,
+    /// Transconductance parameter `k' = µ C_ox` (A/V²).
+    pub k_prime: f64,
+    /// Channel-length modulation coefficient λ (1/V).
+    pub lambda: f64,
+    /// Body-effect coefficient γ (√V).
+    pub gamma: f64,
+    /// Surface potential 2Φ_F (volts).
+    pub phi: f64,
+    /// Gate-oxide capacitance per area (F/m²).
+    pub cox: f64,
+    /// Gate–drain overlap capacitance per width (F/m).
+    pub cgdo: f64,
+    /// Gate–source overlap capacitance per width (F/m).
+    pub cgso: f64,
+    /// Gate–bulk overlap capacitance per length (F/m).
+    pub cgbo: f64,
+    /// Source/drain junction capacitance per width (F/m); lumps area and
+    /// sidewall contributions of a minimum-length diffusion.
+    pub cj: f64,
+    /// Thermal voltage kT/q at the simulation temperature (volts).
+    pub thermal_voltage: f64,
+}
+
+impl MosfetParams {
+    /// True if this is an N-channel card.
+    pub fn is_nmos(&self) -> bool {
+        self.kind == MosfetKind::Nmos
+    }
+}
+
+/// Geometry of one MOSFET instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosfetGeometry {
+    /// Drawn channel width (meters).
+    pub width: f64,
+    /// Drawn channel length (meters).
+    pub length: f64,
+}
+
+impl MosfetGeometry {
+    /// Creates a geometry, in meters.
+    pub fn new(width: f64, length: f64) -> Self {
+        MosfetGeometry { width, length }
+    }
+
+    /// Width-to-length ratio.
+    pub fn aspect(&self) -> f64 {
+        self.width / self.length
+    }
+}
+
+/// Drain current and its partial derivatives with respect to the terminal
+/// voltages, as needed by the Newton Jacobian.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosfetEval {
+    /// Drain current flowing drain → source through the channel (amps).
+    pub ids: f64,
+    /// ∂I_DS/∂V_G.
+    pub gm_g: f64,
+    /// ∂I_DS/∂V_D.
+    pub gm_d: f64,
+    /// ∂I_DS/∂V_S.
+    pub gm_s: f64,
+    /// ∂I_DS/∂V_B.
+    pub gm_b: f64,
+}
+
+/// Linear capacitances contributed by one MOSFET instance (farads).
+///
+/// These are deliberately bias-independent: the mechanisms the paper relies on
+/// (Miller injection into the stack node, diffusion charge storage) only need
+/// the capacitances to exist and have sensible magnitudes, and constant values
+/// keep the transient Jacobian simple. The *cell-level* capacitances that the
+/// MCSM tables store still end up voltage-dependent because different devices
+/// dominate in different regions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MosfetCaps {
+    /// Gate–source capacitance.
+    pub cgs: f64,
+    /// Gate–drain capacitance.
+    pub cgd: f64,
+    /// Gate–bulk capacitance.
+    pub cgb: f64,
+    /// Drain–bulk junction capacitance.
+    pub cdb: f64,
+    /// Source–bulk junction capacitance.
+    pub csb: f64,
+}
+
+/// The EKV interpolation function `F(v) = ln²(1 + e^{v/2})` and its derivative.
+fn ekv_f(v: f64) -> (f64, f64) {
+    // ln(1 + e^{v/2}) computed stably for large |v|.
+    let half = 0.5 * v;
+    let ln_term = if half > 40.0 {
+        half
+    } else {
+        half.exp().ln_1p()
+    };
+    // d/dv ln(1+e^{v/2}) = 0.5 * sigmoid(v/2)
+    let sigmoid = if half > 40.0 {
+        1.0
+    } else if half < -40.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-half).exp())
+    };
+    let f = ln_term * ln_term;
+    let df = ln_term * sigmoid; // = 2 * ln_term * 0.5 * sigmoid
+    (f, df)
+}
+
+/// Evaluates the drain current of a MOSFET given its terminal voltages
+/// (all referenced to ground) and returns the current with its derivatives.
+///
+/// The current convention is: positive `ids` flows from the drain terminal into
+/// the channel and out of the source terminal. For a conducting NMOS with
+/// `V_D > V_S` this is positive; for a conducting PMOS with `V_D < V_S` it is
+/// negative (current flows source → drain).
+pub fn evaluate_ids(
+    params: &MosfetParams,
+    geometry: &MosfetGeometry,
+    vg: f64,
+    vd: f64,
+    vs: f64,
+    vb: f64,
+) -> MosfetEval {
+    // Map PMOS onto the NMOS equations by reflecting all voltages; the resulting
+    // current is then negated back.
+    let sign = if params.is_nmos() { 1.0 } else { -1.0 };
+    let (vg, vd, vs, vb) = (sign * vg, sign * vd, sign * vs, sign * vb);
+
+    // EKV works bulk-referenced.
+    let vgb = vg - vb;
+    let vdb = vd - vb;
+    let vsb = vs - vb;
+
+    let ut = params.thermal_voltage;
+    let n = params.n;
+
+    // Body effect folded into an effective threshold (classic long-channel form).
+    // The argument is floored well above zero so the square root stays smooth even
+    // if a transient iterate briefly drives the source below the bulk.
+    let body_arg = (params.phi + vsb).max(1e-3);
+    let sqrt_term = body_arg.sqrt();
+    let vt = params.vt0 + params.gamma * (sqrt_term - params.phi.sqrt());
+    let dvt_dvsb = if body_arg > 1e-3 {
+        0.5 * params.gamma / sqrt_term
+    } else {
+        0.0
+    };
+
+    // Pinch-off voltage.
+    let vp = (vgb - vt) / n;
+    // Specific current.
+    let beta = params.k_prime * geometry.aspect();
+    let i_s = 2.0 * n * beta * ut * ut;
+
+    let (f_fwd, df_fwd) = ekv_f((vp - vsb) / ut);
+    let (f_rev, df_rev) = ekv_f((vp - vdb) / ut);
+
+    // Channel-length modulation applied to the saturation (forward-reverse) term.
+    let vds = vdb - vsb;
+    let clm = 1.0 + params.lambda * vds.abs();
+    let ids_core = i_s * (f_fwd - f_rev);
+    let ids = ids_core * clm;
+
+    // Derivatives (chain rule). vp depends on vg and, through vt, on vs (body).
+    let dvp_dvg = 1.0 / n;
+    let dvp_dvb = -1.0 / n + dvt_dvsb / n; // d(vgb)/dvb = -1; d(vt)/dvb = -dvt_dvsb
+    let dvp_dvs = -dvt_dvsb / n;
+
+    // f_fwd arg: (vp - vsb)/ut ; f_rev arg: (vp - vdb)/ut
+    let d_ids_core_dvg = i_s * (df_fwd - df_rev) * dvp_dvg / ut;
+    let d_ids_core_dvd = i_s * (-df_rev) * (-1.0) / ut; // d(vdb)/dvd = 1 → arg derivative -1/ut
+    let d_ids_core_dvs = i_s * (df_fwd * (dvp_dvs - 1.0) / ut - df_rev * dvp_dvs / ut);
+    let d_ids_core_dvb =
+        i_s * (df_fwd * (dvp_dvb + 1.0) / ut - df_rev * (dvp_dvb + 1.0) / ut);
+
+    let dclm_dvd = params.lambda * vds.signum();
+    let dclm_dvs = -params.lambda * vds.signum();
+
+    let gm_g = d_ids_core_dvg * clm;
+    let gm_d = d_ids_core_dvd * clm + ids_core * dclm_dvd;
+    let gm_s = d_ids_core_dvs * clm + ids_core * dclm_dvs;
+    let gm_b = d_ids_core_dvb * clm;
+
+    // Undo the polarity reflection: I(original) = sign * I(reflected), and each
+    // derivative picks up sign twice (once for the current, once for the voltage),
+    // so the conductances keep their sign.
+    MosfetEval {
+        ids: sign * ids,
+        gm_g,
+        gm_d,
+        gm_s,
+        gm_b,
+    }
+}
+
+/// Computes the (constant) parasitic capacitances of a device instance.
+pub fn device_caps(params: &MosfetParams, geometry: &MosfetGeometry) -> MosfetCaps {
+    let w = geometry.width;
+    let l = geometry.length;
+    // Split the channel (intrinsic gate) capacitance evenly between source and
+    // drain; a 40/60 Meyer split would not change any conclusion here.
+    let c_channel = params.cox * w * l;
+    MosfetCaps {
+        cgs: params.cgso * w + 0.5 * c_channel,
+        cgd: params.cgdo * w + 0.5 * c_channel,
+        cgb: params.cgbo * l,
+        cdb: params.cj * w,
+        csb: params.cj * w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos_params() -> MosfetParams {
+        MosfetParams {
+            kind: MosfetKind::Nmos,
+            vt0: 0.35,
+            n: 1.35,
+            k_prime: 300e-6,
+            lambda: 0.15,
+            gamma: 0.35,
+            phi: 0.8,
+            cox: 9e-3,
+            cgdo: 3.0e-10,
+            cgso: 3.0e-10,
+            cgbo: 1.0e-10,
+            cj: 8.0e-10,
+            thermal_voltage: 0.02585,
+        }
+    }
+
+    fn pmos_params() -> MosfetParams {
+        MosfetParams {
+            kind: MosfetKind::Pmos,
+            ..nmos_params()
+        }
+    }
+
+    fn geom() -> MosfetGeometry {
+        MosfetGeometry::new(0.4e-6, 0.13e-6)
+    }
+
+    #[test]
+    fn nmos_off_below_threshold() {
+        let eval = evaluate_ids(&nmos_params(), &geom(), 0.0, 1.2, 0.0, 0.0);
+        assert!(eval.ids.abs() < 1e-8, "off current {} too high", eval.ids);
+        let on = evaluate_ids(&nmos_params(), &geom(), 1.2, 1.2, 0.0, 0.0);
+        assert!(on.ids > 1e-5, "on current {} too low", on.ids);
+        assert!(on.ids / eval.ids.max(1e-30) > 1e4, "on/off ratio too small");
+    }
+
+    #[test]
+    fn nmos_current_increases_with_vgs_and_vds() {
+        let p = nmos_params();
+        let g = geom();
+        let low_gate = evaluate_ids(&p, &g, 0.6, 1.2, 0.0, 0.0).ids;
+        let high_gate = evaluate_ids(&p, &g, 1.2, 1.2, 0.0, 0.0).ids;
+        assert!(high_gate > low_gate);
+        let low_drain = evaluate_ids(&p, &g, 1.2, 0.1, 0.0, 0.0).ids;
+        let high_drain = evaluate_ids(&p, &g, 1.2, 1.2, 0.0, 0.0).ids;
+        assert!(high_drain > low_drain);
+    }
+
+    #[test]
+    fn nmos_current_reverses_with_swapped_terminals() {
+        let p = nmos_params();
+        let g = geom();
+        let fwd = evaluate_ids(&p, &g, 1.2, 1.0, 0.2, 0.0).ids;
+        let rev = evaluate_ids(&p, &g, 1.2, 0.2, 1.0, 0.0).ids;
+        assert!(fwd > 0.0);
+        assert!(rev < 0.0);
+    }
+
+    #[test]
+    fn pmos_conducts_with_low_gate() {
+        let p = pmos_params();
+        let g = geom();
+        // Source at Vdd, drain low, gate low → conducting, current flows source→drain,
+        // i.e. ids (drain→source) is negative.
+        let on = evaluate_ids(&p, &g, 0.0, 0.0, 1.2, 1.2);
+        assert!(on.ids < -1e-6, "pmos on current {}", on.ids);
+        // Gate high → off.
+        let off = evaluate_ids(&p, &g, 1.2, 0.0, 1.2, 1.2);
+        assert!(off.ids.abs() < 1e-8);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold_and_lowers_current() {
+        let p = nmos_params();
+        let g = geom();
+        // Same Vgs and Vds, but source lifted above bulk → body effect → less current.
+        let no_body = evaluate_ids(&p, &g, 1.2, 1.2, 0.0, 0.0).ids;
+        let with_body = evaluate_ids(&p, &g, 1.2 + 0.4, 1.2 + 0.4, 0.4, 0.0).ids;
+        assert!(
+            with_body < no_body,
+            "body effect should reduce current: {with_body} !< {no_body}"
+        );
+    }
+
+    #[test]
+    fn channel_length_modulation_gives_output_conductance() {
+        let p = nmos_params();
+        let g = geom();
+        let a = evaluate_ids(&p, &g, 1.2, 0.9, 0.0, 0.0).ids;
+        let b = evaluate_ids(&p, &g, 1.2, 1.2, 0.0, 0.0).ids;
+        // Both points are in saturation; the difference is the λ term.
+        assert!(b > a);
+        assert!((b - a) / a < 0.2, "CLM effect unreasonably large");
+    }
+
+    #[test]
+    fn analytic_derivatives_match_finite_differences() {
+        let p = nmos_params();
+        let g = geom();
+        let h = 1e-7;
+        let cases = [
+            (0.8, 0.6, 0.1, 0.0),
+            (1.2, 1.2, 0.0, 0.0),
+            (0.3, 0.05, 0.0, 0.0),
+            (1.0, 0.2, 0.5, 0.0),
+        ];
+        for (vg, vd, vs, vb) in cases {
+            let base = evaluate_ids(&p, &g, vg, vd, vs, vb);
+            let num_gm_g = (evaluate_ids(&p, &g, vg + h, vd, vs, vb).ids
+                - evaluate_ids(&p, &g, vg - h, vd, vs, vb).ids)
+                / (2.0 * h);
+            let num_gm_d = (evaluate_ids(&p, &g, vg, vd + h, vs, vb).ids
+                - evaluate_ids(&p, &g, vg, vd - h, vs, vb).ids)
+                / (2.0 * h);
+            let num_gm_s = (evaluate_ids(&p, &g, vg, vd, vs + h, vb).ids
+                - evaluate_ids(&p, &g, vg, vd, vs - h, vb).ids)
+                / (2.0 * h);
+            let scale = base.ids.abs().max(1e-9);
+            assert!(
+                (base.gm_g - num_gm_g).abs() / scale.max(num_gm_g.abs()) < 2e-2,
+                "gm_g mismatch at {vg},{vd},{vs}: {} vs {}",
+                base.gm_g,
+                num_gm_g
+            );
+            assert!(
+                (base.gm_d - num_gm_d).abs() / scale.max(num_gm_d.abs()) < 2e-2,
+                "gm_d mismatch at {vg},{vd},{vs}: {} vs {}",
+                base.gm_d,
+                num_gm_d
+            );
+            assert!(
+                (base.gm_s - num_gm_s).abs() / scale.max(num_gm_s.abs()) < 6e-2,
+                "gm_s mismatch at {vg},{vd},{vs}: {} vs {}",
+                base.gm_s,
+                num_gm_s
+            );
+        }
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos_current_magnitude() {
+        let n = nmos_params();
+        let p = pmos_params();
+        let g = geom();
+        let i_n = evaluate_ids(&n, &g, 1.2, 1.2, 0.0, 0.0).ids;
+        let i_p = evaluate_ids(&p, &g, 0.0, 0.0, 1.2, 1.2).ids;
+        assert!((i_n + i_p).abs() / i_n < 1e-9, "mirror symmetry broken");
+    }
+
+    #[test]
+    fn caps_scale_with_geometry() {
+        let p = nmos_params();
+        let small = device_caps(&p, &MosfetGeometry::new(0.2e-6, 0.13e-6));
+        let large = device_caps(&p, &MosfetGeometry::new(0.4e-6, 0.13e-6));
+        assert!(large.cgs > small.cgs);
+        assert!(large.cgd > small.cgd);
+        assert!(large.cdb > small.cdb);
+        assert!((large.cdb / small.cdb - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ekv_f_is_smooth_and_monotonic() {
+        let mut last = 0.0;
+        for i in -100..100 {
+            let v = i as f64 * 0.5;
+            let (f, df) = ekv_f(v);
+            assert!(f >= 0.0);
+            assert!(df >= 0.0);
+            assert!(f >= last - 1e-12, "F must be nondecreasing");
+            last = f;
+        }
+        // Deep subthreshold limit: F(v) ≈ e^v → tiny.
+        assert!(ekv_f(-40.0).0 < 1e-15);
+        // Strong inversion limit: F(v) ≈ (v/2)^2.
+        let (f, _) = ekv_f(60.0);
+        assert!((f - 900.0).abs() / 900.0 < 1e-6);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for circuit construction and analysis.
+
+use mcsm_num::NumError;
+use std::fmt;
+
+/// Errors produced while building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// A node name was used before being declared, or an id is out of range.
+    UnknownNode(String),
+    /// An element referenced itself in an invalid way (e.g. both terminals equal
+    /// where that is meaningless).
+    InvalidElement(String),
+    /// A device or analysis parameter is out of range.
+    InvalidParameter(String),
+    /// The DC operating point could not be found even with continuation methods.
+    DcConvergence {
+        /// Description of the last failure.
+        detail: String,
+    },
+    /// A transient time step failed to converge after step-size reduction.
+    TranConvergence {
+        /// Simulation time at which the failure occurred, in seconds.
+        time: f64,
+        /// Description of the last failure.
+        detail: String,
+    },
+    /// The requested waveform or measurement does not exist.
+    MissingSignal(String),
+    /// An underlying numerical error (singular matrix, bad grid…).
+    Numerical(NumError),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+            SpiceError::InvalidElement(msg) => write!(f, "invalid element: {msg}"),
+            SpiceError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SpiceError::DcConvergence { detail } => {
+                write!(f, "dc operating point did not converge: {detail}")
+            }
+            SpiceError::TranConvergence { time, detail } => {
+                write!(f, "transient step at t = {time:.3e} s did not converge: {detail}")
+            }
+            SpiceError::MissingSignal(name) => write!(f, "no such signal `{name}`"),
+            SpiceError::Numerical(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpiceError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for SpiceError {
+    fn from(e: NumError) -> Self {
+        SpiceError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SpiceError::UnknownNode("x".into()).to_string().contains("`x`"));
+        assert!(SpiceError::DcConvergence { detail: "d".into() }
+            .to_string()
+            .contains("converge"));
+        assert!(SpiceError::TranConvergence { time: 1e-9, detail: "d".into() }
+            .to_string()
+            .contains("transient"));
+        assert!(SpiceError::MissingSignal("out".into()).to_string().contains("out"));
+    }
+
+    #[test]
+    fn numerical_error_is_wrapped_with_source() {
+        use std::error::Error;
+        let e = SpiceError::from(NumError::SingularMatrix { column: 1 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<SpiceError>();
+    }
+}

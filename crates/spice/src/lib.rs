@@ -1,0 +1,54 @@
+//! A small transistor-level circuit simulator.
+//!
+//! `mcsm-spice` plays the role HSPICE plays in the paper: it is both the
+//! **golden reference** (full transistor-level transient simulation of the cell
+//! under test) and the **characterization engine** (DC sweeps and controlled
+//! transients that fill the current-source-model tables).
+//!
+//! The feature set is deliberately scoped to what the reproduction needs:
+//!
+//! * modified nodal analysis with Newton–Raphson,
+//! * DC operating point (with source-stepping continuation) — [`analysis::dc`],
+//! * fixed-step transient with backward-Euler / trapezoidal companion models and
+//!   automatic step halving — [`analysis::tran`],
+//! * linear R / C elements, independent V / I sources with ramp, pulse and PWL
+//!   waveforms — [`circuit`], [`source`],
+//! * a smooth EKV-style MOSFET model with body effect, channel-length modulation
+//!   and parasitic capacitances — [`devices::mosfet`],
+//! * sampled-waveform containers and timing measurements — [`waveform`].
+//!
+//! # Example: an RC low-pass step response
+//!
+//! ```
+//! use mcsm_spice::analysis::{transient, TranOptions};
+//! use mcsm_spice::circuit::Circuit;
+//! use mcsm_spice::source::SourceWaveform;
+//!
+//! # fn main() -> Result<(), mcsm_spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.add_vsource(vin, Circuit::ground(), SourceWaveform::dc(1.0))?;
+//! ckt.add_resistor(vin, out, 1_000.0)?;
+//! ckt.add_capacitor(out, Circuit::ground(), 1e-12)?;
+//!
+//! let result = transient(&ckt, &TranOptions::new(5e-9, 10e-12))?;
+//! let v_out = result.node("out")?;
+//! assert!(v_out.final_value() > 0.98);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod circuit;
+pub mod devices;
+pub mod error;
+pub mod source;
+pub mod waveform;
+
+pub use analysis::{operating_point, transient, DcOptions, DcSolution, TranOptions, TranResult};
+pub use circuit::{Circuit, Element, ElementId, NodeId};
+pub use devices::mosfet::{MosfetGeometry, MosfetKind, MosfetParams};
+pub use error::SpiceError;
+pub use source::SourceWaveform;
+pub use waveform::{propagation_delay, Waveform, WaveformSet};

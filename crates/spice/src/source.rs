@@ -1,0 +1,285 @@
+//! Time-dependent source waveform descriptions.
+//!
+//! Voltage (and current) sources evaluate one of these analytic waveform shapes
+//! at every simulation time point. The saturated ramp — the canonical input
+//! stimulus of library characterization — is a first-class variant rather than a
+//! special case of PWL so that call sites stay readable.
+
+use serde::{Deserialize, Serialize};
+
+/// An analytic waveform shape evaluated at absolute simulation time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceWaveform {
+    /// A constant level.
+    Dc {
+        /// Constant value (volts for voltage sources, amps for current sources).
+        level: f64,
+    },
+    /// A saturated ramp: holds `start` until `t_start`, ramps linearly to `end`
+    /// over `t_transition`, then holds `end`.
+    SaturatedRamp {
+        /// Initial level.
+        start: f64,
+        /// Final level.
+        end: f64,
+        /// Time at which the ramp begins (seconds).
+        t_start: f64,
+        /// Duration of the linear transition (seconds).
+        t_transition: f64,
+    },
+    /// A single pulse: `base` → `peak` → `base`.
+    Pulse {
+        /// Level before and after the pulse.
+        base: f64,
+        /// Level during the pulse.
+        peak: f64,
+        /// Time at which the leading edge starts (seconds).
+        t_delay: f64,
+        /// Leading edge duration (seconds).
+        t_rise: f64,
+        /// Time spent at `peak` between the edges (seconds).
+        t_width: f64,
+        /// Trailing edge duration (seconds).
+        t_fall: f64,
+    },
+    /// Piecewise-linear waveform defined by `(time, value)` breakpoints.
+    ///
+    /// Before the first breakpoint the waveform holds the first value; after the
+    /// last breakpoint it holds the last value.
+    Pwl {
+        /// Breakpoints sorted by ascending time.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl SourceWaveform {
+    /// A constant waveform.
+    pub fn dc(level: f64) -> Self {
+        SourceWaveform::Dc { level }
+    }
+
+    /// A rising saturated ramp from 0 to `vdd`.
+    pub fn rising_ramp(vdd: f64, t_start: f64, t_transition: f64) -> Self {
+        SourceWaveform::SaturatedRamp {
+            start: 0.0,
+            end: vdd,
+            t_start,
+            t_transition,
+        }
+    }
+
+    /// A falling saturated ramp from `vdd` to 0.
+    pub fn falling_ramp(vdd: f64, t_start: f64, t_transition: f64) -> Self {
+        SourceWaveform::SaturatedRamp {
+            start: vdd,
+            end: 0.0,
+            t_start,
+            t_transition,
+        }
+    }
+
+    /// Evaluates the waveform at absolute time `t` (seconds).
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc { level } => *level,
+            SourceWaveform::SaturatedRamp {
+                start,
+                end,
+                t_start,
+                t_transition,
+            } => {
+                if t <= *t_start {
+                    *start
+                } else if t >= *t_start + *t_transition || *t_transition <= 0.0 {
+                    *end
+                } else {
+                    let frac = (t - t_start) / t_transition;
+                    start + frac * (end - start)
+                }
+            }
+            SourceWaveform::Pulse {
+                base,
+                peak,
+                t_delay,
+                t_rise,
+                t_width,
+                t_fall,
+            } => {
+                let t1 = *t_delay;
+                let t2 = t1 + *t_rise;
+                let t3 = t2 + *t_width;
+                let t4 = t3 + *t_fall;
+                if t <= t1 {
+                    *base
+                } else if t < t2 {
+                    base + (peak - base) * (t - t1) / (t2 - t1)
+                } else if t <= t3 {
+                    *peak
+                } else if t < t4 {
+                    peak + (base - peak) * (t - t3) / (t4 - t3)
+                } else {
+                    *base
+                }
+            }
+            SourceWaveform::Pwl { points } => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t >= t0 && t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// Returns the set of time points at which the waveform has a slope break.
+    ///
+    /// The transient engine forces a time step onto each breakpoint so sharp
+    /// edges are never stepped over.
+    pub fn breakpoints(&self) -> Vec<f64> {
+        match self {
+            SourceWaveform::Dc { .. } => vec![],
+            SourceWaveform::SaturatedRamp {
+                t_start,
+                t_transition,
+                ..
+            } => vec![*t_start, *t_start + *t_transition],
+            SourceWaveform::Pulse {
+                t_delay,
+                t_rise,
+                t_width,
+                t_fall,
+                ..
+            } => {
+                let t1 = *t_delay;
+                let t2 = t1 + *t_rise;
+                let t3 = t2 + *t_width;
+                let t4 = t3 + *t_fall;
+                vec![t1, t2, t3, t4]
+            }
+            SourceWaveform::Pwl { points } => points.iter().map(|(t, _)| *t).collect(),
+        }
+    }
+
+    /// The value the waveform settles to as `t → ∞` (used for final-value checks).
+    pub fn final_value(&self) -> f64 {
+        match self {
+            SourceWaveform::Dc { level } => *level,
+            SourceWaveform::SaturatedRamp { end, .. } => *end,
+            SourceWaveform::Pulse { base, .. } => *base,
+            SourceWaveform::Pwl { points } => points.last().map(|(_, v)| *v).unwrap_or(0.0),
+        }
+    }
+}
+
+impl Default for SourceWaveform {
+    fn default() -> Self {
+        SourceWaveform::Dc { level: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let w = SourceWaveform::dc(1.2);
+        assert_eq!(w.eval(0.0), 1.2);
+        assert_eq!(w.eval(1.0), 1.2);
+        assert!(w.breakpoints().is_empty());
+        assert_eq!(w.final_value(), 1.2);
+    }
+
+    #[test]
+    fn saturated_ramp_profile() {
+        let w = SourceWaveform::rising_ramp(1.2, 1e-9, 100e-12);
+        assert_eq!(w.eval(0.0), 0.0);
+        assert_eq!(w.eval(1e-9), 0.0);
+        assert!((w.eval(1.05e-9) - 0.6).abs() < 1e-12);
+        assert!((w.eval(1.1e-9) - 1.2).abs() < 1e-12);
+        assert_eq!(w.eval(5e-9), 1.2);
+        assert_eq!(w.final_value(), 1.2);
+        assert_eq!(w.breakpoints().len(), 2);
+    }
+
+    #[test]
+    fn falling_ramp_profile() {
+        let w = SourceWaveform::falling_ramp(1.2, 0.0, 200e-12);
+        assert_eq!(w.eval(0.0), 1.2);
+        assert!((w.eval(100e-12) - 0.6).abs() < 1e-12);
+        assert_eq!(w.eval(1e-9), 0.0);
+    }
+
+    #[test]
+    fn zero_transition_ramp_is_a_step() {
+        let w = SourceWaveform::SaturatedRamp {
+            start: 0.0,
+            end: 1.0,
+            t_start: 1e-9,
+            t_transition: 0.0,
+        };
+        assert_eq!(w.eval(0.999e-9), 0.0);
+        assert_eq!(w.eval(1.001e-9), 1.0);
+    }
+
+    #[test]
+    fn pulse_profile() {
+        let w = SourceWaveform::Pulse {
+            base: 0.0,
+            peak: 1.2,
+            t_delay: 1e-9,
+            t_rise: 100e-12,
+            t_width: 300e-12,
+            t_fall: 100e-12,
+        };
+        assert_eq!(w.eval(0.5e-9), 0.0);
+        assert!((w.eval(1.05e-9) - 0.6).abs() < 1e-12);
+        assert_eq!(w.eval(1.2e-9), 1.2);
+        assert!((w.eval(1.45e-9) - 0.6).abs() < 1e-12);
+        assert_eq!(w.eval(2.0e-9), 0.0);
+        assert_eq!(w.breakpoints().len(), 4);
+        assert_eq!(w.final_value(), 0.0);
+    }
+
+    #[test]
+    fn pwl_profile_and_clamping() {
+        let w = SourceWaveform::Pwl {
+            points: vec![(1.0, 0.0), (2.0, 2.0), (3.0, 1.0)],
+        };
+        assert_eq!(w.eval(0.0), 0.0);
+        assert!((w.eval(1.5) - 1.0).abs() < 1e-12);
+        assert!((w.eval(2.5) - 1.5).abs() < 1e-12);
+        assert_eq!(w.eval(10.0), 1.0);
+        assert_eq!(w.final_value(), 1.0);
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        let w = SourceWaveform::Pwl { points: vec![] };
+        assert_eq!(w.eval(1.0), 0.0);
+        assert_eq!(w.final_value(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = SourceWaveform::rising_ramp(1.2, 1e-9, 50e-12);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: SourceWaveform = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

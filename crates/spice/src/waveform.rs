@@ -1,0 +1,356 @@
+//! Sampled waveforms and timing measurements.
+//!
+//! Analyses produce [`Waveform`]s — time/value sample pairs — for every node (and
+//! voltage-source branch current). The measurement helpers extract the numbers
+//! the paper reports: 50 % propagation delay, transition (slew) times and the
+//! normalized RMSE between a model waveform and a SPICE reference.
+
+use crate::error::SpiceError;
+use mcsm_num::interp::{first_crossing, interp1, resample};
+use mcsm_num::stats;
+use serde::{Deserialize, Serialize};
+
+/// A sampled signal: strictly increasing times with one value per time point.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from parallel time/value vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidParameter`] if the vectors differ in length,
+    /// are empty, or the times are not strictly increasing.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Result<Self, SpiceError> {
+        if times.len() != values.len() {
+            return Err(SpiceError::InvalidParameter(format!(
+                "waveform needs matching vectors (times {} vs values {})",
+                times.len(),
+                values.len()
+            )));
+        }
+        if times.is_empty() {
+            return Err(SpiceError::InvalidParameter(
+                "waveform needs at least one sample".into(),
+            ));
+        }
+        for w in times.windows(2) {
+            if w[1] <= w[0] {
+                return Err(SpiceError::InvalidParameter(
+                    "waveform times must be strictly increasing".into(),
+                ));
+            }
+        }
+        Ok(Waveform { times, values })
+    }
+
+    /// Sample times (seconds).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the waveform has no samples (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// First sample time.
+    pub fn t_start(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Last sample time.
+    pub fn t_end(&self) -> f64 {
+        *self.times.last().expect("waveform is never empty")
+    }
+
+    /// Value at the final sample.
+    pub fn final_value(&self) -> f64 {
+        *self.values.last().expect("waveform is never empty")
+    }
+
+    /// Linearly interpolated value at time `t` (clamped outside the range).
+    pub fn value_at(&self, t: f64) -> f64 {
+        interp1(&self.times, &self.values, t).expect("waveform invariants guarantee valid interp")
+    }
+
+    /// Resamples the waveform onto the given time points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidParameter`] if the new time base is invalid.
+    pub fn resample_onto(&self, new_times: &[f64]) -> Result<Waveform, SpiceError> {
+        let values = resample(&self.times, &self.values, new_times)
+            .map_err(SpiceError::Numerical)?;
+        Waveform::new(new_times.to_vec(), values)
+    }
+
+    /// Time of the first crossing of `level` in the requested direction, if any.
+    pub fn crossing(&self, level: f64, rising: bool) -> Option<f64> {
+        first_crossing(&self.times, &self.values, level, rising)
+            .expect("waveform invariants guarantee matching lengths")
+    }
+
+    /// Minimum sample value.
+    pub fn min_value(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample value.
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// 10 %–90 % (or 90 %–10 %) transition time with respect to the supply `vdd`.
+    ///
+    /// Returns `None` if the waveform never crosses both thresholds.
+    pub fn transition_time(&self, vdd: f64, rising: bool) -> Option<f64> {
+        let (lo, hi) = (0.1 * vdd, 0.9 * vdd);
+        if rising {
+            let t_lo = self.crossing(lo, true)?;
+            let t_hi = self.crossing(hi, true)?;
+            Some(t_hi - t_lo)
+        } else {
+            let t_hi = self.crossing(hi, false)?;
+            let t_lo = self.crossing(lo, false)?;
+            Some(t_lo - t_hi)
+        }
+    }
+
+    /// Normalized RMSE against a reference waveform over the reference's time base
+    /// (the paper's Eq. 6 divided by `scale`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resampling errors.
+    pub fn normalized_rmse_against(
+        &self,
+        reference: &Waveform,
+        scale: f64,
+    ) -> Result<f64, SpiceError> {
+        let mine = self.resample_onto(reference.times())?;
+        stats::normalized_rmse(reference.values(), mine.values(), scale)
+            .map_err(SpiceError::Numerical)
+    }
+}
+
+/// Measures the 50 % input-to-output propagation delay between two waveforms.
+///
+/// `input_rising` / `output_rising` select which edges to pair; `vdd` defines the
+/// 50 % level. Returns `None` when either waveform lacks the requested edge.
+pub fn propagation_delay(
+    input: &Waveform,
+    output: &Waveform,
+    vdd: f64,
+    input_rising: bool,
+    output_rising: bool,
+) -> Option<f64> {
+    let mid = 0.5 * vdd;
+    let t_in = input.crossing(mid, input_rising)?;
+    let t_out = output.crossing(mid, output_rising)?;
+    Some(t_out - t_in)
+}
+
+/// Measures the 50 % delay of an output edge relative to an absolute event time
+/// (used when the "input" is an analytic stimulus rather than a waveform).
+pub fn delay_from_event(output: &Waveform, event_time: f64, vdd: f64, output_rising: bool) -> Option<f64> {
+    let mid = 0.5 * vdd;
+    let t_out = output.crossing(mid, output_rising)?;
+    Some(t_out - event_time)
+}
+
+/// A named collection of waveforms produced by one analysis run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WaveformSet {
+    names: Vec<String>,
+    waveforms: Vec<Waveform>,
+}
+
+impl WaveformSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        WaveformSet::default()
+    }
+
+    /// Adds a named waveform, replacing any existing waveform with the same name.
+    pub fn insert(&mut self, name: impl Into<String>, waveform: Waveform) {
+        let name = name.into();
+        if let Some(pos) = self.names.iter().position(|n| *n == name) {
+            self.waveforms[pos] = waveform;
+        } else {
+            self.names.push(name);
+            self.waveforms.push(waveform);
+        }
+    }
+
+    /// Looks up a waveform by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::MissingSignal`] if the name is unknown.
+    pub fn get(&self, name: &str) -> Result<&Waveform, SpiceError> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.waveforms[i])
+            .ok_or_else(|| SpiceError::MissingSignal(name.to_string()))
+    }
+
+    /// Names of all stored waveforms.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of stored waveforms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(name, waveform)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Waveform)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.waveforms.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_waveform() -> Waveform {
+        // 0 → 1.2 V linear ramp between t = 1 ns and 2 ns.
+        let times: Vec<f64> = (0..=30).map(|i| i as f64 * 0.1e-9).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| {
+                if t <= 1e-9 {
+                    0.0
+                } else if t >= 2e-9 {
+                    1.2
+                } else {
+                    1.2 * (t - 1e-9) / 1e-9
+                }
+            })
+            .collect();
+        Waveform::new(times, values).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_input() {
+        assert!(Waveform::new(vec![], vec![]).is_err());
+        assert!(Waveform::new(vec![0.0, 1.0], vec![0.0]).is_err());
+        assert!(Waveform::new(vec![0.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(Waveform::new(vec![1.0, 0.5], vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn value_interpolation_and_extremes() {
+        let w = ramp_waveform();
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.5e-9) - 0.6).abs() < 1e-9);
+        assert_eq!(w.value_at(10e-9), 1.2);
+        assert_eq!(w.min_value(), 0.0);
+        assert_eq!(w.max_value(), 1.2);
+        assert_eq!(w.final_value(), 1.2);
+        assert_eq!(w.t_start(), 0.0);
+        assert!((w.t_end() - 3e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn crossings_and_transition_time() {
+        let w = ramp_waveform();
+        let t50 = w.crossing(0.6, true).unwrap();
+        assert!((t50 - 1.5e-9).abs() < 1e-12);
+        assert!(w.crossing(0.6, false).is_none());
+        let tt = w.transition_time(1.2, true).unwrap();
+        assert!((tt - 0.8e-9).abs() < 1e-12);
+        assert!(w.transition_time(1.2, false).is_none());
+    }
+
+    #[test]
+    fn propagation_delay_between_edges() {
+        let input = ramp_waveform();
+        // Output falls from 1.2 to 0 between 1.8 ns and 2.2 ns.
+        let times: Vec<f64> = (0..=30).map(|i| i as f64 * 0.1e-9).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| {
+                if t <= 1.8e-9 {
+                    1.2
+                } else if t >= 2.2e-9 {
+                    0.0
+                } else {
+                    1.2 * (1.0 - (t - 1.8e-9) / 0.4e-9)
+                }
+            })
+            .collect();
+        let output = Waveform::new(times, values).unwrap();
+        let d = propagation_delay(&input, &output, 1.2, true, false).unwrap();
+        assert!((d - 0.5e-9).abs() < 1e-12);
+        let d_evt = delay_from_event(&output, 1.5e-9, 1.2, false).unwrap();
+        assert!((d_evt - 0.5e-9).abs() < 1e-12);
+        assert!(propagation_delay(&input, &output, 1.2, false, false).is_none());
+    }
+
+    #[test]
+    fn resampling_preserves_shape() {
+        let w = ramp_waveform();
+        let dense: Vec<f64> = (0..=300).map(|i| i as f64 * 0.01e-9).collect();
+        let r = w.resample_onto(&dense).unwrap();
+        assert_eq!(r.len(), 301);
+        assert!((r.value_at(1.5e-9) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_between_identical_waveforms_is_zero() {
+        let w = ramp_waveform();
+        assert!(w.normalized_rmse_against(&w, 1.2).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn rmse_detects_offset() {
+        let w = ramp_waveform();
+        let shifted = Waveform::new(
+            w.times().to_vec(),
+            w.values().iter().map(|v| v + 0.12).collect(),
+        )
+        .unwrap();
+        let nrmse = shifted.normalized_rmse_against(&w, 1.2).unwrap();
+        assert!((nrmse - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waveform_set_insert_get_replace() {
+        let mut set = WaveformSet::new();
+        assert!(set.is_empty());
+        set.insert("out", ramp_waveform());
+        assert_eq!(set.len(), 1);
+        assert!(set.get("out").is_ok());
+        assert!(set.get("missing").is_err());
+        // Replacement keeps a single entry.
+        set.insert("out", ramp_waveform());
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().count(), 1);
+        assert_eq!(set.names(), &["out".to_string()]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Waveform-based timing propagation through a gate graph.
+//!
+//! Unlike a conventional STA tool that propagates `(arrival, slew)` pairs,
+//! a current-source-model flow propagates entire waveforms: every net carries a
+//! voltage waveform, every gate consumes the waveforms on its inputs and
+//! produces the waveform on its output. Arrival times and slews are *derived*
+//! from the waveforms afterwards, which is exactly the property that makes CSMs
+//! robust to noisy (non-ramp) signals.
+
+use crate::delaycalc::DelayCalculator;
+use crate::error::StaError;
+use crate::graph::{GateGraph, NetId};
+use crate::models::ModelLibrary;
+use mcsm_core::sim::DriveWaveform;
+use mcsm_spice::waveform::Waveform;
+use std::collections::HashMap;
+
+/// Options for a timing-propagation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingOptions {
+    /// Per-gate delay calculation (backend and time stepping).
+    pub calculator: DelayCalculator,
+    /// Additional lumped load on every primary output (farads).
+    pub primary_output_load: f64,
+}
+
+/// The result of propagating waveforms through a gate graph.
+#[derive(Debug, Clone)]
+pub struct TimingResult {
+    waveforms: HashMap<NetId, Waveform>,
+    vdd: f64,
+}
+
+impl TimingResult {
+    /// The waveform on a net, if the net was reached by propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidParameter`] if the net has no waveform.
+    pub fn waveform(&self, net: NetId) -> Result<&Waveform, StaError> {
+        self.waveforms
+            .get(&net)
+            .ok_or_else(|| StaError::InvalidParameter(format!("net #{} has no waveform", net.index())))
+    }
+
+    /// The 50 % crossing time of the waveform on a net, for the given direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidParameter`] if the net has no waveform.
+    pub fn arrival_time(&self, net: NetId, rising: bool) -> Result<Option<f64>, StaError> {
+        Ok(self.waveform(net)?.crossing(0.5 * self.vdd, rising))
+    }
+
+    /// The 10 %–90 % transition time of the waveform on a net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidParameter`] if the net has no waveform.
+    pub fn slew(&self, net: NetId, rising: bool) -> Result<Option<f64>, StaError> {
+        Ok(self.waveform(net)?.transition_time(self.vdd, rising))
+    }
+
+    /// All nets that have waveforms.
+    pub fn nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.waveforms.keys().copied()
+    }
+}
+
+/// Propagates waveforms from the primary inputs to every net of the graph.
+///
+/// `input_drives` must provide a drive waveform for every primary input.
+/// Gate loads are computed from the characterized input pin capacitances of the
+/// fanout gates, plus `primary_output_load` on primary outputs.
+///
+/// # Errors
+///
+/// * [`StaError::InvalidParameter`] if a primary input has no drive waveform.
+/// * [`StaError::MissingModel`] if a gate's cell kind is not in the library.
+/// * Propagated model-evaluation errors.
+pub fn propagate(
+    graph: &GateGraph,
+    library: &ModelLibrary,
+    input_drives: &HashMap<NetId, DriveWaveform>,
+    options: &TimingOptions,
+) -> Result<TimingResult, StaError> {
+    for &pi in graph.primary_inputs() {
+        if !input_drives.contains_key(&pi) {
+            return Err(StaError::InvalidParameter(format!(
+                "primary input `{}` has no drive waveform",
+                graph.net_name(pi)
+            )));
+        }
+    }
+
+    let order = graph.topological_order()?;
+    let vdd = library.vdd();
+
+    // Drives known so far: primary inputs first, then gate outputs as computed.
+    let mut drives: HashMap<NetId, DriveWaveform> = input_drives.clone();
+    let mut waveforms: HashMap<NetId, Waveform> = HashMap::new();
+
+    for gate_id in order {
+        let gate = graph.gate(gate_id);
+        let store = library.store(gate.kind)?;
+
+        let inputs: Vec<DriveWaveform> = gate
+            .inputs
+            .iter()
+            .map(|net| {
+                drives.get(net).cloned().ok_or_else(|| {
+                    StaError::InvalidGraph(format!(
+                        "net `{}` reached gate `{}` without a waveform",
+                        graph.net_name(*net),
+                        gate.name
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Lumped load: input capacitance of every fanout pin plus the external
+        // load if this net is a primary output.
+        let mut load = 0.0;
+        for (fanout_gate, pin) in graph.fanout_of(gate.output) {
+            let kind = graph.gate(fanout_gate).kind;
+            load += library.input_pin_capacitance(kind, pin)?;
+        }
+        if graph.primary_outputs().contains(&gate.output) {
+            load += options.primary_output_load;
+        }
+
+        let waveform = options
+            .calculator
+            .gate_output(store, gate.kind, &inputs, load)?;
+        drives.insert(gate.output, DriveWaveform::Sampled(waveform.clone()));
+        waveforms.insert(gate.output, waveform);
+    }
+
+    Ok(TimingResult { waveforms, vdd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delaycalc::DelayBackend;
+    use mcsm_cells::cell::CellKind;
+    use mcsm_cells::tech::Technology;
+    use mcsm_core::config::CharacterizationConfig;
+    use mcsm_core::sim::CsmSimOptions;
+
+    fn library() -> ModelLibrary {
+        ModelLibrary::characterize(
+            &Technology::cmos_130nm(),
+            &[CellKind::Inverter, CellKind::Nor2],
+            &CharacterizationConfig::coarse(),
+        )
+        .unwrap()
+    }
+
+    fn chain_graph() -> GateGraph {
+        let mut g = GateGraph::new();
+        let a = g.net("a");
+        let b = g.net("b");
+        let mid = g.net("mid");
+        let out = g.net("out");
+        g.mark_primary_input(a);
+        g.mark_primary_input(b);
+        g.mark_primary_output(out);
+        g.add_gate("u_nor", CellKind::Nor2, &[a, b], mid).unwrap();
+        g.add_gate("u_inv", CellKind::Inverter, &[mid], out).unwrap();
+        g
+    }
+
+    fn options(backend: DelayBackend) -> TimingOptions {
+        TimingOptions {
+            calculator: DelayCalculator::new(backend, CsmSimOptions::new(4e-9, 1e-12), 1.2),
+            primary_output_load: 2e-15,
+        }
+    }
+
+    #[test]
+    fn waveforms_propagate_through_a_chain() {
+        let lib = library();
+        let g = chain_graph();
+        let a = g.find_net("a").unwrap();
+        let b = g.find_net("b").unwrap();
+        let mid = g.find_net("mid").unwrap();
+        let out = g.find_net("out").unwrap();
+
+        let mut drives = HashMap::new();
+        drives.insert(a, DriveWaveform::falling_ramp(1.2, 1e-9, 80e-12));
+        drives.insert(b, DriveWaveform::falling_ramp(1.2, 1e-9, 80e-12));
+
+        let result = propagate(&g, &lib, &drives, &options(DelayBackend::CompleteMcsm)).unwrap();
+
+        // NOR2 output rises, inverter output falls, in causal order.
+        let t_mid = result.arrival_time(mid, true).unwrap().unwrap();
+        let t_out = result.arrival_time(out, false).unwrap().unwrap();
+        assert!(t_mid > 1e-9);
+        assert!(t_out > t_mid, "out ({t_out}) must come after mid ({t_mid})");
+        assert!(result.slew(mid, true).unwrap().unwrap() > 0.0);
+        assert_eq!(result.nets().count(), 2);
+        // Primary inputs have no computed waveform.
+        assert!(result.waveform(a).is_err());
+    }
+
+    #[test]
+    fn missing_input_drive_is_rejected() {
+        let lib = library();
+        let g = chain_graph();
+        let a = g.find_net("a").unwrap();
+        let mut drives = HashMap::new();
+        drives.insert(a, DriveWaveform::dc(0.0));
+        let err = propagate(&g, &lib, &drives, &options(DelayBackend::CompleteMcsm));
+        assert!(matches!(err, Err(StaError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn missing_cell_model_is_reported() {
+        let lib = ModelLibrary::new(1.2); // empty
+        let g = chain_graph();
+        let a = g.find_net("a").unwrap();
+        let b = g.find_net("b").unwrap();
+        let mut drives = HashMap::new();
+        drives.insert(a, DriveWaveform::dc(0.0));
+        drives.insert(b, DriveWaveform::dc(0.0));
+        let err = propagate(&g, &lib, &drives, &options(DelayBackend::SisOnly));
+        assert!(matches!(err, Err(StaError::MissingModel(_))));
+    }
+
+    #[test]
+    fn mcsm_backend_is_not_faster_than_sis_for_mis_event() {
+        // The SIS model sees only one falling input and therefore underestimates
+        // how much charge the pull-up must supply; its predicted arrival should
+        // not be later than the MCSM's for the same MIS event.
+        let lib = library();
+        let g = chain_graph();
+        let a = g.find_net("a").unwrap();
+        let b = g.find_net("b").unwrap();
+        let mid = g.find_net("mid").unwrap();
+        let mut drives = HashMap::new();
+        drives.insert(a, DriveWaveform::falling_ramp(1.2, 1e-9, 80e-12));
+        drives.insert(b, DriveWaveform::falling_ramp(1.2, 1e-9, 80e-12));
+
+        let sis = propagate(&g, &lib, &drives, &options(DelayBackend::SisOnly)).unwrap();
+        let mcsm = propagate(&g, &lib, &drives, &options(DelayBackend::CompleteMcsm)).unwrap();
+        let t_sis = sis.arrival_time(mid, true).unwrap().unwrap();
+        let t_mcsm = mcsm.arrival_time(mid, true).unwrap().unwrap();
+        assert!(
+            t_mcsm >= t_sis - 5e-12,
+            "MCSM arrival {t_mcsm} unexpectedly earlier than SIS {t_sis}"
+        );
+    }
+}

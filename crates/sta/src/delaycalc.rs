@@ -1,0 +1,278 @@
+//! Per-gate delay calculation: input waveforms in, output waveform out.
+//!
+//! This is where a timing tool chooses which model family to evaluate. The three
+//! backends mirror the paper's comparison:
+//!
+//! * [`DelayBackend::SisOnly`] — always use the single-input-switching model of
+//!   the first switching pin (what a conventional STA tool does even for MIS
+//!   events);
+//! * [`DelayBackend::BaselineMis`] — use the MIS model that ignores the internal
+//!   node (Section 3.1);
+//! * [`DelayBackend::CompleteMcsm`] — use the complete MCSM where available
+//!   (Sections 3.2–3.4), falling back to the baseline and then SIS models for
+//!   cells that do not need or do not have internal-node tables.
+
+use crate::error::StaError;
+use mcsm_cells::cell::CellKind;
+use mcsm_core::sim::{
+    simulate_mcsm, simulate_mis_baseline, simulate_sis, CsmSimOptions, DriveWaveform,
+};
+use mcsm_core::store::ModelStore;
+use mcsm_spice::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+/// Which model family the calculator prefers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DelayBackend {
+    /// Single-input-switching models only.
+    SisOnly,
+    /// Multiple-input-switching model without internal-node state.
+    BaselineMis,
+    /// The complete MCSM (internal node modeled).
+    CompleteMcsm,
+}
+
+/// A waveform-based gate delay calculator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayCalculator {
+    /// Preferred model family.
+    pub backend: DelayBackend,
+    /// Time stepping used for the model simulation.
+    pub sim: CsmSimOptions,
+    /// Supply voltage (volts), used to derive initial logic levels.
+    pub vdd: f64,
+}
+
+impl DelayCalculator {
+    /// Creates a calculator.
+    pub fn new(backend: DelayBackend, sim: CsmSimOptions, vdd: f64) -> Self {
+        DelayCalculator { backend, sim, vdd }
+    }
+
+    fn initial_logic(&self, drive: &DriveWaveform) -> bool {
+        drive.initial_value() > 0.5 * self.vdd
+    }
+
+    fn is_switching(&self, drive: &DriveWaveform) -> bool {
+        let start = drive.eval(0.0);
+        let end = drive.eval(self.sim.t_stop);
+        (end - start).abs() > 0.5 * self.vdd
+    }
+
+    /// Computes the output waveform of one gate.
+    ///
+    /// `inputs` are the drive waveforms in pin order; `load_capacitance` is the
+    /// lumped load at the gate output.
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::MissingModel`] if the store lacks every usable model family
+    ///   for this cell and backend.
+    /// * Model-simulation errors.
+    pub fn gate_output(
+        &self,
+        store: &ModelStore,
+        kind: CellKind,
+        inputs: &[DriveWaveform],
+        load_capacitance: f64,
+    ) -> Result<Waveform, StaError> {
+        if inputs.len() != kind.input_count() {
+            return Err(StaError::InvalidParameter(format!(
+                "{} expects {} inputs, got {}",
+                kind.name(),
+                kind.input_count(),
+                inputs.len()
+            )));
+        }
+
+        // Initial output level from the initial input logic state.
+        let initial_logic: Vec<bool> = inputs.iter().map(|d| self.initial_logic(d)).collect();
+        let v_out_initial = if kind.evaluate(&initial_logic) {
+            self.vdd
+        } else {
+            0.0
+        };
+
+        // Single-input cells always use their SIS model.
+        if kind.input_count() == 1 {
+            let sis = store
+                .sis_for_pin(0)
+                .ok_or_else(|| StaError::MissingModel(format!("no SIS model for {}", kind.name())))?;
+            return Ok(simulate_sis(sis, &inputs[0], load_capacitance, v_out_initial, &self.sim)?);
+        }
+
+        // Two-input cells: dispatch on the backend, falling back gracefully.
+        match self.backend {
+            DelayBackend::CompleteMcsm => {
+                if let Some(mcsm) = &store.mcsm {
+                    let result = simulate_mcsm(
+                        mcsm,
+                        &inputs[0],
+                        &inputs[1],
+                        load_capacitance,
+                        v_out_initial,
+                        None,
+                        &self.sim,
+                    )?;
+                    return Ok(result.output);
+                }
+                self.baseline_or_sis(store, kind, inputs, load_capacitance, v_out_initial)
+            }
+            DelayBackend::BaselineMis => {
+                self.baseline_or_sis(store, kind, inputs, load_capacitance, v_out_initial)
+            }
+            DelayBackend::SisOnly => {
+                self.sis_only(store, kind, inputs, load_capacitance, v_out_initial)
+            }
+        }
+    }
+
+    fn baseline_or_sis(
+        &self,
+        store: &ModelStore,
+        kind: CellKind,
+        inputs: &[DriveWaveform],
+        load_capacitance: f64,
+        v_out_initial: f64,
+    ) -> Result<Waveform, StaError> {
+        if let Some(baseline) = &store.mis_baseline {
+            return Ok(simulate_mis_baseline(
+                baseline,
+                &inputs[0],
+                &inputs[1],
+                load_capacitance,
+                v_out_initial,
+                &self.sim,
+            )?);
+        }
+        self.sis_only(store, kind, inputs, load_capacitance, v_out_initial)
+    }
+
+    fn sis_only(
+        &self,
+        store: &ModelStore,
+        kind: CellKind,
+        inputs: &[DriveWaveform],
+        load_capacitance: f64,
+        v_out_initial: f64,
+    ) -> Result<Waveform, StaError> {
+        // Use the first switching pin (or pin 0 if nothing switches), exactly as
+        // a SIS-only timing tool would: the other input is assumed to be stable
+        // at its non-controlling value.
+        let pin = inputs
+            .iter()
+            .position(|d| self.is_switching(d))
+            .unwrap_or(0);
+        let sis = store.sis_for_pin(pin).or_else(|| store.sis.first()).ok_or_else(|| {
+            StaError::MissingModel(format!("no SIS model for {} pin {pin}", kind.name()))
+        })?;
+        Ok(simulate_sis(
+            sis,
+            &inputs[pin],
+            load_capacitance,
+            v_out_initial,
+            &self.sim,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsm_cells::cell::CellTemplate;
+    use mcsm_cells::tech::Technology;
+    use mcsm_core::characterize::{
+        characterize_mcsm, characterize_mis_baseline, characterize_sis,
+    };
+    use mcsm_core::config::CharacterizationConfig;
+
+    fn nor2_store() -> ModelStore {
+        let tech = Technology::cmos_130nm();
+        let template = CellTemplate::new(CellKind::Nor2, tech);
+        let cfg = CharacterizationConfig::coarse();
+        let mut store = ModelStore::new();
+        store.sis.push(characterize_sis(&template, 0, &cfg).unwrap());
+        store.sis.push(characterize_sis(&template, 1, &cfg).unwrap());
+        store.mis_baseline = Some(characterize_mis_baseline(&template, &cfg).unwrap());
+        store.mcsm = Some(characterize_mcsm(&template, &cfg).unwrap());
+        store
+    }
+
+    fn inverter_store() -> ModelStore {
+        let tech = Technology::cmos_130nm();
+        let template = CellTemplate::new(CellKind::Inverter, tech);
+        let cfg = CharacterizationConfig::coarse();
+        let mut store = ModelStore::new();
+        store.sis.push(characterize_sis(&template, 0, &cfg).unwrap());
+        store
+    }
+
+    fn calculator(backend: DelayBackend) -> DelayCalculator {
+        DelayCalculator::new(backend, CsmSimOptions::new(3e-9, 1e-12), 1.2)
+    }
+
+    #[test]
+    fn inverter_output_falls_for_rising_input() {
+        let store = inverter_store();
+        let calc = calculator(DelayBackend::CompleteMcsm);
+        let input = DriveWaveform::rising_ramp(1.2, 0.5e-9, 60e-12);
+        let out = calc
+            .gate_output(&store, CellKind::Inverter, &[input], 2e-15)
+            .unwrap();
+        assert!(out.value_at(0.0) > 1.0);
+        assert!(out.final_value() < 0.2);
+    }
+
+    #[test]
+    fn all_backends_handle_a_mis_event_on_nor2() {
+        let store = nor2_store();
+        let a = DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        let b = DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        for backend in [
+            DelayBackend::SisOnly,
+            DelayBackend::BaselineMis,
+            DelayBackend::CompleteMcsm,
+        ] {
+            let calc = calculator(backend);
+            let out = calc
+                .gate_output(&store, CellKind::Nor2, &[a.clone(), b.clone()], 4e-15)
+                .unwrap();
+            assert!(out.value_at(0.0) < 0.2, "{backend:?} initial");
+            assert!(
+                out.final_value() > 1.0,
+                "{backend:?} final = {}",
+                out.final_value()
+            );
+        }
+    }
+
+    #[test]
+    fn pin_count_mismatch_is_rejected() {
+        let store = nor2_store();
+        let calc = calculator(DelayBackend::CompleteMcsm);
+        let a = DriveWaveform::dc(0.0);
+        assert!(calc.gate_output(&store, CellKind::Nor2, &[a], 1e-15).is_err());
+    }
+
+    #[test]
+    fn missing_models_are_reported() {
+        let empty = ModelStore::new();
+        let calc = calculator(DelayBackend::SisOnly);
+        let a = DriveWaveform::dc(0.0);
+        let err = calc.gate_output(&empty, CellKind::Inverter, &[a], 1e-15);
+        assert!(matches!(err, Err(StaError::MissingModel(_))));
+    }
+
+    #[test]
+    fn sis_only_picks_the_switching_pin() {
+        let store = nor2_store();
+        let calc = calculator(DelayBackend::SisOnly);
+        // Only pin B switches; pin A stays at the non-controlling value.
+        let a = DriveWaveform::dc(0.0);
+        let b = DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        let out = calc
+            .gate_output(&store, CellKind::Nor2, &[a, b], 4e-15)
+            .unwrap();
+        assert!(out.final_value() > 1.0);
+    }
+}

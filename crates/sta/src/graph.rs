@@ -1,0 +1,351 @@
+//! Combinational gate graphs.
+//!
+//! A [`GateGraph`] is a netlist at the gate level: named nets connected by gate
+//! instances of the cells from `mcsm-cells`. It supports what waveform-based
+//! timing propagation needs — topological ordering, fanout queries and
+//! validation — and nothing more.
+
+use crate::error::StaError;
+use mcsm_cells::cell::CellKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a net (wire) in the gate graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(usize);
+
+impl NetId {
+    /// Raw index of the net.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a gate instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GateId(usize);
+
+impl GateId {
+    /// Raw index of the gate.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Instance name.
+    pub name: String,
+    /// Cell topology.
+    pub kind: CellKind,
+    /// Input nets in pin order.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// A combinational gate-level netlist.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GateGraph {
+    net_names: Vec<String>,
+    net_index: HashMap<String, NetId>,
+    gates: Vec<Gate>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+}
+
+impl GateGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        GateGraph::default()
+    }
+
+    /// Returns the net with the given name, creating it if necessary.
+    pub fn net(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.net_index.get(name) {
+            return id;
+        }
+        let id = NetId(self.net_names.len());
+        self.net_names.push(name.to_string());
+        self.net_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing net by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidGraph`] if the net does not exist.
+    pub fn find_net(&self, name: &str) -> Result<NetId, StaError> {
+        self.net_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| StaError::InvalidGraph(format!("no net named `{name}`")))
+    }
+
+    /// Name of a net.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.0]
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Declares a net as a primary input.
+    pub fn mark_primary_input(&mut self, net: NetId) {
+        if !self.primary_inputs.contains(&net) {
+            self.primary_inputs.push(net);
+        }
+    }
+
+    /// Declares a net as a primary output.
+    pub fn mark_primary_output(&mut self, net: NetId) {
+        if !self.primary_outputs.contains(&net) {
+            self.primary_outputs.push(net);
+        }
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// Adds a gate instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidGraph`] if the pin count does not match the
+    /// cell kind or if the output net already has a driver.
+    pub fn add_gate(
+        &mut self,
+        name: &str,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId, StaError> {
+        if inputs.len() != kind.input_count() {
+            return Err(StaError::InvalidGraph(format!(
+                "{} expects {} inputs, got {}",
+                kind.name(),
+                kind.input_count(),
+                inputs.len()
+            )));
+        }
+        if self.driver_of(output).is_some() {
+            return Err(StaError::InvalidGraph(format!(
+                "net `{}` already has a driver",
+                self.net_name(output)
+            )));
+        }
+        let id = GateId(self.gates.len());
+        self.gates.push(Gate {
+            name: name.to_string(),
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(id)
+    }
+
+    /// All gates in insertion order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate driving a net, if any.
+    pub fn driver_of(&self, net: NetId) -> Option<GateId> {
+        self.gates
+            .iter()
+            .position(|g| g.output == net)
+            .map(GateId)
+    }
+
+    /// The gates whose inputs include `net`, with the pin index used.
+    pub fn fanout_of(&self, net: NetId) -> Vec<(GateId, usize)> {
+        let mut out = Vec::new();
+        for (idx, gate) in self.gates.iter().enumerate() {
+            for (pin, &input) in gate.inputs.iter().enumerate() {
+                if input == net {
+                    out.push((GateId(idx), pin));
+                }
+            }
+        }
+        out
+    }
+
+    /// The gate with the given id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.0]
+    }
+
+    /// Returns the gates in topological order (inputs before the gates they feed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidGraph`] if the graph has a combinational cycle
+    /// or a gate input that is neither a primary input nor driven by another gate.
+    pub fn topological_order(&self) -> Result<Vec<GateId>, StaError> {
+        // Nets that are known: primary inputs initially, plus outputs of placed gates.
+        let mut known: Vec<bool> = vec![false; self.net_names.len()];
+        for &pi in &self.primary_inputs {
+            known[pi.0] = true;
+        }
+        // Undriven, non-primary-input nets are an error.
+        for gate in &self.gates {
+            for &input in &gate.inputs {
+                if !self.primary_inputs.contains(&input) && self.driver_of(input).is_none() {
+                    return Err(StaError::InvalidGraph(format!(
+                        "net `{}` feeding gate `{}` has no driver and is not a primary input",
+                        self.net_name(input),
+                        gate.name
+                    )));
+                }
+            }
+        }
+
+        let mut placed = vec![false; self.gates.len()];
+        let mut order = Vec::with_capacity(self.gates.len());
+        loop {
+            let mut progressed = false;
+            for (idx, gate) in self.gates.iter().enumerate() {
+                if placed[idx] {
+                    continue;
+                }
+                if gate.inputs.iter().all(|n| known[n.0]) {
+                    placed[idx] = true;
+                    known[gate.output.0] = true;
+                    order.push(GateId(idx));
+                    progressed = true;
+                }
+            }
+            if order.len() == self.gates.len() {
+                return Ok(order);
+            }
+            if !progressed {
+                let stuck: Vec<&str> = self
+                    .gates
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !placed[*i])
+                    .map(|(_, g)| g.name.as_str())
+                    .collect();
+                return Err(StaError::InvalidGraph(format!(
+                    "combinational cycle involving gates: {}",
+                    stuck.join(", ")
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// in_a, in_b → NOR2 → mid; mid → INV → out.
+    fn small_graph() -> GateGraph {
+        let mut g = GateGraph::new();
+        let a = g.net("in_a");
+        let b = g.net("in_b");
+        let mid = g.net("mid");
+        let out = g.net("out");
+        g.mark_primary_input(a);
+        g.mark_primary_input(b);
+        g.mark_primary_output(out);
+        g.add_gate("u1", CellKind::Nor2, &[a, b], mid).unwrap();
+        g.add_gate("u2", CellKind::Inverter, &[mid], out).unwrap();
+        g
+    }
+
+    #[test]
+    fn nets_are_deduplicated() {
+        let mut g = GateGraph::new();
+        let a = g.net("x");
+        assert_eq!(g.net("x"), a);
+        assert_eq!(g.net_count(), 1);
+        assert_eq!(g.net_name(a), "x");
+        assert!(g.find_net("x").is_ok());
+        assert!(g.find_net("y").is_err());
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let g = small_graph();
+        let order = g.topological_order().unwrap();
+        assert_eq!(order.len(), 2);
+        assert_eq!(g.gate(order[0]).name, "u1");
+        assert_eq!(g.gate(order[1]).name, "u2");
+    }
+
+    #[test]
+    fn fanout_and_driver_queries() {
+        let g = small_graph();
+        let mid = g.find_net("mid").unwrap();
+        let driver = g.driver_of(mid).unwrap();
+        assert_eq!(g.gate(driver).name, "u1");
+        let fanout = g.fanout_of(mid);
+        assert_eq!(fanout.len(), 1);
+        assert_eq!(g.gate(fanout[0].0).name, "u2");
+        assert_eq!(fanout[0].1, 0);
+        assert!(g.driver_of(g.find_net("in_a").unwrap()).is_none());
+    }
+
+    #[test]
+    fn wrong_pin_count_rejected() {
+        let mut g = GateGraph::new();
+        let a = g.net("a");
+        let out = g.net("out");
+        assert!(g.add_gate("u1", CellKind::Nand2, &[a], out).is_err());
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let mut g = GateGraph::new();
+        let a = g.net("a");
+        let out = g.net("out");
+        g.mark_primary_input(a);
+        g.add_gate("u1", CellKind::Inverter, &[a], out).unwrap();
+        assert!(g.add_gate("u2", CellKind::Inverter, &[a], out).is_err());
+    }
+
+    #[test]
+    fn undriven_net_is_detected() {
+        let mut g = GateGraph::new();
+        let a = g.net("a");
+        let out = g.net("out");
+        // `a` is not a primary input and has no driver.
+        g.add_gate("u1", CellKind::Inverter, &[a], out).unwrap();
+        assert!(g.topological_order().is_err());
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = GateGraph::new();
+        let a = g.net("a");
+        let b = g.net("b");
+        g.add_gate("u1", CellKind::Inverter, &[a], b).unwrap();
+        g.add_gate("u2", CellKind::Inverter, &[b], a).unwrap();
+        let err = g.topological_order();
+        assert!(matches!(err, Err(StaError::InvalidGraph(_))));
+    }
+
+    #[test]
+    fn primary_markers_are_idempotent() {
+        let mut g = GateGraph::new();
+        let a = g.net("a");
+        g.mark_primary_input(a);
+        g.mark_primary_input(a);
+        assert_eq!(g.primary_inputs().len(), 1);
+        g.mark_primary_output(a);
+        g.mark_primary_output(a);
+        assert_eq!(g.primary_outputs().len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Gate-level timing and crosstalk-noise analysis driven by current-source models.
+//!
+//! This crate hosts the "tool context" the paper motivates: a small,
+//! waveform-based static timing analysis layer that consumes the models
+//! characterized by `mcsm-core`:
+//!
+//! * [`graph::GateGraph`] — combinational gate-level netlists;
+//! * [`models::ModelLibrary`] — characterized model bundles per cell kind;
+//! * [`delaycalc::DelayCalculator`] — per-gate waveform computation with
+//!   selectable backend (SIS-only, baseline MIS, complete MCSM);
+//! * [`arrival`] — topological waveform propagation and arrival/slew extraction;
+//! * [`noise`] — the coupled victim/aggressor crosstalk scenario of the paper's
+//!   Fig. 12, with the aggressor-arrival sweep and accuracy metrics.
+//!
+//! # Example: timing a two-gate chain with the complete MCSM
+//!
+//! ```no_run
+//! use std::collections::HashMap;
+//! use mcsm_cells::cell::CellKind;
+//! use mcsm_cells::tech::Technology;
+//! use mcsm_core::config::CharacterizationConfig;
+//! use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
+//! use mcsm_sta::arrival::{propagate, TimingOptions};
+//! use mcsm_sta::delaycalc::{DelayBackend, DelayCalculator};
+//! use mcsm_sta::graph::GateGraph;
+//! use mcsm_sta::models::ModelLibrary;
+//!
+//! # fn main() -> Result<(), mcsm_sta::StaError> {
+//! let tech = Technology::cmos_130nm();
+//! let library = ModelLibrary::characterize(
+//!     &tech,
+//!     &[CellKind::Inverter, CellKind::Nor2],
+//!     &CharacterizationConfig::standard(),
+//! )?;
+//!
+//! let mut graph = GateGraph::new();
+//! let a = graph.net("a");
+//! let b = graph.net("b");
+//! let mid = graph.net("mid");
+//! let out = graph.net("out");
+//! graph.mark_primary_input(a);
+//! graph.mark_primary_input(b);
+//! graph.mark_primary_output(out);
+//! graph.add_gate("u1", CellKind::Nor2, &[a, b], mid)?;
+//! graph.add_gate("u2", CellKind::Inverter, &[mid], out)?;
+//!
+//! let mut drives = HashMap::new();
+//! drives.insert(a, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
+//! drives.insert(b, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
+//!
+//! let options = TimingOptions {
+//!     calculator: DelayCalculator::new(
+//!         DelayBackend::CompleteMcsm,
+//!         CsmSimOptions::new(4e-9, 1e-12),
+//!         tech.vdd,
+//!     ),
+//!     primary_output_load: 2e-15,
+//! };
+//! let timing = propagate(&graph, &library, &drives, &options)?;
+//! println!("out arrives at {:?}", timing.arrival_time(out, false)?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arrival;
+pub mod delaycalc;
+pub mod error;
+pub mod graph;
+pub mod models;
+pub mod noise;
+
+pub use arrival::{propagate, TimingOptions, TimingResult};
+pub use delaycalc::{DelayBackend, DelayCalculator};
+pub use error::StaError;
+pub use graph::{Gate, GateGraph, GateId, NetId};
+pub use models::ModelLibrary;
+pub use noise::{sweep_injection_times, CrosstalkReference, CrosstalkScenario, NoisePoint};

@@ -1,0 +1,191 @@
+//! The model library: characterized current-source models per cell kind.
+//!
+//! Timing propagation needs, for every cell kind appearing in the gate graph,
+//! whichever model families the chosen delay-calculation backend uses. A
+//! [`ModelLibrary`] holds one [`ModelStore`] per [`CellKind`] and can build
+//! itself by running the `mcsm-core` characterization flows over a technology.
+
+use crate::error::StaError;
+use mcsm_cells::cell::{CellKind, CellTemplate};
+use mcsm_cells::tech::Technology;
+use mcsm_core::characterize::{characterize_mcsm, characterize_mis_baseline, characterize_sis};
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::store::ModelStore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Characterized models for a set of cell kinds.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelLibrary {
+    stores: HashMap<String, ModelStore>,
+    /// Supply voltage shared by all stored models (volts).
+    vdd: f64,
+}
+
+impl ModelLibrary {
+    /// Creates an empty library for a given supply voltage.
+    pub fn new(vdd: f64) -> Self {
+        ModelLibrary {
+            stores: HashMap::new(),
+            vdd,
+        }
+    }
+
+    /// Supply voltage of the library.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Inserts (or replaces) the store for a cell kind.
+    pub fn insert(&mut self, kind: CellKind, store: ModelStore) {
+        self.stores.insert(kind.name().to_string(), store);
+    }
+
+    /// The store for a cell kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::MissingModel`] if the kind was never characterized.
+    pub fn store(&self, kind: CellKind) -> Result<&ModelStore, StaError> {
+        self.stores
+            .get(kind.name())
+            .ok_or_else(|| StaError::MissingModel(format!("no models for {}", kind.name())))
+    }
+
+    /// Whether the library has models for the given kind.
+    pub fn contains(&self, kind: CellKind) -> bool {
+        self.stores.contains_key(kind.name())
+    }
+
+    /// Number of characterized cell kinds.
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+
+    /// Characterizes all requested cell kinds in one technology.
+    ///
+    /// For each kind this produces: a SIS model per input pin; and, for
+    /// two-input cells, the baseline MIS model and (when the cell has an
+    /// internal stack node) the complete MCSM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn characterize(
+        technology: &Technology,
+        kinds: &[CellKind],
+        config: &CharacterizationConfig,
+    ) -> Result<Self, StaError> {
+        let mut library = ModelLibrary::new(technology.vdd);
+        for &kind in kinds {
+            let template = CellTemplate::new(kind, technology.clone());
+            let mut store = ModelStore::new();
+            for pin in 0..kind.input_count().min(2) {
+                store.sis.push(characterize_sis(&template, pin, config)?);
+            }
+            if kind.input_count() == 2 {
+                store.mis_baseline = Some(characterize_mis_baseline(&template, config)?);
+                if kind.internal_node_count() == 1 {
+                    store.mcsm = Some(characterize_mcsm(&template, config)?);
+                }
+            }
+            library.insert(kind, store);
+        }
+        Ok(library)
+    }
+
+    /// The input pin capacitance a fanout gate presents on one of its pins, at
+    /// mid-rail, used to build lumped loads for the driving gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::MissingModel`] if the kind (or a usable model for the
+    /// pin) is not in the library.
+    pub fn input_pin_capacitance(&self, kind: CellKind, pin: usize) -> Result<f64, StaError> {
+        let store = self.store(kind)?;
+        let mid = 0.5 * self.vdd;
+        if let Some(mcsm) = &store.mcsm {
+            if pin < 2 {
+                return mcsm
+                    .input_capacitance(pin, mid)
+                    .map_err(StaError::from);
+            }
+        }
+        if let Some(baseline) = &store.mis_baseline {
+            if pin < 2 {
+                return baseline
+                    .input_capacitance(pin, mid)
+                    .map_err(StaError::from);
+            }
+        }
+        if let Some(sis) = store.sis_for_pin(pin) {
+            return Ok(sis.input_capacitance(mid));
+        }
+        // Fall back to any SIS model of the cell: input pins of the same cell
+        // have comparable capacitance.
+        store
+            .sis
+            .first()
+            .map(|m| m.input_capacitance(mid))
+            .ok_or_else(|| {
+                StaError::MissingModel(format!(
+                    "no model provides an input capacitance for {} pin {pin}",
+                    kind.name()
+                ))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterize_inverter_and_nor2() {
+        let tech = Technology::cmos_130nm();
+        let cfg = CharacterizationConfig::coarse();
+        let lib =
+            ModelLibrary::characterize(&tech, &[CellKind::Inverter, CellKind::Nor2], &cfg).unwrap();
+        assert_eq!(lib.len(), 2);
+        assert!(!lib.is_empty());
+        assert!(lib.contains(CellKind::Inverter));
+        assert!(lib.contains(CellKind::Nor2));
+        assert!(!lib.contains(CellKind::Nand2));
+        assert!((lib.vdd() - 1.2).abs() < 1e-12);
+
+        let inv = lib.store(CellKind::Inverter).unwrap();
+        assert_eq!(inv.sis.len(), 1);
+        assert!(inv.mcsm.is_none());
+
+        let nor = lib.store(CellKind::Nor2).unwrap();
+        assert_eq!(nor.sis.len(), 2);
+        assert!(nor.mcsm.is_some());
+        assert!(nor.mis_baseline.is_some());
+
+        // Pin capacitances are femtofarad scale and accessible for every pin.
+        for pin in 0..2 {
+            let c = lib.input_pin_capacitance(CellKind::Nor2, pin).unwrap();
+            assert!(c > 0.05e-15 && c < 50e-15, "c = {c}");
+        }
+        let c_inv = lib.input_pin_capacitance(CellKind::Inverter, 0).unwrap();
+        assert!(c_inv > 0.05e-15 && c_inv < 50e-15);
+
+        assert!(lib.store(CellKind::Nand2).is_err());
+        assert!(lib.input_pin_capacitance(CellKind::Nand2, 0).is_err());
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut lib = ModelLibrary::new(1.2);
+        assert!(lib.is_empty());
+        lib.insert(CellKind::Inverter, ModelStore::new());
+        assert_eq!(lib.len(), 1);
+        // A store with no models cannot answer a pin-capacitance query.
+        assert!(lib.input_pin_capacitance(CellKind::Inverter, 0).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Crosstalk-noise analysis: the coupled victim/aggressor scenario of Fig. 12.
+//!
+//! The paper's noise experiment couples input line A of a NOR2 gate to an
+//! aggressor line through a 50 fF capacitor. Both lines are driven by
+//! minimum-sized inverters; the NOR2 drives an FO2 load. The victim driver's
+//! input switches at a fixed time while the aggressor's switching time (the
+//! *noise injection time*) is swept, producing a family of noisy waveforms at
+//! the NOR2 input. For each injection time the NOR2 output is computed both by
+//! the full transistor-level simulation (the reference) and by the MCSM driven
+//! with the same noisy input waveform; the paper reports the 50 % delay error
+//! and the waveform RMSE.
+
+use crate::error::StaError;
+use mcsm_cells::cell::{CellKind, CellTemplate};
+use mcsm_cells::load::FanoutLoad;
+use mcsm_cells::tech::Technology;
+use mcsm_core::metrics::compare_waveforms;
+use mcsm_core::model::McsmModel;
+use mcsm_core::sim::{simulate_mcsm, CsmSimOptions, DriveWaveform};
+use mcsm_spice::analysis::{transient, TranOptions};
+use mcsm_spice::circuit::Circuit;
+use mcsm_spice::source::SourceWaveform;
+use mcsm_spice::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+/// The coupled victim/aggressor scenario around a NOR2 receiver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrosstalkScenario {
+    /// Technology of every cell in the scenario.
+    pub technology: Technology,
+    /// Coupling capacitance between the victim and aggressor lines (farads).
+    pub coupling_capacitance: f64,
+    /// Ground capacitance of each line (farads), modeling the wire itself.
+    pub line_capacitance: f64,
+    /// Arrival time of the victim driver's input transition (seconds).
+    pub victim_arrival: f64,
+    /// Arrival time of the aggressor driver's input transition — the noise
+    /// injection time (seconds).
+    pub aggressor_arrival: f64,
+    /// Transition time of both driver input ramps (seconds).
+    pub input_transition: f64,
+    /// Whether the victim driver's *input* rises (making the victim line fall).
+    pub victim_input_rising: bool,
+    /// Whether the aggressor driver's *input* rises (making the aggressor fall).
+    pub aggressor_input_rising: bool,
+    /// Fanout load on the NOR2 output.
+    pub receiver_fanout: usize,
+    /// Total simulated time (seconds).
+    pub t_stop: f64,
+}
+
+impl CrosstalkScenario {
+    /// The paper's setup: 50 fF coupling, minimum-size drivers, FO2-loaded NOR2,
+    /// victim arrival at 2.2 ns, aggressor arrival supplied by the caller.
+    pub fn paper_setup(technology: Technology, aggressor_arrival: f64) -> Self {
+        CrosstalkScenario {
+            technology,
+            coupling_capacitance: 50e-15,
+            line_capacitance: 5e-15,
+            victim_arrival: 2.2e-9,
+            aggressor_arrival,
+            input_transition: 60e-12,
+            victim_input_rising: true,
+            aggressor_input_rising: true,
+            receiver_fanout: 2,
+            t_stop: 4.5e-9,
+        }
+    }
+
+    /// Builds the full transistor-level circuit of the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist-construction errors.
+    fn build_circuit(&self) -> Result<Circuit, StaError> {
+        let tech = &self.technology;
+        let vdd = tech.vdd;
+        let mut c = Circuit::new();
+        let vdd_n = c.node("vdd");
+        c.add_vsource(vdd_n, Circuit::ground(), SourceWaveform::dc(vdd))
+            .map_err(StaError::Spice)?;
+
+        // Victim driver: inverter from `victim_in` to `victim_net`.
+        let victim_in = c.node("victim_in");
+        let victim_net = c.node("victim_net");
+        let aggressor_in = c.node("aggressor_in");
+        let aggressor_net = c.node("aggressor_net");
+        let nor_out = c.node("nor_out");
+        let nor_b = c.node("nor_b");
+
+        let victim_wave = if self.victim_input_rising {
+            SourceWaveform::rising_ramp(vdd, self.victim_arrival, self.input_transition)
+        } else {
+            SourceWaveform::falling_ramp(vdd, self.victim_arrival, self.input_transition)
+        };
+        let aggressor_wave = if self.aggressor_input_rising {
+            SourceWaveform::rising_ramp(vdd, self.aggressor_arrival, self.input_transition)
+        } else {
+            SourceWaveform::falling_ramp(vdd, self.aggressor_arrival, self.input_transition)
+        };
+        c.add_vsource(victim_in, Circuit::ground(), victim_wave)
+            .map_err(StaError::Spice)?;
+        c.add_vsource(aggressor_in, Circuit::ground(), aggressor_wave)
+            .map_err(StaError::Spice)?;
+        // The NOR2's B input sits at its non-controlling value (ground).
+        c.add_vsource(nor_b, Circuit::ground(), SourceWaveform::dc(0.0))
+            .map_err(StaError::Spice)?;
+
+        let inverter = CellTemplate::new(CellKind::Inverter, tech.clone());
+        inverter
+            .instantiate(&mut c, "victim_drv", &[victim_in], victim_net, vdd_n)
+            .map_err(StaError::Spice)?;
+        inverter
+            .instantiate(&mut c, "aggr_drv", &[aggressor_in], aggressor_net, vdd_n)
+            .map_err(StaError::Spice)?;
+
+        // Line capacitances and the coupling capacitor.
+        c.add_capacitor(victim_net, Circuit::ground(), self.line_capacitance)
+            .map_err(StaError::Spice)?;
+        c.add_capacitor(aggressor_net, Circuit::ground(), self.line_capacitance)
+            .map_err(StaError::Spice)?;
+        c.add_capacitor(victim_net, aggressor_net, self.coupling_capacitance)
+            .map_err(StaError::Spice)?;
+
+        // The NOR2 receiver and its fanout load.
+        let nor2 = CellTemplate::new(CellKind::Nor2, tech.clone());
+        nor2.instantiate(&mut c, "dut", &[victim_net, nor_b], nor_out, vdd_n)
+            .map_err(StaError::Spice)?;
+        FanoutLoad::new(tech.clone(), self.receiver_fanout)
+            .attach(&mut c, "load", nor_out, vdd_n)
+            .map_err(StaError::Spice)?;
+
+        Ok(c)
+    }
+
+    /// Runs the full transistor-level reference simulation.
+    ///
+    /// Returns the waveform at the NOR2 input (the noisy victim net) and at the
+    /// NOR2 output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn run_reference(&self, dt: f64) -> Result<CrosstalkReference, StaError> {
+        let circuit = self.build_circuit()?;
+        let result = transient(&circuit, &TranOptions::new(self.t_stop, dt)).map_err(StaError::Spice)?;
+        Ok(CrosstalkReference {
+            victim_input: result.node("victim_net").map_err(StaError::Spice)?.clone(),
+            output: result.node("nor_out").map_err(StaError::Spice)?.clone(),
+        })
+    }
+
+    /// Predicts the NOR2 output with the MCSM, driven by the (noisy) victim
+    /// waveform taken from the reference simulation and loaded by the lumped
+    /// equivalent of the fanout load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-simulation failures.
+    pub fn predict_with_mcsm(
+        &self,
+        model: &McsmModel,
+        victim_waveform: &Waveform,
+        options: &CsmSimOptions,
+    ) -> Result<Waveform, StaError> {
+        let load = FanoutLoad::new(self.technology.clone(), self.receiver_fanout)
+            .equivalent_capacitance();
+        let a = DriveWaveform::Sampled(victim_waveform.clone());
+        let b = DriveWaveform::dc(0.0);
+        // Initial state: victim net starts high (driver input low), so the NOR2
+        // output starts low.
+        let result = simulate_mcsm(model, &a, &b, load, 0.0, None, options)?;
+        Ok(result.output)
+    }
+
+    /// Runs one point of the Fig. 12 sweep: reference vs. MCSM for this
+    /// scenario's aggressor arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn evaluate(
+        &self,
+        model: &McsmModel,
+        reference_dt: f64,
+        options: &CsmSimOptions,
+    ) -> Result<NoisePoint, StaError> {
+        let vdd = self.technology.vdd;
+        let reference = self.run_reference(reference_dt)?;
+        let predicted = self.predict_with_mcsm(model, &reference.victim_input, options)?;
+        let comparison = compare_waveforms(&reference.output, &predicted, vdd, true)?;
+        Ok(NoisePoint {
+            injection_time: self.aggressor_arrival,
+            delay_error: comparison.delay_difference.unwrap_or(f64::NAN),
+            normalized_rmse: comparison.normalized_rmse,
+        })
+    }
+}
+
+/// Reference waveforms of one crosstalk simulation.
+#[derive(Debug, Clone)]
+pub struct CrosstalkReference {
+    /// The noisy waveform at the NOR2 input (victim net).
+    pub victim_input: Waveform,
+    /// The NOR2 output waveform.
+    pub output: Waveform,
+}
+
+/// One point of the noise-injection sweep (one aggressor arrival time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoisePoint {
+    /// Aggressor arrival (noise injection) time, seconds.
+    pub injection_time: f64,
+    /// MCSM − SPICE 50 % delay difference at the NOR2 output, seconds.
+    pub delay_error: f64,
+    /// Waveform RMSE normalized to Vdd.
+    pub normalized_rmse: f64,
+}
+
+/// Sweeps the aggressor arrival time and evaluates the MCSM accuracy at each
+/// point (the generator behind Fig. 12).
+///
+/// # Errors
+///
+/// Propagates simulation failures from any sweep point.
+pub fn sweep_injection_times(
+    technology: &Technology,
+    model: &McsmModel,
+    injection_times: &[f64],
+    reference_dt: f64,
+    options: &CsmSimOptions,
+) -> Result<Vec<NoisePoint>, StaError> {
+    injection_times
+        .iter()
+        .map(|&t| {
+            CrosstalkScenario::paper_setup(technology.clone(), t).evaluate(
+                model,
+                reference_dt,
+                options,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsm_core::characterize::characterize_mcsm;
+    use mcsm_core::config::CharacterizationConfig;
+
+    #[test]
+    fn reference_simulation_shows_switching_and_coupling() {
+        let tech = Technology::cmos_130nm();
+        let scenario = CrosstalkScenario::paper_setup(tech.clone(), 2.3e-9);
+        let reference = scenario.run_reference(4e-12).unwrap();
+        let vdd = tech.vdd;
+        // Victim net starts high (driver input low) and ends low.
+        assert!(reference.victim_input.value_at(0.5e-9) > 0.9 * vdd);
+        assert!(reference.victim_input.final_value() < 0.1 * vdd);
+        // NOR2 output therefore rises.
+        assert!(reference.output.value_at(0.5e-9) < 0.1 * vdd);
+        assert!(reference.output.final_value() > 0.9 * vdd);
+    }
+
+    #[test]
+    fn mcsm_prediction_tracks_reference_within_a_few_percent() {
+        let tech = Technology::cmos_130nm();
+        let template = CellTemplate::new(CellKind::Nor2, tech.clone());
+        let model = characterize_mcsm(&template, &CharacterizationConfig::coarse()).unwrap();
+        let scenario = CrosstalkScenario::paper_setup(tech.clone(), 2.35e-9);
+        let point = scenario
+            .evaluate(&model, 4e-12, &CsmSimOptions::new(scenario.t_stop, 1e-12))
+            .unwrap();
+        assert!(point.normalized_rmse.is_finite());
+        assert!(
+            point.normalized_rmse < 0.10,
+            "waveform RMSE too large: {}",
+            point.normalized_rmse
+        );
+        assert!(
+            point.delay_error.abs() < 60e-12,
+            "delay error too large: {}",
+            point.delay_error
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Crosstalk-noise analysis (the paper's Fig. 12 setup): a victim line coupled
+//! to an aggressor through 50 fF drives a NOR2; the MCSM is fed the noisy victim
+//! waveform and compared against the transistor-level reference.
+//!
+//! Run with `cargo run --release --example crosstalk_noise`.
+
+use mcsm::cells::cell::{CellKind, CellTemplate};
+use mcsm::cells::tech::Technology;
+use mcsm::core::characterize::characterize_mcsm;
+use mcsm::core::config::CharacterizationConfig;
+use mcsm::core::sim::CsmSimOptions;
+use mcsm::sta::noise::CrosstalkScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos_130nm();
+    let nor2 = CellTemplate::new(CellKind::Nor2, tech.clone());
+    println!("characterizing NOR2 ...");
+    let model = characterize_mcsm(&nor2, &CharacterizationConfig::standard())?;
+
+    println!("injection time [ns]   delay error [ps]   waveform RMSE [% of Vdd]");
+    for k in 0..6 {
+        let injection = 2.0e-9 + k as f64 * 0.1e-9;
+        let scenario = CrosstalkScenario::paper_setup(tech.clone(), injection);
+        let point = scenario.evaluate(
+            &model,
+            2e-12,
+            &CsmSimOptions::new(scenario.t_stop, 0.5e-12),
+        )?;
+        println!(
+            "{:>18.2}   {:>16.2}   {:>24.2}",
+            point.injection_time * 1e9,
+            point.delay_error * 1e12,
+            point.normalized_rmse * 100.0
+        );
+    }
+    Ok(())
+}

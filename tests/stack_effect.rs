@@ -1,0 +1,83 @@
+//! Integration test of the paper's central claim chain (Sections 2.2 and 4):
+//!
+//! 1. the transistor-level reference shows a history-dependent delay for the
+//!    same `'11' → '00'` NOR2 transition (the stack effect);
+//! 2. the complete MCSM reproduces both delays closely;
+//! 3. the baseline MIS model (no internal node) cannot distinguish the two
+//!    histories and is therefore much worse on at least one of them.
+
+use mcsm_bench::{fig05_delay_vs_load, fig09_mcsm_accuracy, Setup};
+use mcsm_core::config::CharacterizationConfig;
+
+#[test]
+fn spice_reference_shows_history_dependent_delay() {
+    let setup = Setup::new();
+    let rows = fig05_delay_vs_load(&setup, &[1, 8], 4e-12).expect("reference sweep failed");
+    // Lightly loaded: double-digit percent difference, as in Fig. 5.
+    assert!(
+        rows[0].difference_percent > 5.0,
+        "FO1 difference too small: {:.2} %",
+        rows[0].difference_percent
+    );
+    // The effect shrinks for the heavy load but stays positive.
+    assert!(rows[1].difference_percent > 0.0);
+    assert!(
+        rows[1].difference_percent < rows[0].difference_percent,
+        "effect must shrink with load ({:?})",
+        rows
+    );
+}
+
+#[test]
+fn mcsm_tracks_both_histories_better_than_the_baseline() {
+    let setup = Setup::new();
+    let (mcsm, baseline, _) = setup
+        .characterize_nor2(&CharacterizationConfig::coarse())
+        .expect("characterization failed");
+    let data = fig09_mcsm_accuracy(&setup, &mcsm, &baseline, 1, 4e-12, 1e-12)
+        .expect("accuracy experiment failed");
+
+    // Ordering claim of the paper (4 % vs. 22 %): on the history-dependent
+    // (slow) case the complete model is clearly more accurate than the
+    // internal-node-blind baseline. (The coarse characterization used in tests
+    // leaves the two models within a fraction of a percent of each other on the
+    // fast case, so the per-case comparison is the robust assertion.)
+    let slow = data
+        .cases
+        .iter()
+        .find(|c| c.label == "slow")
+        .expect("slow case present");
+    assert!(
+        slow.mcsm_error_percent < slow.baseline_error_percent,
+        "slow-case MCSM {:.2}% should beat baseline {:.2}%",
+        slow.mcsm_error_percent,
+        slow.baseline_error_percent
+    );
+    // And it is accurate in absolute terms as well (coarse tables: ≤ 15 %).
+    assert!(
+        data.max_mcsm_error_percent < 15.0,
+        "MCSM delay error too large: {:.2} %",
+        data.max_mcsm_error_percent
+    );
+    // The baseline misses the history: its two predicted delays are nearly the
+    // same even though the reference delays differ.
+    let fast = &data.cases[0];
+    let slow = &data.cases[1];
+    let baseline_spread =
+        (slow.baseline_delay - fast.baseline_delay).abs() / fast.baseline_delay.abs();
+    let spice_spread = (slow.spice_delay - fast.spice_delay).abs() / fast.spice_delay.abs();
+    assert!(
+        baseline_spread < 0.5 * spice_spread,
+        "baseline should be (wrongly) history-blind: baseline spread {:.3}, reference spread {:.3}",
+        baseline_spread,
+        spice_spread
+    );
+    // The MCSM reproduces a real spread between the histories.
+    let mcsm_spread = (slow.mcsm_delay - fast.mcsm_delay).abs() / fast.mcsm_delay.abs();
+    assert!(
+        mcsm_spread > 0.5 * spice_spread,
+        "MCSM should reproduce the history spread: {:.3} vs reference {:.3}",
+        mcsm_spread,
+        spice_spread
+    );
+}

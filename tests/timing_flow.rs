@@ -1,0 +1,100 @@
+//! Integration test of the gate-level timing flow (`mcsm-sta`) on top of the
+//! characterized models, plus the selective-modeling policy.
+
+use std::collections::HashMap;
+
+use mcsm_cells::cell::CellKind;
+use mcsm_cells::load::FanoutLoad;
+use mcsm_cells::tech::Technology;
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::selective::{ModelChoice, SelectivePolicy};
+use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
+use mcsm_sta::arrival::{propagate, TimingOptions};
+use mcsm_sta::delaycalc::{DelayBackend, DelayCalculator};
+use mcsm_sta::graph::GateGraph;
+use mcsm_sta::models::ModelLibrary;
+
+fn library() -> ModelLibrary {
+    ModelLibrary::characterize(
+        &Technology::cmos_130nm(),
+        &[CellKind::Inverter, CellKind::Nor2],
+        &CharacterizationConfig::coarse(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn three_stage_chain_produces_causal_arrivals_for_all_backends() {
+    let tech = Technology::cmos_130nm();
+    let lib = library();
+
+    // a, b -> NOR2 -> n1 -> INV -> n2 -> INV -> out
+    let mut graph = GateGraph::new();
+    let a = graph.net("a");
+    let b = graph.net("b");
+    let n1 = graph.net("n1");
+    let n2 = graph.net("n2");
+    let out = graph.net("out");
+    graph.mark_primary_input(a);
+    graph.mark_primary_input(b);
+    graph.mark_primary_output(out);
+    graph.add_gate("u1", CellKind::Nor2, &[a, b], n1).unwrap();
+    graph.add_gate("u2", CellKind::Inverter, &[n1], n2).unwrap();
+    graph.add_gate("u3", CellKind::Inverter, &[n2], out).unwrap();
+
+    let mut drives = HashMap::new();
+    drives.insert(a, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
+    drives.insert(b, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
+
+    let mut arrivals = Vec::new();
+    for backend in [
+        DelayBackend::SisOnly,
+        DelayBackend::BaselineMis,
+        DelayBackend::CompleteMcsm,
+    ] {
+        let options = TimingOptions {
+            calculator: DelayCalculator::new(backend, CsmSimOptions::new(5e-9, 1e-12), tech.vdd),
+            primary_output_load: 2e-15,
+        };
+        let timing = propagate(&graph, &lib, &drives, &options).unwrap();
+        let t1 = timing.arrival_time(n1, true).unwrap().unwrap();
+        let t2 = timing.arrival_time(n2, false).unwrap().unwrap();
+        let t3 = timing.arrival_time(out, true).unwrap().unwrap();
+        assert!(t1 > 1e-9 && t2 > t1 && t3 > t2, "{backend:?}: {t1} {t2} {t3}");
+        arrivals.push((backend, t1));
+    }
+
+    // The MCSM arrival at the MIS gate output is no earlier than the SIS one
+    // (SIS-only timing is the optimistic bound the paper warns about).
+    let t_sis = arrivals
+        .iter()
+        .find(|(b, _)| *b == DelayBackend::SisOnly)
+        .unwrap()
+        .1;
+    let t_mcsm = arrivals
+        .iter()
+        .find(|(b, _)| *b == DelayBackend::CompleteMcsm)
+        .unwrap()
+        .1;
+    assert!(t_mcsm >= t_sis - 5e-12);
+}
+
+#[test]
+fn selective_policy_switches_between_models_by_fanout() {
+    let tech = Technology::cmos_130nm();
+    let lib = library();
+    let mcsm = lib
+        .store(CellKind::Nor2)
+        .unwrap()
+        .mcsm
+        .as_ref()
+        .unwrap()
+        .clone();
+    let policy = SelectivePolicy::default();
+
+    let light = FanoutLoad::new(tech.clone(), 1).equivalent_capacitance();
+    let heavy = FanoutLoad::new(tech, 32).equivalent_capacitance();
+    assert_eq!(policy.choose(&mcsm, light), ModelChoice::CompleteMcsm);
+    assert_eq!(policy.choose(&mcsm, heavy), ModelChoice::SimpleMis);
+    assert!(policy.load_ratio(&mcsm, heavy) > policy.load_ratio(&mcsm, light));
+}
