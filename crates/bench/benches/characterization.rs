@@ -35,5 +35,9 @@ fn bench_mcsm_characterization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sis_characterization, bench_mcsm_characterization);
+criterion_group!(
+    benches,
+    bench_sis_characterization,
+    bench_mcsm_characterization
+);
 criterion_main!(benches);

@@ -8,18 +8,16 @@ use mcsm_cells::load::FanoutLoad;
 use mcsm_cells::stimuli::InputHistory;
 use mcsm_cells::testbench::{CellTestbench, LoadSpec};
 use mcsm_core::config::CharacterizationConfig;
-use mcsm_core::sim::{simulate_mcsm, CsmSimOptions, DriveWaveform};
+use mcsm_core::sim::{CsmSimOptions, DriveWaveform, Simulation};
 use mcsm_spice::analysis::TranOptions;
 use std::hint::black_box;
 
 fn bench_mis_event(c: &mut Criterion) {
     let setup = Setup::new();
     let vdd = setup.technology.vdd;
-    let mcsm = mcsm_core::characterize::characterize_mcsm(
-        &setup.nor2,
-        &CharacterizationConfig::coarse(),
-    )
-    .unwrap();
+    let mcsm =
+        mcsm_core::characterize::characterize_mcsm(&setup.nor2, &CharacterizationConfig::coarse())
+            .unwrap();
     let load = FanoutLoad::new(setup.technology.clone(), 2).equivalent_capacitance();
 
     let mut group = c.benchmark_group("nor2_mis_event");
@@ -30,10 +28,22 @@ fn bench_mis_event(c: &mut Criterion) {
     // per time point. The CSM engine sub-steps internally where its state demands
     // it, just as the transient engine halves steps when Newton struggles.
     group.bench_function("mcsm_waveform_eval", |b| {
-        let a = DriveWaveform::falling_ramp(vdd, 0.5e-9, 60e-12);
-        let bb = DriveWaveform::falling_ramp(vdd, 0.5e-9, 60e-12);
+        let inputs = [
+            DriveWaveform::falling_ramp(vdd, 0.5e-9, 60e-12),
+            DriveWaveform::falling_ramp(vdd, 0.5e-9, 60e-12),
+        ];
         let options = CsmSimOptions::new(2e-9, 2e-12);
-        b.iter(|| black_box(simulate_mcsm(&mcsm, &a, &bb, load, 0.0, None, &options).unwrap()))
+        b.iter(|| {
+            black_box(
+                Simulation::of(&mcsm)
+                    .inputs(&inputs)
+                    .load(load)
+                    .initial_output(0.0)
+                    .options(options.clone())
+                    .run()
+                    .unwrap(),
+            )
+        })
     });
 
     group.bench_function("spice_transient", |b| {

@@ -14,7 +14,7 @@ use mcsm_cells::stimuli::InputHistory;
 use mcsm_cells::testbench::{CellTestbench, LoadSpec};
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::selective::SelectivePolicy;
-use mcsm_core::sim::{simulate_mcsm, CsmSimOptions, DriveWaveform};
+use mcsm_core::sim::{CsmSimOptions, DriveWaveform, Simulation};
 use mcsm_spice::analysis::TranOptions;
 
 fn main() {
@@ -53,17 +53,14 @@ fn main() {
         for factor in [1.0, 1.25, 1.5, 1.75, 2.0] {
             let load = FanoutLoad::new(setup.technology.clone(), fanout)
                 .capacitance_with_miller_factor(factor);
-            let out = simulate_mcsm(
-                &mcsm,
-                &a,
-                &b,
-                load,
-                0.0,
-                None,
-                &CsmSimOptions::new(3.2e-9, 0.5e-12),
-            )
-            .expect("model simulation failed")
-            .output;
+            let out = Simulation::of(&mcsm)
+                .inputs(&[a.clone(), b.clone()])
+                .load(load)
+                .initial_output(0.0)
+                .options(CsmSimOptions::new(3.2e-9, 0.5e-12))
+                .run()
+                .expect("model simulation failed")
+                .output;
             let delay = out.crossing(0.5 * vdd, true).expect("model output rises") - event;
             println!(
                 "FO{fanout}    | {factor:.2}   | {} | {} | {:+.2}",

@@ -12,8 +12,14 @@ fn main() {
         "Fig. 3 — internal node voltage before the final transition",
         &["history", "V(N) just before '00' [V]"],
     );
-    print_row(&["'10'->'11'->'00' (fast)".into(), format!("{:.4}", data.v_internal_fast)]);
-    print_row(&["'01'->'11'->'00' (slow)".into(), format!("{:.4}", data.v_internal_slow)]);
+    print_row(&[
+        "'10'->'11'->'00' (fast)".into(),
+        format!("{:.4}", data.v_internal_fast),
+    ]);
+    print_row(&[
+        "'01'->'11'->'00' (slow)".into(),
+        format!("{:.4}", data.v_internal_slow),
+    ]);
     println!();
     print_waveform_csv("N (fast history)", &data.fast.internal, 400);
     print_waveform_csv("N (slow history)", &data.slow.internal, 400);

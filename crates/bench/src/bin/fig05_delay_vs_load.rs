@@ -9,7 +9,12 @@ fn main() {
     let rows = fig05_delay_vs_load(&setup, &fanouts, 2e-12).expect("figure 5 simulation failed");
     print_header(
         "Fig. 5 — delay difference between the two input histories vs. output load",
-        &["load", "fast delay [ps]", "slow delay [ps]", "difference [%]"],
+        &[
+            "load",
+            "fast delay [ps]",
+            "slow delay [ps]",
+            "difference [%]",
+        ],
     );
     for row in rows {
         print_row(&[

@@ -24,7 +24,11 @@ fn main() {
 
     print_header(
         "Fig. 12 — delay error vs. noise injection time (50 fF coupling, FO2 NOR2)",
-        &["injection time [ns]", "delay error [ps]", "nRMSE [% of Vdd]"],
+        &[
+            "injection time [ns]",
+            "delay error [ps]",
+            "nRMSE [% of Vdd]",
+        ],
     );
     let mut rmse_sum = 0.0;
     for p in &points {

@@ -13,9 +13,7 @@ use mcsm_core::characterize::{characterize_mcsm, characterize_mis_baseline, char
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::metrics::compare_waveforms;
 use mcsm_core::model::{McsmModel, MisBaselineModel, SisModel};
-use mcsm_core::sim::{
-    simulate_mcsm, simulate_mis_baseline, simulate_sis, CsmSimOptions, DriveWaveform,
-};
+use mcsm_core::sim::{CsmSimOptions, DriveWaveform, Simulation};
 use mcsm_core::CsmError;
 use mcsm_spice::analysis::TranOptions;
 use mcsm_spice::source::SourceWaveform;
@@ -131,8 +129,8 @@ pub fn run_nor2_history_spice(
     dt: f64,
 ) -> Result<HistoryReference, StaError> {
     let vdd = setup.technology.vdd;
-    let mut bench = CellTestbench::new(&setup.nor2, &LoadSpec::Fanout(fanout))
-        .map_err(StaError::Spice)?;
+    let mut bench =
+        CellTestbench::new(&setup.nor2, &LoadSpec::Fanout(fanout)).map_err(StaError::Spice)?;
     bench
         .apply_history(&timing.history(vdd, fast))
         .map_err(StaError::Spice)?;
@@ -143,7 +141,10 @@ pub fn run_nor2_history_spice(
     Ok(HistoryReference {
         input_a: result.node("a").map_err(StaError::Spice)?.clone(),
         input_b: result.node("b").map_err(StaError::Spice)?.clone(),
-        internal: result.node(&internal_name).map_err(StaError::Spice)?.clone(),
+        internal: result
+            .node(&internal_name)
+            .map_err(StaError::Spice)?
+            .clone(),
         output: result.node("out").map_err(StaError::Spice)?.clone(),
     })
 }
@@ -293,12 +294,18 @@ fn model_history_output(
     let options = CsmSimOptions::new(timing.t_stop, dt);
     // Initial output: with one input high in both histories, the NOR2 output is low.
     let v_out0 = 0.0;
-    if let Some(model) = mcsm {
-        let result = simulate_mcsm(model, &a, &b, load, v_out0, None, &options)?;
-        return Ok(result.output);
-    }
-    let model = baseline.expect("either an MCSM or a baseline model must be provided");
-    simulate_mis_baseline(model, &a, &b, load, v_out0, &options)
+    let inputs = [a, b];
+    let model: &dyn mcsm_core::CellModel = match mcsm {
+        Some(model) => model,
+        None => baseline.expect("either an MCSM or a baseline model must be provided"),
+    };
+    Ok(Simulation::of(model)
+        .inputs(&inputs)
+        .load(load)
+        .initial_output(v_out0)
+        .options(options)
+        .run()?
+        .output)
 }
 
 /// One case (fast or slow history) of the Fig. 9 accuracy comparison.
@@ -455,7 +462,12 @@ pub fn fig10_glitch(
     let a = DriveWaveform::dc(0.0);
     let b = DriveWaveform::Analytic(pulse);
     let options = CsmSimOptions::new(t_stop, csm_dt);
-    let mcsm_output = simulate_mcsm(mcsm, &a, &b, load, vdd, None, &options)
+    let mcsm_output = Simulation::of(mcsm)
+        .inputs(&[a, b])
+        .load(load)
+        .initial_output(vdd)
+        .options(options)
+        .run()
         .map_err(StaError::Model)?
         .output;
 
@@ -530,12 +542,24 @@ pub fn fig11_mis_vs_sis(
     let a = DriveWaveform::falling_ramp(vdd, t_switch, transition);
     let b = DriveWaveform::falling_ramp(vdd, t_switch, transition);
     let options = CsmSimOptions::new(t_stop, csm_dt);
-    let mcsm_output = simulate_mcsm(mcsm, &a, &b, load, 0.0, None, &options)
+    let mcsm_output = Simulation::of(mcsm)
+        .inputs(&[a.clone(), b])
+        .load(load)
+        .initial_output(0.0)
+        .options(options.clone())
+        .run()
         .map_err(StaError::Model)?
         .output;
     // The SIS model only sees one switching input (the other is assumed stable at
     // its non-controlling value) — exactly the approximation the paper critiques.
-    let sis_output = simulate_sis(sis, &a, load, 0.0, &options).map_err(StaError::Model)?;
+    let sis_output = Simulation::of(sis)
+        .input(a)
+        .load(load)
+        .initial_output(0.0)
+        .options(options)
+        .run()
+        .map_err(StaError::Model)?
+        .output;
 
     let delay_of = |w: &Waveform| -> Result<f64, StaError> {
         w.crossing(0.5 * vdd, true)
@@ -672,7 +696,11 @@ mod tests {
         // The reference produces a real glitch and the model sees one too.
         assert!(data.spice_glitch_depth > 0.1);
         assert!(data.mcsm_glitch_depth > 0.05);
-        assert!(data.normalized_rmse < 0.15, "nrmse = {}", data.normalized_rmse);
+        assert!(
+            data.normalized_rmse < 0.15,
+            "nrmse = {}",
+            data.normalized_rmse
+        );
     }
 
     #[test]

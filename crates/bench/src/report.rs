@@ -51,7 +51,7 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(ps(1e-12), "1.00");
         assert_eq!(ps(123.456e-12), "123.46");
-        assert_eq!(pct(3.14159), "3.14");
+        assert_eq!(pct(3.15159), "3.15");
     }
 
     #[test]

@@ -11,10 +11,9 @@ use crate::tech::Technology;
 use mcsm_spice::circuit::{Circuit, NodeId};
 use mcsm_spice::devices::mosfet::MosfetGeometry;
 use mcsm_spice::error::SpiceError;
-use serde::{Deserialize, Serialize};
 
 /// The cell topologies provided by the library.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellKind {
     /// Static CMOS inverter.
     Inverter,
@@ -122,7 +121,7 @@ pub struct CellPorts {
 }
 
 /// A cell bound to a technology and drive strength, ready to be instantiated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellTemplate {
     kind: CellKind,
     technology: Technology,
@@ -596,8 +595,12 @@ mod tests {
         let out2 = c.node("out2");
         let a = c.node("a");
         let b = c.node("b");
-        let p1 = template.instantiate(&mut c, "x1", &[a, b], out1, vdd).unwrap();
-        let p2 = template.instantiate(&mut c, "x2", &[a, b], out2, vdd).unwrap();
+        let p1 = template
+            .instantiate(&mut c, "x1", &[a, b], out1, vdd)
+            .unwrap();
+        let p2 = template
+            .instantiate(&mut c, "x2", &[a, b], out2, vdd)
+            .unwrap();
         assert_ne!(p1.internal[0], p2.internal[0]);
     }
 }

@@ -3,10 +3,9 @@
 
 use crate::cell::{CellKind, CellTemplate};
 use crate::tech::Technology;
-use serde::{Deserialize, Serialize};
 
 /// A named collection of [`CellTemplate`]s sharing one technology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellLibrary {
     technology: Technology,
     cells: Vec<CellTemplate>,

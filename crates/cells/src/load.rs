@@ -13,10 +13,9 @@ use crate::tech::Technology;
 use mcsm_spice::circuit::{Circuit, NodeId};
 use mcsm_spice::devices::mosfet::device_caps;
 use mcsm_spice::error::SpiceError;
-use serde::{Deserialize, Serialize};
 
 /// A fanout-of-N inverter load.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FanoutLoad {
     technology: Technology,
     fanout: usize,
@@ -30,10 +29,7 @@ impl FanoutLoad {
     /// Panics if `fanout` is zero; use [`CapacitiveLoad`] for an unloaded net.
     pub fn new(technology: Technology, fanout: usize) -> Self {
         assert!(fanout > 0, "fanout must be at least 1");
-        FanoutLoad {
-            technology,
-            fanout,
-        }
+        FanoutLoad { technology, fanout }
     }
 
     /// Number of inverter receivers.
@@ -83,14 +79,10 @@ impl FanoutLoad {
     /// doubling). Exposed so the load-model ablation can sweep it.
     pub fn capacitance_with_miller_factor(&self, miller_factor: f64) -> f64 {
         let t = &self.technology;
-        let n_geom = mcsm_spice::devices::mosfet::MosfetGeometry::new(
-            t.unit_nmos_width,
-            t.channel_length,
-        );
-        let p_geom = mcsm_spice::devices::mosfet::MosfetGeometry::new(
-            t.unit_pmos_width,
-            t.channel_length,
-        );
+        let n_geom =
+            mcsm_spice::devices::mosfet::MosfetGeometry::new(t.unit_nmos_width, t.channel_length);
+        let p_geom =
+            mcsm_spice::devices::mosfet::MosfetGeometry::new(t.unit_pmos_width, t.channel_length);
         let n_caps = device_caps(&t.nmos, &n_geom);
         let p_caps = device_caps(&t.pmos, &p_geom);
         let per_inverter = n_caps.cgs
@@ -104,7 +96,7 @@ impl FanoutLoad {
 }
 
 /// A simple lumped capacitive load.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapacitiveLoad {
     /// Capacitance to ground (farads).
     pub farads: f64,

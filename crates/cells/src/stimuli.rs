@@ -13,10 +13,9 @@
 //!   starts near the body-affected `|Vt,p|`, so the output is slower.
 
 use mcsm_spice::source::SourceWaveform;
-use serde::{Deserialize, Serialize};
 
 /// A timed sequence of logic states applied to a set of input pins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InputHistory {
     /// Supply voltage used for logic-high levels (volts).
     vdd: f64,

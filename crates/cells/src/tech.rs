@@ -9,10 +9,9 @@
 //! preserves.
 
 use mcsm_spice::devices::mosfet::{MosfetKind, MosfetParams};
-use serde::{Deserialize, Serialize};
 
 /// A CMOS technology card: supply, device model cards and default geometry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Technology {
     /// Human-readable name.
     pub name: String,
@@ -110,13 +109,5 @@ mod tests {
         let t = Technology::cmos_130nm();
         assert!((t.channel_length - 0.13e-6).abs() < 1e-12);
         assert!(t.unit_nmos_width > t.channel_length);
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let t = Technology::cmos_130nm();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Technology = serde_json::from_str(&json).unwrap();
-        assert_eq!(t, back);
     }
 }

@@ -14,10 +14,9 @@ use mcsm_spice::analysis::{transient, TranOptions, TranResult};
 use mcsm_spice::circuit::{Circuit, ElementId, NodeId};
 use mcsm_spice::error::SpiceError;
 use mcsm_spice::source::SourceWaveform;
-use serde::{Deserialize, Serialize};
 
 /// The load attached to the cell output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LoadSpec {
     /// No explicit load (only the cell's own diffusion capacitance).
     None,
@@ -247,13 +246,8 @@ mod tests {
         let mut tb = nor2_bench(LoadSpec::Lumped(2e-15));
         let vdd = tb.technology().vdd;
         // Both inputs high → output low; both fall at 1 ns → output rises.
-        let history = InputHistory::simultaneous(
-            vdd,
-            50e-12,
-            vec![true, true],
-            vec![false, false],
-            1e-9,
-        );
+        let history =
+            InputHistory::simultaneous(vdd, 50e-12, vec![true, true], vec![false, false], 1e-9);
         tb.apply_history(&history).unwrap();
         let result = tb.run_transient(&TranOptions::new(3e-9, 2e-12)).unwrap();
         let out = result.node("out").unwrap();

@@ -17,10 +17,10 @@ use crate::error::CsmError;
 use crate::model::{McsmModel, MisBaselineModel, SisModel};
 use crate::table::{voltage_axis, Table1, Table2, Table3, Table4};
 use mcsm_cells::cell::CellTemplate;
-use mcsm_spice::circuit::{Circuit, NodeId};
-use mcsm_spice::source::SourceWaveform;
 use mcsm_num::grid::Axis;
 use mcsm_num::lut::LutNd;
+use mcsm_spice::circuit::{Circuit, NodeId};
+use mcsm_spice::source::SourceWaveform;
 
 /// Builds the characterization circuit for a cell: supply source plus one
 /// forcing source per probed pin. `force_internal` selects whether the internal
@@ -67,11 +67,7 @@ fn build_rig(
             });
         } else {
             // Held at the non-controlling value for the whole characterization.
-            circuit.add_vsource(
-                node,
-                Circuit::ground(),
-                SourceWaveform::dc(non_controlling),
-            )?;
+            circuit.add_vsource(node, Circuit::ground(), SourceWaveform::dc(non_controlling))?;
         }
     }
 
@@ -162,12 +158,28 @@ pub fn characterize_mcsm(
     // Input pin capacitances: 1-D in the input's own voltage, with the other
     // input at its non-controlling value, the internal node at mid rail and the
     // output held at mid rail.
-    let non_controlling = if kind.non_controlling_value() { vdd } else { 0.0 };
+    let non_controlling = if kind.non_controlling_value() {
+        vdd
+    } else {
+        0.0
+    };
     let input_axis = voltage_axis(vdd, config.voltage_margin, config.input_cap_grid_points)?;
     let held_a = [0.0, non_controlling, 0.5 * vdd, 0.5 * vdd];
     let held_b = [non_controlling, 0.0, 0.5 * vdd, 0.5 * vdd];
-    let c_in_a = non_negative(input_pin_capacitance(&mut rig, &input_axis, 0, &held_a, config)?);
-    let c_in_b = non_negative(input_pin_capacitance(&mut rig, &input_axis, 1, &held_b, config)?);
+    let c_in_a = non_negative(input_pin_capacitance(
+        &mut rig,
+        &input_axis,
+        0,
+        &held_a,
+        config,
+    )?);
+    let c_in_b = non_negative(input_pin_capacitance(
+        &mut rig,
+        &input_axis,
+        1,
+        &held_b,
+        config,
+    )?);
 
     Ok(McsmModel {
         cell_name: kind.name().to_string(),
@@ -227,12 +239,28 @@ pub fn characterize_mis_baseline(
             .zip_with(&caps.miller_to_output[1], |t, m| t - m)?,
     );
 
-    let non_controlling = if kind.non_controlling_value() { vdd } else { 0.0 };
+    let non_controlling = if kind.non_controlling_value() {
+        vdd
+    } else {
+        0.0
+    };
     let input_axis = voltage_axis(vdd, config.voltage_margin, config.input_cap_grid_points)?;
     let held_a = [0.0, non_controlling, 0.5 * vdd];
     let held_b = [non_controlling, 0.0, 0.5 * vdd];
-    let c_in_a = non_negative(input_pin_capacitance(&mut rig, &input_axis, 0, &held_a, config)?);
-    let c_in_b = non_negative(input_pin_capacitance(&mut rig, &input_axis, 1, &held_b, config)?);
+    let c_in_a = non_negative(input_pin_capacitance(
+        &mut rig,
+        &input_axis,
+        0,
+        &held_a,
+        config,
+    )?);
+    let c_in_b = non_negative(input_pin_capacitance(
+        &mut rig,
+        &input_axis,
+        1,
+        &held_b,
+        config,
+    )?);
 
     Ok(MisBaselineModel {
         cell_name: kind.name().to_string(),
@@ -292,7 +320,13 @@ pub fn characterize_sis(
 
     let input_axis = voltage_axis(vdd, config.voltage_margin, config.input_cap_grid_points)?;
     let held = [0.0, 0.5 * vdd];
-    let c_in = non_negative(input_pin_capacitance(&mut rig, &input_axis, 0, &held, config)?);
+    let c_in = non_negative(input_pin_capacitance(
+        &mut rig,
+        &input_axis,
+        0,
+        &held,
+        config,
+    )?);
 
     Ok(SisModel {
         cell_name: kind.name().to_string(),
@@ -357,8 +391,7 @@ mod tests {
 
     #[test]
     fn baseline_characterization_of_nor2() {
-        let model =
-            characterize_mis_baseline(&nor2(), &CharacterizationConfig::coarse()).unwrap();
+        let model = characterize_mis_baseline(&nor2(), &CharacterizationConfig::coarse()).unwrap();
         let vdd = model.vdd;
         assert!(model.output_current(vdd, vdd, vdd) > 1e-6);
         assert!(model.output_current(0.0, 0.0, 0.0) < -1e-6);

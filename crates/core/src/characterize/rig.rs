@@ -113,14 +113,11 @@ impl Rig {
     /// # Errors
     ///
     /// Returns an error if the pin index is out of range.
-    pub fn current_into_cell(
-        &self,
-        solution: &DcSolution,
-        pin: usize,
-    ) -> Result<f64, CsmError> {
-        let pin = self.pins.get(pin).ok_or_else(|| {
-            CsmError::InvalidParameter(format!("pin index {pin} out of range"))
-        })?;
+    pub fn current_into_cell(&self, solution: &DcSolution, pin: usize) -> Result<f64, CsmError> {
+        let pin = self
+            .pins
+            .get(pin)
+            .ok_or_else(|| CsmError::InvalidParameter(format!("pin index {pin} out of range")))?;
         // The source's branch current flows from the node into the source; the
         // current into the cell is everything else leaving the node, which by KCL
         // is the negative of the branch current.
@@ -187,11 +184,8 @@ impl Rig {
             let ramp_fraction = (t / ramp_time).clamp(0.0, 1.0);
             v[ramped] = base[ramped] + delta_v * ramp_fraction;
             self.set_dc(&v)?;
-            let sol = operating_point_with_guess(
-                &self.circuit,
-                &self.dc_options,
-                guess.as_deref(),
-            )?;
+            let sol =
+                operating_point_with_guess(&self.circuit, &self.dc_options, guess.as_deref())?;
             for (k, pin) in self.pins.iter().enumerate() {
                 conduction[k].push(sol.vsource_current(pin.source)?);
             }
@@ -320,8 +314,12 @@ mod tests {
     #[test]
     fn probe_validates_arguments() {
         let mut rig = linear_rig();
-        assert!(rig.probe_charges(&[0.0, 0.0], 5, 0.1, 1e-12, 1e-13).is_err());
-        assert!(rig.probe_charges(&[0.0, 0.0], 0, 0.0, 1e-12, 1e-13).is_err());
+        assert!(rig
+            .probe_charges(&[0.0, 0.0], 5, 0.1, 1e-12, 1e-13)
+            .is_err());
+        assert!(rig
+            .probe_charges(&[0.0, 0.0], 0, 0.0, 1e-12, 1e-13)
+            .is_err());
         assert!(rig.probe_charges(&[0.0], 0, 0.1, 1e-12, 1e-13).is_err());
         assert!(rig.dc_point(&[0.0], None).is_err());
     }

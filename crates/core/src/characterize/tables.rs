@@ -147,8 +147,11 @@ pub fn capacitance_tables(
     let mut iter = values.into_iter();
     let miller_to_output: Vec<LutNd> = (0..input_pins.len())
         .map(|_| {
-            LutNd::new(axes.to_vec(), iter.next().expect("sweep output count checked"))
-                .map_err(CsmError::from)
+            LutNd::new(
+                axes.to_vec(),
+                iter.next().expect("sweep output count checked"),
+            )
+            .map_err(CsmError::from)
         })
         .collect::<Result<_, _>>()?;
     let output_total = LutNd::new(axes.to_vec(), iter.next().expect("output total present"))?;

@@ -6,10 +6,8 @@
 //! defaults are sized so a full NOR2 characterization runs in seconds in release
 //! builds, while tests use [`CharacterizationConfig::coarse`].
 
-use serde::{Deserialize, Serialize};
-
 /// Controls for table grids and characterization stimuli.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CharacterizationConfig {
     /// Number of grid points per voltage axis for the current tables
     /// (`I_o`, `I_N`).

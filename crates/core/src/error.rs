@@ -12,6 +12,8 @@ pub enum CsmError {
     UnsupportedCell(String),
     /// A characterization or simulation parameter was invalid.
     InvalidParameter(String),
+    /// A model store was asked to resolve a model family it does not hold.
+    MissingModel(String),
     /// The underlying circuit simulation failed.
     Spice(SpiceError),
     /// A numerical routine failed.
@@ -25,6 +27,7 @@ impl fmt::Display for CsmError {
         match self {
             CsmError::UnsupportedCell(msg) => write!(f, "unsupported cell: {msg}"),
             CsmError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CsmError::MissingModel(msg) => write!(f, "missing model: {msg}"),
             CsmError::Spice(e) => write!(f, "circuit simulation failed: {e}"),
             CsmError::Numerical(e) => write!(f, "numerical error: {e}"),
             CsmError::Storage(msg) => write!(f, "model storage error: {msg}"),
@@ -72,8 +75,12 @@ mod tests {
         assert!(e.to_string().contains("numerical"));
         assert!(e.source().is_some());
 
-        assert!(CsmError::Storage("bad json".into()).to_string().contains("storage"));
-        assert!(CsmError::InvalidParameter("dt".into()).to_string().contains("invalid"));
+        assert!(CsmError::Storage("bad json".into())
+            .to_string()
+            .contains("storage"));
+        assert!(CsmError::InvalidParameter("dt".into())
+            .to_string()
+            .contains("invalid"));
     }
 
     #[test]

@@ -8,10 +8,9 @@
 
 use crate::error::CsmError;
 use mcsm_spice::waveform::Waveform;
-use serde::{Deserialize, Serialize};
 
 /// A delay measurement referenced to an absolute input event time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DelayMeasurement {
     /// 50 % crossing time of the output edge (seconds).
     pub output_crossing: f64,
@@ -31,15 +30,13 @@ pub fn delay_50(
     vdd: f64,
     output_rising: bool,
 ) -> Result<DelayMeasurement, CsmError> {
-    let crossing = output
-        .crossing(0.5 * vdd, output_rising)
-        .ok_or_else(|| {
-            CsmError::InvalidParameter(format!(
-                "output never crosses {:.3} V {}",
-                0.5 * vdd,
-                if output_rising { "rising" } else { "falling" }
-            ))
-        })?;
+    let crossing = output.crossing(0.5 * vdd, output_rising).ok_or_else(|| {
+        CsmError::InvalidParameter(format!(
+            "output never crosses {:.3} V {}",
+            0.5 * vdd,
+            if output_rising { "rising" } else { "falling" }
+        ))
+    })?;
     Ok(DelayMeasurement {
         output_crossing: crossing,
         delay: crossing - input_event_time,
@@ -55,7 +52,7 @@ pub fn delay_error_percent(reference: DelayMeasurement, candidate: DelayMeasurem
 }
 
 /// Comparison of one model waveform against a reference waveform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaveformComparison {
     /// RMSE normalized to Vdd (the paper's Eq. 6), dimensionless.
     pub normalized_rmse: f64,

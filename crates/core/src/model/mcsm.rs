@@ -14,11 +14,12 @@
 //! discharges the internal node, matching Eqs. (4) and (5).
 
 use crate::error::CsmError;
+use crate::model::CellModel;
 use crate::table::{Table1, Table4};
-use serde::{Deserialize, Serialize};
+use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// The complete multiple-input-switching current-source model of one cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McsmModel {
     /// Name of the characterized cell (e.g. `"NOR2"`).
     pub cell_name: String,
@@ -141,6 +142,103 @@ impl McsmModel {
     }
 }
 
+impl CellModel for McsmModel {
+    fn cell_name(&self) -> &str {
+        &self.cell_name
+    }
+
+    fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    fn num_pins(&self) -> usize {
+        2
+    }
+
+    fn num_state_nodes(&self) -> usize {
+        1
+    }
+
+    fn currents(&self, pins: &[f64], state: &[f64], v_out: f64, buf: &mut [f64]) {
+        buf[0] = self.output_current(pins[0], pins[1], state[0], v_out);
+        buf[1] = self.internal_current(pins[0], pins[1], state[0], v_out);
+    }
+
+    fn capacitances(
+        &self,
+        pins: &[f64],
+        state: &[f64],
+        v_out: f64,
+        miller: &mut [f64],
+        state_caps: &mut [f64],
+    ) -> f64 {
+        let (cm_a, cm_b, c_o, c_n) = self.capacitances(pins[0], pins[1], state[0], v_out);
+        miller[0] = cm_a;
+        miller[1] = cm_b;
+        state_caps[0] = c_n;
+        c_o
+    }
+
+    fn equilibrium_state(&self, pins: &[f64], v_out: f64, state: &mut [f64]) {
+        state[0] = self.equilibrium_internal_voltage(pins[0], pins[1], v_out);
+    }
+
+    fn input_capacitance(&self, pin: usize, v_in: f64) -> Result<f64, CsmError> {
+        McsmModel::input_capacitance(self, pin, v_in)
+    }
+
+    fn representative_output_capacitance(&self) -> f64 {
+        McsmModel::representative_output_capacitance(self)
+    }
+}
+
+impl ToJson for McsmModel {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "cell_name".into(),
+                JsonValue::String(self.cell_name.clone()),
+            ),
+            ("vdd".into(), JsonValue::Number(self.vdd)),
+            ("io".into(), self.io.to_json()),
+            ("i_n".into(), self.i_n.to_json()),
+            ("cm_a".into(), self.cm_a.to_json()),
+            ("cm_b".into(), self.cm_b.to_json()),
+            ("c_o".into(), self.c_o.to_json()),
+            ("c_n".into(), self.c_n.to_json()),
+            ("c_in_a".into(), self.c_in_a.to_json()),
+            ("c_in_b".into(), self.c_in_b.to_json()),
+        ])
+    }
+}
+
+impl FromJson for McsmModel {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(McsmModel {
+            cell_name: value
+                .require("cell_name")?
+                .as_str()
+                .ok_or_else(|| JsonError("`cell_name` must be a string".into()))?
+                .to_string(),
+            vdd: value
+                .require("vdd")?
+                .as_f64()
+                .ok_or_else(|| JsonError("`vdd` must be a number".into()))?,
+            io: Table4::from_json(value.require("io")?)?,
+            i_n: Table4::from_json(value.require("i_n")?)?,
+            cm_a: Table4::from_json(value.require("cm_a")?)?,
+            cm_b: Table4::from_json(value.require("cm_b")?)?,
+            c_o: Table4::from_json(value.require("c_o")?)?,
+            c_n: Table4::from_json(value.require("c_n")?)?,
+            c_in_a: Table1::from_json(value.require("c_in_a")?)?,
+            c_in_b: Table1::from_json(value.require("c_in_b")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::synthetic_model;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,7 +264,8 @@ mod tests {
             let (va, vb, vn, vo) = (v[0], v[1], v[2], v[3]);
             let stack_strength = 0.25 + 0.75 * (vn / vdd).clamp(0.0, 1.0);
             let pull_down = 1e-4 * ((va / vdd).max(0.0) + (vb / vdd).max(0.0)) * (vo / vdd);
-            let pull_up = -1e-4 * ((1.0 - va / vdd).max(0.0) * (1.0 - vb / vdd).max(0.0))
+            let pull_up = -1e-4
+                * ((1.0 - va / vdd).max(0.0) * (1.0 - vb / vdd).max(0.0))
                 * ((vdd - vo) / vdd)
                 * stack_strength;
             pull_down + pull_up
@@ -241,13 +340,41 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let m = synthetic_model();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: McsmModel = serde_json::from_str(&json).unwrap();
+        let text = m.to_json().to_string_pretty();
+        let back = McsmModel::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
         assert_eq!(m, back);
     }
-}
 
-#[cfg(test)]
-pub(crate) use tests::synthetic_model;
+    #[test]
+    fn cell_model_trait_matches_inherent_methods() {
+        let m = synthetic_model();
+        let model: &dyn CellModel = &m;
+        assert_eq!(model.num_pins(), 2);
+        assert_eq!(model.num_state_nodes(), 1);
+        assert_eq!(model.cell_name(), "NOR2");
+        assert!((model.vdd() - 1.2).abs() < 1e-12);
+
+        let pins = [0.9, 0.4];
+        let state = [0.7];
+        let v_o = 0.5;
+        let mut currents = [0.0; 2];
+        model.currents(&pins, &state, v_o, &mut currents);
+        assert_eq!(currents[0], m.output_current(0.9, 0.4, 0.7, 0.5));
+        assert_eq!(currents[1], m.internal_current(0.9, 0.4, 0.7, 0.5));
+
+        let mut miller = [0.0; 2];
+        let mut state_caps = [0.0; 1];
+        let c_o = model.capacitances(&pins, &state, v_o, &mut miller, &mut state_caps);
+        let (cm_a, cm_b, c_o_direct, c_n) = m.capacitances(0.9, 0.4, 0.7, 0.5);
+        assert_eq!(
+            (miller[0], miller[1], c_o, state_caps[0]),
+            (cm_a, cm_b, c_o_direct, c_n)
+        );
+
+        let mut eq = [0.0];
+        model.equilibrium_state(&[1.2, 0.0], 0.0, &mut eq);
+        assert_eq!(eq[0], m.equilibrium_internal_voltage(1.2, 0.0, 0.0));
+    }
+}

@@ -7,11 +7,12 @@
 //! comparison baseline for Fig. 9.
 
 use crate::error::CsmError;
+use crate::model::CellModel;
 use crate::table::{Table1, Table3};
-use serde::{Deserialize, Serialize};
+use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// A MIS current-source model without internal-node state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MisBaselineModel {
     /// Name of the characterized cell.
     pub cell_name: String,
@@ -62,6 +63,91 @@ impl MisBaselineModel {
     }
 }
 
+impl CellModel for MisBaselineModel {
+    fn cell_name(&self) -> &str {
+        &self.cell_name
+    }
+
+    fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    fn num_pins(&self) -> usize {
+        2
+    }
+
+    fn num_state_nodes(&self) -> usize {
+        0
+    }
+
+    fn currents(&self, pins: &[f64], _state: &[f64], v_out: f64, buf: &mut [f64]) {
+        buf[0] = self.output_current(pins[0], pins[1], v_out);
+    }
+
+    fn capacitances(
+        &self,
+        pins: &[f64],
+        _state: &[f64],
+        v_out: f64,
+        miller: &mut [f64],
+        _state_caps: &mut [f64],
+    ) -> f64 {
+        let (cm_a, cm_b, c_o) = self.capacitances(pins[0], pins[1], v_out);
+        miller[0] = cm_a;
+        miller[1] = cm_b;
+        c_o
+    }
+
+    fn equilibrium_state(&self, _pins: &[f64], _v_out: f64, _state: &mut [f64]) {}
+
+    fn input_capacitance(&self, pin: usize, v_in: f64) -> Result<f64, CsmError> {
+        MisBaselineModel::input_capacitance(self, pin, v_in)
+    }
+}
+
+impl ToJson for MisBaselineModel {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "cell_name".into(),
+                JsonValue::String(self.cell_name.clone()),
+            ),
+            ("vdd".into(), JsonValue::Number(self.vdd)),
+            ("io".into(), self.io.to_json()),
+            ("cm_a".into(), self.cm_a.to_json()),
+            ("cm_b".into(), self.cm_b.to_json()),
+            ("c_o".into(), self.c_o.to_json()),
+            ("c_in_a".into(), self.c_in_a.to_json()),
+            ("c_in_b".into(), self.c_in_b.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MisBaselineModel {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(MisBaselineModel {
+            cell_name: value
+                .require("cell_name")?
+                .as_str()
+                .ok_or_else(|| JsonError("`cell_name` must be a string".into()))?
+                .to_string(),
+            vdd: value
+                .require("vdd")?
+                .as_f64()
+                .ok_or_else(|| JsonError("`vdd` must be a number".into()))?,
+            io: Table3::from_json(value.require("io")?)?,
+            cm_a: Table3::from_json(value.require("cm_a")?)?,
+            cm_b: Table3::from_json(value.require("cm_b")?)?,
+            c_o: Table3::from_json(value.require("c_o")?)?,
+            c_in_a: Table1::from_json(value.require("c_in_a")?)?,
+            c_in_b: Table1::from_json(value.require("c_in_b")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::synthetic_baseline;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,13 +196,24 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let m = synthetic_baseline();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: MisBaselineModel = serde_json::from_str(&json).unwrap();
+        let text = m.to_json().to_string_pretty();
+        let back = MisBaselineModel::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
         assert_eq!(m, back);
     }
-}
 
-#[cfg(test)]
-pub(crate) use tests::synthetic_baseline;
+    #[test]
+    fn cell_model_trait_shape() {
+        let m = synthetic_baseline();
+        let model: &dyn CellModel = &m;
+        assert_eq!((model.num_pins(), model.num_state_nodes()), (2, 0));
+        let mut buf = [0.0];
+        model.currents(&[1.2, 1.2], &[], 1.2, &mut buf);
+        assert_eq!(buf[0], m.output_current(1.2, 1.2, 1.2));
+        let mut miller = [0.0; 2];
+        let c_o = model.capacitances(&[0.6, 0.6], &[], 0.6, &mut miller, &mut []);
+        let (cm_a, cm_b, c_o_direct) = m.capacitances(0.6, 0.6, 0.6);
+        assert_eq!((miller[0], miller[1], c_o), (cm_a, cm_b, c_o_direct));
+    }
+}

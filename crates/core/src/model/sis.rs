@@ -6,11 +6,13 @@
 //! uses this model as the second comparison point (Fig. 11): when a real MIS
 //! event occurs, the SIS model is significantly wrong.
 
+use crate::error::CsmError;
+use crate::model::CellModel;
 use crate::table::{Table1, Table2};
-use serde::{Deserialize, Serialize};
+use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// A single-input-switching current-source model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SisModel {
     /// Name of the characterized cell.
     pub cell_name: String,
@@ -46,6 +48,107 @@ impl SisModel {
         self.c_in.eval(v_in)
     }
 }
+
+impl CellModel for SisModel {
+    fn cell_name(&self) -> &str {
+        &self.cell_name
+    }
+
+    fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    fn num_pins(&self) -> usize {
+        1
+    }
+
+    fn num_state_nodes(&self) -> usize {
+        0
+    }
+
+    fn currents(&self, pins: &[f64], _state: &[f64], v_out: f64, buf: &mut [f64]) {
+        buf[0] = self.output_current(pins[0], v_out);
+    }
+
+    fn capacitances(
+        &self,
+        pins: &[f64],
+        _state: &[f64],
+        v_out: f64,
+        miller: &mut [f64],
+        _state_caps: &mut [f64],
+    ) -> f64 {
+        let (cm, c_o) = self.capacitances(pins[0], v_out);
+        miller[0] = cm;
+        c_o
+    }
+
+    fn equilibrium_state(&self, _pins: &[f64], _v_out: f64, _state: &mut [f64]) {}
+
+    fn input_capacitance(&self, pin: usize, v_in: f64) -> Result<f64, CsmError> {
+        if pin != 0 {
+            return Err(CsmError::InvalidParameter(format!(
+                "a SIS model drives one pin; pin {pin} does not exist"
+            )));
+        }
+        Ok(SisModel::input_capacitance(self, v_in))
+    }
+}
+
+impl ToJson for SisModel {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "cell_name".into(),
+                JsonValue::String(self.cell_name.clone()),
+            ),
+            ("vdd".into(), JsonValue::Number(self.vdd)),
+            (
+                "switching_pin".into(),
+                JsonValue::Number(self.switching_pin as f64),
+            ),
+            (
+                "other_inputs_high".into(),
+                JsonValue::Bool(self.other_inputs_high),
+            ),
+            ("io".into(), self.io.to_json()),
+            ("cm".into(), self.cm.to_json()),
+            ("c_o".into(), self.c_o.to_json()),
+            ("c_in".into(), self.c_in.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SisModel {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(SisModel {
+            cell_name: value
+                .require("cell_name")?
+                .as_str()
+                .ok_or_else(|| JsonError("`cell_name` must be a string".into()))?
+                .to_string(),
+            vdd: value
+                .require("vdd")?
+                .as_f64()
+                .ok_or_else(|| JsonError("`vdd` must be a number".into()))?,
+            switching_pin: value
+                .require("switching_pin")?
+                .as_usize()
+                .ok_or_else(|| JsonError("`switching_pin` must be an index".into()))?,
+            other_inputs_high: value
+                .require("other_inputs_high")?
+                .as_bool()
+                .ok_or_else(|| JsonError("`other_inputs_high` must be a bool".into()))?,
+            io: Table2::from_json(value.require("io")?)?,
+            cm: Table2::from_json(value.require("cm")?)?,
+            c_o: Table2::from_json(value.require("c_o")?)?,
+            c_in: Table1::from_json(value.require("c_in")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::synthetic_sis;
 
 #[cfg(test)]
 mod tests {
@@ -91,13 +194,24 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let m = synthetic_sis();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: SisModel = serde_json::from_str(&json).unwrap();
+        let text = m.to_json().to_string_pretty();
+        let back = SisModel::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
         assert_eq!(m, back);
     }
-}
 
-#[cfg(test)]
-pub(crate) use tests::synthetic_sis;
+    #[test]
+    fn cell_model_trait_shape() {
+        let m = synthetic_sis();
+        let model: &dyn CellModel = &m;
+        assert_eq!(model.num_pins(), 1);
+        assert_eq!(model.num_state_nodes(), 0);
+        let mut buf = [0.0];
+        model.currents(&[1.2], &[], 1.2, &mut buf);
+        assert_eq!(buf[0], m.output_current(1.2, 1.2));
+        assert!(model.input_capacitance(0, 0.6).is_ok());
+        assert!(model.input_capacitance(1, 0.6).is_err());
+        assert!(model.representative_output_capacitance() > 0.0);
+    }
+}

@@ -10,11 +10,11 @@
 //! here compares the external load capacitance against the cell's own output
 //! capacitance scaled by a threshold ratio.
 
-use crate::model::McsmModel;
-use serde::{Deserialize, Serialize};
+use crate::error::CsmError;
+use crate::model::{CellModel, McsmModel, MisBaselineModel};
 
 /// Which model variant to use for a given cell instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelChoice {
     /// Use the complete MCSM (internal node modeled) — lightly loaded cells.
     CompleteMcsm,
@@ -24,7 +24,7 @@ pub enum ModelChoice {
 }
 
 /// The selective-modeling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelectivePolicy {
     /// Load-to-cell-capacitance ratio above which the simple model is accurate
     /// enough. The paper observes that the internal-node effect shrinks as the
@@ -75,6 +75,105 @@ impl Default for SelectivePolicy {
     }
 }
 
+/// The §3.4 selective model: a [`CellModel`] that stands for "the complete MCSM
+/// where the load is light enough for the internal node to matter, the simple
+/// MIS model otherwise".
+///
+/// The choice is made once per instance, from the load the cell drives, so a
+/// timing run pays the 4-D internal-node tables only on the cells where the
+/// paper shows they change the answer.
+#[derive(Debug, Clone)]
+pub struct SelectiveModel<'a> {
+    complete: &'a McsmModel,
+    simple: &'a MisBaselineModel,
+    policy: SelectivePolicy,
+    choice: ModelChoice,
+}
+
+impl<'a> SelectiveModel<'a> {
+    /// Applies `policy` to the load this cell instance drives and fixes the
+    /// model variant for the lifetime of the wrapper.
+    pub fn new(
+        complete: &'a McsmModel,
+        simple: &'a MisBaselineModel,
+        policy: SelectivePolicy,
+        load_capacitance: f64,
+    ) -> Self {
+        let choice = policy.choose(complete, load_capacitance);
+        SelectiveModel {
+            complete,
+            simple,
+            policy,
+            choice,
+        }
+    }
+
+    /// Which variant the policy picked for this instance.
+    pub fn choice(&self) -> ModelChoice {
+        self.choice
+    }
+
+    /// The policy the wrapper was built with.
+    pub fn policy(&self) -> SelectivePolicy {
+        self.policy
+    }
+
+    fn active(&self) -> &dyn CellModel {
+        match self.choice {
+            ModelChoice::CompleteMcsm => self.complete,
+            ModelChoice::SimpleMis => self.simple,
+        }
+    }
+}
+
+impl CellModel for SelectiveModel<'_> {
+    fn cell_name(&self) -> &str {
+        self.active().cell_name()
+    }
+
+    fn vdd(&self) -> f64 {
+        self.active().vdd()
+    }
+
+    fn num_pins(&self) -> usize {
+        self.active().num_pins()
+    }
+
+    fn num_state_nodes(&self) -> usize {
+        self.active().num_state_nodes()
+    }
+
+    fn currents(&self, pins: &[f64], state: &[f64], v_out: f64, buf: &mut [f64]) {
+        self.active().currents(pins, state, v_out, buf);
+    }
+
+    fn capacitances(
+        &self,
+        pins: &[f64],
+        state: &[f64],
+        v_out: f64,
+        miller: &mut [f64],
+        state_caps: &mut [f64],
+    ) -> f64 {
+        self.active()
+            .capacitances(pins, state, v_out, miller, state_caps)
+    }
+
+    fn equilibrium_state(&self, pins: &[f64], v_out: f64, state: &mut [f64]) {
+        self.active().equilibrium_state(pins, v_out, state);
+    }
+
+    fn input_capacitance(&self, pin: usize, v_in: f64) -> Result<f64, CsmError> {
+        self.active().input_capacitance(pin, v_in)
+    }
+
+    fn representative_output_capacitance(&self) -> f64 {
+        // Always the complete model's own capacitance: the policy ratio is
+        // defined against the cell, not against whichever variant was picked.
+        self.complete.representative_output_capacitance()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +202,39 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_panics() {
         let _ = SelectivePolicy::new(0.0);
+    }
+
+    #[test]
+    fn selective_model_switches_families_with_load() {
+        let complete = synthetic_model();
+        let simple = crate::model::mis_baseline::synthetic_baseline();
+        let policy = SelectivePolicy::default();
+        let own = complete.representative_output_capacitance();
+
+        let light = SelectiveModel::new(&complete, &simple, policy, 0.5 * own);
+        assert_eq!(light.choice(), ModelChoice::CompleteMcsm);
+        assert_eq!(light.num_state_nodes(), 1);
+
+        let heavy = SelectiveModel::new(&complete, &simple, policy, 100.0 * own);
+        assert_eq!(heavy.choice(), ModelChoice::SimpleMis);
+        assert_eq!(heavy.num_state_nodes(), 0);
+        assert!((heavy.policy().load_ratio_threshold - policy.load_ratio_threshold).abs() < 1e-12);
+
+        // The heavy instance delegates evaluation to the simple model.
+        let mut from_wrapper = [0.0];
+        heavy.currents(&[1.2, 1.2], &[], 1.2, &mut from_wrapper);
+        assert_eq!(from_wrapper[0], simple.output_current(1.2, 1.2, 1.2));
+
+        // The light instance evaluates the complete model, state node included.
+        let mut buf = [0.0; 2];
+        light.currents(&[1.2, 1.2], &[0.6], 1.2, &mut buf);
+        assert_eq!(buf[0], complete.output_current(1.2, 1.2, 0.6, 1.2));
+        assert_eq!(buf[1], complete.internal_current(1.2, 1.2, 0.6, 1.2));
+
+        // Both report the complete model's own capacitance to the policy.
+        assert_eq!(
+            heavy.representative_output_capacitance(),
+            complete.representative_output_capacitance()
+        );
     }
 }

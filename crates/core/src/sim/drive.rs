@@ -8,10 +8,9 @@
 
 use mcsm_spice::source::SourceWaveform;
 use mcsm_spice::waveform::Waveform;
-use serde::{Deserialize, Serialize};
 
 /// A time-domain input drive: analytic or sampled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DriveWaveform {
     /// An analytic waveform (ramp, pulse, PWL, DC).
     Analytic(SourceWaveform),

@@ -1,24 +1,50 @@
 //! Output-waveform computation from a characterized model.
 //!
 //! This is the run-time half of the paper: given the pre-characterized tables,
-//! the input waveforms and a load, integrate the two KCL equations (paper
-//! Eqs. (1)–(2)) forward in time. Two integration schemes are provided:
+//! the input waveforms and a load, integrate the KCL equations (paper
+//! Eqs. (1)–(2)) forward in time. The integration loop lives in exactly one
+//! place — [`simulate`] — and is generic over [`CellModel`], so the SIS model
+//! (1 pin, no state), the baseline MIS model (2 pins, no state), the complete
+//! MCSM (2 pins, 1 internal node) and any future N-input model all share the
+//! same sub-stepping, clamping and predictor–corrector logic. Which family runs
+//! is data, not code.
+//!
+//! Two integration schemes are provided:
 //!
 //! * [`CsmIntegration::Explicit`] — the paper's update (Eqs. (4)–(5)): evaluate
 //!   all tables at the previous time point and step forward;
 //! * [`CsmIntegration::PredictorCorrector`] — an inexpensive refinement that
-//!   re-evaluates the output current at the predicted end point and averages
-//!   (trapezoidal in the current), which tolerates larger time steps. This is
-//!   one of the ablations called out in DESIGN.md.
+//!   re-evaluates the currents at the predicted end point and averages
+//!   (trapezoidal in the current), which tolerates larger time steps.
+//!
+//! The entry point for callers is the [`Simulation`] builder:
+//!
+//! ```no_run
+//! # use mcsm_core::model::McsmModel;
+//! # use mcsm_core::sim::{CsmSimOptions, DriveWaveform, Simulation};
+//! # fn demo(model: &McsmModel) -> Result<(), mcsm_core::CsmError> {
+//! let waves = [
+//!     DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12),
+//!     DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12),
+//! ];
+//! let result = Simulation::of(model)
+//!     .inputs(&waves)
+//!     .load(4e-15)
+//!     .initial_output(0.0)
+//!     .options(CsmSimOptions::new(2e-9, 0.5e-12))
+//!     .run()?;
+//! println!("50% crossing: {:?}", result.output.crossing(0.6, true));
+//! # Ok(())
+//! # }
+//! ```
 
 use super::drive::DriveWaveform;
 use crate::error::CsmError;
-use crate::model::{McsmModel, MisBaselineModel, SisModel};
+use crate::model::{CellModel, McsmModel, MisBaselineModel, SisModel};
 use mcsm_spice::waveform::Waveform;
-use serde::{Deserialize, Serialize};
 
 /// Integration scheme for the CSM state equations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CsmIntegration {
     /// The paper's explicit update (Eq. 4 / Eq. 5).
     #[default]
@@ -28,7 +54,7 @@ pub enum CsmIntegration {
 }
 
 /// Options for a model simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsmSimOptions {
     /// Time step (seconds). The explicit scheme needs `dt` small compared to the
     /// smallest `C / (dI/dV)` time constant; 0.5 ps is a safe default for the
@@ -61,8 +87,33 @@ impl CsmSimOptions {
     }
 }
 
+impl Default for CsmSimOptions {
+    /// A 2 ns window at the 0.5 ps step used throughout the paper experiments.
+    fn default() -> Self {
+        CsmSimOptions::new(2e-9, 0.5e-12)
+    }
+}
+
+/// Result of a generic model simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Output voltage waveform.
+    pub output: Waveform,
+    /// One waveform per internal state node the model tracked, in model order
+    /// (empty for stateless models).
+    pub state_traces: Vec<Waveform>,
+}
+
+impl SimResult {
+    /// The first internal-node waveform, if the model had one.
+    pub fn internal(&self) -> Option<&Waveform> {
+        self.state_traces.first()
+    }
+}
+
 /// Result of an MCSM simulation: the output waveform and the internal-node
-/// waveform the model tracked alongside it.
+/// waveform the model tracked alongside it. Kept for the deprecated
+/// [`simulate_mcsm`] wrapper; new code receives [`SimResult`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct McsmSimResult {
     /// Output voltage waveform.
@@ -94,17 +145,315 @@ fn substeps_for(deltas: &[f64]) -> usize {
     ((worst / MAX_STEP_VOLTAGE).ceil() as usize).clamp(1, MAX_SUBSTEPS)
 }
 
-/// Simulates the complete MCSM (paper Eqs. (4)–(5)).
+/// Scratch buffers and the per-substep update shared by every model family.
 ///
-/// * `a`, `b` — input drive waveforms;
+/// One `advance` call applies the paper's explicit update (Eq. 4 for the output
+/// node, Eq. 5 for each internal state node) over `h` seconds, optionally
+/// refined by one trapezoidal corrector pass.
+struct Stepper<'m> {
+    model: &'m dyn CellModel,
+    load: f64,
+    vdd: f64,
+    corrector: bool,
+    miller: Vec<f64>,
+    state_caps: Vec<f64>,
+    currents: Vec<f64>,
+    pred_state: Vec<f64>,
+    pred_currents: Vec<f64>,
+}
+
+impl<'m> Stepper<'m> {
+    fn new(model: &'m dyn CellModel, load: f64, corrector: bool) -> Self {
+        let n_pins = model.num_pins();
+        let n_state = model.num_state_nodes();
+        Stepper {
+            model,
+            load,
+            vdd: model.vdd(),
+            corrector,
+            miller: vec![0.0; n_pins],
+            state_caps: vec![0.0; n_state],
+            currents: vec![0.0; 1 + n_state],
+            pred_state: vec![0.0; n_state],
+            pred_currents: vec![0.0; 1 + n_state],
+        }
+    }
+
+    /// Advances the state from (`state`, `v_out`) over `h` seconds while the pin
+    /// voltages move from `pins0` to `pins1`. Writes the (unclamped) next state
+    /// into `next_state` and returns the (unclamped) next output voltage.
+    fn advance(
+        &mut self,
+        pins0: &[f64],
+        pins1: &[f64],
+        state: &[f64],
+        v_out: f64,
+        h: f64,
+        next_state: &mut [f64],
+    ) -> f64 {
+        let c_o =
+            self.model
+                .capacitances(pins0, state, v_out, &mut self.miller, &mut self.state_caps);
+        self.model.currents(pins0, state, v_out, &mut self.currents);
+
+        let mut denom = self.load + c_o;
+        let mut miller_kick = 0.0;
+        for (i, &cm) in self.miller.iter().enumerate() {
+            denom += cm;
+            miller_kick += cm * (pins1[i] - pins0[i]);
+        }
+        let denom = denom.max(1e-21);
+
+        let io_prev = self.currents[0];
+        let mut v_out_next = v_out + (miller_kick - io_prev * h) / denom;
+        for (j, next) in next_state.iter_mut().enumerate() {
+            *next = state[j] - self.currents[1 + j] * h / self.state_caps[j].max(1e-21);
+        }
+
+        if self.corrector {
+            for (j, pred) in self.pred_state.iter_mut().enumerate() {
+                *pred = clamp_voltage(next_state[j], self.vdd);
+            }
+            let v_out_pred = clamp_voltage(v_out_next, self.vdd);
+            self.model
+                .currents(pins1, &self.pred_state, v_out_pred, &mut self.pred_currents);
+            v_out_next =
+                v_out + (miller_kick - 0.5 * (io_prev + self.pred_currents[0]) * h) / denom;
+            for (j, next) in next_state.iter_mut().enumerate() {
+                *next = state[j]
+                    - 0.5 * (self.currents[1 + j] + self.pred_currents[1 + j]) * h
+                        / self.state_caps[j].max(1e-21);
+            }
+        }
+        v_out_next
+    }
+}
+
+/// Integrates any [`CellModel`] forward in time — the single engine behind
+/// every model family.
+///
+/// * `inputs` — one drive waveform per model pin, in pin order;
 /// * `load_capacitance` — the lumped load `C_L` at the output (farads);
 /// * `v_out_initial` — output voltage at `t = 0`;
-/// * `v_internal_initial` — internal-node voltage at `t = 0`, or `None` to use
-///   the DC equilibrium implied by the initial input/output voltages.
+/// * `initial_state` — internal-state voltages at `t = 0`, or `None` to use the
+///   DC equilibrium implied by the initial input/output voltages.
+///
+/// Prefer the [`Simulation`] builder over calling this directly.
+///
+/// # Errors
+///
+/// Returns [`CsmError::InvalidParameter`] for invalid options, a negative load,
+/// or input/state dimensions that do not match the model.
+pub fn simulate(
+    model: &dyn CellModel,
+    inputs: &[DriveWaveform],
+    load_capacitance: f64,
+    v_out_initial: f64,
+    initial_state: Option<&[f64]>,
+    options: &CsmSimOptions,
+) -> Result<SimResult, CsmError> {
+    options.validate()?;
+    if load_capacitance < 0.0 {
+        return Err(CsmError::InvalidParameter(format!(
+            "load capacitance must be non-negative, got {load_capacitance}"
+        )));
+    }
+    let n_pins = model.num_pins();
+    if inputs.len() != n_pins {
+        return Err(CsmError::InvalidParameter(format!(
+            "model `{}` has {n_pins} pins, got {} input waveforms",
+            model.cell_name(),
+            inputs.len()
+        )));
+    }
+    let n_state = model.num_state_nodes();
+
+    let vdd = model.vdd();
+    let steps = (options.t_stop / options.dt).ceil() as usize;
+    let dt = options.t_stop / steps as f64;
+
+    let eval_pins = |t: f64, out: &mut Vec<f64>| {
+        out.clear();
+        out.extend(inputs.iter().map(|w| w.eval(t)));
+    };
+
+    let mut pins0 = Vec::with_capacity(n_pins);
+    let mut pins1 = Vec::with_capacity(n_pins);
+
+    let mut v_out = v_out_initial;
+    let mut state = match initial_state {
+        Some(s) => {
+            if s.len() != n_state {
+                return Err(CsmError::InvalidParameter(format!(
+                    "model `{}` has {n_state} state nodes, got {} initial values",
+                    model.cell_name(),
+                    s.len()
+                )));
+            }
+            s.to_vec()
+        }
+        None => {
+            let mut s = vec![0.0; n_state];
+            eval_pins(0.0, &mut pins0);
+            model.equilibrium_state(&pins0, v_out_initial, &mut s);
+            s
+        }
+    };
+
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut out_values = Vec::with_capacity(steps + 1);
+    let mut state_values: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); n_state];
+    times.push(0.0);
+    out_values.push(v_out);
+    for (j, trace) in state_values.iter_mut().enumerate() {
+        trace.push(state[j]);
+    }
+
+    let corrector = options.integration == CsmIntegration::PredictorCorrector;
+    let mut stepper = Stepper::new(model, load_capacitance, corrector);
+    let mut probe_state = vec![0.0; n_state];
+    let mut next_state = vec![0.0; n_state];
+    let mut deltas = vec![0.0; 1 + n_state];
+
+    for k in 0..steps {
+        let t_prev = k as f64 * dt;
+        let t_next = (k + 1) as f64 * dt;
+        eval_pins(t_prev, &mut pins0);
+        eval_pins(t_next, &mut pins1);
+
+        // Probe the full step to decide how finely to subdivide it: an
+        // internal-node time constant can be much shorter than `dt`.
+        let probe_out = stepper.advance(&pins0, &pins1, &state, v_out, dt, &mut probe_state);
+        deltas[0] = probe_out - v_out;
+        for j in 0..n_state {
+            deltas[1 + j] = probe_state[j] - state[j];
+        }
+        let n_sub = substeps_for(&deltas);
+        let h = dt / n_sub as f64;
+        for s in 0..n_sub {
+            let t0 = t_prev + s as f64 * h;
+            let t1 = t0 + h;
+            eval_pins(t0, &mut pins0);
+            eval_pins(t1, &mut pins1);
+            let next_out = stepper.advance(&pins0, &pins1, &state, v_out, h, &mut next_state);
+            v_out = clamp_voltage(next_out, vdd);
+            for j in 0..n_state {
+                state[j] = clamp_voltage(next_state[j], vdd);
+            }
+        }
+
+        times.push(t_next);
+        out_values.push(v_out);
+        for (j, trace) in state_values.iter_mut().enumerate() {
+            trace.push(state[j]);
+        }
+    }
+
+    Ok(SimResult {
+        output: Waveform::new(times.clone(), out_values)?,
+        state_traces: state_values
+            .into_iter()
+            .map(|values| Waveform::new(times.clone(), values))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Builder for one model simulation — the front door of the runtime API.
+///
+/// Collects the inputs, load, initial conditions and stepping options, then
+/// [`run`](Simulation::run)s the generic engine. Works with any [`CellModel`]
+/// (concrete model structs, [`crate::selective::SelectiveModel`], or a
+/// `&dyn CellModel` resolved from a [`crate::store::ModelStore`]).
+#[derive(Clone)]
+pub struct Simulation<'a> {
+    model: &'a dyn CellModel,
+    inputs: Vec<DriveWaveform>,
+    load_capacitance: f64,
+    v_out_initial: f64,
+    initial_state: Option<Vec<f64>>,
+    options: CsmSimOptions,
+}
+
+impl<'a> Simulation<'a> {
+    /// Starts a simulation of `model` with no inputs, zero load, a grounded
+    /// initial output, equilibrium initial state and default options.
+    pub fn of(model: &'a dyn CellModel) -> Self {
+        Simulation {
+            model,
+            inputs: Vec::new(),
+            load_capacitance: 0.0,
+            v_out_initial: 0.0,
+            initial_state: None,
+            options: CsmSimOptions::default(),
+        }
+    }
+
+    /// Sets all input drive waveforms at once, in pin order.
+    pub fn inputs(mut self, waves: &[DriveWaveform]) -> Self {
+        self.inputs = waves.to_vec();
+        self
+    }
+
+    /// Appends one input drive waveform (next pin in order).
+    pub fn input(mut self, wave: impl Into<DriveWaveform>) -> Self {
+        self.inputs.push(wave.into());
+        self
+    }
+
+    /// Sets the lumped load capacitance at the output (farads).
+    pub fn load(mut self, farads: f64) -> Self {
+        self.load_capacitance = farads;
+        self
+    }
+
+    /// Sets the output voltage at `t = 0`.
+    pub fn initial_output(mut self, volts: f64) -> Self {
+        self.v_out_initial = volts;
+        self
+    }
+
+    /// Sets the internal-state voltages at `t = 0` (one per state node). When
+    /// not called, the engine uses the model's DC equilibrium for the initial
+    /// inputs — call this to inject input *history*, the effect the paper
+    /// studies.
+    pub fn initial_state(mut self, state: &[f64]) -> Self {
+        self.initial_state = Some(state.to_vec());
+        self
+    }
+
+    /// Sets the time stepping and integration scheme.
+    pub fn options(mut self, options: CsmSimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the generic engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::InvalidParameter`] for invalid options, a negative
+    /// load, or input/state dimensions that do not match the model.
+    pub fn run(self) -> Result<SimResult, CsmError> {
+        simulate(
+            self.model,
+            &self.inputs,
+            self.load_capacitance,
+            self.v_out_initial,
+            self.initial_state.as_deref(),
+            &self.options,
+        )
+    }
+}
+
+/// Simulates the complete MCSM (paper Eqs. (4)–(5)).
 ///
 /// # Errors
 ///
 /// Returns [`CsmError::InvalidParameter`] for invalid options or a negative load.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulation::of(&model).inputs(..).load(..).run()` — this wrapper delegates to it"
+)]
 pub fn simulate_mcsm(
     model: &McsmModel,
     a: &DriveWaveform,
@@ -114,92 +463,24 @@ pub fn simulate_mcsm(
     v_internal_initial: Option<f64>,
     options: &CsmSimOptions,
 ) -> Result<McsmSimResult, CsmError> {
-    options.validate()?;
-    if load_capacitance < 0.0 {
-        return Err(CsmError::InvalidParameter(format!(
-            "load capacitance must be non-negative, got {load_capacitance}"
-        )));
+    let inputs = [a.clone(), b.clone()];
+    let mut sim = Simulation::of(model)
+        .inputs(&inputs)
+        .load(load_capacitance)
+        .initial_output(v_out_initial)
+        .options(options.clone());
+    if let Some(v_n) = v_internal_initial {
+        sim = sim.initial_state(&[v_n]);
     }
-    let vdd = model.vdd;
-    let steps = (options.t_stop / options.dt).ceil() as usize;
-    let dt = options.t_stop / steps as f64;
-
-    let mut v_o = v_out_initial;
-    let mut v_n = match v_internal_initial {
-        Some(v) => v,
-        None => model.equilibrium_internal_voltage(a.initial_value(), b.initial_value(), v_out_initial),
-    };
-
-    let mut times = Vec::with_capacity(steps + 1);
-    let mut out_values = Vec::with_capacity(steps + 1);
-    let mut internal_values = Vec::with_capacity(steps + 1);
-    times.push(0.0);
-    out_values.push(v_o);
-    internal_values.push(v_n);
-
-    // One application of the paper's update (Eq. 4 / Eq. 5) over a step of `h`
-    // seconds, starting from the given state and ending at the given input
-    // voltages. Returns the (unclamped) next output and internal voltages.
-    let advance = |v_a: f64,
-                   v_b: f64,
-                   v_n: f64,
-                   v_o: f64,
-                   v_a_next: f64,
-                   v_b_next: f64,
-                   h: f64|
-     -> (f64, f64) {
-        let (cm_a, cm_b, c_o, c_n) = model.capacitances(v_a, v_b, v_n, v_o);
-        let io_prev = model.output_current(v_a, v_b, v_n, v_o);
-        let in_prev = model.internal_current(v_a, v_b, v_n, v_o);
-        let denom = (load_capacitance + c_o + cm_a + cm_b).max(1e-21);
-        let c_n_safe = c_n.max(1e-21);
-        let miller_kick = cm_a * (v_a_next - v_a) + cm_b * (v_b_next - v_b);
-
-        let mut v_o_next = v_o + (miller_kick - io_prev * h) / denom;
-        let mut v_n_next = v_n - in_prev * h / c_n_safe;
-
-        if options.integration == CsmIntegration::PredictorCorrector {
-            let io_pred =
-                model.output_current(v_a_next, v_b_next, v_n_next, clamp_voltage(v_o_next, vdd));
-            let in_pred =
-                model.internal_current(v_a_next, v_b_next, clamp_voltage(v_n_next, vdd), v_o_next);
-            v_o_next = v_o + (miller_kick - 0.5 * (io_prev + io_pred) * h) / denom;
-            v_n_next = v_n - 0.5 * (in_prev + in_pred) * h / c_n_safe;
-        }
-        (v_o_next, v_n_next)
-    };
-
-    for k in 0..steps {
-        let t_prev = k as f64 * dt;
-        let t_next = (k + 1) as f64 * dt;
-        let v_a_prev = a.eval(t_prev);
-        let v_b_prev = b.eval(t_prev);
-        let v_a_next = a.eval(t_next);
-        let v_b_next = b.eval(t_next);
-
-        // Probe the full step to decide how finely to subdivide it: the
-        // internal-node time constant can be much shorter than `dt`.
-        let (probe_o, probe_n) = advance(v_a_prev, v_b_prev, v_n, v_o, v_a_next, v_b_next, dt);
-        let n_sub = substeps_for(&[probe_o - v_o, probe_n - v_n]);
-        let h = dt / n_sub as f64;
-        for s in 0..n_sub {
-            let t0 = t_prev + s as f64 * h;
-            let t1 = t0 + h;
-            let (va0, vb0) = (a.eval(t0), b.eval(t0));
-            let (va1, vb1) = (a.eval(t1), b.eval(t1));
-            let (next_o, next_n) = advance(va0, vb0, v_n, v_o, va1, vb1, h);
-            v_o = clamp_voltage(next_o, vdd);
-            v_n = clamp_voltage(next_n, vdd);
-        }
-
-        times.push(t_next);
-        out_values.push(v_o);
-        internal_values.push(v_n);
-    }
-
+    let result = sim.run()?;
+    let internal = result
+        .state_traces
+        .into_iter()
+        .next()
+        .expect("the MCSM has one internal node");
     Ok(McsmSimResult {
-        output: Waveform::new(times.clone(), out_values)?,
-        internal: Waveform::new(times, internal_values)?,
+        output: result.output,
+        internal,
     })
 }
 
@@ -208,6 +489,10 @@ pub fn simulate_mcsm(
 /// # Errors
 ///
 /// Returns [`CsmError::InvalidParameter`] for invalid options or a negative load.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulation::of(&model).inputs(..).load(..).run()` — this wrapper delegates to it"
+)]
 pub fn simulate_mis_baseline(
     model: &MisBaselineModel,
     a: &DriveWaveform,
@@ -216,60 +501,14 @@ pub fn simulate_mis_baseline(
     v_out_initial: f64,
     options: &CsmSimOptions,
 ) -> Result<Waveform, CsmError> {
-    options.validate()?;
-    if load_capacitance < 0.0 {
-        return Err(CsmError::InvalidParameter(format!(
-            "load capacitance must be non-negative, got {load_capacitance}"
-        )));
-    }
-    let vdd = model.vdd;
-    let steps = (options.t_stop / options.dt).ceil() as usize;
-    let dt = options.t_stop / steps as f64;
-
-    let mut v_o = v_out_initial;
-
-    let mut times = Vec::with_capacity(steps + 1);
-    let mut out_values = Vec::with_capacity(steps + 1);
-    times.push(0.0);
-    out_values.push(v_o);
-
-    let advance = |v_a: f64, v_b: f64, v_o: f64, v_a_next: f64, v_b_next: f64, h: f64| -> f64 {
-        let (cm_a, cm_b, c_o) = model.capacitances(v_a, v_b, v_o);
-        let io_prev = model.output_current(v_a, v_b, v_o);
-        let denom = (load_capacitance + c_o + cm_a + cm_b).max(1e-21);
-        let miller_kick = cm_a * (v_a_next - v_a) + cm_b * (v_b_next - v_b);
-        let mut v_o_next = v_o + (miller_kick - io_prev * h) / denom;
-        if options.integration == CsmIntegration::PredictorCorrector {
-            let io_pred = model.output_current(v_a_next, v_b_next, clamp_voltage(v_o_next, vdd));
-            v_o_next = v_o + (miller_kick - 0.5 * (io_prev + io_pred) * h) / denom;
-        }
-        v_o_next
-    };
-
-    for k in 0..steps {
-        let t_prev = k as f64 * dt;
-        let t_next = (k + 1) as f64 * dt;
-        let probe = advance(
-            a.eval(t_prev),
-            b.eval(t_prev),
-            v_o,
-            a.eval(t_next),
-            b.eval(t_next),
-            dt,
-        );
-        let n_sub = substeps_for(&[probe - v_o]);
-        let h = dt / n_sub as f64;
-        for s in 0..n_sub {
-            let t0 = t_prev + s as f64 * h;
-            let t1 = t0 + h;
-            let next = advance(a.eval(t0), b.eval(t0), v_o, a.eval(t1), b.eval(t1), h);
-            v_o = clamp_voltage(next, vdd);
-        }
-        times.push(t_next);
-        out_values.push(v_o);
-    }
-
-    Ok(Waveform::new(times, out_values)?)
+    let inputs = [a.clone(), b.clone()];
+    Ok(Simulation::of(model)
+        .inputs(&inputs)
+        .load(load_capacitance)
+        .initial_output(v_out_initial)
+        .options(options.clone())
+        .run()?
+        .output)
 }
 
 /// Simulates the single-input-switching model (Section 2.1): only `input` drives
@@ -279,6 +518,10 @@ pub fn simulate_mis_baseline(
 /// # Errors
 ///
 /// Returns [`CsmError::InvalidParameter`] for invalid options or a negative load.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulation::of(&model).input(..).load(..).run()` — this wrapper delegates to it"
+)]
 pub fn simulate_sis(
     model: &SisModel,
     input: &DriveWaveform,
@@ -286,53 +529,13 @@ pub fn simulate_sis(
     v_out_initial: f64,
     options: &CsmSimOptions,
 ) -> Result<Waveform, CsmError> {
-    options.validate()?;
-    if load_capacitance < 0.0 {
-        return Err(CsmError::InvalidParameter(format!(
-            "load capacitance must be non-negative, got {load_capacitance}"
-        )));
-    }
-    let vdd = model.vdd;
-    let steps = (options.t_stop / options.dt).ceil() as usize;
-    let dt = options.t_stop / steps as f64;
-
-    let mut v_o = v_out_initial;
-
-    let mut times = Vec::with_capacity(steps + 1);
-    let mut out_values = Vec::with_capacity(steps + 1);
-    times.push(0.0);
-    out_values.push(v_o);
-
-    let advance = |v_in: f64, v_o: f64, v_in_next: f64, h: f64| -> f64 {
-        let (cm, c_o) = model.capacitances(v_in, v_o);
-        let io_prev = model.output_current(v_in, v_o);
-        let denom = (load_capacitance + c_o + cm).max(1e-21);
-        let miller_kick = cm * (v_in_next - v_in);
-        let mut v_o_next = v_o + (miller_kick - io_prev * h) / denom;
-        if options.integration == CsmIntegration::PredictorCorrector {
-            let io_pred = model.output_current(v_in_next, clamp_voltage(v_o_next, vdd));
-            v_o_next = v_o + (miller_kick - 0.5 * (io_prev + io_pred) * h) / denom;
-        }
-        v_o_next
-    };
-
-    for k in 0..steps {
-        let t_prev = k as f64 * dt;
-        let t_next = (k + 1) as f64 * dt;
-        let probe = advance(input.eval(t_prev), v_o, input.eval(t_next), dt);
-        let n_sub = substeps_for(&[probe - v_o]);
-        let h = dt / n_sub as f64;
-        for s in 0..n_sub {
-            let t0 = t_prev + s as f64 * h;
-            let t1 = t0 + h;
-            let next = advance(input.eval(t0), v_o, input.eval(t1), h);
-            v_o = clamp_voltage(next, vdd);
-        }
-        times.push(t_next);
-        out_values.push(v_o);
-    }
-
-    Ok(Waveform::new(times, out_values)?)
+    Ok(Simulation::of(model)
+        .input(input.clone())
+        .load(load_capacitance)
+        .initial_output(v_out_initial)
+        .options(options.clone())
+        .run()?
+        .output)
 }
 
 #[cfg(test)]
@@ -342,42 +545,80 @@ mod tests {
     use crate::model::mis_baseline::synthetic_baseline;
     use crate::model::sis::synthetic_sis;
 
+    fn mcsm_sim<'a>(
+        model: &'a McsmModel,
+        inputs: &[DriveWaveform],
+        load: f64,
+        options: &CsmSimOptions,
+    ) -> Simulation<'a> {
+        Simulation::of(model)
+            .inputs(inputs)
+            .load(load)
+            .initial_output(0.0)
+            .options(options.clone())
+    }
+
+    fn falling_pair() -> [DriveWaveform; 2] {
+        [
+            DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12),
+            DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12),
+        ]
+    }
+
     #[test]
     fn options_validation() {
         let m = synthetic_model();
-        let a = DriveWaveform::dc(0.0);
-        let b = DriveWaveform::dc(0.0);
+        let inputs = [DriveWaveform::dc(0.0), DriveWaveform::dc(0.0)];
         let bad = CsmSimOptions::new(0.0, 1e-12);
-        assert!(simulate_mcsm(&m, &a, &b, 1e-15, 0.0, None, &bad).is_err());
-        let bad_load = CsmSimOptions::new(1e-9, 1e-12);
-        assert!(simulate_mcsm(&m, &a, &b, -1.0, 0.0, None, &bad_load).is_err());
-        assert!(simulate_mis_baseline(&synthetic_baseline(), &a, &b, -1.0, 0.0, &bad_load).is_err());
-        assert!(simulate_sis(&synthetic_sis(), &a, -1.0, 0.0, &bad_load).is_err());
+        assert!(mcsm_sim(&m, &inputs, 1e-15, &bad).run().is_err());
+        let good = CsmSimOptions::new(1e-9, 1e-12);
+        // Negative load.
+        assert!(mcsm_sim(&m, &inputs, -1.0, &good).run().is_err());
+        // Wrong input arity.
+        assert!(Simulation::of(&m)
+            .input(DriveWaveform::dc(0.0))
+            .options(good.clone())
+            .run()
+            .is_err());
+        // Wrong state dimension.
+        assert!(mcsm_sim(&m, &inputs, 1e-15, &good)
+            .initial_state(&[0.0, 0.0])
+            .run()
+            .is_err());
     }
 
     #[test]
     fn mcsm_output_rises_when_inputs_fall() {
         let m = synthetic_model();
         // NOR2-like synthetic model: both inputs falling → output should rise.
-        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
-        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let inputs = falling_pair();
         let opts = CsmSimOptions::new(3e-9, 0.5e-12);
-        let result = simulate_mcsm(&m, &a, &b, 2e-15, 0.0, None, &opts).unwrap();
+        let result = mcsm_sim(&m, &inputs, 2e-15, &opts).run().unwrap();
         assert!(result.output.value_at(0.0) < 0.1);
-        assert!(result.output.final_value() > 1.0, "final = {}", result.output.final_value());
+        assert!(
+            result.output.final_value() > 1.0,
+            "final = {}",
+            result.output.final_value()
+        );
         // The internal node also ends near the rail.
-        assert!(result.internal.final_value() > 0.8);
+        assert_eq!(result.state_traces.len(), 1);
+        assert!(result.internal().unwrap().final_value() > 0.8);
     }
 
     #[test]
     fn mcsm_initial_internal_state_matters() {
         let m = synthetic_model();
-        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
-        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let inputs = falling_pair();
         let opts = CsmSimOptions::new(2e-9, 0.5e-12);
         let cl = 1e-15;
-        let fast = simulate_mcsm(&m, &a, &b, cl, 0.0, Some(1.2), &opts).unwrap();
-        let slow = simulate_mcsm(&m, &a, &b, cl, 0.0, Some(0.2), &opts).unwrap();
+        let fast = mcsm_sim(&m, &inputs, cl, &opts)
+            .initial_state(&[1.2])
+            .run()
+            .unwrap();
+        let slow = mcsm_sim(&m, &inputs, cl, &opts)
+            .initial_state(&[0.2])
+            .run()
+            .unwrap();
         let t_fast = fast.output.crossing(0.6, true).unwrap();
         let t_slow = slow.output.crossing(0.6, true).unwrap();
         assert!(
@@ -389,13 +630,12 @@ mod tests {
     #[test]
     fn predictor_corrector_matches_explicit_at_small_steps() {
         let m = synthetic_model();
-        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
-        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let inputs = falling_pair();
         let fine = CsmSimOptions::new(2e-9, 0.2e-12);
         let mut pc = fine.clone();
         pc.integration = CsmIntegration::PredictorCorrector;
-        let explicit = simulate_mcsm(&m, &a, &b, 2e-15, 0.0, None, &fine).unwrap();
-        let corrected = simulate_mcsm(&m, &a, &b, 2e-15, 0.0, None, &pc).unwrap();
+        let explicit = mcsm_sim(&m, &inputs, 2e-15, &fine).run().unwrap();
+        let corrected = mcsm_sim(&m, &inputs, 2e-15, &pc).run().unwrap();
         let nrmse = corrected
             .output
             .normalized_rmse_against(&explicit.output, 1.2)
@@ -406,19 +646,33 @@ mod tests {
     #[test]
     fn baseline_output_rises_when_inputs_fall() {
         let m = synthetic_baseline();
-        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
-        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let inputs = falling_pair();
         let opts = CsmSimOptions::new(3e-9, 0.5e-12);
-        let out = simulate_mis_baseline(&m, &a, &b, 2e-15, 0.0, &opts).unwrap();
-        assert!(out.final_value() > 1.0);
+        let result = Simulation::of(&m)
+            .inputs(&inputs)
+            .load(2e-15)
+            .initial_output(0.0)
+            .options(opts)
+            .run()
+            .unwrap();
+        assert!(result.output.final_value() > 1.0);
+        // Stateless model: no internal traces.
+        assert!(result.state_traces.is_empty());
+        assert!(result.internal().is_none());
     }
 
     #[test]
     fn sis_inverter_like_response() {
         let m = synthetic_sis();
-        let input = DriveWaveform::rising_ramp(1.2, 0.2e-9, 50e-12);
         let opts = CsmSimOptions::new(3e-9, 0.5e-12);
-        let out = simulate_sis(&m, &input, 2e-15, 1.2, &opts).unwrap();
+        let out = Simulation::of(&m)
+            .input(DriveWaveform::rising_ramp(1.2, 0.2e-9, 50e-12))
+            .load(2e-15)
+            .initial_output(1.2)
+            .options(opts)
+            .run()
+            .unwrap()
+            .output;
         assert!(out.value_at(0.0) > 1.1);
         assert!(out.final_value() < 0.2);
     }
@@ -426,13 +680,53 @@ mod tests {
     #[test]
     fn heavier_load_slows_the_transition() {
         let m = synthetic_model();
-        let a = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
-        let b = DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12);
+        let inputs = falling_pair();
         let opts = CsmSimOptions::new(4e-9, 0.5e-12);
-        let light = simulate_mcsm(&m, &a, &b, 1e-15, 0.0, None, &opts).unwrap();
-        let heavy = simulate_mcsm(&m, &a, &b, 8e-15, 0.0, None, &opts).unwrap();
+        let light = mcsm_sim(&m, &inputs, 1e-15, &opts).run().unwrap();
+        let heavy = mcsm_sim(&m, &inputs, 8e-15, &opts).run().unwrap();
         let t_light = light.output.crossing(0.6, true).unwrap();
         let t_heavy = heavy.output.crossing(0.6, true).unwrap();
         assert!(t_heavy > t_light);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder_bit_for_bit() {
+        // The wrappers delegate to the same engine; the waveforms must be
+        // identical to the last bit, not merely close.
+        let mcsm = synthetic_model();
+        let baseline = synthetic_baseline();
+        let sis = synthetic_sis();
+        let [a, b] = falling_pair();
+        let opts = CsmSimOptions::new(2e-9, 0.5e-12);
+
+        let wrapper = simulate_mcsm(&mcsm, &a, &b, 2e-15, 0.0, Some(0.4), &opts).unwrap();
+        let built = mcsm_sim(&mcsm, &[a.clone(), b.clone()], 2e-15, &opts)
+            .initial_state(&[0.4])
+            .run()
+            .unwrap();
+        assert_eq!(wrapper.output, built.output);
+        assert_eq!(&wrapper.internal, built.internal().unwrap());
+
+        let wrapper = simulate_mis_baseline(&baseline, &a, &b, 2e-15, 0.0, &opts).unwrap();
+        let built = Simulation::of(&baseline)
+            .inputs(&[a.clone(), b.clone()])
+            .load(2e-15)
+            .initial_output(0.0)
+            .options(opts.clone())
+            .run()
+            .unwrap();
+        assert_eq!(wrapper, built.output);
+
+        let rise = DriveWaveform::rising_ramp(1.2, 0.2e-9, 50e-12);
+        let wrapper = simulate_sis(&sis, &rise, 2e-15, 1.2, &opts).unwrap();
+        let built = Simulation::of(&sis)
+            .input(rise)
+            .load(2e-15)
+            .initial_output(1.2)
+            .options(opts)
+            .run()
+            .unwrap();
+        assert_eq!(wrapper, built.output);
     }
 }

@@ -1,18 +1,42 @@
-//! Persistence of characterized models.
+//! Persistence and resolution of characterized models.
 //!
 //! Characterization is the expensive, once-per-library step of the flow; the
 //! resulting tables are reused across every timing run. [`ModelStore`] bundles
-//! the three model families for one cell and serializes to JSON so examples,
-//! benches and downstream tools can share characterized data.
+//! the three model families for one cell, serializes to JSON so examples,
+//! benches and downstream tools can share characterized data, and — through
+//! [`ModelStore::resolve`] — hands out `dyn CellModel` handles so callers pick
+//! a model *family* ([`ModelBackend`]) instead of naming concrete types.
 
 use crate::error::CsmError;
-use crate::model::{McsmModel, MisBaselineModel, SisModel};
-use serde::{Deserialize, Serialize};
+use crate::model::{CellModel, McsmModel, MisBaselineModel, SisModel};
+use crate::selective::{SelectiveModel, SelectivePolicy};
+use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
 use std::fs;
 use std::path::Path;
 
+/// Which model family a caller wants a [`ModelStore`] to resolve.
+///
+/// This is the core-level counterpart of the STA crate's `DelayBackend`: the
+/// STA layer adds fallback policy on top, while `resolve` is strict — asking
+/// for a family the store does not hold is an error, never a silent downgrade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelBackend {
+    /// The single-input-switching model characterized for the given pin.
+    Sis {
+        /// The switching pin the model was characterized for.
+        pin: usize,
+    },
+    /// The baseline MIS model (no internal node; Section 3.1).
+    BaselineMis,
+    /// The complete MCSM (internal node modeled; Sections 3.2–3.4).
+    CompleteMcsm,
+    /// Selective modeling (Section 3.4): the policy picks the complete or the
+    /// simple model per cell instance from the load it drives.
+    Selective(SelectivePolicy),
+}
+
 /// A bundle of characterized models for one cell.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ModelStore {
     /// The complete MCSM, if characterized.
     pub mcsm: Option<McsmModel>,
@@ -28,13 +52,72 @@ impl ModelStore {
         ModelStore::default()
     }
 
+    /// Resolves a backend request into an evaluatable model.
+    ///
+    /// `load_capacitance` is the lumped load the cell instance drives; it is
+    /// only consulted by [`ModelBackend::Selective`], where it feeds the §3.4
+    /// load-ratio policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsmError::MissingModel`] when the requested family (for
+    /// `Selective`: both the complete and the simple family) is not in the
+    /// store. There is deliberately no fallback here — timing-level fallback
+    /// policy belongs to the STA layer, where it can be reported.
+    pub fn resolve(
+        &self,
+        backend: ModelBackend,
+        load_capacitance: f64,
+    ) -> Result<Box<dyn CellModel + '_>, CsmError> {
+        match backend {
+            ModelBackend::Sis { pin } => {
+                let sis = self.sis_for_pin(pin).ok_or_else(|| {
+                    CsmError::MissingModel(format!("store has no SIS model for pin {pin}"))
+                })?;
+                Ok(Box::new(sis))
+            }
+            ModelBackend::BaselineMis => {
+                let baseline = self.mis_baseline.as_ref().ok_or_else(|| {
+                    CsmError::MissingModel("store has no baseline MIS model".into())
+                })?;
+                Ok(Box::new(baseline))
+            }
+            ModelBackend::CompleteMcsm => {
+                let mcsm = self
+                    .mcsm
+                    .as_ref()
+                    .ok_or_else(|| CsmError::MissingModel("store has no complete MCSM".into()))?;
+                Ok(Box::new(mcsm))
+            }
+            ModelBackend::Selective(policy) => {
+                let complete = self.mcsm.as_ref().ok_or_else(|| {
+                    CsmError::MissingModel(
+                        "selective modeling needs the complete MCSM, which the store lacks".into(),
+                    )
+                })?;
+                let simple = self.mis_baseline.as_ref().ok_or_else(|| {
+                    CsmError::MissingModel(
+                        "selective modeling needs the baseline MIS model, which the store lacks"
+                            .into(),
+                    )
+                })?;
+                Ok(Box::new(SelectiveModel::new(
+                    complete,
+                    simple,
+                    policy,
+                    load_capacitance,
+                )))
+            }
+        }
+    }
+
     /// Serializes the store to a pretty-printed JSON string.
     ///
     /// # Errors
     ///
     /// Returns [`CsmError::Storage`] if serialization fails.
     pub fn to_json(&self) -> Result<String, CsmError> {
-        serde_json::to_string_pretty(self).map_err(|e| CsmError::Storage(e.to_string()))
+        Ok(ToJson::to_json(self).to_string_pretty())
     }
 
     /// Deserializes a store from JSON.
@@ -43,7 +126,8 @@ impl ModelStore {
     ///
     /// Returns [`CsmError::Storage`] if parsing fails.
     pub fn from_json(json: &str) -> Result<Self, CsmError> {
-        serde_json::from_str(json).map_err(|e| CsmError::Storage(e.to_string()))
+        let doc = JsonValue::parse(json).map_err(|e| CsmError::Storage(e.to_string()))?;
+        FromJson::from_json(&doc).map_err(|e: JsonError| CsmError::Storage(e.to_string()))
     }
 
     /// Writes the store to a file as JSON.
@@ -72,11 +156,65 @@ impl ModelStore {
     }
 }
 
+impl ToJson for ModelStore {
+    fn to_json(&self) -> JsonValue {
+        let option = |m: Option<JsonValue>| m.unwrap_or(JsonValue::Null);
+        JsonValue::Object(vec![
+            (
+                "mcsm".into(),
+                option(self.mcsm.as_ref().map(ToJson::to_json)),
+            ),
+            (
+                "mis_baseline".into(),
+                option(self.mis_baseline.as_ref().map(ToJson::to_json)),
+            ),
+            (
+                "sis".into(),
+                JsonValue::Array(self.sis.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ModelStore {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let optional = |key: &str| -> Result<Option<&JsonValue>, JsonError> {
+            match value.require(key)? {
+                JsonValue::Null => Ok(None),
+                present => Ok(Some(present)),
+            }
+        };
+        Ok(ModelStore {
+            mcsm: optional("mcsm")?.map(McsmModel::from_json).transpose()?,
+            mis_baseline: optional("mis_baseline")?
+                .map(MisBaselineModel::from_json)
+                .transpose()?,
+            sis: value
+                .require("sis")?
+                .as_array()
+                .ok_or_else(|| JsonError("`sis` must be an array".into()))?
+                .iter()
+                .map(SisModel::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::mcsm::synthetic_model;
+    use crate::model::mis_baseline::synthetic_baseline;
     use crate::model::sis::synthetic_sis;
+    use crate::selective::ModelChoice;
+
+    fn full_store() -> ModelStore {
+        let mut store = ModelStore::new();
+        store.mcsm = Some(synthetic_model());
+        store.mis_baseline = Some(synthetic_baseline());
+        store.sis.push(synthetic_sis());
+        store
+    }
 
     #[test]
     fn json_round_trip() {
@@ -111,6 +249,71 @@ mod tests {
         assert!(matches!(
             ModelStore::load(&dir.join("definitely_missing_mcsm.json")),
             Err(CsmError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_hands_out_every_family() {
+        let store = full_store();
+        let sis = store.resolve(ModelBackend::Sis { pin: 0 }, 1e-15).unwrap();
+        assert_eq!((sis.num_pins(), sis.num_state_nodes()), (1, 0));
+        let baseline = store.resolve(ModelBackend::BaselineMis, 1e-15).unwrap();
+        assert_eq!((baseline.num_pins(), baseline.num_state_nodes()), (2, 0));
+        let mcsm = store.resolve(ModelBackend::CompleteMcsm, 1e-15).unwrap();
+        assert_eq!((mcsm.num_pins(), mcsm.num_state_nodes()), (2, 1));
+    }
+
+    #[test]
+    fn resolve_selective_follows_the_load() {
+        let store = full_store();
+        let own = store
+            .mcsm
+            .as_ref()
+            .unwrap()
+            .representative_output_capacitance();
+        let policy = SelectivePolicy::default();
+        let light = store
+            .resolve(ModelBackend::Selective(policy), 0.5 * own)
+            .unwrap();
+        assert_eq!(
+            light.num_state_nodes(),
+            1,
+            "light load keeps the internal node"
+        );
+        let heavy = store
+            .resolve(ModelBackend::Selective(policy), 100.0 * own)
+            .unwrap();
+        assert_eq!(
+            heavy.num_state_nodes(),
+            0,
+            "heavy load drops the internal node"
+        );
+        assert_eq!(
+            policy.choose(store.mcsm.as_ref().unwrap(), 100.0 * own),
+            ModelChoice::SimpleMis
+        );
+    }
+
+    #[test]
+    fn resolve_is_strict_about_missing_families() {
+        let empty = ModelStore::new();
+        for backend in [
+            ModelBackend::Sis { pin: 0 },
+            ModelBackend::BaselineMis,
+            ModelBackend::CompleteMcsm,
+            ModelBackend::Selective(SelectivePolicy::default()),
+        ] {
+            assert!(matches!(
+                empty.resolve(backend, 1e-15),
+                Err(CsmError::MissingModel(_))
+            ));
+        }
+        // Selective also fails when only one of its two families is present.
+        let mut only_mcsm = ModelStore::new();
+        only_mcsm.mcsm = Some(synthetic_model());
+        assert!(matches!(
+            only_mcsm.resolve(ModelBackend::Selective(SelectivePolicy::default()), 1e-15),
+            Err(CsmError::MissingModel(_))
         ));
     }
 }

@@ -11,14 +11,14 @@
 //! * [`Table1`] — `(V_in)`, input pin capacitances (Eq. 3).
 
 use mcsm_num::grid::Axis;
+use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
 use mcsm_num::lut::LutNd;
 use mcsm_num::NumError;
-use serde::{Deserialize, Serialize};
 
 macro_rules! voltage_table {
     ($(#[$doc:meta])* $name:ident, $dims:expr, [$($arg:ident),+]) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        #[derive(Debug, Clone, PartialEq)]
         pub struct $name {
             lut: LutNd,
         }
@@ -72,6 +72,19 @@ macro_rules! voltage_table {
             /// Returns [`NumError::InvalidQuery`] for an out-of-range axis.
             pub fn partial(&self, coords: &[f64; $dims], axis: usize) -> Result<f64, NumError> {
                 self.lut.eval_partial(coords, axis)
+            }
+        }
+
+        impl ToJson for $name {
+            fn to_json(&self) -> JsonValue {
+                self.lut.to_json()
+            }
+        }
+
+        impl FromJson for $name {
+            fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+                let lut = LutNd::from_json(value)?;
+                $name::new(lut).map_err(|e| JsonError(format!("invalid table: {e}")))
             }
         }
     };
@@ -167,10 +180,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = Table2::from_fn([axis(3), axis(3)], |v| v[0] * v[1]).unwrap();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Table2 = serde_json::from_str(&json).unwrap();
+        let text = t.to_json().to_string_pretty();
+        let back = Table2::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
         assert_eq!(t, back);
+        // A 2-axis document does not deserialize as a 4-D table.
+        assert!(Table4::from_json(&JsonValue::parse(&text).unwrap()).is_err());
     }
 }

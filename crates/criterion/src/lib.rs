@@ -1,0 +1,176 @@
+//! A dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io, so the
+//! real `criterion` crate cannot be used. This crate implements the small API
+//! subset the `mcsm-bench` benches rely on — `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros and the `Bencher::iter` timing loop — with a simple
+//! warmup + median-of-samples measurement. Numbers printed by this harness are
+//! wall-clock medians, not the statistically rigorous estimates real criterion
+//! produces; they are good enough to compare orders of magnitude.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from anything printable (matches criterion's API).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name plus a parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the median per-sample duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup iteration so lazily initialized state (allocator
+        // pools, table caches) does not pollute the first sample.
+        std::hint::black_box(routine());
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        self.last_median = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            last_median: None,
+        };
+        f(&mut bencher);
+        match bencher.last_median {
+            Some(median) => println!("{}/{}: median {median:?}", self.name, label),
+            None => println!("{}/{}: no measurement recorded", self.name, label),
+        }
+    }
+
+    /// Benchmarks a closure under the given name.
+    pub fn bench_function<S: fmt::Display, F: FnMut(&mut Bencher)>(&mut self, id: S, f: F) {
+        self.run_one(&id.to_string(), f);
+    }
+
+    /// Benchmarks a closure parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a new benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Groups benchmark functions under one name (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running every group (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count_up", |b| b.iter(|| runs += 1));
+        // warmup + 3 samples.
+        assert_eq!(runs, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(13).to_string(), "13");
+        assert_eq!(BenchmarkId::new("eval", "fine").to_string(), "eval/fine");
+    }
+}

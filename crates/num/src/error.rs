@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn display_invalid_bracket() {
-        let e = NumError::InvalidBracket { f_lo: 1.0, f_hi: 2.0 };
+        let e = NumError::InvalidBracket {
+            f_lo: 1.0,
+            f_hi: 2.0,
+        };
         assert!(e.to_string().contains("sign change"));
     }
 }

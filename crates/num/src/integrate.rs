@@ -9,10 +9,8 @@
 //!   [`explicit_step`] is that one-liner given a name so it can be documented and
 //!   tested once.
 
-use serde::{Deserialize, Serialize};
-
 /// Integration method used to build capacitor companion models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CompanionMethod {
     /// First-order backward Euler: robust, strongly damped.
     #[default]
@@ -94,7 +92,13 @@ pub fn truncation_error(full_step: f64, two_half_steps: f64) -> f64 {
 
 /// Suggests the next time step given the current step, an error estimate and a
 /// tolerance, bounded to `[shrink_limit, grow_limit]` times the current step.
-pub fn suggest_step(dt: f64, error: f64, tolerance: f64, shrink_limit: f64, grow_limit: f64) -> f64 {
+pub fn suggest_step(
+    dt: f64,
+    error: f64,
+    tolerance: f64,
+    shrink_limit: f64,
+    grow_limit: f64,
+) -> f64 {
     if error <= 0.0 || !error.is_finite() {
         return dt * grow_limit;
     }
@@ -128,24 +132,28 @@ mod tests {
     #[test]
     fn backward_euler_tracks_rc_discharge() {
         let v = simulate_rc(CompanionMethod::BackwardEuler, 2_000);
-        let expected = (-5e-9 / (1_000.0 * 1e-12) as f64).exp();
+        let expected = (-5e-9_f64 / (1_000.0 * 1e-12)).exp();
         assert!((v - expected).abs() < 5e-3, "v = {v}, expected {expected}");
     }
 
     #[test]
     fn trapezoidal_is_more_accurate_than_backward_euler() {
         let steps = 100;
-        let expected = (-5e-9 / (1_000.0 * 1e-12) as f64).exp();
+        let expected = (-5e-9_f64 / (1_000.0 * 1e-12)).exp();
         let be = (simulate_rc(CompanionMethod::BackwardEuler, steps) - expected).abs();
         let trap = (simulate_rc(CompanionMethod::Trapezoidal, steps) - expected).abs();
-        assert!(trap < be, "trapezoidal ({trap}) should beat backward Euler ({be})");
+        assert!(
+            trap < be,
+            "trapezoidal ({trap}) should beat backward Euler ({be})"
+        );
     }
 
     #[test]
     fn companion_conductance_scales_with_c_over_dt() {
         let comp = CapacitorCompanion::new(CompanionMethod::BackwardEuler, 2e-15, 1e-12, 0.0, 0.0);
         assert!((comp.g_eq - 2e-3).abs() < 1e-15);
-        let comp_trap = CapacitorCompanion::new(CompanionMethod::Trapezoidal, 2e-15, 1e-12, 0.0, 0.0);
+        let comp_trap =
+            CapacitorCompanion::new(CompanionMethod::Trapezoidal, 2e-15, 1e-12, 0.0, 0.0);
         assert!((comp_trap.g_eq - 4e-3).abs() < 1e-15);
     }
 

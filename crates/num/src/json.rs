@@ -1,0 +1,604 @@
+//! Minimal JSON tree, parser and writer.
+//!
+//! The workspace builds in environments without access to crates.io, so model
+//! persistence cannot rely on `serde_json`. This module provides the small JSON
+//! subset the model store needs: a [`JsonValue`] tree, a strict recursive-descent
+//! parser, and a writer whose `f64` formatting round-trips exactly (Rust's
+//! shortest-representation float printing).
+//!
+//! Object key order is preserved, which keeps serialized models diffable.
+
+use std::fmt;
+
+/// Error produced while parsing or converting JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers survive up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with preserved key order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Converts a value into its JSON representation.
+pub trait ToJson {
+    /// The JSON tree for this value.
+    fn to_json(&self) -> JsonValue;
+}
+
+/// Reconstructs a value from its JSON representation.
+pub trait FromJson: Sized {
+    /// Parses the value out of a JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the tree has the wrong shape.
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError>;
+}
+
+impl JsonValue {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError(format!(
+                "trailing characters at byte {pos} of {}",
+                bytes.len()
+            )));
+        }
+        Ok(value)
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, 0, true, &mut out);
+        out
+    }
+
+    /// Serializes without whitespace.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, 0, false, &mut out);
+        out
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Member lookup that fails with a descriptive error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if `self` is not an object or lacks the key.
+    pub fn require(&self, key: &str) -> Result<&JsonValue, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing object member `{key}`")))
+    }
+
+    /// The numeric value, if this node is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a non-negative integer index.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Number(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                Some(*v as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this node is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this node is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this node is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Builds an array node from a slice of `f64` samples.
+    pub fn from_f64_slice(values: &[f64]) -> JsonValue {
+        JsonValue::Array(values.iter().map(|&v| JsonValue::Number(v)).collect())
+    }
+
+    /// Reads a flat `f64` array node back into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if the node is not an array of numbers.
+    pub fn to_f64_vec(&self) -> Result<Vec<f64>, JsonError> {
+        let items = self
+            .as_array()
+            .ok_or_else(|| JsonError("expected an array of numbers".into()))?;
+        items
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| JsonError("expected a number in array".into()))
+            })
+            .collect()
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+/// Nesting bound for the recursive-descent parser: deep enough for any model
+/// document (stores nest ~4 levels), small enough that adversarial input
+/// returns an error instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError(format!(
+            "nesting deeper than {MAX_DEPTH} levels at byte {}",
+            *pos
+        )));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError("unexpected end of input".into())),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(JsonError(format!(
+            "expected `{keyword}` at byte {pos}",
+            pos = *pos
+        )))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError("invalid utf-8 in number".into()))?;
+    let value: f64 = text
+        .parse()
+        .map_err(|_| JsonError(format!("invalid number `{text}` at byte {start}")))?;
+    if !value.is_finite() {
+        return Err(JsonError(format!("non-finite number `{text}`")));
+    }
+    Ok(JsonValue::Number(value))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let b = *bytes
+            .get(*pos)
+            .ok_or_else(|| JsonError("unterminated string".into()))?;
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = *bytes
+                    .get(*pos)
+                    .ok_or_else(|| JsonError("unterminated escape".into()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError("invalid \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError(format!("invalid \\u escape `{hex}`")))?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed by model data; reject them
+                        // rather than silently mangling.
+                        let c = char::from_u32(code).ok_or_else(|| {
+                            JsonError(format!("unsupported code point {code:#x}"))
+                        })?;
+                        out.push(c);
+                    }
+                    other => {
+                        return Err(JsonError(format!("invalid escape `\\{}`", other as char)))
+                    }
+                }
+            }
+            b if b < 0x80 => {
+                // ASCII fast path — the overwhelmingly common case for model data.
+                out.push(b as char);
+                *pos += 1;
+            }
+            _ => {
+                // Decode one multi-byte UTF-8 code point (at most 4 bytes), not
+                // the whole remaining buffer.
+                let end = (*pos + 4).min(bytes.len());
+                let chunk = &bytes[*pos..end];
+                let c = match std::str::from_utf8(chunk) {
+                    Ok(valid) => valid.chars().next(),
+                    Err(e) if e.valid_up_to() > 0 => std::str::from_utf8(&chunk[..e.valid_up_to()])
+                        .expect("validated prefix")
+                        .chars()
+                        .next(),
+                    Err(_) => None,
+                }
+                .ok_or_else(|| JsonError("invalid utf-8 in string".into()))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(JsonError(format!("expected `,` or `]` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(JsonError(format!("expected object key at byte {}", *pos)));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(JsonError(format!("expected `:` at byte {}", *pos)));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(JsonError(format!("expected `,` or `}}` at byte {}", *pos))),
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(v: f64, out: &mut String) {
+    // Non-finite values have no JSON representation; follow JSON.stringify and
+    // emit null so the output always parses. Model tables never contain them —
+    // LutNd::new rejects non-finite samples at construction time.
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's shortest round-trip float formatting; integers print without a
+    // fractional part, which `parse::<f64>` reads back exactly.
+    if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{:.1}", v));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_value(value: &JsonValue, depth: usize, pretty: bool, out: &mut String) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Number(v) => write_number(*v, out),
+        JsonValue::String(s) => write_string(s, out),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            // Flat numeric arrays stay on one line even in pretty mode: model
+            // tables are long and one-number-per-line output is unreadable.
+            let scalar_only = items.iter().all(|v| {
+                matches!(
+                    v,
+                    JsonValue::Number(_) | JsonValue::Bool(_) | JsonValue::Null
+                )
+            });
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                    if pretty && scalar_only {
+                        out.push(' ');
+                    }
+                }
+                if pretty && !scalar_only {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                }
+                write_value(item, depth + 1, pretty, out);
+            }
+            if pretty && !scalar_only {
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            out.push(']');
+        }
+        JsonValue::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                }
+                write_string(key, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(item, depth + 1, pretty, out);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(
+            JsonValue::parse("-1.5e-3").unwrap(),
+            JsonValue::Number(-1.5e-3)
+        );
+        assert_eq!(
+            JsonValue::parse("\"a\\nb\\u0041\"").unwrap(),
+            JsonValue::String("a\nbA".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = JsonValue::parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(doc.require("c").unwrap().as_str(), Some("x"));
+        let a = doc.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[2].get("b"), Some(&JsonValue::Null));
+        assert!(doc.require("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,",
+            "tru",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "1 2",
+            "[1 2]",
+            "nan",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        let values = [
+            0.0,
+            1.2,
+            -0.3,
+            1e-15,
+            2.5e-15,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+            123_456_789.123_456_78,
+            -9.881312916824931e-5,
+        ];
+        let doc = JsonValue::from_f64_slice(&values);
+        for pretty in [true, false] {
+            let text = if pretty {
+                doc.to_string_pretty()
+            } else {
+                doc.to_string_compact()
+            };
+            let back = JsonValue::parse(&text).unwrap().to_f64_vec().unwrap();
+            assert_eq!(back, values.to_vec(), "through {text}");
+        }
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let doc = JsonValue::Object(vec![
+            ("name".into(), JsonValue::String("NOR2".into())),
+            ("values".into(), JsonValue::from_f64_slice(&[1.0, 2.5])),
+            (
+                "nested".into(),
+                JsonValue::Array(vec![JsonValue::Object(vec![(
+                    "k".into(),
+                    JsonValue::Bool(false),
+                )])]),
+            ),
+        ]);
+        let text = doc.to_string_pretty();
+        assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+        let compact = doc.to_string_compact();
+        assert_eq!(JsonValue::parse(&compact).unwrap(), doc);
+        assert!(compact.len() < text.len());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // An adversarial document must produce JsonError, not a stack overflow.
+        let bomb = "[".repeat(200_000);
+        let err = JsonValue::parse(&bomb).unwrap_err();
+        assert!(err.0.contains("nesting"), "{err}");
+        // A document at reasonable depth still parses.
+        let ok = format!("{}1.0{}", "[".repeat(64), "]".repeat(64));
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        // JSON has no NaN/inf; the writer follows JSON.stringify and emits
+        // null, so the output always parses.
+        let doc = JsonValue::Array(vec![
+            JsonValue::Number(f64::NAN),
+            JsonValue::Number(f64::INFINITY),
+            JsonValue::Number(1.5),
+        ]);
+        let text = doc.to_string_compact();
+        assert_eq!(text, "[null,null,1.5]");
+        assert!(JsonValue::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn multibyte_strings_round_trip() {
+        let doc = JsonValue::String("naïve — ßim μΩ 日本語".into());
+        for text in [doc.to_string_pretty(), doc.to_string_compact()] {
+            assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn usize_conversion_guards() {
+        assert_eq!(JsonValue::Number(5.0).as_usize(), Some(5));
+        assert_eq!(JsonValue::Number(-1.0).as_usize(), None);
+        assert_eq!(JsonValue::Number(1.5).as_usize(), None);
+    }
+}

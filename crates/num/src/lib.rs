@@ -16,6 +16,8 @@
 //! * [`rootfind`] — bracketing root finders for threshold-crossing extraction.
 //! * [`stats`] — RMSE / error metrics (paper Eq. 6).
 //! * [`units`] — light newtypes for electrical quantities.
+//! * [`json`] — a dependency-free JSON tree, parser and writer used for model
+//!   persistence (the build environment has no crates.io access).
 //!
 //! # Example
 //!
@@ -37,15 +39,18 @@ pub mod error;
 pub mod grid;
 pub mod integrate;
 pub mod interp;
+pub mod json;
 pub mod lut;
 pub mod matrix;
 pub mod newton;
 pub mod rootfind;
 pub mod stats;
+pub mod testrand;
 pub mod units;
 
 pub use error::NumError;
 pub use grid::Axis;
+pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use lut::LutNd;
 pub use matrix::DenseMatrix;
 pub use newton::{NewtonOptions, NewtonOutcome, NewtonSystem};

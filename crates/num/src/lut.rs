@@ -9,7 +9,7 @@
 
 use crate::error::NumError;
 use crate::grid::Axis;
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// An N-dimensional lookup table evaluated by multilinear interpolation.
 ///
@@ -39,7 +39,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LutNd {
     axes: Vec<Axis>,
     values: Vec<f64>,
@@ -64,6 +64,12 @@ impl LutNd {
                 expected,
                 context: "LutNd::new values length",
             });
+        }
+        if let Some(bad) = values.iter().position(|v| !v.is_finite()) {
+            return Err(NumError::InvalidGrid(format!(
+                "lut sample {bad} is not finite ({})",
+                values[bad]
+            )));
         }
         Ok(LutNd { axes, values })
     }
@@ -305,7 +311,36 @@ impl LutNd {
 
     /// Maximum stored sample value.
     pub fn max_value(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl ToJson for LutNd {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "axes".into(),
+                JsonValue::Array(self.axes.iter().map(ToJson::to_json).collect()),
+            ),
+            ("values".into(), JsonValue::from_f64_slice(&self.values)),
+        ])
+    }
+}
+
+impl FromJson for LutNd {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let axes = value
+            .require("axes")?
+            .as_array()
+            .ok_or_else(|| JsonError("lut `axes` must be an array".into()))?
+            .iter()
+            .map(Axis::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let values = value.require("values")?.to_f64_vec()?;
+        LutNd::new(axes, values).map_err(|e| JsonError(format!("invalid lut: {e}")))
     }
 }
 
@@ -366,6 +401,14 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_samples_rejected() {
+        let err = LutNd::new(vec![axis(3)], vec![0.0, f64::NAN, 1.0]);
+        assert!(matches!(err, Err(NumError::InvalidGrid(_))));
+        let err = LutNd::new(vec![axis(3)], vec![0.0, f64::INFINITY, 1.0]);
+        assert!(matches!(err, Err(NumError::InvalidGrid(_))));
+    }
+
+    #[test]
     fn empty_axes_rejected() {
         assert!(LutNd::new(vec![], vec![]).is_err());
         assert!(LutNd::from_fn(vec![], |_| 0.0).is_err());
@@ -412,51 +455,64 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let lut = LutNd::from_fn(vec![axis(3), axis(3)], |v| v[0] * v[1]).unwrap();
-        let json = serde_json::to_string(&lut).unwrap();
-        let back: LutNd = serde_json::from_str(&json).unwrap();
+        let doc = lut.to_json();
+        let back = LutNd::from_json(&JsonValue::parse(&doc.to_string_pretty()).unwrap()).unwrap();
         assert_eq!(lut, back);
+        // A corrupt document (wrong value count) is rejected.
+        let bad = JsonValue::Object(vec![
+            ("axes".into(), JsonValue::Array(vec![axis(3).to_json()])),
+            ("values".into(), JsonValue::from_f64_slice(&[1.0, 2.0])),
+        ]);
+        assert!(LutNd::from_json(&bad).is_err());
     }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::TestRng;
 
-    proptest! {
-        #[test]
-        fn interpolation_stays_within_sample_bounds(
-            values in proptest::collection::vec(-10.0..10.0f64, 16),
-            qx in -0.5..1.5f64,
-            qy in -0.5..1.5f64
-        ) {
-            let axes = vec![Axis::uniform(0.0, 1.0, 4).unwrap(), Axis::uniform(0.0, 1.0, 4).unwrap()];
+    #[test]
+    fn interpolation_stays_within_sample_bounds() {
+        let mut rng = TestRng::new(0x1a2b3c);
+        for _ in 0..200 {
+            let values: Vec<f64> = (0..16).map(|_| rng.in_range(-10.0, 10.0)).collect();
+            let qx = rng.in_range(-0.5, 1.5);
+            let qy = rng.in_range(-0.5, 1.5);
+            let axes = vec![
+                Axis::uniform(0.0, 1.0, 4).unwrap(),
+                Axis::uniform(0.0, 1.0, 4).unwrap(),
+            ];
             let lut = LutNd::new(axes, values.clone()).unwrap();
             let v = lut.eval(&[qx, qy]).unwrap();
             let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+            assert!(v >= min - 1e-9 && v <= max + 1e-9);
         }
+    }
 
-        #[test]
-        fn grid_points_are_reproduced_exactly(
-            values in proptest::collection::vec(-10.0..10.0f64, 27),
-            ix in 0usize..3,
-            iy in 0usize..3,
-            iz in 0usize..3
-        ) {
+    #[test]
+    fn grid_points_are_reproduced_exactly() {
+        let mut rng = TestRng::new(0x7fe1);
+        for _ in 0..200 {
+            let values: Vec<f64> = (0..27).map(|_| rng.in_range(-10.0, 10.0)).collect();
+            let (ix, iy, iz) = (rng.index(3), rng.index(3), rng.index(3));
             let axes = vec![
                 Axis::uniform(0.0, 1.0, 3).unwrap(),
                 Axis::uniform(-1.0, 1.0, 3).unwrap(),
                 Axis::uniform(0.0, 2.0, 3).unwrap(),
             ];
             let lut = LutNd::new(axes.clone(), values).unwrap();
-            let q = [axes[0].points()[ix], axes[1].points()[iy], axes[2].points()[iz]];
+            let q = [
+                axes[0].points()[ix],
+                axes[1].points()[iy],
+                axes[2].points()[iz],
+            ];
             let direct = lut.at(&[ix, iy, iz]).unwrap();
             let interp = lut.eval(&q).unwrap();
-            prop_assert!((direct - interp).abs() < 1e-9);
+            assert!((direct - interp).abs() < 1e-9);
         }
     }
 }

@@ -6,7 +6,6 @@
 //! `mcsm-spice` stamps directly into a [`DenseMatrix`].
 
 use crate::error::NumError;
-use serde::{Deserialize, Serialize};
 
 /// A dense, row-major matrix of `f64`.
 ///
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,
@@ -96,7 +95,10 @@ impl DenseMatrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -107,7 +109,10 @@ impl DenseMatrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -118,7 +123,10 @@ impl DenseMatrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] += value;
     }
 
@@ -140,11 +148,12 @@ impl DenseMatrix {
                 context: "DenseMatrix::mul_vec",
             });
         }
-        let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
+        let y = (0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect();
         Ok(y)
     }
 
@@ -265,16 +274,16 @@ impl LuFactors {
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[i * n + j] * x[j];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu[i * n + j] * xj;
             }
             x[i] = sum;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[i * n + j] * x[j];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lu[i * n + j] * xj;
             }
             x[i] = sum / self.lu[i * n + i];
         }
@@ -409,47 +418,48 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::TestRng;
 
-    fn well_conditioned_matrix(n: usize) -> impl Strategy<Value = DenseMatrix> {
-        // Diagonally dominant matrices are always solvable.
-        proptest::collection::vec(proptest::collection::vec(-1.0..1.0f64, n), n).prop_map(
-            move |rows| {
-                let mut m = DenseMatrix::zeros(n, n);
-                for (i, row) in rows.iter().enumerate() {
-                    let mut diag = 0.0;
-                    for (j, &v) in row.iter().enumerate() {
-                        if i != j {
-                            m.set(i, j, v);
-                            diag += v.abs();
-                        }
-                    }
-                    m.set(i, i, diag + 1.0);
+    /// Diagonally dominant matrices are always solvable.
+    fn well_conditioned_matrix(n: usize, rng: &mut TestRng) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            let mut diag = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = rng.in_range(-1.0, 1.0);
+                    m.set(i, j, v);
+                    diag += v.abs();
                 }
-                m
-            },
-        )
+            }
+            m.set(i, i, diag + 1.0);
+        }
+        m
     }
 
-    proptest! {
-        #[test]
-        fn solve_then_multiply_recovers_rhs(
-            a in well_conditioned_matrix(5),
-            b in proptest::collection::vec(-10.0..10.0f64, 5)
-        ) {
+    #[test]
+    fn solve_then_multiply_recovers_rhs() {
+        let mut rng = TestRng::new(0xdeca);
+        for _ in 0..100 {
+            let a = well_conditioned_matrix(5, &mut rng);
+            let b: Vec<f64> = (0..5).map(|_| rng.in_range(-10.0, 10.0)).collect();
             let x = a.solve(&b).unwrap();
             let back = a.mul_vec(&x).unwrap();
             for (bi, ri) in b.iter().zip(&back) {
-                prop_assert!((bi - ri).abs() < 1e-8);
+                assert!((bi - ri).abs() < 1e-8);
             }
         }
+    }
 
-        #[test]
-        fn identity_is_neutral(b in proptest::collection::vec(-100.0..100.0f64, 6)) {
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let b: Vec<f64> = (0..6).map(|_| rng.in_range(-100.0, 100.0)).collect();
             let a = DenseMatrix::identity(6);
             let x = a.solve(&b).unwrap();
             for (xi, bi) in x.iter().zip(&b) {
-                prop_assert!((xi - bi).abs() < 1e-12);
+                assert!((xi - bi).abs() < 1e-12);
             }
         }
     }

@@ -142,8 +142,8 @@ pub fn solve_newton<S: NewtonSystem>(
 
         last_update = vec_norm_inf(&dx);
         let x_norm = vec_norm_inf(&x).max(1.0);
-        let converged_update = !clamped
-            && last_update < options.tolerance_abs + options.tolerance_rel * x_norm;
+        let converged_update =
+            !clamped && last_update < options.tolerance_abs + options.tolerance_rel * x_norm;
         let converged_residual = last_residual < options.residual_tolerance;
 
         if converged_update || (converged_residual && iteration > 1) {
@@ -233,8 +233,7 @@ mod tests {
 
     #[test]
     fn scalar_quadratic_converges_to_positive_root() {
-        let (x, outcome) =
-            solve_newton(&mut Quadratic, &[3.0], &NewtonOptions::default()).unwrap();
+        let (x, outcome) = solve_newton(&mut Quadratic, &[3.0], &NewtonOptions::default()).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-8);
         assert!(outcome.iterations < 30);
     }

@@ -199,29 +199,31 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::TestRng;
 
-    proptest! {
-        #[test]
-        fn rmse_bounded_by_max_error(
-            a in proptest::collection::vec(-5.0..5.0f64, 1..40),
-            offsets in proptest::collection::vec(-1.0..1.0f64, 40)
-        ) {
-            let b: Vec<f64> = a.iter().zip(&offsets).map(|(x, o)| x + o).collect();
+    #[test]
+    fn rmse_bounded_by_max_error() {
+        let mut rng = TestRng::new(0x57a7);
+        for _ in 0..200 {
+            let n = 1 + rng.index(39);
+            let a: Vec<f64> = (0..n).map(|_| rng.in_range(-5.0, 5.0)).collect();
+            let b: Vec<f64> = a.iter().map(|x| x + rng.in_range(-1.0, 1.0)).collect();
             let r = rmse(&a, &b).unwrap();
             let m = max_abs_error(&a, &b).unwrap();
             let mae = mean_abs_error(&a, &b).unwrap();
-            prop_assert!(r <= m + 1e-12);
-            prop_assert!(mae <= r + 1e-12);
+            assert!(r <= m + 1e-12);
+            assert!(mae <= r + 1e-12);
         }
+    }
 
-        #[test]
-        fn rmse_is_symmetric(
-            a in proptest::collection::vec(-5.0..5.0f64, 1..20),
-            b_seed in proptest::collection::vec(-5.0..5.0f64, 20)
-        ) {
-            let b = &b_seed[..a.len()];
-            prop_assert!((rmse(&a, b).unwrap() - rmse(b, &a).unwrap()).abs() < 1e-12);
+    #[test]
+    fn rmse_is_symmetric() {
+        let mut rng = TestRng::new(0x3e5);
+        for _ in 0..200 {
+            let n = 1 + rng.index(19);
+            let a: Vec<f64> = (0..n).map(|_| rng.in_range(-5.0, 5.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.in_range(-5.0, 5.0)).collect();
+            assert!((rmse(&a, &b).unwrap() - rmse(&b, &a).unwrap()).abs() < 1e-12);
         }
     }
 }

@@ -8,15 +8,13 @@
 //! Each wrapper is a transparent `f64` with arithmetic against its own kind and
 //! scaling by plain scalars.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 macro_rules! unit_newtype {
     ($(#[$doc:meta])* $name:ident, $unit:literal) => {
         $(#[$doc])*
-        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
         pub struct $name(pub f64);
 
         impl $name {

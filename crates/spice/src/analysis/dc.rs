@@ -79,7 +79,10 @@ impl DcSolution {
             .position(|v| *v == id)
             .map(|i| self.vsource_currents[i])
             .ok_or_else(|| {
-                SpiceError::InvalidElement(format!("element #{} is not a voltage source", id.index()))
+                SpiceError::InvalidElement(format!(
+                    "element #{} is not a voltage source",
+                    id.index()
+                ))
             })
     }
 
@@ -91,9 +94,7 @@ impl DcSolution {
 
 fn pack_solution(circuit: &Circuit, layout: &MnaLayout, x: Vec<f64>) -> DcSolution {
     let mut voltages = vec![0.0; circuit.node_count()];
-    for idx in 1..circuit.node_count() {
-        voltages[idx] = x[idx - 1];
-    }
+    voltages[1..circuit.node_count()].copy_from_slice(&x[..circuit.node_count() - 1]);
     let vsource_ids = layout.vsources().to_vec();
     let vsource_currents = (0..vsource_ids.len())
         .map(|k| x[layout.vsource_slot(k)])

@@ -166,6 +166,7 @@ pub(crate) struct MnaSystem<'a> {
 }
 
 impl<'a> MnaSystem<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn stamp_conductance(
         &self,
         jacobian: &mut DenseMatrix,
@@ -269,10 +270,8 @@ impl<'a> NewtonSystem for MnaSystem<'a> {
                         }
                     }
                     // Companion models for the capacitive branches.
-                    if let (
-                        AssemblyMode::Transient { dt, method },
-                        Some(state),
-                    ) = (self.mode, self.cap_state)
+                    if let (AssemblyMode::Transient { dt, method }, Some(state)) =
+                        (self.mode, self.cap_state)
                     {
                         let branches = capacitive_branches(element);
                         let offset = state.offsets[elem_idx];
@@ -283,13 +282,7 @@ impl<'a> NewtonSystem for MnaSystem<'a> {
                             let (v_prev, i_prev) = state.branches[offset + k];
                             let comp = CapacitorCompanion::new(method, *c, dt, v_prev, i_prev);
                             self.stamp_conductance(
-                                jacobian,
-                                residual,
-                                *a,
-                                *b,
-                                comp.g_eq,
-                                x,
-                                comp.i_eq,
+                                jacobian, residual, *a, *b, comp.g_eq, x, comp.i_eq,
                             );
                         }
                     }

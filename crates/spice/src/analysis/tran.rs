@@ -182,9 +182,7 @@ pub fn transient(circuit: &Circuit, options: &TranOptions) -> Result<TranResult,
                     state_local = state_new;
                     t_local = t_next;
                     remaining = t_target - t_local;
-                    if halvings > 0 {
-                        halvings -= 1;
-                    }
+                    halvings = halvings.saturating_sub(1);
                 }
                 Err(detail) => {
                     halvings += 1;

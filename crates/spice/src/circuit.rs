@@ -9,13 +9,12 @@
 use crate::devices::mosfet::{MosfetGeometry, MosfetParams};
 use crate::error::SpiceError;
 use crate::source::SourceWaveform;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a circuit node.
 ///
 /// `NodeId::GROUND` is the reference node; every circuit has it implicitly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -34,7 +33,7 @@ impl NodeId {
 }
 
 /// Identifier of an element within its circuit (index into the element list).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ElementId(pub(crate) usize);
 
 impl ElementId {
@@ -45,7 +44,7 @@ impl ElementId {
 }
 
 /// A netlist element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Element {
     /// A linear resistor between two nodes.
     Resistor {
@@ -133,7 +132,7 @@ impl Element {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Circuit {
     node_names: Vec<String>,
     name_to_node: HashMap<String, NodeId>,
@@ -236,7 +235,12 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects unknown nodes and non-positive resistance.
-    pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<ElementId, SpiceError> {
+    pub fn add_resistor(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<ElementId, SpiceError> {
         self.check_node(a, "resistor")?;
         self.check_node(b, "resistor")?;
         if !(ohms > 0.0) || !ohms.is_finite() {
@@ -449,18 +453,9 @@ mod tests {
         assert!(c.add_resistor(a, Circuit::ground(), 0.0).is_err());
         assert!(c.add_resistor(a, Circuit::ground(), -5.0).is_err());
         assert!(c.add_capacitor(a, Circuit::ground(), -1e-15).is_err());
+        assert!(c.add_vsource(a, a, SourceWaveform::dc(1.0)).is_err());
         assert!(c
-            .add_vsource(a, a, SourceWaveform::dc(1.0))
-            .is_err());
-        assert!(c
-            .add_mosfet(
-                a,
-                a,
-                a,
-                a,
-                any_params(),
-                MosfetGeometry::new(0.0, 0.13e-6)
-            )
+            .add_mosfet(a, a, a, a, any_params(), MosfetGeometry::new(0.0, 0.13e-6))
             .is_err());
     }
 

@@ -21,10 +21,8 @@
 //! (stack devices routinely swap roles) and is smooth across all operating
 //! regions, which keeps the Newton iterations robust.
 
-use serde::{Deserialize, Serialize};
-
 /// Channel polarity of a MOSFET.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MosfetKind {
     /// N-channel device.
     Nmos,
@@ -36,7 +34,7 @@ pub enum MosfetKind {
 ///
 /// All values are in SI units. The defaults in `mcsm-cells` describe a synthetic
 /// 130 nm-like process with a 1.2 V supply.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MosfetParams {
     /// Channel polarity.
     pub kind: MosfetKind,
@@ -75,7 +73,7 @@ impl MosfetParams {
 }
 
 /// Geometry of one MOSFET instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MosfetGeometry {
     /// Drawn channel width (meters).
     pub width: f64,
@@ -119,7 +117,7 @@ pub struct MosfetEval {
 /// keep the transient Jacobian simple. The *cell-level* capacitances that the
 /// MCSM tables store still end up voltage-dependent because different devices
 /// dominate in different regions.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MosfetCaps {
     /// Gate–source capacitance.
     pub cgs: f64,
@@ -217,10 +215,9 @@ pub fn evaluate_ids(
 
     // f_fwd arg: (vp - vsb)/ut ; f_rev arg: (vp - vdb)/ut
     let d_ids_core_dvg = i_s * (df_fwd - df_rev) * dvp_dvg / ut;
-    let d_ids_core_dvd = i_s * (-df_rev) * (-1.0) / ut; // d(vdb)/dvd = 1 → arg derivative -1/ut
+    let d_ids_core_dvd = i_s * df_rev / ut; // d(vdb)/dvd = 1 → arg derivative -1/ut
     let d_ids_core_dvs = i_s * (df_fwd * (dvp_dvs - 1.0) / ut - df_rev * dvp_dvs / ut);
-    let d_ids_core_dvb =
-        i_s * (df_fwd * (dvp_dvb + 1.0) / ut - df_rev * (dvp_dvb + 1.0) / ut);
+    let d_ids_core_dvb = i_s * (df_fwd * (dvp_dvb + 1.0) / ut - df_rev * (dvp_dvb + 1.0) / ut);
 
     let dclm_dvd = params.lambda * vds.signum();
     let dclm_dvs = -params.lambda * vds.signum();

@@ -41,7 +41,10 @@ impl fmt::Display for SpiceError {
                 write!(f, "dc operating point did not converge: {detail}")
             }
             SpiceError::TranConvergence { time, detail } => {
-                write!(f, "transient step at t = {time:.3e} s did not converge: {detail}")
+                write!(
+                    f,
+                    "transient step at t = {time:.3e} s did not converge: {detail}"
+                )
             }
             SpiceError::MissingSignal(name) => write!(f, "no such signal `{name}`"),
             SpiceError::Numerical(e) => write!(f, "numerical error: {e}"),
@@ -70,14 +73,21 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SpiceError::UnknownNode("x".into()).to_string().contains("`x`"));
+        assert!(SpiceError::UnknownNode("x".into())
+            .to_string()
+            .contains("`x`"));
         assert!(SpiceError::DcConvergence { detail: "d".into() }
             .to_string()
             .contains("converge"));
-        assert!(SpiceError::TranConvergence { time: 1e-9, detail: "d".into() }
+        assert!(SpiceError::TranConvergence {
+            time: 1e-9,
+            detail: "d".into()
+        }
+        .to_string()
+        .contains("transient"));
+        assert!(SpiceError::MissingSignal("out".into())
             .to_string()
-            .contains("transient"));
-        assert!(SpiceError::MissingSignal("out".into()).to_string().contains("out"));
+            .contains("out"));
     }
 
     #[test]

@@ -5,10 +5,8 @@
 //! stimulus of library characterization — is a first-class variant rather than a
 //! special case of PWL so that call sites stay readable.
 
-use serde::{Deserialize, Serialize};
-
 /// An analytic waveform shape evaluated at absolute simulation time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SourceWaveform {
     /// A constant level.
     Dc {
@@ -273,13 +271,5 @@ mod tests {
         let w = SourceWaveform::Pwl { points: vec![] };
         assert_eq!(w.eval(1.0), 0.0);
         assert_eq!(w.final_value(), 0.0);
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let w = SourceWaveform::rising_ramp(1.2, 1e-9, 50e-12);
-        let json = serde_json::to_string(&w).unwrap();
-        let back: SourceWaveform = serde_json::from_str(&json).unwrap();
-        assert_eq!(w, back);
     }
 }

@@ -8,10 +8,9 @@
 use crate::error::SpiceError;
 use mcsm_num::interp::{first_crossing, interp1, resample};
 use mcsm_num::stats;
-use serde::{Deserialize, Serialize};
 
 /// A sampled signal: strictly increasing times with one value per time point.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Waveform {
     times: Vec<f64>,
     values: Vec<f64>,
@@ -93,8 +92,8 @@ impl Waveform {
     ///
     /// Returns [`SpiceError::InvalidParameter`] if the new time base is invalid.
     pub fn resample_onto(&self, new_times: &[f64]) -> Result<Waveform, SpiceError> {
-        let values = resample(&self.times, &self.values, new_times)
-            .map_err(SpiceError::Numerical)?;
+        let values =
+            resample(&self.times, &self.values, new_times).map_err(SpiceError::Numerical)?;
         Waveform::new(new_times.to_vec(), values)
     }
 
@@ -111,7 +110,10 @@ impl Waveform {
 
     /// Maximum sample value.
     pub fn max_value(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// 10 %–90 % (or 90 %–10 %) transition time with respect to the supply `vdd`.
@@ -166,14 +168,19 @@ pub fn propagation_delay(
 
 /// Measures the 50 % delay of an output edge relative to an absolute event time
 /// (used when the "input" is an analytic stimulus rather than a waveform).
-pub fn delay_from_event(output: &Waveform, event_time: f64, vdd: f64, output_rising: bool) -> Option<f64> {
+pub fn delay_from_event(
+    output: &Waveform,
+    event_time: f64,
+    vdd: f64,
+    output_rising: bool,
+) -> Option<f64> {
     let mid = 0.5 * vdd;
     let t_out = output.crossing(mid, output_rising)?;
     Some(t_out - event_time)
 }
 
 /// A named collection of waveforms produced by one analysis run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WaveformSet {
     names: Vec<String>,
     waveforms: Vec<Waveform>,

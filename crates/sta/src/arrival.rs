@@ -38,9 +38,9 @@ impl TimingResult {
     ///
     /// Returns [`StaError::InvalidParameter`] if the net has no waveform.
     pub fn waveform(&self, net: NetId) -> Result<&Waveform, StaError> {
-        self.waveforms
-            .get(&net)
-            .ok_or_else(|| StaError::InvalidParameter(format!("net #{} has no waveform", net.index())))
+        self.waveforms.get(&net).ok_or_else(|| {
+            StaError::InvalidParameter(format!("net #{} has no waveform", net.index()))
+        })
     }
 
     /// The 50 % crossing time of the waveform on a net, for the given direction.
@@ -167,7 +167,8 @@ mod tests {
         g.mark_primary_input(b);
         g.mark_primary_output(out);
         g.add_gate("u_nor", CellKind::Nor2, &[a, b], mid).unwrap();
-        g.add_gate("u_inv", CellKind::Inverter, &[mid], out).unwrap();
+        g.add_gate("u_inv", CellKind::Inverter, &[mid], out)
+            .unwrap();
         g
     }
 
@@ -202,6 +203,35 @@ mod tests {
         assert_eq!(result.nets().count(), 2);
         // Primary inputs have no computed waveform.
         assert!(result.waveform(a).is_err());
+    }
+
+    #[test]
+    fn selective_backend_propagates_like_a_first_class_citizen() {
+        use mcsm_core::selective::SelectivePolicy;
+        let lib = library();
+        let g = chain_graph();
+        let a = g.find_net("a").unwrap();
+        let b = g.find_net("b").unwrap();
+        let out = g.find_net("out").unwrap();
+        let mut drives = HashMap::new();
+        drives.insert(a, DriveWaveform::falling_ramp(1.2, 1e-9, 80e-12));
+        drives.insert(b, DriveWaveform::falling_ramp(1.2, 1e-9, 80e-12));
+
+        // A huge threshold keeps every gate on the complete model: the selective
+        // run must then agree exactly with the CompleteMcsm backend.
+        let selective_opts = options(DelayBackend::Selective(SelectivePolicy::new(1e9)));
+        let selective = propagate(&g, &lib, &drives, &selective_opts).unwrap();
+        let complete = propagate(&g, &lib, &drives, &options(DelayBackend::CompleteMcsm)).unwrap();
+        assert_eq!(
+            selective.waveform(out).unwrap(),
+            complete.waveform(out).unwrap()
+        );
+
+        // A tiny threshold pushes every gate to the simple model; the flow still
+        // completes and produces a sane transition.
+        let simple_opts = options(DelayBackend::Selective(SelectivePolicy::new(1e-9)));
+        let simple = propagate(&g, &lib, &drives, &simple_opts).unwrap();
+        assert!(simple.arrival_time(out, false).unwrap().is_some());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Per-gate delay calculation: input waveforms in, output waveform out.
 //!
-//! This is where a timing tool chooses which model family to evaluate. The three
-//! backends mirror the paper's comparison:
+//! This is where a timing tool chooses which model *family* to evaluate; the
+//! evaluation itself is uniform — every backend resolves to a `dyn CellModel`
+//! through [`ModelStore::resolve`] and runs through the one generic engine in
+//! `mcsm_core::sim`. The four backends mirror the paper's comparison:
 //!
 //! * [`DelayBackend::SisOnly`] — always use the single-input-switching model of
 //!   the first switching pin (what a conventional STA tool does even for MIS
@@ -9,20 +11,26 @@
 //! * [`DelayBackend::BaselineMis`] — use the MIS model that ignores the internal
 //!   node (Section 3.1);
 //! * [`DelayBackend::CompleteMcsm`] — use the complete MCSM where available
-//!   (Sections 3.2–3.4), falling back to the baseline and then SIS models for
-//!   cells that do not need or do not have internal-node tables.
+//!   (Sections 3.2–3.3), falling back to the baseline and then SIS models for
+//!   two-input cells that do not have internal-node tables;
+//! * [`DelayBackend::Selective`] — the paper's §3.4 mode: a
+//!   [`SelectivePolicy`] picks the complete or the simple MIS model per gate
+//!   from the load it drives.
+//!
+//! Cells with more than two inputs are only coverable by `SisOnly` today (the
+//! characterization flow produces 2-input MIS/MCSM tables); requesting a MIS
+//! backend for them is a reported error, never a silent SIS downgrade.
 
 use crate::error::StaError;
 use mcsm_cells::cell::CellKind;
-use mcsm_core::sim::{
-    simulate_mcsm, simulate_mis_baseline, simulate_sis, CsmSimOptions, DriveWaveform,
-};
-use mcsm_core::store::ModelStore;
+use mcsm_core::selective::SelectivePolicy;
+use mcsm_core::sim::{simulate, CsmSimOptions, DriveWaveform};
+use mcsm_core::store::{ModelBackend, ModelStore};
+use mcsm_core::CsmError;
 use mcsm_spice::waveform::Waveform;
-use serde::{Deserialize, Serialize};
 
 /// Which model family the calculator prefers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DelayBackend {
     /// Single-input-switching models only.
     SisOnly,
@@ -30,10 +38,14 @@ pub enum DelayBackend {
     BaselineMis,
     /// The complete MCSM (internal node modeled).
     CompleteMcsm,
+    /// Selective modeling (Section 3.4): per gate, the policy compares the
+    /// driven load against the cell's own output capacitance and picks the
+    /// complete MCSM (light load) or the simple MIS model (heavy load).
+    Selective(SelectivePolicy),
 }
 
 /// A waveform-based gate delay calculator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DelayCalculator {
     /// Preferred model family.
     pub backend: DelayBackend,
@@ -67,7 +79,8 @@ impl DelayCalculator {
     /// # Errors
     ///
     /// * [`StaError::MissingModel`] if the store lacks every usable model family
-    ///   for this cell and backend.
+    ///   for this cell and backend — including the case of a 3-input cell
+    ///   requested with a MIS backend, for which only 2-input tables exist.
     /// * Model-simulation errors.
     pub fn gate_output(
         &self,
@@ -95,28 +108,43 @@ impl DelayCalculator {
 
         // Single-input cells always use their SIS model.
         if kind.input_count() == 1 {
-            let sis = store
-                .sis_for_pin(0)
-                .ok_or_else(|| StaError::MissingModel(format!("no SIS model for {}", kind.name())))?;
-            return Ok(simulate_sis(sis, &inputs[0], load_capacitance, v_out_initial, &self.sim)?);
+            return self.sis_only(store, kind, inputs, load_capacitance, v_out_initial);
+        }
+
+        // The characterization flow produces MIS/MCSM tables over exactly two
+        // switching inputs; a wider cell cannot be timed by a MIS backend, and
+        // pretending otherwise by silently running a SIS model would misreport
+        // MIS events. Only `SisOnly` may proceed for such cells.
+        if kind.input_count() > 2 && self.backend != DelayBackend::SisOnly {
+            return Err(StaError::MissingModel(format!(
+                "{} has {} inputs, but {:?} only has 2-input tables; characterize an \
+                 N-input MIS model or select DelayBackend::SisOnly for this cell",
+                kind.name(),
+                kind.input_count(),
+                self.backend
+            )));
         }
 
         // Two-input cells: dispatch on the backend, falling back gracefully.
         match self.backend {
-            DelayBackend::CompleteMcsm => {
-                if let Some(mcsm) = &store.mcsm {
-                    let result = simulate_mcsm(
-                        mcsm,
-                        &inputs[0],
-                        &inputs[1],
+            DelayBackend::Selective(policy) => {
+                match self.try_resolve(store, ModelBackend::Selective(policy), load_capacitance)? {
+                    Some(model) => {
+                        self.run_model(&*model, &inputs[..2], load_capacitance, v_out_initial)
+                    }
+                    // A store without both families degrades exactly like the
+                    // complete backend would.
+                    None => self.complete_or_simpler(
+                        store,
+                        kind,
+                        inputs,
                         load_capacitance,
                         v_out_initial,
-                        None,
-                        &self.sim,
-                    )?;
-                    return Ok(result.output);
+                    ),
                 }
-                self.baseline_or_sis(store, kind, inputs, load_capacitance, v_out_initial)
+            }
+            DelayBackend::CompleteMcsm => {
+                self.complete_or_simpler(store, kind, inputs, load_capacitance, v_out_initial)
             }
             DelayBackend::BaselineMis => {
                 self.baseline_or_sis(store, kind, inputs, load_capacitance, v_out_initial)
@@ -124,6 +152,57 @@ impl DelayCalculator {
             DelayBackend::SisOnly => {
                 self.sis_only(store, kind, inputs, load_capacitance, v_out_initial)
             }
+        }
+    }
+
+    /// Runs an already-resolved model through the generic engine. Calls
+    /// `simulate` directly rather than the `Simulation` builder: the builder
+    /// clones its inputs, and per-gate clones of sampled waveforms add up over
+    /// a netlist.
+    fn run_model(
+        &self,
+        model: &dyn mcsm_core::CellModel,
+        inputs: &[DriveWaveform],
+        load_capacitance: f64,
+        v_out_initial: f64,
+    ) -> Result<Waveform, StaError> {
+        Ok(simulate(
+            model,
+            inputs,
+            load_capacitance,
+            v_out_initial,
+            None,
+            &self.sim,
+        )?
+        .output)
+    }
+
+    /// Resolves a backend from the store, mapping "family not characterized"
+    /// to `None` so callers can fall back, while real errors propagate.
+    fn try_resolve<'s>(
+        &self,
+        store: &'s ModelStore,
+        backend: ModelBackend,
+        load_capacitance: f64,
+    ) -> Result<Option<Box<dyn mcsm_core::CellModel + 's>>, StaError> {
+        match store.resolve(backend, load_capacitance) {
+            Ok(model) => Ok(Some(model)),
+            Err(CsmError::MissingModel(_)) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn complete_or_simpler(
+        &self,
+        store: &ModelStore,
+        kind: CellKind,
+        inputs: &[DriveWaveform],
+        load_capacitance: f64,
+        v_out_initial: f64,
+    ) -> Result<Waveform, StaError> {
+        match self.try_resolve(store, ModelBackend::CompleteMcsm, load_capacitance)? {
+            Some(model) => self.run_model(&*model, &inputs[..2], load_capacitance, v_out_initial),
+            None => self.baseline_or_sis(store, kind, inputs, load_capacitance, v_out_initial),
         }
     }
 
@@ -135,17 +214,10 @@ impl DelayCalculator {
         load_capacitance: f64,
         v_out_initial: f64,
     ) -> Result<Waveform, StaError> {
-        if let Some(baseline) = &store.mis_baseline {
-            return Ok(simulate_mis_baseline(
-                baseline,
-                &inputs[0],
-                &inputs[1],
-                load_capacitance,
-                v_out_initial,
-                &self.sim,
-            )?);
+        match self.try_resolve(store, ModelBackend::BaselineMis, load_capacitance)? {
+            Some(model) => self.run_model(&*model, &inputs[..2], load_capacitance, v_out_initial),
+            None => self.sis_only(store, kind, inputs, load_capacitance, v_out_initial),
         }
-        self.sis_only(store, kind, inputs, load_capacitance, v_out_initial)
     }
 
     fn sis_only(
@@ -157,22 +229,28 @@ impl DelayCalculator {
         v_out_initial: f64,
     ) -> Result<Waveform, StaError> {
         // Use the first switching pin (or pin 0 if nothing switches), exactly as
-        // a SIS-only timing tool would: the other input is assumed to be stable
-        // at its non-controlling value.
+        // a SIS-only timing tool would: the other inputs are assumed to be
+        // stable at their non-controlling value.
         let pin = inputs
             .iter()
             .position(|d| self.is_switching(d))
             .unwrap_or(0);
-        let sis = store.sis_for_pin(pin).or_else(|| store.sis.first()).ok_or_else(|| {
-            StaError::MissingModel(format!("no SIS model for {} pin {pin}", kind.name()))
-        })?;
-        Ok(simulate_sis(
-            sis,
-            &inputs[pin],
+        // Prefer the model characterized for that pin; fall back to any
+        // characterized SIS pin, whose tables are comparable. Either way the
+        // *switching pin's* waveform drives the simulation.
+        let model: Box<dyn mcsm_core::CellModel + '_> =
+            match self.try_resolve(store, ModelBackend::Sis { pin }, load_capacitance)? {
+                Some(model) => model,
+                None => Box::new(store.sis.first().ok_or_else(|| {
+                    StaError::MissingModel(format!("no SIS model for {} pin {pin}", kind.name()))
+                })?),
+            };
+        self.run_model(
+            &*model,
+            std::slice::from_ref(&inputs[pin]),
             load_capacitance,
             v_out_initial,
-            &self.sim,
-        )?)
+        )
     }
 }
 
@@ -181,9 +259,7 @@ mod tests {
     use super::*;
     use mcsm_cells::cell::CellTemplate;
     use mcsm_cells::tech::Technology;
-    use mcsm_core::characterize::{
-        characterize_mcsm, characterize_mis_baseline, characterize_sis,
-    };
+    use mcsm_core::characterize::{characterize_mcsm, characterize_mis_baseline, characterize_sis};
     use mcsm_core::config::CharacterizationConfig;
 
     fn nor2_store() -> ModelStore {
@@ -191,10 +267,27 @@ mod tests {
         let template = CellTemplate::new(CellKind::Nor2, tech);
         let cfg = CharacterizationConfig::coarse();
         let mut store = ModelStore::new();
-        store.sis.push(characterize_sis(&template, 0, &cfg).unwrap());
-        store.sis.push(characterize_sis(&template, 1, &cfg).unwrap());
+        store
+            .sis
+            .push(characterize_sis(&template, 0, &cfg).unwrap());
+        store
+            .sis
+            .push(characterize_sis(&template, 1, &cfg).unwrap());
         store.mis_baseline = Some(characterize_mis_baseline(&template, &cfg).unwrap());
         store.mcsm = Some(characterize_mcsm(&template, &cfg).unwrap());
+        store
+    }
+
+    fn nor3_sis_store() -> ModelStore {
+        let tech = Technology::cmos_130nm();
+        let template = CellTemplate::new(CellKind::Nor3, tech);
+        let cfg = CharacterizationConfig::coarse();
+        let mut store = ModelStore::new();
+        for pin in 0..CellKind::Nor3.input_count() {
+            store
+                .sis
+                .push(characterize_sis(&template, pin, &cfg).unwrap());
+        }
         store
     }
 
@@ -203,7 +296,9 @@ mod tests {
         let template = CellTemplate::new(CellKind::Inverter, tech);
         let cfg = CharacterizationConfig::coarse();
         let mut store = ModelStore::new();
-        store.sis.push(characterize_sis(&template, 0, &cfg).unwrap());
+        store
+            .sis
+            .push(characterize_sis(&template, 0, &cfg).unwrap());
         store
     }
 
@@ -232,6 +327,7 @@ mod tests {
             DelayBackend::SisOnly,
             DelayBackend::BaselineMis,
             DelayBackend::CompleteMcsm,
+            DelayBackend::Selective(SelectivePolicy::default()),
         ] {
             let calc = calculator(backend);
             let out = calc
@@ -247,11 +343,83 @@ mod tests {
     }
 
     #[test]
+    fn selective_backend_switches_model_with_load() {
+        let store = nor2_store();
+        let a = DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        let b = DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        let own = store
+            .mcsm
+            .as_ref()
+            .unwrap()
+            .representative_output_capacitance();
+        let policy = SelectivePolicy::default();
+        let calc = calculator(DelayBackend::Selective(policy));
+
+        // Light load → complete model; must equal the CompleteMcsm backend.
+        let light = calc
+            .gate_output(&store, CellKind::Nor2, &[a.clone(), b.clone()], 0.5 * own)
+            .unwrap();
+        let complete = calculator(DelayBackend::CompleteMcsm)
+            .gate_output(&store, CellKind::Nor2, &[a.clone(), b.clone()], 0.5 * own)
+            .unwrap();
+        assert_eq!(light, complete);
+
+        // Heavy load → simple model; must equal the BaselineMis backend.
+        let heavy_load = own * (policy.load_ratio_threshold + 1.0);
+        let heavy = calc
+            .gate_output(&store, CellKind::Nor2, &[a.clone(), b.clone()], heavy_load)
+            .unwrap();
+        let baseline = calculator(DelayBackend::BaselineMis)
+            .gate_output(&store, CellKind::Nor2, &[a, b], heavy_load)
+            .unwrap();
+        assert_eq!(heavy, baseline);
+    }
+
+    #[test]
+    fn three_input_cells_reject_mis_backends_with_a_descriptive_error() {
+        let store = nor3_sis_store();
+        let falling = || DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        let inputs = [falling(), falling(), falling()];
+        for backend in [
+            DelayBackend::BaselineMis,
+            DelayBackend::CompleteMcsm,
+            DelayBackend::Selective(SelectivePolicy::default()),
+        ] {
+            let calc = calculator(backend);
+            let err = calc
+                .gate_output(&store, CellKind::Nor3, &inputs, 4e-15)
+                .unwrap_err();
+            match err {
+                StaError::MissingModel(msg) => {
+                    assert!(msg.contains("NOR3"), "{msg}");
+                    assert!(msg.contains("3 inputs"), "{msg}");
+                    assert!(msg.contains("SisOnly"), "{msg}");
+                }
+                other => panic!("expected MissingModel, got {other:?}"),
+            }
+        }
+        // SisOnly still times the cell (pin 2 switching alone).
+        let calc = calculator(DelayBackend::SisOnly);
+        let quiet = DriveWaveform::dc(0.0);
+        let out = calc
+            .gate_output(
+                &store,
+                CellKind::Nor3,
+                &[quiet.clone(), quiet, falling()],
+                4e-15,
+            )
+            .unwrap();
+        assert!(out.final_value() > 1.0);
+    }
+
+    #[test]
     fn pin_count_mismatch_is_rejected() {
         let store = nor2_store();
         let calc = calculator(DelayBackend::CompleteMcsm);
         let a = DriveWaveform::dc(0.0);
-        assert!(calc.gate_output(&store, CellKind::Nor2, &[a], 1e-15).is_err());
+        assert!(calc
+            .gate_output(&store, CellKind::Nor2, &[a], 1e-15)
+            .is_err());
     }
 
     #[test]
@@ -274,5 +442,25 @@ mod tests {
             .gate_output(&store, CellKind::Nor2, &[a, b], 4e-15)
             .unwrap();
         assert!(out.final_value() > 1.0);
+    }
+
+    #[test]
+    fn sis_fallback_model_is_driven_by_the_switching_pin_waveform() {
+        // Only pin 0 is characterized, but pin 1 is the switching pin: the
+        // fallback model must still see the switching waveform (driving the
+        // fallback model's own DC pin instead would never transition).
+        let mut store = nor2_store();
+        store.sis.retain(|m| m.switching_pin == 0);
+        let calc = calculator(DelayBackend::SisOnly);
+        let a = DriveWaveform::dc(0.0);
+        let b = DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        let out = calc
+            .gate_output(&store, CellKind::Nor2, &[a, b], 4e-15)
+            .unwrap();
+        assert!(
+            out.final_value() > 1.0,
+            "fallback SIS model saw a non-switching waveform (final = {})",
+            out.final_value()
+        );
     }
 }

@@ -60,9 +60,15 @@ mod tests {
     #[test]
     fn display_and_sources() {
         use std::error::Error;
-        assert!(StaError::InvalidGraph("cycle".into()).to_string().contains("cycle"));
-        assert!(StaError::MissingModel("NOR2".into()).to_string().contains("NOR2"));
-        assert!(StaError::InvalidParameter("dt".into()).to_string().contains("dt"));
+        assert!(StaError::InvalidGraph("cycle".into())
+            .to_string()
+            .contains("cycle"));
+        assert!(StaError::MissingModel("NOR2".into())
+            .to_string()
+            .contains("NOR2"));
+        assert!(StaError::InvalidParameter("dt".into())
+            .to_string()
+            .contains("dt"));
         let wrapped = StaError::from(CsmError::InvalidParameter("x".into()));
         assert!(wrapped.source().is_some());
         let wrapped = StaError::from(SpiceError::UnknownNode("n".into()));

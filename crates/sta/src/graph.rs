@@ -7,11 +7,10 @@
 
 use crate::error::StaError;
 use mcsm_cells::cell::CellKind;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a net (wire) in the gate graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NetId(usize);
 
 impl NetId {
@@ -22,7 +21,7 @@ impl NetId {
 }
 
 /// Identifier of a gate instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GateId(usize);
 
 impl GateId {
@@ -33,7 +32,7 @@ impl GateId {
 }
 
 /// One gate instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Gate {
     /// Instance name.
     pub name: String,
@@ -46,7 +45,7 @@ pub struct Gate {
 }
 
 /// A combinational gate-level netlist.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GateGraph {
     net_names: Vec<String>,
     net_index: HashMap<String, NetId>,
@@ -162,10 +161,7 @@ impl GateGraph {
 
     /// The gate driving a net, if any.
     pub fn driver_of(&self, net: NetId) -> Option<GateId> {
-        self.gates
-            .iter()
-            .position(|g| g.output == net)
-            .map(GateId)
+        self.gates.iter().position(|g| g.output == net).map(GateId)
     }
 
     /// The gates whose inputs include `net`, with the pin index used.

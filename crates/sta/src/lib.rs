@@ -7,18 +7,25 @@
 //! * [`graph::GateGraph`] — combinational gate-level netlists;
 //! * [`models::ModelLibrary`] — characterized model bundles per cell kind;
 //! * [`delaycalc::DelayCalculator`] — per-gate waveform computation with
-//!   selectable backend (SIS-only, baseline MIS, complete MCSM);
+//!   selectable backend (SIS-only, baseline MIS, complete MCSM, or the paper's
+//!   §3.4 selective mode), all dispatched through the `CellModel` trait and the
+//!   one generic engine in `mcsm_core`;
 //! * [`arrival`] — topological waveform propagation and arrival/slew extraction;
 //! * [`noise`] — the coupled victim/aggressor crosstalk scenario of the paper's
 //!   Fig. 12, with the aggressor-arrival sweep and accuracy metrics.
 //!
-//! # Example: timing a two-gate chain with the complete MCSM
+//! # Example: timing a two-gate chain with selective modeling
+//!
+//! [`DelayBackend::Selective`] is the paper's recommended operating point: per
+//! gate, the policy compares the driven load against the cell's own output
+//! capacitance and pays for the internal-node tables only where they matter.
 //!
 //! ```no_run
 //! use std::collections::HashMap;
 //! use mcsm_cells::cell::CellKind;
 //! use mcsm_cells::tech::Technology;
 //! use mcsm_core::config::CharacterizationConfig;
+//! use mcsm_core::selective::SelectivePolicy;
 //! use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
 //! use mcsm_sta::arrival::{propagate, TimingOptions};
 //! use mcsm_sta::delaycalc::{DelayBackend, DelayCalculator};
@@ -50,7 +57,7 @@
 //!
 //! let options = TimingOptions {
 //!     calculator: DelayCalculator::new(
-//!         DelayBackend::CompleteMcsm,
+//!         DelayBackend::Selective(SelectivePolicy::default()),
 //!         CsmSimOptions::new(4e-9, 1e-12),
 //!         tech.vdd,
 //!     ),

@@ -11,11 +11,10 @@ use mcsm_cells::tech::Technology;
 use mcsm_core::characterize::{characterize_mcsm, characterize_mis_baseline, characterize_sis};
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::store::ModelStore;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Characterized models for a set of cell kinds.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ModelLibrary {
     stores: HashMap<String, ModelStore>,
     /// Supply voltage shared by all stored models (volts).
@@ -69,9 +68,10 @@ impl ModelLibrary {
 
     /// Characterizes all requested cell kinds in one technology.
     ///
-    /// For each kind this produces: a SIS model per input pin; and, for
-    /// two-input cells, the baseline MIS model and (when the cell has an
-    /// internal stack node) the complete MCSM.
+    /// For each kind this produces: a SIS model per input pin (every pin, so
+    /// 3-input cells are at least SIS-timable); and, for two-input cells, the
+    /// baseline MIS model and (when the cell has an internal stack node) the
+    /// complete MCSM.
     ///
     /// # Errors
     ///
@@ -85,7 +85,7 @@ impl ModelLibrary {
         for &kind in kinds {
             let template = CellTemplate::new(kind, technology.clone());
             let mut store = ModelStore::new();
-            for pin in 0..kind.input_count().min(2) {
+            for pin in 0..kind.input_count() {
                 store.sis.push(characterize_sis(&template, pin, config)?);
             }
             if kind.input_count() == 2 {
@@ -111,16 +111,12 @@ impl ModelLibrary {
         let mid = 0.5 * self.vdd;
         if let Some(mcsm) = &store.mcsm {
             if pin < 2 {
-                return mcsm
-                    .input_capacitance(pin, mid)
-                    .map_err(StaError::from);
+                return mcsm.input_capacitance(pin, mid).map_err(StaError::from);
             }
         }
         if let Some(baseline) = &store.mis_baseline {
             if pin < 2 {
-                return baseline
-                    .input_capacitance(pin, mid)
-                    .map_err(StaError::from);
+                return baseline.input_capacitance(pin, mid).map_err(StaError::from);
             }
         }
         if let Some(sis) = store.sis_for_pin(pin) {

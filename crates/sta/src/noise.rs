@@ -16,15 +16,14 @@ use mcsm_cells::load::FanoutLoad;
 use mcsm_cells::tech::Technology;
 use mcsm_core::metrics::compare_waveforms;
 use mcsm_core::model::McsmModel;
-use mcsm_core::sim::{simulate_mcsm, CsmSimOptions, DriveWaveform};
+use mcsm_core::sim::{CsmSimOptions, DriveWaveform, Simulation};
 use mcsm_spice::analysis::{transient, TranOptions};
 use mcsm_spice::circuit::Circuit;
 use mcsm_spice::source::SourceWaveform;
 use mcsm_spice::waveform::Waveform;
-use serde::{Deserialize, Serialize};
 
 /// The coupled victim/aggressor scenario around a NOR2 receiver.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrosstalkScenario {
     /// Technology of every cell in the scenario.
     pub technology: Technology,
@@ -143,7 +142,8 @@ impl CrosstalkScenario {
     /// Propagates simulation failures.
     pub fn run_reference(&self, dt: f64) -> Result<CrosstalkReference, StaError> {
         let circuit = self.build_circuit()?;
-        let result = transient(&circuit, &TranOptions::new(self.t_stop, dt)).map_err(StaError::Spice)?;
+        let result =
+            transient(&circuit, &TranOptions::new(self.t_stop, dt)).map_err(StaError::Spice)?;
         Ok(CrosstalkReference {
             victim_input: result.node("victim_net").map_err(StaError::Spice)?.clone(),
             output: result.node("nor_out").map_err(StaError::Spice)?.clone(),
@@ -163,13 +163,17 @@ impl CrosstalkScenario {
         victim_waveform: &Waveform,
         options: &CsmSimOptions,
     ) -> Result<Waveform, StaError> {
-        let load = FanoutLoad::new(self.technology.clone(), self.receiver_fanout)
-            .equivalent_capacitance();
-        let a = DriveWaveform::Sampled(victim_waveform.clone());
-        let b = DriveWaveform::dc(0.0);
+        let load =
+            FanoutLoad::new(self.technology.clone(), self.receiver_fanout).equivalent_capacitance();
         // Initial state: victim net starts high (driver input low), so the NOR2
         // output starts low.
-        let result = simulate_mcsm(model, &a, &b, load, 0.0, None, options)?;
+        let result = Simulation::of(model)
+            .input(DriveWaveform::Sampled(victim_waveform.clone()))
+            .input(DriveWaveform::dc(0.0))
+            .load(load)
+            .initial_output(0.0)
+            .options(options.clone())
+            .run()?;
         Ok(result.output)
     }
 
@@ -207,7 +211,7 @@ pub struct CrosstalkReference {
 }
 
 /// One point of the noise-injection sweep (one aggressor arrival time).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoisePoint {
     /// Aggressor arrival (noise injection) time, seconds.
     pub injection_time: f64,

@@ -21,11 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in 0..6 {
         let injection = 2.0e-9 + k as f64 * 0.1e-9;
         let scenario = CrosstalkScenario::paper_setup(tech.clone(), injection);
-        let point = scenario.evaluate(
-            &model,
-            2e-12,
-            &CsmSimOptions::new(scenario.t_stop, 0.5e-12),
-        )?;
+        let point =
+            scenario.evaluate(&model, 2e-12, &CsmSimOptions::new(scenario.t_stop, 0.5e-12))?;
         println!(
             "{:>18.2}   {:>16.2}   {:>24.2}",
             point.injection_time * 1e9,

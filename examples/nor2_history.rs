@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let event = t_final + 0.5 * transition;
 
     println!("history                        V(N) before '00'   50% delay [ps]");
-    for (label, fast) in [("'10' -> '11' -> '00' (fast)", true), ("'01' -> '11' -> '00' (slow)", false)] {
+    for (label, fast) in [
+        ("'10' -> '11' -> '00' (fast)", true),
+        ("'01' -> '11' -> '00' (slow)", false),
+    ] {
         let history = if fast {
             InputHistory::nor2_fast_case(vdd, transition, t_first, t_final)
         } else {

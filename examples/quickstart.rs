@@ -11,7 +11,7 @@ use mcsm::cells::testbench::{CellTestbench, LoadSpec};
 use mcsm::core::characterize::characterize_mcsm;
 use mcsm::core::config::CharacterizationConfig;
 use mcsm::core::metrics::compare_waveforms;
-use mcsm::core::sim::{simulate_mcsm, CsmSimOptions, DriveWaveform};
+use mcsm::core::sim::{CsmSimOptions, DriveWaveform, Simulation};
 use mcsm::spice::analysis::TranOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,11 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. A simultaneous '11' -> '00' transition into an FO2 load.
     let t_switch = 1.0e-9;
     let transition = 60e-12;
-    let a = DriveWaveform::falling_ramp(tech.vdd, t_switch, transition);
-    let b = DriveWaveform::falling_ramp(tech.vdd, t_switch, transition);
+    let waves = [
+        DriveWaveform::falling_ramp(tech.vdd, t_switch, transition),
+        DriveWaveform::falling_ramp(tech.vdd, t_switch, transition),
+    ];
     let load = FanoutLoad::new(tech.clone(), 2).equivalent_capacitance();
-    let options = CsmSimOptions::new(2.5e-9, 0.5e-12);
-    let mcsm_result = simulate_mcsm(&model, &a, &b, load, 0.0, None, &options)?;
+    let mcsm_result = Simulation::of(&model)
+        .inputs(&waves)
+        .load(load)
+        .initial_output(0.0)
+        .options(CsmSimOptions::new(2.5e-9, 0.5e-12))
+        .run()?;
 
     // 4. The transistor-level reference of the same event.
     let mut bench = CellTestbench::new(&nor2, &LoadSpec::Fanout(2))?;
@@ -53,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Compare.
     let cmp = compare_waveforms(spice_out, &mcsm_result.output, tech.vdd, true)?;
     println!("MCSM vs. SPICE for the MIS event:");
-    println!("  waveform RMSE     = {:.2} % of Vdd", 100.0 * cmp.normalized_rmse);
+    println!(
+        "  waveform RMSE     = {:.2} % of Vdd",
+        100.0 * cmp.normalized_rmse
+    );
     println!("  max voltage error = {:.3} V", cmp.max_abs_error);
     if let Some(dd) = cmp.delay_difference {
         println!("  50% delay error   = {:.1} ps", dd * 1e12);

@@ -9,7 +9,7 @@ use mcsm_cells::testbench::{CellTestbench, LoadSpec};
 use mcsm_core::characterize::{characterize_mcsm, characterize_sis};
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::metrics::compare_waveforms;
-use mcsm_core::sim::{simulate_mcsm, simulate_sis, CsmSimOptions, DriveWaveform};
+use mcsm_core::sim::{CsmSimOptions, DriveWaveform, Simulation};
 use mcsm_core::store::ModelStore;
 use mcsm_spice::analysis::TranOptions;
 
@@ -34,17 +34,14 @@ fn nor2_mcsm_round_trips_through_storage_and_matches_spice() {
     let a = DriveWaveform::falling_ramp(tech.vdd, t_switch, transition);
     let b = DriveWaveform::falling_ramp(tech.vdd, t_switch, transition);
     let load = FanoutLoad::new(tech.clone(), 2).equivalent_capacitance();
-    let mcsm_out = simulate_mcsm(
-        &model,
-        &a,
-        &b,
-        load,
-        0.0,
-        None,
-        &CsmSimOptions::new(2.5e-9, 1e-12),
-    )
-    .unwrap()
-    .output;
+    let mcsm_out = Simulation::of(&model)
+        .inputs(&[a, b])
+        .load(load)
+        .initial_output(0.0)
+        .options(CsmSimOptions::new(2.5e-9, 1e-12))
+        .run()
+        .unwrap()
+        .output;
 
     let mut bench = CellTestbench::new(&nor2, &LoadSpec::Fanout(2)).unwrap();
     bench
@@ -79,18 +76,21 @@ fn inverter_sis_model_matches_spice_for_a_single_switching_input() {
 
     let input = DriveWaveform::rising_ramp(tech.vdd, 0.8e-9, 80e-12);
     let load = FanoutLoad::new(tech.clone(), 3).equivalent_capacitance();
-    let model_out = simulate_sis(
-        &sis,
-        &input,
-        load,
-        tech.vdd,
-        &CsmSimOptions::new(2.5e-9, 1e-12),
-    )
-    .unwrap();
+    let model_out = Simulation::of(&sis)
+        .input(input)
+        .load(load)
+        .initial_output(tech.vdd)
+        .options(CsmSimOptions::new(2.5e-9, 1e-12))
+        .run()
+        .unwrap()
+        .output;
 
     let mut bench = CellTestbench::new(&inverter, &LoadSpec::Fanout(3)).unwrap();
     bench
-        .set_input_waveform(0, mcsm_spice::SourceWaveform::rising_ramp(tech.vdd, 0.8e-9, 80e-12))
+        .set_input_waveform(
+            0,
+            mcsm_spice::SourceWaveform::rising_ramp(tech.vdd, 0.8e-9, 80e-12),
+        )
         .unwrap();
     let reference = bench
         .run_transient(&TranOptions::new(2.5e-9, 2e-12))
@@ -127,8 +127,13 @@ fn nand2_internal_node_history_is_also_captured() {
     let b = DriveWaveform::rising_ramp(vdd, 0.5e-9, 60e-12);
     let load = 4e-15;
     let options = CsmSimOptions::new(2e-9, 1e-12);
-    let from_low = simulate_mcsm(&model, &a, &b, load, vdd, Some(0.0), &options).unwrap();
-    let from_high = simulate_mcsm(&model, &a, &b, load, vdd, Some(v_10), &options).unwrap();
+    let sim = Simulation::of(&model)
+        .inputs(&[a, b])
+        .load(load)
+        .initial_output(vdd)
+        .options(options);
+    let from_low = sim.clone().initial_state(&[0.0]).run().unwrap();
+    let from_high = sim.initial_state(&[v_10]).run().unwrap();
     let t_low = from_low.output.crossing(0.5 * vdd, false).unwrap();
     let t_high = from_high.output.crossing(0.5 * vdd, false).unwrap();
     assert!(

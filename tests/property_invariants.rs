@@ -1,74 +1,77 @@
 //! Property-based integration tests: invariants that must hold for *any* bias
 //! point, stimulus or table, not just the hand-picked cases of the unit tests.
+//!
+//! Randomized inputs come from the deterministic [`TestRng`] generator in
+//! `mcsm-num` (the build environment has no crates.io access, so `proptest` is
+//! unavailable); every test fixes its seed, so failures reproduce exactly.
 
 use mcsm_cells::cell::{CellKind, CellTemplate};
 use mcsm_cells::stimuli::InputHistory;
 use mcsm_cells::tech::Technology;
 use mcsm_num::grid::Axis;
 use mcsm_num::lut::LutNd;
+use mcsm_num::testrand::TestRng;
 use mcsm_spice::analysis::{operating_point, DcOptions};
 use mcsm_spice::circuit::Circuit;
 use mcsm_spice::devices::mosfet::{evaluate_ids, MosfetGeometry};
 use mcsm_spice::source::SourceWaveform;
-use proptest::prelude::*;
 
 fn technology() -> Technology {
     Technology::cmos_130nm()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The drain current always flows from the higher to the lower channel
-    /// terminal, and — once the body effect is removed — swapping drain and
-    /// source exactly negates it (EKV symmetry).
-    #[test]
-    fn nmos_current_is_antisymmetric_in_drain_source(
-        vg in 0.0..1.3f64,
-        vd in 0.0..1.3f64,
-        vs in 0.0..1.3f64,
-    ) {
-        let tech = technology();
-        let geom = MosfetGeometry::new(tech.unit_nmos_width, tech.channel_length);
+/// The drain current always flows from the higher to the lower channel
+/// terminal, and — once the body effect is removed — swapping drain and
+/// source exactly negates it (EKV symmetry).
+#[test]
+fn nmos_current_is_antisymmetric_in_drain_source() {
+    let mut rng = TestRng::new(0xa001);
+    let tech = technology();
+    let geom = MosfetGeometry::new(tech.unit_nmos_width, tech.channel_length);
+    let mut symmetric = tech.nmos.clone();
+    symmetric.gamma = 0.0;
+    for _ in 0..24 {
+        let vg = rng.in_range(0.0, 1.3);
+        let vd = rng.in_range(0.0, 1.3);
+        let vs = rng.in_range(0.0, 1.3);
         // Sign correctness with the full model card (body effect included).
         let fwd = evaluate_ids(&tech.nmos, &geom, vg, vd, vs, 0.0).ids;
         if vd > vs {
-            prop_assert!(fwd >= -1e-12);
+            assert!(fwd >= -1e-12);
         } else if vd < vs {
-            prop_assert!(fwd <= 1e-12);
+            assert!(fwd <= 1e-12);
         }
         // Exact antisymmetry with the body effect disabled (the source-referenced
         // threshold shift is the only asymmetric term in the model).
-        let mut symmetric = tech.nmos.clone();
-        symmetric.gamma = 0.0;
         let f = evaluate_ids(&symmetric, &geom, vg, vd, vs, 0.0).ids;
         let r = evaluate_ids(&symmetric, &geom, vg, vs, vd, 0.0).ids;
-        prop_assert!((f + r).abs() <= 1e-6 * f.abs().max(r.abs()).max(1e-12));
+        assert!((f + r).abs() <= 1e-6 * f.abs().max(r.abs()).max(1e-12));
     }
+}
 
-    /// The MOSFET drain current is monotonically non-decreasing in the gate
-    /// voltage for a fixed drain bias (no negative transconductance).
-    #[test]
-    fn nmos_current_monotonic_in_gate(
-        vg_lo in 0.0..1.2f64,
-        delta in 0.0..0.6f64,
-        vd in 0.05..1.3f64,
-    ) {
-        let tech = technology();
-        let geom = MosfetGeometry::new(tech.unit_nmos_width, tech.channel_length);
+/// The MOSFET drain current is monotonically non-decreasing in the gate
+/// voltage for a fixed drain bias (no negative transconductance).
+#[test]
+fn nmos_current_monotonic_in_gate() {
+    let mut rng = TestRng::new(0xa002);
+    let tech = technology();
+    let geom = MosfetGeometry::new(tech.unit_nmos_width, tech.channel_length);
+    for _ in 0..24 {
+        let vg_lo = rng.in_range(0.0, 1.2);
+        let delta = rng.in_range(0.0, 0.6);
+        let vd = rng.in_range(0.05, 1.3);
         let low = evaluate_ids(&tech.nmos, &geom, vg_lo, vd, 0.0, 0.0).ids;
         let high = evaluate_ids(&tech.nmos, &geom, vg_lo + delta, vd, 0.0, 0.0).ids;
-        prop_assert!(high >= low - 1e-12);
+        assert!(high >= low - 1e-12);
     }
+}
 
-    /// For any static input combination, every node of a NOR2 DC solution stays
-    /// within the supply rails (plus a tiny numerical margin), and the output is
-    /// the correct logic value when the inputs are at the rails.
-    #[test]
-    fn nor2_dc_solution_is_bounded_and_logically_correct(
-        a_high in proptest::bool::ANY,
-        b_high in proptest::bool::ANY,
-    ) {
+/// For any static input combination, every node of a NOR2 DC solution stays
+/// within the supply rails (plus a tiny numerical margin), and the output is
+/// the correct logic value when the inputs are at the rails.
+#[test]
+fn nor2_dc_solution_is_bounded_and_logically_correct() {
+    for (a_high, b_high) in [(false, false), (false, true), (true, false), (true, true)] {
         let tech = technology();
         let vdd = tech.vdd;
         let template = CellTemplate::new(CellKind::Nor2, tech);
@@ -77,66 +80,81 @@ proptest! {
         let out = circuit.node("out");
         let a = circuit.node("a");
         let b = circuit.node("b");
-        circuit.add_vsource(vdd_n, Circuit::ground(), SourceWaveform::dc(vdd)).unwrap();
         circuit
-            .add_vsource(a, Circuit::ground(), SourceWaveform::dc(if a_high { vdd } else { 0.0 }))
+            .add_vsource(vdd_n, Circuit::ground(), SourceWaveform::dc(vdd))
             .unwrap();
         circuit
-            .add_vsource(b, Circuit::ground(), SourceWaveform::dc(if b_high { vdd } else { 0.0 }))
+            .add_vsource(
+                a,
+                Circuit::ground(),
+                SourceWaveform::dc(if a_high { vdd } else { 0.0 }),
+            )
             .unwrap();
-        template.instantiate(&mut circuit, "dut", &[a, b], out, vdd_n).unwrap();
+        circuit
+            .add_vsource(
+                b,
+                Circuit::ground(),
+                SourceWaveform::dc(if b_high { vdd } else { 0.0 }),
+            )
+            .unwrap();
+        template
+            .instantiate(&mut circuit, "dut", &[a, b], out, vdd_n)
+            .unwrap();
         let solution = operating_point(&circuit, &DcOptions::default()).unwrap();
         for &v in solution.voltages() {
-            prop_assert!(v > -0.05 && v < vdd + 0.05, "node voltage {v} out of rails");
+            assert!(v > -0.05 && v < vdd + 0.05, "node voltage {v} out of rails");
         }
         let expected_high = !(a_high || b_high);
         let v_out = solution.voltage(out);
         if expected_high {
-            prop_assert!(v_out > 0.9 * vdd, "expected high output, got {v_out}");
+            assert!(v_out > 0.9 * vdd, "expected high output, got {v_out}");
         } else {
-            prop_assert!(v_out < 0.1 * vdd, "expected low output, got {v_out}");
+            assert!(v_out < 0.1 * vdd, "expected low output, got {v_out}");
         }
     }
+}
 
-    /// Input-history waveforms never leave the [0, Vdd] band and settle to the
-    /// final state's levels.
-    #[test]
-    fn input_history_waveforms_are_bounded(
-        initial_a in proptest::bool::ANY,
-        initial_b in proptest::bool::ANY,
-        final_a in proptest::bool::ANY,
-        final_b in proptest::bool::ANY,
-        t_event in 0.2e-9..2.0e-9f64,
-        transition in 10e-12..200e-12f64,
-    ) {
+/// Input-history waveforms never leave the [0, Vdd] band and settle to the
+/// final state's levels.
+#[test]
+fn input_history_waveforms_are_bounded() {
+    let mut rng = TestRng::new(0xa003);
+    for _ in 0..24 {
+        let initial_a = rng.flip();
+        let initial_b = rng.flip();
+        let final_a = rng.flip();
+        let final_b = rng.flip();
+        let t_event = rng.in_range(0.2e-9, 2.0e-9);
+        let transition = rng.in_range(10e-12, 200e-12);
         let vdd = 1.2;
         let history = InputHistory::new(vdd, transition, vec![initial_a, initial_b])
             .then_at(t_event, vec![final_a, final_b]);
         for (pin, wave) in history.waveforms().into_iter().enumerate() {
             let expected_final = if [final_a, final_b][pin] { vdd } else { 0.0 };
-            prop_assert!((wave.eval(10e-9) - expected_final).abs() < 1e-9);
+            assert!((wave.eval(10e-9) - expected_final).abs() < 1e-9);
             for k in 0..100 {
                 let t = k as f64 * 30e-12;
                 let v = wave.eval(t);
-                prop_assert!((-1e-12..=vdd + 1e-12).contains(&v));
+                assert!((-1e-12..=vdd + 1e-12).contains(&v));
             }
         }
     }
+}
 
-    /// Multilinear interpolation of any 3-D table stays within the sample bounds
-    /// and reproduces the exact samples at grid points.
-    #[test]
-    fn lut3_interpolation_is_bounded(
-        values in proptest::collection::vec(-1.0..1.0f64, 27),
-        qx in -0.2..1.4f64,
-        qy in -0.2..1.4f64,
-        qz in -0.2..1.4f64,
-    ) {
+/// Multilinear interpolation of any 3-D table stays within the sample bounds.
+#[test]
+fn lut3_interpolation_is_bounded() {
+    let mut rng = TestRng::new(0xa004);
+    for _ in 0..100 {
+        let values: Vec<f64> = (0..27).map(|_| rng.in_range(-1.0, 1.0)).collect();
+        let qx = rng.in_range(-0.2, 1.4);
+        let qy = rng.in_range(-0.2, 1.4);
+        let qz = rng.in_range(-0.2, 1.4);
         let axis = || Axis::uniform(0.0, 1.2, 3).unwrap();
         let lut = LutNd::new(vec![axis(), axis(), axis()], values.clone()).unwrap();
         let v = lut.eval(&[qx, qy, qz]).unwrap();
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        assert!(v >= min - 1e-9 && v <= max + 1e-9);
     }
 }

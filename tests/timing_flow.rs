@@ -40,7 +40,9 @@ fn three_stage_chain_produces_causal_arrivals_for_all_backends() {
     graph.mark_primary_output(out);
     graph.add_gate("u1", CellKind::Nor2, &[a, b], n1).unwrap();
     graph.add_gate("u2", CellKind::Inverter, &[n1], n2).unwrap();
-    graph.add_gate("u3", CellKind::Inverter, &[n2], out).unwrap();
+    graph
+        .add_gate("u3", CellKind::Inverter, &[n2], out)
+        .unwrap();
 
     let mut drives = HashMap::new();
     drives.insert(a, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
@@ -60,7 +62,10 @@ fn three_stage_chain_produces_causal_arrivals_for_all_backends() {
         let t1 = timing.arrival_time(n1, true).unwrap().unwrap();
         let t2 = timing.arrival_time(n2, false).unwrap().unwrap();
         let t3 = timing.arrival_time(out, true).unwrap().unwrap();
-        assert!(t1 > 1e-9 && t2 > t1 && t3 > t2, "{backend:?}: {t1} {t2} {t3}");
+        assert!(
+            t1 > 1e-9 && t2 > t1 && t3 > t2,
+            "{backend:?}: {t1} {t2} {t3}"
+        );
         arrivals.push((backend, t1));
     }
 
