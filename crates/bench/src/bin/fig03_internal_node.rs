@@ -3,11 +3,15 @@
 //! Prints the internal-node voltage just before the final `'11' → '00'`
 //! transition for both histories, plus the full waveforms as CSV.
 
-use mcsm_bench::{fig03_internal_node, print_header, print_row, print_waveform_csv, Setup};
+use mcsm_bench::{
+    fast_or, fig03_internal_node, print_header, print_row, print_waveform_csv, Setup,
+};
 
 fn main() {
     let setup = Setup::new();
-    let data = fig03_internal_node(&setup, 2e-12).expect("figure 3 simulation failed");
+    // MCSM_BENCH_FAST=1 coarsens the reference time step for CI smoke runs.
+    let dt = fast_or(6e-12, 2e-12);
+    let data = fig03_internal_node(&setup, dt).expect("figure 3 simulation failed");
     print_header(
         "Fig. 3 — internal node voltage before the final transition",
         &["history", "V(N) just before '00' [V]"],

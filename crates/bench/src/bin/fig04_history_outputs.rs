@@ -1,11 +1,15 @@
 //! Figure 4: NOR2 output waveforms for the `'11' → '00'` transition under two
 //! different input histories (FO2 load).
 
-use mcsm_bench::{fig04_history_outputs, print_header, print_row, print_waveform_csv, ps, Setup};
+use mcsm_bench::{
+    fast_or, fig04_history_outputs, print_header, print_row, print_waveform_csv, ps, Setup,
+};
 
 fn main() {
     let setup = Setup::new();
-    let data = fig04_history_outputs(&setup, 2e-12).expect("figure 4 simulation failed");
+    // MCSM_BENCH_FAST=1 coarsens the reference time step for CI smoke runs.
+    let data =
+        fig04_history_outputs(&setup, fast_or(6e-12, 2e-12)).expect("figure 4 simulation failed");
     print_header(
         "Fig. 4 — output delay of the '11'->'00' transition under two histories (FO2)",
         &["history", "50% delay [ps]"],

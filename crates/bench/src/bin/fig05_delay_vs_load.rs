@@ -1,12 +1,14 @@
 //! Figure 5: history-induced delay difference of the NOR2 `'11' → '00'`
 //! transition as a function of the output load (FO1 … FO8).
 
-use mcsm_bench::{fig05_delay_vs_load, print_header, print_row, ps, Setup};
+use mcsm_bench::{fast_or, fig05_delay_vs_load, print_header, print_row, ps, Setup};
 
 fn main() {
     let setup = Setup::new();
-    let fanouts: Vec<usize> = (1..=8).collect();
-    let rows = fig05_delay_vs_load(&setup, &fanouts, 2e-12).expect("figure 5 simulation failed");
+    // MCSM_BENCH_FAST=1 trims the fanout sweep and coarsens the time step.
+    let fanouts: Vec<usize> = fast_or(vec![1, 2, 4], (1..=8).collect());
+    let rows = fig05_delay_vs_load(&setup, &fanouts, fast_or(6e-12, 2e-12))
+        .expect("figure 5 simulation failed");
     print_header(
         "Fig. 5 — delay difference between the two input histories vs. output load",
         &[

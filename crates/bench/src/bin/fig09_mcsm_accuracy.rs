@@ -1,17 +1,28 @@
 //! Figure 9 (plus the headline 4 % / 22 % claim): MCSM and baseline-MIS accuracy
 //! against the transistor-level reference for the fast and slow input histories.
 
-use mcsm_bench::{fig09_mcsm_accuracy, print_header, print_row, ps, Setup};
+use mcsm_bench::{fast_or, fig09_mcsm_accuracy, print_header, print_row, ps, Setup};
 use mcsm_core::config::CharacterizationConfig;
 
 fn main() {
     let setup = Setup::new();
-    let config = CharacterizationConfig::standard();
+    // MCSM_BENCH_FAST=1 uses coarse tables and time steps for CI smoke runs.
+    let config = fast_or(
+        CharacterizationConfig::coarse(),
+        CharacterizationConfig::standard(),
+    );
     let (mcsm, baseline, _) = setup
         .characterize_nor2(&config)
         .expect("characterization failed");
-    let data = fig09_mcsm_accuracy(&setup, &mcsm, &baseline, 1, 2e-12, 0.5e-12)
-        .expect("figure 9 experiment failed");
+    let data = fig09_mcsm_accuracy(
+        &setup,
+        &mcsm,
+        &baseline,
+        1,
+        fast_or(6e-12, 2e-12),
+        fast_or(2e-12, 0.5e-12),
+    )
+    .expect("figure 9 experiment failed");
 
     print_header(
         "Fig. 9 — MCSM vs. baseline MIS CSM vs. SPICE (FO1, both histories)",

@@ -1,16 +1,26 @@
 //! Figure 10: using the MCSM to model an output glitch caused by a narrow input
 //! pulse, compared against the transistor-level reference.
 
-use mcsm_bench::{fig10_glitch, print_header, print_row, print_waveform_csv, Setup};
+use mcsm_bench::{fast_or, fig10_glitch, print_header, print_row, print_waveform_csv, Setup};
 use mcsm_core::config::CharacterizationConfig;
 
 fn main() {
     let setup = Setup::new();
+    // MCSM_BENCH_FAST=1 uses coarse tables and time steps for CI smoke runs.
     let (mcsm, _, _) = setup
-        .characterize_nor2(&CharacterizationConfig::standard())
+        .characterize_nor2(&fast_or(
+            CharacterizationConfig::coarse(),
+            CharacterizationConfig::standard(),
+        ))
         .expect("characterization failed");
-    let data =
-        fig10_glitch(&setup, &mcsm, 200e-12, 2e-12, 0.5e-12).expect("figure 10 experiment failed");
+    let data = fig10_glitch(
+        &setup,
+        &mcsm,
+        200e-12,
+        fast_or(6e-12, 2e-12),
+        fast_or(2e-12, 0.5e-12),
+    )
+    .expect("figure 10 experiment failed");
 
     print_header(
         "Fig. 10 — output glitch (input B pulse, A low, FO2 load)",

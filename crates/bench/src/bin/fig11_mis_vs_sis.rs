@@ -1,16 +1,27 @@
 //! Figure 11: a simultaneous multiple-input-switching event on a NOR2 —
-//! MCSM vs. the SIS CSM of reference [5] vs. the transistor-level reference.
+//! MCSM vs. the SIS CSM of reference \[5\] vs. the transistor-level reference.
 
-use mcsm_bench::{fig11_mis_vs_sis, print_header, print_row, print_waveform_csv, Setup};
+use mcsm_bench::{fast_or, fig11_mis_vs_sis, print_header, print_row, print_waveform_csv, Setup};
 use mcsm_core::config::CharacterizationConfig;
 
 fn main() {
     let setup = Setup::new();
+    // MCSM_BENCH_FAST=1 uses coarse tables and time steps for CI smoke runs.
     let (mcsm, _, sis) = setup
-        .characterize_nor2(&CharacterizationConfig::standard())
+        .characterize_nor2(&fast_or(
+            CharacterizationConfig::coarse(),
+            CharacterizationConfig::standard(),
+        ))
         .expect("characterization failed");
-    let data = fig11_mis_vs_sis(&setup, &mcsm, &sis, 2, 2e-12, 0.5e-12)
-        .expect("figure 11 experiment failed");
+    let data = fig11_mis_vs_sis(
+        &setup,
+        &mcsm,
+        &sis,
+        2,
+        fast_or(6e-12, 2e-12),
+        fast_or(2e-12, 0.5e-12),
+    )
+    .expect("figure 11 experiment failed");
 
     print_header(
         "Fig. 11 — simultaneous switching: MCSM vs. SIS CSM vs. SPICE (FO2)",

@@ -7,20 +7,31 @@
 //! environment variable `MCSM_FIG12_STEP_PS` to override (e.g. `10` for the
 //! paper's resolution).
 
-use mcsm_bench::{fig12_noise_sweep, print_header, print_row, Setup};
+use mcsm_bench::{fast_or, fig12_noise_sweep, print_header, print_row, Setup};
 use mcsm_core::config::CharacterizationConfig;
 
 fn main() {
+    // MCSM_BENCH_FAST=1 widens the default injection-time step and coarsens
+    // tables/time steps for CI smoke runs.
     let step_ps: f64 = std::env::var("MCSM_FIG12_STEP_PS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(25.0);
+        .unwrap_or(fast_or(250.0, 25.0));
     let setup = Setup::new();
     let (mcsm, _, _) = setup
-        .characterize_nor2(&CharacterizationConfig::standard())
+        .characterize_nor2(&fast_or(
+            CharacterizationConfig::coarse(),
+            CharacterizationConfig::standard(),
+        ))
         .expect("characterization failed");
-    let points = fig12_noise_sweep(&setup, &mcsm, step_ps * 1e-12, 2e-12, 0.5e-12)
-        .expect("figure 12 sweep failed");
+    let points = fig12_noise_sweep(
+        &setup,
+        &mcsm,
+        step_ps * 1e-12,
+        fast_or(6e-12, 2e-12),
+        fast_or(2e-12, 0.5e-12),
+    )
+    .expect("figure 12 sweep failed");
 
     print_header(
         "Fig. 12 — delay error vs. noise injection time (50 fF coupling, FO2 NOR2)",

@@ -482,7 +482,7 @@ pub fn fig10_glitch(
 }
 
 /// Figure 11: a simultaneous multiple-input-switching event, SPICE vs. MCSM vs.
-/// the SIS CSM of reference [5].
+/// the SIS CSM of reference \[5\].
 #[derive(Debug, Clone)]
 pub struct Fig11Data {
     /// Reference output waveform.

@@ -6,8 +6,10 @@
 //! makes the binaries trivial and lets integration tests assert on the *shape*
 //! of each result (who wins, by roughly how much) without duplicating setup.
 
+pub mod batch;
 pub mod experiments;
 pub mod report;
 
+pub use batch::*;
 pub use experiments::*;
 pub use report::*;

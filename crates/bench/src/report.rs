@@ -4,7 +4,42 @@
 //! into EXPERIMENTS.md or redirected to CSV-ish files; nothing here is specific
 //! to one figure.
 
+use mcsm_num::json::JsonValue;
 use mcsm_spice::waveform::Waveform;
+use std::path::Path;
+
+/// Whether benchmark/experiment binaries should run in fast smoke mode.
+///
+/// Controlled by the `MCSM_BENCH_FAST` environment variable: any value other
+/// than unset, empty or `0` enables it. CI smoke jobs set it so the fig*
+/// binaries and the `batch` experiment finish in seconds (tiny grids, coarse
+/// time steps, and for fig05/fig12 trimmed sweeps) instead of the full sweep
+/// sizes; the emitted files keep the same *format* either way, but fast runs
+/// contain fewer rows/points — don't diff them against full-mode output.
+pub fn fast_mode() -> bool {
+    mcsm_num::par::env_flag("MCSM_BENCH_FAST")
+}
+
+/// Picks `fast` or `full` depending on [`fast_mode`] — sugar for the fig*
+/// binaries' "tiny grid in CI, full grid locally" switches.
+pub fn fast_or<T>(fast: T, full: T) -> T {
+    if fast_mode() {
+        fast
+    } else {
+        full
+    }
+}
+
+/// Writes a machine-readable JSON report (pretty-printed, trailing newline).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error message.
+pub fn write_json_report(path: &Path, value: &JsonValue) -> Result<(), String> {
+    let mut text = value.to_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
 
 /// Formats a time in picoseconds with two decimals.
 pub fn ps(seconds: f64) -> String {

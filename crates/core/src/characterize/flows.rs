@@ -15,10 +15,12 @@ use super::tables::{capacitance_tables, current_tables, input_pin_capacitance};
 use crate::config::CharacterizationConfig;
 use crate::error::CsmError;
 use crate::model::{McsmModel, MisBaselineModel, SisModel};
+use crate::store::ModelStore;
 use crate::table::{voltage_axis, Table1, Table2, Table3, Table4};
-use mcsm_cells::cell::CellTemplate;
+use mcsm_cells::cell::{CellKind, CellTemplate};
 use mcsm_num::grid::Axis;
 use mcsm_num::lut::LutNd;
+use mcsm_num::par;
 use mcsm_spice::circuit::{Circuit, NodeId};
 use mcsm_spice::source::SourceWaveform;
 
@@ -340,10 +342,149 @@ pub fn characterize_sis(
     })
 }
 
+/// One unit of work inside a characterization batch: a single model family
+/// (and, for SIS, switching pin) of one cell.
+///
+/// Characterization cost is dominated by the DC/ramp sweeps of each family, and
+/// each family characterizes against its own freshly built [`Rig`], so tasks
+/// are embarrassingly parallel. [`characterize_batch`] fans a list of them over
+/// the [`mcsm_num::par`] pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CharacterizationTask {
+    /// The single-input-switching model of one pin (Section 2.1).
+    Sis {
+        /// The switching pin to characterize.
+        pin: usize,
+    },
+    /// The baseline MIS model (Section 3.1); two-input cells only.
+    MisBaseline,
+    /// The complete MCSM (Sections 3.2–3.3); two-input cells with one internal
+    /// stack node only.
+    Mcsm,
+}
+
+/// A characterized model of any family, as produced by one
+/// [`CharacterizationTask`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CharacterizedModel {
+    /// A single-input-switching model.
+    Sis(SisModel),
+    /// A baseline MIS model.
+    MisBaseline(MisBaselineModel),
+    /// A complete MCSM.
+    Mcsm(McsmModel),
+}
+
+/// The tasks [`characterize_store`] and [`characterize_batch`] run for a cell
+/// kind: one SIS model per input pin; for two-input cells also the baseline MIS
+/// model; and, when the cell has exactly one internal stack node, the complete
+/// MCSM.
+pub fn characterization_tasks(kind: CellKind) -> Vec<CharacterizationTask> {
+    let mut tasks: Vec<CharacterizationTask> = (0..kind.input_count())
+        .map(|pin| CharacterizationTask::Sis { pin })
+        .collect();
+    if kind.input_count() == 2 {
+        tasks.push(CharacterizationTask::MisBaseline);
+        if kind.internal_node_count() == 1 {
+            tasks.push(CharacterizationTask::Mcsm);
+        }
+    }
+    tasks
+}
+
+/// Runs one characterization task against a template.
+///
+/// # Errors
+///
+/// Propagates the underlying flow's failure.
+pub fn run_characterization_task(
+    template: &CellTemplate,
+    task: CharacterizationTask,
+    config: &CharacterizationConfig,
+) -> Result<CharacterizedModel, CsmError> {
+    match task {
+        CharacterizationTask::Sis { pin } => {
+            characterize_sis(template, pin, config).map(CharacterizedModel::Sis)
+        }
+        CharacterizationTask::MisBaseline => {
+            characterize_mis_baseline(template, config).map(CharacterizedModel::MisBaseline)
+        }
+        CharacterizationTask::Mcsm => {
+            characterize_mcsm(template, config).map(CharacterizedModel::Mcsm)
+        }
+    }
+}
+
+/// Characterizes every model family a cell supports into one [`ModelStore`],
+/// fanning the per-family tasks over `threads` worker threads (`0` = auto,
+/// `1` = sequential). The store contents are bit-identical for every thread
+/// count: each task is an independent pure function of `(template, config)`
+/// and results are assembled in task order.
+///
+/// # Errors
+///
+/// Propagates characterization failures; with several failing tasks the error
+/// of the first task in [`characterization_tasks`] order is reported, matching
+/// the sequential flow.
+pub fn characterize_store(
+    template: &CellTemplate,
+    config: &CharacterizationConfig,
+    threads: usize,
+) -> Result<ModelStore, CsmError> {
+    Ok(
+        characterize_batch(std::slice::from_ref(template), config, threads)?
+            .pop()
+            .expect("one store per template"),
+    )
+}
+
+/// Characterizes a whole library — one [`ModelStore`] per template — with the
+/// flattened `(template, family)` task list fanned over `threads` worker
+/// threads (`0` = auto, `1` = sequential).
+///
+/// This is the batch entry point the paper's "cheap enough to run at scale"
+/// pitch needs: the grid sweeps of all cells and families run concurrently,
+/// while the deterministic reduction in [`mcsm_num::par::par_map_result`]
+/// keeps the result bit-identical to the sequential flow.
+///
+/// # Errors
+///
+/// Propagates characterization failures (first failing task in sequential
+/// order).
+pub fn characterize_batch(
+    templates: &[CellTemplate],
+    config: &CharacterizationConfig,
+    threads: usize,
+) -> Result<Vec<ModelStore>, CsmError> {
+    let tasks: Vec<(usize, CharacterizationTask)> = templates
+        .iter()
+        .enumerate()
+        .flat_map(|(index, template)| {
+            characterization_tasks(template.kind())
+                .into_iter()
+                .map(move |task| (index, task))
+        })
+        .collect();
+
+    let models = par::par_map_result(threads, &tasks, |_, &(index, task)| {
+        run_characterization_task(&templates[index], task, config)
+    })?;
+
+    let mut stores: Vec<ModelStore> = templates.iter().map(|_| ModelStore::new()).collect();
+    for (&(index, _), model) in tasks.iter().zip(models) {
+        let store = &mut stores[index];
+        match model {
+            CharacterizedModel::Sis(model) => store.sis.push(model),
+            CharacterizedModel::MisBaseline(model) => store.mis_baseline = Some(model),
+            CharacterizedModel::Mcsm(model) => store.mcsm = Some(model),
+        }
+    }
+    Ok(stores)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcsm_cells::cell::CellKind;
     use mcsm_cells::tech::Technology;
 
     fn nor2() -> CellTemplate {
@@ -422,6 +563,70 @@ mod tests {
     fn sis_rejects_bad_pin() {
         let err = characterize_sis(&inverter(), 3, &CharacterizationConfig::coarse());
         assert!(matches!(err, Err(CsmError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn characterization_tasks_mirror_cell_capabilities() {
+        assert_eq!(
+            characterization_tasks(CellKind::Inverter),
+            vec![CharacterizationTask::Sis { pin: 0 }]
+        );
+        assert_eq!(
+            characterization_tasks(CellKind::Nor2),
+            vec![
+                CharacterizationTask::Sis { pin: 0 },
+                CharacterizationTask::Sis { pin: 1 },
+                CharacterizationTask::MisBaseline,
+                CharacterizationTask::Mcsm,
+            ]
+        );
+        // Three-input cells are SIS-only (no 3-input MIS tables exist).
+        assert_eq!(characterization_tasks(CellKind::Nor3).len(), 3);
+        assert!(characterization_tasks(CellKind::Nor3)
+            .iter()
+            .all(|t| matches!(t, CharacterizationTask::Sis { .. })));
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_sequential() {
+        let templates = [inverter(), nor2()];
+        let config = CharacterizationConfig::coarse();
+        let sequential = characterize_batch(&templates, &config, 1).unwrap();
+        let parallel = characterize_batch(&templates, &config, 4).unwrap();
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), 2);
+        assert_eq!(sequential[0].sis.len(), 1);
+        assert!(sequential[0].mcsm.is_none());
+        assert_eq!(sequential[1].sis.len(), 2);
+        assert!(sequential[1].mcsm.is_some());
+        assert!(sequential[1].mis_baseline.is_some());
+    }
+
+    #[test]
+    fn characterize_store_matches_the_individual_flows() {
+        let template = nor2();
+        let config = CharacterizationConfig::coarse();
+        let store = characterize_store(&template, &config, 2).unwrap();
+        assert_eq!(
+            store.mcsm,
+            Some(characterize_mcsm(&template, &config).unwrap())
+        );
+        assert_eq!(
+            store.sis_for_pin(1),
+            Some(&characterize_sis(&template, 1, &config).unwrap())
+        );
+    }
+
+    #[test]
+    fn batch_reports_the_first_failing_task_deterministically() {
+        // An invalid config fails every task; the error must be the sequential
+        // one (first task of the first template) at any thread count.
+        let mut config = CharacterizationConfig::coarse();
+        config.probe_delta_v = 0.0;
+        let templates = [nor2(), inverter()];
+        let err_seq = characterize_batch(&templates, &config, 1).unwrap_err();
+        let err_par = characterize_batch(&templates, &config, 4).unwrap_err();
+        assert_eq!(format!("{err_seq}"), format!("{err_par}"));
     }
 
     #[test]

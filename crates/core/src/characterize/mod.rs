@@ -11,6 +11,10 @@ pub mod flows;
 pub mod rig;
 pub mod tables;
 
-pub use flows::{characterize_mcsm, characterize_mis_baseline, characterize_sis};
+pub use flows::{
+    characterization_tasks, characterize_batch, characterize_mcsm, characterize_mis_baseline,
+    characterize_sis, characterize_store, run_characterization_task, CharacterizationTask,
+    CharacterizedModel,
+};
 pub use rig::{Rig, RigPin};
 pub use tables::{capacitance_tables, current_tables, input_pin_capacitance, CapacitanceTables};

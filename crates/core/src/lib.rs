@@ -88,7 +88,10 @@ pub mod sim;
 pub mod store;
 pub mod table;
 
-pub use characterize::{characterize_mcsm, characterize_mis_baseline, characterize_sis};
+pub use characterize::{
+    characterize_batch, characterize_mcsm, characterize_mis_baseline, characterize_sis,
+    characterize_store, CharacterizationTask, CharacterizedModel,
+};
 pub use config::CharacterizationConfig;
 pub use error::CsmError;
 pub use model::{CellModel, McsmModel, MisBaselineModel, SisModel};

@@ -1,7 +1,7 @@
 //! The cell-model families compared in the paper, behind one polymorphic trait.
 //!
 //! * [`sis::SisModel`] — single input switching, no internal node (the model of
-//!   reference [5]; Section 2.1).
+//!   reference \[5\]; Section 2.1).
 //! * [`mis_baseline::MisBaselineModel`] — multiple input switching without the
 //!   internal node (Section 3.1; the ~20 %-error baseline).
 //! * [`mcsm::McsmModel`] — the paper's contribution: multiple input switching

@@ -1,5 +1,5 @@
 //! The single-input-switching (SIS) current-source model of Section 2.1
-//! (the model of reference [5] in the paper).
+//! (the model of reference \[5\] in the paper).
 //!
 //! One input is the switching input; every other input is assumed to sit at its
 //! non-controlling value. All components depend only on `(V_in, V_o)`. The paper

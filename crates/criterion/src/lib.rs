@@ -12,6 +12,15 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+/// Whether `MCSM_BENCH_FAST` smoke mode is active (any value other than
+/// unset, empty or `0`; one parsing rule for the whole workspace via
+/// [`mcsm_num::par::env_flag`]). In fast mode every benchmark takes a single
+/// timed sample regardless of the configured sample size, so CI smoke runs
+/// finish in seconds; the printed report keeps the same shape.
+pub fn fast_mode() -> bool {
+    mcsm_num::par::env_flag("MCSM_BENCH_FAST")
+}
+
 /// Identifier for one benchmark within a group.
 pub struct BenchmarkId {
     label: String,
@@ -79,7 +88,9 @@ impl BenchmarkGroup<'_> {
 
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
         let mut bencher = Bencher {
-            sample_size: self.sample_size,
+            // MCSM_BENCH_FAST smoke runs take one sample instead of the full
+            // sample size.
+            sample_size: if fast_mode() { 1 } else { self.sample_size },
             last_median: None,
         };
         f(&mut bencher);
@@ -160,8 +171,8 @@ mod tests {
         group.sample_size(3);
         let mut runs = 0usize;
         group.bench_function("count_up", |b| b.iter(|| runs += 1));
-        // warmup + 3 samples.
-        assert_eq!(runs, 4);
+        // Warmup + 3 samples (or warmup + 1 under MCSM_BENCH_FAST).
+        assert_eq!(runs, if fast_mode() { 2 } else { 4 });
         group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
             b.iter(|| n * 2)
         });

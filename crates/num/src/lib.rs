@@ -18,6 +18,8 @@
 //! * [`units`] — light newtypes for electrical quantities.
 //! * [`json`] — a dependency-free JSON tree, parser and writer used for model
 //!   persistence (the build environment has no crates.io access).
+//! * [`par`] — a `std::thread`-only thread pool and deterministic `par_map`
+//!   primitives used to fan characterization grids and STA levels across cores.
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@ pub mod json;
 pub mod lut;
 pub mod matrix;
 pub mod newton;
+pub mod par;
 pub mod rootfind;
 pub mod stats;
 pub mod testrand;
@@ -54,4 +57,5 @@ pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use lut::LutNd;
 pub use matrix::DenseMatrix;
 pub use newton::{NewtonOptions, NewtonOutcome, NewtonSystem};
+pub use par::{par_map, par_map_result, resolve_threads, ThreadPool};
 pub use units::{Amps, Farads, Seconds, Volts};

@@ -1,0 +1,370 @@
+//! A dependency-free shared-memory parallel-execution substrate.
+//!
+//! The build environment has no crates.io access, so `rayon` &co. are off the
+//! table; everything here is `std::thread` + channels + atomics. Two layers:
+//!
+//! * [`ThreadPool`] — a channel-based pool for `'static` fire-and-forget jobs
+//!   (workers pop jobs off one shared queue, which is work stealing in its
+//!   simplest form: an idle worker takes the next job whoever submitted it).
+//! * [`par_map`] / [`par_map_result`] / [`par_for_each`] — scoped data-parallel
+//!   primitives over borrowed slices, built on [`std::thread::scope`] plus an
+//!   atomic work-stealing index. Results are written into pre-allocated
+//!   per-item slots, so the **reduction order is deterministic**: the output
+//!   `Vec` is ordered by item index regardless of which worker computed what,
+//!   and every entry is bit-identical to what a sequential `map` produces.
+//!
+//! Determinism contract: `par_map(n, items, f)` equals
+//! `items.iter().enumerate().map(f).collect()` for every `n`, as long as `f`
+//! itself is a pure function of its arguments. [`par_map_result`] additionally
+//! guarantees a deterministic error: all tasks run to completion and the error
+//! with the **lowest item index** is returned, exactly as a sequential
+//! short-circuiting loop would have reported (errors past the first sequential
+//! failure are discarded either way).
+//!
+//! Thread-count policy lives in [`resolve_threads`]: `0` means "auto", which
+//! honors the `MCSM_THREADS` environment variable and falls back to
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+/// The number of worker threads "auto" resolves to: the `MCSM_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`], otherwise 1.
+pub fn available_threads() -> usize {
+    if let Ok(value) = std::env::var("MCSM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves a requested thread count: `0` means "auto" (see
+/// [`available_threads`]), anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Parses a boolean environment flag: set and neither empty nor `"0"` means
+/// on. The single source of truth for switches like `MCSM_BENCH_FAST`, so
+/// every crate agrees on the parsing rule.
+pub fn env_flag(name: &str) -> bool {
+    parse_flag(std::env::var(name).ok().as_deref())
+}
+
+/// The parsing rule behind [`env_flag`], split out so it is testable without
+/// mutating the process environment (concurrent `setenv`/`getenv` from
+/// parallel tests is undefined behavior on glibc).
+fn parse_flag(value: Option<&str>) -> bool {
+    match value {
+        Some(value) => !value.is_empty() && value != "0",
+        None => false,
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+type PendingCounter = Arc<(Mutex<usize>, std::sync::Condvar)>;
+
+/// Decrements the pending-job counter when dropped — including during a
+/// worker's unwind after a panicking job, so [`ThreadPool::join`] can never
+/// deadlock on a job that died.
+struct PendingGuard<'a>(&'a PendingCounter);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let (count, signal) = &**self.0;
+        if let Ok(mut guard) = count.lock() {
+            *guard -= 1;
+        }
+        signal.notify_all();
+    }
+}
+
+/// A channel-based thread pool for `'static` jobs.
+///
+/// Workers share one receiving end of an [`mpsc`] channel behind a mutex and
+/// pop jobs as they become free. Dropping the pool closes the channel and joins
+/// every worker, so queued jobs always finish before the pool goes away.
+///
+/// Panics: a panicking job is caught ([`std::panic::catch_unwind`]) and its
+/// panic payload discarded — the worker survives, queued jobs keep draining,
+/// and [`ThreadPool::join`] cannot deadlock. Jobs that must report failure
+/// should communicate through their own channel rather than panicking.
+///
+/// For data-parallel work over borrowed slices prefer [`par_map`], which needs
+/// no `'static` bound and returns results in deterministic order.
+#[derive(Debug)]
+pub struct ThreadPool {
+    workers: Vec<thread::JoinHandle<()>>,
+    sender: Option<mpsc::Sender<Job>>,
+    pending: PendingCounter,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let pending = Arc::new((Mutex::new(0usize), std::sync::Condvar::new()));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let pending = Arc::clone(&pending);
+                thread::spawn(move || loop {
+                    let job = {
+                        let guard = receiver.lock().expect("pool receiver poisoned");
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => {
+                            // The guard decrements the counter even if `job`
+                            // panics, and the panic itself is caught so the
+                            // worker survives to drain the rest of the queue:
+                            // `join` can never be left waiting on jobs that
+                            // have no worker to run them.
+                            let _guard = PendingGuard(&pending);
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                        Err(_) => break, // channel closed: pool is shutting down
+                    }
+                })
+            })
+            .collect();
+        ThreadPool {
+            workers,
+            sender: Some(sender),
+            pending,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job to the pool.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let (count, _) = &*self.pending;
+        *count.lock().expect("pending counter poisoned") += 1;
+        self.sender
+            .as_ref()
+            .expect("pool sender alive while pool exists")
+            .send(Box::new(job))
+            .expect("pool workers alive while pool exists");
+    }
+
+    /// Blocks until every job submitted so far has finished.
+    pub fn join(&self) {
+        let (count, signal) = &*self.pending;
+        let mut guard = count.lock().expect("pending counter poisoned");
+        while *guard > 0 {
+            guard = signal.wait(guard).expect("pending counter poisoned");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.sender.take(); // close the channel so workers exit their loop
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads.
+///
+/// `f` receives the item index and the item. The output is ordered by item
+/// index and bit-identical to the sequential map for pure `f` — see the module
+/// docs for the determinism contract. `threads <= 1` (or fewer than two items)
+/// runs sequentially on the calling thread with no pool overhead.
+///
+/// # Panics
+///
+/// A panic inside `f` is propagated to the caller once all workers have
+/// stopped, matching [`std::thread::scope`] semantics.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let result = f(index, &items[index]);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index visited exactly once")
+        })
+        .collect()
+}
+
+/// Fallible [`par_map`]: maps `f` over `items` and returns either every result
+/// (ordered by item index) or the error of the **lowest-index** failing item,
+/// which is exactly the error a sequential short-circuiting loop reports.
+///
+/// All tasks run to completion even when one fails; there is deliberately no
+/// early cancellation, because skipping not-yet-started tasks would make the
+/// reported error depend on scheduling.
+pub fn par_map_result<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = par_map(threads, items, f);
+    let mut out = Vec::with_capacity(results.len());
+    for result in results {
+        out.push(result?);
+    }
+    Ok(out)
+}
+
+/// Runs `f` for every item on up to `threads` worker threads, ignoring results.
+pub fn par_for_each<T, F>(threads: usize, items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    par_map(threads, items, |i, t| f(i, t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testrand::TestRng;
+
+    #[test]
+    fn par_map_matches_sequential_map_at_every_thread_count() {
+        let mut rng = TestRng::new(42);
+        let items: Vec<f64> = (0..257).map(|_| rng.in_range(-5.0, 5.0)).collect();
+        let f = |i: usize, x: &f64| (x * 1.5 + i as f64).sin();
+        let sequential: Vec<f64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = par_map(threads, &items, f);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single_item_slices() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, x| *x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |_, x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn par_map_result_reports_the_lowest_index_error() {
+        let items: Vec<usize> = (0..100).collect();
+        let result = par_map_result(8, &items, |_, &x| {
+            if x % 7 == 3 {
+                Err(format!("item {x} failed"))
+            } else {
+                Ok(x * 2)
+            }
+        });
+        // Failing items are 3, 10, 17, …; the sequential loop reports 3.
+        assert_eq!(result.unwrap_err(), "item 3 failed");
+
+        let ok = par_map_result(8, &items, |_, &x| Ok::<_, String>(x + 1)).unwrap();
+        assert_eq!(ok, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_for_each_visits_every_item_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        par_for_each(4, &counters, |_, c| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn thread_pool_runs_static_jobs_and_joins() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+        // Dropping the pool joins workers; jobs submitted before the drop ran.
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn panicking_job_does_not_deadlock_join() {
+        // One worker and an early panicking job: if the panic killed the
+        // worker, every later job would sit in the queue and join() would
+        // hang. The catch_unwind in the worker loop must prevent that.
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                if i == 3 {
+                    panic!("job {i} dies");
+                }
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn env_flag_parses_like_the_bench_switches() {
+        // The parsing rule is tested on the pure helper; mutating the real
+        // environment from a parallel test binary would be UB on glibc.
+        assert!(!parse_flag(None));
+        assert!(!parse_flag(Some("")));
+        assert!(!parse_flag(Some("0")));
+        assert!(parse_flag(Some("1")));
+        assert!(parse_flag(Some("true")));
+        // An unset name resolves through the env path to off.
+        assert!(!env_flag("MCSM_FLAG_THAT_IS_NEVER_SET"));
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_a_positive_count() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(5), 5);
+    }
+}

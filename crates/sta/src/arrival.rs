@@ -7,11 +7,12 @@
 //! from the waveforms afterwards, which is exactly the property that makes CSMs
 //! robust to noisy (non-ramp) signals.
 
-use crate::delaycalc::DelayCalculator;
+use crate::delaycalc::{DelayCache, DelayCalculator};
 use crate::error::StaError;
 use crate::graph::{GateGraph, NetId};
 use crate::models::ModelLibrary;
 use mcsm_core::sim::DriveWaveform;
+use mcsm_num::par;
 use mcsm_spice::waveform::Waveform;
 use std::collections::HashMap;
 
@@ -22,6 +23,29 @@ pub struct TimingOptions {
     pub calculator: DelayCalculator,
     /// Additional lumped load on every primary output (farads).
     pub primary_output_load: f64,
+    /// Worker threads for level-parallel propagation: the gates of each
+    /// topological level are fanned over this many threads (`0` = auto from
+    /// `MCSM_THREADS` / the machine, `1` = sequential). Results are
+    /// bit-identical for every value.
+    pub threads: usize,
+}
+
+impl TimingOptions {
+    /// Creates sequential (single-threaded) options.
+    pub fn new(calculator: DelayCalculator, primary_output_load: f64) -> Self {
+        TimingOptions {
+            calculator,
+            primary_output_load,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count for level-parallel propagation.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// The result of propagating waveforms through a gate graph.
@@ -29,6 +53,8 @@ pub struct TimingOptions {
 pub struct TimingResult {
     waveforms: HashMap<NetId, Waveform>,
     vdd: f64,
+    cache_hits: usize,
+    cache_misses: usize,
 }
 
 impl TimingResult {
@@ -65,6 +91,27 @@ impl TimingResult {
     pub fn nets(&self) -> impl Iterator<Item = NetId> + '_ {
         self.waveforms.keys().copied()
     }
+
+    /// Delay-cache lookups answered from the memoized per-(cell, backend,
+    /// load-bucket) cache during this run.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Delay-cache lookups that had to compute their value during this run.
+    pub fn cache_misses(&self) -> usize {
+        self.cache_misses
+    }
+}
+
+/// One gate's inputs gathered for evaluation: everything the delay calculator
+/// needs, so the evaluation itself can run on any worker thread.
+struct GateTask<'a> {
+    store: &'a mcsm_core::store::ModelStore,
+    kind: mcsm_cells::cell::CellKind,
+    inputs: Vec<DriveWaveform>,
+    load: f64,
+    output: NetId,
 }
 
 /// Propagates waveforms from the primary inputs to every net of the graph.
@@ -72,6 +119,13 @@ impl TimingResult {
 /// `input_drives` must provide a drive waveform for every primary input.
 /// Gate loads are computed from the characterized input pin capacitances of the
 /// fanout gates, plus `primary_output_load` on primary outputs.
+///
+/// Propagation is **level-parallel**: the gates of each topological level are
+/// independent (their inputs come from earlier levels only), so each level is
+/// fanned over [`TimingOptions::threads`] workers, backed by a shared
+/// [`DelayCache`] memoizing model-family resolution and pin capacitances.
+/// Results are bit-identical for every thread count — see
+/// [`mcsm_num::par`] for the determinism contract.
 ///
 /// # Errors
 ///
@@ -93,50 +147,83 @@ pub fn propagate(
         }
     }
 
-    let order = graph.topological_order()?;
+    let levels = graph.topological_levels()?;
     let vdd = library.vdd();
+    let cache = DelayCache::new();
 
     // Drives known so far: primary inputs first, then gate outputs as computed.
     let mut drives: HashMap<NetId, DriveWaveform> = input_drives.clone();
     let mut waveforms: HashMap<NetId, Waveform> = HashMap::new();
 
-    for gate_id in order {
-        let gate = graph.gate(gate_id);
-        let store = library.store(gate.kind)?;
+    for level in levels {
+        // Gather phase (sequential, cheap): collect each gate's inputs and
+        // lumped load against the drives of earlier levels.
+        let mut tasks = Vec::with_capacity(level.len());
+        for &gate_id in &level {
+            let gate = graph.gate(gate_id);
+            let store = library.store(gate.kind)?;
 
-        let inputs: Vec<DriveWaveform> = gate
-            .inputs
-            .iter()
-            .map(|net| {
-                drives.get(net).cloned().ok_or_else(|| {
-                    StaError::InvalidGraph(format!(
-                        "net `{}` reached gate `{}` without a waveform",
-                        graph.net_name(*net),
-                        gate.name
-                    ))
+            let inputs: Vec<DriveWaveform> = gate
+                .inputs
+                .iter()
+                .map(|net| {
+                    drives.get(net).cloned().ok_or_else(|| {
+                        StaError::InvalidGraph(format!(
+                            "net `{}` reached gate `{}` without a waveform",
+                            graph.net_name(*net),
+                            gate.name
+                        ))
+                    })
                 })
-            })
-            .collect::<Result<_, _>>()?;
+                .collect::<Result<_, _>>()?;
 
-        // Lumped load: input capacitance of every fanout pin plus the external
-        // load if this net is a primary output.
-        let mut load = 0.0;
-        for (fanout_gate, pin) in graph.fanout_of(gate.output) {
-            let kind = graph.gate(fanout_gate).kind;
-            load += library.input_pin_capacitance(kind, pin)?;
-        }
-        if graph.primary_outputs().contains(&gate.output) {
-            load += options.primary_output_load;
+            // Lumped load: input capacitance of every fanout pin plus the
+            // external load if this net is a primary output.
+            let mut load = 0.0;
+            for (fanout_gate, pin) in graph.fanout_of(gate.output) {
+                let kind = graph.gate(fanout_gate).kind;
+                load += cache
+                    .pin_capacitance(kind, pin, || library.input_pin_capacitance(kind, pin))?;
+            }
+            if graph.primary_outputs().contains(&gate.output) {
+                load += options.primary_output_load;
+            }
+
+            tasks.push(GateTask {
+                store,
+                kind: gate.kind,
+                inputs,
+                load,
+                output: gate.output,
+            });
         }
 
-        let waveform = options
-            .calculator
-            .gate_output(store, gate.kind, &inputs, load)?;
-        drives.insert(gate.output, DriveWaveform::Sampled(waveform.clone()));
-        waveforms.insert(gate.output, waveform);
+        // Evaluate phase: every gate of the level in parallel.
+        let outputs = par::par_map(options.threads, &tasks, |_, task| {
+            options.calculator.gate_output_cached(
+                task.store,
+                task.kind,
+                &task.inputs,
+                task.load,
+                Some(&cache),
+            )
+        });
+
+        // Commit phase (sequential, in level order, so the first error matches
+        // what the sequential traversal would report).
+        for (task, waveform) in tasks.iter().zip(outputs) {
+            let waveform = waveform?;
+            drives.insert(task.output, DriveWaveform::Sampled(waveform.clone()));
+            waveforms.insert(task.output, waveform);
+        }
     }
 
-    Ok(TimingResult { waveforms, vdd })
+    Ok(TimingResult {
+        waveforms,
+        vdd,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+    })
 }
 
 #[cfg(test)]
@@ -173,10 +260,34 @@ mod tests {
     }
 
     fn options(backend: DelayBackend) -> TimingOptions {
-        TimingOptions {
-            calculator: DelayCalculator::new(backend, CsmSimOptions::new(4e-9, 1e-12), 1.2),
-            primary_output_load: 2e-15,
+        TimingOptions::new(
+            DelayCalculator::new(backend, CsmSimOptions::new(4e-9, 1e-12), 1.2),
+            2e-15,
+        )
+    }
+
+    /// Two levels of NOR2 pairs funnelling into an inverter chain — wide
+    /// enough that level-parallel execution actually fans out.
+    fn wide_graph() -> GateGraph {
+        let mut g = GateGraph::new();
+        let pis: Vec<_> = (0..4).map(|i| g.net(&format!("in{i}"))).collect();
+        for &pi in &pis {
+            g.mark_primary_input(pi);
         }
+        let m0 = g.net("m0");
+        let m1 = g.net("m1");
+        let n0 = g.net("n0");
+        let n1 = g.net("n1");
+        let out = g.net("out");
+        g.mark_primary_output(out);
+        g.add_gate("u0", CellKind::Nor2, &[pis[0], pis[1]], m0)
+            .unwrap();
+        g.add_gate("u1", CellKind::Nor2, &[pis[2], pis[3]], m1)
+            .unwrap();
+        g.add_gate("v0", CellKind::Inverter, &[m0], n0).unwrap();
+        g.add_gate("v1", CellKind::Inverter, &[m1], n1).unwrap();
+        g.add_gate("w", CellKind::Nor2, &[n0, n1], out).unwrap();
+        g
     }
 
     #[test]
@@ -232,6 +343,54 @@ mod tests {
         let simple_opts = options(DelayBackend::Selective(SelectivePolicy::new(1e-9)));
         let simple = propagate(&g, &lib, &drives, &simple_opts).unwrap();
         assert!(simple.arrival_time(out, false).unwrap().is_some());
+    }
+
+    #[test]
+    fn parallel_propagation_is_bit_identical_to_sequential() {
+        let lib = library();
+        let g = wide_graph();
+        let mut drives = HashMap::new();
+        for (i, &pi) in g.primary_inputs().iter().enumerate() {
+            // Stagger the input edges so the two cones are not symmetric.
+            drives.insert(
+                pi,
+                DriveWaveform::falling_ramp(1.2, 1e-9 + 40e-12 * i as f64, 80e-12),
+            );
+        }
+
+        for backend in [
+            DelayBackend::CompleteMcsm,
+            DelayBackend::Selective(mcsm_core::selective::SelectivePolicy::default()),
+        ] {
+            let sequential = propagate(&g, &lib, &drives, &options(backend)).unwrap();
+            for threads in [2, 8] {
+                let parallel =
+                    propagate(&g, &lib, &drives, &options(backend).with_threads(threads)).unwrap();
+                for net in sequential.nets() {
+                    assert_eq!(
+                        sequential.waveform(net).unwrap(),
+                        parallel.waveform(net).unwrap(),
+                        "{backend:?} net `{}` at {threads} threads",
+                        g.net_name(net)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delay_cache_is_exercised_by_propagation() {
+        let lib = library();
+        let g = wide_graph();
+        let mut drives = HashMap::new();
+        for &pi in g.primary_inputs() {
+            drives.insert(pi, DriveWaveform::falling_ramp(1.2, 1e-9, 80e-12));
+        }
+        let result = propagate(&g, &lib, &drives, &options(DelayBackend::CompleteMcsm)).unwrap();
+        // Five gates share kinds and loads: pin capacitances and family
+        // resolutions repeat, so the cache must see hits.
+        assert!(result.cache_hits() > 0, "hits = {}", result.cache_hits());
+        assert!(result.cache_misses() > 0);
     }
 
     #[test]

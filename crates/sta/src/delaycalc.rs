@@ -23,11 +23,14 @@
 
 use crate::error::StaError;
 use mcsm_cells::cell::CellKind;
-use mcsm_core::selective::SelectivePolicy;
+use mcsm_core::selective::{ModelChoice, SelectivePolicy};
 use mcsm_core::sim::{simulate, CsmSimOptions, DriveWaveform};
 use mcsm_core::store::{ModelBackend, ModelStore};
 use mcsm_core::CsmError;
 use mcsm_spice::waveform::Waveform;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 
 /// Which model family the calculator prefers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +45,161 @@ pub enum DelayBackend {
     /// driven load against the cell's own output capacitance and picks the
     /// complete MCSM (light load) or the simple MIS model (heavy load).
     Selective(SelectivePolicy),
+}
+
+/// The model family a backend's fallback chain resolved to for one
+/// `(cell, backend, load-bucket)` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ResolvedFamily {
+    /// Run the complete MCSM.
+    Mcsm,
+    /// Run the baseline MIS model.
+    Baseline,
+    /// Run a SIS model. The concrete pin is picked per event from the input
+    /// waveforms, so it is deliberately not part of the cached decision.
+    Sis,
+}
+
+/// Cache key fragment identifying a backend: a discriminant plus, for
+/// [`DelayBackend::Selective`], the policy threshold bits.
+type BackendKey = (u8, u64);
+
+/// A memoization cache for the per-gate work that depends only on
+/// `(cell kind, backend, load bucket)` — not on the input waveforms:
+///
+/// * which model **family** the backend's fallback chain resolves to (for the
+///   selective backend this includes the §3.4 load-ratio decision);
+/// * the **input pin capacitance** a cell presents on one of its pins, used to
+///   build lumped loads (keyed by `(kind, pin)` alone, since it is always
+///   queried at mid rail).
+///
+/// Loads are quantized to attofarad buckets ([`DelayCache::load_bucket`]), far
+/// below any physically meaningful capacitance difference in these models;
+/// load-dependent decisions (the §3.4 selective choice) are evaluated at the
+/// bucket center so the cached value is a pure function of its key.
+///
+/// **Scope: one model library per cache.** The cached values are pure
+/// functions of `(key, store contents)`, and the key deliberately does not
+/// identify the store — so a cache must only ever be consulted against one
+/// set of [`ModelStore`]s (one `ModelLibrary`), as `propagate` does by
+/// creating a fresh cache per run. Within that scope, sharing the cache
+/// across threads (via `Arc` or a scoped borrow) cannot change results:
+/// concurrent fills of the same key write the same value. Reusing a cache
+/// against a *different* library returns that library the first library's
+/// decisions — don't.
+#[derive(Debug, Default)]
+pub struct DelayCache {
+    families: RwLock<HashMap<(CellKind, BackendKey, u64), ResolvedFamily>>,
+    pin_caps: RwLock<HashMap<(CellKind, usize), f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl DelayCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DelayCache::default()
+    }
+
+    /// Quantizes a lumped load to its cache bucket (attofarad resolution).
+    pub fn load_bucket(load_capacitance: f64) -> u64 {
+        (load_capacitance * 1e18).round().max(0.0) as u64
+    }
+
+    /// Number of lookups answered from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute their value.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The memoized input pin capacitance for `(kind, pin)`, computing it with
+    /// `compute` on the first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s failure (failures are not cached).
+    pub fn pin_capacitance(
+        &self,
+        kind: CellKind,
+        pin: usize,
+        compute: impl FnOnce() -> Result<f64, StaError>,
+    ) -> Result<f64, StaError> {
+        if let Some(&value) = self
+            .pin_caps
+            .read()
+            .expect("pin-capacitance cache poisoned")
+            .get(&(kind, pin))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(value);
+        }
+        let value = compute()?;
+        // Re-check under the write lock: a concurrent filler of the same key
+        // counts as a hit, so exactly one miss is recorded per distinct key
+        // and the hit/miss statistics are deterministic at any thread count.
+        match self
+            .pin_caps
+            .write()
+            .expect("pin-capacitance cache poisoned")
+            .entry((kind, pin))
+        {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.insert(value);
+            }
+        }
+        Ok(value)
+    }
+
+    /// `compute` receives the bucket's **representative load** (its center,
+    /// `bucket * 1 aF`), never the raw load: the cached value must be a pure
+    /// function of the key, or two loads sharing a bucket but straddling a
+    /// selective-policy threshold would make the cached family depend on
+    /// which gate filled the cache first — a scheduling-dependent result.
+    fn resolved_family(
+        &self,
+        kind: CellKind,
+        backend: BackendKey,
+        load_capacitance: f64,
+        compute: impl FnOnce(f64) -> ResolvedFamily,
+    ) -> ResolvedFamily {
+        let bucket = Self::load_bucket(load_capacitance);
+        let key = (kind, backend, bucket);
+        if let Some(&family) = self
+            .families
+            .read()
+            .expect("family cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return family;
+        }
+        let family = compute(bucket as f64 * 1e-18);
+        // Re-check under the write lock (see `pin_capacitance`): one miss per
+        // distinct key, deterministic statistics at any thread count.
+        match self
+            .families
+            .write()
+            .expect("family cache poisoned")
+            .entry(key)
+        {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.insert(family);
+            }
+        }
+        family
+    }
 }
 
 /// A waveform-based gate delay calculator.
@@ -89,6 +247,31 @@ impl DelayCalculator {
         inputs: &[DriveWaveform],
         load_capacitance: f64,
     ) -> Result<Waveform, StaError> {
+        self.gate_output_cached(store, kind, inputs, load_capacitance, None)
+    }
+
+    /// Like [`DelayCalculator::gate_output`], consulting a shared [`DelayCache`]
+    /// for the model-family resolution. As long as the cache is only used with
+    /// one set of stores (see the scope note on [`DelayCache`]), cached runs
+    /// are bit-identical to each other at any thread count. Relative to the
+    /// *uncached* path the one nuance is the cache's attofarad load
+    /// quantization: with [`DelayBackend::Selective`], a load within half an
+    /// attofarad of the policy threshold may resolve to the other family than
+    /// the raw-load evaluation would — physically meaningless, but worth
+    /// knowing when comparing against [`DelayCalculator::gate_output`] at
+    /// artificial threshold-straddling loads.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DelayCalculator::gate_output`].
+    pub fn gate_output_cached(
+        &self,
+        store: &ModelStore,
+        kind: CellKind,
+        inputs: &[DriveWaveform],
+        load_capacitance: f64,
+        cache: Option<&DelayCache>,
+    ) -> Result<Waveform, StaError> {
         if inputs.len() != kind.input_count() {
             return Err(StaError::InvalidParameter(format!(
                 "{} expects {} inputs, got {}",
@@ -125,33 +308,94 @@ impl DelayCalculator {
             )));
         }
 
-        // Two-input cells: dispatch on the backend, falling back gracefully.
-        match self.backend {
-            DelayBackend::Selective(policy) => {
-                match self.try_resolve(store, ModelBackend::Selective(policy), load_capacitance)? {
-                    Some(model) => {
-                        self.run_model(&*model, &inputs[..2], load_capacitance, v_out_initial)
-                    }
-                    // A store without both families degrades exactly like the
-                    // complete backend would.
-                    None => self.complete_or_simpler(
-                        store,
-                        kind,
-                        inputs,
-                        load_capacitance,
-                        v_out_initial,
-                    ),
-                }
+        // Two-input cells: resolve the model family the backend's fallback
+        // chain lands on (memoized per (cell, backend, load-bucket) when a
+        // cache is supplied), then run it.
+        // Only the selective backend's resolution depends on the load; the
+        // other backends share one cache entry per (cell, backend) instead of
+        // one per load bucket.
+        let cache_load = match self.backend {
+            DelayBackend::Selective(_) => load_capacitance,
+            _ => 0.0,
+        };
+        let family = match cache {
+            Some(cache) => {
+                cache.resolved_family(kind, self.backend_key(), cache_load, |bucket_load| {
+                    self.resolve_family(store, bucket_load)
+                })
             }
-            DelayBackend::CompleteMcsm => {
-                self.complete_or_simpler(store, kind, inputs, load_capacitance, v_out_initial)
+            None => self.resolve_family(store, load_capacitance),
+        };
+        match family {
+            ResolvedFamily::Mcsm => {
+                let model = store.mcsm.as_ref().ok_or_else(|| {
+                    StaError::MissingModel(format!(
+                        "store has no complete MCSM for {}",
+                        kind.name()
+                    ))
+                })?;
+                self.run_model(model, &inputs[..2], load_capacitance, v_out_initial)
             }
-            DelayBackend::BaselineMis => {
-                self.baseline_or_sis(store, kind, inputs, load_capacitance, v_out_initial)
+            ResolvedFamily::Baseline => {
+                let model = store.mis_baseline.as_ref().ok_or_else(|| {
+                    StaError::MissingModel(format!(
+                        "store has no baseline MIS model for {}",
+                        kind.name()
+                    ))
+                })?;
+                self.run_model(model, &inputs[..2], load_capacitance, v_out_initial)
             }
-            DelayBackend::SisOnly => {
+            ResolvedFamily::Sis => {
                 self.sis_only(store, kind, inputs, load_capacitance, v_out_initial)
             }
+        }
+    }
+
+    /// The cache-key fragment identifying this calculator's backend.
+    fn backend_key(&self) -> BackendKey {
+        match self.backend {
+            DelayBackend::SisOnly => (0, 0),
+            DelayBackend::BaselineMis => (1, 0),
+            DelayBackend::CompleteMcsm => (2, 0),
+            DelayBackend::Selective(policy) => (3, policy.load_ratio_threshold.to_bits()),
+        }
+    }
+
+    /// Resolves which model family this backend runs for a (two-input) cell
+    /// driving `load_capacitance`, applying the documented fallback chain.
+    /// A pure function of `(backend, store contents, load)`, so it is safe to
+    /// memoize per (cell, backend, load-bucket).
+    fn resolve_family(&self, store: &ModelStore, load_capacitance: f64) -> ResolvedFamily {
+        let complete_chain = || {
+            if store.mcsm.is_some() {
+                ResolvedFamily::Mcsm
+            } else if store.mis_baseline.is_some() {
+                ResolvedFamily::Baseline
+            } else {
+                ResolvedFamily::Sis
+            }
+        };
+        match self.backend {
+            DelayBackend::SisOnly => ResolvedFamily::Sis,
+            DelayBackend::BaselineMis => {
+                if store.mis_baseline.is_some() {
+                    ResolvedFamily::Baseline
+                } else {
+                    ResolvedFamily::Sis
+                }
+            }
+            DelayBackend::CompleteMcsm => complete_chain(),
+            DelayBackend::Selective(policy) => match (&store.mcsm, &store.mis_baseline) {
+                // Both families available: the §3.4 policy picks per load,
+                // exactly as the `SelectiveModel` wrapper would.
+                (Some(mcsm), Some(_)) => match policy.choose(mcsm, load_capacitance) {
+                    ModelChoice::CompleteMcsm => ResolvedFamily::Mcsm,
+                    ModelChoice::SimpleMis => ResolvedFamily::Baseline,
+                },
+                // A store without both families degrades exactly like the
+                // complete backend would.
+                _ => complete_chain(),
+            },
         }
     }
 
@@ -189,34 +433,6 @@ impl DelayCalculator {
             Ok(model) => Ok(Some(model)),
             Err(CsmError::MissingModel(_)) => Ok(None),
             Err(e) => Err(e.into()),
-        }
-    }
-
-    fn complete_or_simpler(
-        &self,
-        store: &ModelStore,
-        kind: CellKind,
-        inputs: &[DriveWaveform],
-        load_capacitance: f64,
-        v_out_initial: f64,
-    ) -> Result<Waveform, StaError> {
-        match self.try_resolve(store, ModelBackend::CompleteMcsm, load_capacitance)? {
-            Some(model) => self.run_model(&*model, &inputs[..2], load_capacitance, v_out_initial),
-            None => self.baseline_or_sis(store, kind, inputs, load_capacitance, v_out_initial),
-        }
-    }
-
-    fn baseline_or_sis(
-        &self,
-        store: &ModelStore,
-        kind: CellKind,
-        inputs: &[DriveWaveform],
-        load_capacitance: f64,
-        v_out_initial: f64,
-    ) -> Result<Waveform, StaError> {
-        match self.try_resolve(store, ModelBackend::BaselineMis, load_capacitance)? {
-            Some(model) => self.run_model(&*model, &inputs[..2], load_capacitance, v_out_initial),
-            None => self.sis_only(store, kind, inputs, load_capacitance, v_out_initial),
         }
     }
 
@@ -410,6 +626,78 @@ mod tests {
             )
             .unwrap();
         assert!(out.final_value() > 1.0);
+    }
+
+    #[test]
+    fn cached_and_uncached_gate_output_are_bit_identical() {
+        let store = nor2_store();
+        let cache = DelayCache::new();
+        let a = DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        let b = DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        for backend in [
+            DelayBackend::SisOnly,
+            DelayBackend::BaselineMis,
+            DelayBackend::CompleteMcsm,
+            DelayBackend::Selective(SelectivePolicy::default()),
+        ] {
+            let calc = calculator(backend);
+            let inputs = [a.clone(), b.clone()];
+            let plain = calc
+                .gate_output(&store, CellKind::Nor2, &inputs, 4e-15)
+                .unwrap();
+            let first = calc
+                .gate_output_cached(&store, CellKind::Nor2, &inputs, 4e-15, Some(&cache))
+                .unwrap();
+            let second = calc
+                .gate_output_cached(&store, CellKind::Nor2, &inputs, 4e-15, Some(&cache))
+                .unwrap();
+            assert_eq!(plain, first, "{backend:?} cached vs uncached");
+            assert_eq!(plain, second, "{backend:?} repeat lookup");
+        }
+        // Each backend resolved its family once and reused it once.
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 4);
+    }
+
+    #[test]
+    fn delay_cache_memoizes_pin_capacitances() {
+        let cache = DelayCache::new();
+        let mut computed = 0;
+        for _ in 0..3 {
+            let c = cache
+                .pin_capacitance(CellKind::Nor2, 0, || {
+                    computed += 1;
+                    Ok(1.5e-15)
+                })
+                .unwrap();
+            assert_eq!(c, 1.5e-15);
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(cache.hits(), 2);
+        // Failures are not cached: the next call recomputes.
+        let err = cache.pin_capacitance(CellKind::Nor2, 1, || {
+            Err(StaError::MissingModel("nope".into()))
+        });
+        assert!(err.is_err());
+        assert!(cache
+            .pin_capacitance(CellKind::Nor2, 1, || Ok(2e-15))
+            .is_ok());
+    }
+
+    #[test]
+    fn load_buckets_quantize_at_attofarad_resolution() {
+        assert_eq!(DelayCache::load_bucket(4e-15), 4000);
+        // Differences far below an attofarad share a bucket…
+        assert_eq!(
+            DelayCache::load_bucket(4e-15),
+            DelayCache::load_bucket(4e-15 + 1e-21)
+        );
+        // …while attofarad-scale differences do not.
+        assert_ne!(
+            DelayCache::load_bucket(4e-15),
+            DelayCache::load_bucket(4.002e-15)
+        );
+        assert_eq!(DelayCache::load_bucket(-1e-18), 0);
     }
 
     #[test]

@@ -184,61 +184,98 @@ impl GateGraph {
 
     /// Returns the gates in topological order (inputs before the gates they feed).
     ///
+    /// The order is the flattening of [`GateGraph::topological_levels`].
+    ///
     /// # Errors
     ///
     /// Returns [`StaError::InvalidGraph`] if the graph has a combinational cycle
     /// or a gate input that is neither a primary input nor driven by another gate.
     pub fn topological_order(&self) -> Result<Vec<GateId>, StaError> {
-        // Nets that are known: primary inputs initially, plus outputs of placed gates.
-        let mut known: Vec<bool> = vec![false; self.net_names.len()];
-        for &pi in &self.primary_inputs {
-            known[pi.0] = true;
+        Ok(self.topological_levels()?.into_iter().flatten().collect())
+    }
+
+    /// Returns the gates grouped into topological levels: every input of a
+    /// gate in level `k` is a primary input or the output of a gate in a level
+    /// strictly before `k`. All gates of one level are therefore independent
+    /// and can be evaluated concurrently; within a level gates appear in
+    /// insertion order, which keeps any level-by-level traversal deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidGraph`] if the graph has a combinational cycle
+    /// or a gate input that is neither a primary input nor driven by another gate.
+    pub fn topological_levels(&self) -> Result<Vec<Vec<GateId>>, StaError> {
+        // Wave-by-wave Kahn's algorithm, O(gates + edges): each wave is the
+        // set of gates whose gate-driven inputs have all been placed.
+        let mut driver: Vec<Option<usize>> = vec![None; self.net_names.len()];
+        for (idx, gate) in self.gates.iter().enumerate() {
+            driver[gate.output.0] = Some(idx);
         }
-        // Undriven, non-primary-input nets are an error.
-        for gate in &self.gates {
+        let mut is_primary_input = vec![false; self.net_names.len()];
+        for &pi in &self.primary_inputs {
+            is_primary_input[pi.0] = true;
+        }
+
+        // Pending gate-driven inputs per gate, plus the reverse (fanout) edges
+        // used to release them; undriven non-primary-input nets are an error.
+        let mut pending = vec![0usize; self.gates.len()];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
+        for (idx, gate) in self.gates.iter().enumerate() {
             for &input in &gate.inputs {
-                if !self.primary_inputs.contains(&input) && self.driver_of(input).is_none() {
-                    return Err(StaError::InvalidGraph(format!(
-                        "net `{}` feeding gate `{}` has no driver and is not a primary input",
-                        self.net_name(input),
-                        gate.name
-                    )));
+                match driver[input.0] {
+                    Some(upstream) => {
+                        pending[idx] += 1;
+                        successors[upstream].push(idx);
+                    }
+                    None if !is_primary_input[input.0] => {
+                        return Err(StaError::InvalidGraph(format!(
+                            "net `{}` feeding gate `{}` has no driver and is not a primary input",
+                            self.net_name(input),
+                            gate.name
+                        )));
+                    }
+                    None => {}
                 }
             }
         }
 
-        let mut placed = vec![false; self.gates.len()];
-        let mut order = Vec::with_capacity(self.gates.len());
-        loop {
-            let mut progressed = false;
-            for (idx, gate) in self.gates.iter().enumerate() {
-                if placed[idx] {
-                    continue;
+        let mut wave: Vec<usize> = (0..self.gates.len())
+            .filter(|&idx| pending[idx] == 0)
+            .collect();
+        let mut placed_count = 0;
+        let mut levels = Vec::new();
+        while !wave.is_empty() {
+            placed_count += wave.len();
+            let mut next = Vec::new();
+            for &idx in &wave {
+                for &successor in &successors[idx] {
+                    pending[successor] -= 1;
+                    if pending[successor] == 0 {
+                        next.push(successor);
+                    }
                 }
-                if gate.inputs.iter().all(|n| known[n.0]) {
-                    placed[idx] = true;
-                    known[gate.output.0] = true;
-                    order.push(GateId(idx));
-                    progressed = true;
-                }
             }
-            if order.len() == self.gates.len() {
-                return Ok(order);
-            }
-            if !progressed {
-                let stuck: Vec<&str> = self
-                    .gates
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !placed[*i])
-                    .map(|(_, g)| g.name.as_str())
-                    .collect();
-                return Err(StaError::InvalidGraph(format!(
-                    "combinational cycle involving gates: {}",
-                    stuck.join(", ")
-                )));
-            }
+            // Insertion order within a level keeps level-by-level traversals
+            // deterministic.
+            next.sort_unstable();
+            next.dedup();
+            levels.push(wave.into_iter().map(GateId).collect());
+            wave = next;
         }
+        if placed_count < self.gates.len() {
+            let stuck: Vec<&str> = self
+                .gates
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| pending[*idx] > 0)
+                .map(|(_, g)| g.name.as_str())
+                .collect();
+            return Err(StaError::InvalidGraph(format!(
+                "combinational cycle involving gates: {}",
+                stuck.join(", ")
+            )));
+        }
+        Ok(levels)
     }
 }
 
@@ -279,6 +316,44 @@ mod tests {
         assert_eq!(order.len(), 2);
         assert_eq!(g.gate(order[0]).name, "u1");
         assert_eq!(g.gate(order[1]).name, "u2");
+    }
+
+    #[test]
+    fn topological_levels_group_independent_gates() {
+        // Two parallel NOR2s feeding a NAND2: levels {u1, u2}, {u3}.
+        let mut g = GateGraph::new();
+        let a = g.net("a");
+        let b = g.net("b");
+        let c = g.net("c");
+        let d = g.net("d");
+        let m1 = g.net("m1");
+        let m2 = g.net("m2");
+        let out = g.net("out");
+        for net in [a, b, c, d] {
+            g.mark_primary_input(net);
+        }
+        g.mark_primary_output(out);
+        g.add_gate("u1", CellKind::Nor2, &[a, b], m1).unwrap();
+        g.add_gate("u2", CellKind::Nor2, &[c, d], m2).unwrap();
+        g.add_gate("u3", CellKind::Nand2, &[m1, m2], out).unwrap();
+
+        let levels = g.topological_levels().unwrap();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 2);
+        assert_eq!(levels[1].len(), 1);
+        assert_eq!(g.gate(levels[1][0]).name, "u3");
+        // Flattened levels are exactly the topological order.
+        let flattened: Vec<GateId> = levels.into_iter().flatten().collect();
+        assert_eq!(flattened, g.topological_order().unwrap());
+    }
+
+    #[test]
+    fn chained_gates_land_in_separate_levels() {
+        let g = small_graph();
+        let levels = g.topological_levels().unwrap();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(g.gate(levels[0][0]).name, "u1");
+        assert_eq!(g.gate(levels[1][0]).name, "u2");
     }
 
     #[test]

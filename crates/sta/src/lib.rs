@@ -55,14 +55,17 @@
 //! drives.insert(a, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
 //! drives.insert(b, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
 //!
-//! let options = TimingOptions {
-//!     calculator: DelayCalculator::new(
+//! // `.with_threads(0)` fans each topological level over all cores —
+//! // bit-identical to the sequential run, just faster on wide netlists.
+//! let options = TimingOptions::new(
+//!     DelayCalculator::new(
 //!         DelayBackend::Selective(SelectivePolicy::default()),
 //!         CsmSimOptions::new(4e-9, 1e-12),
 //!         tech.vdd,
 //!     ),
-//!     primary_output_load: 2e-15,
-//! };
+//!     2e-15,
+//! )
+//! .with_threads(0);
 //! let timing = propagate(&graph, &library, &drives, &options)?;
 //! println!("out arrives at {:?}", timing.arrival_time(out, false)?);
 //! # Ok(())
@@ -77,7 +80,7 @@ pub mod models;
 pub mod noise;
 
 pub use arrival::{propagate, TimingOptions, TimingResult};
-pub use delaycalc::{DelayBackend, DelayCalculator};
+pub use delaycalc::{DelayBackend, DelayCache, DelayCalculator};
 pub use error::StaError;
 pub use graph::{Gate, GateGraph, GateId, NetId};
 pub use models::ModelLibrary;

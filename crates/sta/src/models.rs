@@ -8,7 +8,7 @@
 use crate::error::StaError;
 use mcsm_cells::cell::{CellKind, CellTemplate};
 use mcsm_cells::tech::Technology;
-use mcsm_core::characterize::{characterize_mcsm, characterize_mis_baseline, characterize_sis};
+use mcsm_core::characterize::characterize_batch;
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::store::ModelStore;
 use std::collections::HashMap;
@@ -81,19 +81,31 @@ impl ModelLibrary {
         kinds: &[CellKind],
         config: &CharacterizationConfig,
     ) -> Result<Self, StaError> {
+        Self::characterize_parallel(technology, kinds, config, 1)
+    }
+
+    /// Like [`ModelLibrary::characterize`], with the flattened
+    /// `(cell, family)` characterization tasks fanned over `threads` worker
+    /// threads (`0` = auto, `1` = sequential). The resulting library is
+    /// bit-identical for every thread count; see
+    /// [`mcsm_core::characterize::characterize_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn characterize_parallel(
+        technology: &Technology,
+        kinds: &[CellKind],
+        config: &CharacterizationConfig,
+        threads: usize,
+    ) -> Result<Self, StaError> {
+        let templates: Vec<CellTemplate> = kinds
+            .iter()
+            .map(|&kind| CellTemplate::new(kind, technology.clone()))
+            .collect();
+        let stores = characterize_batch(&templates, config, threads)?;
         let mut library = ModelLibrary::new(technology.vdd);
-        for &kind in kinds {
-            let template = CellTemplate::new(kind, technology.clone());
-            let mut store = ModelStore::new();
-            for pin in 0..kind.input_count() {
-                store.sis.push(characterize_sis(&template, pin, config)?);
-            }
-            if kind.input_count() == 2 {
-                store.mis_baseline = Some(characterize_mis_baseline(&template, config)?);
-                if kind.internal_node_count() == 1 {
-                    store.mcsm = Some(characterize_mcsm(&template, config)?);
-                }
-            }
+        for (&kind, store) in kinds.iter().zip(stores) {
             library.insert(kind, store);
         }
         Ok(library)

@@ -54,10 +54,10 @@ fn three_stage_chain_produces_causal_arrivals_for_all_backends() {
         DelayBackend::BaselineMis,
         DelayBackend::CompleteMcsm,
     ] {
-        let options = TimingOptions {
-            calculator: DelayCalculator::new(backend, CsmSimOptions::new(5e-9, 1e-12), tech.vdd),
-            primary_output_load: 2e-15,
-        };
+        let options = TimingOptions::new(
+            DelayCalculator::new(backend, CsmSimOptions::new(5e-9, 1e-12), tech.vdd),
+            2e-15,
+        );
         let timing = propagate(&graph, &lib, &drives, &options).unwrap();
         let t1 = timing.arrival_time(n1, true).unwrap().unwrap();
         let t2 = timing.arrival_time(n2, false).unwrap().unwrap();
