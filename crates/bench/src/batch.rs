@@ -22,6 +22,7 @@ use mcsm_cells::tech::Technology;
 use mcsm_core::characterize::{characterization_tasks, characterize_batch};
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
+use mcsm_net::{Netlist, NetlistBuilder};
 use mcsm_num::json::JsonValue;
 use mcsm_num::par;
 use mcsm_sta::arrival::{propagate, TimingOptions, TimingResult};
@@ -212,47 +213,61 @@ impl BatchReport {
 /// `layers - 1` further layers alternating inverters and neighbor-combining
 /// NAND2s. Every layer is `width` gates wide, so level-parallel propagation
 /// has real fan-out to chew on.
+///
+/// The circuit is described once through the [`mcsm_net::Netlist`] IR and
+/// lowered to the STA form — the same value could lower to SPICE for a
+/// golden-reference run.
 pub fn layered_graph(width: usize, layers: usize) -> Result<GateGraph, StaError> {
-    let mut graph = GateGraph::new();
-    let mut current: Vec<_> = Vec::with_capacity(width);
+    layered_netlist(width, layers)
+        .map_err(|e| StaError::InvalidGraph(e.to_string()))?
+        .to_gate_graph()
+}
+
+/// The batch experiment's layered circuit as a backend-neutral
+/// [`mcsm_net::Netlist`] (see [`layered_graph`] for the topology).
+///
+/// # Errors
+///
+/// Returns a [`mcsm_net::NetlistError`] if the requested shape is degenerate
+/// (zero width or layers).
+pub fn layered_netlist(width: usize, layers: usize) -> Result<Netlist, mcsm_net::NetlistError> {
+    let mut builder = NetlistBuilder::new(&format!("layered_{width}x{layers}"));
+    let mut current: Vec<String> = Vec::with_capacity(width);
     for i in 0..width {
-        let a = graph.net(&format!("in{}a", i));
-        let b = graph.net(&format!("in{}b", i));
-        graph.mark_primary_input(a);
-        graph.mark_primary_input(b);
-        let out = graph.net(&format!("l0_{i}"));
-        graph.add_gate(&format!("u0_{i}"), CellKind::Nor2, &[a, b], out)?;
+        let a = format!("in{i}a");
+        let b = format!("in{i}b");
+        builder = builder.primary_input(&a).primary_input(&b);
+        let out = format!("l0_{i}");
+        builder = builder.gate(&format!("u0_{i}"), CellKind::Nor2, &[&a, &b], &out);
         current.push(out);
     }
     for layer in 1..layers {
         let mut next = Vec::with_capacity(width);
         for i in 0..width {
-            let out = graph.net(&format!("l{layer}_{i}"));
+            let out = format!("l{layer}_{i}");
             if layer % 2 == 1 {
-                graph.add_gate(
+                builder = builder.gate(
                     &format!("u{layer}_{i}"),
                     CellKind::Inverter,
-                    &[current[i]],
-                    out,
-                )?;
+                    &[&current[i]],
+                    &out,
+                );
             } else {
-                let left = current[i];
-                let right = current[(i + 1) % width];
-                graph.add_gate(
+                builder = builder.gate(
                     &format!("u{layer}_{i}"),
                     CellKind::Nand2,
-                    &[left, right],
-                    out,
-                )?;
+                    &[&current[i], &current[(i + 1) % width]],
+                    &out,
+                );
             }
             next.push(out);
         }
         current = next;
     }
-    for &net in &current {
-        graph.mark_primary_output(net);
+    for net in &current {
+        builder = builder.primary_output(net);
     }
-    Ok(graph)
+    builder.build()
 }
 
 /// Staggered falling ramps on every primary input (a multiple-input-switching
@@ -369,6 +384,10 @@ mod tests {
 
     #[test]
     fn layered_graph_has_the_advertised_shape() {
+        // The graph is built through the netlist IR; both views agree.
+        let netlist = layered_netlist(4, 3).unwrap();
+        assert_eq!(netlist.gate_count(), 12);
+        assert_eq!(netlist.primary_inputs().len(), 8);
         let graph = layered_graph(4, 3).unwrap();
         assert_eq!(graph.gates().len(), 12);
         assert_eq!(graph.primary_inputs().len(), 8);

@@ -1,0 +1,103 @@
+//! The `netlist_sweep` experiment binary: times STA over generated chains,
+//! trees and random DAGs and writes `BENCH_netlist.json`.
+//!
+//! ```text
+//! netlist_sweep [--threads N] [--out PATH]
+//! ```
+//!
+//! * `--threads N` — worker threads for the timed propagation (default `0` =
+//!   auto from `MCSM_THREADS` / the machine).
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_netlist.json` in the working directory).
+//!
+//! Exits non-zero if any performed sequential-vs-parallel bit-identity check
+//! fails. `MCSM_BENCH_FAST=1` shrinks sizes and grids for smoke runs.
+
+use mcsm_bench::{run_netlist_sweep, write_json_report, NetlistSweepOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    threads: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 0,
+        out: PathBuf::from("BENCH_netlist.json"),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("netlist_sweep: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let options = NetlistSweepOptions::for_threads(args.threads);
+    println!(
+        "# netlist sweep: sizes {:?}, {} threads{}",
+        options.sizes,
+        mcsm_num::par::resolve_threads(args.threads),
+        if mcsm_bench::fast_mode() {
+            " (fast mode)"
+        } else {
+            ""
+        }
+    );
+    let report = match run_netlist_sweep(&options) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("netlist_sweep: experiment failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("topology | circuit | gates | levels | seconds | gates/s | identical");
+    for case in &report.cases {
+        println!(
+            "{} | {} | {} | {} | {:.4} | {:.1} | {}",
+            case.topology,
+            case.circuit,
+            case.gates,
+            case.levels,
+            case.seconds,
+            case.gates_per_second(),
+            match case.bit_identical {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "-",
+            }
+        );
+    }
+
+    if let Err(message) = write_json_report(&args.out, &report.to_json()) {
+        eprintln!("netlist_sweep: {message}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+
+    if !report.all_identical() {
+        eprintln!("netlist_sweep: parallel results differ from sequential results");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

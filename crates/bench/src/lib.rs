@@ -8,8 +8,10 @@
 
 pub mod batch;
 pub mod experiments;
+pub mod netlist_sweep;
 pub mod report;
 
 pub use batch::*;
 pub use experiments::*;
+pub use netlist_sweep::*;
 pub use report::*;

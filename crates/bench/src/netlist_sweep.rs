@@ -1,0 +1,308 @@
+//! The `netlist_sweep` experiment: STA throughput over generated circuits.
+//!
+//! The unified netlist IR (`mcsm-net`) makes arbitrary benchmark topologies
+//! one function call, so this experiment sweeps the three generator families —
+//! NAND chains (deep, narrow), balanced NOR trees (wide, shallow) and random
+//! leveled DAGs (seeded, bounded fanin/fanout) — at three sizes each, lowers
+//! every [`Netlist`] to a `GateGraph`, times level-parallel waveform
+//! propagation and reports **gates per second** into `BENCH_netlist.json`.
+//!
+//! On the smallest circuit of each family the parallel run is also checked
+//! bit-identical against the sequential run, extending the determinism
+//! contract to generated workloads. Honors `MCSM_BENCH_FAST=1` (see
+//! [`crate::report::fast_mode`]).
+
+use crate::batch::batch_input_drives;
+use crate::report::fast_or;
+use mcsm_cells::cell::CellKind;
+use mcsm_cells::tech::Technology;
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::sim::CsmSimOptions;
+use mcsm_net::{balanced_tree, nand_chain, random_dag, DagConfig, Netlist};
+use mcsm_num::json::JsonValue;
+use mcsm_num::par;
+use mcsm_sta::arrival::{propagate, TimingOptions};
+use mcsm_sta::delaycalc::{DelayBackend, DelayCalculator};
+use mcsm_sta::models::ModelLibrary;
+use mcsm_sta::StaError;
+use std::time::Instant;
+
+/// Configuration of one netlist-sweep run.
+#[derive(Debug, Clone)]
+pub struct NetlistSweepOptions {
+    /// Worker threads for the timed propagation (`0` = auto).
+    pub threads: usize,
+    /// Gate budgets, one sweep point per entry (each family maps a budget to
+    /// its nearest realizable size).
+    pub sizes: Vec<usize>,
+    /// Characterization grids for the model library.
+    pub config: CharacterizationConfig,
+    /// Time step of the per-gate waveform simulations (seconds).
+    pub dt: f64,
+    /// Timed repetitions per case; the best (minimum) wall clock is reported.
+    pub repeats: usize,
+}
+
+impl NetlistSweepOptions {
+    /// The default sweep for a thread count; `MCSM_BENCH_FAST=1` shrinks the
+    /// sizes and coarsens grids/steps so the smoke run finishes in seconds.
+    pub fn for_threads(threads: usize) -> Self {
+        NetlistSweepOptions {
+            threads,
+            sizes: fast_or(vec![10, 24, 48], vec![16, 64, 256]),
+            config: fast_or(
+                CharacterizationConfig::coarse(),
+                CharacterizationConfig::standard(),
+            ),
+            dt: fast_or(4e-12, 2e-12),
+            repeats: fast_or(2, 1),
+        }
+    }
+}
+
+/// One timed case of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCase {
+    /// Generator family (`chain`, `tree` or `dag`).
+    pub topology: String,
+    /// Name of the generated circuit.
+    pub circuit: String,
+    /// Gate count of the circuit.
+    pub gates: usize,
+    /// Topological levels of the lowered graph.
+    pub levels: usize,
+    /// Best wall-clock seconds of one propagation.
+    pub seconds: f64,
+    /// Whether the parallel run was checked bit-identical against the
+    /// sequential run (`None` when the check was skipped for this case).
+    pub bit_identical: Option<bool>,
+}
+
+impl SweepCase {
+    /// STA throughput of this case.
+    pub fn gates_per_second(&self) -> f64 {
+        self.gates as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// The full sweep result, written to `BENCH_netlist.json`.
+#[derive(Debug, Clone)]
+pub struct NetlistSweepReport {
+    /// Worker threads the timed passes ran with (resolved, so never 0).
+    pub threads: usize,
+    /// All timed cases, in family-then-size order.
+    pub cases: Vec<SweepCase>,
+}
+
+impl NetlistSweepReport {
+    /// Whether every performed bit-identity check passed.
+    pub fn all_identical(&self) -> bool {
+        self.cases
+            .iter()
+            .all(|case| case.bit_identical.unwrap_or(true))
+    }
+
+    /// The machine-readable report.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "experiment".into(),
+                JsonValue::String("netlist_sweep".into()),
+            ),
+            (
+                "fast_mode".into(),
+                JsonValue::Bool(crate::report::fast_mode()),
+            ),
+            ("threads".into(), JsonValue::Number(self.threads as f64)),
+            (
+                "cases".into(),
+                JsonValue::Array(
+                    self.cases
+                        .iter()
+                        .map(|case| {
+                            JsonValue::Object(vec![
+                                ("topology".into(), JsonValue::String(case.topology.clone())),
+                                ("circuit".into(), JsonValue::String(case.circuit.clone())),
+                                ("gates".into(), JsonValue::Number(case.gates as f64)),
+                                ("levels".into(), JsonValue::Number(case.levels as f64)),
+                                ("seconds".into(), JsonValue::Number(case.seconds)),
+                                (
+                                    "gates_per_second".into(),
+                                    JsonValue::Number(case.gates_per_second()),
+                                ),
+                                (
+                                    "bit_identical".into(),
+                                    match case.bit_identical {
+                                        Some(ok) => JsonValue::Bool(ok),
+                                        None => JsonValue::Null,
+                                    },
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The generated circuits of one sweep: `(topology, netlist)` pairs in
+/// family-then-size order. Deterministic — DAG seeds derive from the gate
+/// budget, so equal options give equal circuits.
+pub fn sweep_netlists(sizes: &[usize]) -> Vec<(String, Netlist)> {
+    let mut netlists = Vec::new();
+    for &size in sizes {
+        netlists.push(("chain".to_string(), nand_chain(size.max(1))));
+    }
+    for &size in sizes {
+        // Nearest power-of-two reduction tree under the budget.
+        let levels = ((size.max(2) + 1) as f64).log2().floor() as usize;
+        netlists.push((
+            "tree".to_string(),
+            balanced_tree(levels.max(1), CellKind::Nor2),
+        ));
+    }
+    for &size in sizes {
+        let config = DagConfig::with_gate_budget(size.max(1), 0xC17 + size as u64);
+        netlists.push(("dag".to_string(), random_dag(&config)));
+    }
+    netlists
+}
+
+/// Runs the sweep: characterize once, then time every generated circuit.
+///
+/// # Errors
+///
+/// Propagates characterization and propagation failures.
+pub fn run_netlist_sweep(options: &NetlistSweepOptions) -> Result<NetlistSweepReport, StaError> {
+    let threads = par::resolve_threads(options.threads);
+    let technology = Technology::cmos_130nm();
+    let library = ModelLibrary::characterize_parallel(
+        &technology,
+        &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+        &options.config,
+        threads,
+    )?;
+
+    let mut cases = Vec::new();
+    let mut seen_topology: Vec<String> = Vec::new();
+    for (topology, netlist) in sweep_netlists(&options.sizes) {
+        let graph = netlist.to_gate_graph()?;
+        let levels = graph.topological_levels()?.len();
+        let drives = batch_input_drives(&graph, technology.vdd);
+        // The simulated window must cover the accumulated path delay, so it
+        // scales with the circuit depth.
+        let window = 2e-9 + 0.4e-9 * levels as f64;
+        let calculator = DelayCalculator::new(
+            DelayBackend::CompleteMcsm,
+            CsmSimOptions::new(window, options.dt),
+            technology.vdd,
+        );
+        let timing_options = TimingOptions::new(calculator, 2e-15).with_threads(threads);
+
+        let mut best = f64::INFINITY;
+        let mut parallel_result = None;
+        for _ in 0..options.repeats.max(1) {
+            let start = Instant::now();
+            let result = propagate(&graph, &library, &drives, &timing_options)?;
+            best = best.min(start.elapsed().as_secs_f64());
+            parallel_result = Some(result);
+        }
+        let parallel_result = parallel_result.expect("at least one repeat");
+
+        // First (smallest) circuit of each family: pin the determinism
+        // contract on generated workloads too.
+        let bit_identical = if seen_topology.contains(&topology) {
+            None
+        } else {
+            seen_topology.push(topology.clone());
+            let sequential = propagate(
+                &graph,
+                &library,
+                &drives,
+                &timing_options.clone().with_threads(1),
+            )?;
+            let mut nets: Vec<_> = sequential.nets().collect();
+            nets.sort();
+            Some(nets.into_iter().all(|net| {
+                match (sequential.waveform(net), parallel_result.waveform(net)) {
+                    (Ok(a), Ok(b)) => a == b,
+                    _ => false,
+                }
+            }))
+        };
+
+        cases.push(SweepCase {
+            topology,
+            circuit: netlist.name().to_string(),
+            gates: netlist.gate_count(),
+            levels,
+            seconds: best,
+            bit_identical,
+        });
+    }
+
+    Ok(NetlistSweepReport { threads, cases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_netlists_cover_every_family_at_every_size() {
+        let netlists = sweep_netlists(&[8, 16]);
+        assert_eq!(netlists.len(), 6);
+        assert_eq!(netlists.iter().filter(|(t, _)| t == "chain").count(), 2);
+        // Deterministic: a second call builds identical circuits.
+        let again = sweep_netlists(&[8, 16]);
+        for ((ta, na), (tb, nb)) in netlists.iter().zip(&again) {
+            assert_eq!(ta, tb);
+            assert_eq!(na, nb);
+        }
+    }
+
+    #[test]
+    fn report_serializes_and_flags_identity() {
+        let report = NetlistSweepReport {
+            threads: 2,
+            cases: vec![SweepCase {
+                topology: "chain".into(),
+                circuit: "nand_chain_8".into(),
+                gates: 8,
+                levels: 8,
+                seconds: 0.5,
+                bit_identical: Some(true),
+            }],
+        };
+        assert!(report.all_identical());
+        assert!((report.cases[0].gates_per_second() - 16.0).abs() < 1e-9);
+        let json = report.to_json();
+        let cases = json.require("cases").unwrap().as_array().unwrap();
+        assert_eq!(
+            cases[0].require("gates_per_second").unwrap().as_f64(),
+            Some(16.0)
+        );
+        let reparsed = JsonValue::parse(&json.to_string_pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_end_to_end() {
+        let options = NetlistSweepOptions {
+            threads: 2,
+            sizes: vec![4],
+            config: CharacterizationConfig::coarse(),
+            dt: 8e-12,
+            repeats: 1,
+        };
+        let report = run_netlist_sweep(&options).unwrap();
+        assert_eq!(report.cases.len(), 3);
+        assert!(report.all_identical());
+        for case in &report.cases {
+            assert!(case.gates > 0 && case.levels > 0);
+            assert!(case.seconds > 0.0);
+            assert_eq!(case.bit_identical, Some(true), "{}", case.circuit);
+        }
+    }
+}

@@ -42,6 +42,22 @@ impl CellKind {
         }
     }
 
+    /// Parses a library cell name (as produced by [`CellKind::name`]) back
+    /// into a kind. Used by netlist deserialization.
+    pub fn from_name(name: &str) -> Option<CellKind> {
+        CellKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Every cell topology the library provides, in a stable order.
+    pub const ALL: [CellKind; 6] = [
+        CellKind::Inverter,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nor2,
+        CellKind::Nor3,
+        CellKind::Aoi21,
+    ];
+
     /// Number of logic inputs.
     pub fn input_count(self) -> usize {
         match self {
@@ -459,6 +475,15 @@ mod tests {
         assert_eq!(CellKind::Nor2.input_names(), vec!["A", "B"]);
         assert_eq!(CellKind::Aoi21.input_names(), vec!["A", "B", "C"]);
         assert_eq!(CellKind::Nand2.name(), "NAND2");
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(CellKind::from_name("XOR2"), None);
+        assert_eq!(CellKind::from_name("nand2"), None);
     }
 
     #[test]

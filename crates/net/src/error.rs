@@ -1,0 +1,160 @@
+//! Errors produced while building, validating, serializing or lowering a
+//! [`crate::Netlist`].
+
+use mcsm_num::json::JsonError;
+use mcsm_spice::error::SpiceError;
+use std::fmt;
+
+/// Error produced by netlist construction, validation or lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A gate was declared with the wrong number of input nets for its cell
+    /// kind (an "unknown pin" in library terms).
+    PinCountMismatch {
+        /// Instance name of the offending gate.
+        gate: String,
+        /// Cell name (`INV`, `NOR2`, …).
+        cell: String,
+        /// Pins the cell has.
+        expected: usize,
+        /// Nets the gate was given.
+        got: usize,
+    },
+    /// Two gates were declared with the same instance name.
+    DuplicateGate(String),
+    /// A net is driven by more than one gate output.
+    MultipleDrivers {
+        /// The over-driven net.
+        net: String,
+        /// The gate that drove it first.
+        first: String,
+        /// The gate that tried to drive it as well.
+        second: String,
+    },
+    /// A net feeds a gate input (or is a primary output) but has no driver and
+    /// is not a primary input.
+    UndrivenNet {
+        /// The dangling net.
+        net: String,
+        /// One place the net is consumed, for the error message.
+        consumer: String,
+    },
+    /// A net is driven (or declared) but feeds nothing: it has no fanout and
+    /// is not a primary output.
+    UnreadNet(String),
+    /// The gates form a combinational cycle.
+    CombinationalLoop {
+        /// Instance names of the gates stuck on the cycle.
+        gates: Vec<String>,
+    },
+    /// A name was looked up that the netlist does not contain.
+    UnknownNet(String),
+    /// A gate name was looked up that the netlist does not contain.
+    UnknownGate(String),
+    /// An explicit net load was negative or non-finite.
+    InvalidLoad {
+        /// The net the load was attached to.
+        net: String,
+        /// The rejected value (farads).
+        farads: f64,
+    },
+    /// The netlist has no gates at all.
+    Empty,
+    /// A JSON document did not have the expected shape.
+    Json(String),
+    /// A SPICE-level lowering step failed.
+    Spice(String),
+    /// A model-level simulation step failed.
+    Model(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::PinCountMismatch {
+                gate,
+                cell,
+                expected,
+                got,
+            } => write!(
+                f,
+                "gate `{gate}`: {cell} expects {expected} inputs, got {got}"
+            ),
+            NetlistError::DuplicateGate(gate) => {
+                write!(f, "duplicate gate instance name `{gate}`")
+            }
+            NetlistError::MultipleDrivers { net, first, second } => {
+                write!(f, "net `{net}` is driven by both `{first}` and `{second}`")
+            }
+            NetlistError::UndrivenNet { net, consumer } => write!(
+                f,
+                "net `{net}` ({consumer}) has no driver and is not a primary input"
+            ),
+            NetlistError::UnreadNet(net) => {
+                write!(f, "net `{net}` feeds nothing and is not a primary output")
+            }
+            NetlistError::CombinationalLoop { gates } => write!(
+                f,
+                "combinational cycle involving gates: {}",
+                gates.join(", ")
+            ),
+            NetlistError::UnknownNet(net) => write!(f, "no net named `{net}`"),
+            NetlistError::UnknownGate(gate) => write!(f, "no gate named `{gate}`"),
+            NetlistError::InvalidLoad { net, farads } => write!(
+                f,
+                "net `{net}`: explicit load must be finite and non-negative, got {farads}"
+            ),
+            NetlistError::Empty => write!(f, "netlist contains no gates"),
+            NetlistError::Json(msg) => write!(f, "netlist json: {msg}"),
+            NetlistError::Spice(msg) => write!(f, "netlist spice lowering: {msg}"),
+            NetlistError::Model(msg) => write!(f, "netlist model simulation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl From<JsonError> for NetlistError {
+    fn from(e: JsonError) -> Self {
+        NetlistError::Json(e.0)
+    }
+}
+
+impl From<SpiceError> for NetlistError {
+    fn from(e: SpiceError) -> Self {
+        NetlistError::Spice(e.to_string())
+    }
+}
+
+impl From<mcsm_core::CsmError> for NetlistError {
+    fn from(e: mcsm_core::CsmError) -> Self {
+        NetlistError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offenders() {
+        let e = NetlistError::MultipleDrivers {
+            net: "x".into(),
+            first: "u1".into(),
+            second: "u2".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("x") && msg.contains("u1") && msg.contains("u2"));
+
+        let e = NetlistError::PinCountMismatch {
+            gate: "g".into(),
+            cell: "NOR2".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("NOR2"));
+
+        let e: NetlistError = JsonError("bad".into()).into();
+        assert!(matches!(e, NetlistError::Json(_)));
+    }
+}

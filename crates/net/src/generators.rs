@@ -1,0 +1,377 @@
+//! Seeded synthetic benchmark circuits.
+//!
+//! Scenario diversity for the timing stack: parameterized chains, balanced
+//! trees and random leveled DAGs (plus the fixed ISCAS-85 c17) let `mcsm-bench`
+//! sweep from tens to thousands of gates without shipping proprietary
+//! netlists. Randomized topologies draw exclusively from the in-repo
+//! [`TestRng`], so a `(config, seed)` pair always produces the same
+//! [`Netlist`] on every platform — the determinism the bit-identical
+//! parallel-STA checks rely on.
+
+use crate::netlist::{Netlist, NetlistBuilder};
+use mcsm_cells::cell::CellKind;
+use mcsm_num::testrand::TestRng;
+
+/// A chain of `stages` inverters: `in -> u0 -> n0 -> u1 -> … -> out`.
+///
+/// # Panics
+///
+/// Panics if `stages` is zero.
+pub fn inverter_chain(stages: usize) -> Netlist {
+    assert!(stages > 0, "inverter_chain needs at least one stage");
+    let mut builder = NetlistBuilder::new(&format!("inv_chain_{stages}")).primary_input("in");
+    let mut current = "in".to_string();
+    for stage in 0..stages {
+        let next = if stage + 1 == stages {
+            "out".to_string()
+        } else {
+            format!("n{stage}")
+        };
+        builder = builder.gate(&format!("u{stage}"), CellKind::Inverter, &[&current], &next);
+        current = next;
+    }
+    builder
+        .primary_output("out")
+        .build()
+        .expect("generator netlists are valid by construction")
+}
+
+/// A chain of `stages` NAND2 gates; stage `i` combines the previous stage's
+/// output with its own side input `b{i}` (a primary input), so every stage can
+/// see a multiple-input-switching event.
+///
+/// # Panics
+///
+/// Panics if `stages` is zero.
+pub fn nand_chain(stages: usize) -> Netlist {
+    assert!(stages > 0, "nand_chain needs at least one stage");
+    let mut builder = NetlistBuilder::new(&format!("nand_chain_{stages}")).primary_input("in");
+    let mut current = "in".to_string();
+    for stage in 0..stages {
+        let side = format!("b{stage}");
+        builder = builder.primary_input(&side);
+        let next = if stage + 1 == stages {
+            "out".to_string()
+        } else {
+            format!("n{stage}")
+        };
+        builder = builder.gate(
+            &format!("u{stage}"),
+            CellKind::Nand2,
+            &[&current, &side],
+            &next,
+        );
+        current = next;
+    }
+    builder
+        .primary_output("out")
+        .build()
+        .expect("generator netlists are valid by construction")
+}
+
+/// A balanced reduction tree of two-input gates: `2^levels` primary inputs
+/// funnel through `2^levels - 1` gates into one primary output.
+///
+/// # Panics
+///
+/// Panics if `levels` is zero or `kind` is not a two-input cell.
+pub fn balanced_tree(levels: usize, kind: CellKind) -> Netlist {
+    assert!(levels > 0, "balanced_tree needs at least one level");
+    assert_eq!(
+        kind.input_count(),
+        2,
+        "balanced_tree needs a two-input cell, got {}",
+        kind.name()
+    );
+    let leaves = 1usize << levels;
+    let mut builder = NetlistBuilder::new(&format!("{}_tree_{levels}", kind.name().to_lowercase()));
+    let mut current: Vec<String> = (0..leaves).map(|i| format!("in{i}")).collect();
+    for net in &current {
+        builder = builder.primary_input(net);
+    }
+    for level in 0..levels {
+        let mut next = Vec::with_capacity(current.len() / 2);
+        for pair in 0..current.len() / 2 {
+            let out = if level + 1 == levels {
+                "out".to_string()
+            } else {
+                format!("t{level}_{pair}")
+            };
+            builder = builder.gate(
+                &format!("g{level}_{pair}"),
+                kind,
+                &[&current[2 * pair], &current[2 * pair + 1]],
+                &out,
+            );
+            next.push(out);
+        }
+        current = next;
+    }
+    builder
+        .primary_output("out")
+        .build()
+        .expect("generator netlists are valid by construction")
+}
+
+/// Shape of a [`random_dag`] circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagConfig {
+    /// Gate levels (depth of the DAG).
+    pub levels: usize,
+    /// Gates per level (and primary inputs feeding level 0).
+    pub width: usize,
+    /// Upper bound on the fanout of any net.
+    pub max_fanout: usize,
+    /// Seed of the deterministic generator.
+    pub seed: u64,
+}
+
+impl DagConfig {
+    /// A config producing roughly `gates` gates in a square-ish DAG (width ≈
+    /// depth), with fanout bounded at 4.
+    pub fn with_gate_budget(gates: usize, seed: u64) -> Self {
+        let width = ((gates as f64).sqrt().round() as usize).max(1);
+        let levels = gates.div_ceil(width).max(1);
+        DagConfig {
+            levels,
+            width,
+            max_fanout: 4,
+            seed,
+        }
+    }
+
+    /// Total gates the config generates.
+    pub fn gate_count(&self) -> usize {
+        self.levels * self.width
+    }
+}
+
+/// A random leveled DAG with bounded fanin (≤ 2 by cell choice) and bounded
+/// fanout (≤ `config.max_fanout`).
+///
+/// `config.width` primary inputs feed `config.levels` levels of
+/// `config.width` gates each. Gate `i` of a level always consumes net `i` of
+/// the previous level (round-robin, so every net is consumed and the level
+/// structure is strict); two-input gates draw their second pin uniformly from
+/// the non-saturated nets of earlier levels. Cell kinds (INV / NAND2 / NOR2 —
+/// two-input cells, so every delay backend can time the circuit) and second
+/// pins come from a [`TestRng`] seeded with `config.seed`: equal configs give
+/// bit-equal netlists.
+///
+/// # Panics
+///
+/// Panics if `levels` or `width` is zero, or `max_fanout < 2` (needed so a
+/// level's combined pin demand never exceeds the previous level's capacity).
+pub fn random_dag(config: &DagConfig) -> Netlist {
+    assert!(config.levels > 0, "random_dag needs at least one level");
+    assert!(config.width > 0, "random_dag needs a positive width");
+    assert!(
+        config.max_fanout >= 2,
+        "random_dag needs max_fanout >= 2, got {}",
+        config.max_fanout
+    );
+    let mut rng = TestRng::new(config.seed);
+    let mut builder = NetlistBuilder::new(&format!(
+        "dag_{}x{}_seed{}",
+        config.levels, config.width, config.seed
+    ));
+
+    // fanout[i] tracks pin uses of net `names[i]`; `earlier` indexes nets of
+    // all completed levels, `previous` the most recent one.
+    let mut names: Vec<String> = (0..config.width).map(|i| format!("in{i}")).collect();
+    let mut fanout: Vec<usize> = vec![0; config.width];
+    for name in &names {
+        builder = builder.primary_input(name);
+    }
+    let mut previous: Vec<usize> = (0..config.width).collect();
+
+    let kinds = [CellKind::Inverter, CellKind::Nand2, CellKind::Nor2];
+    for level in 0..config.levels {
+        // Nets created during this level must not feed it (strict leveling).
+        let level_start = names.len();
+        // Charge every previous-level net its round-robin first-pin use
+        // upfront: each gets exactly one per level, and reserving the slot
+        // before any second-pin draw keeps those draws from saturating a net
+        // whose round-robin turn has not come yet — the fanout bound holds
+        // for every seed, not just lucky ones.
+        for &p in &previous {
+            fanout[p] += 1;
+        }
+        let mut next = Vec::with_capacity(config.width);
+        for slot in 0..config.width {
+            let kind = kinds[rng.index(kinds.len())];
+            let first = previous[slot % previous.len()];
+            let mut inputs = vec![first];
+            if kind.input_count() == 2 {
+                // Uniform choice among all non-saturated earlier nets; the
+                // previous level reserves one slot per net for its first
+                // pins, so with max_fanout >= 2 and second-pin demand of at
+                // most one per gate a candidate always exists.
+                let candidates: Vec<usize> = (0..level_start)
+                    .filter(|&i| fanout[i] < config.max_fanout)
+                    .collect();
+                let second = candidates[rng.index(candidates.len())];
+                fanout[second] += 1;
+                inputs.push(second);
+            }
+            let out_name = if level + 1 == config.levels {
+                format!("out{slot}")
+            } else {
+                format!("l{level}_{slot}")
+            };
+            let input_names: Vec<&str> = inputs.iter().map(|&i| names[i].as_str()).collect();
+            builder = builder.gate(&format!("g{level}_{slot}"), kind, &input_names, &out_name);
+            next.push(names.len());
+            names.push(out_name);
+            fanout.push(0);
+        }
+        previous = next;
+    }
+
+    // Anything never consumed — the last level, plus earlier nets the random
+    // draws skipped — becomes observable as a primary output.
+    for (idx, name) in names.iter().enumerate() {
+        if fanout[idx] == 0 {
+            builder = builder.primary_output(name);
+        }
+    }
+    builder
+        .build()
+        .expect("generator netlists are valid by construction")
+}
+
+/// The ISCAS-85 c17 benchmark: 5 primary inputs, 2 primary outputs, 6 NAND2
+/// gates — the classic smallest "real" benchmark circuit, fixed (no seed).
+pub fn c17() -> Netlist {
+    NetlistBuilder::new("c17")
+        .primary_input("N1")
+        .primary_input("N2")
+        .primary_input("N3")
+        .primary_input("N6")
+        .primary_input("N7")
+        .gate("g10", CellKind::Nand2, &["N1", "N3"], "N10")
+        .gate("g11", CellKind::Nand2, &["N3", "N6"], "N11")
+        .gate("g16", CellKind::Nand2, &["N2", "N11"], "N16")
+        .gate("g19", CellKind::Nand2, &["N11", "N7"], "N19")
+        .gate("g22", CellKind::Nand2, &["N10", "N16"], "N22")
+        .gate("g23", CellKind::Nand2, &["N16", "N19"], "N23")
+        .primary_output("N22")
+        .primary_output("N23")
+        .build()
+        .expect("c17 is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_have_the_advertised_shape() {
+        let inv = inverter_chain(5);
+        assert_eq!(inv.gate_count(), 5);
+        assert_eq!(inv.primary_inputs().len(), 1);
+        assert_eq!(inv.primary_outputs().len(), 1);
+
+        let nand = nand_chain(4);
+        assert_eq!(nand.gate_count(), 4);
+        // One chain input plus one side input per stage.
+        assert_eq!(nand.primary_inputs().len(), 5);
+    }
+
+    #[test]
+    fn balanced_tree_reduces_all_leaves() {
+        let tree = balanced_tree(3, CellKind::Nor2);
+        assert_eq!(tree.primary_inputs().len(), 8);
+        assert_eq!(tree.gate_count(), 7);
+        assert_eq!(tree.primary_outputs().len(), 1);
+        let g = tree.to_gate_graph().unwrap();
+        assert_eq!(g.topological_levels().unwrap().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-input")]
+    fn balanced_tree_rejects_wide_cells() {
+        let _ = balanced_tree(2, CellKind::Nor3);
+    }
+
+    #[test]
+    fn random_dag_is_deterministic_per_seed() {
+        let config = DagConfig {
+            levels: 4,
+            width: 5,
+            max_fanout: 3,
+            seed: 42,
+        };
+        let a = random_dag(&config);
+        let b = random_dag(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_string(), b.to_json_string());
+
+        let other = random_dag(&DagConfig {
+            seed: 43,
+            ..config.clone()
+        });
+        assert_ne!(a, other, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_dag_respects_the_fanout_bound() {
+        // Sweep seeds at the tightest permitted bound (max_fanout = 2): the
+        // bound must hold structurally, not by seed luck.
+        for max_fanout in [2, 3] {
+            for seed in 0..40 {
+                let config = DagConfig {
+                    levels: 6,
+                    width: 8,
+                    max_fanout,
+                    seed,
+                };
+                let dag = random_dag(&config);
+                assert_eq!(dag.gate_count(), config.gate_count());
+                for i in 0..dag.net_count() {
+                    let net = dag.find_net(dag.net_name(crate::NetRef(i))).unwrap();
+                    assert!(
+                        dag.fanout_of(net).len() <= config.max_fanout,
+                        "net `{}` has fanout {} > {} (seed {seed})",
+                        dag.net_name(net),
+                        dag.fanout_of(net).len(),
+                        config.max_fanout
+                    );
+                }
+            }
+        }
+        // The DAG lowers and levelizes: depth equals the configured levels.
+        let config = DagConfig {
+            levels: 6,
+            width: 8,
+            max_fanout: 3,
+            seed: 7,
+        };
+        let g = random_dag(&config).to_gate_graph().unwrap();
+        assert_eq!(g.topological_levels().unwrap().len(), config.levels);
+    }
+
+    #[test]
+    fn gate_budget_configs_hit_the_budget_roughly() {
+        for budget in [10, 100, 1000] {
+            let config = DagConfig::with_gate_budget(budget, 1);
+            let gates = config.gate_count();
+            assert!(
+                gates >= budget && gates <= budget + config.width,
+                "budget {budget} -> {gates}"
+            );
+        }
+    }
+
+    #[test]
+    fn c17_matches_the_iscas_structure() {
+        let c = c17();
+        assert_eq!(c.gate_count(), 6);
+        assert_eq!(c.primary_inputs().len(), 5);
+        assert_eq!(c.primary_outputs().len(), 2);
+        assert!(c.gates().iter().all(|g| g.kind == CellKind::Nand2));
+        // N11 fans out to two gates.
+        let n11 = c.find_net("N11").unwrap();
+        assert_eq!(c.fanout_of(n11).len(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Unified netlist IR: one circuit description for simulation, STA and SPICE.
+//!
+//! The paper's whole point is comparing the *same circuit* across model
+//! fidelities (SIS vs MIS vs complete/selective MCSM vs transistor-level
+//! SPICE). This crate provides the shared representation that makes such
+//! comparisons one function call:
+//!
+//! * [`Netlist`] / [`NetlistBuilder`] — a backend-neutral, validated gate-level
+//!   circuit: named nets, primary I/O, gate instances by
+//!   [`mcsm_cells::cell::CellKind`], explicit per-net loads, and JSON
+//!   round-trips through `mcsm_num::json` ([`Netlist::to_json_string`] /
+//!   [`Netlist::from_json_str`]);
+//! * lowerings ([`lower`]) — [`Netlist::to_gate_graph`] for (level-parallel)
+//!   STA, [`Netlist::to_spice_circuit`] for transistor-level cross-checks, and
+//!   [`Netlist::simulate_gate`] to replay single gates through the generic
+//!   `CellModel` engine;
+//! * [`generators`] — seeded synthetic workloads (inverter/NAND chains,
+//!   balanced trees, random leveled DAGs, the ISCAS-85 c17) parameterized by
+//!   size, deterministic per [`mcsm_num::testrand::TestRng`] seed.
+//!
+//! # Example: one netlist, three backends
+//!
+//! ```no_run
+//! use mcsm_cells::cell::CellKind;
+//! use mcsm_cells::tech::Technology;
+//! use mcsm_net::NetlistBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = NetlistBuilder::new("demo")
+//!     .primary_input("a")
+//!     .primary_input("b")
+//!     .gate("u_nor", CellKind::Nor2, &["a", "b"], "mid")
+//!     .gate("u_inv", CellKind::Inverter, &["mid"], "out")
+//!     .primary_output("out")
+//!     .build()?;
+//!
+//! let tech = Technology::cmos_130nm();
+//! let graph = netlist.to_gate_graph()?; // feed mcsm_sta::arrival::propagate
+//! let spice = netlist.to_spice_circuit(&tech)?; // feed mcsm_spice::analysis
+//! let json = netlist.to_json_string(); // persist / exchange
+//! # let _ = (graph, spice, json);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod generators;
+pub mod lower;
+pub mod netlist;
+
+pub use error::NetlistError;
+pub use generators::{balanced_tree, c17, inverter_chain, nand_chain, random_dag, DagConfig};
+pub use lower::SpiceNetlist;
+pub use netlist::{GateInst, GateRef, NetRef, Netlist, NetlistBuilder};

@@ -1,0 +1,804 @@
+//! The backend-neutral netlist IR and its fluent builder.
+//!
+//! A [`Netlist`] is the *one* circuit description every backend consumes: the
+//! STA layer lowers it to a `mcsm_sta::GateGraph`, the SPICE layer expands it
+//! transistor-by-transistor, and single gates can be replayed through the
+//! generic `CellModel` engine (see [`crate::lower`]). Construction goes through
+//! [`NetlistBuilder`], which defers all checking to [`NetlistBuilder::build`]
+//! so circuits can be described fluently; `build` validates the whole circuit
+//! (pin counts, drivers, dangling nets, combinational loops) and returns a
+//! [`NetlistError`] naming the offender on any violation.
+//!
+//! Netlists serialize to JSON through `mcsm_num::json` (the workspace has no
+//! external dependencies) and deserialize through the same validation path, so
+//! a loaded netlist is always structurally sound.
+
+use crate::error::NetlistError;
+use mcsm_cells::cell::CellKind;
+use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
+use std::collections::HashMap;
+
+/// Identifier of a net (wire) within its [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetRef(pub(crate) usize);
+
+impl NetRef {
+    /// Raw index of the net. Lowerings preserve this index (the `n`-th net of
+    /// the netlist becomes the `n`-th net/node of the lowered form).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a gate instance within its [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateRef(pub(crate) usize);
+
+impl GateRef {
+    /// Raw index of the gate in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One gate instance of a [`Netlist`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateInst {
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// Cell topology.
+    pub kind: CellKind,
+    /// Input nets in pin order (`A`, `B`, …).
+    pub inputs: Vec<NetRef>,
+    /// Output net.
+    pub output: NetRef,
+}
+
+/// A validated, backend-neutral gate-level circuit.
+///
+/// Instances are immutable: the only way to obtain one is
+/// [`NetlistBuilder::build`] (or JSON deserialization, which goes through the
+/// same validation), so every `Netlist` is structurally sound — each net has
+/// exactly one driver or is a primary input, every net is consumed or is a
+/// primary output, and the gates form a DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    net_names: Vec<String>,
+    net_index: HashMap<String, NetRef>,
+    net_loads: Vec<f64>,
+    gates: Vec<GateInst>,
+    primary_inputs: Vec<NetRef>,
+    primary_outputs: Vec<NetRef>,
+    drivers: Vec<Option<GateRef>>,
+    fanouts: Vec<Vec<(GateRef, usize)>>,
+}
+
+impl Netlist {
+    /// Human-readable circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of gate instances.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// All gates in insertion order.
+    pub fn gates(&self) -> &[GateInst] {
+        &self.gates
+    }
+
+    /// The gate with the given reference.
+    pub fn gate(&self, gate: GateRef) -> &GateInst {
+        &self.gates[gate.0]
+    }
+
+    /// Looks up a gate by instance name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] if no gate has that name.
+    pub fn find_gate(&self, name: &str) -> Result<GateRef, NetlistError> {
+        self.gates
+            .iter()
+            .position(|g| g.name == name)
+            .map(GateRef)
+            .ok_or_else(|| NetlistError::UnknownGate(name.to_string()))
+    }
+
+    /// Name of a net.
+    pub fn net_name(&self, net: NetRef) -> &str {
+        &self.net_names[net.0]
+    }
+
+    /// Looks up a net by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] if no net has that name.
+    pub fn find_net(&self, name: &str) -> Result<NetRef, NetlistError> {
+        self.net_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownNet(name.to_string()))
+    }
+
+    /// Explicit extra lumped load on a net (farads; `0.0` unless set through
+    /// [`NetlistBuilder::net_load`]).
+    pub fn net_load(&self, net: NetRef) -> f64 {
+        self.net_loads[net.0]
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn primary_inputs(&self) -> &[NetRef] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn primary_outputs(&self) -> &[NetRef] {
+        &self.primary_outputs
+    }
+
+    /// Whether a net is a primary input.
+    pub fn is_primary_input(&self, net: NetRef) -> bool {
+        self.primary_inputs.contains(&net)
+    }
+
+    /// Whether a net is a primary output.
+    pub fn is_primary_output(&self, net: NetRef) -> bool {
+        self.primary_outputs.contains(&net)
+    }
+
+    /// The gate driving a net, if any (primary inputs have none).
+    pub fn driver_of(&self, net: NetRef) -> Option<GateRef> {
+        self.drivers[net.0]
+    }
+
+    /// The `(gate, pin)` pairs consuming a net, in gate insertion order.
+    pub fn fanout_of(&self, net: NetRef) -> &[(GateRef, usize)] {
+        &self.fanouts[net.0]
+    }
+
+    /// Serializes the netlist to a JSON tree.
+    pub fn to_json_value(&self) -> JsonValue {
+        let names = |nets: &[NetRef]| {
+            JsonValue::Array(
+                nets.iter()
+                    .map(|&n| JsonValue::String(self.net_name(n).to_string()))
+                    .collect(),
+            )
+        };
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::String(self.name.clone())),
+            (
+                "nets".into(),
+                JsonValue::Array(
+                    self.net_names
+                        .iter()
+                        .zip(&self.net_loads)
+                        .map(|(name, &load)| {
+                            JsonValue::Object(vec![
+                                ("name".into(), JsonValue::String(name.clone())),
+                                ("load".into(), JsonValue::Number(load)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("primary_inputs".into(), names(&self.primary_inputs)),
+            ("primary_outputs".into(), names(&self.primary_outputs)),
+            (
+                "gates".into(),
+                JsonValue::Array(
+                    self.gates
+                        .iter()
+                        .map(|g| {
+                            JsonValue::Object(vec![
+                                ("name".into(), JsonValue::String(g.name.clone())),
+                                ("cell".into(), JsonValue::String(g.kind.name().to_string())),
+                                (
+                                    "inputs".into(),
+                                    JsonValue::Array(
+                                        g.inputs
+                                            .iter()
+                                            .map(|&n| {
+                                                JsonValue::String(self.net_name(n).to_string())
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "output".into(),
+                                    JsonValue::String(self.net_name(g.output).to_string()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serializes the netlist to a pretty-printed JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// Rebuilds a netlist from a JSON tree, re-running full validation (a
+    /// deserialized netlist is as sound as a built one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Json`] on a malformed document and any
+    /// validation error on a structurally invalid circuit.
+    pub fn from_json_value(doc: &JsonValue) -> Result<Netlist, NetlistError> {
+        let str_of = |v: &JsonValue, what: &str| -> Result<String, NetlistError> {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| NetlistError::Json(format!("{what} must be a string")))
+        };
+        let array_of = |key: &str| -> Result<Vec<JsonValue>, NetlistError> {
+            Ok(doc
+                .require(key)?
+                .as_array()
+                .ok_or_else(|| NetlistError::Json(format!("`{key}` must be an array")))?
+                .to_vec())
+        };
+
+        let name = str_of(doc.require("name")?, "`name`")?;
+        let mut builder = NetlistBuilder::new(&name);
+
+        // Declare nets first, in stored order, so `NetRef` indices survive the
+        // round trip exactly.
+        for net in array_of("nets")? {
+            let net_name = str_of(net.require("name")?, "net `name`")?;
+            let load = net
+                .require("load")?
+                .as_f64()
+                .ok_or_else(|| NetlistError::Json("net `load` must be a number".into()))?;
+            builder = builder.net(&net_name);
+            if load != 0.0 {
+                builder = builder.net_load(&net_name, load);
+            }
+        }
+        for pi in array_of("primary_inputs")? {
+            builder = builder.primary_input(&str_of(&pi, "primary input")?);
+        }
+        for po in array_of("primary_outputs")? {
+            builder = builder.primary_output(&str_of(&po, "primary output")?);
+        }
+        for gate in array_of("gates")? {
+            let gate_name = str_of(gate.require("name")?, "gate `name`")?;
+            let cell = str_of(gate.require("cell")?, "gate `cell`")?;
+            let kind = CellKind::from_name(&cell)
+                .ok_or_else(|| NetlistError::Json(format!("unknown cell `{cell}`")))?;
+            let inputs: Vec<String> = gate
+                .require("inputs")?
+                .as_array()
+                .ok_or_else(|| NetlistError::Json("gate `inputs` must be an array".into()))?
+                .iter()
+                .map(|v| str_of(v, "gate input"))
+                .collect::<Result<_, _>>()?;
+            let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+            let output = str_of(gate.require("output")?, "gate `output`")?;
+            builder = builder.gate(&gate_name, kind, &input_refs, &output);
+        }
+        builder.build()
+    }
+
+    /// Parses a netlist from JSON text (see [`Netlist::from_json_value`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Json`] on malformed input and any validation
+    /// error on a structurally invalid circuit.
+    pub fn from_json_str(text: &str) -> Result<Netlist, NetlistError> {
+        let doc = JsonValue::parse(text)?;
+        Netlist::from_json_value(&doc)
+    }
+}
+
+impl ToJson for Netlist {
+    fn to_json(&self) -> JsonValue {
+        self.to_json_value()
+    }
+}
+
+impl FromJson for Netlist {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Netlist::from_json_value(value).map_err(|e| JsonError(e.to_string()))
+    }
+}
+
+/// Recorded gate declaration, checked at [`NetlistBuilder::build`] time.
+#[derive(Debug, Clone)]
+struct GateDecl {
+    name: String,
+    kind: CellKind,
+    inputs: Vec<usize>,
+    output: usize,
+}
+
+/// Fluent builder for [`Netlist`]: declare nets, primary I/O, gates and
+/// explicit loads in any order; all validation is deferred to
+/// [`NetlistBuilder::build`].
+///
+/// ```
+/// use mcsm_cells::cell::CellKind;
+/// use mcsm_net::NetlistBuilder;
+///
+/// let netlist = NetlistBuilder::new("chain")
+///     .primary_input("a")
+///     .primary_input("b")
+///     .gate("u_nor", CellKind::Nor2, &["a", "b"], "mid")
+///     .gate("u_inv", CellKind::Inverter, &["mid"], "out")
+///     .net_load("out", 2e-15)
+///     .primary_output("out")
+///     .build()
+///     .expect("valid netlist");
+/// assert_eq!(netlist.gate_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    net_names: Vec<String>,
+    net_index: HashMap<String, usize>,
+    net_loads: Vec<f64>,
+    gates: Vec<GateDecl>,
+    primary_inputs: Vec<usize>,
+    primary_outputs: Vec<usize>,
+}
+
+impl NetlistBuilder {
+    /// Starts an empty netlist with the given circuit name.
+    pub fn new(name: &str) -> Self {
+        NetlistBuilder {
+            name: name.to_string(),
+            ..NetlistBuilder::default()
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(&idx) = self.net_index.get(name) {
+            return idx;
+        }
+        let idx = self.net_names.len();
+        self.net_names.push(name.to_string());
+        self.net_index.insert(name.to_string(), idx);
+        self.net_loads.push(0.0);
+        idx
+    }
+
+    /// Declares a net by name without connecting it (nets are also created
+    /// implicitly by every method that mentions them). Mostly useful to pin
+    /// down net ordering, e.g. when rebuilding from JSON.
+    #[must_use]
+    pub fn net(mut self, name: &str) -> Self {
+        self.intern(name);
+        self
+    }
+
+    /// Declares a net as a primary input (idempotent).
+    #[must_use]
+    pub fn primary_input(mut self, net: &str) -> Self {
+        let idx = self.intern(net);
+        if !self.primary_inputs.contains(&idx) {
+            self.primary_inputs.push(idx);
+        }
+        self
+    }
+
+    /// Declares a net as a primary output (idempotent).
+    #[must_use]
+    pub fn primary_output(mut self, net: &str) -> Self {
+        let idx = self.intern(net);
+        if !self.primary_outputs.contains(&idx) {
+            self.primary_outputs.push(idx);
+        }
+        self
+    }
+
+    /// Adds a gate instance: `inputs` in pin order, driving `output`.
+    #[must_use]
+    pub fn gate(mut self, name: &str, kind: CellKind, inputs: &[&str], output: &str) -> Self {
+        let inputs = inputs.iter().map(|n| self.intern(n)).collect();
+        let output = self.intern(output);
+        self.gates.push(GateDecl {
+            name: name.to_string(),
+            kind,
+            inputs,
+            output,
+        });
+        self
+    }
+
+    /// Sets an explicit extra lumped load on a net (farads), modeling wire or
+    /// off-chip capacitance. Replaces any previously set value.
+    #[must_use]
+    pub fn net_load(mut self, net: &str, farads: f64) -> Self {
+        let idx = self.intern(net);
+        self.net_loads[idx] = farads;
+        self
+    }
+
+    /// Validates the declarations and produces the immutable [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::Empty`] — no gates were declared;
+    /// * [`NetlistError::DuplicateGate`] — two gates share an instance name;
+    /// * [`NetlistError::PinCountMismatch`] — a gate's input count does not
+    ///   match its cell kind;
+    /// * [`NetlistError::MultipleDrivers`] — a net has two drivers, or a gate
+    ///   drives a primary input;
+    /// * [`NetlistError::UndrivenNet`] — a consumed net has no driver and is
+    ///   not a primary input (a dangling net);
+    /// * [`NetlistError::UnreadNet`] — a net feeds nothing and is not a
+    ///   primary output;
+    /// * [`NetlistError::InvalidLoad`] — an explicit load is negative or
+    ///   non-finite;
+    /// * [`NetlistError::CombinationalLoop`] — the gates do not form a DAG.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        if self.gates.is_empty() {
+            return Err(NetlistError::Empty);
+        }
+
+        // Gate-local checks, in declaration order.
+        let mut seen = HashMap::new();
+        for (idx, gate) in self.gates.iter().enumerate() {
+            if seen.insert(gate.name.clone(), idx).is_some() {
+                return Err(NetlistError::DuplicateGate(gate.name.clone()));
+            }
+            if gate.inputs.len() != gate.kind.input_count() {
+                return Err(NetlistError::PinCountMismatch {
+                    gate: gate.name.clone(),
+                    cell: gate.kind.name().to_string(),
+                    expected: gate.kind.input_count(),
+                    got: gate.inputs.len(),
+                });
+            }
+        }
+
+        // Driver map; a net may have at most one, and primary inputs none.
+        let mut drivers: Vec<Option<GateRef>> = vec![None; self.net_names.len()];
+        for (idx, gate) in self.gates.iter().enumerate() {
+            if let Some(first) = drivers[gate.output] {
+                return Err(NetlistError::MultipleDrivers {
+                    net: self.net_names[gate.output].clone(),
+                    first: self.gates[first.0].name.clone(),
+                    second: gate.name.clone(),
+                });
+            }
+            if self.primary_inputs.contains(&gate.output) {
+                return Err(NetlistError::MultipleDrivers {
+                    net: self.net_names[gate.output].clone(),
+                    first: "<primary input>".to_string(),
+                    second: gate.name.clone(),
+                });
+            }
+            drivers[gate.output] = Some(GateRef(idx));
+        }
+
+        // Fanout map and connectivity checks.
+        let mut fanouts: Vec<Vec<(GateRef, usize)>> = vec![Vec::new(); self.net_names.len()];
+        for (idx, gate) in self.gates.iter().enumerate() {
+            for (pin, &input) in gate.inputs.iter().enumerate() {
+                fanouts[input].push((GateRef(idx), pin));
+                if drivers[input].is_none() && !self.primary_inputs.contains(&input) {
+                    return Err(NetlistError::UndrivenNet {
+                        net: self.net_names[input].clone(),
+                        consumer: format!("feeding gate `{}` pin {pin}", gate.name),
+                    });
+                }
+            }
+        }
+        for &po in &self.primary_outputs {
+            if drivers[po].is_none() && !self.primary_inputs.contains(&po) {
+                return Err(NetlistError::UndrivenNet {
+                    net: self.net_names[po].clone(),
+                    consumer: "a primary output".to_string(),
+                });
+            }
+        }
+        for (idx, name) in self.net_names.iter().enumerate() {
+            if fanouts[idx].is_empty() && !self.primary_outputs.contains(&idx) {
+                return Err(NetlistError::UnreadNet(name.clone()));
+            }
+        }
+
+        // Explicit loads must be physical.
+        for (idx, &load) in self.net_loads.iter().enumerate() {
+            if load < 0.0 || !load.is_finite() {
+                return Err(NetlistError::InvalidLoad {
+                    net: self.net_names[idx].clone(),
+                    farads: load,
+                });
+            }
+        }
+
+        // Cycle check: Kahn's algorithm over gate-to-gate edges.
+        let mut pending = vec![0usize; self.gates.len()];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
+        for (idx, gate) in self.gates.iter().enumerate() {
+            for &input in &gate.inputs {
+                if let Some(upstream) = drivers[input] {
+                    pending[idx] += 1;
+                    successors[upstream.0].push(idx);
+                }
+            }
+        }
+        let mut wave: Vec<usize> = (0..self.gates.len())
+            .filter(|&idx| pending[idx] == 0)
+            .collect();
+        let mut placed = 0;
+        while let Some(idx) = wave.pop() {
+            placed += 1;
+            for &succ in &successors[idx] {
+                pending[succ] -= 1;
+                if pending[succ] == 0 {
+                    wave.push(succ);
+                }
+            }
+        }
+        if placed < self.gates.len() {
+            let gates = self
+                .gates
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| pending[*idx] > 0)
+                .map(|(_, g)| g.name.clone())
+                .collect();
+            return Err(NetlistError::CombinationalLoop { gates });
+        }
+
+        let gates = self
+            .gates
+            .into_iter()
+            .map(|g| GateInst {
+                name: g.name,
+                kind: g.kind,
+                inputs: g.inputs.into_iter().map(NetRef).collect(),
+                output: NetRef(g.output),
+            })
+            .collect();
+        Ok(Netlist {
+            name: self.name,
+            net_names: self.net_names,
+            net_index: self
+                .net_index
+                .into_iter()
+                .map(|(name, idx)| (name, NetRef(idx)))
+                .collect(),
+            net_loads: self.net_loads,
+            gates,
+            primary_inputs: self.primary_inputs.into_iter().map(NetRef).collect(),
+            primary_outputs: self.primary_outputs.into_iter().map(NetRef).collect(),
+            drivers,
+            fanouts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Netlist {
+        NetlistBuilder::new("chain")
+            .primary_input("a")
+            .primary_input("b")
+            .gate("u_nor", CellKind::Nor2, &["a", "b"], "mid")
+            .gate("u_inv", CellKind::Inverter, &["mid"], "out")
+            .primary_output("out")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_a_connected_netlist() {
+        let n = chain();
+        assert_eq!(n.name(), "chain");
+        assert_eq!(n.net_count(), 4);
+        assert_eq!(n.gate_count(), 2);
+        let mid = n.find_net("mid").unwrap();
+        let u_nor = n.find_gate("u_nor").unwrap();
+        assert_eq!(n.driver_of(mid), Some(u_nor));
+        assert_eq!(n.fanout_of(mid).len(), 1);
+        assert_eq!(n.gate(n.fanout_of(mid)[0].0).name, "u_inv");
+        assert!(n.is_primary_input(n.find_net("a").unwrap()));
+        assert!(n.is_primary_output(n.find_net("out").unwrap()));
+        assert!(n.find_net("nope").is_err());
+        assert!(n.find_gate("nope").is_err());
+        assert_eq!(n.net_load(mid), 0.0);
+    }
+
+    #[test]
+    fn explicit_loads_are_recorded() {
+        let n = NetlistBuilder::new("loaded")
+            .primary_input("a")
+            .gate("u", CellKind::Inverter, &["a"], "out")
+            .net_load("out", 5e-15)
+            .primary_output("out")
+            .build()
+            .unwrap();
+        assert_eq!(n.net_load(n.find_net("out").unwrap()), 5e-15);
+    }
+
+    #[test]
+    fn empty_netlist_is_rejected() {
+        assert_eq!(
+            NetlistBuilder::new("empty").build().unwrap_err(),
+            NetlistError::Empty
+        );
+    }
+
+    #[test]
+    fn pin_count_mismatch_names_the_gate() {
+        let err = NetlistBuilder::new("bad")
+            .primary_input("a")
+            .gate("u1", CellKind::Nand2, &["a"], "out")
+            .primary_output("out")
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::PinCountMismatch { ref gate, expected: 2, got: 1, .. } if gate == "u1"
+        ));
+    }
+
+    #[test]
+    fn duplicate_gate_names_are_rejected() {
+        let err = NetlistBuilder::new("bad")
+            .primary_input("a")
+            .gate("u", CellKind::Inverter, &["a"], "x")
+            .gate("u", CellKind::Inverter, &["x"], "y")
+            .primary_output("y")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateGate("u".into()));
+    }
+
+    #[test]
+    fn double_drivers_are_rejected() {
+        let err = NetlistBuilder::new("bad")
+            .primary_input("a")
+            .gate("u1", CellKind::Inverter, &["a"], "out")
+            .gate("u2", CellKind::Inverter, &["a"], "out")
+            .primary_output("out")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn driving_a_primary_input_is_rejected() {
+        let err = NetlistBuilder::new("bad")
+            .primary_input("a")
+            .primary_input("b")
+            .gate("u1", CellKind::Inverter, &["a"], "b")
+            .primary_output("b")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn dangling_input_net_is_rejected() {
+        let err = NetlistBuilder::new("bad")
+            .gate("u1", CellKind::Inverter, &["floating"], "out")
+            .primary_output("out")
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::UndrivenNet { ref net, .. } if net == "floating"
+        ));
+    }
+
+    #[test]
+    fn undriven_primary_output_is_rejected() {
+        let err = NetlistBuilder::new("bad")
+            .primary_input("a")
+            .gate("u1", CellKind::Inverter, &["a"], "out")
+            .primary_output("out")
+            .primary_output("ghost")
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::UndrivenNet { ref net, .. } if net == "ghost"
+        ));
+    }
+
+    #[test]
+    fn unread_net_is_rejected() {
+        let err = NetlistBuilder::new("bad")
+            .primary_input("a")
+            .primary_input("unused")
+            .gate("u1", CellKind::Inverter, &["a"], "out")
+            .primary_output("out")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, NetlistError::UnreadNet("unused".into()));
+    }
+
+    #[test]
+    fn combinational_loop_is_rejected() {
+        let err = NetlistBuilder::new("bad")
+            .gate("u1", CellKind::Inverter, &["b"], "a")
+            .gate("u2", CellKind::Inverter, &["a"], "b")
+            .primary_output("a")
+            .primary_output("b")
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::CombinationalLoop { ref gates } if gates.len() == 2
+        ));
+    }
+
+    #[test]
+    fn invalid_loads_are_rejected() {
+        for bad in [-1e-15, f64::NAN, f64::INFINITY] {
+            let err = NetlistBuilder::new("bad")
+                .primary_input("a")
+                .gate("u", CellKind::Inverter, &["a"], "out")
+                .net_load("out", bad)
+                .primary_output("out")
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, NetlistError::InvalidLoad { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let n = NetlistBuilder::new("rt")
+            .primary_input("a")
+            .primary_input("b")
+            .gate("u_nor", CellKind::Nor2, &["a", "b"], "mid")
+            .gate("u_inv", CellKind::Inverter, &["mid"], "out")
+            .net_load("out", 2.5e-15)
+            .primary_output("out")
+            .build()
+            .unwrap();
+        let text = n.to_json_string();
+        let back = Netlist::from_json_str(&text).unwrap();
+        assert_eq!(n, back);
+        // The ToJson / FromJson trait impls agree with the inherent methods.
+        let via_trait = <Netlist as FromJson>::from_json(&ToJson::to_json(&n)).unwrap();
+        assert_eq!(n, via_trait);
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        assert!(matches!(
+            Netlist::from_json_str("{not json"),
+            Err(NetlistError::Json(_))
+        ));
+        // Unknown cells are a JSON-shape error.
+        let doc = r#"{"name":"x","nets":[{"name":"a","load":0.0},{"name":"o","load":0.0}],
+            "primary_inputs":["a"],"primary_outputs":["o"],
+            "gates":[{"name":"u","cell":"XOR9","inputs":["a"],"output":"o"}]}"#;
+        assert!(matches!(
+            Netlist::from_json_str(doc),
+            Err(NetlistError::Json(ref msg)) if msg.contains("XOR9")
+        ));
+        // A well-formed document describing an invalid circuit fails
+        // validation, not parsing.
+        let doc = r#"{"name":"x","nets":[{"name":"a","load":0.0},{"name":"o","load":0.0}],
+            "primary_inputs":[],"primary_outputs":["o"],
+            "gates":[{"name":"u","cell":"INV","inputs":["a"],"output":"o"}]}"#;
+        assert!(matches!(
+            Netlist::from_json_str(doc),
+            Err(NetlistError::UndrivenNet { .. })
+        ));
+    }
+}

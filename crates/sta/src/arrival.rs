@@ -177,14 +177,16 @@ pub fn propagate(
                 })
                 .collect::<Result<_, _>>()?;
 
-            // Lumped load: input capacitance of every fanout pin plus the
-            // external load if this net is a primary output.
+            // Lumped load: input capacitance of every fanout pin, plus any
+            // explicit per-net load, plus the external load if this net is a
+            // primary output.
             let mut load = 0.0;
-            for (fanout_gate, pin) in graph.fanout_of(gate.output) {
+            for &(fanout_gate, pin) in graph.fanout_of(gate.output) {
                 let kind = graph.gate(fanout_gate).kind;
                 load += cache
                     .pin_capacitance(kind, pin, || library.input_pin_capacitance(kind, pin))?;
             }
+            load += graph.extra_load_of(gate.output);
             if graph.primary_outputs().contains(&gate.output) {
                 load += options.primary_output_load;
             }

@@ -45,6 +45,11 @@ pub struct Gate {
 }
 
 /// A combinational gate-level netlist.
+///
+/// Driver and fanout adjacency are maintained incrementally by
+/// [`GateGraph::add_gate`], so [`GateGraph::driver_of`] and
+/// [`GateGraph::fanout_of`] are O(1) lookups instead of per-query scans —
+/// [`crate::arrival::propagate`] consults them once per net per run.
 #[derive(Debug, Clone, Default)]
 pub struct GateGraph {
     net_names: Vec<String>,
@@ -52,6 +57,13 @@ pub struct GateGraph {
     gates: Vec<Gate>,
     primary_inputs: Vec<NetId>,
     primary_outputs: Vec<NetId>,
+    /// Per-net driving gate, maintained by `add_gate`.
+    drivers: Vec<Option<GateId>>,
+    /// Per-net fanout `(gate, pin)` pairs, maintained by `add_gate`.
+    fanouts: Vec<Vec<(GateId, usize)>>,
+    /// Per-net explicit extra lumped load (farads), e.g. wire or off-chip
+    /// capacitance carried over from a netlist IR.
+    extra_loads: Vec<f64>,
 }
 
 impl GateGraph {
@@ -68,6 +80,9 @@ impl GateGraph {
         let id = NetId(self.net_names.len());
         self.net_names.push(name.to_string());
         self.net_index.insert(name.to_string(), id);
+        self.drivers.push(None);
+        self.fanouts.push(Vec::new());
+        self.extra_loads.push(0.0);
         id
     }
 
@@ -145,6 +160,10 @@ impl GateGraph {
             )));
         }
         let id = GateId(self.gates.len());
+        self.drivers[output.0] = Some(id);
+        for (pin, &input) in inputs.iter().enumerate() {
+            self.fanouts[input.0].push((id, pin));
+        }
         self.gates.push(Gate {
             name: name.to_string(),
             kind,
@@ -161,20 +180,24 @@ impl GateGraph {
 
     /// The gate driving a net, if any.
     pub fn driver_of(&self, net: NetId) -> Option<GateId> {
-        self.gates.iter().position(|g| g.output == net).map(GateId)
+        self.drivers[net.0]
     }
 
-    /// The gates whose inputs include `net`, with the pin index used.
-    pub fn fanout_of(&self, net: NetId) -> Vec<(GateId, usize)> {
-        let mut out = Vec::new();
-        for (idx, gate) in self.gates.iter().enumerate() {
-            for (pin, &input) in gate.inputs.iter().enumerate() {
-                if input == net {
-                    out.push((GateId(idx), pin));
-                }
-            }
-        }
-        out
+    /// The gates whose inputs include `net`, with the pin index used, in gate
+    /// insertion order.
+    pub fn fanout_of(&self, net: NetId) -> &[(GateId, usize)] {
+        &self.fanouts[net.0]
+    }
+
+    /// Sets an explicit extra lumped load on a net (farads), added on top of
+    /// the fanout pin capacitances during propagation.
+    pub fn set_extra_load(&mut self, net: NetId, farads: f64) {
+        self.extra_loads[net.0] = farads;
+    }
+
+    /// The explicit extra lumped load on a net (farads; `0.0` by default).
+    pub fn extra_load_of(&self, net: NetId) -> f64 {
+        self.extra_loads[net.0]
     }
 
     /// The gate with the given id.
@@ -207,10 +230,6 @@ impl GateGraph {
     pub fn topological_levels(&self) -> Result<Vec<Vec<GateId>>, StaError> {
         // Wave-by-wave Kahn's algorithm, O(gates + edges): each wave is the
         // set of gates whose gate-driven inputs have all been placed.
-        let mut driver: Vec<Option<usize>> = vec![None; self.net_names.len()];
-        for (idx, gate) in self.gates.iter().enumerate() {
-            driver[gate.output.0] = Some(idx);
-        }
         let mut is_primary_input = vec![false; self.net_names.len()];
         for &pi in &self.primary_inputs {
             is_primary_input[pi.0] = true;
@@ -222,10 +241,10 @@ impl GateGraph {
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
         for (idx, gate) in self.gates.iter().enumerate() {
             for &input in &gate.inputs {
-                match driver[input.0] {
+                match self.drivers[input.0] {
                     Some(upstream) => {
                         pending[idx] += 1;
-                        successors[upstream].push(idx);
+                        successors[upstream.0].push(idx);
                     }
                     None if !is_primary_input[input.0] => {
                         return Err(StaError::InvalidGraph(format!(
@@ -406,6 +425,35 @@ mod tests {
         g.add_gate("u2", CellKind::Inverter, &[b], a).unwrap();
         let err = g.topological_order();
         assert!(matches!(err, Err(StaError::InvalidGraph(_))));
+    }
+
+    #[test]
+    fn fanout_adjacency_tracks_every_pin_use() {
+        // One net feeding two pins of the same gate and one pin of another.
+        let mut g = GateGraph::new();
+        let a = g.net("a");
+        let o1 = g.net("o1");
+        let o2 = g.net("o2");
+        g.mark_primary_input(a);
+        g.add_gate("u1", CellKind::Nand2, &[a, a], o1).unwrap();
+        g.add_gate("u2", CellKind::Inverter, &[a], o2).unwrap();
+        let fanout = g.fanout_of(a);
+        assert_eq!(fanout.len(), 3);
+        assert_eq!(fanout[0].1, 0);
+        assert_eq!(fanout[1].1, 1);
+        assert_eq!(g.gate(fanout[2].0).name, "u2");
+        assert!(g.fanout_of(o1).is_empty());
+    }
+
+    #[test]
+    fn extra_loads_default_to_zero_and_are_settable() {
+        let mut g = small_graph();
+        let out = g.find_net("out").unwrap();
+        assert_eq!(g.extra_load_of(out), 0.0);
+        g.set_extra_load(out, 3e-15);
+        assert_eq!(g.extra_load_of(out), 3e-15);
+        // Other nets are untouched.
+        assert_eq!(g.extra_load_of(g.find_net("mid").unwrap()), 0.0);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! waveform-based static timing analysis layer that consumes the models
 //! characterized by `mcsm-core`:
 //!
-//! * [`graph::GateGraph`] — combinational gate-level netlists;
+//! * [`graph::GateGraph`] — combinational gate-level netlists (the
+//!   STA-internal form; new circuits are better described once through the
+//!   backend-neutral `Netlist` IR of the `mcsm-net` crate and lowered here
+//!   via its `to_gate_graph()`);
 //! * [`models::ModelLibrary`] — characterized model bundles per cell kind;
 //! * [`delaycalc::DelayCalculator`] — per-gate waveform computation with
 //!   selectable backend (SIS-only, baseline MIS, complete MCSM, or the paper's

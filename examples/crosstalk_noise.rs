@@ -2,32 +2,79 @@
 //! to an aggressor through 50 fF drives a NOR2; the MCSM is fed the noisy victim
 //! waveform and compared against the transistor-level reference.
 //!
+//! The NOR2 receiver is described through the unified `Netlist` IR and the
+//! MCSM prediction runs through `Netlist::simulate_gate` — the hook that
+//! replays one netlist gate through the generic `CellModel` engine. The
+//! transistor-level reference still comes from the coupled-interconnect
+//! scenario (wire coupling is below the gate-level IR's abstraction).
+//!
 //! Run with `cargo run --release --example crosstalk_noise`.
+//! Set `MCSM_BENCH_FAST=1` for coarse characterization grids (CI smoke mode).
 
 use mcsm::cells::cell::{CellKind, CellTemplate};
+use mcsm::cells::load::FanoutLoad;
 use mcsm::cells::tech::Technology;
 use mcsm::core::characterize::characterize_mcsm;
 use mcsm::core::config::CharacterizationConfig;
-use mcsm::core::sim::CsmSimOptions;
+use mcsm::core::metrics::compare_waveforms;
+use mcsm::core::sim::{CsmSimOptions, DriveWaveform};
+use mcsm::core::store::{ModelBackend, ModelStore};
+use mcsm::net::NetlistBuilder;
 use mcsm::sta::noise::CrosstalkScenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::cmos_130nm();
     let nor2 = CellTemplate::new(CellKind::Nor2, tech.clone());
+    let config = if mcsm::num::par::env_flag("MCSM_BENCH_FAST") {
+        CharacterizationConfig::coarse()
+    } else {
+        CharacterizationConfig::standard()
+    };
     println!("characterizing NOR2 ...");
-    let model = characterize_mcsm(&nor2, &CharacterizationConfig::standard())?;
+    let mut store = ModelStore::new();
+    store.mcsm = Some(characterize_mcsm(&nor2, &config)?);
+
+    // The receiver as a one-gate netlist: victim on pin A, the B pin held at
+    // its non-controlling value, an FO2 lumped load on the output.
+    let load = FanoutLoad::new(tech.clone(), 2).equivalent_capacitance();
+    let netlist = NetlistBuilder::new("fig12_receiver")
+        .primary_input("victim_net")
+        .primary_input("nor_b")
+        .gate("dut", CellKind::Nor2, &["victim_net", "nor_b"], "nor_out")
+        .net_load("nor_out", load)
+        .primary_output("nor_out")
+        .build()?;
+    let dut = netlist.find_gate("dut")?;
 
     println!("injection time [ns]   delay error [ps]   waveform RMSE [% of Vdd]");
     for k in 0..6 {
         let injection = 2.0e-9 + k as f64 * 0.1e-9;
         let scenario = CrosstalkScenario::paper_setup(tech.clone(), injection);
-        let point =
-            scenario.evaluate(&model, 2e-12, &CsmSimOptions::new(scenario.t_stop, 0.5e-12))?;
+        let options = CsmSimOptions::new(scenario.t_stop, 0.5e-12);
+
+        // Transistor-level reference: coupled victim/aggressor lines.
+        let reference = scenario.run_reference(2e-12)?;
+
+        // MCSM prediction: the *same netlist gate*, driven by the noisy victim
+        // waveform, replayed through the generic engine.
+        let predicted = netlist.simulate_gate(
+            dut,
+            &store,
+            ModelBackend::CompleteMcsm,
+            &[
+                DriveWaveform::Sampled(reference.victim_input.clone()),
+                DriveWaveform::dc(0.0),
+            ],
+            load,
+            &options,
+        )?;
+
+        let comparison = compare_waveforms(&reference.output, &predicted.output, tech.vdd, true)?;
         println!(
             "{:>18.2}   {:>16.2}   {:>24.2}",
-            point.injection_time * 1e9,
-            point.delay_error * 1e12,
-            point.normalized_rmse * 100.0
+            injection * 1e9,
+            comparison.delay_difference.unwrap_or(f64::NAN) * 1e12,
+            comparison.normalized_rmse * 100.0
         );
     }
     Ok(())

@@ -2,6 +2,7 @@
 //! event with the MCSM, and compare it against the transistor-level reference.
 //!
 //! Run with `cargo run --release --example quickstart`.
+//! Set `MCSM_BENCH_FAST=1` for coarse characterization grids (CI smoke mode).
 
 use mcsm::cells::cell::{CellKind, CellTemplate};
 use mcsm::cells::load::FanoutLoad;
@@ -21,8 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("technology: {} (Vdd = {} V)", tech.name, tech.vdd);
 
     // 2. Characterize the complete MCSM (4-D current and capacitance tables).
+    let config = if mcsm::num::par::env_flag("MCSM_BENCH_FAST") {
+        CharacterizationConfig::coarse()
+    } else {
+        CharacterizationConfig::standard()
+    };
     println!("characterizing NOR2 ...");
-    let model = characterize_mcsm(&nor2, &CharacterizationConfig::standard())?;
+    let model = characterize_mcsm(&nor2, &config)?;
     println!(
         "  -> tables over {} grid points per current axis",
         model.io.lut().axes()[0].len()

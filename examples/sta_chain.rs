@@ -5,7 +5,14 @@
 //! internal-node charge; the selective backend pays for the internal-node
 //! tables only on lightly loaded gates.
 //!
+//! The circuit is described once through the unified `Netlist` IR and lowered
+//! to the STA form — the same value would lower to a transistor-level SPICE
+//! deck or replay single gates through the generic model engine. (Hand-
+//! assembling a `GateGraph`, as earlier revisions of this example did, still
+//! works but is the legacy path; `GateGraph` is the STA-internal form.)
+//!
 //! Run with `cargo run --release --example sta_chain`.
+//! Set `MCSM_BENCH_FAST=1` for coarse characterization grids (CI smoke mode).
 
 use std::collections::HashMap;
 
@@ -14,36 +21,40 @@ use mcsm::cells::tech::Technology;
 use mcsm::core::config::CharacterizationConfig;
 use mcsm::core::selective::SelectivePolicy;
 use mcsm::core::sim::{CsmSimOptions, DriveWaveform};
+use mcsm::net::NetlistBuilder;
 use mcsm::sta::arrival::{propagate, TimingOptions};
 use mcsm::sta::delaycalc::{DelayBackend, DelayCalculator};
-use mcsm::sta::graph::GateGraph;
 use mcsm::sta::models::ModelLibrary;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::cmos_130nm();
+    let config = if mcsm::num::par::env_flag("MCSM_BENCH_FAST") {
+        CharacterizationConfig::coarse()
+    } else {
+        CharacterizationConfig::standard()
+    };
     println!("characterizing INV and NOR2 ...");
-    let library = ModelLibrary::characterize(
-        &tech,
-        &[CellKind::Inverter, CellKind::Nor2],
-        &CharacterizationConfig::standard(),
-    )?;
+    let library =
+        ModelLibrary::characterize(&tech, &[CellKind::Inverter, CellKind::Nor2], &config)?;
 
-    // a, b -> NOR2 -> mid -> INV -> out
-    let mut graph = GateGraph::new();
-    let a = graph.net("a");
-    let b = graph.net("b");
-    let mid = graph.net("mid");
-    let out = graph.net("out");
-    graph.mark_primary_input(a);
-    graph.mark_primary_input(b);
-    graph.mark_primary_output(out);
-    graph.add_gate("u_nor", CellKind::Nor2, &[a, b], mid)?;
-    graph.add_gate("u_inv", CellKind::Inverter, &[mid], out)?;
+    // a, b -> NOR2 -> mid -> INV -> out, described backend-neutrally.
+    let netlist = NetlistBuilder::new("sta_chain")
+        .primary_input("a")
+        .primary_input("b")
+        .gate("u_nor", CellKind::Nor2, &["a", "b"], "mid")
+        .gate("u_inv", CellKind::Inverter, &["mid"], "out")
+        .net_load("out", 2e-15) // explicit lumped load on the output net
+        .primary_output("out")
+        .build()?;
+    let graph = netlist.to_gate_graph()?;
+    let mid = graph.find_net("mid")?;
+    let out = graph.find_net("out")?;
 
     // Both primary inputs fall together at 1 ns: a MIS event at the NOR2.
     let mut drives = HashMap::new();
-    drives.insert(a, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
-    drives.insert(b, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
+    for &pi in graph.primary_inputs() {
+        drives.insert(pi, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
+    }
 
     println!("backend                    arrival(mid, rise) [ps]   arrival(out, fall) [ps]");
     for (label, backend) in [
@@ -59,10 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         // `.with_threads(0)` fans each topological level across all cores;
-        // results are bit-identical to the sequential run.
+        // results are bit-identical to the sequential run. The explicit
+        // `net_load("out", …)` above replaces the old per-run
+        // `primary_output_load` knob, so it is 0 here.
         let options = TimingOptions::new(
             DelayCalculator::new(backend, CsmSimOptions::new(4e-9, 1e-12), tech.vdd),
-            2e-15,
+            0.0,
         )
         .with_threads(0);
         let timing = propagate(&graph, &library, &drives, &options)?;
@@ -73,5 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nSIS-only timing is optimistic for the simultaneous-switching event;");
     println!("the complete MCSM accounts for the stack-node charge as well, and the");
     println!("selective backend matches it wherever the load keeps the effect visible.");
+    println!(
+        "\nThe same netlist serializes to {} bytes of JSON and lowers to a",
+        netlist.to_json_string().len()
+    );
+    println!("transistor-level SPICE deck via `to_spice_circuit` for cross-checks.");
     Ok(())
 }

@@ -1,0 +1,247 @@
+//! Integration tests of the unified `Netlist` IR: JSON round-trips,
+//! validation, generator determinism, and — the acceptance bar — timing
+//! results of a `Netlist`-lowered graph being bit-identical to a hand-built
+//! `GateGraph` at 1, 2 and 8 threads.
+
+use std::collections::HashMap;
+
+use mcsm_cells::cell::CellKind;
+use mcsm_cells::tech::Technology;
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
+use mcsm_net::{c17, random_dag, DagConfig, Netlist, NetlistBuilder, NetlistError};
+use mcsm_sta::arrival::{propagate, TimingOptions};
+use mcsm_sta::delaycalc::{DelayBackend, DelayCalculator};
+use mcsm_sta::graph::GateGraph;
+use mcsm_sta::models::ModelLibrary;
+
+fn library() -> ModelLibrary {
+    ModelLibrary::characterize(
+        &Technology::cmos_130nm(),
+        &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+        &CharacterizationConfig::coarse(),
+    )
+    .unwrap()
+}
+
+/// The shared test circuit: two NOR2 cones into an inverter pair into a NOR2.
+fn wide_netlist() -> Netlist {
+    NetlistBuilder::new("wide")
+        .primary_input("in0")
+        .primary_input("in1")
+        .primary_input("in2")
+        .primary_input("in3")
+        .gate("u0", CellKind::Nor2, &["in0", "in1"], "m0")
+        .gate("u1", CellKind::Nor2, &["in2", "in3"], "m1")
+        .gate("v0", CellKind::Inverter, &["m0"], "n0")
+        .gate("v1", CellKind::Inverter, &["m1"], "n1")
+        .gate("w", CellKind::Nor2, &["n0", "n1"], "out")
+        .primary_output("out")
+        .build()
+        .unwrap()
+}
+
+/// The same circuit assembled directly against the STA-internal `GateGraph`
+/// (the legacy path the IR replaces).
+fn wide_graph_by_hand() -> GateGraph {
+    let mut g = GateGraph::new();
+    let pis: Vec<_> = (0..4).map(|i| g.net(&format!("in{i}"))).collect();
+    for &pi in &pis {
+        g.mark_primary_input(pi);
+    }
+    let m0 = g.net("m0");
+    let m1 = g.net("m1");
+    let n0 = g.net("n0");
+    let n1 = g.net("n1");
+    let out = g.net("out");
+    g.mark_primary_output(out);
+    g.add_gate("u0", CellKind::Nor2, &[pis[0], pis[1]], m0)
+        .unwrap();
+    g.add_gate("u1", CellKind::Nor2, &[pis[2], pis[3]], m1)
+        .unwrap();
+    g.add_gate("v0", CellKind::Inverter, &[m0], n0).unwrap();
+    g.add_gate("v1", CellKind::Inverter, &[m1], n1).unwrap();
+    g.add_gate("w", CellKind::Nor2, &[n0, n1], out).unwrap();
+    g
+}
+
+#[test]
+fn netlist_built_graph_times_bit_identical_to_hand_built_at_all_thread_counts() {
+    let lib = library();
+    let lowered = wide_netlist().to_gate_graph().unwrap();
+    let by_hand = wide_graph_by_hand();
+
+    let drives_for = |graph: &GateGraph| -> HashMap<_, _> {
+        graph
+            .primary_inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &pi)| {
+                // Staggered edges so the cones are asymmetric.
+                (
+                    pi,
+                    DriveWaveform::falling_ramp(1.2, 1e-9 + 40e-12 * i as f64, 80e-12),
+                )
+            })
+            .collect()
+    };
+
+    for threads in [1, 2, 8] {
+        let options = TimingOptions::new(
+            DelayCalculator::new(
+                DelayBackend::CompleteMcsm,
+                CsmSimOptions::new(4e-9, 2e-12),
+                1.2,
+            ),
+            2e-15,
+        )
+        .with_threads(threads);
+        let from_netlist = propagate(&lowered, &lib, &drives_for(&lowered), &options).unwrap();
+        let from_hand = propagate(&by_hand, &lib, &drives_for(&by_hand), &options).unwrap();
+
+        let mut nets: Vec<_> = from_hand.nets().collect();
+        nets.sort();
+        assert_eq!(nets.len(), from_netlist.nets().count());
+        for net in nets {
+            // Net ids correspond (same creation order by construction); the
+            // waveforms must agree to the bit.
+            assert_eq!(
+                from_hand.waveform(net).unwrap(),
+                from_netlist.waveform(net).unwrap(),
+                "net `{}` differs at {threads} threads",
+                by_hand.net_name(net)
+            );
+        }
+        assert_eq!(
+            from_hand.cache_hits() + from_hand.cache_misses(),
+            from_netlist.cache_hits() + from_netlist.cache_misses(),
+        );
+    }
+}
+
+#[test]
+fn generated_circuits_round_trip_through_json() {
+    let dag = random_dag(&DagConfig {
+        levels: 5,
+        width: 6,
+        max_fanout: 3,
+        seed: 2008,
+    });
+    for netlist in [dag, c17(), wide_netlist()] {
+        let text = netlist.to_json_string();
+        let back = Netlist::from_json_str(&text).unwrap();
+        assert_eq!(netlist, back, "{} round trip", netlist.name());
+        // Round-tripped netlists lower to the same graph.
+        let a = netlist.to_gate_graph().unwrap();
+        let b = back.to_gate_graph().unwrap();
+        assert_eq!(a.gates(), b.gates());
+        assert_eq!(a.primary_inputs(), b.primary_inputs());
+    }
+}
+
+#[test]
+fn generators_are_deterministic_and_seed_sensitive() {
+    let config = DagConfig::with_gate_budget(60, 7);
+    assert_eq!(random_dag(&config), random_dag(&config));
+    assert_eq!(
+        random_dag(&config).to_json_string(),
+        random_dag(&config).to_json_string()
+    );
+    let reseeded = DagConfig {
+        seed: 8,
+        ..config.clone()
+    };
+    assert_ne!(random_dag(&config), random_dag(&reseeded));
+}
+
+#[test]
+fn validation_rejects_the_classic_structural_bugs() {
+    // Dangling net: consumed but never driven, not a primary input.
+    let dangling = NetlistBuilder::new("dangling")
+        .gate("u", CellKind::Inverter, &["ghost"], "out")
+        .primary_output("out")
+        .build();
+    assert!(matches!(dangling, Err(NetlistError::UndrivenNet { .. })));
+
+    // Combinational loop.
+    let looped = NetlistBuilder::new("loop")
+        .gate("u1", CellKind::Inverter, &["b"], "a")
+        .gate("u2", CellKind::Inverter, &["a"], "b")
+        .primary_output("a")
+        .primary_output("b")
+        .build();
+    assert!(matches!(
+        looped,
+        Err(NetlistError::CombinationalLoop { .. })
+    ));
+
+    // Double driver.
+    let doubled = NetlistBuilder::new("double")
+        .primary_input("a")
+        .gate("u1", CellKind::Inverter, &["a"], "out")
+        .gate("u2", CellKind::Inverter, &["a"], "out")
+        .primary_output("out")
+        .build();
+    assert!(matches!(doubled, Err(NetlistError::MultipleDrivers { .. })));
+
+    // Unknown pin count for the cell.
+    let bad_pins = NetlistBuilder::new("pins")
+        .primary_input("a")
+        .gate("u1", CellKind::Nor2, &["a"], "out")
+        .primary_output("out")
+        .build();
+    assert!(matches!(
+        bad_pins,
+        Err(NetlistError::PinCountMismatch {
+            expected: 2,
+            got: 1,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn explicit_net_loads_shift_arrivals_through_the_lowering() {
+    let lib = library();
+    let build = |load: f64| {
+        let mut builder = NetlistBuilder::new("loaded")
+            .primary_input("a")
+            .primary_input("b")
+            .gate("u_nor", CellKind::Nor2, &["a", "b"], "mid")
+            .gate("u_inv", CellKind::Inverter, &["mid"], "out")
+            .primary_output("out");
+        if load > 0.0 {
+            builder = builder.net_load("mid", load);
+        }
+        builder.build().unwrap().to_gate_graph().unwrap()
+    };
+    let run = |graph: &GateGraph| {
+        let mut drives = HashMap::new();
+        for &pi in graph.primary_inputs() {
+            drives.insert(pi, DriveWaveform::falling_ramp(1.2, 1e-9, 80e-12));
+        }
+        let options = TimingOptions::new(
+            DelayCalculator::new(
+                DelayBackend::CompleteMcsm,
+                CsmSimOptions::new(4e-9, 2e-12),
+                1.2,
+            ),
+            2e-15,
+        );
+        let timing = propagate(graph, &lib, &drives, &options).unwrap();
+        timing
+            .arrival_time(graph.find_net("mid").unwrap(), true)
+            .unwrap()
+            .unwrap()
+    };
+    let unloaded = build(0.0);
+    let loaded = build(20e-15);
+    assert_eq!(
+        loaded.extra_load_of(loaded.find_net("mid").unwrap()),
+        20e-15
+    );
+    assert!(
+        run(&loaded) > run(&unloaded),
+        "an explicit 20 fF wire load must slow the NOR2 down"
+    );
+}

@@ -1,5 +1,9 @@
 //! Integration test of the gate-level timing flow (`mcsm-sta`) on top of the
 //! characterized models, plus the selective-modeling policy.
+//!
+//! Circuits are described through the unified `Netlist` IR and lowered to the
+//! STA form — the flow every consumer should use (`tests/netlist_ir.rs` pins
+//! the equivalence against hand-built graphs).
 
 use std::collections::HashMap;
 
@@ -9,9 +13,9 @@ use mcsm_cells::tech::Technology;
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::selective::{ModelChoice, SelectivePolicy};
 use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
+use mcsm_net::NetlistBuilder;
 use mcsm_sta::arrival::{propagate, TimingOptions};
 use mcsm_sta::delaycalc::{DelayBackend, DelayCalculator};
-use mcsm_sta::graph::GateGraph;
 use mcsm_sta::models::ModelLibrary;
 
 fn library() -> ModelLibrary {
@@ -29,20 +33,21 @@ fn three_stage_chain_produces_causal_arrivals_for_all_backends() {
     let lib = library();
 
     // a, b -> NOR2 -> n1 -> INV -> n2 -> INV -> out
-    let mut graph = GateGraph::new();
-    let a = graph.net("a");
-    let b = graph.net("b");
-    let n1 = graph.net("n1");
-    let n2 = graph.net("n2");
-    let out = graph.net("out");
-    graph.mark_primary_input(a);
-    graph.mark_primary_input(b);
-    graph.mark_primary_output(out);
-    graph.add_gate("u1", CellKind::Nor2, &[a, b], n1).unwrap();
-    graph.add_gate("u2", CellKind::Inverter, &[n1], n2).unwrap();
-    graph
-        .add_gate("u3", CellKind::Inverter, &[n2], out)
+    let netlist = NetlistBuilder::new("three_stage")
+        .primary_input("a")
+        .primary_input("b")
+        .gate("u1", CellKind::Nor2, &["a", "b"], "n1")
+        .gate("u2", CellKind::Inverter, &["n1"], "n2")
+        .gate("u3", CellKind::Inverter, &["n2"], "out")
+        .primary_output("out")
+        .build()
         .unwrap();
+    let graph = netlist.to_gate_graph().unwrap();
+    let a = graph.find_net("a").unwrap();
+    let b = graph.find_net("b").unwrap();
+    let n1 = graph.find_net("n1").unwrap();
+    let n2 = graph.find_net("n2").unwrap();
+    let out = graph.find_net("out").unwrap();
 
     let mut drives = HashMap::new();
     drives.insert(a, DriveWaveform::falling_ramp(tech.vdd, 1e-9, 80e-12));
