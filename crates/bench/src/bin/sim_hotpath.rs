@@ -1,0 +1,107 @@
+//! The `sim_hotpath` experiment binary: times the cursor-accelerated LUT fast
+//! path against the retained allocating reference path, per model family, and
+//! writes `BENCH_sim.json`.
+//!
+//! ```text
+//! sim_hotpath [--out PATH] [--min-speedup X]
+//! ```
+//!
+//! * `--out PATH` — where to write the JSON report (default `BENCH_sim.json`
+//!   in the working directory).
+//! * `--min-speedup X` — CI perf gate: exit non-zero unless the fast path is
+//!   at least `X` times faster than the reference path overall (and every
+//!   family's outputs are bit-identical across the paths).
+//!
+//! `MCSM_BENCH_FAST=1` shrinks circuits and grids for smoke runs.
+
+use mcsm_bench::{run_sim_hotpath, write_json_report, SimHotpathOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    out: PathBuf,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: PathBuf::from("BENCH_sim.json"),
+        min_speedup: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    value("--min-speedup")?
+                        .parse()
+                        .map_err(|e| format!("--min-speedup: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("sim_hotpath: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let options = SimHotpathOptions::default_sweep();
+    println!(
+        "# sim_hotpath experiment: LUT fast path vs reference{}",
+        if mcsm_bench::fast_mode() {
+            " (fast mode)"
+        } else {
+            ""
+        }
+    );
+    let report = match run_sim_hotpath(&options) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("sim_hotpath: experiment failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("gates per family pass: {}", report.gates);
+    for case in &report.cases {
+        println!(
+            "{:>13}: {:.0} steps/s fast vs {:.0} steps/s reference ({:.2}x, {:.2}M evals/s, bit-identical: {})",
+            case.family,
+            case.fast_steps_per_second(),
+            case.reference_steps_per_second(),
+            case.speedup(),
+            case.fast_evals_per_second() / 1e6,
+            case.bit_identical,
+        );
+    }
+    println!("overall speedup: {:.2}x", report.overall_speedup());
+
+    if let Err(message) = write_json_report(&args.out, &report.to_json()) {
+        eprintln!("sim_hotpath: {message}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+
+    if !report.all_identical() {
+        eprintln!("sim_hotpath: fast-path results differ from the reference path");
+        return ExitCode::FAILURE;
+    }
+    if let Some(min) = args.min_speedup {
+        let speedup = report.overall_speedup();
+        if speedup < min {
+            eprintln!("sim_hotpath: overall speedup {speedup:.2}x is below the {min:.2}x gate");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

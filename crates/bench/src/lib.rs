@@ -10,8 +10,10 @@ pub mod batch;
 pub mod experiments;
 pub mod netlist_sweep;
 pub mod report;
+pub mod sim_hotpath;
 
 pub use batch::*;
 pub use experiments::*;
 pub use netlist_sweep::*;
 pub use report::*;
+pub use sim_hotpath::*;

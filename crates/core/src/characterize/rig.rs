@@ -177,10 +177,12 @@ impl Rig {
             .to_vec();
 
         // Conduction currents along the (known, fully forced) voltage trajectory.
+        // The forced-voltage buffer is reused across sweep points — only the
+        // ramped entry changes per sample.
         let mut conduction: Vec<Vec<f64>> = vec![Vec::with_capacity(times.len()); self.pins.len()];
         let mut guess: Option<Vec<f64>> = None;
+        let mut v = base.to_vec();
         for &t in &times {
-            let mut v = base.to_vec();
             let ramp_fraction = (t / ramp_time).clamp(0.0, 1.0);
             v[ramped] = base[ramped] + delta_v * ramp_fraction;
             self.set_dc(&v)?;

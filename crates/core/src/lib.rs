@@ -81,6 +81,7 @@
 pub mod characterize;
 pub mod config;
 pub mod error;
+pub mod eval;
 pub mod metrics;
 pub mod model;
 pub mod selective;
@@ -94,6 +95,7 @@ pub use characterize::{
 };
 pub use config::CharacterizationConfig;
 pub use error::CsmError;
+pub use eval::{EvalMode, EvalState};
 pub use model::{CellModel, McsmModel, MisBaselineModel, SisModel};
 pub use selective::{ModelChoice, SelectiveModel, SelectivePolicy};
 pub use sim::{

@@ -14,9 +14,26 @@
 //! discharges the internal node, matching Eqs. (4) and (5).
 
 use crate::error::CsmError;
+use crate::eval::EvalState;
 use crate::model::CellModel;
 use crate::table::{Table1, Table4};
 use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
+use mcsm_num::lut::LutCursor;
+
+/// [`EvalState`] slot of the output-current table `I_o`.
+const SLOT_IO: usize = 0;
+/// [`EvalState`] slot of the internal-node current table `I_N`.
+const SLOT_IN: usize = 1;
+/// [`EvalState`] slot of the `C_mA` table.
+const SLOT_CMA: usize = 2;
+/// [`EvalState`] slot of the `C_mB` table.
+const SLOT_CMB: usize = 3;
+/// [`EvalState`] slot of the `C_o` table.
+const SLOT_CO: usize = 4;
+/// [`EvalState`] slot of the `C_N` table.
+const SLOT_CN: usize = 5;
+/// Tables the complete MCSM queries from the hot loop.
+const SLOTS: usize = 6;
 
 /// The complete multiple-input-switching current-source model of one cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,15 +106,24 @@ impl McsmModel {
     /// the pre-transition logic state — the quantity whose history dependence the
     /// paper studies.
     pub fn equilibrium_internal_voltage(&self, v_a: f64, v_b: f64, v_o: f64) -> f64 {
-        let axis = &self.i_n.lut().axes()[2];
-        let points = axis.points();
+        // The scan walks V_N monotonically with every other coordinate fixed,
+        // and the bisection stays inside one bracketing cell — exactly the
+        // temporally coherent access pattern the lookup cursor turns into O(1)
+        // lookups (bit-identical to the reference evaluation).
+        let lut = self.i_n.lut();
+        let mut cursor = LutCursor::new();
+        let mut i_at = |v_n: f64| {
+            lut.eval_with_cursor(&mut cursor, &[v_a, v_b, v_n, v_o])
+                .expect("table arity is fixed; voltages must be finite")
+        };
+        let points = lut.axes()[2].points();
         // Coarse scan for the minimum |I_N| and for a sign change.
         let mut best_v = points[0];
         let mut best_abs = f64::INFINITY;
         let mut bracket: Option<(f64, f64, f64, f64)> = None;
         let mut prev: Option<(f64, f64)> = None;
         for &v_n in points {
-            let i = self.internal_current(v_a, v_b, v_n, v_o);
+            let i = i_at(v_n);
             if i.abs() < best_abs {
                 best_abs = i.abs();
                 best_v = v_n;
@@ -113,10 +139,10 @@ impl McsmModel {
             // Bisection refinement inside the bracketing cell.
             let mut lo = lo;
             let mut hi = hi;
-            let mut f_lo = self.internal_current(v_a, v_b, lo, v_o);
+            let mut f_lo = i_at(lo);
             for _ in 0..60 {
                 let mid = 0.5 * (lo + hi);
-                let f_mid = self.internal_current(v_a, v_b, mid, v_o);
+                let f_mid = i_at(mid);
                 if f_mid == 0.0 || (hi - lo) < 1e-9 {
                     return mid;
                 }
@@ -159,23 +185,47 @@ impl CellModel for McsmModel {
         1
     }
 
-    fn currents(&self, pins: &[f64], state: &[f64], v_out: f64, buf: &mut [f64]) {
-        buf[0] = self.output_current(pins[0], pins[1], state[0], v_out);
-        buf[1] = self.internal_current(pins[0], pins[1], state[0], v_out);
+    fn make_eval_state(&self) -> EvalState {
+        EvalState::fast(SLOTS)
+    }
+
+    fn currents(
+        &self,
+        eval: &mut EvalState,
+        pins: &[f64],
+        state: &[f64],
+        v_out: f64,
+        buf: &mut [f64],
+    ) {
+        buf[0] = self
+            .io
+            .eval_with(eval, SLOT_IO, pins[0], pins[1], state[0], v_out);
+        buf[1] = self
+            .i_n
+            .eval_with(eval, SLOT_IN, pins[0], pins[1], state[0], v_out);
     }
 
     fn capacitances(
         &self,
+        eval: &mut EvalState,
         pins: &[f64],
         state: &[f64],
         v_out: f64,
         miller: &mut [f64],
         state_caps: &mut [f64],
     ) -> f64 {
-        let (cm_a, cm_b, c_o, c_n) = self.capacitances(pins[0], pins[1], state[0], v_out);
-        miller[0] = cm_a;
-        miller[1] = cm_b;
-        state_caps[0] = c_n;
+        miller[0] = self
+            .cm_a
+            .eval_with(eval, SLOT_CMA, pins[0], pins[1], state[0], v_out);
+        miller[1] = self
+            .cm_b
+            .eval_with(eval, SLOT_CMB, pins[0], pins[1], state[0], v_out);
+        let c_o = self
+            .c_o
+            .eval_with(eval, SLOT_CO, pins[0], pins[1], state[0], v_out);
+        state_caps[0] = self
+            .c_n
+            .eval_with(eval, SLOT_CN, pins[0], pins[1], state[0], v_out);
         c_o
     }
 
@@ -359,14 +409,16 @@ mod tests {
         let pins = [0.9, 0.4];
         let state = [0.7];
         let v_o = 0.5;
+        let mut eval = model.make_eval_state();
+        assert_eq!(eval.slots(), 6);
         let mut currents = [0.0; 2];
-        model.currents(&pins, &state, v_o, &mut currents);
+        model.currents(&mut eval, &pins, &state, v_o, &mut currents);
         assert_eq!(currents[0], m.output_current(0.9, 0.4, 0.7, 0.5));
         assert_eq!(currents[1], m.internal_current(0.9, 0.4, 0.7, 0.5));
 
         let mut miller = [0.0; 2];
         let mut state_caps = [0.0; 1];
-        let c_o = model.capacitances(&pins, &state, v_o, &mut miller, &mut state_caps);
+        let c_o = model.capacitances(&mut eval, &pins, &state, v_o, &mut miller, &mut state_caps);
         let (cm_a, cm_b, c_o_direct, c_n) = m.capacitances(0.9, 0.4, 0.7, 0.5);
         assert_eq!(
             (miller[0], miller[1], c_o, state_caps[0]),

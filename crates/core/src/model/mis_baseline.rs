@@ -7,9 +7,21 @@
 //! comparison baseline for Fig. 9.
 
 use crate::error::CsmError;
+use crate::eval::EvalState;
 use crate::model::CellModel;
 use crate::table::{Table1, Table3};
 use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
+
+/// [`EvalState`] slot of the output-current table.
+const SLOT_IO: usize = 0;
+/// [`EvalState`] slot of the `C_mA` table.
+const SLOT_CMA: usize = 1;
+/// [`EvalState`] slot of the `C_mB` table.
+const SLOT_CMB: usize = 2;
+/// [`EvalState`] slot of the `C_o` table.
+const SLOT_CO: usize = 3;
+/// Tables a baseline MIS model queries from the hot loop.
+const SLOTS: usize = 4;
 
 /// A MIS current-source model without internal-node state.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,22 +92,33 @@ impl CellModel for MisBaselineModel {
         0
     }
 
-    fn currents(&self, pins: &[f64], _state: &[f64], v_out: f64, buf: &mut [f64]) {
-        buf[0] = self.output_current(pins[0], pins[1], v_out);
+    fn make_eval_state(&self) -> EvalState {
+        EvalState::fast(SLOTS)
+    }
+
+    fn currents(
+        &self,
+        eval: &mut EvalState,
+        pins: &[f64],
+        _state: &[f64],
+        v_out: f64,
+        buf: &mut [f64],
+    ) {
+        buf[0] = self.io.eval_with(eval, SLOT_IO, pins[0], pins[1], v_out);
     }
 
     fn capacitances(
         &self,
+        eval: &mut EvalState,
         pins: &[f64],
         _state: &[f64],
         v_out: f64,
         miller: &mut [f64],
         _state_caps: &mut [f64],
     ) -> f64 {
-        let (cm_a, cm_b, c_o) = self.capacitances(pins[0], pins[1], v_out);
-        miller[0] = cm_a;
-        miller[1] = cm_b;
-        c_o
+        miller[0] = self.cm_a.eval_with(eval, SLOT_CMA, pins[0], pins[1], v_out);
+        miller[1] = self.cm_b.eval_with(eval, SLOT_CMB, pins[0], pins[1], v_out);
+        self.c_o.eval_with(eval, SLOT_CO, pins[0], pins[1], v_out)
     }
 
     fn equilibrium_state(&self, _pins: &[f64], _v_out: f64, _state: &mut [f64]) {}
@@ -208,11 +231,13 @@ mod tests {
         let m = synthetic_baseline();
         let model: &dyn CellModel = &m;
         assert_eq!((model.num_pins(), model.num_state_nodes()), (2, 0));
+        let mut eval = model.make_eval_state();
+        assert_eq!(eval.slots(), 4);
         let mut buf = [0.0];
-        model.currents(&[1.2, 1.2], &[], 1.2, &mut buf);
+        model.currents(&mut eval, &[1.2, 1.2], &[], 1.2, &mut buf);
         assert_eq!(buf[0], m.output_current(1.2, 1.2, 1.2));
         let mut miller = [0.0; 2];
-        let c_o = model.capacitances(&[0.6, 0.6], &[], 0.6, &mut miller, &mut []);
+        let c_o = model.capacitances(&mut eval, &[0.6, 0.6], &[], 0.6, &mut miller, &mut []);
         let (cm_a, cm_b, c_o_direct) = m.capacitances(0.6, 0.6, 0.6);
         assert_eq!((miller[0], miller[1], c_o), (cm_a, cm_b, c_o_direct));
     }

@@ -24,6 +24,7 @@ pub use mis_baseline::MisBaselineModel;
 pub use sis::SisModel;
 
 use crate::error::CsmError;
+use crate::eval::EvalState;
 
 /// Uniform evaluation interface over every cell-model family.
 ///
@@ -32,11 +33,16 @@ use crate::error::CsmError;
 /// voltages, the internal-state voltages and the output voltage, and either
 /// fill caller-provided buffers (`currents`, `capacitances`,
 /// `equilibrium_state`) or return a scalar. Buffer-filling keeps the inner
-/// integration loop allocation-free regardless of the model dimensionality.
+/// integration loop allocation-free regardless of the model dimensionality,
+/// and the [`EvalState`] scratch (one lookup cursor per model table, built
+/// once per run by [`make_eval_state`]) keeps the table lookups themselves
+/// allocation-free and O(1) amortized across consecutive sub-steps.
 ///
 /// The sign convention for every current is *into the cell*: positive output
 /// current discharges the output, positive state current discharges its state
 /// node — matching the paper's Eqs. (4)–(5).
+///
+/// [`make_eval_state`]: CellModel::make_eval_state
 pub trait CellModel {
     /// Name of the characterized cell (e.g. `"NOR2"`).
     fn cell_name(&self) -> &str;
@@ -51,22 +57,42 @@ pub trait CellModel {
     /// baseline-MIS models, 1 for the complete two-input MCSM).
     fn num_state_nodes(&self) -> usize;
 
+    /// Builds the per-run evaluation scratch: one lookup cursor per table this
+    /// model queries from [`currents`] / [`capacitances`]. Create it once per
+    /// simulation run and thread it through every evaluation — the cursors are
+    /// what make consecutive lookups O(1) amortized.
+    ///
+    /// [`currents`]: CellModel::currents
+    /// [`capacitances`]: CellModel::capacitances
+    fn make_eval_state(&self) -> EvalState;
+
     /// Evaluates the current sources at one operating point.
     ///
     /// Fills `buf[0]` with the output current and `buf[1 + j]` with the current
-    /// of state node `j` (amps, into the cell).
+    /// of state node `j` (amps, into the cell). `eval` must come from this
+    /// model's [`make_eval_state`](CellModel::make_eval_state).
     ///
     /// # Panics
     ///
     /// Implementations may panic if `pins`, `state` or `buf` have the wrong
-    /// length (`num_pins`, `num_state_nodes`, `1 + num_state_nodes`).
-    fn currents(&self, pins: &[f64], state: &[f64], v_out: f64, buf: &mut [f64]);
+    /// length (`num_pins`, `num_state_nodes`, `1 + num_state_nodes`), or if
+    /// `eval` was built for a different model family.
+    fn currents(
+        &self,
+        eval: &mut EvalState,
+        pins: &[f64],
+        state: &[f64],
+        v_out: f64,
+        buf: &mut [f64],
+    );
 
     /// Evaluates the capacitances at one operating point.
     ///
     /// Fills `miller[i]` with the Miller coupling between pin `i` and the
     /// output, `state_caps[j]` with the grounded capacitance of state node `j`,
     /// and returns the output parasitic capacitance `C_o` (all farads).
+    /// `eval` must come from this model's
+    /// [`make_eval_state`](CellModel::make_eval_state).
     ///
     /// # Panics
     ///
@@ -75,6 +101,7 @@ pub trait CellModel {
     /// [`currents`]: CellModel::currents
     fn capacitances(
         &self,
+        eval: &mut EvalState,
         pins: &[f64],
         state: &[f64],
         v_out: f64,
@@ -105,7 +132,8 @@ pub trait CellModel {
         let state = vec![mid; self.num_state_nodes()];
         let mut miller = vec![0.0; self.num_pins()];
         let mut state_caps = vec![0.0; self.num_state_nodes()];
-        let c_o = self.capacitances(&pins, &state, mid, &mut miller, &mut state_caps);
+        let mut eval = self.make_eval_state();
+        let c_o = self.capacitances(&mut eval, &pins, &state, mid, &mut miller, &mut state_caps);
         c_o + miller.iter().sum::<f64>()
     }
 }
@@ -126,18 +154,29 @@ impl<M: CellModel + ?Sized> CellModel for &M {
     fn num_state_nodes(&self) -> usize {
         (**self).num_state_nodes()
     }
-    fn currents(&self, pins: &[f64], state: &[f64], v_out: f64, buf: &mut [f64]) {
-        (**self).currents(pins, state, v_out, buf);
+    fn make_eval_state(&self) -> EvalState {
+        (**self).make_eval_state()
+    }
+    fn currents(
+        &self,
+        eval: &mut EvalState,
+        pins: &[f64],
+        state: &[f64],
+        v_out: f64,
+        buf: &mut [f64],
+    ) {
+        (**self).currents(eval, pins, state, v_out, buf);
     }
     fn capacitances(
         &self,
+        eval: &mut EvalState,
         pins: &[f64],
         state: &[f64],
         v_out: f64,
         miller: &mut [f64],
         state_caps: &mut [f64],
     ) -> f64 {
-        (**self).capacitances(pins, state, v_out, miller, state_caps)
+        (**self).capacitances(eval, pins, state, v_out, miller, state_caps)
     }
     fn equilibrium_state(&self, pins: &[f64], v_out: f64, state: &mut [f64]) {
         (**self).equilibrium_state(pins, v_out, state);

@@ -7,9 +7,19 @@
 //! event occurs, the SIS model is significantly wrong.
 
 use crate::error::CsmError;
+use crate::eval::EvalState;
 use crate::model::CellModel;
 use crate::table::{Table1, Table2};
 use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
+
+/// [`EvalState`] slot of the output-current table.
+const SLOT_IO: usize = 0;
+/// [`EvalState`] slot of the Miller-capacitance table.
+const SLOT_CM: usize = 1;
+/// [`EvalState`] slot of the output-capacitance table.
+const SLOT_CO: usize = 2;
+/// Tables a SIS model queries from the hot loop.
+const SLOTS: usize = 3;
 
 /// A single-input-switching current-source model.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,21 +76,32 @@ impl CellModel for SisModel {
         0
     }
 
-    fn currents(&self, pins: &[f64], _state: &[f64], v_out: f64, buf: &mut [f64]) {
-        buf[0] = self.output_current(pins[0], v_out);
+    fn make_eval_state(&self) -> EvalState {
+        EvalState::fast(SLOTS)
+    }
+
+    fn currents(
+        &self,
+        eval: &mut EvalState,
+        pins: &[f64],
+        _state: &[f64],
+        v_out: f64,
+        buf: &mut [f64],
+    ) {
+        buf[0] = self.io.eval_with(eval, SLOT_IO, pins[0], v_out);
     }
 
     fn capacitances(
         &self,
+        eval: &mut EvalState,
         pins: &[f64],
         _state: &[f64],
         v_out: f64,
         miller: &mut [f64],
         _state_caps: &mut [f64],
     ) -> f64 {
-        let (cm, c_o) = self.capacitances(pins[0], v_out);
-        miller[0] = cm;
-        c_o
+        miller[0] = self.cm.eval_with(eval, SLOT_CM, pins[0], v_out);
+        self.c_o.eval_with(eval, SLOT_CO, pins[0], v_out)
     }
 
     fn equilibrium_state(&self, _pins: &[f64], _v_out: f64, _state: &mut [f64]) {}
@@ -207,9 +228,15 @@ mod tests {
         let model: &dyn CellModel = &m;
         assert_eq!(model.num_pins(), 1);
         assert_eq!(model.num_state_nodes(), 0);
+        let mut eval = model.make_eval_state();
+        assert_eq!(eval.slots(), 3);
         let mut buf = [0.0];
-        model.currents(&[1.2], &[], 1.2, &mut buf);
+        model.currents(&mut eval, &[1.2], &[], 1.2, &mut buf);
         assert_eq!(buf[0], m.output_current(1.2, 1.2));
+        let mut miller = [0.0];
+        let c_o = model.capacitances(&mut eval, &[0.6], &[], 0.6, &mut miller, &mut []);
+        let (cm_direct, c_o_direct) = m.capacitances(0.6, 0.6);
+        assert_eq!((miller[0], c_o), (cm_direct, c_o_direct));
         assert!(model.input_capacitance(0, 0.6).is_ok());
         assert!(model.input_capacitance(1, 0.6).is_err());
         assert!(model.representative_output_capacitance() > 0.0);

@@ -11,6 +11,7 @@
 //! capacitance scaled by a threshold ratio.
 
 use crate::error::CsmError;
+use crate::eval::EvalState;
 use crate::model::{CellModel, McsmModel, MisBaselineModel};
 
 /// Which model variant to use for a given cell instance.
@@ -143,12 +144,26 @@ impl CellModel for SelectiveModel<'_> {
         self.active().num_state_nodes()
     }
 
-    fn currents(&self, pins: &[f64], state: &[f64], v_out: f64, buf: &mut [f64]) {
-        self.active().currents(pins, state, v_out, buf);
+    fn make_eval_state(&self) -> EvalState {
+        // The choice is fixed per instance, so the scratch is shaped for (and
+        // only ever fed back to) the active variant.
+        self.active().make_eval_state()
+    }
+
+    fn currents(
+        &self,
+        eval: &mut EvalState,
+        pins: &[f64],
+        state: &[f64],
+        v_out: f64,
+        buf: &mut [f64],
+    ) {
+        self.active().currents(eval, pins, state, v_out, buf);
     }
 
     fn capacitances(
         &self,
+        eval: &mut EvalState,
         pins: &[f64],
         state: &[f64],
         v_out: f64,
@@ -156,7 +171,7 @@ impl CellModel for SelectiveModel<'_> {
         state_caps: &mut [f64],
     ) -> f64 {
         self.active()
-            .capacitances(pins, state, v_out, miller, state_caps)
+            .capacitances(eval, pins, state, v_out, miller, state_caps)
     }
 
     fn equilibrium_state(&self, pins: &[f64], v_out: f64, state: &mut [f64]) {
@@ -222,12 +237,14 @@ mod tests {
 
         // The heavy instance delegates evaluation to the simple model.
         let mut from_wrapper = [0.0];
-        heavy.currents(&[1.2, 1.2], &[], 1.2, &mut from_wrapper);
+        let mut heavy_eval = heavy.make_eval_state();
+        heavy.currents(&mut heavy_eval, &[1.2, 1.2], &[], 1.2, &mut from_wrapper);
         assert_eq!(from_wrapper[0], simple.output_current(1.2, 1.2, 1.2));
 
         // The light instance evaluates the complete model, state node included.
         let mut buf = [0.0; 2];
-        light.currents(&[1.2, 1.2], &[0.6], 1.2, &mut buf);
+        let mut light_eval = light.make_eval_state();
+        light.currents(&mut light_eval, &[1.2, 1.2], &[0.6], 1.2, &mut buf);
         assert_eq!(buf[0], complete.output_current(1.2, 1.2, 0.6, 1.2));
         assert_eq!(buf[1], complete.internal_current(1.2, 1.2, 0.6, 1.2));
 

@@ -40,8 +40,10 @@
 
 use super::drive::DriveWaveform;
 use crate::error::CsmError;
+use crate::eval::{EvalMode, EvalState};
 use crate::model::{CellModel, McsmModel, MisBaselineModel, SisModel};
 use mcsm_spice::waveform::Waveform;
+use std::sync::Arc;
 
 /// Integration scheme for the CSM state equations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -64,6 +66,12 @@ pub struct CsmSimOptions {
     pub t_stop: f64,
     /// Integration scheme.
     pub integration: CsmIntegration,
+    /// Which lookup-table evaluation path the model hot loop uses. The default
+    /// [`EvalMode::Fast`] runs the cursor-accelerated, allocation-free lookups;
+    /// [`EvalMode::Reference`] retains the historical allocating `LutNd::eval`
+    /// path, bit-identical by construction — benchmarks gate the speedup and
+    /// tests pin the equality.
+    pub eval: EvalMode,
 }
 
 impl CsmSimOptions {
@@ -73,7 +81,14 @@ impl CsmSimOptions {
             dt,
             t_stop,
             integration: CsmIntegration::Explicit,
+            eval: EvalMode::Fast,
         }
+    }
+
+    /// The same options with the given table-evaluation mode.
+    pub fn with_eval(mut self, eval: EvalMode) -> Self {
+        self.eval = eval;
+        self
     }
 
     fn validate(&self) -> Result<(), CsmError> {
@@ -100,8 +115,14 @@ pub struct SimResult {
     /// Output voltage waveform.
     pub output: Waveform,
     /// One waveform per internal state node the model tracked, in model order
-    /// (empty for stateless models).
+    /// (empty for stateless models). Every trace shares one time vector with
+    /// `output` — an N-state model does not clone the time axis N+1 times.
     pub state_traces: Vec<Waveform>,
+    /// Engine sub-steps executed (the probe plus every sub-step of every time
+    /// step) — the unit the `sim_hotpath` benchmark reports as steps/sec.
+    pub steps: u64,
+    /// Lookup-table evaluations the model performed during the run.
+    pub lut_evals: u64,
 }
 
 impl SimResult {
@@ -150,11 +171,16 @@ fn substeps_for(deltas: &[f64]) -> usize {
 /// One `advance` call applies the paper's explicit update (Eq. 4 for the output
 /// node, Eq. 5 for each internal state node) over `h` seconds, optionally
 /// refined by one trapezoidal corrector pass.
+///
+/// The stepper owns the model's [`EvalState`] — one lookup cursor per table —
+/// so every table query across the whole run goes through cursors that follow
+/// the trajectory cell to cell (the allocation-free fast path).
 struct Stepper<'m> {
     model: &'m dyn CellModel,
     load: f64,
     vdd: f64,
     corrector: bool,
+    eval: EvalState,
     miller: Vec<f64>,
     state_caps: Vec<f64>,
     currents: Vec<f64>,
@@ -163,14 +189,17 @@ struct Stepper<'m> {
 }
 
 impl<'m> Stepper<'m> {
-    fn new(model: &'m dyn CellModel, load: f64, corrector: bool) -> Self {
+    fn new(model: &'m dyn CellModel, load: f64, corrector: bool, mode: EvalMode) -> Self {
         let n_pins = model.num_pins();
         let n_state = model.num_state_nodes();
+        let mut eval = model.make_eval_state();
+        eval.set_mode(mode);
         Stepper {
             model,
             load,
             vdd: model.vdd(),
             corrector,
+            eval,
             miller: vec![0.0; n_pins],
             state_caps: vec![0.0; n_state],
             currents: vec![0.0; 1 + n_state],
@@ -191,10 +220,16 @@ impl<'m> Stepper<'m> {
         h: f64,
         next_state: &mut [f64],
     ) -> f64 {
-        let c_o =
-            self.model
-                .capacitances(pins0, state, v_out, &mut self.miller, &mut self.state_caps);
-        self.model.currents(pins0, state, v_out, &mut self.currents);
+        let c_o = self.model.capacitances(
+            &mut self.eval,
+            pins0,
+            state,
+            v_out,
+            &mut self.miller,
+            &mut self.state_caps,
+        );
+        self.model
+            .currents(&mut self.eval, pins0, state, v_out, &mut self.currents);
 
         let mut denom = self.load + c_o;
         let mut miller_kick = 0.0;
@@ -215,8 +250,13 @@ impl<'m> Stepper<'m> {
                 *pred = clamp_voltage(next_state[j], self.vdd);
             }
             let v_out_pred = clamp_voltage(v_out_next, self.vdd);
-            self.model
-                .currents(pins1, &self.pred_state, v_out_pred, &mut self.pred_currents);
+            self.model.currents(
+                &mut self.eval,
+                pins1,
+                &self.pred_state,
+                v_out_pred,
+                &mut self.pred_currents,
+            );
             v_out_next =
                 v_out + (miller_kick - 0.5 * (io_prev + self.pred_currents[0]) * h) / denom;
             for (j, next) in next_state.iter_mut().enumerate() {
@@ -242,8 +282,15 @@ impl<'m> Stepper<'m> {
 ///
 /// # Errors
 ///
-/// Returns [`CsmError::InvalidParameter`] for invalid options, a negative load,
-/// or input/state dimensions that do not match the model.
+/// Returns [`CsmError::InvalidParameter`] for invalid options, a non-finite or
+/// negative load, non-finite initial conditions, or input/state dimensions
+/// that do not match the model.
+///
+/// # Panics
+///
+/// Panics if a drive waveform evaluates to NaN (only possible when one was
+/// constructed from NaN parameters): the table layer rejects NaN coordinates
+/// rather than silently clamping them.
 pub fn simulate(
     model: &dyn CellModel,
     inputs: &[DriveWaveform],
@@ -253,9 +300,19 @@ pub fn simulate(
     options: &CsmSimOptions,
 ) -> Result<SimResult, CsmError> {
     options.validate()?;
-    if load_capacitance < 0.0 {
+    // Finiteness is validated up front: the table fast paths reject NaN
+    // coordinates with a panic (they cannot occur from finite inputs — every
+    // stored sample is finite and all updates are guarded), so a NaN smuggled
+    // in through the load or initial conditions must be reported here as an
+    // error, not 500 sub-steps later as an abort.
+    if !(load_capacitance >= 0.0) || !load_capacitance.is_finite() {
         return Err(CsmError::InvalidParameter(format!(
-            "load capacitance must be non-negative, got {load_capacitance}"
+            "load capacitance must be finite and non-negative, got {load_capacitance}"
+        )));
+    }
+    if !v_out_initial.is_finite() {
+        return Err(CsmError::InvalidParameter(format!(
+            "initial output voltage must be finite, got {v_out_initial}"
         )));
     }
     let n_pins = model.num_pins();
@@ -290,6 +347,11 @@ pub fn simulate(
                     s.len()
                 )));
             }
+            if let Some(bad) = s.iter().find(|v| !v.is_finite()) {
+                return Err(CsmError::InvalidParameter(format!(
+                    "initial state voltages must be finite, got {bad}"
+                )));
+            }
             s.to_vec()
         }
         None => {
@@ -310,10 +372,11 @@ pub fn simulate(
     }
 
     let corrector = options.integration == CsmIntegration::PredictorCorrector;
-    let mut stepper = Stepper::new(model, load_capacitance, corrector);
+    let mut stepper = Stepper::new(model, load_capacitance, corrector, options.eval);
     let mut probe_state = vec![0.0; n_state];
     let mut next_state = vec![0.0; n_state];
     let mut deltas = vec![0.0; 1 + n_state];
+    let mut substeps: u64 = 0;
 
     for k in 0..steps {
         let t_prev = k as f64 * dt;
@@ -329,6 +392,7 @@ pub fn simulate(
             deltas[1 + j] = probe_state[j] - state[j];
         }
         let n_sub = substeps_for(&deltas);
+        substeps += 1 + n_sub as u64;
         let h = dt / n_sub as f64;
         for s in 0..n_sub {
             let t0 = t_prev + s as f64 * h;
@@ -349,12 +413,17 @@ pub fn simulate(
         }
     }
 
+    // One shared time vector for the output and every state trace: an N-state
+    // model must not clone the time axis N+1 times.
+    let times = Arc::new(times);
     Ok(SimResult {
-        output: Waveform::new(times.clone(), out_values)?,
+        output: Waveform::with_shared_times(Arc::clone(&times), out_values)?,
         state_traces: state_values
             .into_iter()
-            .map(|values| Waveform::new(times.clone(), values))
+            .map(|values| Waveform::with_shared_times(Arc::clone(&times), values))
             .collect::<Result<_, _>>()?,
+        steps: substeps,
+        lut_evals: stepper.eval.lookups(),
     })
 }
 
@@ -585,6 +654,18 @@ mod tests {
             .initial_state(&[0.0, 0.0])
             .run()
             .is_err());
+        // Non-finite inputs are errors, not downstream panics in the table
+        // layer (regression for the NaN-rejecting locate).
+        assert!(mcsm_sim(&m, &inputs, f64::NAN, &good).run().is_err());
+        assert!(mcsm_sim(&m, &inputs, f64::INFINITY, &good).run().is_err());
+        assert!(mcsm_sim(&m, &inputs, 1e-15, &good)
+            .initial_output(f64::NAN)
+            .run()
+            .is_err());
+        assert!(mcsm_sim(&m, &inputs, 1e-15, &good)
+            .initial_state(&[f64::NAN])
+            .run()
+            .is_err());
     }
 
     #[test]
@@ -625,6 +706,59 @@ mod tests {
             t_slow > t_fast,
             "discharged internal node must slow the transition ({t_slow} !> {t_fast})"
         );
+    }
+
+    #[test]
+    fn fast_and_reference_eval_modes_are_bit_identical() {
+        // The cursor fast path must reproduce the retained allocating
+        // `LutNd::eval` path to the bit — waveforms, state traces, step count
+        // and lookup count — for every model family and both integrators.
+        let mcsm = synthetic_model();
+        let baseline = synthetic_baseline();
+        let sis = synthetic_sis();
+        let models: [&dyn crate::model::CellModel; 3] = [&mcsm, &baseline, &sis];
+        for model in models {
+            let inputs: Vec<DriveWaveform> = (0..model.num_pins())
+                .map(|_| DriveWaveform::falling_ramp(1.2, 0.2e-9, 50e-12))
+                .collect();
+            for integration in [CsmIntegration::Explicit, CsmIntegration::PredictorCorrector] {
+                let mut opts = CsmSimOptions::new(2e-9, 1e-12);
+                opts.integration = integration;
+                let fast = Simulation::of(model)
+                    .inputs(&inputs)
+                    .load(2e-15)
+                    .options(opts.clone().with_eval(EvalMode::Fast))
+                    .run()
+                    .unwrap();
+                let reference = Simulation::of(model)
+                    .inputs(&inputs)
+                    .load(2e-15)
+                    .options(opts.with_eval(EvalMode::Reference))
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    fast,
+                    reference,
+                    "{} with {integration:?}",
+                    model.cell_name()
+                );
+                assert!(fast.steps > 0);
+                assert!(fast.lut_evals > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn state_traces_share_the_output_time_vector() {
+        let m = synthetic_model();
+        let inputs = falling_pair();
+        let result = mcsm_sim(&m, &inputs, 2e-15, &CsmSimOptions::new(1e-9, 1e-12))
+            .run()
+            .unwrap();
+        let internal = result.internal().unwrap();
+        assert_eq!(result.output.times(), internal.times());
+        // Same allocation, not merely equal contents.
+        assert_eq!(result.output.times().as_ptr(), internal.times().as_ptr());
     }
 
     #[test]

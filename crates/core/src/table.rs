@@ -10,6 +10,7 @@
 //! * [`Table2`] — `(V_in, V_o)`, the single-input-switching model (Section 2.1);
 //! * [`Table1`] — `(V_in)`, input pin capacitances (Eq. 3).
 
+use crate::eval::{EvalMode, EvalState};
 use mcsm_num::grid::Axis;
 use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
 use mcsm_num::lut::LutNd;
@@ -53,11 +54,36 @@ macro_rules! voltage_table {
                 Self::new(LutNd::from_fn(axes.to_vec(), f)?)
             }
 
-            /// Evaluates the table by multilinear interpolation.
+            /// Evaluates the table by multilinear interpolation
+            /// (allocation-free fixed-arity fast path).
+            ///
+            /// # Panics
+            ///
+            /// Panics if any coordinate is NaN.
             pub fn eval(&self, $($arg: f64),+) -> f64 {
                 self.lut
-                    .eval(&[$($arg),+])
-                    .expect("constructor guarantees the axis count")
+                    .eval_fixed(&[$($arg),+])
+                    .expect("constructor guarantees the axis count; coordinates must be finite")
+            }
+
+            /// Cursor-accelerated evaluation through one [`EvalState`] table
+            /// slot — bit-identical to [`eval`](Self::eval), O(1) amortized on
+            /// the temporally coherent queries of a simulation run. In
+            /// [`EvalMode::Reference`] the historical allocating
+            /// `LutNd::eval` path runs instead (the benchmark baseline).
+            ///
+            /// # Panics
+            ///
+            /// Panics if any coordinate is NaN or `slot` is out of range for
+            /// the state.
+            pub fn eval_with(&self, st: &mut EvalState, slot: usize, $($arg: f64),+) -> f64 {
+                st.count_lookup();
+                let coords = [$($arg),+];
+                match st.mode() {
+                    EvalMode::Fast => self.lut.eval_with_cursor(st.cursor(slot), &coords),
+                    EvalMode::Reference => self.lut.eval(&coords),
+                }
+                .expect("constructor guarantees the axis count; coordinates must be finite")
             }
 
             /// The underlying lookup table.
@@ -177,6 +203,29 @@ mod tests {
     fn table3_partial_out_of_range() {
         let t = Table3::from_fn([axis(3), axis(3), axis(3)], |v| v[0]).unwrap();
         assert!(t.partial(&[0.1, 0.2, 0.3], 3).is_err());
+    }
+
+    #[test]
+    fn eval_with_matches_eval_in_both_modes() {
+        let t = Table4::from_fn([axis(3), axis(4), axis(3), axis(5)], |v| {
+            (v[0] - 0.3) * v[1] + v[2] * v[3]
+        })
+        .unwrap();
+        let mut fast = EvalState::fast(1);
+        let mut reference = EvalState::fast(1);
+        reference.set_mode(EvalMode::Reference);
+        let mut q = [0.0, 1.2, 0.6, 0.9];
+        for step in 0..50 {
+            q[0] = 0.02 * step as f64;
+            q[3] = 1.2 - 0.02 * step as f64;
+            let want = t.eval(q[0], q[1], q[2], q[3]);
+            let got_fast = t.eval_with(&mut fast, 0, q[0], q[1], q[2], q[3]);
+            let got_ref = t.eval_with(&mut reference, 0, q[0], q[1], q[2], q[3]);
+            assert_eq!(want.to_bits(), got_fast.to_bits(), "fast at {q:?}");
+            assert_eq!(want.to_bits(), got_ref.to_bits(), "reference at {q:?}");
+        }
+        assert_eq!(fast.lookups(), 50);
+        assert_eq!(reference.lookups(), 50);
     }
 
     #[test]

@@ -26,6 +26,11 @@ use crate::json::{FromJson, JsonError, JsonValue, ToJson};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Axis {
     points: Vec<f64>,
+    /// Cached spacing when the axis is (numerically) uniform, detected once at
+    /// construction. Enables the O(1) analytic cell locate used by the lookup
+    /// fast paths; `None` falls back to binary search. Deterministic from
+    /// `points`, so derived equality and JSON round-trips stay consistent.
+    uniform_step: Option<f64>,
 }
 
 impl Axis {
@@ -53,7 +58,11 @@ impl Axis {
                 )));
             }
         }
-        Ok(Axis { points })
+        let uniform_step = detect_uniform_step(&points);
+        Ok(Axis {
+            points,
+            uniform_step,
+        })
     }
 
     /// Creates a uniformly spaced axis with `count` points over `[start, stop]`.
@@ -112,12 +121,22 @@ impl Axis {
         *self.points.last().expect("axis is never empty")
     }
 
+    /// The cached uniform spacing, when the axis was detected as uniformly
+    /// sampled at construction.
+    pub fn uniform_step(&self) -> Option<f64> {
+        self.uniform_step
+    }
+
     /// Locates `x` on the axis: returns the index `i` of the cell `[p[i], p[i+1]]`
     /// containing `x` and the normalized position `t ∈ [0, 1]` within that cell.
     ///
     /// Queries outside the axis range are clamped to the first/last cell, which
     /// makes table evaluation a flat extrapolation — the standard, safe choice for
     /// characterized device tables.
+    ///
+    /// A NaN query is *not* defended here (the comparisons all fail and the
+    /// result is the first cell with a NaN offset); use [`Axis::try_locate`]
+    /// wherever the coordinate is not already known to be a number.
     pub fn locate(&self, x: f64) -> (usize, f64) {
         let pts = &self.points;
         let n = pts.len();
@@ -141,6 +160,127 @@ impl Axis {
         let t = (x - pts[lo]) / (pts[lo + 1] - pts[lo]);
         (lo, t)
     }
+
+    /// NaN-safe [`Axis::locate`]: returns a descriptive error for a NaN query
+    /// instead of silently treating it as the first cell, and uses the O(1)
+    /// analytic locate on uniform axes.
+    ///
+    /// For every finite `x` the result is identical (to the bit) to
+    /// [`Axis::locate`]: the containing cell of a strictly increasing axis is
+    /// unique, and the in-cell offset is computed by the same expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidQuery`] if `x` is NaN.
+    pub fn try_locate(&self, x: f64) -> Result<(usize, f64), NumError> {
+        if x.is_nan() {
+            return Err(NumError::InvalidQuery(
+                "axis locate called with a NaN coordinate".into(),
+            ));
+        }
+        let pts = &self.points;
+        let n = pts.len();
+        if x <= pts[0] {
+            return Ok((0, 0.0));
+        }
+        if x >= pts[n - 1] {
+            return Ok((n - 2, 1.0));
+        }
+        let cell = self.find_cell_interior(x);
+        let t = (x - pts[cell]) / (pts[cell + 1] - pts[cell]);
+        Ok((cell, t))
+    }
+
+    /// NaN-safe locate with a cursor hint: tries the hinted cell first, walks
+    /// to an immediate neighbor if the query moved one cell, and only then
+    /// falls back to the analytic/binary locate. Bit-identical to
+    /// [`Axis::locate`] for every finite `x` (same unique cell, same offset
+    /// arithmetic); the hint only changes how fast the cell is found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidQuery`] if `x` is NaN.
+    pub fn try_locate_hinted(&self, x: f64, hint: usize) -> Result<(usize, f64), NumError> {
+        if x.is_nan() {
+            return Err(NumError::InvalidQuery(
+                "axis locate called with a NaN coordinate".into(),
+            ));
+        }
+        let pts = &self.points;
+        let n = pts.len();
+        if x <= pts[0] {
+            return Ok((0, 0.0));
+        }
+        if x >= pts[n - 1] {
+            return Ok((n - 2, 1.0));
+        }
+        // Temporal coherence: consecutive queries land in the same or an
+        // adjacent cell, so check the hint and its neighbors before paying for
+        // a full locate. `x` is strictly interior here, so the walk below
+        // cannot leave `[0, n - 2]`.
+        let mut cell = hint.min(n - 2);
+        const MAX_WALK: usize = 2;
+        let mut walked = 0usize;
+        loop {
+            if pts[cell] > x {
+                cell -= 1;
+            } else if x >= pts[cell + 1] {
+                cell += 1;
+            } else {
+                break;
+            }
+            walked += 1;
+            if walked > MAX_WALK {
+                cell = self.find_cell_interior(x);
+                break;
+            }
+        }
+        let t = (x - pts[cell]) / (pts[cell + 1] - pts[cell]);
+        Ok((cell, t))
+    }
+
+    /// Containing cell for a strictly interior `x` (`pts[0] < x < pts[n-1]`):
+    /// analytic guess plus fix-up walk on uniform axes, binary search otherwise.
+    fn find_cell_interior(&self, x: f64) -> usize {
+        let pts = &self.points;
+        let n = pts.len();
+        if let Some(step) = self.uniform_step {
+            let mut cell = (((x - pts[0]) / step) as usize).min(n - 2);
+            // The analytic guess can be off by one ulp-rounding cell; fix up
+            // against the actual points so the result is exact.
+            while pts[cell] > x {
+                cell -= 1;
+            }
+            while x >= pts[cell + 1] {
+                cell += 1;
+            }
+            return cell;
+        }
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if pts[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// Detects a (numerically) uniform spacing: every gap must agree with the mean
+/// gap to within a tight relative tolerance. Correctness never depends on this —
+/// the analytic locate verifies its guess against the actual points — so the
+/// tolerance only trades O(1) locates against fix-up walk length.
+fn detect_uniform_step(points: &[f64]) -> Option<f64> {
+    let n = points.len();
+    let step = (points[n - 1] - points[0]) / (n - 1) as f64;
+    let uniform = points
+        .windows(2)
+        .all(|w| ((w[1] - w[0]) - step).abs() <= step * 1e-9);
+    uniform.then_some(step)
 }
 
 impl ToJson for Axis {
@@ -228,6 +368,63 @@ mod tests {
         let (i, t) = a.locate(0.3);
         assert_eq!(i, 1);
         assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_step_detection() {
+        assert!(Axis::uniform(0.0, 1.0, 5).unwrap().uniform_step().is_some());
+        assert!(Axis::voltage_with_margin(1.2, 0.1, 15)
+            .unwrap()
+            .uniform_step()
+            .is_some());
+        assert!(Axis::new(vec![0.0, 0.1, 0.5, 1.2])
+            .unwrap()
+            .uniform_step()
+            .is_none());
+    }
+
+    #[test]
+    fn try_locate_rejects_nan_instead_of_clamping_to_cell_zero() {
+        // Regression: `locate` silently lands a NaN in cell 0 with a NaN
+        // offset; the checked variants must report it.
+        let a = Axis::uniform(0.0, 1.0, 5).unwrap();
+        let err = a.try_locate(f64::NAN).unwrap_err();
+        assert!(
+            matches!(&err, NumError::InvalidQuery(msg) if msg.contains("NaN")),
+            "{err}"
+        );
+        let err = a.try_locate_hinted(f64::NAN, 2).unwrap_err();
+        assert!(
+            matches!(&err, NumError::InvalidQuery(msg) if msg.contains("NaN")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn try_locate_matches_locate_bit_for_bit() {
+        for axis in [
+            Axis::uniform(-0.1, 1.3, 9).unwrap(),
+            Axis::new(vec![0.0, 0.1, 0.5, 1.2, 3.0]).unwrap(),
+        ] {
+            let mut x = -0.5;
+            while x < 3.5 {
+                let (i, t) = axis.locate(x);
+                assert_eq!(axis.try_locate(x).unwrap(), (i, t), "x = {x}");
+                for hint in 0..axis.len() + 1 {
+                    let (ih, th) = axis.try_locate_hinted(x, hint).unwrap();
+                    assert_eq!(
+                        (ih, th.to_bits()),
+                        (i, t.to_bits()),
+                        "x = {x}, hint = {hint}"
+                    );
+                }
+                x += 0.0173;
+            }
+            // Every grid point lands exactly where `locate` puts it.
+            for &p in axis.points() {
+                assert_eq!(axis.try_locate(p).unwrap(), axis.locate(p));
+            }
+        }
     }
 }
 

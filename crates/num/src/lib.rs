@@ -9,7 +9,8 @@
 //!   analyses.
 //! * [`grid`] / [`lut`] — N-dimensional grids and multilinear-interpolated lookup
 //!   tables; the paper's 4-dimensional `I_o(V_A, V_B, V_N, V_o)` tables are built
-//!   on these.
+//!   on these. Hot loops use the allocation-free fast paths and [`lut::LutCursor`]
+//!   lookup cursors (bit-identical to the reference `eval`).
 //! * [`interp`] — 1-D interpolation helpers.
 //! * [`integrate`] — companion-model coefficients for backward-Euler and
 //!   trapezoidal integration plus the explicit update used by the CSM engine.
@@ -54,7 +55,7 @@ pub mod units;
 pub use error::NumError;
 pub use grid::Axis;
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
-pub use lut::LutNd;
+pub use lut::{LutCursor, LutNd};
 pub use matrix::DenseMatrix;
 pub use newton::{NewtonOptions, NewtonOutcome, NewtonSystem};
 pub use par::{par_map, par_map_result, resolve_threads, ThreadPool};

@@ -6,10 +6,63 @@
 //! interpolation at simulation time (Section 3.3). [`LutNd`] is that container,
 //! generic over the number of axes so the same type also serves the 2-D tables
 //! of the single-input-switching model and the 1-D input-capacitance tables.
+//!
+//! # The allocation-free fast path
+//!
+//! [`LutNd::eval`] is the *reference* evaluator: it heap-allocates its locate
+//! buffers and binary-searches every axis on every call. Table evaluation sits
+//! under every explicit/predictor–corrector sub-step of the simulation engine
+//! (paper Eqs. (4)–(5)), so hot code uses the allocation-free family instead,
+//! all of which are **bit-identical** to `eval` (same containing cells, same
+//! corner order, same arithmetic):
+//!
+//! * [`LutNd::eval_with_cursor`] — the cursor fast path (below), what the
+//!   simulation engine's per-run scratch rides on;
+//! * [`LutNd::eval_fixed`] — fixed-arity, stack-only evaluation with
+//!   precomputed axis strides; the typed voltage tables in `mcsm-core`
+//!   evaluate through it. [`LutNd::eval1`] … [`LutNd::eval4`] are arity-named
+//!   conveniences over it;
+//! * [`LutNd::eval_into`] — generic arity with small fixed buffers, for
+//!   callers whose dimensionality is only known at run time.
+//!
+//! # Lookup cursors and the coherence assumption
+//!
+//! A [`LutCursor`] remembers the last containing cell per axis. Consecutive
+//! simulation sub-steps move node voltages by at most a fraction of a grid
+//! cell, so the next query almost always lands in the **same or an adjacent
+//! cell**: the cursor re-locates by a bounded neighbor walk (O(1) amortized)
+//! and only falls back to a full locate — analytic for uniform axes, binary
+//! search otherwise — when the query jumps more than two cells at once (e.g.
+//! a fresh transition re-starting from a rail, or one cursor shared between
+//! unrelated query streams). The fallback is the only cost of a cold or
+//! wrongly-hinted cursor; results never depend on the hint.
 
 use crate::error::NumError;
 use crate::grid::Axis;
 use crate::json::{FromJson, JsonError, JsonValue, ToJson};
+
+/// Largest dimensionality served by the stack-only fast paths; higher-arity
+/// tables transparently fall back to the allocating reference evaluator.
+pub const MAX_FAST_DIMS: usize = 8;
+
+/// A per-table lookup cursor: the last containing cell on every axis.
+///
+/// Feed it to [`LutNd::eval_with_cursor`] to make repeated, temporally
+/// coherent queries O(1) amortized instead of O(log n) per axis. A cursor
+/// holds no reference to its table — it is a plain hint, cheap to create and
+/// `Copy` — and a stale or wrong hint only costs a fallback locate, never a
+/// wrong result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LutCursor {
+    cells: [usize; MAX_FAST_DIMS],
+}
+
+impl LutCursor {
+    /// A cold cursor (hints at the first cell of every axis).
+    pub fn new() -> Self {
+        LutCursor::default()
+    }
+}
 
 /// An N-dimensional lookup table evaluated by multilinear interpolation.
 ///
@@ -43,9 +96,117 @@ use crate::json::{FromJson, JsonError, JsonValue, ToJson};
 pub struct LutNd {
     axes: Vec<Axis>,
     values: Vec<f64>,
+    /// Row-major strides per axis, precomputed at construction for the
+    /// allocation-free evaluators (`strides[k]` = product of the axis lengths
+    /// after `k`). Deterministic from `axes`, so derived equality is unaffected.
+    strides: Vec<usize>,
+}
+
+fn compute_strides(axes: &[Axis]) -> Vec<usize> {
+    let mut strides = vec![1usize; axes.len()];
+    for k in (0..axes.len().saturating_sub(1)).rev() {
+        strides[k] = strides[k + 1] * axes[k + 1].len();
+    }
+    strides
+}
+
+fn nan_query_error(axis: usize) -> NumError {
+    NumError::InvalidQuery(format!("lut query coordinate for axis {axis} is NaN"))
 }
 
 impl LutNd {
+    /// Wraps already-validated parts, computing the cached strides.
+    fn from_parts(axes: Vec<Axis>, values: Vec<f64>) -> Self {
+        let strides = compute_strides(&axes);
+        LutNd {
+            axes,
+            values,
+            strides,
+        }
+    }
+
+    fn check_arity(&self, got: usize) -> Result<(), NumError> {
+        if got != self.axes.len() {
+            return Err(NumError::InvalidQuery(format!(
+                "expected {} coordinates, got {got}",
+                self.axes.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Sum over the `2^d` corners of the located cell, `base`/`frac` holding
+    /// the containing cell and in-cell offset per axis. Same corner order,
+    /// weight-product order and skip rule as the reference [`LutNd::eval`]
+    /// loop, so every caller is bit-identical to it.
+    fn corner_sum(&self, base: &[usize], frac: &[f64]) -> f64 {
+        let d = base.len();
+        let corners = 1usize << d;
+        let mut acc = 0.0;
+        for corner in 0..corners {
+            let mut weight = 1.0;
+            let mut flat = 0usize;
+            for k in 0..d {
+                let high = (corner >> k) & 1 == 1;
+                weight *= if high { frac[k] } else { 1.0 - frac[k] };
+                flat += (base[k] + usize::from(high)) * self.strides[k];
+            }
+            if weight != 0.0 {
+                acc += weight * self.values[flat];
+            }
+        }
+        acc
+    }
+
+    /// [`LutNd::corner_sum`] specialized on a compile-time dimensionality so
+    /// the corner loop fully unrolls with stack-array indexing (no slice
+    /// bounds checks in the inner loop). Bit-identical to the generic loop:
+    /// the per-axis weight factors are the same values (`1 - t` computed once
+    /// instead of per corner), multiplied in the same ascending-axis order,
+    /// and the corners accumulate in the same order under the same skip rule.
+    fn corner_sum_fixed<const D: usize>(&self, base: &[usize; D], frac: &[f64; D]) -> f64 {
+        let mut strides = [0usize; D];
+        strides.copy_from_slice(&self.strides);
+        let mut w = [[0.0f64; 2]; D];
+        for k in 0..D {
+            w[k] = [1.0 - frac[k], frac[k]];
+        }
+        let corners = 1usize << D;
+        let mut acc = 0.0;
+        for corner in 0..corners {
+            let mut weight = 1.0;
+            let mut flat = 0usize;
+            for k in 0..D {
+                let high = (corner >> k) & 1;
+                weight *= w[k][high];
+                flat += (base[k] + high) * strides[k];
+            }
+            if weight != 0.0 {
+                acc += weight * self.values[flat];
+            }
+        }
+        acc
+    }
+
+    /// Cursor-hinted locate plus specialized corner sum for a compile-time
+    /// dimensionality — the monomorphized core behind [`LutNd::eval_with_cursor`].
+    fn eval_hinted_fixed<const D: usize>(
+        &self,
+        cursor: &mut LutCursor,
+        coords: &[f64],
+    ) -> Result<f64, NumError> {
+        let mut base = [0usize; D];
+        let mut frac = [0.0; D];
+        for k in 0..D {
+            let (i, t) = self.axes[k]
+                .try_locate_hinted(coords[k], cursor.cells[k])
+                .map_err(|_| nan_query_error(k))?;
+            cursor.cells[k] = i;
+            base[k] = i;
+            frac[k] = t;
+        }
+        Ok(self.corner_sum_fixed(&base, &frac))
+    }
     /// Creates a table from axes and a flat row-major value vector.
     ///
     /// # Errors
@@ -71,7 +232,7 @@ impl LutNd {
                 values[bad]
             )));
         }
-        Ok(LutNd { axes, values })
+        Ok(LutNd::from_parts(axes, values))
     }
 
     /// Creates a table by evaluating `f` at every grid point.
@@ -200,23 +361,27 @@ impl LutNd {
 
     /// Evaluates the table at `coords` by multilinear interpolation.
     ///
+    /// This is the **reference path**: it allocates its locate buffers and
+    /// binary-searches every axis on every call. Hot loops should prefer the
+    /// bit-identical allocation-free family ([`LutNd::eval1`]…[`LutNd::eval4`],
+    /// [`LutNd::eval_into`], [`LutNd::eval_with_cursor`]); this entry point is
+    /// retained as the cold-path evaluator and as the baseline the `sim_hotpath`
+    /// benchmark gates the fast paths against.
+    ///
     /// # Errors
     ///
     /// Returns [`NumError::InvalidQuery`] if the number of coordinates differs
-    /// from the number of axes.
+    /// from the number of axes or any coordinate is NaN.
     pub fn eval(&self, coords: &[f64]) -> Result<f64, NumError> {
-        if coords.len() != self.axes.len() {
-            return Err(NumError::InvalidQuery(format!(
-                "expected {} coordinates, got {}",
-                self.axes.len(),
-                coords.len()
-            )));
-        }
+        self.check_arity(coords.len())?;
         let d = self.axes.len();
         // Locate every coordinate on its axis.
         let mut base = vec![0usize; d];
         let mut frac = vec![0.0; d];
         for k in 0..d {
+            if coords[k].is_nan() {
+                return Err(nan_query_error(k));
+            }
             let (i, t) = self.axes[k].locate(coords[k]);
             base[k] = i;
             frac[k] = t;
@@ -240,16 +405,154 @@ impl LutNd {
         Ok(acc)
     }
 
+    /// Fixed-arity, stack-only evaluation — bit-identical to [`LutNd::eval`]
+    /// with zero heap allocations (the arity is a compile-time constant, so the
+    /// locate buffers live on the stack).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidQuery`] if `D` differs from the table
+    /// dimensionality or any coordinate is NaN.
+    pub fn eval_fixed<const D: usize>(&self, coords: &[f64; D]) -> Result<f64, NumError> {
+        self.check_arity(D)?;
+        let mut base = [0usize; D];
+        let mut frac = [0.0; D];
+        for k in 0..D {
+            let (i, t) = self.axes[k]
+                .try_locate(coords[k])
+                .map_err(|_| nan_query_error(k))?;
+            base[k] = i;
+            frac[k] = t;
+        }
+        Ok(self.corner_sum_fixed(&base, &frac))
+    }
+
+    /// Stack-only evaluation of a 1-D table (see [`LutNd::eval_fixed`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LutNd::eval_fixed`].
+    pub fn eval1(&self, x: f64) -> Result<f64, NumError> {
+        self.eval_fixed(&[x])
+    }
+
+    /// Stack-only evaluation of a 2-D table (see [`LutNd::eval_fixed`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LutNd::eval_fixed`].
+    pub fn eval2(&self, x: f64, y: f64) -> Result<f64, NumError> {
+        self.eval_fixed(&[x, y])
+    }
+
+    /// Stack-only evaluation of a 3-D table (see [`LutNd::eval_fixed`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LutNd::eval_fixed`].
+    pub fn eval3(&self, x: f64, y: f64, z: f64) -> Result<f64, NumError> {
+        self.eval_fixed(&[x, y, z])
+    }
+
+    /// Stack-only evaluation of a 4-D table — the paper's
+    /// `(V_A, V_B, V_N, V_o)` shape (see [`LutNd::eval_fixed`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LutNd::eval_fixed`].
+    pub fn eval4(&self, x: f64, y: f64, z: f64, w: f64) -> Result<f64, NumError> {
+        self.eval_fixed(&[x, y, z, w])
+    }
+
+    /// Generic-arity, allocation-free evaluation into `out` using small fixed
+    /// buffers and the precomputed strides; bit-identical to [`LutNd::eval`].
+    /// Tables wider than [`MAX_FAST_DIMS`] fall back to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LutNd::eval`].
+    pub fn eval_into(&self, coords: &[f64], out: &mut f64) -> Result<(), NumError> {
+        self.check_arity(coords.len())?;
+        let d = coords.len();
+        // Common arities dispatch to the fully unrolled fixed-arity path.
+        match d {
+            1 => *out = self.eval_fixed::<1>(coords.try_into().expect("arity checked"))?,
+            2 => *out = self.eval_fixed::<2>(coords.try_into().expect("arity checked"))?,
+            3 => *out = self.eval_fixed::<3>(coords.try_into().expect("arity checked"))?,
+            4 => *out = self.eval_fixed::<4>(coords.try_into().expect("arity checked"))?,
+            d if d <= MAX_FAST_DIMS => {
+                let mut base = [0usize; MAX_FAST_DIMS];
+                let mut frac = [0.0; MAX_FAST_DIMS];
+                for k in 0..d {
+                    let (i, t) = self.axes[k]
+                        .try_locate(coords[k])
+                        .map_err(|_| nan_query_error(k))?;
+                    base[k] = i;
+                    frac[k] = t;
+                }
+                *out = self.corner_sum(&base[..d], &frac[..d]);
+            }
+            _ => *out = self.eval(coords)?,
+        }
+        Ok(())
+    }
+
+    /// Cursor-accelerated evaluation: re-locates each axis from the cursor's
+    /// remembered cell by a bounded neighbor walk (O(1) amortized on
+    /// temporally coherent query streams) and updates the cursor. Bit-identical
+    /// to [`LutNd::eval`] for every query — the cursor only changes how fast
+    /// the containing cell is found, never which cell it is. Tables wider than
+    /// [`MAX_FAST_DIMS`] fall back to the allocating path (cursor unused).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LutNd::eval`].
+    pub fn eval_with_cursor(
+        &self,
+        cursor: &mut LutCursor,
+        coords: &[f64],
+    ) -> Result<f64, NumError> {
+        self.check_arity(coords.len())?;
+        // The table shapes in this workspace (1-D input caps through the 4-D
+        // MCSM components) dispatch to fully unrolled monomorphizations.
+        match coords.len() {
+            1 => self.eval_hinted_fixed::<1>(cursor, coords),
+            2 => self.eval_hinted_fixed::<2>(cursor, coords),
+            3 => self.eval_hinted_fixed::<3>(cursor, coords),
+            4 => self.eval_hinted_fixed::<4>(cursor, coords),
+            d if d <= MAX_FAST_DIMS => {
+                let mut base = [0usize; MAX_FAST_DIMS];
+                let mut frac = [0.0; MAX_FAST_DIMS];
+                for k in 0..d {
+                    let (i, t) = self.axes[k]
+                        .try_locate_hinted(coords[k], cursor.cells[k])
+                        .map_err(|_| nan_query_error(k))?;
+                    cursor.cells[k] = i;
+                    base[k] = i;
+                    frac[k] = t;
+                }
+                Ok(self.corner_sum(&base[..d], &frac[..d]))
+            }
+            _ => self.eval(coords),
+        }
+    }
+
     /// Evaluates the partial derivative of the interpolant along `axis` at `coords`
     /// using the slope of the containing cell.
     ///
     /// The CSM simulation engine uses these derivatives when running its implicit
     /// (Newton) integrator, where `dI_o/dV_o` acts as a conductance.
     ///
+    /// Computed analytically from the located cell's corner values — one locate
+    /// per axis, zero allocations — and bit-identical to the historical
+    /// formulation that evaluated the full table twice at the cell's `axis`
+    /// endpoints (the endpoint evaluations reduce to the same corner sums with
+    /// an exact weight factor of one).
+    ///
     /// # Errors
     ///
-    /// Returns [`NumError::InvalidQuery`] if `axis` is out of range or the number
-    /// of coordinates differs from the number of axes.
+    /// Returns [`NumError::InvalidQuery`] if `axis` is out of range, the number
+    /// of coordinates differs from the number of axes, or any coordinate is NaN.
     pub fn eval_partial(&self, coords: &[f64], axis: usize) -> Result<f64, NumError> {
         if axis >= self.axes.len() {
             return Err(NumError::InvalidQuery(format!(
@@ -257,25 +560,51 @@ impl LutNd {
                 self.axes.len()
             )));
         }
+        self.check_arity(coords.len())?;
+        let d = coords.len();
+        if d > MAX_FAST_DIMS {
+            // Allocating fallback: the historical two-eval formulation.
+            let pts = self.axes[axis].points();
+            let (cell, _) = self.axes[axis]
+                .try_locate(coords[axis])
+                .map_err(|_| nan_query_error(axis))?;
+            let h = pts[cell + 1] - pts[cell];
+            let mut lo = coords.to_vec();
+            let mut hi = coords.to_vec();
+            lo[axis] = pts[cell];
+            hi[axis] = pts[cell + 1];
+            let f_lo = self.eval(&lo)?;
+            let f_hi = self.eval(&hi)?;
+            return Ok((f_hi - f_lo) / h);
+        }
+        let mut base = [0usize; MAX_FAST_DIMS];
+        let mut frac = [0.0; MAX_FAST_DIMS];
+        for k in 0..d {
+            let (i, t) = self.axes[k]
+                .try_locate(coords[k])
+                .map_err(|_| nan_query_error(k))?;
+            base[k] = i;
+            frac[k] = t;
+        }
         let pts = self.axes[axis].points();
-        let (cell, _) = self.axes[axis].locate(coords[axis]);
+        let cell = base[axis];
         let h = pts[cell + 1] - pts[cell];
-        let mut lo = coords.to_vec();
-        let mut hi = coords.to_vec();
-        lo[axis] = pts[cell];
-        hi[axis] = pts[cell + 1];
-        let f_lo = self.eval(&lo)?;
-        let f_hi = self.eval(&hi)?;
+        // The slope of the cell's interpolant: the difference of the corner
+        // sums on the cell's two `axis` faces over the cell width.
+        frac[axis] = 0.0;
+        let f_lo = self.corner_sum(&base[..d], &frac[..d]);
+        frac[axis] = 1.0;
+        let f_hi = self.corner_sum(&base[..d], &frac[..d]);
         Ok((f_hi - f_lo) / h)
     }
 
     /// Applies a function to every stored value, returning a new table with the
     /// same axes (used e.g. to average capacitance tables over several slews).
     pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> LutNd {
-        LutNd {
-            axes: self.axes.clone(),
-            values: self.values.iter().map(|&v| f(v)).collect(),
-        }
+        LutNd::from_parts(
+            self.axes.clone(),
+            self.values.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Combines two tables sample-by-sample (they must share identical axes).
@@ -293,15 +622,14 @@ impl LutNd {
                 "zip_with requires identical axes".into(),
             ));
         }
-        Ok(LutNd {
-            axes: self.axes.clone(),
-            values: self
-                .values
+        Ok(LutNd::from_parts(
+            self.axes.clone(),
+            self.values
                 .iter()
                 .zip(&other.values)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-        })
+        ))
     }
 
     /// Minimum stored sample value.
@@ -421,6 +749,40 @@ mod tests {
         assert!((lut.eval_partial(&[0.4, 0.6], 0).unwrap() - 2.0).abs() < 1e-10);
         assert!((lut.eval_partial(&[0.4, 0.6], 1).unwrap() + 7.0).abs() < 1e-10);
         assert!(lut.eval_partial(&[0.4, 0.6], 2).is_err());
+        assert!(lut.eval_partial(&[0.4], 0).is_err());
+    }
+
+    #[test]
+    fn nan_queries_are_rejected_with_a_descriptive_error() {
+        // Regression for the NaN-unsafe locate fallback: every evaluator must
+        // report the NaN instead of silently interpolating in cell 0.
+        let lut = LutNd::from_fn(vec![axis(3), axis(3)], |v| v[0] + v[1]).unwrap();
+        let is_nan_err = |r: Result<f64, NumError>| matches!(r, Err(NumError::InvalidQuery(msg)) if msg.contains("NaN"));
+        assert!(is_nan_err(lut.eval(&[0.5, f64::NAN])));
+        assert!(is_nan_err(lut.eval2(f64::NAN, 0.5)));
+        assert!(is_nan_err(lut.eval_fixed(&[0.5, f64::NAN])));
+        assert!(is_nan_err(
+            lut.eval_with_cursor(&mut LutCursor::new(), &[f64::NAN, 0.5])
+        ));
+        assert!(is_nan_err(lut.eval_partial(&[f64::NAN, 0.5], 0)));
+        let mut out = 0.0;
+        assert!(matches!(
+            lut.eval_into(&[0.5, f64::NAN], &mut out),
+            Err(NumError::InvalidQuery(msg)) if msg.contains("NaN")
+        ));
+    }
+
+    #[test]
+    fn fast_paths_reject_wrong_arity_like_eval() {
+        let lut = LutNd::from_fn(vec![axis(3), axis(3)], |v| v[0]).unwrap();
+        assert!(lut.eval1(0.5).is_err());
+        assert!(lut.eval3(0.5, 0.5, 0.5).is_err());
+        assert!(lut.eval4(0.5, 0.5, 0.5, 0.5).is_err());
+        let mut out = 0.0;
+        assert!(lut.eval_into(&[0.5], &mut out).is_err());
+        assert!(lut
+            .eval_with_cursor(&mut LutCursor::new(), &[0.5, 0.5, 0.5])
+            .is_err());
     }
 
     #[test]
@@ -490,6 +852,144 @@ mod proptests {
             let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+    }
+
+    /// Builds a random table of `dims` axes: uniform or explicitly non-uniform
+    /// (random strictly increasing points), random lengths, random samples.
+    fn random_table(rng: &mut TestRng, dims: usize) -> LutNd {
+        let axes: Vec<Axis> = (0..dims)
+            .map(|_| {
+                let count = 2 + rng.index(5);
+                if rng.index(2) == 0 {
+                    let start = rng.in_range(-2.0, 0.0);
+                    Axis::uniform(start, start + rng.in_range(0.5, 3.0), count).unwrap()
+                } else {
+                    let mut p = rng.in_range(-2.0, 0.0);
+                    let points = (0..count)
+                        .map(|_| {
+                            p += rng.in_range(0.05, 1.0);
+                            p
+                        })
+                        .collect();
+                    Axis::new(points).unwrap()
+                }
+            })
+            .collect();
+        let total: usize = axes.iter().map(Axis::len).product();
+        let values: Vec<f64> = (0..total).map(|_| rng.in_range(-10.0, 10.0)).collect();
+        LutNd::new(axes, values).unwrap()
+    }
+
+    /// One query per axis, randomly interior, at-a-grid-point, or out of range.
+    fn random_query(rng: &mut TestRng, lut: &LutNd) -> Vec<f64> {
+        lut.axes()
+            .iter()
+            .map(|axis| match rng.index(4) {
+                0 => axis.points()[rng.index(axis.len())],
+                1 => axis.min() - rng.in_range(0.0, 1.0),
+                2 => axis.max() + rng.in_range(0.0, 1.0),
+                _ => rng.in_range(axis.min(), axis.max()),
+            })
+            .collect()
+    }
+
+    fn assert_all_paths_match(lut: &LutNd, cursor: &mut LutCursor, q: &[f64]) {
+        let reference = lut.eval(q).unwrap();
+        let fixed = match q.len() {
+            1 => lut.eval1(q[0]),
+            2 => lut.eval2(q[0], q[1]),
+            3 => lut.eval3(q[0], q[1], q[2]),
+            4 => lut.eval4(q[0], q[1], q[2], q[3]),
+            _ => unreachable!("random tables are 1-4 dimensional"),
+        }
+        .unwrap();
+        let mut into = 0.0;
+        lut.eval_into(q, &mut into).unwrap();
+        let cursored = lut.eval_with_cursor(cursor, q).unwrap();
+        assert_eq!(reference.to_bits(), fixed.to_bits(), "eval1-4 at {q:?}");
+        assert_eq!(reference.to_bits(), into.to_bits(), "eval_into at {q:?}");
+        assert_eq!(reference.to_bits(), cursored.to_bits(), "cursor at {q:?}");
+    }
+
+    #[test]
+    fn all_fast_paths_are_bit_identical_to_eval_on_random_sequences() {
+        // The satellite property test: `eval` == `eval1/2/3(/4)` == `eval_into`
+        // == cursor-based eval, bit for bit, over random tables and random
+        // query sequences including axis edges and out-of-range coordinates.
+        // The cursor persists across the whole sequence, so stale hints from
+        // arbitrary jumps are exercised too.
+        let mut rng = TestRng::new(0xFA57);
+        for _ in 0..60 {
+            let dims = 1 + rng.index(4);
+            let lut = random_table(&mut rng, dims);
+            let mut cursor = LutCursor::new();
+            for _ in 0..40 {
+                let q = random_query(&mut rng, &lut);
+                assert_all_paths_match(&lut, &mut cursor, &q);
+            }
+        }
+    }
+
+    #[test]
+    fn all_fast_paths_are_bit_identical_to_eval_on_monotone_sweeps() {
+        // Monotone ramps are the coherent access pattern the cursor is built
+        // for: every step lands in the same or an adjacent cell.
+        let mut rng = TestRng::new(0x510);
+        for _ in 0..30 {
+            let dims = 1 + rng.index(4);
+            let lut = random_table(&mut rng, dims);
+            let mut cursor = LutCursor::new();
+            let spans: Vec<(f64, f64)> = lut
+                .axes()
+                .iter()
+                .map(|a| {
+                    let lo = a.min() - 0.2;
+                    (lo, a.max() + 0.2 - lo)
+                })
+                .collect();
+            let steps = 64;
+            for s in 0..=steps {
+                let f = s as f64 / steps as f64;
+                let rising: Vec<f64> = spans.iter().map(|&(lo, w)| lo + w * f).collect();
+                assert_all_paths_match(&lut, &mut cursor, &rising);
+            }
+            for s in (0..=steps).rev() {
+                let f = s as f64 / steps as f64;
+                let falling: Vec<f64> = spans.iter().map(|&(lo, w)| lo + w * f).collect();
+                assert_all_paths_match(&lut, &mut cursor, &falling);
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_eval_partial_matches_the_two_eval_formula_exactly() {
+        // Pin the analytic derivative against the historical formulation:
+        // evaluate the full table at the containing cell's two endpoints along
+        // the requested axis. The corner sums reduce to the same terms, so the
+        // match is to the bit.
+        let mut rng = TestRng::new(0x9A27);
+        for _ in 0..60 {
+            let dims = 1 + rng.index(4);
+            let lut = random_table(&mut rng, dims);
+            for _ in 0..20 {
+                let q = random_query(&mut rng, &lut);
+                let axis = rng.index(dims);
+                let analytic = lut.eval_partial(&q, axis).unwrap();
+                let pts = lut.axes()[axis].points();
+                let (cell, _) = lut.axes()[axis].locate(q[axis]);
+                let h = pts[cell + 1] - pts[cell];
+                let mut lo = q.clone();
+                let mut hi = q.clone();
+                lo[axis] = pts[cell];
+                hi[axis] = pts[cell + 1];
+                let two_eval = (lut.eval(&hi).unwrap() - lut.eval(&lo).unwrap()) / h;
+                assert_eq!(
+                    analytic.to_bits(),
+                    two_eval.to_bits(),
+                    "axis {axis} at {q:?}"
+                );
+            }
         }
     }
 

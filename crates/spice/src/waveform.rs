@@ -8,11 +8,17 @@
 use crate::error::SpiceError;
 use mcsm_num::interp::{first_crossing, interp1, resample};
 use mcsm_num::stats;
+use std::sync::Arc;
 
 /// A sampled signal: strictly increasing times with one value per time point.
+///
+/// The time vector is reference-counted so families of waveforms sampled on
+/// one time base (a simulation output plus its internal-node traces, every
+/// signal of one transient analysis) can share a single allocation — see
+/// [`Waveform::with_shared_times`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Waveform {
-    times: Vec<f64>,
+    times: Arc<Vec<f64>>,
     values: Vec<f64>,
 }
 
@@ -24,6 +30,16 @@ impl Waveform {
     /// Returns [`SpiceError::InvalidParameter`] if the vectors differ in length,
     /// are empty, or the times are not strictly increasing.
     pub fn new(times: Vec<f64>, values: Vec<f64>) -> Result<Self, SpiceError> {
+        Waveform::with_shared_times(Arc::new(times), values)
+    }
+
+    /// Creates a waveform that shares an existing time vector — clone the
+    /// `Arc`, not the samples, to build N waveforms on one time base.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Waveform::new`].
+    pub fn with_shared_times(times: Arc<Vec<f64>>, values: Vec<f64>) -> Result<Self, SpiceError> {
         if times.len() != values.len() {
             return Err(SpiceError::InvalidParameter(format!(
                 "waveform needs matching vectors (times {} vs values {})",
@@ -49,6 +65,12 @@ impl Waveform {
     /// Sample times (seconds).
     pub fn times(&self) -> &[f64] {
         &self.times
+    }
+
+    /// The shared time vector, for building further waveforms on the same
+    /// time base without cloning it.
+    pub fn shared_times(&self) -> Arc<Vec<f64>> {
+        Arc::clone(&self.times)
     }
 
     /// Sample values.

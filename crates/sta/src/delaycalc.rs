@@ -20,6 +20,15 @@
 //! Cells with more than two inputs are only coverable by `SisOnly` today (the
 //! characterization flow produces 2-input MIS/MCSM tables); requesting a MIS
 //! backend for them is a reported error, never a silent SIS downgrade.
+//!
+//! Every gate evaluation runs the engine's allocation-free LUT fast path: the
+//! engine builds one `EvalState` (a lookup cursor per model table) per gate
+//! simulation and reuses it across all of that gate's sub-steps, so table
+//! lookups are O(1) amortized over the whole waveform sweep. Setting
+//! [`CsmSimOptions::eval`] to `EvalMode::Reference` in the calculator's `sim`
+//! options retains the historical allocating `LutNd::eval` path — bit-identical
+//! by construction, pinned in `tests/lut_fastpath.rs` at 1/2/8 threads and
+//! gated for speedup by the `sim_hotpath` benchmark.
 
 use crate::error::StaError;
 use mcsm_cells::cell::CellKind;
