@@ -9,11 +9,13 @@
 pub mod batch;
 pub mod experiments;
 pub mod netlist_sweep;
+pub mod netsim;
 pub mod report;
 pub mod sim_hotpath;
 
 pub use batch::*;
 pub use experiments::*;
 pub use netlist_sweep::*;
+pub use netsim::*;
 pub use report::*;
 pub use sim_hotpath::*;

@@ -8,6 +8,7 @@
 
 use mcsm_spice::source::SourceWaveform;
 use mcsm_spice::waveform::Waveform;
+use std::sync::Arc;
 
 /// A time-domain input drive: analytic or sampled.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +18,12 @@ pub enum DriveWaveform {
     /// A sampled waveform, linearly interpolated between samples and clamped
     /// outside its time range.
     Sampled(Waveform),
+    /// A shared piecewise-linear waveform: identical interpolation semantics to
+    /// [`DriveWaveform::Sampled`], but the samples live behind an [`Arc`], so
+    /// cloning is O(1). This is the netlist-simulation handoff form — one
+    /// driver's output waveform fans out to all of its receiving gates without
+    /// copying the sample vectors per fanout pin.
+    Pwl(Arc<Waveform>),
 }
 
 impl DriveWaveform {
@@ -35,11 +42,22 @@ impl DriveWaveform {
         DriveWaveform::Analytic(SourceWaveform::falling_ramp(vdd, t_start, transition))
     }
 
+    /// Wraps a simulated waveform as a shareable piecewise-linear drive
+    /// ([`DriveWaveform::Pwl`]): evaluation is bit-identical to
+    /// [`DriveWaveform::Sampled`] of the same waveform (both interpolate with
+    /// the same routine), but every clone shares the samples instead of
+    /// copying them — the form a netlist simulator hands a driver's output to
+    /// its fanout gates in.
+    pub fn from_waveform(waveform: Waveform) -> Self {
+        DriveWaveform::Pwl(Arc::new(waveform))
+    }
+
     /// Evaluates the drive at time `t` (seconds).
     pub fn eval(&self, t: f64) -> f64 {
         match self {
             DriveWaveform::Analytic(w) => w.eval(t),
             DriveWaveform::Sampled(w) => w.value_at(t),
+            DriveWaveform::Pwl(w) => w.value_at(t),
         }
     }
 
@@ -58,6 +76,12 @@ impl From<SourceWaveform> for DriveWaveform {
 impl From<Waveform> for DriveWaveform {
     fn from(w: Waveform) -> Self {
         DriveWaveform::Sampled(w)
+    }
+}
+
+impl From<Arc<Waveform>> for DriveWaveform {
+    fn from(w: Arc<Waveform>) -> Self {
+        DriveWaveform::Pwl(w)
     }
 }
 
@@ -88,5 +112,31 @@ mod tests {
         let wf = Waveform::new(vec![0.0, 1.0], vec![0.0, 2.0]).unwrap();
         let from_wave: DriveWaveform = wf.into();
         assert_eq!(from_wave.eval(0.5), 1.0);
+    }
+
+    #[test]
+    fn pwl_variant_matches_sampled_bit_for_bit_and_shares_samples() {
+        let times: Vec<f64> = (0..=200).map(|i| i as f64 * 0.015e-9).collect();
+        let values: Vec<f64> = times.iter().map(|&t| (t * 1e9).sin()).collect();
+        let wf = Waveform::new(times, values).unwrap();
+        let sampled = DriveWaveform::Sampled(wf.clone());
+        let pwl = DriveWaveform::from_waveform(wf);
+        for i in 0..400 {
+            let t = -0.2e-9 + i as f64 * 0.009e-9; // covers out-of-range too
+            assert_eq!(sampled.eval(t).to_bits(), pwl.eval(t).to_bits(), "t={t}");
+        }
+        // Clones share the Arc'd samples instead of copying them.
+        let clone = pwl.clone();
+        match (&pwl, &clone) {
+            (DriveWaveform::Pwl(a), DriveWaveform::Pwl(b)) => {
+                assert!(Arc::ptr_eq(a, b));
+            }
+            _ => unreachable!("clone of Pwl is Pwl"),
+        }
+        // The Arc conversion is equivalent to `from_waveform`.
+        let via_arc: DriveWaveform =
+            Arc::new(Waveform::new(vec![0.0, 1.0], vec![0.5, 0.5]).unwrap()).into();
+        assert_eq!(via_arc.eval(0.3), 0.5);
+        assert_eq!(via_arc.initial_value(), 0.5);
     }
 }

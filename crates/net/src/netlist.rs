@@ -95,6 +95,17 @@ impl Netlist {
         &self.gates
     }
 
+    /// References to all gates, in insertion order (parallel to
+    /// [`Netlist::gates`]).
+    pub fn gate_refs(&self) -> impl Iterator<Item = GateRef> + '_ {
+        (0..self.gates.len()).map(GateRef)
+    }
+
+    /// References to all nets, in [`NetRef::index`] order.
+    pub fn net_refs(&self) -> impl Iterator<Item = NetRef> + '_ {
+        (0..self.net_names.len()).map(NetRef)
+    }
+
     /// The gate with the given reference.
     pub fn gate(&self, gate: GateRef) -> &GateInst {
         &self.gates[gate.0]

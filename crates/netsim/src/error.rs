@@ -1,0 +1,82 @@
+//! Errors produced while preparing or running a netlist-level transient
+//! simulation.
+
+use mcsm_net::NetlistError;
+use mcsm_spice::error::SpiceError;
+use mcsm_sta::StaError;
+use std::fmt;
+
+/// Error produced by the netlist-level transient simulator.
+#[derive(Debug)]
+pub enum NetsimError {
+    /// A primary input has no drive waveform.
+    MissingDrive(String),
+    /// A drive waveform was supplied for a net that is not a primary input
+    /// (its waveform is computed by the simulator, not injected).
+    DrivenInternalNet(String),
+    /// A simulation parameter is out of range.
+    InvalidParameter(String),
+    /// A model-resolution or per-gate evaluation failure from the timing
+    /// layer.
+    Sta(StaError),
+    /// A netlist-level failure (lowering, lookup).
+    Net(NetlistError),
+    /// A waveform-construction failure.
+    Spice(String),
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::MissingDrive(net) => {
+                write!(f, "primary input `{net}` has no drive waveform")
+            }
+            NetsimError::DrivenInternalNet(net) => write!(
+                f,
+                "net `{net}` is not a primary input; its waveform is computed, not driven"
+            ),
+            NetsimError::InvalidParameter(msg) => write!(f, "netsim: {msg}"),
+            NetsimError::Sta(e) => write!(f, "netsim gate evaluation: {e}"),
+            NetsimError::Net(e) => write!(f, "netsim netlist: {e}"),
+            NetsimError::Spice(msg) => write!(f, "netsim waveform: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetsimError {}
+
+impl From<StaError> for NetsimError {
+    fn from(e: StaError) -> Self {
+        NetsimError::Sta(e)
+    }
+}
+
+impl From<NetlistError> for NetsimError {
+    fn from(e: NetlistError) -> Self {
+        NetsimError::Net(e)
+    }
+}
+
+impl From<SpiceError> for NetsimError {
+    fn from(e: SpiceError) -> Self {
+        NetsimError::Spice(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offenders() {
+        let e = NetsimError::MissingDrive("N1".into());
+        assert!(e.to_string().contains("N1"));
+        let e = NetsimError::DrivenInternalNet("mid".into());
+        assert!(e.to_string().contains("mid"));
+        let e: NetsimError = StaError::MissingModel("NOR2".into()).into();
+        assert!(matches!(e, NetsimError::Sta(_)));
+        assert!(e.to_string().contains("NOR2"));
+        let e: NetsimError = NetlistError::UnknownNet("x".into()).into();
+        assert!(matches!(e, NetsimError::Net(_)));
+    }
+}

@@ -1,0 +1,201 @@
+//! The level scheduler: which gates can be solved when, and what load each
+//! one drives.
+//!
+//! The simulator processes gates in *topological levels*: level `L` holds
+//! every gate whose longest driver chain from a primary input has `L` gates
+//! before it, so all gates of one level are mutually independent and can be
+//! solved concurrently once every earlier level has committed. This is the
+//! same schedule shape the level-parallel STA uses; here it is computed
+//! directly on the [`Netlist`] (whose validation already guarantees a DAG),
+//! keeping the simulator free of the STA-internal graph form.
+//!
+//! The scheduler also owns the *effective load* model: the lumped capacitance
+//! a driver sees is the sum of the characterized input-pin capacitances of
+//! every fanout pin, plus the netlist's explicit per-net extra load, plus the
+//! external load on primary outputs.
+
+use mcsm_net::{GateRef, NetRef, Netlist};
+use mcsm_sta::delaycalc::DelayCache;
+use mcsm_sta::models::ModelLibrary;
+use mcsm_sta::StaError;
+
+/// Groups the gates of a netlist into topological levels: every gate appears
+/// exactly once, all of a gate's driver gates appear in strictly earlier
+/// levels, and gates within a level are ordered by insertion index (so the
+/// schedule is deterministic and the per-level parallel fan-out is
+/// bit-identical to a sequential sweep).
+pub fn topological_levels(netlist: &Netlist) -> Vec<Vec<GateRef>> {
+    let gate_count = netlist.gate_count();
+    let refs: Vec<GateRef> = netlist.gate_refs().collect();
+
+    // Wave-synchronous Kahn sweep, O(gates + edges): a gate is released in
+    // the wave after its last driver, which is exactly the longest-path level
+    // (insertion order need not be topological — validation only guarantees a
+    // DAG).
+    let mut pending = vec![0usize; gate_count];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); gate_count];
+    for (idx, gate) in netlist.gates().iter().enumerate() {
+        for &input in &gate.inputs {
+            if let Some(driver) = netlist.driver_of(input) {
+                pending[idx] += 1;
+                successors[driver.index()].push(idx);
+            }
+        }
+    }
+
+    let mut current: Vec<usize> = (0..gate_count).filter(|&idx| pending[idx] == 0).collect();
+    let mut levels = Vec::new();
+    while !current.is_empty() {
+        // Sort each wave by gate index so the schedule (and with it the
+        // per-level parallel fan-out) is deterministic.
+        current.sort_unstable();
+        let mut next = Vec::new();
+        for &idx in &current {
+            for &succ in &successors[idx] {
+                pending[succ] -= 1;
+                if pending[succ] == 0 {
+                    next.push(succ);
+                }
+            }
+        }
+        levels.push(current.iter().map(|&idx| refs[idx]).collect());
+        current = next;
+    }
+    levels
+}
+
+/// The lumped load a driver of `net` sees: characterized input capacitance of
+/// every fanout pin (memoized in the shared [`DelayCache`]), plus the
+/// netlist's explicit extra load on the net, plus `primary_output_load` if the
+/// net is a primary output.
+///
+/// # Errors
+///
+/// Returns [`StaError::MissingModel`] if a fanout cell kind was never
+/// characterized.
+pub fn effective_load(
+    netlist: &Netlist,
+    library: &ModelLibrary,
+    cache: &DelayCache,
+    net: NetRef,
+    primary_output_load: f64,
+) -> Result<f64, StaError> {
+    let mut load = 0.0;
+    for &(fanout_gate, pin) in netlist.fanout_of(net) {
+        let kind = netlist.gate(fanout_gate).kind;
+        load += cache.pin_capacitance(kind, pin, || library.input_pin_capacitance(kind, pin))?;
+    }
+    load += netlist.net_load(net);
+    if netlist.is_primary_output(net) {
+        load += primary_output_load;
+    }
+    Ok(load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsm_cells::cell::CellKind;
+    use mcsm_cells::tech::Technology;
+    use mcsm_core::config::CharacterizationConfig;
+    use mcsm_net::{balanced_tree, c17, NetlistBuilder};
+
+    #[test]
+    fn levels_respect_driver_ordering_on_c17() {
+        let netlist = c17();
+        let levels = topological_levels(&netlist);
+        assert_eq!(levels.iter().map(Vec::len).sum::<usize>(), 6);
+        // Every gate's drivers sit in strictly earlier levels.
+        let mut level_of = vec![usize::MAX; netlist.gate_count()];
+        for (level, gates) in levels.iter().enumerate() {
+            for g in gates {
+                level_of[g.index()] = level;
+            }
+        }
+        for (idx, gate) in netlist.gates().iter().enumerate() {
+            for &input in &gate.inputs {
+                if let Some(driver) = netlist.driver_of(input) {
+                    assert!(level_of[driver.index()] < level_of[idx]);
+                }
+            }
+        }
+        // The schedule depth matches the STA lowering's.
+        let graph = netlist.to_gate_graph().unwrap();
+        assert_eq!(levels.len(), graph.topological_levels().unwrap().len());
+    }
+
+    #[test]
+    fn levels_handle_non_topological_insertion_order() {
+        // u_late is declared first but consumes u_early's output.
+        let netlist = NetlistBuilder::new("reversed")
+            .primary_input("a")
+            .gate("u_late", CellKind::Inverter, &["mid"], "out")
+            .gate("u_early", CellKind::Inverter, &["a"], "mid")
+            .primary_output("out")
+            .build()
+            .unwrap();
+        let levels = topological_levels(&netlist);
+        assert_eq!(levels.len(), 2);
+        assert_eq!(netlist.gate(levels[0][0]).name, "u_early");
+        assert_eq!(netlist.gate(levels[1][0]).name, "u_late");
+
+        // A deep chain declared in fully reversed order still levelizes one
+        // gate per level (the Kahn sweep does not depend on insertion order).
+        let stages = 200;
+        let mut builder = NetlistBuilder::new("reversed_chain").primary_input("n0");
+        for stage in (0..stages).rev() {
+            builder = builder.gate(
+                &format!("u{stage}"),
+                CellKind::Inverter,
+                &[&format!("n{stage}")],
+                &format!("n{}", stage + 1),
+            );
+        }
+        let chain = builder
+            .primary_output(&format!("n{stages}"))
+            .build()
+            .unwrap();
+        let levels = topological_levels(&chain);
+        assert_eq!(levels.len(), stages);
+        for (level, gates) in levels.iter().enumerate() {
+            assert_eq!(gates.len(), 1);
+            assert_eq!(chain.gate(gates[0]).name, format!("u{level}"));
+        }
+    }
+
+    #[test]
+    fn effective_load_sums_pins_extra_and_output_load() {
+        let netlist = NetlistBuilder::new("loads")
+            .primary_input("a")
+            .gate("u0", CellKind::Inverter, &["a"], "mid")
+            .gate("u1", CellKind::Inverter, &["mid"], "o1")
+            .gate("u2", CellKind::Nor2, &["mid", "o1"], "o2")
+            .net_load("mid", 3e-15)
+            .primary_output("o2")
+            .build()
+            .unwrap();
+        let library = ModelLibrary::characterize(
+            &Technology::cmos_130nm(),
+            &[CellKind::Inverter, CellKind::Nor2],
+            &CharacterizationConfig::coarse(),
+        )
+        .unwrap();
+        let cache = DelayCache::new();
+        let mid = netlist.find_net("mid").unwrap();
+        let c_inv = library
+            .input_pin_capacitance(CellKind::Inverter, 0)
+            .unwrap();
+        let c_nor = library.input_pin_capacitance(CellKind::Nor2, 0).unwrap();
+        let load = effective_load(&netlist, &library, &cache, mid, 0.0).unwrap();
+        assert!((load - (c_inv + c_nor + 3e-15)).abs() < 1e-21);
+        // Primary outputs add the external load on top of explicit loads.
+        let o2 = netlist.find_net("o2").unwrap();
+        let load = effective_load(&netlist, &library, &cache, o2, 5e-15).unwrap();
+        assert!((load - 5e-15).abs() < 1e-21);
+        // Uncharacterized fanout kinds are reported.
+        let tree = balanced_tree(1, CellKind::Nand2);
+        let empty = ModelLibrary::new(1.2);
+        let in0 = tree.find_net("in0").unwrap();
+        assert!(effective_load(&tree, &empty, &cache, in0, 0.0).is_err());
+    }
+}

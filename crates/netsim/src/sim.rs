@@ -1,0 +1,580 @@
+//! The event-driven netlist transient simulator.
+//!
+//! [`simulate_netlist`] chains per-gate current-source-model solves along a
+//! [`Netlist`]: each driver's computed output waveform becomes the drive of
+//! its fanout gates (as a shared [`DriveWaveform::Pwl`], so fan-out never
+//! copies samples), which is what carries true multiple-input-switching
+//! alignment to the MIS/MCSM models at netlist scope — instead of the per-arc
+//! delay approximation a conventional timing flow would make.
+//!
+//! The simulator is *event-driven* at gate granularity: a gate whose inputs
+//! all stay within [`NetsimOptions::event_threshold`] of a rail for the whole
+//! window is never handed to the numerical engine — its output is the DC
+//! level implied by its Boolean function, and that quiescence propagates.
+//! On circuits with sparse input activity most gates are skipped entirely,
+//! which is where the netlist simulator's throughput advantage over
+//! propagate-everything timing comes from. Gates that *do* see an event are
+//! solved level-parallel over [`mcsm_num::par`] with the same determinism
+//! contract as the STA layer: results are bit-identical at every thread
+//! count.
+
+use crate::error::NetsimError;
+use crate::schedule::{effective_load, topological_levels};
+use mcsm_core::sim::DriveWaveform;
+use mcsm_net::{NetRef, Netlist};
+use mcsm_num::par;
+use mcsm_spice::waveform::Waveform;
+use mcsm_sta::delaycalc::{DelayCache, DelayCalculator};
+use mcsm_sta::models::ModelLibrary;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default [`NetsimOptions::event_threshold`] (volts): excursions below 50 mV
+/// — deep noise-margin territory for any CMOS rail — are treated as
+/// quiescent.
+pub const DEFAULT_EVENT_THRESHOLD: f64 = 0.05;
+
+/// Options for one netlist transient simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetsimOptions {
+    /// Per-gate solve: model backend, time stepping and supply voltage. The
+    /// simulation window is the calculator's `sim.t_stop`, shared by every
+    /// gate so waveform handoff needs no re-gridding.
+    pub calculator: DelayCalculator,
+    /// Additional lumped load on every primary output (farads).
+    pub primary_output_load: f64,
+    /// Worker threads for the per-level parallel gate solves (`0` = auto from
+    /// `MCSM_THREADS` / the machine, `1` = sequential). Results are
+    /// bit-identical for every value.
+    pub threads: usize,
+    /// Smallest voltage excursion (volts) that counts as an event. Drives and
+    /// computed outputs whose total excursion over the window stays below
+    /// this are treated as DC, and gates fed only by such nets are skipped.
+    pub event_threshold: f64,
+}
+
+impl NetsimOptions {
+    /// Creates sequential options with the default event threshold.
+    pub fn new(calculator: DelayCalculator, primary_output_load: f64) -> Self {
+        NetsimOptions {
+            calculator,
+            primary_output_load,
+            threads: 1,
+            event_threshold: DEFAULT_EVENT_THRESHOLD,
+        }
+    }
+
+    /// Sets the worker-thread count for level-parallel gate solves.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the event threshold (volts).
+    #[must_use]
+    pub fn with_event_threshold(mut self, volts: f64) -> Self {
+        self.event_threshold = volts;
+        self
+    }
+}
+
+/// Activity counters of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetsimStats {
+    /// Gates handed to the numerical engine (at least one active input).
+    pub gates_simulated: usize,
+    /// Gates resolved to a DC level without touching the engine.
+    pub gates_skipped: usize,
+    /// Nets (primary inputs included) whose waveform excursion exceeded the
+    /// event threshold.
+    pub events: usize,
+    /// Delay-cache lookups answered from the memoized per-(cell, backend,
+    /// load-bucket) cache.
+    pub cache_hits: usize,
+    /// Delay-cache lookups that had to compute their value.
+    pub cache_misses: usize,
+}
+
+/// The result of a netlist transient simulation: one voltage waveform per
+/// net — primary inputs sampled from their drives, gate outputs either solved
+/// by the engine or resolved to their DC level.
+#[derive(Debug, Clone)]
+pub struct NetsimResult {
+    waveforms: Vec<Waveform>,
+    net_names: Vec<String>,
+    vdd: f64,
+    stats: NetsimStats,
+}
+
+impl NetsimResult {
+    /// The waveform on a net. Every net of the simulated netlist has one.
+    pub fn waveform(&self, net: NetRef) -> &Waveform {
+        &self.waveforms[net.index()]
+    }
+
+    /// Name of a net (mirrors the simulated netlist, so results stay
+    /// printable without holding onto the netlist).
+    pub fn net_name(&self, net: NetRef) -> &str {
+        &self.net_names[net.index()]
+    }
+
+    /// Number of nets (and waveforms).
+    pub fn net_count(&self) -> usize {
+        self.waveforms.len()
+    }
+
+    /// Supply voltage the arrival/slew thresholds are relative to.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Activity counters of the run.
+    pub fn stats(&self) -> NetsimStats {
+        self.stats
+    }
+
+    /// The 50 % crossing time of the waveform on a net, for the given
+    /// direction.
+    pub fn arrival_time(&self, net: NetRef, rising: bool) -> Option<f64> {
+        self.waveform(net).crossing(0.5 * self.vdd, rising)
+    }
+
+    /// The earliest 50 % crossing in either direction, with the direction
+    /// that produced it — the symmetric counterpart of
+    /// `mcsm_sta::arrival::TimingResult::arrival_any`, sharing its tie-break
+    /// through [`mcsm_spice::waveform::earliest_crossing`] so netsim and STA
+    /// arrivals compare without guessing edge polarities.
+    pub fn arrival_any(&self, net: NetRef) -> Option<(f64, bool)> {
+        mcsm_spice::waveform::earliest_crossing(
+            self.arrival_time(net, true),
+            self.arrival_time(net, false),
+        )
+    }
+
+    /// The 10 %–90 % transition time of the waveform on a net.
+    pub fn slew(&self, net: NetRef, rising: bool) -> Option<f64> {
+        self.waveform(net).transition_time(self.vdd, rising)
+    }
+}
+
+/// The voltage span `[min, max]` a drive covers over `[0, t_stop]`.
+///
+/// Analytic drives are evaluated at their slope breakpoints (plus the window
+/// ends) — exact for every `SourceWaveform` shape, which is piecewise linear
+/// between breakpoints. Sampled/PWL drives take their in-window samples plus
+/// the interpolated window ends.
+fn drive_span(drive: &DriveWaveform, t_stop: f64) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut take = |v: f64| {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    };
+    match drive {
+        DriveWaveform::Analytic(src) => {
+            take(src.eval(0.0));
+            take(src.eval(t_stop));
+            for b in src.breakpoints() {
+                if b > 0.0 && b < t_stop {
+                    take(src.eval(b));
+                }
+            }
+        }
+        DriveWaveform::Sampled(w) => span_of_waveform(w, t_stop, &mut take),
+        DriveWaveform::Pwl(w) => span_of_waveform(w, t_stop, &mut take),
+    }
+    (lo, hi)
+}
+
+fn span_of_waveform(w: &Waveform, t_stop: f64, take: &mut impl FnMut(f64)) {
+    take(w.value_at(0.0));
+    take(w.value_at(t_stop));
+    for (&t, &v) in w.times().iter().zip(w.values()) {
+        if t > 0.0 && t < t_stop {
+            take(v);
+        }
+    }
+}
+
+/// Samples a drive into a full [`Waveform`] over `[0, t_stop]`, for reporting
+/// primary-input nets. Analytic drives keep their exact breakpoint structure;
+/// sampled drives pass through unchanged.
+fn drive_to_waveform(drive: &DriveWaveform, t_stop: f64) -> Result<Waveform, NetsimError> {
+    match drive {
+        DriveWaveform::Analytic(src) => {
+            let mut times = vec![0.0];
+            let mut breaks = src.breakpoints();
+            breaks.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+            for b in breaks {
+                if b > 0.0 && b < t_stop && times.last() != Some(&b) {
+                    times.push(b);
+                }
+            }
+            if times.last() != Some(&t_stop) {
+                times.push(t_stop);
+            }
+            let values = times.iter().map(|&t| src.eval(t)).collect();
+            Ok(Waveform::new(times, values)?)
+        }
+        DriveWaveform::Sampled(w) => Ok(w.clone()),
+        DriveWaveform::Pwl(w) => Ok((**w).clone()),
+    }
+}
+
+/// One gate's inputs gathered for a worker thread.
+struct GateSolve<'a> {
+    store: &'a mcsm_core::store::ModelStore,
+    kind: mcsm_cells::cell::CellKind,
+    inputs: Vec<DriveWaveform>,
+    load: f64,
+    output: NetRef,
+}
+
+/// Simulates a whole netlist: every primary input driven by
+/// `input_drives[net]`, every other net's waveform computed by chaining
+/// per-gate model solves through the level schedule.
+///
+/// The model family each gate runs is the calculator's backend exactly as in
+/// the STA layer (including the §3.4 selective policy and the documented
+/// fallback chains); loads come from [`effective_load`]. Gates whose inputs
+/// are all quiescent are resolved to DC without entering the engine — see the
+/// module docs for the event model.
+///
+/// # Errors
+///
+/// * [`NetsimError::MissingDrive`] — a primary input has no drive;
+/// * [`NetsimError::DrivenInternalNet`] — a drive targets a non-input net;
+/// * [`NetsimError::Sta`] — model resolution or per-gate evaluation failed.
+pub fn simulate_netlist(
+    netlist: &Netlist,
+    library: &ModelLibrary,
+    input_drives: &HashMap<NetRef, DriveWaveform>,
+    options: &NetsimOptions,
+) -> Result<NetsimResult, NetsimError> {
+    for &pi in netlist.primary_inputs() {
+        if !input_drives.contains_key(&pi) {
+            return Err(NetsimError::MissingDrive(netlist.net_name(pi).to_string()));
+        }
+    }
+    for &net in input_drives.keys() {
+        if !netlist.is_primary_input(net) {
+            return Err(NetsimError::DrivenInternalNet(
+                netlist.net_name(net).to_string(),
+            ));
+        }
+    }
+    if !(options.event_threshold >= 0.0) || !options.event_threshold.is_finite() {
+        return Err(NetsimError::InvalidParameter(format!(
+            "event threshold must be finite and non-negative, got {}",
+            options.event_threshold
+        )));
+    }
+
+    let t_stop = options.calculator.sim.t_stop;
+    let vdd = options.calculator.vdd;
+    let cache = DelayCache::new();
+    let mut stats = NetsimStats::default();
+
+    // Per-net handoff state, committed level by level.
+    let mut drives: Vec<Option<DriveWaveform>> = vec![None; netlist.net_count()];
+    let mut active: Vec<bool> = vec![false; netlist.net_count()];
+    let mut waveforms: Vec<Option<Waveform>> = vec![None; netlist.net_count()];
+
+    for (&net, drive) in input_drives {
+        let (lo, hi) = drive_span(drive, t_stop);
+        active[net.index()] = hi - lo >= options.event_threshold;
+        waveforms[net.index()] = Some(drive_to_waveform(drive, t_stop)?);
+        // Re-wrap sampled drives as shared PWL so fanning one primary input
+        // into many gates clones an `Arc`, not the sample vectors (evaluation
+        // is bit-identical — both interpolate through `Waveform::value_at`).
+        drives[net.index()] = Some(match drive {
+            DriveWaveform::Sampled(w) => DriveWaveform::from_waveform(w.clone()),
+            other => other.clone(),
+        });
+    }
+
+    for level in topological_levels(netlist) {
+        // Gather phase (sequential, cheap): split the level into gates that
+        // saw an event and gates that stayed quiescent.
+        let mut solves = Vec::new();
+        for gate_ref in level {
+            let gate = netlist.gate(gate_ref);
+            let drive_of = |net: &NetRef| -> &DriveWaveform {
+                drives[net.index()]
+                    .as_ref()
+                    .expect("level order guarantees committed inputs")
+            };
+
+            if gate.inputs.iter().any(|net| active[net.index()]) {
+                // Cloning the drives is cheap by construction: handoff drives
+                // are `Pwl` (Arc'd samples) and quiescent nets are DC.
+                let inputs: Vec<DriveWaveform> = gate
+                    .inputs
+                    .iter()
+                    .map(|net| drive_of(net).clone())
+                    .collect();
+                let load = effective_load(
+                    netlist,
+                    library,
+                    &cache,
+                    gate.output,
+                    options.primary_output_load,
+                )?;
+                solves.push(GateSolve {
+                    store: library.store(gate.kind)?,
+                    kind: gate.kind,
+                    inputs,
+                    load,
+                    output: gate.output,
+                });
+                stats.gates_simulated += 1;
+                continue;
+            }
+
+            // Quiescent gate: its output is the DC level of its Boolean
+            // function at the input logic values — no engine run, and no
+            // waveform clones either (only initial values are read).
+            let logic: Vec<bool> = gate
+                .inputs
+                .iter()
+                .map(|net| drive_of(net).initial_value() > 0.5 * vdd)
+                .collect();
+            let level_v = if gate.kind.evaluate(&logic) { vdd } else { 0.0 };
+            let out = gate.output.index();
+            waveforms[out] = Some(Waveform::new(vec![0.0, t_stop], vec![level_v, level_v])?);
+            drives[out] = Some(DriveWaveform::dc(level_v));
+            stats.gates_skipped += 1;
+        }
+
+        // Solve phase: every eventful gate of the level in parallel.
+        let outputs = par::par_map(options.threads, &solves, |_, solve| {
+            options.calculator.gate_output_cached(
+                solve.store,
+                solve.kind,
+                &solve.inputs,
+                solve.load,
+                Some(&cache),
+            )
+        });
+
+        // Commit phase (sequential, in level order, so the first error
+        // matches what a sequential sweep would report).
+        for (solve, waveform) in solves.iter().zip(outputs) {
+            let waveform = Arc::new(waveform?);
+            let (lo, hi) = (waveform.min_value(), waveform.max_value());
+            let out = solve.output.index();
+            if hi - lo >= options.event_threshold {
+                active[out] = true;
+                drives[out] = Some(DriveWaveform::Pwl(Arc::clone(&waveform)));
+            } else {
+                // The output barely moved: hand fanouts its settled DC level
+                // so quiescence keeps propagating, but keep the solved
+                // waveform for reporting.
+                drives[out] = Some(DriveWaveform::dc(waveform.final_value()));
+            }
+            waveforms[out] = Some((*waveform).clone());
+        }
+    }
+
+    stats.events = active.iter().filter(|&&a| a).count();
+    stats.cache_hits = cache.hits();
+    stats.cache_misses = cache.misses();
+
+    // Netlist validation guarantees every net is a primary input or a gate
+    // output, so the schedule reaches all of them.
+    let waveforms = netlist
+        .net_refs()
+        .zip(waveforms)
+        .map(|(net, w)| {
+            w.ok_or_else(|| {
+                NetsimError::InvalidParameter(format!(
+                    "net `{}` was never reached by the schedule",
+                    netlist.net_name(net)
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(NetsimResult {
+        waveforms,
+        net_names: netlist
+            .net_refs()
+            .map(|n| netlist.net_name(n).to_string())
+            .collect(),
+        vdd,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsm_cells::cell::CellKind;
+    use mcsm_cells::tech::Technology;
+    use mcsm_core::config::CharacterizationConfig;
+    use mcsm_core::sim::CsmSimOptions;
+    use mcsm_net::{nand_chain, NetlistBuilder};
+    use mcsm_sta::delaycalc::DelayBackend;
+
+    fn library() -> ModelLibrary {
+        ModelLibrary::characterize(
+            &Technology::cmos_130nm(),
+            &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+            &CharacterizationConfig::coarse(),
+        )
+        .unwrap()
+    }
+
+    fn options(vdd: f64) -> NetsimOptions {
+        NetsimOptions::new(
+            DelayCalculator::new(
+                DelayBackend::CompleteMcsm,
+                CsmSimOptions::new(4e-9, 2e-12),
+                vdd,
+            ),
+            2e-15,
+        )
+    }
+
+    #[test]
+    fn drive_span_is_exact_for_analytic_and_sampled_shapes() {
+        let ramp = DriveWaveform::rising_ramp(1.2, 1e-9, 100e-12);
+        let (lo, hi) = drive_span(&ramp, 4e-9);
+        assert_eq!((lo, hi), (0.0, 1.2));
+        // A ramp that starts after the window never registers as an event.
+        let late = DriveWaveform::rising_ramp(1.2, 9e-9, 100e-12);
+        let (lo, hi) = drive_span(&late, 4e-9);
+        assert_eq!((lo, hi), (0.0, 0.0));
+        let dc = DriveWaveform::dc(0.7);
+        assert_eq!(drive_span(&dc, 4e-9), (0.7, 0.7));
+        // A pulse's peak is a breakpoint, so a mid-window pulse is caught
+        // even though its endpoints sit at the base level.
+        let pulse = DriveWaveform::Analytic(mcsm_spice::source::SourceWaveform::Pulse {
+            base: 0.0,
+            peak: 1.2,
+            t_delay: 1e-9,
+            t_rise: 50e-12,
+            t_width: 100e-12,
+            t_fall: 50e-12,
+        });
+        let (lo, hi) = drive_span(&pulse, 4e-9);
+        assert_eq!((lo, hi), (0.0, 1.2));
+        let sampled = DriveWaveform::Sampled(
+            Waveform::new(vec![0.0, 1e-9, 2e-9], vec![0.1, 0.9, 0.2]).unwrap(),
+        );
+        let (lo, hi) = drive_span(&sampled, 4e-9);
+        assert_eq!((lo, hi), (0.1, 0.9));
+        // Samples beyond the window do not count.
+        let (lo, hi) = drive_span(&sampled, 0.5e-9);
+        assert!((lo - 0.1).abs() < 1e-12 && (hi - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drive_to_waveform_keeps_breakpoints_and_passthrough() {
+        let ramp = DriveWaveform::falling_ramp(1.2, 1e-9, 100e-12);
+        let w = drive_to_waveform(&ramp, 4e-9).unwrap();
+        assert_eq!(w.times(), &[0.0, 1e-9, 1e-9 + 100e-12, 4e-9]);
+        assert_eq!(w.values(), &[1.2, 1.2, 0.0, 0.0]);
+        let dc = drive_to_waveform(&DriveWaveform::dc(0.3), 4e-9).unwrap();
+        assert_eq!(dc.len(), 2);
+        assert_eq!(dc.final_value(), 0.3);
+        let inner = Waveform::new(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        let via_pwl =
+            drive_to_waveform(&DriveWaveform::from_waveform(inner.clone()), 4e-9).unwrap();
+        assert_eq!(&via_pwl, &inner);
+    }
+
+    #[test]
+    fn quiescent_inputs_skip_every_gate() {
+        let netlist = nand_chain(4);
+        let library = library();
+        let vdd = library.vdd();
+        let mut drives = HashMap::new();
+        for &pi in netlist.primary_inputs() {
+            drives.insert(pi, DriveWaveform::dc(vdd));
+        }
+        let result = simulate_netlist(&netlist, &library, &drives, &options(vdd)).unwrap();
+        let stats = result.stats();
+        assert_eq!(stats.gates_simulated, 0);
+        assert_eq!(stats.gates_skipped, 4);
+        assert_eq!(stats.events, 0);
+        // All-ones inputs: NAND chain alternates 0, 1, 0, 1 down the chain.
+        let out = netlist.find_net("out").unwrap();
+        assert_eq!(result.waveform(out).final_value(), vdd);
+        let n0 = netlist.find_net("n0").unwrap();
+        assert_eq!(result.waveform(n0).final_value(), 0.0);
+        // No net ever crosses mid-rail.
+        assert_eq!(result.arrival_any(out), None);
+    }
+
+    #[test]
+    fn events_propagate_only_through_the_active_cone() {
+        // Two independent inverter chains; only one input switches.
+        let netlist = NetlistBuilder::new("two_chains")
+            .primary_input("a")
+            .primary_input("b")
+            .gate("ua0", CellKind::Inverter, &["a"], "a0")
+            .gate("ua1", CellKind::Inverter, &["a0"], "aout")
+            .gate("ub0", CellKind::Inverter, &["b"], "b0")
+            .gate("ub1", CellKind::Inverter, &["b0"], "bout")
+            .primary_output("aout")
+            .primary_output("bout")
+            .build()
+            .unwrap();
+        let library = library();
+        let vdd = library.vdd();
+        let mut drives = HashMap::new();
+        drives.insert(
+            netlist.find_net("a").unwrap(),
+            DriveWaveform::rising_ramp(vdd, 1e-9, 80e-12),
+        );
+        drives.insert(netlist.find_net("b").unwrap(), DriveWaveform::dc(0.0));
+        let result = simulate_netlist(&netlist, &library, &drives, &options(vdd)).unwrap();
+        let stats = result.stats();
+        assert_eq!(stats.gates_simulated, 2, "only the switching cone runs");
+        assert_eq!(stats.gates_skipped, 2);
+        // a, a0, aout saw events; b, b0, bout stayed quiet.
+        assert_eq!(stats.events, 3);
+        let aout = netlist.find_net("aout").unwrap();
+        let (t, rising) = result.arrival_any(aout).unwrap();
+        assert!(rising && t > 1e-9, "t = {t}");
+        assert!(result.slew(aout, true).unwrap() > 0.0);
+        // Double inversion of the quiet 0 V input settles back at 0 V.
+        let bout = netlist.find_net("bout").unwrap();
+        assert_eq!(result.waveform(bout).final_value(), 0.0);
+        assert_eq!(result.net_name(bout), "bout");
+        assert_eq!(result.net_count(), netlist.net_count());
+    }
+
+    #[test]
+    fn missing_and_misplaced_drives_are_rejected() {
+        let netlist = nand_chain(2);
+        let library = library();
+        let vdd = library.vdd();
+        let mut drives = HashMap::new();
+        drives.insert(netlist.find_net("in").unwrap(), DriveWaveform::dc(vdd));
+        assert!(matches!(
+            simulate_netlist(&netlist, &library, &drives, &options(vdd)),
+            Err(NetsimError::MissingDrive(_))
+        ));
+        for &pi in netlist.primary_inputs() {
+            drives.insert(pi, DriveWaveform::dc(vdd));
+        }
+        drives.insert(netlist.find_net("out").unwrap(), DriveWaveform::dc(0.0));
+        assert!(matches!(
+            simulate_netlist(&netlist, &library, &drives, &options(vdd)),
+            Err(NetsimError::DrivenInternalNet(ref net)) if net == "out"
+        ));
+        drives.remove(&netlist.find_net("out").unwrap());
+        assert!(matches!(
+            simulate_netlist(
+                &netlist,
+                &library,
+                &drives,
+                &options(vdd).with_event_threshold(f64::NAN),
+            ),
+            Err(NetsimError::InvalidParameter(_))
+        ));
+    }
+}

@@ -125,6 +125,60 @@ impl Waveform {
             .expect("waveform invariants guarantee matching lengths")
     }
 
+    /// The sorted union of this waveform's time grid with another's: every
+    /// sample time of either waveform appears exactly once, strictly
+    /// increasing. Resampling two waveforms onto their merged grid loses no
+    /// information from either — the alignment step of a waveform handoff
+    /// (e.g. comparing a driver's output against a reference computed on a
+    /// different grid).
+    pub fn merge_time_grids(&self, other: &Waveform) -> Vec<f64> {
+        let (a, b) = (self.times(), other.times());
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&ta), Some(&tb)) if ta < tb => {
+                    i += 1;
+                    ta
+                }
+                (Some(&ta), Some(&tb)) if tb < ta => {
+                    j += 1;
+                    tb
+                }
+                (Some(&ta), Some(_)) => {
+                    i += 1;
+                    j += 1;
+                    ta
+                }
+                (Some(&ta), None) => {
+                    i += 1;
+                    ta
+                }
+                (None, Some(&tb)) => {
+                    j += 1;
+                    tb
+                }
+                (None, None) => unreachable!("loop condition guarantees one side"),
+            };
+            if merged.last() != Some(&next) {
+                merged.push(next);
+            }
+        }
+        merged
+    }
+
+    /// The same waveform with every sample time shifted by `offset` seconds
+    /// (positive delays the waveform, negative advances it). Values are
+    /// untouched, so shape measurements (slews, excursions) are invariant and
+    /// crossings move by exactly `offset` — the re-timing step of a waveform
+    /// handoff.
+    pub fn shifted(&self, offset: f64) -> Waveform {
+        Waveform {
+            times: Arc::new(self.times.iter().map(|&t| t + offset).collect()),
+            values: self.values.clone(),
+        }
+    }
+
     /// Minimum sample value.
     pub fn min_value(&self) -> f64 {
         self.values.iter().cloned().fold(f64::INFINITY, f64::min)
@@ -168,6 +222,23 @@ impl Waveform {
         let mine = self.resample_onto(reference.times())?;
         stats::normalized_rmse(reference.values(), mine.values(), scale)
             .map_err(SpiceError::Numerical)
+    }
+}
+
+/// Combines per-direction crossing times into "earliest crossing, with the
+/// direction that produced it" (`true` = rising). Ties go to the rising edge.
+///
+/// This is the comparison form shared by the timing layer and the netlist
+/// simulator: both report arrivals per net without the caller having to guess
+/// edge polarities, and both must break ties identically for their results to
+/// be comparable.
+pub fn earliest_crossing(rising: Option<f64>, falling: Option<f64>) -> Option<(f64, bool)> {
+    match (rising, falling) {
+        (Some(r), Some(f)) if r <= f => Some((r, true)),
+        (Some(_), Some(f)) => Some((f, false)),
+        (Some(r), None) => Some((r, true)),
+        (None, Some(f)) => Some((f, false)),
+        (None, None) => None,
     }
 }
 
@@ -317,6 +388,17 @@ mod tests {
     }
 
     #[test]
+    fn earliest_crossing_picks_the_first_edge() {
+        assert_eq!(earliest_crossing(Some(1.0), Some(2.0)), Some((1.0, true)));
+        assert_eq!(earliest_crossing(Some(2.0), Some(1.0)), Some((1.0, false)));
+        // Ties go to the rising edge; single-direction crossings pass through.
+        assert_eq!(earliest_crossing(Some(1.0), Some(1.0)), Some((1.0, true)));
+        assert_eq!(earliest_crossing(Some(3.0), None), Some((3.0, true)));
+        assert_eq!(earliest_crossing(None, Some(3.0)), Some((3.0, false)));
+        assert_eq!(earliest_crossing(None, None), None);
+    }
+
+    #[test]
     fn propagation_delay_between_edges() {
         let input = ramp_waveform();
         // Output falls from 1.2 to 0 between 1.8 ns and 2.2 ns.
@@ -348,6 +430,62 @@ mod tests {
         let r = w.resample_onto(&dense).unwrap();
         assert_eq!(r.len(), 301);
         assert!((r.value_at(1.5e-9) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_time_grids_are_the_strictly_increasing_union() {
+        let a = Waveform::new(vec![0.0, 1.0, 2.0, 4.0], vec![0.0; 4]).unwrap();
+        let b = Waveform::new(vec![0.5, 1.0, 3.0, 5.0], vec![1.0; 4]).unwrap();
+        let merged = a.merge_time_grids(&b);
+        assert_eq!(merged, vec![0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Symmetric, and self-merge is the identity.
+        assert_eq!(merged, b.merge_time_grids(&a));
+        assert_eq!(a.merge_time_grids(&a), a.times().to_vec());
+        // Resampling both onto the merged grid keeps every original sample.
+        let ra = a.resample_onto(&merged).unwrap();
+        for (i, &t) in a.times().iter().enumerate() {
+            assert_eq!(ra.value_at(t), a.values()[i]);
+        }
+    }
+
+    #[test]
+    fn shifted_waveform_moves_crossings_by_the_offset() {
+        let w = ramp_waveform();
+        let delayed = w.shifted(0.5e-9);
+        assert_eq!(delayed.values(), w.values());
+        let t0 = w.crossing(0.6, true).unwrap();
+        let t1 = delayed.crossing(0.6, true).unwrap();
+        assert!((t1 - t0 - 0.5e-9).abs() < 1e-12);
+        // Negative offsets advance; shape metrics are invariant.
+        let advanced = w.shifted(-0.25e-9);
+        assert!((advanced.t_start() + 0.25e-9).abs() < 1e-15);
+        let tt_advanced = advanced.transition_time(1.2, true).unwrap();
+        let tt_original = w.transition_time(1.2, true).unwrap();
+        assert!((tt_advanced - tt_original).abs() < 1e-18);
+    }
+
+    #[test]
+    fn resample_onto_clamps_outside_the_time_range() {
+        let w = ramp_waveform();
+        // Points entirely before and after the sampled range take the edge
+        // values (the documented clamping), not an error or extrapolation.
+        let r = w.resample_onto(&[-1e-9, -0.5e-9, 5e-9, 6e-9]).unwrap();
+        assert_eq!(r.values(), &[0.0, 0.0, 1.2, 1.2]);
+        // A non-increasing target grid is rejected.
+        assert!(w.resample_onto(&[1e-9, 1e-9]).is_err());
+    }
+
+    #[test]
+    fn crossing_on_flat_waveforms_is_none() {
+        let flat = Waveform::new(vec![0.0, 1e-9, 2e-9], vec![0.6, 0.6, 0.6]).unwrap();
+        // A flat signal sitting exactly at the level never *crosses* it.
+        assert_eq!(flat.crossing(0.6, true), None);
+        assert_eq!(flat.crossing(0.6, false), None);
+        assert_eq!(flat.transition_time(1.2, true), None);
+        // A level outside the waveform's range is never crossed either.
+        let w = ramp_waveform();
+        assert_eq!(w.crossing(1.5, true), None);
+        assert_eq!(w.crossing(-0.1, false), None);
     }
 
     #[test]

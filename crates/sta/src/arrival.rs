@@ -87,6 +87,22 @@ impl TimingResult {
         Ok(self.waveform(net)?.transition_time(self.vdd, rising))
     }
 
+    /// The earliest 50 % crossing in either direction, with the direction
+    /// that produced it — the comparison form used when checking these
+    /// arrivals against an independent netlist-level transient simulation,
+    /// where edge polarities need not be guessed per net (tie-break shared
+    /// with the simulator via [`mcsm_spice::waveform::earliest_crossing`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidParameter`] if the net has no waveform.
+    pub fn arrival_any(&self, net: NetId) -> Result<Option<(f64, bool)>, StaError> {
+        Ok(mcsm_spice::waveform::earliest_crossing(
+            self.arrival_time(net, true)?,
+            self.arrival_time(net, false)?,
+        ))
+    }
+
     /// All nets that have waveforms.
     pub fn nets(&self) -> impl Iterator<Item = NetId> + '_ {
         self.waveforms.keys().copied()
