@@ -1,0 +1,123 @@
+//! The `server` experiment binary: drives a resident `mcsm-serve` engine
+//! through the JSON-RPC protocol over generated chains, trees and DAGs and
+//! writes `BENCH_server.json`.
+//!
+//! ```text
+//! server [--threads N] [--out PATH] [--min-warm-ratio X]
+//! ```
+//!
+//! * `--threads N` — worker threads of the resident session (default `0` =
+//!   auto from `MCSM_THREADS` / the machine).
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_server.json` in the working directory).
+//! * `--min-warm-ratio X` — CI perf gate: exit non-zero unless the aggregate
+//!   cold-over-warm full-evaluation ratio is at least `X` (warm runs answer
+//!   from the waveform memo; bit-identity failures always exit non-zero).
+//!
+//! `MCSM_BENCH_FAST=1` shrinks sizes and grids for smoke runs.
+
+use mcsm_bench::{run_server_sweep, write_json_report, ServerSweepOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    threads: usize,
+    out: PathBuf,
+    min_warm_ratio: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 0,
+        out: PathBuf::from("BENCH_server.json"),
+        min_warm_ratio: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--min-warm-ratio" => {
+                args.min_warm_ratio = Some(
+                    value("--min-warm-ratio")?
+                        .parse()
+                        .map_err(|e| format!("--min-warm-ratio: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("server: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let options = ServerSweepOptions::for_threads(args.threads);
+    println!(
+        "# server experiment: sizes {:?}, {} threads{}",
+        options.sizes,
+        mcsm_num::par::resolve_threads(args.threads),
+        if mcsm_bench::fast_mode() {
+            " (fast mode)"
+        } else {
+            ""
+        }
+    );
+    let report = match run_server_sweep(&options) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("server: experiment failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("topology | circuit | gates | cold s | warm s | warm ratio | queries/s | identical");
+    for case in &report.cases {
+        println!(
+            "{} | {} | {} | {:.4} | {:.4} | {:.2}x | {:.1} | {}",
+            case.topology,
+            case.circuit,
+            case.gates,
+            case.cold_seconds,
+            case.warm_seconds,
+            case.warm_ratio(),
+            case.queries_per_second(),
+            case.bit_identical,
+        );
+    }
+    println!(
+        "overall warm ratio (cold/warm full evaluations): {:.2}x",
+        report.overall_warm_ratio()
+    );
+
+    if let Err(message) = write_json_report(&args.out, &report.to_json()) {
+        eprintln!("server: {message}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+
+    if !report.all_identical() {
+        eprintln!("server: warm waveforms differ from the cold run");
+        return ExitCode::FAILURE;
+    }
+    if let Some(min) = args.min_warm_ratio {
+        let ratio = report.overall_warm_ratio();
+        if ratio < min {
+            eprintln!("server: warm ratio {ratio:.2}x is below the {min:.2}x gate");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod netlist_sweep;
 pub mod netsim;
 pub mod report;
+pub mod server;
 pub mod sim_hotpath;
 
 pub use batch::*;
@@ -18,4 +19,5 @@ pub use experiments::*;
 pub use netlist_sweep::*;
 pub use netsim::*;
 pub use report::*;
+pub use server::*;
 pub use sim_hotpath::*;

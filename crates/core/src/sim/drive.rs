@@ -65,6 +65,33 @@ impl DriveWaveform {
     pub fn initial_value(&self) -> f64 {
         self.eval(0.0)
     }
+
+    /// Canonical content hash of the drive, the input-waveform component of a
+    /// waveform-memoization key. [`DriveWaveform::Sampled`] and
+    /// [`DriveWaveform::Pwl`] of the same samples hash **equal** — they
+    /// evaluate bit-identically, so a memoized solve may be shared between
+    /// them. Analytic drives hash by shape + exact parameter bits; an
+    /// analytic ramp and its sampled rendering hash differently (a harmless
+    /// cache miss — hash equality must imply bit-identical evaluation, not
+    /// the converse).
+    pub fn canonical_hash(&self) -> u64 {
+        let mut hasher = mcsm_num::hash::ByteHasher::new();
+        match self {
+            DriveWaveform::Analytic(src) => {
+                hasher.write_u8(0);
+                hasher.write_u64(src.canonical_hash());
+            }
+            DriveWaveform::Sampled(w) => {
+                hasher.write_u8(1);
+                hasher.write_u64(w.canonical_hash());
+            }
+            DriveWaveform::Pwl(w) => {
+                hasher.write_u8(1);
+                hasher.write_u64(w.canonical_hash());
+            }
+        }
+        hasher.finish()
+    }
 }
 
 impl From<SourceWaveform> for DriveWaveform {
@@ -112,6 +139,28 @@ mod tests {
         let wf = Waveform::new(vec![0.0, 1.0], vec![0.0, 2.0]).unwrap();
         let from_wave: DriveWaveform = wf.into();
         assert_eq!(from_wave.eval(0.5), 1.0);
+    }
+
+    #[test]
+    fn canonical_hash_tracks_evaluation_identity() {
+        let wf = Waveform::new(vec![0.0, 1e-9, 2e-9], vec![0.0, 1.2, 0.6]).unwrap();
+        let sampled = DriveWaveform::Sampled(wf.clone());
+        let pwl = DriveWaveform::from_waveform(wf.clone());
+        // Sampled and Pwl of the same samples evaluate bit-identically, so
+        // they must share a memoization key.
+        assert_eq!(sampled.canonical_hash(), pwl.canonical_hash());
+        // Different samples, different analytic shapes, and analytic-vs-PWL
+        // all get distinct keys.
+        let other = DriveWaveform::Sampled(Waveform::new(vec![0.0, 1e-9], vec![0.0, 1.2]).unwrap());
+        assert_ne!(sampled.canonical_hash(), other.canonical_hash());
+        let rise = DriveWaveform::rising_ramp(1.2, 1e-9, 80e-12);
+        let fall = DriveWaveform::falling_ramp(1.2, 1e-9, 80e-12);
+        assert_ne!(rise.canonical_hash(), fall.canonical_hash());
+        assert_eq!(
+            rise.canonical_hash(),
+            DriveWaveform::rising_ramp(1.2, 1e-9, 80e-12).canonical_hash()
+        );
+        assert_ne!(rise.canonical_hash(), pwl.canonical_hash());
     }
 
     #[test]

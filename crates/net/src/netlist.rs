@@ -56,11 +56,14 @@ pub struct GateInst {
 
 /// A validated, backend-neutral gate-level circuit.
 ///
-/// Instances are immutable: the only way to obtain one is
+/// Structure is immutable: the only way to obtain an instance is
 /// [`NetlistBuilder::build`] (or JSON deserialization, which goes through the
 /// same validation), so every `Netlist` is structurally sound — each net has
 /// exactly one driver or is a primary input, every net is consumed or is a
-/// primary output, and the gates form a DAG.
+/// primary output, and the gates form a DAG. The only in-place mutations are
+/// the connectivity-preserving ECO edits [`Netlist::retype_gate`] and
+/// [`Netlist::set_net_load`], which re-run the relevant `build()`-time checks
+/// before touching anything.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Netlist {
     name: String,
@@ -175,6 +178,63 @@ impl Netlist {
     /// The `(gate, pin)` pairs consuming a net, in gate insertion order.
     pub fn fanout_of(&self, net: NetRef) -> &[(GateRef, usize)] {
         &self.fanouts[net.0]
+    }
+
+    /// ECO edit: swaps a gate's cell kind in place, keeping its connectivity.
+    ///
+    /// This is a *validated* edit — the new cell must accept exactly the pins
+    /// the instance already has, the same check [`NetlistBuilder::build`]
+    /// performs, so the netlist invariants survive without a full rebuild.
+    /// Connectivity (drivers, fanouts, topological order) is untouched by
+    /// construction, since only the cell kind changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] for an out-of-range reference and
+    /// [`NetlistError::PinCountMismatch`] when the new kind's pin count does
+    /// not match the instance's existing input nets. On error the netlist is
+    /// unchanged.
+    pub fn retype_gate(&mut self, gate: GateRef, kind: CellKind) -> Result<(), NetlistError> {
+        let inst = self
+            .gates
+            .get(gate.0)
+            .ok_or_else(|| NetlistError::UnknownGate(format!("#{}", gate.0)))?;
+        if inst.inputs.len() != kind.input_count() {
+            return Err(NetlistError::PinCountMismatch {
+                gate: inst.name.clone(),
+                cell: kind.name().to_string(),
+                expected: kind.input_count(),
+                got: inst.inputs.len(),
+            });
+        }
+        self.gates[gate.0].kind = kind;
+        Ok(())
+    }
+
+    /// ECO edit: sets the explicit extra lumped load on a net (farads).
+    ///
+    /// Re-runs the [`NetlistBuilder::build`] load check (finite, non-negative)
+    /// before mutating. Connectivity is untouched; only downstream
+    /// capacitance-dependent results change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] for an out-of-range reference and
+    /// [`NetlistError::InvalidLoad`] for a negative or non-finite value. On
+    /// error the netlist is unchanged.
+    pub fn set_net_load(&mut self, net: NetRef, farads: f64) -> Result<(), NetlistError> {
+        let name = self
+            .net_names
+            .get(net.0)
+            .ok_or_else(|| NetlistError::UnknownNet(format!("#{}", net.0)))?;
+        if farads < 0.0 || !farads.is_finite() {
+            return Err(NetlistError::InvalidLoad {
+                net: name.clone(),
+                farads,
+            });
+        }
+        self.net_loads[net.0] = farads;
+        Ok(())
     }
 
     /// Serializes the netlist to a JSON tree.
@@ -640,6 +700,49 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(n.net_load(n.find_net("out").unwrap()), 5e-15);
+    }
+
+    #[test]
+    fn retype_gate_validates_like_build() {
+        let mut n = chain();
+        let u_nor = n.find_gate("u_nor").unwrap();
+        // NOR2 → NAND2 keeps the pin count: connectivity is untouched.
+        n.retype_gate(u_nor, CellKind::Nand2).unwrap();
+        assert_eq!(n.gate(u_nor).kind, CellKind::Nand2);
+        let mid = n.find_net("mid").unwrap();
+        assert_eq!(n.driver_of(mid), Some(u_nor));
+        // NOR2 → INV would orphan a pin; rejected with the build()-time error
+        // and the netlist left unchanged.
+        let err = n.retype_gate(u_nor, CellKind::Inverter).unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::PinCountMismatch { ref gate, expected: 1, got: 2, .. } if gate == "u_nor"
+        ));
+        assert_eq!(n.gate(u_nor).kind, CellKind::Nand2);
+        assert!(matches!(
+            n.retype_gate(GateRef(99), CellKind::Inverter).unwrap_err(),
+            NetlistError::UnknownGate(_)
+        ));
+    }
+
+    #[test]
+    fn set_net_load_validates_like_build() {
+        let mut n = chain();
+        let mid = n.find_net("mid").unwrap();
+        n.set_net_load(mid, 3e-15).unwrap();
+        assert_eq!(n.net_load(mid), 3e-15);
+        for bad in [-1e-15, f64::NAN, f64::INFINITY] {
+            let err = n.set_net_load(mid, bad).unwrap_err();
+            assert!(matches!(
+                err,
+                NetlistError::InvalidLoad { ref net, .. } if net == "mid"
+            ));
+        }
+        assert_eq!(n.net_load(mid), 3e-15);
+        assert!(matches!(
+            n.set_net_load(NetRef(99), 0.0).unwrap_err(),
+            NetlistError::UnknownNet(_)
+        ));
     }
 
     #[test]

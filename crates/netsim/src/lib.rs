@@ -28,6 +28,15 @@
 //!   level fan out over [`mcsm_num::par`] workers; results are bit-identical
 //!   at every thread count, like every parallel layer of this workspace.
 //!
+//! For long-running sessions (the `mcsm-serve` query server) the crate also
+//! provides **incremental re-evaluation**: [`resimulate_netlist`] re-solves
+//! only the downstream [`schedule::cone_of_influence`] of an ECO edit or
+//! drive change, reusing committed waveforms for every untouched net, and
+//! [`simulate_netlist_cached`] threads shared [`SimCaches`] (including the
+//! whole-gate-solve [`WaveformCache`](mcsm_sta::WaveformCache) memo) through
+//! repeated runs. Both are pinned bit-identical to from-scratch
+//! [`simulate_netlist`] at any thread count.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -81,7 +90,11 @@ pub mod schedule;
 pub mod sim;
 
 pub use error::NetsimError;
-pub use schedule::{effective_load, topological_levels};
+pub use schedule::{
+    cone_of_influence, effective_load, seeds_for_drive_change, seeds_for_gate_edit,
+    seeds_for_load_change, topological_levels,
+};
 pub use sim::{
-    simulate_netlist, NetsimOptions, NetsimResult, NetsimStats, DEFAULT_EVENT_THRESHOLD,
+    resimulate_netlist, simulate_netlist, simulate_netlist_cached, NetsimOptions, NetsimResult,
+    NetsimStats, SimCaches, DEFAULT_EVENT_THRESHOLD,
 };

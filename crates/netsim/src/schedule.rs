@@ -64,6 +64,72 @@ pub fn topological_levels(netlist: &Netlist) -> Vec<Vec<GateRef>> {
     levels
 }
 
+/// The downstream cone of influence of a set of seed gates: every gate whose
+/// output can be affected by re-solving the seeds — the seeds themselves plus
+/// the transitive fanout closure of their output nets. Returned sorted by
+/// gate index with no duplicates, so callers get a deterministic work list.
+///
+/// This *structural* cone is a superset of the dynamic activity cone (a
+/// waveform that happens not to change still has its fanouts in the
+/// structural closure), which is exactly what incremental re-evaluation
+/// needs: re-solving the whole structural cone while reusing everything
+/// outside it is bit-identical to a from-scratch run, because every gate
+/// outside the cone provably sees bit-identical inputs and loads.
+pub fn cone_of_influence(netlist: &Netlist, seeds: &[GateRef]) -> Vec<GateRef> {
+    let mut in_cone = vec![false; netlist.gate_count()];
+    let mut frontier: Vec<GateRef> = Vec::new();
+    for &seed in seeds {
+        if !in_cone[seed.index()] {
+            in_cone[seed.index()] = true;
+            frontier.push(seed);
+        }
+    }
+    while let Some(gate) = frontier.pop() {
+        for &(fanout_gate, _pin) in netlist.fanout_of(netlist.gate(gate).output) {
+            if !in_cone[fanout_gate.index()] {
+                in_cone[fanout_gate.index()] = true;
+                frontier.push(fanout_gate);
+            }
+        }
+    }
+    netlist.gate_refs().filter(|g| in_cone[g.index()]).collect()
+}
+
+/// Seed gates invalidated by changing the drive on a primary-input net: the
+/// net's direct fanout gates (their inputs changed; everything further
+/// downstream is picked up by [`cone_of_influence`]).
+pub fn seeds_for_drive_change(netlist: &Netlist, net: NetRef) -> Vec<GateRef> {
+    netlist
+        .fanout_of(net)
+        .iter()
+        .map(|&(gate, _pin)| gate)
+        .collect()
+}
+
+/// Seed gates invalidated by retyping a gate: the gate itself (new model) and
+/// the drivers of its input nets — a new cell presents different input pin
+/// capacitances, so every input-net driver sees a different [`effective_load`]
+/// even though its own input waveforms are unchanged.
+pub fn seeds_for_gate_edit(netlist: &Netlist, gate: GateRef) -> Vec<GateRef> {
+    let mut seeds = vec![gate];
+    for &input in &netlist.gate(gate).inputs {
+        if let Some(driver) = netlist.driver_of(input) {
+            if !seeds.contains(&driver) {
+                seeds.push(driver);
+            }
+        }
+    }
+    seeds
+}
+
+/// Seed gates invalidated by changing a net's explicit extra load: the net's
+/// driver alone (its [`effective_load`] changed; its fanouts follow through
+/// the cone). Changing the load of a primary-input net has no driver to
+/// re-solve and returns no seeds — input drives are ideal sources here.
+pub fn seeds_for_load_change(netlist: &Netlist, net: NetRef) -> Vec<GateRef> {
+    netlist.driver_of(net).into_iter().collect()
+}
+
 /// The lumped load a driver of `net` sees: characterized input capacitance of
 /// every fanout pin (memoized in the shared [`DelayCache`]), plus the
 /// netlist's explicit extra load on the net, plus `primary_output_load` if the
@@ -161,6 +227,44 @@ mod tests {
             assert_eq!(gates.len(), 1);
             assert_eq!(chain.gate(gates[0]).name, format!("u{level}"));
         }
+    }
+
+    #[test]
+    fn cone_of_influence_closes_downstream_on_c17() {
+        let netlist = c17();
+        let gate = |name: &str| netlist.find_gate(name).unwrap();
+        let names = |cone: &[GateRef]| -> Vec<&str> {
+            cone.iter()
+                .map(|&g| netlist.gate(g).name.as_str())
+                .collect()
+        };
+        // g10 feeds g22 only; g22 is a primary-output driver.
+        let cone = cone_of_influence(&netlist, &[gate("g10")]);
+        assert_eq!(names(&cone), ["g10", "g22"]);
+        // g11 fans out to g16 and g19, which cover both outputs.
+        let cone = cone_of_influence(&netlist, &[gate("g11")]);
+        assert_eq!(names(&cone), ["g11", "g16", "g19", "g22", "g23"]);
+        // Seeds merge without duplicates, output stays index-sorted.
+        let cone = cone_of_influence(&netlist, &[gate("g23"), gate("g22"), gate("g23")]);
+        assert_eq!(names(&cone), ["g22", "g23"]);
+        assert!(cone_of_influence(&netlist, &[]).is_empty());
+    }
+
+    #[test]
+    fn eco_seed_helpers_cover_the_invalidated_gates() {
+        let netlist = c17();
+        let gate = |name: &str| netlist.find_gate(name).unwrap();
+        let net = |name: &str| netlist.find_net(name).unwrap();
+        // Drive change on N3: both its fanout gates are seeds.
+        let seeds = seeds_for_drive_change(&netlist, net("N3"));
+        assert_eq!(seeds, [gate("g10"), gate("g11")]);
+        // Retyping g22 reloads the drivers of its input nets N10 and N16.
+        let seeds = seeds_for_gate_edit(&netlist, gate("g22"));
+        assert_eq!(seeds, [gate("g22"), gate("g10"), gate("g16")]);
+        // Load change on an internal/output net seeds its driver only…
+        assert_eq!(seeds_for_load_change(&netlist, net("N22")), [gate("g22")]);
+        // …and on a primary input there is nothing to re-solve.
+        assert!(seeds_for_load_change(&netlist, net("N1")).is_empty());
     }
 
     #[test]

@@ -19,12 +19,12 @@
 //! count.
 
 use crate::error::NetsimError;
-use crate::schedule::{effective_load, topological_levels};
+use crate::schedule::{cone_of_influence, effective_load, topological_levels};
 use mcsm_core::sim::DriveWaveform;
-use mcsm_net::{NetRef, Netlist};
+use mcsm_net::{GateRef, NetRef, Netlist};
 use mcsm_num::par;
 use mcsm_spice::waveform::Waveform;
-use mcsm_sta::delaycalc::{DelayCache, DelayCalculator};
+use mcsm_sta::delaycalc::{DelayCache, DelayCalculator, WaveformCache};
 use mcsm_sta::models::ModelLibrary;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -80,12 +80,22 @@ impl NetsimOptions {
 }
 
 /// Activity counters of one simulation run.
+///
+/// The cache counters are **per-run deltas**: with shared [`SimCaches`] the
+/// underlying caches are cumulative across runs, so each run snapshots the
+/// counters before and after and reports the difference. That delta is only
+/// meaningful when no concurrent run shares the same caches — the query
+/// server guarantees this by serializing runs through its session lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NetsimStats {
     /// Gates handed to the numerical engine (at least one active input).
     pub gates_simulated: usize,
     /// Gates resolved to a DC level without touching the engine.
     pub gates_skipped: usize,
+    /// Gates outside the re-evaluated cone whose committed waveforms were
+    /// reused from the previous result (only [`resimulate_netlist`] sets
+    /// this; full runs touch every gate).
+    pub gates_reused: usize,
     /// Nets (primary inputs included) whose waveform excursion exceeded the
     /// event threshold.
     pub events: usize,
@@ -94,6 +104,28 @@ pub struct NetsimStats {
     pub cache_hits: usize,
     /// Delay-cache lookups that had to compute their value.
     pub cache_misses: usize,
+    /// Gate solves answered whole from the waveform memo cache (zero unless
+    /// [`SimCaches::waveforms`] is supplied).
+    pub waveform_hits: usize,
+    /// Gate solves that ran the numerical engine and were then memoized.
+    pub waveform_misses: usize,
+}
+
+/// Shared caches threaded through a sequence of simulations.
+///
+/// Both caches follow the same scope rule: **one model library per cache**
+/// (see [`DelayCache`] / [`WaveformCache`]). A long-running session that
+/// keeps a netlist resident passes the same `SimCaches` to every run so warm
+/// queries skip re-resolving families, pin capacitances and — with
+/// [`SimCaches::waveforms`] set — entire gate solves.
+#[derive(Debug, Clone, Copy)]
+pub struct SimCaches<'a> {
+    /// Model-family + pin-capacitance memoization.
+    pub delay: &'a DelayCache,
+    /// Whole-gate-solve memoization; `None` disables waveform memoization
+    /// (every eventful gate runs the engine, exactly like
+    /// [`simulate_netlist`]).
+    pub waveforms: Option<&'a WaveformCache>,
 }
 
 /// The result of a netlist transient simulation: one voltage waveform per
@@ -105,6 +137,13 @@ pub struct NetsimResult {
     net_names: Vec<String>,
     vdd: f64,
     stats: NetsimStats,
+    /// Committed per-net handoff drives, kept so [`resimulate_netlist`] can
+    /// hand untouched nets' exact drives (Arc'd PWL or DC, cheap clones) to
+    /// the gates inside a re-evaluated cone.
+    drives: Vec<DriveWaveform>,
+    /// Committed per-net event flags, carried over for nets outside a
+    /// re-evaluated cone.
+    active: Vec<bool>,
 }
 
 impl NetsimResult {
@@ -252,6 +291,99 @@ pub fn simulate_netlist(
     input_drives: &HashMap<NetRef, DriveWaveform>,
     options: &NetsimOptions,
 ) -> Result<NetsimResult, NetsimError> {
+    let cache = DelayCache::new();
+    run_levels(
+        netlist,
+        library,
+        input_drives,
+        options,
+        SimCaches {
+            delay: &cache,
+            waveforms: None,
+        },
+        None,
+    )
+}
+
+/// Like [`simulate_netlist`], but consulting caller-owned [`SimCaches`]
+/// instead of a fresh per-run [`DelayCache`] — the full-run entry point of a
+/// long-running session. With a warm [`WaveformCache`] a repeated run skips
+/// the numerical engine entirely; results are bit-identical to
+/// [`simulate_netlist`] at any thread count and cache temperature (exact-bits
+/// memo keys — see [`WaveformCache`]).
+///
+/// # Errors
+///
+/// Same as [`simulate_netlist`].
+pub fn simulate_netlist_cached(
+    netlist: &Netlist,
+    library: &ModelLibrary,
+    input_drives: &HashMap<NetRef, DriveWaveform>,
+    options: &NetsimOptions,
+    caches: SimCaches<'_>,
+) -> Result<NetsimResult, NetsimError> {
+    run_levels(netlist, library, input_drives, options, caches, None)
+}
+
+/// Incremental re-simulation after an ECO edit or drive change: re-solves
+/// only the downstream [`cone_of_influence`] of `seeds`, reusing the
+/// committed waveforms of `previous` for every net outside the cone.
+///
+/// `seeds` must cover every gate whose inputs, model or effective load
+/// changed since `previous` was computed — the `seeds_for_*` helpers in
+/// [`crate::schedule`] produce the right seeds for drive changes, gate
+/// retypes and net-load edits. Downstream closure is taken here, so callers
+/// pass only the directly-invalidated gates.
+///
+/// The structural cone is a superset of the dynamic activity cone, so the
+/// result is **bit-identical** to a from-scratch [`simulate_netlist_cached`]
+/// run of the edited netlist: every reused net provably sees bit-identical
+/// inputs and loads. `stats.gates_reused` counts the gates that were not
+/// re-solved.
+///
+/// # Errors
+///
+/// Same as [`simulate_netlist`], plus [`NetsimError::InvalidParameter`] when
+/// `previous` was computed on a netlist with a different net count.
+pub fn resimulate_netlist(
+    netlist: &Netlist,
+    library: &ModelLibrary,
+    input_drives: &HashMap<NetRef, DriveWaveform>,
+    options: &NetsimOptions,
+    caches: SimCaches<'_>,
+    previous: &NetsimResult,
+    seeds: &[GateRef],
+) -> Result<NetsimResult, NetsimError> {
+    if previous.net_count() != netlist.net_count() {
+        return Err(NetsimError::InvalidParameter(format!(
+            "previous result has {} nets, netlist has {} — resimulate requires \
+             the result of this same netlist",
+            previous.net_count(),
+            netlist.net_count()
+        )));
+    }
+    let cone = cone_of_influence(netlist, seeds);
+    run_levels(
+        netlist,
+        library,
+        input_drives,
+        options,
+        caches,
+        Some((previous, &cone)),
+    )
+}
+
+/// The one level-sweep engine behind every public entry point. With
+/// `previous = Some((result, cone))`, gates outside `cone` are pre-committed
+/// from `result` and skipped by the sweep.
+fn run_levels(
+    netlist: &Netlist,
+    library: &ModelLibrary,
+    input_drives: &HashMap<NetRef, DriveWaveform>,
+    options: &NetsimOptions,
+    caches: SimCaches<'_>,
+    previous: Option<(&NetsimResult, &[GateRef])>,
+) -> Result<NetsimResult, NetsimError> {
     for &pi in netlist.primary_inputs() {
         if !input_drives.contains_key(&pi) {
             return Err(NetsimError::MissingDrive(netlist.net_name(pi).to_string()));
@@ -273,13 +405,41 @@ pub fn simulate_netlist(
 
     let t_stop = options.calculator.sim.t_stop;
     let vdd = options.calculator.vdd;
-    let cache = DelayCache::new();
+    let cache = caches.delay;
     let mut stats = NetsimStats::default();
+    // Cache counters are cumulative across runs of shared caches; report this
+    // run's contribution as a delta (the session layer serializes runs, so no
+    // concurrent run perturbs the snapshot).
+    let delay_hits_before = cache.hits();
+    let delay_misses_before = cache.misses();
+    let waveform_counts_before = caches.waveforms.map(|w| (w.hits(), w.misses()));
 
     // Per-net handoff state, committed level by level.
     let mut drives: Vec<Option<DriveWaveform>> = vec![None; netlist.net_count()];
     let mut active: Vec<bool> = vec![false; netlist.net_count()];
     let mut waveforms: Vec<Option<Waveform>> = vec![None; netlist.net_count()];
+
+    // Incremental scope: pre-commit every out-of-cone gate's output from the
+    // previous result, then let the sweep skip those gates entirely.
+    let in_cone: Option<Vec<bool>> = match previous {
+        Some((prev, cone)) => {
+            let mut mask = vec![false; netlist.gate_count()];
+            for gate in cone {
+                mask[gate.index()] = true;
+            }
+            for (idx, gate) in netlist.gates().iter().enumerate() {
+                if !mask[idx] {
+                    let out = gate.output.index();
+                    waveforms[out] = Some(prev.waveforms[out].clone());
+                    drives[out] = Some(prev.drives[out].clone());
+                    active[out] = prev.active[out];
+                    stats.gates_reused += 1;
+                }
+            }
+            Some(mask)
+        }
+        None => None,
+    };
 
     for (&net, drive) in input_drives {
         let (lo, hi) = drive_span(drive, t_stop);
@@ -299,6 +459,11 @@ pub fn simulate_netlist(
         // saw an event and gates that stayed quiescent.
         let mut solves = Vec::new();
         for gate_ref in level {
+            if let Some(mask) = &in_cone {
+                if !mask[gate_ref.index()] {
+                    continue; // pre-committed from the previous result
+                }
+            }
             let gate = netlist.gate(gate_ref);
             let drive_of = |net: &NetRef| -> &DriveWaveform {
                 drives[net.index()]
@@ -317,7 +482,7 @@ pub fn simulate_netlist(
                 let load = effective_load(
                     netlist,
                     library,
-                    &cache,
+                    cache,
                     gate.output,
                     options.primary_output_load,
                 )?;
@@ -347,14 +512,17 @@ pub fn simulate_netlist(
             stats.gates_skipped += 1;
         }
 
-        // Solve phase: every eventful gate of the level in parallel.
+        // Solve phase: every eventful gate of the level in parallel, through
+        // the waveform memo when one is supplied (a warm hit skips the engine
+        // with bit-identical output — exact-bits keys).
         let outputs = par::par_map(options.threads, &solves, |_, solve| {
-            options.calculator.gate_output_cached(
+            options.calculator.gate_output_memoized(
                 solve.store,
                 solve.kind,
                 &solve.inputs,
                 solve.load,
-                Some(&cache),
+                Some(cache),
+                caches.waveforms,
             )
         });
 
@@ -378,32 +546,43 @@ pub fn simulate_netlist(
     }
 
     stats.events = active.iter().filter(|&&a| a).count();
-    stats.cache_hits = cache.hits();
-    stats.cache_misses = cache.misses();
+    stats.cache_hits = cache.hits() - delay_hits_before;
+    stats.cache_misses = cache.misses() - delay_misses_before;
+    if let (Some(w), Some((hits_before, misses_before))) =
+        (caches.waveforms, waveform_counts_before)
+    {
+        stats.waveform_hits = w.hits() - hits_before;
+        stats.waveform_misses = w.misses() - misses_before;
+    }
 
     // Netlist validation guarantees every net is a primary input or a gate
     // output, so the schedule reaches all of them.
-    let waveforms = netlist
+    let mut committed_waveforms = Vec::with_capacity(netlist.net_count());
+    let mut committed_drives = Vec::with_capacity(netlist.net_count());
+    for (net, (waveform, drive)) in netlist
         .net_refs()
-        .zip(waveforms)
-        .map(|(net, w)| {
-            w.ok_or_else(|| {
-                NetsimError::InvalidParameter(format!(
-                    "net `{}` was never reached by the schedule",
-                    netlist.net_name(net)
-                ))
-            })
-        })
-        .collect::<Result<Vec<_>, _>>()?;
+        .zip(waveforms.into_iter().zip(drives))
+    {
+        let unreached = || {
+            NetsimError::InvalidParameter(format!(
+                "net `{}` was never reached by the schedule",
+                netlist.net_name(net)
+            ))
+        };
+        committed_waveforms.push(waveform.ok_or_else(unreached)?);
+        committed_drives.push(drive.ok_or_else(unreached)?);
+    }
 
     Ok(NetsimResult {
-        waveforms,
+        waveforms: committed_waveforms,
         net_names: netlist
             .net_refs()
             .map(|n| netlist.net_name(n).to_string())
             .collect(),
         vdd,
         stats,
+        drives: committed_drives,
+        active,
     })
 }
 
@@ -545,6 +724,116 @@ mod tests {
         assert_eq!(result.waveform(bout).final_value(), 0.0);
         assert_eq!(result.net_name(bout), "bout");
         assert_eq!(result.net_count(), netlist.net_count());
+    }
+
+    #[test]
+    fn warm_waveform_cache_skips_the_engine_bit_identically() {
+        let netlist = mcsm_net::c17();
+        let library = library();
+        let vdd = library.vdd();
+        let mut drives = HashMap::new();
+        for (i, &pi) in netlist.primary_inputs().iter().enumerate() {
+            drives.insert(
+                pi,
+                DriveWaveform::falling_ramp(vdd, 1e-9 + 20e-12 * i as f64, 80e-12),
+            );
+        }
+        let plain = simulate_netlist(&netlist, &library, &drives, &options(vdd)).unwrap();
+
+        let delay = DelayCache::new();
+        let memo = WaveformCache::new();
+        let caches = SimCaches {
+            delay: &delay,
+            waveforms: Some(&memo),
+        };
+        let cold =
+            simulate_netlist_cached(&netlist, &library, &drives, &options(vdd), caches).unwrap();
+        let warm =
+            simulate_netlist_cached(&netlist, &library, &drives, &options(vdd), caches).unwrap();
+        for net in netlist.net_refs() {
+            assert_eq!(plain.waveform(net), cold.waveform(net));
+            assert_eq!(plain.waveform(net), warm.waveform(net));
+        }
+        // The cold run solved every eventful gate once; the warm repeat
+        // answered all of them from the memo without touching the engine.
+        let solved = cold.stats().gates_simulated;
+        assert!(solved > 0);
+        assert_eq!(cold.stats().waveform_misses, solved);
+        assert_eq!(cold.stats().waveform_hits, 0);
+        assert_eq!(warm.stats().waveform_misses, 0);
+        assert_eq!(warm.stats().waveform_hits, solved);
+    }
+
+    #[test]
+    fn incremental_resim_touches_only_the_cone_and_pins_full_equality() {
+        let mut netlist = mcsm_net::c17();
+        let library = library();
+        let vdd = library.vdd();
+        let mut drives = HashMap::new();
+        for (i, &pi) in netlist.primary_inputs().iter().enumerate() {
+            drives.insert(
+                pi,
+                DriveWaveform::falling_ramp(vdd, 1e-9 + 20e-12 * i as f64, 80e-12),
+            );
+        }
+        let delay = DelayCache::new();
+        let caches = SimCaches {
+            delay: &delay,
+            waveforms: None,
+        };
+        let baseline =
+            simulate_netlist_cached(&netlist, &library, &drives, &options(vdd), caches).unwrap();
+
+        // ECO: bump the load on output net N22 — only its driver g22 resolves.
+        let n22 = netlist.find_net("N22").unwrap();
+        netlist.set_net_load(n22, 1e-15).unwrap();
+        let seeds = crate::schedule::seeds_for_load_change(&netlist, n22);
+        for threads in [1, 2, 8] {
+            let incremental = resimulate_netlist(
+                &netlist,
+                &library,
+                &drives,
+                &options(vdd).with_threads(threads),
+                caches,
+                &baseline,
+                &seeds,
+            )
+            .unwrap();
+            let full = simulate_netlist(
+                &netlist,
+                &library,
+                &drives,
+                &options(vdd).with_threads(threads),
+            )
+            .unwrap();
+            for net in netlist.net_refs() {
+                assert_eq!(
+                    incremental.waveform(net),
+                    full.waveform(net),
+                    "net {} at {} threads",
+                    netlist.net_name(net),
+                    threads
+                );
+            }
+            let stats = incremental.stats();
+            assert_eq!(stats.gates_simulated + stats.gates_skipped, 1);
+            assert_eq!(stats.gates_reused, 5);
+        }
+
+        // A stale previous result from a different netlist is rejected.
+        let other = nand_chain(2);
+        assert!(matches!(
+            resimulate_netlist(
+                &other,
+                &library,
+                &drives,
+                &options(vdd),
+                caches,
+                &baseline,
+                &[]
+            ),
+            Err(NetsimError::InvalidParameter(_))
+        ));
     }
 
     #[test]

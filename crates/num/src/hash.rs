@@ -1,0 +1,143 @@
+//! Canonical-bytes hashing for numerical data.
+//!
+//! The waveform memoization layer of the query server keys cached gate solves
+//! by the *exact bit patterns* of their input waveforms. That needs a hash
+//! that is (a) a pure function of the IEEE-754 bits — two `f64` sequences hash
+//! equal iff they are bit-for-bit equal, preserving the workspace determinism
+//! contract through the cache; (b) stable across runs, platforms and thread
+//! counts — so `std::collections::hash_map::RandomState` (per-process seeded)
+//! is out; and (c) dependency-free. [`ByteHasher`] is a 64-bit FNV-1a over a
+//! canonical little-endian byte stream, with length-prefixed slice writes so
+//! adjacent fields cannot alias (`[a, b] ++ [c]` never hashes like
+//! `[a] ++ [b, c]`).
+//!
+//! Hash equality is used as cache-key equality, so a collision between two
+//! *different* inputs would silently return the wrong cached value. At 64 bits
+//! over full sample data the probability is negligible for any realistic
+//! cache population (birthday bound ≈ `n²/2⁶⁵`), which is the standard
+//! trade-off content-addressed caches make.
+
+/// An incremental 64-bit FNV-1a hasher over a canonical byte stream.
+///
+/// ```
+/// use mcsm_num::hash::ByteHasher;
+///
+/// let mut h = ByteHasher::new();
+/// h.write_f64_slice(&[1.0, 2.0]);
+/// let a = h.finish();
+/// let mut h = ByteHasher::new();
+/// h.write_f64_slice(&[1.0, 2.0]);
+/// assert_eq!(a, h.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByteHasher {
+    state: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl ByteHasher {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        ByteHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one byte — handy for enum discriminants / domain tags.
+    pub fn write_u8(&mut self, value: u8) {
+        self.write_bytes(&[value]);
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by its exact IEEE-754 bit pattern. `0.0` and `-0.0`
+    /// (and distinct NaN payloads) hash differently — bit-for-bit equality is
+    /// the contract, not numerical equality.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Feeds an `f64` slice, length-prefixed so adjacent slices cannot alias.
+    pub fn write_f64_slice(&mut self, values: &[f64]) {
+        self.write_u64(values.len() as u64);
+        for &v in values {
+            self.write_f64(v);
+        }
+    }
+
+    /// The accumulated 64-bit hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for ByteHasher {
+    fn default() -> Self {
+        ByteHasher::new()
+    }
+}
+
+/// One-shot hash of an `f64` slice (length-prefixed, bit-pattern canonical).
+pub fn hash_f64_slice(values: &[f64]) -> u64 {
+    let mut hasher = ByteHasher::new();
+    hasher.write_f64_slice(values);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        // FNV-1a("") is the offset basis; FNV-1a("a") is a published vector.
+        assert_eq!(ByteHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = ByteHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn hash_is_a_pure_function_of_the_bits() {
+        assert_eq!(hash_f64_slice(&[1.0, 2.0]), hash_f64_slice(&[1.0, 2.0]));
+        assert_ne!(hash_f64_slice(&[1.0, 2.0]), hash_f64_slice(&[2.0, 1.0]));
+        // Bit-pattern canonical: -0.0 and 0.0 are different keys.
+        assert_ne!(hash_f64_slice(&[0.0]), hash_f64_slice(&[-0.0]));
+    }
+
+    #[test]
+    fn length_prefix_prevents_slice_aliasing() {
+        let mut split = ByteHasher::new();
+        split.write_f64_slice(&[1.0, 2.0]);
+        split.write_f64_slice(&[3.0]);
+        let mut shifted = ByteHasher::new();
+        shifted.write_f64_slice(&[1.0]);
+        shifted.write_f64_slice(&[2.0, 3.0]);
+        assert_ne!(split.finish(), shifted.finish());
+        assert_ne!(hash_f64_slice(&[]), hash_f64_slice(&[0.0]));
+    }
+
+    #[test]
+    fn tags_and_integers_mix_in() {
+        let mut a = ByteHasher::new();
+        a.write_u8(0);
+        a.write_u64(7);
+        let mut b = ByteHasher::new();
+        b.write_u8(1);
+        b.write_u64(7);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`units`] — light newtypes for electrical quantities.
 //! * [`json`] — a dependency-free JSON tree, parser and writer used for model
 //!   persistence (the build environment has no crates.io access).
+//! * [`hash`] — a seed-free canonical-bytes FNV-1a hasher for content-keyed
+//!   caches (waveform memoization), stable across runs and thread counts.
 //! * [`par`] — a `std::thread`-only thread pool and deterministic `par_map`
 //!   primitives used to fan characterization grids and STA levels across cores.
 //!
@@ -40,6 +42,7 @@
 
 pub mod error;
 pub mod grid;
+pub mod hash;
 pub mod integrate;
 pub mod interp;
 pub mod json;
@@ -54,6 +57,7 @@ pub mod units;
 
 pub use error::NumError;
 pub use grid::Axis;
+pub use hash::ByteHasher;
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use lut::{LutCursor, LutNd};
 pub use matrix::DenseMatrix;

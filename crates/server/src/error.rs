@@ -1,0 +1,83 @@
+//! Error type of the query server, mapped onto JSON-RPC error codes.
+
+use mcsm_net::NetlistError;
+use mcsm_netsim::NetsimError;
+use mcsm_num::json::JsonError;
+use mcsm_sta::StaError;
+use std::fmt;
+
+/// Error produced while handling one query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request named a method the server does not implement
+    /// (JSON-RPC `-32601`).
+    MethodNotFound(String),
+    /// The request parameters were missing, malformed or referenced something
+    /// the resident session does not hold (JSON-RPC `-32602`).
+    InvalidParams(String),
+    /// The engine failed to evaluate a valid request — characterization,
+    /// simulation or netlist-edit errors (JSON-RPC `-32000`).
+    Engine(String),
+}
+
+impl ServeError {
+    /// The JSON-RPC error code for this error.
+    pub fn code(&self) -> i64 {
+        match self {
+            ServeError::MethodNotFound(_) => -32601,
+            ServeError::InvalidParams(_) => -32602,
+            ServeError::Engine(_) => -32000,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::MethodNotFound(method) => write!(f, "unknown method `{method}`"),
+            ServeError::InvalidParams(msg) => write!(f, "invalid params: {msg}"),
+            ServeError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<JsonError> for ServeError {
+    fn from(e: JsonError) -> Self {
+        ServeError::InvalidParams(e.0)
+    }
+}
+
+impl From<NetlistError> for ServeError {
+    fn from(e: NetlistError) -> Self {
+        ServeError::Engine(e.to_string())
+    }
+}
+
+impl From<NetsimError> for ServeError {
+    fn from(e: NetsimError) -> Self {
+        ServeError::Engine(e.to_string())
+    }
+}
+
+impl From<StaError> for ServeError {
+    fn from(e: StaError) -> Self {
+        ServeError::Engine(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_follow_jsonrpc_conventions() {
+        assert_eq!(ServeError::MethodNotFound("x".into()).code(), -32601);
+        assert_eq!(ServeError::InvalidParams("x".into()).code(), -32602);
+        assert_eq!(ServeError::Engine("x".into()).code(), -32000);
+        let e: ServeError = JsonError("bad shape".into()).into();
+        assert_eq!(e.code(), -32602);
+        assert!(e.to_string().contains("bad shape"));
+    }
+}

@@ -1,0 +1,138 @@
+//! The `mcsm-serve` binary: characterize a cell library, then serve JSON-RPC
+//! queries over stdin/stdout (default) or TCP.
+//!
+//! ```text
+//! mcsm-serve [--stdio | --tcp ADDR] [--threads N] [--backend NAME]
+//!            [--window SECONDS] [--dt SECONDS]
+//! ```
+//!
+//! `--backend` is one of `sis`, `baseline-mis`, `complete-mcsm` (default) or
+//! `selective`. Set `MCSM_BENCH_FAST=1` for coarse characterization grids
+//! (CI smoke mode). Diagnostics go to stderr; stdout carries only protocol
+//! responses.
+
+use mcsm_cells::cell::CellKind;
+use mcsm_cells::tech::Technology;
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::selective::SelectivePolicy;
+use mcsm_serve::{serve_stdio, serve_tcp, Engine, Session, SessionConfig};
+use mcsm_sta::delaycalc::DelayBackend;
+use mcsm_sta::models::ModelLibrary;
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn parse_backend(name: &str) -> Option<DelayBackend> {
+    match name {
+        "sis" => Some(DelayBackend::SisOnly),
+        "baseline-mis" => Some(DelayBackend::BaselineMis),
+        "complete-mcsm" => Some(DelayBackend::CompleteMcsm),
+        "selective" => Some(DelayBackend::Selective(SelectivePolicy::default())),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut config = SessionConfig::default();
+    let mut tcp_addr: Option<String> = None;
+    let mut serve_threads = 0usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let result: Result<(), String> = match arg.as_str() {
+            "--stdio" => Ok(()),
+            "--tcp" => value("--tcp").map(|v| tcp_addr = Some(v)),
+            "--threads" => value("--threads").and_then(|v| {
+                v.parse()
+                    .map(|n| {
+                        config.threads = n;
+                        serve_threads = n;
+                    })
+                    .map_err(|e| format!("--threads: {e}"))
+            }),
+            "--backend" => value("--backend").and_then(|v| {
+                parse_backend(&v)
+                    .map(|b| config.backend = b)
+                    .ok_or_else(|| format!("unknown backend `{v}`"))
+            }),
+            "--window" => value("--window").and_then(|v| {
+                v.parse()
+                    .map(|w| config.window = w)
+                    .map_err(|e| format!("--window: {e}"))
+            }),
+            "--dt" => value("--dt").and_then(|v| {
+                v.parse()
+                    .map(|dt| config.dt = dt)
+                    .map_err(|e| format!("--dt: {e}"))
+            }),
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(message) = result {
+            eprintln!("mcsm-serve: {message}");
+            eprintln!(
+                "usage: mcsm-serve [--stdio | --tcp ADDR] [--threads N] \
+                 [--backend sis|baseline-mis|complete-mcsm|selective] \
+                 [--window S] [--dt S]"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let characterization = if mcsm_num::par::env_flag("MCSM_BENCH_FAST") {
+        CharacterizationConfig::coarse()
+    } else {
+        CharacterizationConfig::standard()
+    };
+    let kinds = [CellKind::Inverter, CellKind::Nand2, CellKind::Nor2];
+    eprintln!("mcsm-serve: characterizing {} cell kinds ...", kinds.len());
+    let library = match ModelLibrary::characterize_parallel(
+        &Technology::cmos_130nm(),
+        &kinds,
+        &characterization,
+        config.threads,
+    ) {
+        Ok(library) => library,
+        Err(e) => {
+            eprintln!("mcsm-serve: characterization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = Arc::new(Engine::new(Session::new(library, config)));
+
+    match tcp_addr {
+        Some(addr) => {
+            let mut server = match serve_tcp(Arc::clone(&engine), &addr, serve_threads) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("mcsm-serve: bind {addr} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("mcsm-serve: listening on {}", server.addr());
+            // Keep stdin open as the lifetime handle: EOF shuts the server
+            // down, so scripted callers can pipe `</dev/null` for one-shot
+            // runs or hold the pipe open to keep serving.
+            let mut sink = Vec::new();
+            let _ = std::io::copy(&mut std::io::stdin().lock(), &mut sink);
+            server.stop();
+            eprintln!("mcsm-serve: shut down");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("mcsm-serve: ready (stdin/stdout mode)");
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let result = serve_stdio(&engine, BufReader::new(stdin.lock()), stdout.lock());
+            if let Err(e) = result {
+                eprintln!("mcsm-serve: transport error: {e}");
+                return ExitCode::FAILURE;
+            }
+            let _ = std::io::stdout().flush();
+            ExitCode::SUCCESS
+        }
+    }
+}

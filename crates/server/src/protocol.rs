@@ -1,0 +1,135 @@
+//! JSON-RPC 2.0 framing over newline-delimited messages.
+//!
+//! One request per line, one response line per request:
+//!
+//! ```text
+//! {"jsonrpc":"2.0","id":1,"method":"arrival","params":{"net":"N22"}}
+//! {"jsonrpc":"2.0","id":1,"result":{"net":"N22","time_s":1.4e-9,...}}
+//! ```
+//!
+//! The framing layer owns the envelope (id echo, error codes, per-request
+//! wall-clock `timing_us`); everything inside `result` comes from
+//! [`Session::handle`]. Standard JSON-RPC codes are used: `-32700` parse
+//! error, `-32600` invalid request, `-32601` method not found, `-32602`
+//! invalid params, `-32000` engine error.
+
+use crate::session::Session;
+use mcsm_num::json::JsonValue;
+use std::time::Instant;
+
+fn error_response(id: JsonValue, code: i64, message: String) -> JsonValue {
+    JsonValue::Object(vec![
+        ("jsonrpc".to_string(), JsonValue::String("2.0".to_string())),
+        ("id".to_string(), id),
+        (
+            "error".to_string(),
+            JsonValue::Object(vec![
+                ("code".to_string(), JsonValue::Number(code as f64)),
+                ("message".to_string(), JsonValue::String(message)),
+            ]),
+        ),
+    ])
+}
+
+/// Handles one request line against a session, returning the response
+/// document. Never panics on malformed input — every failure becomes a
+/// JSON-RPC error object (with a `null` id when the request's own id could
+/// not be read).
+pub fn handle_request_line(session: &mut Session, line: &str) -> JsonValue {
+    let started = Instant::now();
+    let doc = match JsonValue::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return error_response(JsonValue::Null, -32700, format!("parse error: {}", e.0)),
+    };
+    let id = doc.get("id").cloned().unwrap_or(JsonValue::Null);
+    let method = match doc.get("method").and_then(|m| m.as_str()) {
+        Some(method) => method.to_string(),
+        None => {
+            return error_response(id, -32600, "request has no string `method`".to_string());
+        }
+    };
+    let empty = JsonValue::Object(Vec::new());
+    let params = doc.get("params").unwrap_or(&empty);
+    match session.handle(&method, params) {
+        Ok(mut result) => {
+            if let JsonValue::Object(fields) = &mut result {
+                fields.push((
+                    "timing_us".to_string(),
+                    JsonValue::Number(started.elapsed().as_micros() as f64),
+                ));
+            }
+            JsonValue::Object(vec![
+                ("jsonrpc".to_string(), JsonValue::String("2.0".to_string())),
+                ("id".to_string(), id),
+                ("result".to_string(), result),
+            ])
+        }
+        Err(e) => error_response(id, e.code(), e.to_string()),
+    }
+}
+
+/// Strips the volatile `timing_us` field from a response document, leaving
+/// only deterministic content — what the concurrent stress test compares
+/// bit-for-bit against a serial replay.
+pub fn strip_timing(response: &JsonValue) -> JsonValue {
+    match response {
+        JsonValue::Object(fields) => JsonValue::Object(
+            fields
+                .iter()
+                .filter(|(key, _)| key != "timing_us")
+                .map(|(key, value)| (key.clone(), strip_timing(value)))
+                .collect(),
+        ),
+        JsonValue::Array(items) => JsonValue::Array(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionConfig;
+    use mcsm_sta::models::ModelLibrary;
+
+    fn empty_session() -> Session {
+        Session::new(ModelLibrary::new(1.2), SessionConfig::default())
+    }
+
+    #[test]
+    fn malformed_lines_become_jsonrpc_errors() {
+        let mut session = empty_session();
+        let response = handle_request_line(&mut session, "{not json");
+        assert_eq!(
+            response.get("error").unwrap().get("code").unwrap().as_f64(),
+            Some(-32700.0)
+        );
+        let response = handle_request_line(&mut session, r#"{"id": 7}"#);
+        assert_eq!(response.get("id").unwrap().as_f64(), Some(7.0));
+        assert_eq!(
+            response.get("error").unwrap().get("code").unwrap().as_f64(),
+            Some(-32600.0)
+        );
+        let response = handle_request_line(&mut session, r#"{"id": 8, "method": "nope"}"#);
+        assert_eq!(
+            response.get("error").unwrap().get("code").unwrap().as_f64(),
+            Some(-32601.0)
+        );
+    }
+
+    #[test]
+    fn responses_echo_id_and_carry_timing() {
+        let mut session = empty_session();
+        let response = handle_request_line(
+            &mut session,
+            r#"{"id": "a1", "method": "stats", "params": {}}"#,
+        );
+        assert_eq!(response.get("id").unwrap().as_str(), Some("a1"));
+        let result = response.get("result").unwrap();
+        assert!(result.get("timing_us").unwrap().as_f64().is_some());
+        assert_eq!(result.get("seq").unwrap().as_f64(), Some(1.0));
+        // The stripped form is deterministic: no timing field anywhere.
+        let stripped = strip_timing(&response);
+        assert!(stripped.get("result").unwrap().get("timing_us").is_none());
+        assert!(stripped.get("result").unwrap().get("seq").is_some());
+    }
+}

@@ -1,0 +1,189 @@
+//! Transports: the locked engine plus stdin/stdout and threaded TCP serving.
+//!
+//! Both transports speak the same newline-delimited JSON-RPC protocol
+//! ([`crate::protocol`]). The [`Engine`] wraps the [`Session`] in a mutex:
+//! requests from any number of connections serialize through it, each
+//! acquiring its `seq` under the lock — so every concurrent interleaving is
+//! equivalent to the serial replay of the observed `seq` order.
+
+use crate::protocol::handle_request_line;
+use crate::session::Session;
+use mcsm_num::par::ThreadPool;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A thread-safe request engine: one resident [`Session`] behind a lock.
+#[derive(Debug)]
+pub struct Engine {
+    session: Mutex<Session>,
+}
+
+impl Engine {
+    /// Wraps a session for concurrent serving.
+    pub fn new(session: Session) -> Self {
+        Engine {
+            session: Mutex::new(session),
+        }
+    }
+
+    /// Handles one request line, returning the compact one-line response.
+    /// Safe to call from any thread; requests serialize through the session
+    /// lock.
+    pub fn handle_line(&self, line: &str) -> String {
+        let mut session = self.session.lock().expect("session lock poisoned");
+        handle_request_line(&mut session, line).to_string_compact()
+    }
+}
+
+/// Serves newline-delimited requests from `input` to `output` until EOF —
+/// the stdin/stdout transport (`mcsm-serve --stdio`). Blank lines are
+/// ignored; every request line produces exactly one response line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader or writer.
+pub fn serve_stdio(engine: &Engine, input: impl BufRead, mut output: impl Write) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(output, "{}", engine.handle_line(&line))?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// A running TCP server; dropping (or [`TcpServer::stop`]) shuts it down.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// The bound address (useful with a `:0` request to learn the port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to exit and waits for it. In-flight
+    /// connections finish their current request queue (the worker pool joins
+    /// before the acceptor exits).
+    pub fn stop(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept() call with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{}", engine.handle_line(&line))?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Binds `addr` and serves connections on a [`ThreadPool`] of `threads`
+/// workers (`0` = auto). Each connection occupies one worker for its
+/// lifetime, so `threads` bounds the number of concurrently-connected
+/// clients; requests still serialize through the engine's session lock
+/// regardless of worker count.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_tcp(engine: Arc<Engine>, addr: &str, threads: usize) -> io::Result<TcpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shutdown_flag = Arc::clone(&shutdown);
+    let acceptor = std::thread::spawn(move || {
+        let pool = ThreadPool::new(mcsm_num::par::resolve_threads(threads));
+        for stream in listener.incoming() {
+            if shutdown_flag.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let engine = Arc::clone(&engine);
+            pool.execute(move || {
+                let _ = serve_connection(&engine, stream);
+            });
+        }
+        pool.join();
+    });
+    Ok(TcpServer {
+        addr: local,
+        shutdown,
+        acceptor: Some(acceptor),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionConfig;
+    use mcsm_sta::models::ModelLibrary;
+
+    fn engine() -> Engine {
+        Engine::new(Session::new(
+            ModelLibrary::new(1.2),
+            SessionConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn stdio_transport_answers_line_per_line() {
+        let engine = engine();
+        let input =
+            b"{\"id\":1,\"method\":\"stats\",\"params\":{}}\n\n{\"id\":2,\"method\":\"stats\"}\n";
+        let mut output = Vec::new();
+        serve_stdio(&engine, &input[..], &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "blank line ignored: {text}");
+        for (i, line) in lines.iter().enumerate() {
+            let doc = mcsm_num::json::JsonValue::parse(line).unwrap();
+            assert_eq!(doc.get("id").unwrap().as_f64(), Some((i + 1) as f64));
+        }
+    }
+
+    #[test]
+    fn tcp_transport_round_trips() {
+        let engine = Arc::new(engine());
+        let mut server = serve_tcp(engine, "127.0.0.1:0", 2).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let request = r#"{"id": 41, "method": "stats", "params": {}}"#;
+        writeln!(writer, "{request}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let doc = mcsm_num::json::JsonValue::parse(&line).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_f64(), Some(41.0));
+        assert!(doc.get("result").unwrap().get("seq").is_some());
+        drop(writer);
+        drop(reader);
+        server.stop();
+    }
+}

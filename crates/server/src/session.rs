@@ -1,0 +1,801 @@
+//! The resident query session: one characterized library, one netlist, one
+//! committed simulation result, and the request handlers that keep them
+//! consistent.
+//!
+//! The session is the single-writer core of the server: every request mutates
+//! or reads it under one lock (see [`crate::server::Engine`]), and each
+//! request is stamped with a monotonically increasing `seq` *under that
+//! lock*. That makes any concurrent client interleaving equivalent to the
+//! serial replay of the same requests in `seq` order — the property the
+//! concurrent stress test pins bit-for-bit.
+//!
+//! Evaluation is lazy and incremental: edits ([`set_drive`](Session), `eco`)
+//! only record which gates they invalidated; the next query needing waveforms
+//! re-solves the downstream [cone of influence](mcsm_netsim::cone_of_influence)
+//! of those seeds and reuses every committed waveform outside it. Warm
+//! repeats additionally hit the whole-gate-solve
+//! [`mcsm_sta::WaveformCache`], skipping the numerical engine
+//! entirely.
+
+use crate::error::ServeError;
+use mcsm_cells::cell::CellKind;
+use mcsm_core::selective::SelectivePolicy;
+use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
+use mcsm_net::{balanced_tree, c17, inverter_chain, nand_chain, NetRef, Netlist};
+use mcsm_netsim::{
+    resimulate_netlist, seeds_for_drive_change, seeds_for_gate_edit, seeds_for_load_change,
+    simulate_netlist_cached, NetsimOptions, NetsimResult, NetsimStats, SimCaches,
+    DEFAULT_EVENT_THRESHOLD,
+};
+use mcsm_num::json::JsonValue;
+use mcsm_sta::delaycalc::{DelayBackend, DelayCache, DelayCalculator, WaveformCache};
+use mcsm_sta::models::ModelLibrary;
+use std::collections::HashMap;
+
+/// Evaluation defaults of a session; individual fields can be overridden per
+/// `load_netlist` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Model backend for every gate solve.
+    pub backend: DelayBackend,
+    /// Simulation window (seconds).
+    pub window: f64,
+    /// Engine time step (seconds).
+    pub dt: f64,
+    /// Worker threads for level-parallel gate solves (`0` = auto, `1` =
+    /// sequential; results are bit-identical for every value).
+    pub threads: usize,
+    /// External load on every primary output (farads).
+    pub primary_output_load: f64,
+    /// Event threshold (volts) of the netlist simulator.
+    pub event_threshold: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            backend: DelayBackend::CompleteMcsm,
+            window: 4e-9,
+            dt: 2e-12,
+            threads: 1,
+            primary_output_load: 2e-15,
+            event_threshold: DEFAULT_EVENT_THRESHOLD,
+        }
+    }
+}
+
+impl SessionConfig {
+    fn netsim_options(&self, vdd: f64) -> NetsimOptions {
+        let calculator =
+            DelayCalculator::new(self.backend, CsmSimOptions::new(self.window, self.dt), vdd);
+        NetsimOptions::new(calculator, self.primary_output_load)
+            .with_threads(self.threads)
+            .with_event_threshold(self.event_threshold)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        match self.backend {
+            DelayBackend::SisOnly => "sis",
+            DelayBackend::BaselineMis => "baseline-mis",
+            DelayBackend::CompleteMcsm => "complete-mcsm",
+            DelayBackend::Selective(_) => "selective",
+        }
+    }
+}
+
+/// What must be re-evaluated before the next waveform-bearing query.
+#[derive(Debug, Clone, PartialEq)]
+enum Dirty {
+    /// No committed result, or an edit (backend swap, fresh load) invalidated
+    /// everything: run the full simulator.
+    Full,
+    /// Edits invalidated these seed gates; re-solve their downstream cone and
+    /// reuse the rest of the committed result.
+    Seeds(Vec<mcsm_net::GateRef>),
+    /// The committed result matches the netlist, drives and config.
+    Clean,
+}
+
+/// The resident circuit: netlist, drives, committed result, dirt tracking.
+#[derive(Debug)]
+struct Circuit {
+    netlist: Netlist,
+    drives: HashMap<NetRef, DriveWaveform>,
+    result: Option<NetsimResult>,
+    dirty: Dirty,
+}
+
+impl Circuit {
+    /// Records that `seeds` must be re-solved. `Full` absorbs everything;
+    /// without a committed result only `Full` is possible.
+    fn invalidate(&mut self, seeds: Vec<mcsm_net::GateRef>) {
+        match (&mut self.dirty, self.result.is_some()) {
+            (Dirty::Full, _) | (_, false) => self.dirty = Dirty::Full,
+            (Dirty::Seeds(existing), true) => {
+                for seed in seeds {
+                    if !existing.contains(&seed) {
+                        existing.push(seed);
+                    }
+                }
+            }
+            (Dirty::Clean, true) => self.dirty = Dirty::Seeds(seeds),
+        }
+    }
+}
+
+/// How the last evaluation ran, for the `resim` / `stats` responses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RunMode {
+    Full,
+    Incremental,
+    Noop,
+}
+
+impl RunMode {
+    fn name(self) -> &'static str {
+        match self {
+            RunMode::Full => "full",
+            RunMode::Incremental => "incremental",
+            RunMode::Noop => "noop",
+        }
+    }
+}
+
+/// A resident query session. See the module docs for the model.
+#[derive(Debug)]
+pub struct Session {
+    library: ModelLibrary,
+    config: SessionConfig,
+    delay: DelayCache,
+    waveforms: WaveformCache,
+    circuit: Option<Circuit>,
+    seq: u64,
+    runs: u64,
+    last_run: Option<(RunMode, NetsimStats)>,
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(value: f64) -> JsonValue {
+    JsonValue::Number(value)
+}
+
+fn string(value: &str) -> JsonValue {
+    JsonValue::String(value.to_string())
+}
+
+fn require_str<'p>(params: &'p JsonValue, key: &str) -> Result<&'p str, ServeError> {
+    params
+        .get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ServeError::InvalidParams(format!("missing string param `{key}`")))
+}
+
+fn require_f64(params: &JsonValue, key: &str) -> Result<f64, ServeError> {
+    params
+        .get(key)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| ServeError::InvalidParams(format!("missing number param `{key}`")))
+}
+
+fn opt_f64(params: &JsonValue, key: &str) -> Option<f64> {
+    params.get(key).and_then(|v| v.as_f64())
+}
+
+fn stats_json(stats: &NetsimStats) -> JsonValue {
+    obj(vec![
+        ("gates_simulated", num(stats.gates_simulated as f64)),
+        ("gates_skipped", num(stats.gates_skipped as f64)),
+        ("gates_reused", num(stats.gates_reused as f64)),
+        ("events", num(stats.events as f64)),
+        ("cache_hits", num(stats.cache_hits as f64)),
+        ("cache_misses", num(stats.cache_misses as f64)),
+        ("waveform_hits", num(stats.waveform_hits as f64)),
+        ("waveform_misses", num(stats.waveform_misses as f64)),
+    ])
+}
+
+impl Session {
+    /// Creates a session around a characterized library.
+    pub fn new(library: ModelLibrary, config: SessionConfig) -> Self {
+        Session {
+            library,
+            config,
+            delay: DelayCache::new(),
+            waveforms: WaveformCache::new(),
+            circuit: None,
+            seq: 0,
+            runs: 0,
+            last_run: None,
+        }
+    }
+
+    /// Requests handled so far (the last assigned `seq`).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Handles one request: assigns the next `seq`, dispatches on `method`,
+    /// and stamps the response with the `seq` and this request's cache-counter
+    /// deltas. Must be called under the session lock — `seq` order *is* the
+    /// serialization order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::MethodNotFound`] for unknown methods, and whatever the
+    /// handler reports. Failed requests still consume a `seq`.
+    pub fn handle(&mut self, method: &str, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        self.seq += 1;
+        let seq = self.seq;
+        let before = (
+            self.delay.hits(),
+            self.delay.misses(),
+            self.waveforms.hits(),
+            self.waveforms.misses(),
+        );
+        let mut result = match method {
+            "load_netlist" => self.load_netlist(params),
+            "set_drive" => self.set_drive(params),
+            "eco" => self.eco(params),
+            "arrival" => self.arrival(params),
+            "slew" => self.slew(params),
+            "waveform" => self.waveform(params),
+            "resim" => self.resim(params),
+            "stats" => self.stats(),
+            other => Err(ServeError::MethodNotFound(other.to_string())),
+        }?;
+        if let JsonValue::Object(fields) = &mut result {
+            fields.push(("seq".to_string(), num(seq as f64)));
+            fields.push((
+                "cache".to_string(),
+                obj(vec![
+                    ("delay_hits", num((self.delay.hits() - before.0) as f64)),
+                    ("delay_misses", num((self.delay.misses() - before.1) as f64)),
+                    (
+                        "waveform_hits",
+                        num((self.waveforms.hits() - before.2) as f64),
+                    ),
+                    (
+                        "waveform_misses",
+                        num((self.waveforms.misses() - before.3) as f64),
+                    ),
+                ]),
+            ));
+        }
+        Ok(result)
+    }
+
+    fn build_builtin(spec: &str) -> Result<Netlist, ServeError> {
+        let (name, arg) = match spec.split_once(':') {
+            Some((name, arg)) => (name, Some(arg)),
+            None => (spec, None),
+        };
+        let size = |default: usize| -> Result<usize, ServeError> {
+            match arg {
+                None => Ok(default),
+                Some(text) => text.parse().map_err(|_| {
+                    ServeError::InvalidParams(format!("bad builtin size in `{spec}`"))
+                }),
+            }
+        };
+        match name {
+            "c17" => Ok(c17()),
+            "nand_chain" => Ok(nand_chain(size(8)?)),
+            "inverter_chain" => Ok(inverter_chain(size(8)?)),
+            "balanced_tree" => Ok(balanced_tree(size(3)?, CellKind::Nand2)),
+            other => Err(ServeError::InvalidParams(format!(
+                "unknown builtin `{other}` (expected c17, nand_chain[:N], \
+                 inverter_chain[:N] or balanced_tree[:D])"
+            ))),
+        }
+    }
+
+    /// `load_netlist {"builtin": "c17"}` or `{"netlist": {...}}`, optional
+    /// `"window"` / `"dt"` overrides. Every primary input starts at DC 0 V.
+    fn load_netlist(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        let netlist = match (params.get("builtin"), params.get("netlist")) {
+            (Some(builtin), None) => {
+                let spec = builtin.as_str().ok_or_else(|| {
+                    ServeError::InvalidParams("`builtin` must be a string".into())
+                })?;
+                Self::build_builtin(spec)?
+            }
+            (None, Some(doc)) => Netlist::from_json_value(doc)?,
+            _ => {
+                return Err(ServeError::InvalidParams(
+                    "expected exactly one of `builtin` or `netlist`".into(),
+                ))
+            }
+        };
+        for gate in netlist.gates() {
+            if !self.library.contains(gate.kind) {
+                return Err(ServeError::Engine(format!(
+                    "cell {} (gate `{}`) is not characterized in this session's library",
+                    gate.kind.name(),
+                    gate.name
+                )));
+            }
+        }
+        if let Some(window) = opt_f64(params, "window") {
+            self.config.window = window;
+        }
+        if let Some(dt) = opt_f64(params, "dt") {
+            self.config.dt = dt;
+        }
+        let drives = netlist
+            .primary_inputs()
+            .iter()
+            .map(|&pi| (pi, DriveWaveform::dc(0.0)))
+            .collect();
+        let response = obj(vec![
+            ("name", string(netlist.name())),
+            ("gates", num(netlist.gate_count() as f64)),
+            ("nets", num(netlist.net_count() as f64)),
+            (
+                "primary_inputs",
+                JsonValue::Array(
+                    netlist
+                        .primary_inputs()
+                        .iter()
+                        .map(|&pi| string(netlist.net_name(pi)))
+                        .collect(),
+                ),
+            ),
+            (
+                "primary_outputs",
+                JsonValue::Array(
+                    netlist
+                        .primary_outputs()
+                        .iter()
+                        .map(|&po| string(netlist.net_name(po)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        self.circuit = Some(Circuit {
+            netlist,
+            drives,
+            result: None,
+            dirty: Dirty::Full,
+        });
+        Ok(response)
+    }
+
+    fn circuit_mut(&mut self) -> Result<&mut Circuit, ServeError> {
+        self.circuit
+            .as_mut()
+            .ok_or_else(|| ServeError::InvalidParams("no netlist loaded".into()))
+    }
+
+    fn parse_drive(&self, params: &JsonValue) -> Result<DriveWaveform, ServeError> {
+        let vdd = self.library.vdd();
+        let spec = params
+            .get("drive")
+            .ok_or_else(|| ServeError::InvalidParams("missing `drive` object".into()))?;
+        let kind = require_str(spec, "kind")?;
+        let t_start = opt_f64(spec, "t_start").unwrap_or(1e-9);
+        let transition = opt_f64(spec, "transition").unwrap_or(80e-12);
+        match kind {
+            "rise" => Ok(DriveWaveform::rising_ramp(vdd, t_start, transition)),
+            "fall" => Ok(DriveWaveform::falling_ramp(vdd, t_start, transition)),
+            "dc" => Ok(DriveWaveform::dc(require_f64(spec, "level")?)),
+            other => Err(ServeError::InvalidParams(format!(
+                "unknown drive kind `{other}` (expected rise, fall or dc)"
+            ))),
+        }
+    }
+
+    /// `set_drive {"net": "N1", "drive": {"kind": "fall", "t_start": 1e-9,
+    /// "transition": 8e-11}}` — replaces a primary input's stimulus and
+    /// invalidates the input's fanout gates.
+    fn set_drive(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        let drive = self.parse_drive(params)?;
+        let name = require_str(params, "net")?.to_string();
+        let circuit = self.circuit_mut()?;
+        let net = circuit.netlist.find_net(&name)?;
+        if !circuit.netlist.is_primary_input(net) {
+            return Err(ServeError::InvalidParams(format!(
+                "net `{name}` is not a primary input"
+            )));
+        }
+        circuit.drives.insert(net, drive);
+        let seeds = seeds_for_drive_change(&circuit.netlist, net);
+        let invalidated = seeds.len();
+        circuit.invalidate(seeds);
+        Ok(obj(vec![
+            ("net", string(&name)),
+            ("invalidated_gates", num(invalidated as f64)),
+        ]))
+    }
+
+    /// `eco {"op": "retype_gate" | "set_net_load" | "swap_backend", ...}` —
+    /// validated in-place edits; only the invalidated cone is re-solved on the
+    /// next evaluation (`swap_backend` invalidates everything).
+    fn eco(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        let op = require_str(params, "op")?;
+        match op {
+            "retype_gate" => {
+                let gate_name = require_str(params, "gate")?.to_string();
+                let cell_name = require_str(params, "cell")?.to_string();
+                let kind = CellKind::from_name(&cell_name).ok_or_else(|| {
+                    ServeError::InvalidParams(format!("unknown cell `{cell_name}`"))
+                })?;
+                if !self.library.contains(kind) {
+                    return Err(ServeError::Engine(format!(
+                        "cell {} is not characterized in this session's library",
+                        kind.name()
+                    )));
+                }
+                let circuit = self.circuit_mut()?;
+                let gate = circuit.netlist.find_gate(&gate_name)?;
+                circuit.netlist.retype_gate(gate, kind)?;
+                let seeds = seeds_for_gate_edit(&circuit.netlist, gate);
+                let invalidated = seeds.len();
+                circuit.invalidate(seeds);
+                Ok(obj(vec![
+                    ("op", string(op)),
+                    ("gate", string(&gate_name)),
+                    ("cell", string(kind.name())),
+                    ("invalidated_gates", num(invalidated as f64)),
+                ]))
+            }
+            "set_net_load" => {
+                let net_name = require_str(params, "net")?.to_string();
+                let farads = require_f64(params, "farads")?;
+                let circuit = self.circuit_mut()?;
+                let net = circuit.netlist.find_net(&net_name)?;
+                circuit.netlist.set_net_load(net, farads)?;
+                let seeds = seeds_for_load_change(&circuit.netlist, net);
+                let invalidated = seeds.len();
+                circuit.invalidate(seeds);
+                Ok(obj(vec![
+                    ("op", string(op)),
+                    ("net", string(&net_name)),
+                    ("farads", num(farads)),
+                    ("invalidated_gates", num(invalidated as f64)),
+                ]))
+            }
+            "swap_backend" => {
+                let backend = match require_str(params, "backend")? {
+                    "sis" => DelayBackend::SisOnly,
+                    "baseline-mis" => DelayBackend::BaselineMis,
+                    "complete-mcsm" => DelayBackend::CompleteMcsm,
+                    "selective" => DelayBackend::Selective(SelectivePolicy::default()),
+                    other => {
+                        return Err(ServeError::InvalidParams(format!(
+                            "unknown backend `{other}` (expected sis, baseline-mis, \
+                             complete-mcsm or selective)"
+                        )))
+                    }
+                };
+                self.config.backend = backend;
+                // Every gate solve depends on the backend: full invalidation.
+                // The caches stay — their keys carry the backend, so entries
+                // for the previous backend remain valid if it comes back.
+                if let Some(circuit) = self.circuit.as_mut() {
+                    circuit.dirty = Dirty::Full;
+                }
+                Ok(obj(vec![
+                    ("op", string(op)),
+                    ("backend", string(self.config.backend_name())),
+                ]))
+            }
+            other => Err(ServeError::InvalidParams(format!(
+                "unknown eco op `{other}` (expected retype_gate, set_net_load \
+                 or swap_backend)"
+            ))),
+        }
+    }
+
+    /// Brings the committed result up to date (full or cone-incremental run,
+    /// whichever the dirt tracking calls for) and returns it.
+    fn ensure_result(&mut self) -> Result<&NetsimResult, ServeError> {
+        let circuit = self
+            .circuit
+            .as_mut()
+            .ok_or_else(|| ServeError::InvalidParams("no netlist loaded".into()))?;
+        let options = self.config.netsim_options(self.library.vdd());
+        let caches = SimCaches {
+            delay: &self.delay,
+            waveforms: Some(&self.waveforms),
+        };
+        match std::mem::replace(&mut circuit.dirty, Dirty::Clean) {
+            Dirty::Clean => {
+                self.last_run = Some((RunMode::Noop, NetsimStats::default()));
+            }
+            Dirty::Full => {
+                let result = simulate_netlist_cached(
+                    &circuit.netlist,
+                    &self.library,
+                    &circuit.drives,
+                    &options,
+                    caches,
+                )?;
+                self.runs += 1;
+                self.last_run = Some((RunMode::Full, result.stats()));
+                circuit.result = Some(result);
+            }
+            Dirty::Seeds(seeds) => {
+                let previous = circuit
+                    .result
+                    .as_ref()
+                    .expect("seed-dirty state always has a committed result");
+                let result = resimulate_netlist(
+                    &circuit.netlist,
+                    &self.library,
+                    &circuit.drives,
+                    &options,
+                    caches,
+                    previous,
+                    &seeds,
+                )?;
+                self.runs += 1;
+                self.last_run = Some((RunMode::Incremental, result.stats()));
+                circuit.result = Some(result);
+            }
+        }
+        Ok(circuit
+            .result
+            .as_ref()
+            .expect("ensure_result always commits a result"))
+    }
+
+    fn find_result_net(&mut self, params: &JsonValue) -> Result<(String, NetRef), ServeError> {
+        let name = require_str(params, "net")?.to_string();
+        let circuit = self.circuit_mut()?;
+        let net = circuit.netlist.find_net(&name)?;
+        Ok((name, net))
+    }
+
+    /// `arrival {"net": "N22"}` — earliest 50 % crossing in either direction;
+    /// pass `"rising": true/false` to pin the direction.
+    fn arrival(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        let (name, net) = self.find_result_net(params)?;
+        let direction = params.get("rising").and_then(|v| v.as_bool());
+        let result = self.ensure_result()?;
+        let (time, rising) = match direction {
+            Some(rising) => (result.arrival_time(net, rising), Some(rising)),
+            None => match result.arrival_any(net) {
+                Some((t, rising)) => (Some(t), Some(rising)),
+                None => (None, None),
+            },
+        };
+        Ok(obj(vec![
+            ("net", string(&name)),
+            ("time_s", time.map_or(JsonValue::Null, num)),
+            ("rising", rising.map_or(JsonValue::Null, JsonValue::Bool)),
+        ]))
+    }
+
+    /// `slew {"net": "N22", "rising": true}` — 10–90 % transition time.
+    fn slew(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        let (name, net) = self.find_result_net(params)?;
+        let rising = params
+            .get("rising")
+            .and_then(|v| v.as_bool())
+            .ok_or_else(|| ServeError::InvalidParams("missing bool param `rising`".into()))?;
+        let result = self.ensure_result()?;
+        Ok(obj(vec![
+            ("net", string(&name)),
+            ("rising", JsonValue::Bool(rising)),
+            (
+                "slew_s",
+                result.slew(net, rising).map_or(JsonValue::Null, num),
+            ),
+        ]))
+    }
+
+    /// `waveform {"net": "N22"}` — the committed waveform samples.
+    fn waveform(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        let (name, net) = self.find_result_net(params)?;
+        let result = self.ensure_result()?;
+        let waveform = result.waveform(net);
+        Ok(obj(vec![
+            ("net", string(&name)),
+            ("samples", num(waveform.len() as f64)),
+            ("times_s", JsonValue::from_f64_slice(waveform.times())),
+            ("values_v", JsonValue::from_f64_slice(waveform.values())),
+        ]))
+    }
+
+    /// `resim {}` — brings the result up to date (incremental if possible) and
+    /// reports how the run went; `{"full": true}` forces a from-scratch run
+    /// (with warm caches, still engine-free on repeats).
+    fn resim(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        if params.get("full").and_then(|v| v.as_bool()) == Some(true) {
+            self.circuit_mut()?.dirty = Dirty::Full;
+        }
+        self.ensure_result()?;
+        let (mode, stats) = self.last_run.expect("ensure_result records the run");
+        Ok(obj(vec![
+            ("mode", string(mode.name())),
+            ("stats", stats_json(&stats)),
+        ]))
+    }
+
+    /// `stats {}` — session-cumulative cache counters and resident state.
+    fn stats(&mut self) -> Result<JsonValue, ServeError> {
+        let netlist = match &self.circuit {
+            Some(circuit) => obj(vec![
+                ("name", string(circuit.netlist.name())),
+                ("gates", num(circuit.netlist.gate_count() as f64)),
+                ("nets", num(circuit.netlist.net_count() as f64)),
+                (
+                    "dirty",
+                    string(match circuit.dirty {
+                        Dirty::Full => "full",
+                        Dirty::Seeds(_) => "seeds",
+                        Dirty::Clean => "clean",
+                    }),
+                ),
+            ]),
+            None => JsonValue::Null,
+        };
+        let last_run = match &self.last_run {
+            Some((mode, stats)) => obj(vec![
+                ("mode", string(mode.name())),
+                ("stats", stats_json(stats)),
+            ]),
+            None => JsonValue::Null,
+        };
+        Ok(obj(vec![
+            ("backend", string(self.config.backend_name())),
+            ("threads", num(self.config.threads as f64)),
+            ("runs", num(self.runs as f64)),
+            ("netlist", netlist),
+            ("last_run", last_run),
+            (
+                "delay_cache",
+                obj(vec![
+                    ("hits", num(self.delay.hits() as f64)),
+                    ("misses", num(self.delay.misses() as f64)),
+                    ("len", num(self.delay.len() as f64)),
+                ]),
+            ),
+            (
+                "waveform_cache",
+                obj(vec![
+                    ("hits", num(self.waveforms.hits() as f64)),
+                    ("misses", num(self.waveforms.misses() as f64)),
+                    ("len", num(self.waveforms.len() as f64)),
+                ]),
+            ),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsm_cells::tech::Technology;
+    use mcsm_core::config::CharacterizationConfig;
+
+    fn session() -> Session {
+        let library = ModelLibrary::characterize(
+            &Technology::cmos_130nm(),
+            &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+            &CharacterizationConfig::coarse(),
+        )
+        .unwrap();
+        Session::new(library, SessionConfig::default())
+    }
+
+    fn params(text: &str) -> JsonValue {
+        JsonValue::parse(text).unwrap()
+    }
+
+    #[test]
+    fn a_full_query_cycle_on_c17() {
+        let mut session = session();
+        let loaded = session
+            .handle("load_netlist", &params(r#"{"builtin": "c17"}"#))
+            .unwrap();
+        assert_eq!(loaded.get("gates").unwrap().as_f64(), Some(6.0));
+        assert_eq!(loaded.get("seq").unwrap().as_f64(), Some(1.0));
+
+        session
+            .handle(
+                "set_drive",
+                &params(r#"{"net": "N1", "drive": {"kind": "fall"}}"#),
+            )
+            .unwrap();
+        session
+            .handle(
+                "set_drive",
+                &params(r#"{"net": "N3", "drive": {"kind": "dc", "level": 1.2}}"#),
+            )
+            .unwrap();
+
+        // First waveform-bearing query triggers the (full) evaluation.
+        let arrival = session
+            .handle("arrival", &params(r#"{"net": "N22"}"#))
+            .unwrap();
+        assert!(arrival.get("time_s").unwrap().as_f64().unwrap() > 1e-9);
+        let resim = session.handle("resim", &params("{}")).unwrap();
+        assert_eq!(resim.get("mode").unwrap().as_str(), Some("noop"));
+
+        // Load ECO on a leaf output net: only its driver re-solves.
+        session
+            .handle(
+                "eco",
+                &params(r#"{"op": "set_net_load", "net": "N22", "farads": 1e-15}"#),
+            )
+            .unwrap();
+        let resim = session.handle("resim", &params("{}")).unwrap();
+        assert_eq!(resim.get("mode").unwrap().as_str(), Some("incremental"));
+        let stats = resim.get("stats").unwrap();
+        assert_eq!(stats.get("gates_reused").unwrap().as_f64(), Some(5.0));
+
+        let report = session.handle("stats", &params("{}")).unwrap();
+        assert_eq!(
+            report
+                .get("netlist")
+                .unwrap()
+                .get("dirty")
+                .unwrap()
+                .as_str(),
+            Some("clean")
+        );
+        assert!(
+            report
+                .get("waveform_cache")
+                .unwrap()
+                .get("len")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn errors_carry_jsonrpc_codes_and_still_consume_seq() {
+        let mut session = session();
+        let err = session.handle("nope", &params("{}")).unwrap_err();
+        assert_eq!(err.code(), -32601);
+        let err = session
+            .handle("arrival", &params(r#"{"net": "N22"}"#))
+            .unwrap_err();
+        assert_eq!(err.code(), -32602, "no netlist loaded yet: {err}");
+        session
+            .handle("load_netlist", &params(r#"{"builtin": "c17"}"#))
+            .unwrap();
+        // Internal nets cannot be driven.
+        let err = session
+            .handle(
+                "set_drive",
+                &params(r#"{"net": "N10", "drive": {"kind": "rise"}}"#),
+            )
+            .unwrap_err();
+        assert_eq!(err.code(), -32602);
+        // Retyping to a cell with a different pin count is a validated edit.
+        let err = session
+            .handle(
+                "eco",
+                &params(r#"{"op": "retype_gate", "gate": "g22", "cell": "INV"}"#),
+            )
+            .unwrap_err();
+        assert_eq!(err.code(), -32000);
+        // Sequence advanced on every request, including the failed ones.
+        let report = session.handle("stats", &params("{}")).unwrap();
+        assert_eq!(report.get("seq").unwrap().as_f64(), Some(6.0));
+    }
+
+    #[test]
+    fn builtin_specs_parse_sizes() {
+        assert_eq!(Session::build_builtin("c17").unwrap().gate_count(), 6);
+        assert_eq!(
+            Session::build_builtin("nand_chain:5").unwrap().gate_count(),
+            5
+        );
+        assert!(Session::build_builtin("nand_chain:x").is_err());
+        assert!(Session::build_builtin("mystery").is_err());
+    }
+}

@@ -144,6 +144,51 @@ impl SourceWaveform {
         }
     }
 
+    /// Canonical content hash of the analytic shape: a variant tag plus the
+    /// exact IEEE-754 bit patterns of the parameters, through the seed-free
+    /// hasher in [`mcsm_num::hash`]. Two sources hash equal iff they are the
+    /// same variant with bit-identical parameters; an analytic shape and its
+    /// sampled equivalent hash *differently* by design (hash equality must
+    /// imply bit-identical evaluation, the converse is not required).
+    pub fn canonical_hash(&self) -> u64 {
+        let mut hasher = mcsm_num::hash::ByteHasher::new();
+        match self {
+            SourceWaveform::Dc { level } => {
+                hasher.write_u8(0);
+                hasher.write_f64(*level);
+            }
+            SourceWaveform::SaturatedRamp {
+                start,
+                end,
+                t_start,
+                t_transition,
+            } => {
+                hasher.write_u8(1);
+                hasher.write_f64_slice(&[*start, *end, *t_start, *t_transition]);
+            }
+            SourceWaveform::Pulse {
+                base,
+                peak,
+                t_delay,
+                t_rise,
+                t_width,
+                t_fall,
+            } => {
+                hasher.write_u8(2);
+                hasher.write_f64_slice(&[*base, *peak, *t_delay, *t_rise, *t_width, *t_fall]);
+            }
+            SourceWaveform::Pwl { points } => {
+                hasher.write_u8(3);
+                hasher.write_u64(points.len() as u64);
+                for &(t, v) in points {
+                    hasher.write_f64(t);
+                    hasher.write_f64(v);
+                }
+            }
+        }
+        hasher.finish()
+    }
+
     /// Returns the set of time points at which the waveform has a slope break.
     ///
     /// The transient engine forces a time step onto each breakpoint so sharp

@@ -108,6 +108,19 @@ impl Waveform {
         interp1(&self.times, &self.values, t).expect("waveform invariants guarantee valid interp")
     }
 
+    /// Canonical content hash of the waveform: a seed-free FNV-1a over the
+    /// exact IEEE-754 bit patterns of the time and value samples
+    /// ([`mcsm_num::hash`]). Two waveforms hash equal iff they are
+    /// bit-for-bit equal (shared vs owned time vectors do not matter), which
+    /// is what makes the hash usable as a memoization key without breaking
+    /// the workspace's bit-identity contract.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut hasher = mcsm_num::hash::ByteHasher::new();
+        hasher.write_f64_slice(&self.times);
+        hasher.write_f64_slice(&self.values);
+        hasher.finish()
+    }
+
     /// Resamples the waveform onto the given time points.
     ///
     /// # Errors

@@ -125,6 +125,38 @@ impl DelayCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of cached entries (family resolutions plus pin capacitances).
+    pub fn len(&self) -> usize {
+        self.families.read().expect("family cache poisoned").len()
+            + self
+                .pin_caps
+                .read()
+                .expect("pin-capacitance cache poisoned")
+                .len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry and resets the hit/miss counters. The
+    /// required reset when a cache outlives its model library (see the scope
+    /// note above) — a long-running session that swaps libraries clears
+    /// instead of allocating a fresh cache.
+    pub fn clear(&self) {
+        self.families
+            .write()
+            .expect("family cache poisoned")
+            .clear();
+        self.pin_caps
+            .write()
+            .expect("pin-capacitance cache poisoned")
+            .clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
     /// The memoized input pin capacitance for `(kind, pin)`, computing it with
     /// `compute` on the first request.
     ///
@@ -208,6 +240,115 @@ impl DelayCache {
             }
         }
         family
+    }
+}
+
+/// Key of one memoized gate solve: `(cell kind, backend, canonical hash of
+/// the input drives, exact load bits)`.
+type WaveformKey = (CellKind, BackendKey, u64, u64);
+
+/// A memoization cache for entire gate solves: the output [`Waveform`] keyed
+/// by `(cell kind, backend, input-waveform hash, load)`. A warm lookup skips
+/// the numerical engine completely — this is what makes repeated queries
+/// against a resident netlist cheap in the query server.
+///
+/// **Exact-bits bucketing.** Unlike [`DelayCache`], the load key is the exact
+/// IEEE-754 bit pattern, *not* an attofarad bucket, and the input key is a
+/// canonical content hash of the exact drive samples
+/// ([`DriveWaveform::canonical_hash`]). Bucketing nearly-equal keys together
+/// would let whichever gate fills the cache first decide the waveform its
+/// bucket-mates receive — a scheduling-dependent result under parallel fills.
+/// With exact keys, a cached solve is only ever returned for bit-identical
+/// inputs, so memoized runs stay bit-identical to unmemoized runs at any
+/// thread count. Warm *repeats* — the case that matters — present the same
+/// bits and still hit.
+///
+/// **Scope: one model library per cache**, exactly as for [`DelayCache`]: the
+/// key identifies the gate solve, not the library it was solved against.
+/// [`WaveformCache::clear`] is the reset for sessions that swap libraries.
+///
+/// Hit/miss counters use the same deterministic double-check pattern as
+/// [`DelayCache`]: exactly one miss per distinct key at any thread count.
+#[derive(Debug, Default)]
+pub struct WaveformCache {
+    solves: RwLock<HashMap<WaveformKey, Waveform>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl WaveformCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        WaveformCache::default()
+    }
+
+    /// Number of lookups answered from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to run the numerical engine.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized gate solves.
+    pub fn len(&self) -> usize {
+        self.solves.read().expect("waveform cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized solve and resets the hit/miss counters.
+    pub fn clear(&self) {
+        self.solves
+            .write()
+            .expect("waveform cache poisoned")
+            .clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// The memoized solve for `key`, computing it with `compute` on the first
+    /// request. Failures are not cached.
+    fn solve(
+        &self,
+        key: WaveformKey,
+        compute: impl FnOnce() -> Result<Waveform, StaError>,
+    ) -> Result<Waveform, StaError> {
+        if let Some(cached) = self
+            .solves
+            .read()
+            .expect("waveform cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached.clone());
+        }
+        let waveform = compute()?;
+        // Re-check under the write lock (see `DelayCache::pin_capacitance`):
+        // a concurrent filler of the same key counts as a hit, so exactly one
+        // miss is recorded per distinct key. Either copy may be returned —
+        // concurrent fills of the same key compute bit-identical waveforms.
+        match self
+            .solves
+            .write()
+            .expect("waveform cache poisoned")
+            .entry(key)
+        {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(slot.get().clone())
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.insert(waveform.clone());
+                Ok(waveform)
+            }
+        }
     }
 }
 
@@ -358,6 +499,56 @@ impl DelayCalculator {
                 self.sis_only(store, kind, inputs, load_capacitance, v_out_initial)
             }
         }
+    }
+
+    /// Like [`DelayCalculator::gate_output_cached`], additionally memoizing
+    /// the **entire gate solve** in a [`WaveformCache`]: when the same cell,
+    /// backend, bit-identical input drives and exact load have been solved
+    /// before, the cached output waveform is returned without touching the
+    /// numerical engine. Pin-count validation still runs on every call, so a
+    /// malformed request is never answered from the cache.
+    ///
+    /// Memoized results are bit-identical to [`DelayCalculator::gate_output_cached`]
+    /// by construction (exact-bits keys — see [`WaveformCache`]). Both caches
+    /// share the per-library scope rule.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DelayCalculator::gate_output`]. Failures are not cached.
+    pub fn gate_output_memoized(
+        &self,
+        store: &ModelStore,
+        kind: CellKind,
+        inputs: &[DriveWaveform],
+        load_capacitance: f64,
+        cache: Option<&DelayCache>,
+        waveforms: Option<&WaveformCache>,
+    ) -> Result<Waveform, StaError> {
+        let Some(waveforms) = waveforms else {
+            return self.gate_output_cached(store, kind, inputs, load_capacitance, cache);
+        };
+        if inputs.len() != kind.input_count() {
+            return Err(StaError::InvalidParameter(format!(
+                "{} expects {} inputs, got {}",
+                kind.name(),
+                kind.input_count(),
+                inputs.len()
+            )));
+        }
+        let mut hasher = mcsm_num::hash::ByteHasher::new();
+        hasher.write_u64(inputs.len() as u64);
+        for drive in inputs {
+            hasher.write_u64(drive.canonical_hash());
+        }
+        let key = (
+            kind,
+            self.backend_key(),
+            hasher.finish(),
+            load_capacitance.to_bits(),
+        );
+        waveforms.solve(key, || {
+            self.gate_output_cached(store, kind, inputs, load_capacitance, cache)
+        })
     }
 
     /// The cache-key fragment identifying this calculator's backend.
@@ -666,6 +857,100 @@ mod tests {
         // Each backend resolved its family once and reused it once.
         assert_eq!(cache.misses(), 4);
         assert_eq!(cache.hits(), 4);
+    }
+
+    #[test]
+    fn memoized_gate_output_is_bit_identical_and_skips_the_engine() {
+        let store = nor2_store();
+        let cache = DelayCache::new();
+        let waveforms = WaveformCache::new();
+        let calc = calculator(DelayBackend::CompleteMcsm);
+        let a = DriveWaveform::falling_ramp(1.2, 1e-9, 60e-12);
+        let b = DriveWaveform::falling_ramp(1.2, 1.1e-9, 80e-12);
+        let inputs = [a.clone(), b.clone()];
+
+        let plain = calc
+            .gate_output(&store, CellKind::Nor2, &inputs, 4e-15)
+            .unwrap();
+        let cold = calc
+            .gate_output_memoized(
+                &store,
+                CellKind::Nor2,
+                &inputs,
+                4e-15,
+                Some(&cache),
+                Some(&waveforms),
+            )
+            .unwrap();
+        assert_eq!(plain, cold);
+        assert_eq!(waveforms.misses(), 1);
+        assert_eq!(waveforms.hits(), 0);
+        assert_eq!(waveforms.len(), 1);
+
+        // Warm lookup: same bits in, same bits out, no new solve.
+        let warm = calc
+            .gate_output_memoized(
+                &store,
+                CellKind::Nor2,
+                &inputs,
+                4e-15,
+                Some(&cache),
+                Some(&waveforms),
+            )
+            .unwrap();
+        assert_eq!(plain, warm);
+        assert_eq!(waveforms.misses(), 1);
+        assert_eq!(waveforms.hits(), 1);
+
+        // Exact-bits keys: a different load or different drive misses.
+        calc.gate_output_memoized(
+            &store,
+            CellKind::Nor2,
+            &inputs,
+            4.1e-15,
+            Some(&cache),
+            Some(&waveforms),
+        )
+        .unwrap();
+        let swapped = [b, a];
+        calc.gate_output_memoized(
+            &store,
+            CellKind::Nor2,
+            &swapped,
+            4e-15,
+            Some(&cache),
+            Some(&waveforms),
+        )
+        .unwrap();
+        assert_eq!(waveforms.misses(), 3);
+        assert_eq!(waveforms.len(), 3);
+
+        // Without a waveform cache the call degrades to the cached path.
+        let degraded = calc
+            .gate_output_memoized(&store, CellKind::Nor2, &inputs, 4e-15, Some(&cache), None)
+            .unwrap();
+        assert_eq!(plain, degraded);
+
+        // Pin-count validation is never answered from the cache.
+        assert!(calc
+            .gate_output_memoized(
+                &store,
+                CellKind::Nor2,
+                &inputs[..1],
+                4e-15,
+                Some(&cache),
+                Some(&waveforms)
+            )
+            .is_err());
+
+        // clear() resets entries and counters on both caches.
+        waveforms.clear();
+        assert!(waveforms.is_empty());
+        assert_eq!((waveforms.hits(), waveforms.misses()), (0, 0));
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
     }
 
     #[test]

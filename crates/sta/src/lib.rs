@@ -83,7 +83,7 @@ pub mod models;
 pub mod noise;
 
 pub use arrival::{propagate, TimingOptions, TimingResult};
-pub use delaycalc::{DelayBackend, DelayCache, DelayCalculator};
+pub use delaycalc::{DelayBackend, DelayCache, DelayCalculator, WaveformCache};
 pub use error::StaError;
 pub use graph::{Gate, GateGraph, GateId, NetId};
 pub use models::ModelLibrary;

@@ -1,0 +1,125 @@
+//! A scripted end-to-end session against the `mcsm-serve` query engine.
+//!
+//! The server keeps a characterized library, a netlist and the last committed
+//! simulation result resident, so a what-if loop — query, edit, re-query —
+//! never re-characterizes and only re-solves the cone an edit invalidated.
+//! This example drives one session through the JSON-RPC protocol exactly as a
+//! client would: load the ISCAS-85 c17 benchmark, put falling ramps on its
+//! inputs, read arrival times at both outputs, then apply a load ECO on net
+//! N22 and watch the incremental re-evaluation touch one gate while the other
+//! five keep their committed waveforms.
+//!
+//! Run with `cargo run --release --example server_session`.
+//! Set `MCSM_BENCH_FAST=1` for coarse characterization grids (CI smoke mode).
+
+use mcsm::cells::cell::CellKind;
+use mcsm::cells::tech::Technology;
+use mcsm::core::config::CharacterizationConfig;
+use mcsm::num::json::JsonValue;
+use mcsm::serve::{Engine, Session, SessionConfig};
+use mcsm::sta::models::ModelLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos_130nm();
+    let config = if mcsm::num::par::env_flag("MCSM_BENCH_FAST") {
+        CharacterizationConfig::coarse()
+    } else {
+        CharacterizationConfig::standard()
+    };
+    println!("characterizing INV, NAND2, NOR2 ...");
+    let library = ModelLibrary::characterize(
+        &tech,
+        &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+        &config,
+    )?;
+
+    let engine = Engine::new(Session::new(library, SessionConfig::default()));
+    let ask = |label: &str, line: &str| -> JsonValue {
+        let response = engine.handle_line(line);
+        let doc = JsonValue::parse(&response).expect("response is JSON");
+        match doc.get("result") {
+            Some(result) => result.clone(),
+            None => panic!("{label} failed: {response}"),
+        }
+    };
+
+    // Load c17 and put a staggered falling ramp on every primary input.
+    let loaded = ask(
+        "load",
+        r#"{"id": 1, "method": "load_netlist", "params": {"builtin": "c17"}}"#,
+    );
+    println!(
+        "loaded {}: {} gates, {} nets",
+        loaded.get("name").unwrap().as_str().unwrap(),
+        loaded.get("gates").unwrap().as_f64().unwrap(),
+        loaded.get("nets").unwrap().as_f64().unwrap(),
+    );
+    for (i, net) in ["N1", "N2", "N3", "N6", "N7"].iter().enumerate() {
+        let line = format!(
+            r#"{{"id": 1, "method": "set_drive", "params": {{"net": "{}", "drive": {{"kind": "fall", "t_start": {}, "transition": 8e-11}}}}}}"#,
+            net,
+            1e-9 + 20e-12 * i as f64
+        );
+        ask("set_drive", &line);
+    }
+
+    // The first arrival query triggers the full evaluation. Under these
+    // stimuli N22 falls; N23 never crosses 50 % (it starts and ends low), so
+    // its arrival is null.
+    for net in ["N22", "N23"] {
+        let line = format!(r#"{{"id": 1, "method": "arrival", "params": {{"net": "{net}"}}}}"#);
+        let arrival = ask("arrival", &line);
+        match arrival.get("time_s").unwrap().as_f64() {
+            Some(time) => println!(
+                "arrival {net}: {:.1} ps ({})",
+                time * 1e12,
+                if arrival.get("rising").unwrap().as_bool().unwrap() {
+                    "rising"
+                } else {
+                    "falling"
+                },
+            ),
+            None => println!("arrival {net}: no 50 % crossing in the window"),
+        }
+    }
+
+    // ECO: triple the external load on output net N22. Only its driver g22
+    // is invalidated; the next evaluation reuses the other five gates.
+    let eco = ask(
+        "eco",
+        r#"{"id": 1, "method": "eco", "params": {"op": "set_net_load", "net": "N22", "farads": 6e-15}}"#,
+    );
+    println!(
+        "eco set_net_load N22: {} gate(s) invalidated",
+        eco.get("invalidated_gates").unwrap().as_f64().unwrap(),
+    );
+    let resim = ask("resim", r#"{"id": 1, "method": "resim", "params": {}}"#);
+    let stats = resim.get("stats").unwrap();
+    println!(
+        "resim mode {}: {} gate(s) re-solved, {} reused from the committed result",
+        resim.get("mode").unwrap().as_str().unwrap(),
+        stats.get("gates_simulated").unwrap().as_f64().unwrap()
+            + stats.get("gates_skipped").unwrap().as_f64().unwrap(),
+        stats.get("gates_reused").unwrap().as_f64().unwrap(),
+    );
+    let arrival = ask(
+        "arrival",
+        r#"{"id": 1, "method": "arrival", "params": {"net": "N22"}}"#,
+    );
+    println!(
+        "arrival N22 after ECO: {:.1} ps",
+        arrival.get("time_s").unwrap().as_f64().unwrap() * 1e12,
+    );
+
+    // Session-cumulative counters: runs, cache sizes, hit rates.
+    let report = ask("stats", r#"{"id": 1, "method": "stats", "params": {}}"#);
+    let waveforms = report.get("waveform_cache").unwrap();
+    println!(
+        "session: {} runs, waveform memo {} entries ({} hits / {} misses)",
+        report.get("runs").unwrap().as_f64().unwrap(),
+        waveforms.get("len").unwrap().as_f64().unwrap(),
+        waveforms.get("hits").unwrap().as_f64().unwrap(),
+        waveforms.get("misses").unwrap().as_f64().unwrap(),
+    );
+    Ok(())
+}

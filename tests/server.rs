@@ -1,0 +1,305 @@
+//! Integration tests of the incremental query server (`mcsm-serve`) — the
+//! acceptance bar of the server PR:
+//!
+//! * a concurrent 8-client stress run against one engine produces responses
+//!   bit-identical to a serial replay of the same requests in `seq` order;
+//! * an ECO on a c17 leaf re-solves only its cone, with pinned resolve/reuse
+//!   counts, and the incrementally-updated waveforms are bit-identical to a
+//!   from-scratch simulation of the edited netlist at 1, 2 and 8 threads;
+//! * a warm full re-simulation answers every gate solve from the waveform
+//!   memo (`waveform_misses == 0`);
+//! * the TCP transport round-trips real queries.
+
+use mcsm::num::json::JsonValue;
+use mcsm::serve::{strip_timing, Engine, Session, SessionConfig};
+use mcsm::sta::models::ModelLibrary;
+use mcsm_cells::cell::CellKind;
+use mcsm_cells::tech::Technology;
+use mcsm_core::config::CharacterizationConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, OnceLock};
+
+fn library() -> &'static ModelLibrary {
+    static LIBRARY: OnceLock<ModelLibrary> = OnceLock::new();
+    LIBRARY.get_or_init(|| {
+        ModelLibrary::characterize(
+            &Technology::cmos_130nm(),
+            &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+            &CharacterizationConfig::coarse(),
+        )
+        .unwrap()
+    })
+}
+
+fn engine(threads: usize) -> Engine {
+    let config = SessionConfig {
+        threads,
+        ..SessionConfig::default()
+    };
+    Engine::new(Session::new(library().clone(), config))
+}
+
+/// c17 with falling ramps on every input — the setup request lines shared by
+/// the stress run and its serial replay.
+fn c17_setup_lines() -> Vec<String> {
+    let mut lines =
+        vec![r#"{"id": 0, "method": "load_netlist", "params": {"builtin": "c17"}}"#.to_string()];
+    for (i, net) in ["N1", "N2", "N3", "N6", "N7"].iter().enumerate() {
+        lines.push(format!(
+            r#"{{"id": 0, "method": "set_drive", "params": {{"net": "{}", "drive": {{"kind": "fall", "t_start": {}, "transition": 8e-11}}}}}}"#,
+            net,
+            1e-9 + 20e-12 * i as f64
+        ));
+    }
+    lines
+}
+
+fn response_seq(response_line: &str) -> u64 {
+    JsonValue::parse(response_line)
+        .unwrap()
+        .get("result")
+        .expect("stress requests never fail")
+        .get("seq")
+        .unwrap()
+        .as_f64()
+        .unwrap() as u64
+}
+
+#[test]
+fn concurrent_stress_matches_serial_replay_bit_for_bit() {
+    let shared = Arc::new(engine(2));
+    for line in c17_setup_lines() {
+        shared.handle_line(&line);
+    }
+
+    // 8 clients interleave arrival / eco / resim / slew / stats traffic.
+    let recorded: Vec<(String, String)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|client| {
+                let engine = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let mut log = Vec::new();
+                    for round in 0..4 {
+                        let requests = [
+                            format!(
+                                r#"{{"id": "c{client}-r{round}-arr", "method": "arrival", "params": {{"net": "N22"}}}}"#
+                            ),
+                            format!(
+                                r#"{{"id": "c{client}-r{round}-eco", "method": "eco", "params": {{"op": "set_net_load", "net": "N23", "farads": {}}}}}"#,
+                                (client * 4 + round + 1) as f64 * 1e-16
+                            ),
+                            format!(
+                                r#"{{"id": "c{client}-r{round}-sim", "method": "resim", "params": {{}}}}"#
+                            ),
+                            format!(
+                                r#"{{"id": "c{client}-r{round}-slew", "method": "slew", "params": {{"net": "N23", "rising": false}}}}"#
+                            ),
+                            format!(
+                                r#"{{"id": "c{client}-r{round}-st", "method": "stats", "params": {{}}}}"#
+                            ),
+                        ];
+                        for request in requests {
+                            let response = engine.handle_line(&request);
+                            log.push((request, response));
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect()
+    });
+    assert_eq!(recorded.len(), 8 * 4 * 5);
+
+    // The lock serialized the interleaving into seq order; replaying the same
+    // requests in that order on a fresh identical session must reproduce
+    // every response bit-for-bit (minus wall-clock timing).
+    let mut ordered = recorded;
+    ordered.sort_by_key(|(_, response)| response_seq(response));
+    let replay_engine = engine(2);
+    for line in c17_setup_lines() {
+        replay_engine.handle_line(&line);
+    }
+    for (request, concurrent_response) in &ordered {
+        let serial_response = replay_engine.handle_line(request);
+        assert_eq!(
+            strip_timing(&JsonValue::parse(&serial_response).unwrap()),
+            strip_timing(&JsonValue::parse(concurrent_response).unwrap()),
+            "request {request}"
+        );
+    }
+}
+
+#[test]
+fn leaf_eco_resolves_only_its_cone_with_pinned_counts() {
+    let engine = engine(1);
+    for line in c17_setup_lines() {
+        engine.handle_line(&line);
+    }
+    // Commit the baseline result.
+    engine.handle_line(r#"{"id": 1, "method": "resim", "params": {}}"#);
+
+    // Retyping leaf gate g22 (cell unchanged — NAND2 to NAND2) invalidates
+    // the gate plus the drivers of its input nets (their loads depend on its
+    // pin caps): cone {g10, g16, g22, g23} — 4 resolved, 2 reused.
+    let response = engine.handle_line(
+        r#"{"id": 2, "method": "eco", "params": {"op": "retype_gate", "gate": "g22", "cell": "NAND2"}}"#,
+    );
+    let doc = JsonValue::parse(&response).unwrap();
+    assert_eq!(
+        doc.get("result")
+            .unwrap()
+            .get("invalidated_gates")
+            .unwrap()
+            .as_f64(),
+        Some(3.0)
+    );
+    let response = engine.handle_line(r#"{"id": 3, "method": "resim", "params": {}}"#);
+    let stats = JsonValue::parse(&response)
+        .unwrap()
+        .get("result")
+        .unwrap()
+        .clone();
+    assert_eq!(stats.get("mode").unwrap().as_str(), Some("incremental"));
+    let run = stats.get("stats").unwrap().clone();
+    let resolved = run.get("gates_simulated").unwrap().as_f64().unwrap()
+        + run.get("gates_skipped").unwrap().as_f64().unwrap();
+    assert_eq!(resolved, 4.0, "cone of g22 retype");
+    assert_eq!(run.get("gates_reused").unwrap().as_f64(), Some(2.0));
+    assert!(resolved < 6.0, "strictly fewer than c17's 6 gates");
+
+    // A load ECO on output net N22 re-solves only its driver g22.
+    engine.handle_line(
+        r#"{"id": 4, "method": "eco", "params": {"op": "set_net_load", "net": "N22", "farads": 1e-15}}"#,
+    );
+    let response = engine.handle_line(r#"{"id": 5, "method": "resim", "params": {}}"#);
+    let run = JsonValue::parse(&response)
+        .unwrap()
+        .get("result")
+        .unwrap()
+        .get("stats")
+        .unwrap()
+        .clone();
+    let resolved = run.get("gates_simulated").unwrap().as_f64().unwrap()
+        + run.get("gates_skipped").unwrap().as_f64().unwrap();
+    assert_eq!(resolved, 1.0, "cone of an output-net load change");
+    assert_eq!(run.get("gates_reused").unwrap().as_f64(), Some(5.0));
+}
+
+#[test]
+fn incremental_waveforms_match_from_scratch_at_every_thread_count() {
+    for threads in [1usize, 2, 8] {
+        // Session A: baseline run, then ECO, then *incremental* update.
+        let incremental = engine(threads);
+        for line in c17_setup_lines() {
+            incremental.handle_line(&line);
+        }
+        incremental.handle_line(r#"{"id": 1, "method": "resim", "params": {}}"#);
+        incremental.handle_line(
+            r#"{"id": 2, "method": "eco", "params": {"op": "set_net_load", "net": "N16", "farads": 5e-16}}"#,
+        );
+        let response = incremental.handle_line(r#"{"id": 3, "method": "resim", "params": {}}"#);
+        assert_eq!(
+            JsonValue::parse(&response)
+                .unwrap()
+                .get("result")
+                .unwrap()
+                .get("mode")
+                .unwrap()
+                .as_str(),
+            Some("incremental"),
+            "at {threads} threads"
+        );
+
+        // Session B: the same final netlist state evaluated from scratch.
+        let scratch = engine(threads);
+        for line in c17_setup_lines() {
+            scratch.handle_line(&line);
+        }
+        scratch.handle_line(
+            r#"{"id": 2, "method": "eco", "params": {"op": "set_net_load", "net": "N16", "farads": 5e-16}}"#,
+        );
+
+        for net in ["N1", "N3", "N10", "N11", "N16", "N19", "N22", "N23"] {
+            let query =
+                format!(r#"{{"id": "w", "method": "waveform", "params": {{"net": "{net}"}}}}"#);
+            let a = JsonValue::parse(&incremental.handle_line(&query)).unwrap();
+            let b = JsonValue::parse(&scratch.handle_line(&query)).unwrap();
+            let samples = |doc: &JsonValue| {
+                let result = doc.get("result").unwrap().clone();
+                (
+                    result.get("times_s").unwrap().to_f64_vec().unwrap(),
+                    result.get("values_v").unwrap().to_f64_vec().unwrap(),
+                )
+            };
+            let (ta, va) = samples(&a);
+            let (tb, vb) = samples(&b);
+            assert_eq!(ta.len(), tb.len(), "{net} at {threads} threads");
+            for (x, y) in ta.iter().zip(&tb).chain(va.iter().zip(&vb)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{net} at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_full_resim_never_touches_the_engine() {
+    let engine = engine(1);
+    for line in c17_setup_lines() {
+        engine.handle_line(&line);
+    }
+    let cold = engine.handle_line(r#"{"id": 1, "method": "resim", "params": {"full": true}}"#);
+    let warm = engine.handle_line(r#"{"id": 2, "method": "resim", "params": {"full": true}}"#);
+    let stats = |line: &str| {
+        JsonValue::parse(line)
+            .unwrap()
+            .get("result")
+            .unwrap()
+            .get("stats")
+            .unwrap()
+            .clone()
+    };
+    let cold = stats(&cold);
+    let warm = stats(&warm);
+    let solved = cold.get("gates_simulated").unwrap().as_f64().unwrap();
+    assert!(solved > 0.0);
+    assert_eq!(cold.get("waveform_misses").unwrap().as_f64(), Some(solved));
+    assert_eq!(warm.get("waveform_misses").unwrap().as_f64(), Some(0.0));
+    assert_eq!(warm.get("waveform_hits").unwrap().as_f64(), Some(solved));
+}
+
+#[test]
+fn tcp_transport_serves_real_queries() {
+    let engine = Arc::new(engine(1));
+    let mut server = mcsm::serve::serve_tcp(engine, "127.0.0.1:0", 2).unwrap();
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut ask = |line: &str| -> JsonValue {
+        writeln!(writer, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        JsonValue::parse(&response).unwrap()
+    };
+    for line in c17_setup_lines() {
+        assert!(ask(&line).get("result").is_some());
+    }
+    let arrival = ask(r#"{"id": 9, "method": "arrival", "params": {"net": "N22"}}"#);
+    assert_eq!(arrival.get("id").unwrap().as_f64(), Some(9.0));
+    assert!(
+        arrival
+            .get("result")
+            .unwrap()
+            .get("time_s")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 1e-9
+    );
+    drop(writer);
+    drop(reader);
+    server.stop();
+}
