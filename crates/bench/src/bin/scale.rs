@@ -1,0 +1,138 @@
+//! The `scale` experiment binary: arena-construction, levelization and
+//! streaming-simulation throughput on `scale_free_dag` circuits at
+//! 10k / 100k / 1M gates, with peak-RSS snapshots. Writes `BENCH_scale.json`.
+//!
+//! ```text
+//! scale [--threads N] [--out PATH] [--max-live-frac X]
+//! ```
+//!
+//! * `--threads N` — worker threads for the simulated tiers (default `0` =
+//!   auto from `MCSM_THREADS` / the machine).
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_scale.json` in the working directory).
+//! * `--max-live-frac X` — CI memory gate: exit non-zero if any streamed run
+//!   kept more than `X * nets` waveforms live at once (default `0.1`;
+//!   streamed-vs-full identity failures always exit non-zero).
+//!
+//! `MCSM_BENCH_FAST=1` keeps the 1M tier build-and-levelize only.
+
+use mcsm_bench::{run_scale_sweep, write_json_report, ScaleOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    threads: usize,
+    out: PathBuf,
+    max_live_frac: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 0,
+        out: PathBuf::from("BENCH_scale.json"),
+        max_live_frac: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--max-live-frac" => {
+                args.max_live_frac = Some(
+                    value("--max-live-frac")?
+                        .parse()
+                        .map_err(|e| format!("--max-live-frac: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("scale: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut options = ScaleOptions::for_threads(args.threads);
+    if let Some(frac) = args.max_live_frac {
+        options.max_live_frac = frac;
+    }
+    println!(
+        "# scale experiment: tiers {:?}, {} threads{}",
+        options
+            .tiers
+            .iter()
+            .map(|tier| tier.gates)
+            .collect::<Vec<_>>(),
+        mcsm_num::par::resolve_threads(args.threads),
+        if mcsm_bench::fast_mode() {
+            " (fast mode)"
+        } else {
+            ""
+        }
+    );
+    let report = match run_scale_sweep(&options) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("scale: experiment failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "circuit | gates | nets | levels | build s | levelize s | build gates/s | peak RSS MiB | sim s | sim gates/s | live frac | identical"
+    );
+    for case in &report.cases {
+        let (sim_s, sim_gps, live, identical) = match &case.sim {
+            Some(sim) => (
+                format!("{:.4}", sim.sim_seconds),
+                format!("{:.0}", sim.gates_per_second),
+                format!("{:.4}", sim.live_fraction),
+                sim.streamed_identical
+                    .map_or_else(|| "-".to_string(), |ok| ok.to_string()),
+            ),
+            None => ("-".into(), "-".into(), "-".into(), "-".into()),
+        };
+        println!(
+            "{} | {} | {} | {} | {:.4} | {:.4} | {:.0} | {:.1} | {} | {} | {} | {}",
+            case.circuit,
+            case.gates,
+            case.nets,
+            case.levels,
+            case.build_seconds,
+            case.levelize_seconds,
+            case.build_gates_per_second,
+            case.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            sim_s,
+            sim_gps,
+            live,
+            identical,
+        );
+    }
+
+    if let Err(message) = write_json_report(&args.out, &report.to_json()) {
+        eprintln!("scale: {message}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+
+    let failures = report.gate_failures();
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("scale: {failure}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

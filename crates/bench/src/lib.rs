@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod netlist_sweep;
 pub mod netsim;
 pub mod report;
+pub mod scale;
 pub mod server;
 pub mod sim_hotpath;
 
@@ -19,5 +20,6 @@ pub use experiments::*;
 pub use netlist_sweep::*;
 pub use netsim::*;
 pub use report::*;
+pub use scale::*;
 pub use server::*;
 pub use sim_hotpath::*;

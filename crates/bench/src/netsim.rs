@@ -295,7 +295,7 @@ fn time_case(
     options: &NetsimSweepOptions,
 ) -> Result<NetsimCase, NetsimError> {
     let vdd = library.vdd();
-    let levels = topological_levels(netlist).len();
+    let levels = topological_levels(netlist).level_count();
     let drives = netsim_input_drives(netlist, vdd, sparse);
     // The simulated window must cover the accumulated path delay, so it
     // scales with the circuit depth (same rule as the STA sweep).

@@ -1,0 +1,509 @@
+//! The `scale` experiment: million-gate netlist capacity of the arena IR and
+//! the streaming simulator.
+//!
+//! Where the `netsim` sweep measures model-fidelity throughput on small
+//! circuits, this experiment measures the *data-model* ceiling: for
+//! preferential-attachment [`scale_free_dag`] circuits at 10k / 100k / 1M
+//! gates it times arena construction and single-pass levelization
+//! (gates per second), snapshots peak resident memory (`VmHWM` from
+//! `/proc/self/status`, std-only), and — on the tiers marked for simulation —
+//! runs the event-driven simulator in **streaming** mode
+//! ([`Observe::Points`] with the primary outputs as the only observation
+//! points), recording [`peak_live_waveforms`](mcsm_netsim::NetsimStats) as a
+//! fraction of the net count.
+//!
+//! Two gates make the result CI-checkable:
+//!
+//! * **live fraction** — streamed runs must keep
+//!   `peak_live_waveforms / nets` at or below
+//!   [`ScaleOptions::max_live_frac`];
+//! * **identity** — on the smallest simulated tier, streamed runs at 1, 2
+//!   and 8 threads must be bit-identical to a full-retention run on every
+//!   primary output.
+//!
+//! Honors `MCSM_BENCH_FAST=1` (see [`crate::report::fast_mode`]): the fast
+//! tiers still build and levelize the 1M-gate circuit but only simulate up
+//! to 100k gates.
+
+use crate::report::fast_or;
+use mcsm_cells::cell::CellKind;
+use mcsm_cells::tech::Technology;
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
+use mcsm_net::{scale_free_dag, NetRef, Netlist, ScaleFreeConfig};
+use mcsm_netsim::{
+    cone_of_influence, seeds_for_drive_change, simulate_netlist, NetsimError, NetsimOptions,
+    Observe,
+};
+use mcsm_num::json::JsonValue;
+use mcsm_num::par;
+use mcsm_sta::delaycalc::{DelayBackend, DelayCalculator};
+use mcsm_sta::models::ModelLibrary;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One size point of the scale sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleTier {
+    /// Gate budget of the generated circuit.
+    pub gates: usize,
+    /// Whether to run the streaming simulator on this tier (construction and
+    /// levelization are always timed).
+    pub simulate: bool,
+}
+
+/// Configuration of one scale-experiment run.
+#[derive(Debug, Clone)]
+pub struct ScaleOptions {
+    /// Worker threads for the simulated tiers (`0` = auto).
+    pub threads: usize,
+    /// Size points, smallest first (peak-RSS is a process high-water mark,
+    /// so ascending order keeps each tier's snapshot meaningful).
+    pub tiers: Vec<ScaleTier>,
+    /// Engine time step (seconds) for the simulated tiers.
+    pub dt: f64,
+    /// CI gate: maximum allowed `peak_live_waveforms / nets` of a streamed
+    /// run.
+    pub max_live_frac: f64,
+    /// Generator seed (`scale_free_dag` is deterministic per seed).
+    pub seed: u64,
+}
+
+impl ScaleOptions {
+    /// The default sweep for a thread count. Fast mode simulates the 10k and
+    /// 100k tiers and build-levelizes the 1M tier; full mode simulates all
+    /// three.
+    pub fn for_threads(threads: usize) -> Self {
+        let tier = |gates: usize, simulate: bool| ScaleTier { gates, simulate };
+        ScaleOptions {
+            threads,
+            tiers: fast_or(
+                vec![
+                    tier(10_000, true),
+                    tier(100_000, true),
+                    tier(1_000_000, false),
+                ],
+                vec![
+                    tier(10_000, true),
+                    tier(100_000, true),
+                    tier(1_000_000, true),
+                ],
+            ),
+            dt: fast_or(16e-12, 8e-12),
+            max_live_frac: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`, falling back to current residency from
+/// `/proc/self/statm`). `None` where procfs is unavailable (non-Linux).
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    if let Ok(kb) = rest.trim().trim_end_matches("kB").trim().parse::<u64>() {
+                        return Some(kb * 1024);
+                    }
+                }
+            }
+        }
+        let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+        let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+        Some(pages * 4096)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Streamed-simulation measurements of one tier.
+#[derive(Debug, Clone)]
+pub struct ScaleSimCase {
+    /// Wall-clock seconds of one streamed run at the configured thread count.
+    pub sim_seconds: f64,
+    /// Whole-circuit throughput (skipped gates count — that is the point of
+    /// the event-driven schedule).
+    pub gates_per_second: f64,
+    /// Gates handed to the numerical engine.
+    pub gates_simulated: usize,
+    /// Gates resolved to DC without an engine run.
+    pub gates_skipped: usize,
+    /// Nets whose excursion exceeded the event threshold.
+    pub events: usize,
+    /// High-water mark of simultaneously live waveforms.
+    pub peak_live_waveforms: usize,
+    /// `peak_live_waveforms / nets` — the memory-bounding metric the CI gate
+    /// checks.
+    pub live_fraction: f64,
+    /// On the identity tier: whether streamed runs at 1/2/8 threads matched
+    /// the full-retention run bit-for-bit on every primary output.
+    pub streamed_identical: Option<bool>,
+}
+
+/// One tier of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleCase {
+    /// Name of the generated circuit.
+    pub circuit: String,
+    /// Gate count.
+    pub gates: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Primary inputs / outputs.
+    pub primary_inputs: usize,
+    /// Primary outputs (== inputs for `scale_free_dag`, by construction).
+    pub primary_outputs: usize,
+    /// Topological depth of the schedule.
+    pub levels: usize,
+    /// Wall-clock seconds to generate + build (validate, CSR-ize) the arena.
+    pub build_seconds: f64,
+    /// Wall-clock seconds of one single-pass levelization.
+    pub levelize_seconds: f64,
+    /// Construction throughput: gates / (build + levelize).
+    pub build_gates_per_second: f64,
+    /// Process peak RSS (bytes) after this tier; `0` where unavailable.
+    pub peak_rss_bytes: u64,
+    /// Streamed-simulation measurements, when the tier simulates.
+    pub sim: Option<ScaleSimCase>,
+}
+
+/// The full experiment result, written to `BENCH_scale.json`.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Worker threads the simulated tiers ran with (resolved, never 0).
+    pub threads: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// The live-fraction ceiling the run was gated against.
+    pub max_live_frac: f64,
+    /// All tiers, ascending by size.
+    pub cases: Vec<ScaleCase>,
+}
+
+impl ScaleReport {
+    /// Gate-check failures: live fractions above the ceiling and identity
+    /// mismatches. Empty means the run passes CI.
+    pub fn gate_failures(&self) -> Vec<String> {
+        let mut failures = Vec::new();
+        for case in &self.cases {
+            if let Some(sim) = &case.sim {
+                if sim.live_fraction > self.max_live_frac {
+                    failures.push(format!(
+                        "{}: live fraction {:.4} exceeds the {:.4} ceiling",
+                        case.circuit, sim.live_fraction, self.max_live_frac
+                    ));
+                }
+                if sim.streamed_identical == Some(false) {
+                    failures.push(format!(
+                        "{}: streamed waveforms differ from full retention",
+                        case.circuit
+                    ));
+                }
+            }
+        }
+        failures
+    }
+
+    /// The machine-readable report.
+    pub fn to_json(&self) -> JsonValue {
+        let num = JsonValue::Number;
+        JsonValue::Object(vec![
+            ("experiment".into(), JsonValue::String("scale".into())),
+            (
+                "fast_mode".into(),
+                JsonValue::Bool(crate::report::fast_mode()),
+            ),
+            ("threads".into(), num(self.threads as f64)),
+            ("seed".into(), num(self.seed as f64)),
+            ("max_live_frac".into(), num(self.max_live_frac)),
+            (
+                "gate_failures".into(),
+                JsonValue::Array(
+                    self.gate_failures()
+                        .into_iter()
+                        .map(JsonValue::String)
+                        .collect(),
+                ),
+            ),
+            (
+                "tiers".into(),
+                JsonValue::Array(
+                    self.cases
+                        .iter()
+                        .map(|case| {
+                            let sim = match &case.sim {
+                                None => JsonValue::Null,
+                                Some(sim) => JsonValue::Object(vec![
+                                    ("sim_seconds".into(), num(sim.sim_seconds)),
+                                    ("gates_per_second".into(), num(sim.gates_per_second)),
+                                    ("gates_simulated".into(), num(sim.gates_simulated as f64)),
+                                    ("gates_skipped".into(), num(sim.gates_skipped as f64)),
+                                    ("events".into(), num(sim.events as f64)),
+                                    (
+                                        "peak_live_waveforms".into(),
+                                        num(sim.peak_live_waveforms as f64),
+                                    ),
+                                    ("live_fraction".into(), num(sim.live_fraction)),
+                                    (
+                                        "streamed_identical".into(),
+                                        sim.streamed_identical
+                                            .map_or(JsonValue::Null, JsonValue::Bool),
+                                    ),
+                                ]),
+                            };
+                            JsonValue::Object(vec![
+                                ("circuit".into(), JsonValue::String(case.circuit.clone())),
+                                ("gates".into(), num(case.gates as f64)),
+                                ("nets".into(), num(case.nets as f64)),
+                                ("primary_inputs".into(), num(case.primary_inputs as f64)),
+                                ("primary_outputs".into(), num(case.primary_outputs as f64)),
+                                ("levels".into(), num(case.levels as f64)),
+                                ("build_seconds".into(), num(case.build_seconds)),
+                                ("levelize_seconds".into(), num(case.levelize_seconds)),
+                                (
+                                    "build_gates_per_second".into(),
+                                    num(case.build_gates_per_second),
+                                ),
+                                ("peak_rss_bytes".into(), num(case.peak_rss_bytes as f64)),
+                                ("sim".into(), sim),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Sparse stimulus: every primary input parked at the rail except the one
+/// with the smallest non-empty structural cone among the first 64 inputs —
+/// deterministic, and bounded engine work even on preferential-attachment
+/// topologies whose early nets fan out to most of the circuit.
+fn sparse_scale_drives(netlist: &Netlist, vdd: f64) -> HashMap<NetRef, DriveWaveform> {
+    let mut best: Option<(usize, NetRef)> = None;
+    for &pi in netlist.primary_inputs().iter().take(64) {
+        let seeds = seeds_for_drive_change(netlist, pi);
+        if seeds.is_empty() {
+            continue;
+        }
+        let cone = cone_of_influence(netlist, &seeds).len();
+        if best.is_none_or(|(size, _)| cone < size) {
+            best = Some((cone, pi));
+        }
+    }
+    let switching = best.map(|(_, pi)| pi);
+    netlist
+        .primary_inputs()
+        .iter()
+        .map(|&pi| {
+            let drive = if Some(pi) == switching {
+                DriveWaveform::falling_ramp(vdd, 0.5e-9, 80e-12)
+            } else {
+                DriveWaveform::dc(vdd)
+            };
+            (pi, drive)
+        })
+        .collect()
+}
+
+/// Runs the experiment: one tier at a time, ascending.
+///
+/// # Errors
+///
+/// Propagates characterization and simulation failures.
+pub fn run_scale_sweep(options: &ScaleOptions) -> Result<ScaleReport, NetsimError> {
+    let threads = par::resolve_threads(options.threads);
+    let technology = Technology::cmos_130nm();
+    // The scale experiment measures the netlist layer, not model fidelity:
+    // the cheapest (SIS) family keeps the engine out of the way.
+    let library = ModelLibrary::characterize_parallel(
+        &technology,
+        &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+        &CharacterizationConfig::coarse(),
+        threads,
+    )?;
+    let vdd = library.vdd();
+
+    let mut cases = Vec::new();
+    let mut identity_pending = true;
+    for tier in &options.tiers {
+        let start = Instant::now();
+        let netlist = scale_free_dag(&ScaleFreeConfig::with_gate_budget(tier.gates, options.seed));
+        let build_seconds = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let schedule = netlist.levels();
+        let levelize_seconds = start.elapsed().as_secs_f64();
+        let levels = schedule.level_count();
+
+        let sim = if tier.simulate {
+            let drives = sparse_scale_drives(&netlist, vdd);
+            let window = 2e-9 + 0.1e-9 * levels as f64;
+            let calculator = DelayCalculator::new(
+                DelayBackend::SisOnly,
+                CsmSimOptions::new(window, options.dt),
+                vdd,
+            );
+            let netsim_options = NetsimOptions::new(calculator, 2e-15);
+            let streamed_options = netsim_options
+                .clone()
+                .with_observe(Observe::Points(Vec::new()));
+
+            let start = Instant::now();
+            let streamed = simulate_netlist(
+                &netlist,
+                &library,
+                &drives,
+                &streamed_options.clone().with_threads(threads),
+            )?;
+            let sim_seconds = start.elapsed().as_secs_f64();
+            let stats = streamed.stats();
+
+            // Identity gate, once, on the smallest simulated tier: streamed
+            // runs at 1/2/8 threads match full retention on every output.
+            let streamed_identical = if identity_pending {
+                identity_pending = false;
+                let full = simulate_netlist(&netlist, &library, &drives, &netsim_options)?;
+                let mut identical = true;
+                for check_threads in [1usize, 2, 8] {
+                    let run = simulate_netlist(
+                        &netlist,
+                        &library,
+                        &drives,
+                        &streamed_options.clone().with_threads(check_threads),
+                    )?;
+                    identical &= netlist
+                        .primary_outputs()
+                        .iter()
+                        .all(|&po| run.waveform(po) == full.waveform(po));
+                }
+                Some(identical)
+            } else {
+                None
+            };
+
+            Some(ScaleSimCase {
+                sim_seconds,
+                gates_per_second: netlist.gate_count() as f64 / sim_seconds.max(1e-12),
+                gates_simulated: stats.gates_simulated,
+                gates_skipped: stats.gates_skipped,
+                events: stats.events,
+                peak_live_waveforms: stats.peak_live_waveforms,
+                live_fraction: stats.peak_live_waveforms as f64 / netlist.net_count().max(1) as f64,
+                streamed_identical,
+            })
+        } else {
+            None
+        };
+
+        cases.push(ScaleCase {
+            circuit: netlist.name().to_string(),
+            gates: netlist.gate_count(),
+            nets: netlist.net_count(),
+            primary_inputs: netlist.primary_inputs().len(),
+            primary_outputs: netlist.primary_outputs().len(),
+            levels,
+            build_seconds,
+            levelize_seconds,
+            build_gates_per_second: netlist.gate_count() as f64
+                / (build_seconds + levelize_seconds).max(1e-12),
+            peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+            sim,
+        });
+    }
+
+    Ok(ScaleReport {
+        threads,
+        seed: options.seed,
+        max_live_frac: options.max_live_frac,
+        cases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_reads_procfs_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_scale_sweep_passes_its_own_gates() {
+        let options = ScaleOptions {
+            threads: 2,
+            tiers: vec![
+                ScaleTier {
+                    gates: 300,
+                    simulate: true,
+                },
+                ScaleTier {
+                    gates: 600,
+                    simulate: false,
+                },
+            ],
+            dt: 16e-12,
+            max_live_frac: 0.9,
+            seed: 7,
+        };
+        let report = run_scale_sweep(&options).unwrap();
+        assert_eq!(report.cases.len(), 2);
+        let first = &report.cases[0];
+        assert_eq!(first.gates, 300);
+        assert!(first.levels > 1);
+        assert!(first.build_gates_per_second > 0.0);
+        let sim = first.sim.as_ref().unwrap();
+        assert_eq!(sim.gates_simulated + sim.gates_skipped, first.gates);
+        // The identity check ran on the smallest simulated tier and passed.
+        assert_eq!(sim.streamed_identical, Some(true));
+        assert!(sim.live_fraction < 0.9, "live {}", sim.live_fraction);
+        assert!(report.cases[1].sim.is_none());
+        assert!(report.gate_failures().is_empty());
+        let json = report.to_json();
+        let reparsed = JsonValue::parse(&json.to_string_pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn gate_failures_flag_violations() {
+        let sim = ScaleSimCase {
+            sim_seconds: 1.0,
+            gates_per_second: 300.0,
+            gates_simulated: 10,
+            gates_skipped: 290,
+            events: 12,
+            peak_live_waveforms: 200,
+            live_fraction: 0.5,
+            streamed_identical: Some(false),
+        };
+        let report = ScaleReport {
+            threads: 2,
+            seed: 7,
+            max_live_frac: 0.1,
+            cases: vec![ScaleCase {
+                circuit: "scale_free_300x64_seed7".into(),
+                gates: 300,
+                nets: 400,
+                primary_inputs: 64,
+                primary_outputs: 64,
+                levels: 6,
+                build_seconds: 0.01,
+                levelize_seconds: 0.001,
+                build_gates_per_second: 3e4,
+                peak_rss_bytes: 1 << 20,
+                sim: Some(sim),
+            }],
+        };
+        let failures = report.gate_failures();
+        assert_eq!(failures.len(), 2);
+        assert!(failures[0].contains("live fraction"));
+        assert!(failures[1].contains("differ from full retention"));
+    }
+}

@@ -185,7 +185,7 @@ fn expect_result(response: &str) -> JsonValue {
 /// The setup request lines for one circuit: load the netlist inline (with a
 /// depth-scaled window) and put staggered falling ramps on every input.
 fn setup_lines(netlist: &Netlist, dt: f64) -> Vec<String> {
-    let levels = topological_levels(netlist).len();
+    let levels = topological_levels(netlist).level_count();
     let window = 2e-9 + 0.4e-9 * levels as f64;
     let load = JsonValue::Object(vec![
         ("netlist".into(), netlist.to_json_value()),

@@ -204,7 +204,7 @@ fn family_tasks<'a>(
     let mut tasks = Vec::new();
     let mut index = 0usize;
     for (_, netlist) in netlists {
-        for gate in netlist.gates() {
+        for gate in netlist.iter_gates() {
             let store = library.store(gate.kind)?;
             let missing =
                 |what: &str| StaError::MissingModel(format!("{what} for {}", gate.kind.name()));

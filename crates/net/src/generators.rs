@@ -8,7 +8,7 @@
 //! [`Netlist`] on every platform — the determinism the bit-identical
 //! parallel-STA checks rely on.
 
-use crate::netlist::{Netlist, NetlistBuilder};
+use crate::netlist::{NetRef, Netlist, NetlistBuilder};
 use mcsm_cells::cell::CellKind;
 use mcsm_num::testrand::TestRng;
 
@@ -240,6 +240,105 @@ pub fn random_dag(config: &DagConfig) -> Netlist {
         .expect("generator netlists are valid by construction")
 }
 
+/// Shape of a [`scale_free_dag`] circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleFreeConfig {
+    /// Total gate instances.
+    pub gates: usize,
+    /// Primary inputs (also the size of the live-net pool, which bounds the
+    /// circuit depth at roughly `gates / inputs` levels).
+    pub inputs: usize,
+    /// Seed of the deterministic generator.
+    pub seed: u64,
+}
+
+impl ScaleFreeConfig {
+    /// A config producing exactly `gates` gates with the input count scaled
+    /// so depth stays near ~64 levels across the 10k–1M range.
+    pub fn with_gate_budget(gates: usize, seed: u64) -> Self {
+        ScaleFreeConfig {
+            gates,
+            inputs: (gates / 64).max(64),
+            seed,
+        }
+    }
+}
+
+/// A scale-free random DAG: fanout follows a preferential-attachment
+/// (rich-get-richer) draw, so a few nets acquire very large fanout while most
+/// stay small — the heavy-tail shape of real netlist connectivity, and the
+/// workload the million-gate arena/streaming path is sized for.
+///
+/// Construction is a single topological sweep. Every gate's *first* pin is
+/// drawn uniformly from the pool of not-yet-consumed nets (and removed from
+/// it), so all but the final `inputs` nets are guaranteed a consumer and the
+/// pool — hence the logic depth — stays at a constant `config.inputs` width.
+/// Two-input gates draw their *second* pin from a preferential-attachment urn
+/// holding one ticket per net plus one per existing fanout use (weight ∝
+/// 1 + fanout). Cell kinds rotate over INV / NAND2 / NOR2 via [`TestRng`], so
+/// equal configs give bit-equal netlists. The `inputs` nets left in the pool
+/// at the end become the primary outputs.
+///
+/// # Panics
+///
+/// Panics if `gates` or `inputs` is zero.
+pub fn scale_free_dag(config: &ScaleFreeConfig) -> Netlist {
+    assert!(config.gates > 0, "scale_free_dag needs at least one gate");
+    assert!(config.inputs > 0, "scale_free_dag needs at least one input");
+    let mut rng = TestRng::new(config.seed);
+    let mut builder = NetlistBuilder::new(&format!(
+        "scale_free_{}x{}_seed{}",
+        config.gates, config.inputs, config.seed
+    ));
+
+    // `pool` holds nets without a consumer yet; `urn` holds one ticket per
+    // net plus one per recorded use, so drawing a uniform ticket is the
+    // preferential-attachment step.
+    let mut pool: Vec<NetRef> = Vec::with_capacity(config.inputs + 1);
+    let mut urn: Vec<NetRef> = Vec::with_capacity(config.inputs + 3 * config.gates);
+    for i in 0..config.inputs {
+        let net = builder.net_ref(&format!("in{i}"));
+        builder.mark_primary_input(net);
+        pool.push(net);
+        urn.push(net);
+    }
+
+    let kinds = [CellKind::Inverter, CellKind::Nand2, CellKind::Nor2];
+    let mut inputs: Vec<NetRef> = Vec::with_capacity(2);
+    for g in 0..config.gates {
+        let kind = kinds[rng.index(kinds.len())];
+        inputs.clear();
+        let first = pool.swap_remove(rng.index(pool.len()));
+        inputs.push(first);
+        if kind.input_count() == 2 {
+            // A handful of redraws keeps the two pins distinct in practice;
+            // a duplicate pin after that is still a valid (degenerate) gate.
+            let mut second = urn[rng.index(urn.len())];
+            for _ in 0..8 {
+                if second != first {
+                    break;
+                }
+                second = urn[rng.index(urn.len())];
+            }
+            inputs.push(second);
+            urn.push(second);
+        }
+        let output = builder.net_ref(&format!("n{g}"));
+        builder.add_gate(&format!("g{g}"), kind, &inputs, output);
+        pool.push(output);
+        urn.push(output);
+        urn.push(first);
+    }
+
+    // The never-consumed survivors of the pool are the observable outputs.
+    for &net in &pool {
+        builder.mark_primary_output(net);
+    }
+    builder
+        .build()
+        .expect("generator netlists are valid by construction")
+}
+
 /// The ISCAS-85 c17 benchmark: 5 primary inputs, 2 primary outputs, 6 NAND2
 /// gates — the classic smallest "real" benchmark circuit, fixed (no seed).
 pub fn c17() -> Netlist {
@@ -329,7 +428,7 @@ mod tests {
                 let dag = random_dag(&config);
                 assert_eq!(dag.gate_count(), config.gate_count());
                 for i in 0..dag.net_count() {
-                    let net = dag.find_net(dag.net_name(crate::NetRef(i))).unwrap();
+                    let net = dag.find_net(dag.net_name(NetRef::from_index(i))).unwrap();
                     assert!(
                         dag.fanout_of(net).len() <= config.max_fanout,
                         "net `{}` has fanout {} > {} (seed {seed})",
@@ -364,12 +463,54 @@ mod tests {
     }
 
     #[test]
+    fn scale_free_dag_is_deterministic_per_seed() {
+        let config = ScaleFreeConfig {
+            gates: 500,
+            inputs: 16,
+            seed: 11,
+        };
+        let a = scale_free_dag(&config);
+        let b = scale_free_dag(&config);
+        assert_eq!(a, b);
+        let other = scale_free_dag(&ScaleFreeConfig {
+            seed: 12,
+            ..config.clone()
+        });
+        assert_ne!(a, other, "different seeds should differ");
+    }
+
+    #[test]
+    fn scale_free_dag_has_heavy_tail_fanout_and_few_outputs() {
+        let config = ScaleFreeConfig::with_gate_budget(4000, 3);
+        let dag = scale_free_dag(&config);
+        assert_eq!(dag.gate_count(), 4000);
+        assert_eq!(dag.primary_inputs().len(), config.inputs);
+        // The pool invariant: exactly `inputs` nets survive unconsumed.
+        assert_eq!(dag.primary_outputs().len(), config.inputs);
+        let fanouts: Vec<usize> = dag.net_refs().map(|n| dag.fanout_of(n).len()).collect();
+        let max = fanouts.iter().copied().max().unwrap();
+        let mean = fanouts.iter().sum::<usize>() as f64 / fanouts.len() as f64;
+        assert!(
+            max as f64 > 8.0 * mean,
+            "expected a heavy tail: max fanout {max} vs mean {mean:.2}"
+        );
+        // Depth stays logarithmic-ish thanks to the constant-width pool.
+        let levels = dag.levels();
+        assert_eq!(levels.gate_count(), 4000);
+        assert!(
+            levels.level_count() < 256,
+            "depth {} should stay shallow",
+            levels.level_count()
+        );
+    }
+
+    #[test]
     fn c17_matches_the_iscas_structure() {
         let c = c17();
         assert_eq!(c.gate_count(), 6);
         assert_eq!(c.primary_inputs().len(), 5);
         assert_eq!(c.primary_outputs().len(), 2);
-        assert!(c.gates().iter().all(|g| g.kind == CellKind::Nand2));
+        assert!(c.iter_gates().all(|g| g.kind == CellKind::Nand2));
         // N11 fans out to two gates.
         let n11 = c.find_net("N11").unwrap();
         assert_eq!(c.fanout_of(n11).len(), 2);

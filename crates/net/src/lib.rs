@@ -15,8 +15,9 @@
 //!   [`Netlist::simulate_gate`] to replay single gates through the generic
 //!   `CellModel` engine;
 //! * [`generators`] — seeded synthetic workloads (inverter/NAND chains,
-//!   balanced trees, random leveled DAGs, the ISCAS-85 c17) parameterized by
-//!   size, deterministic per [`mcsm_num::testrand::TestRng`] seed.
+//!   balanced trees, random leveled DAGs, scale-free preferential-attachment
+//!   DAGs for the million-gate tier, the ISCAS-85 c17) parameterized by size,
+//!   deterministic per [`mcsm_num::testrand::TestRng`] seed.
 //!
 //! # Example: one netlist, three backends
 //!
@@ -49,6 +50,9 @@ pub mod lower;
 pub mod netlist;
 
 pub use error::NetlistError;
-pub use generators::{balanced_tree, c17, inverter_chain, nand_chain, random_dag, DagConfig};
+pub use generators::{
+    balanced_tree, c17, inverter_chain, nand_chain, random_dag, scale_free_dag, DagConfig,
+    ScaleFreeConfig,
+};
 pub use lower::SpiceNetlist;
-pub use netlist::{GateInst, GateRef, NetRef, Netlist, NetlistBuilder};
+pub use netlist::{GateInst, GateRef, GateView, LevelSchedule, NetRef, Netlist, NetlistBuilder};

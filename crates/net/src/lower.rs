@@ -61,7 +61,7 @@ impl Netlist {
     pub fn to_gate_graph(&self) -> Result<GateGraph, StaError> {
         let mut graph = GateGraph::new();
         let nets: Vec<_> = (0..self.net_count())
-            .map(|i| graph.net(self.net_name(NetRef(i))))
+            .map(|i| graph.net(self.net_name(NetRef::from_index(i))))
             .collect();
         for &pi in self.primary_inputs() {
             graph.mark_primary_input(nets[pi.index()]);
@@ -69,12 +69,16 @@ impl Netlist {
         for &po in self.primary_outputs() {
             graph.mark_primary_output(nets[po.index()]);
         }
-        for gate in self.gates() {
-            let inputs: Vec<_> = gate.inputs.iter().map(|n| nets[n.index()]).collect();
-            graph.add_gate(&gate.name, gate.kind, &inputs, nets[gate.output.index()])?;
+        // One scratch buffer across all gates keeps the lowering loop
+        // allocation-free at million-gate scale.
+        let mut inputs: Vec<mcsm_sta::graph::NetId> = Vec::with_capacity(4);
+        for gate in self.iter_gates() {
+            inputs.clear();
+            inputs.extend(gate.inputs.iter().map(|n| nets[n.index()]));
+            graph.add_gate(gate.name, gate.kind, &inputs, nets[gate.output.index()])?;
         }
         for (idx, &net) in nets.iter().enumerate() {
-            let load = self.net_load(NetRef(idx));
+            let load = self.net_load(NetRef::from_index(idx));
             if load != 0.0 {
                 graph.set_extra_load(net, load);
             }
@@ -100,7 +104,7 @@ impl Netlist {
         circuit.add_vsource(vdd, Circuit::ground(), SourceWaveform::dc(technology.vdd))?;
 
         let nodes: Vec<NodeId> = (0..self.net_count())
-            .map(|i| circuit.node(self.net_name(NetRef(i))))
+            .map(|i| circuit.node(self.net_name(NetRef::from_index(i))))
             .collect();
 
         let mut input_sources = Vec::with_capacity(self.primary_inputs().len());
@@ -113,12 +117,14 @@ impl Netlist {
             input_sources.push((pi, source));
         }
 
-        for gate in self.gates() {
+        let mut inputs: Vec<NodeId> = Vec::with_capacity(4);
+        for gate in self.iter_gates() {
             let template = CellTemplate::new(gate.kind, technology.clone());
-            let inputs: Vec<NodeId> = gate.inputs.iter().map(|n| nodes[n.index()]).collect();
+            inputs.clear();
+            inputs.extend(gate.inputs.iter().map(|n| nodes[n.index()]));
             template.instantiate(
                 &mut circuit,
-                &gate.name,
+                gate.name,
                 &inputs,
                 nodes[gate.output.index()],
                 vdd,
@@ -126,7 +132,7 @@ impl Netlist {
         }
 
         for (idx, &node) in nodes.iter().enumerate() {
-            let load = self.net_load(NetRef(idx));
+            let load = self.net_load(NetRef::from_index(idx));
             if load > 0.0 {
                 circuit.add_capacitor(node, Circuit::ground(), load)?;
             }
@@ -171,7 +177,7 @@ impl Netlist {
         let inst = self.gate(gate);
         if inputs.len() != inst.kind.input_count() {
             return Err(NetlistError::PinCountMismatch {
-                gate: inst.name.clone(),
+                gate: inst.name.to_string(),
                 cell: inst.kind.name().to_string(),
                 expected: inst.kind.input_count(),
                 got: inputs.len(),
@@ -243,7 +249,7 @@ mod tests {
         assert_eq!(g.primary_outputs().len(), 1);
         // Net indices survive the lowering.
         for i in 0..n.net_count() {
-            let name = n.net_name(NetRef(i));
+            let name = n.net_name(NetRef::from_index(i));
             assert_eq!(g.find_net(name).unwrap().index(), i);
         }
         // Explicit loads carry over.

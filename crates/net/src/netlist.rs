@@ -9,6 +9,17 @@
 //! (pin counts, drivers, dangling nets, combinational loops) and returns a
 //! [`NetlistError`] naming the offender on any violation.
 //!
+//! # Storage model
+//!
+//! The netlist is stored in flat arena form so million-gate circuits fit in a
+//! handful of contiguous allocations: gates are struct-of-arrays (names,
+//! kinds, outputs), and both adjacency directions are CSR pools — one
+//! `gate_inputs` pool sliced by per-gate offsets, one `fanouts` pool sliced by
+//! per-net offsets. [`GateRef`]/[`NetRef`] are `u32`-backed indices into those
+//! arenas. Per-gate data is exposed through the borrowed [`GateView`] (and the
+//! slice accessors [`Netlist::inputs_of`] / [`Netlist::fanout_of`]) rather
+//! than owned structs, so traversal never allocates.
+//!
 //! Netlists serialize to JSON through `mcsm_num::json` (the workspace has no
 //! external dependencies) and deserialize through the same validation path, so
 //! a loaded netlist is always structurally sound.
@@ -19,29 +30,81 @@ use mcsm_num::json::{FromJson, JsonError, JsonValue, ToJson};
 use std::collections::HashMap;
 
 /// Identifier of a net (wire) within its [`Netlist`].
+///
+/// `u32`-backed: a netlist holds at most `u32::MAX` nets. Construct with
+/// [`NetRef::from_index`] and convert back with [`NetRef::index`]; the field
+/// itself is private so downstream crates cannot depend on the representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NetRef(pub(crate) usize);
+pub struct NetRef(u32);
 
 impl NetRef {
+    /// Builds a reference from a raw index (the `n`-th net of the netlist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> NetRef {
+        assert!(
+            u32::try_from(index).is_ok(),
+            "net index {index} exceeds the u32 arena limit"
+        );
+        NetRef(index as u32)
+    }
+
     /// Raw index of the net. Lowerings preserve this index (the `n`-th net of
     /// the netlist becomes the `n`-th net/node of the lowered form).
     pub fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
 /// Identifier of a gate instance within its [`Netlist`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct GateRef(pub(crate) usize);
+///
+/// `u32`-backed like [`NetRef`]; see there for the representation contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateRef(u32);
 
 impl GateRef {
+    /// Builds a reference from a raw index (the `n`-th gate in insertion
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> GateRef {
+        assert!(
+            u32::try_from(index).is_ok(),
+            "gate index {index} exceeds the u32 arena limit"
+        );
+        GateRef(index as u32)
+    }
+
     /// Raw index of the gate in insertion order.
     pub fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
-/// One gate instance of a [`Netlist`].
+/// Borrowed view of one gate instance, assembled from the netlist arenas.
+///
+/// This is the allocation-free replacement for the owned [`GateInst`]: `name`
+/// and `inputs` borrow straight from the netlist's flat pools.
+#[derive(Debug, Clone, Copy)]
+pub struct GateView<'a> {
+    /// Instance name, unique within the netlist.
+    pub name: &'a str,
+    /// Cell topology.
+    pub kind: CellKind,
+    /// Input nets in pin order (`A`, `B`, …).
+    pub inputs: &'a [NetRef],
+    /// Output net.
+    pub output: NetRef,
+}
+
+/// One gate instance of a [`Netlist`], in owned form.
+///
+/// Only produced by the deprecated [`Netlist::gates`]; new code should use
+/// [`GateView`] via [`Netlist::gate`] / [`Netlist::iter_gates`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateInst {
     /// Instance name, unique within the netlist.
@@ -52,6 +115,47 @@ pub struct GateInst {
     pub inputs: Vec<NetRef>,
     /// Output net.
     pub output: NetRef,
+}
+
+/// Gates grouped into topological levels (see [`Netlist::levels`]).
+///
+/// Stored as one flat `order` array sliced by per-level offsets, so the whole
+/// schedule is two allocations regardless of depth. Level `l` contains every
+/// gate whose longest driven path from a schedule root has length `l`; within
+/// a level, gates appear in insertion-index order, which is what makes
+/// level-parallel simulation deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSchedule {
+    offsets: Vec<u32>,
+    order: Vec<GateRef>,
+}
+
+impl LevelSchedule {
+    /// Number of levels (the circuit's logic depth in gates).
+    pub fn level_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of scheduled gates across all levels.
+    pub fn gate_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The gates of one level, in insertion-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.level_count()`.
+    pub fn gates(&self, level: usize) -> &[GateRef] {
+        let start = self.offsets[level] as usize;
+        let end = self.offsets[level + 1] as usize;
+        &self.order[start..end]
+    }
+
+    /// Iterates over the levels in dependency order, each as a gate slice.
+    pub fn iter(&self) -> impl Iterator<Item = &[GateRef]> + '_ {
+        (0..self.level_count()).map(move |l| self.gates(l))
+    }
 }
 
 /// A validated, backend-neutral gate-level circuit.
@@ -70,11 +174,20 @@ pub struct Netlist {
     net_names: Vec<String>,
     net_index: HashMap<String, NetRef>,
     net_loads: Vec<f64>,
-    gates: Vec<GateInst>,
+    gate_names: Vec<String>,
+    gate_kinds: Vec<CellKind>,
+    gate_outputs: Vec<NetRef>,
+    /// CSR offsets into `gate_inputs`; length `gate_count() + 1`.
+    gate_input_offsets: Vec<u32>,
+    gate_inputs: Vec<NetRef>,
+    drivers: Vec<Option<GateRef>>,
+    /// CSR offsets into `fanouts`; length `net_count() + 1`.
+    fanout_offsets: Vec<u32>,
+    fanouts: Vec<(GateRef, u32)>,
     primary_inputs: Vec<NetRef>,
     primary_outputs: Vec<NetRef>,
-    drivers: Vec<Option<GateRef>>,
-    fanouts: Vec<Vec<(GateRef, usize)>>,
+    pi_mask: Vec<bool>,
+    po_mask: Vec<bool>,
 }
 
 impl Netlist {
@@ -90,46 +203,91 @@ impl Netlist {
 
     /// Number of gate instances.
     pub fn gate_count(&self) -> usize {
-        self.gates.len()
+        self.gate_names.len()
     }
 
-    /// All gates in insertion order.
-    pub fn gates(&self) -> &[GateInst] {
-        &self.gates
+    /// All gates in insertion order, materialized into owned structs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec<GateInst> on every call — use `iter_gates` / `gate` views"
+    )]
+    pub fn gates(&self) -> Vec<GateInst> {
+        self.iter_gates()
+            .map(|g| GateInst {
+                name: g.name.to_string(),
+                kind: g.kind,
+                inputs: g.inputs.to_vec(),
+                output: g.output,
+            })
+            .collect()
     }
 
-    /// References to all gates, in insertion order (parallel to
-    /// [`Netlist::gates`]).
+    /// Iterates over all gates in insertion order, as borrowed views.
+    pub fn iter_gates(&self) -> impl Iterator<Item = GateView<'_>> + '_ {
+        (0..self.gate_count()).map(move |idx| self.gate(GateRef(idx as u32)))
+    }
+
+    /// References to all gates, in insertion order.
     pub fn gate_refs(&self) -> impl Iterator<Item = GateRef> + '_ {
-        (0..self.gates.len()).map(GateRef)
+        (0..self.gate_count()).map(|idx| GateRef(idx as u32))
     }
 
     /// References to all nets, in [`NetRef::index`] order.
     pub fn net_refs(&self) -> impl Iterator<Item = NetRef> + '_ {
-        (0..self.net_names.len()).map(NetRef)
+        (0..self.net_count()).map(|idx| NetRef(idx as u32))
     }
 
-    /// The gate with the given reference.
-    pub fn gate(&self, gate: GateRef) -> &GateInst {
-        &self.gates[gate.0]
+    /// Borrowed view of the gate with the given reference.
+    pub fn gate(&self, gate: GateRef) -> GateView<'_> {
+        let idx = gate.index();
+        GateView {
+            name: &self.gate_names[idx],
+            kind: self.gate_kinds[idx],
+            inputs: self.inputs_of(gate),
+            output: self.gate_outputs[idx],
+        }
     }
 
-    /// Looks up a gate by instance name.
+    /// Instance name of a gate.
+    pub fn gate_name(&self, gate: GateRef) -> &str {
+        &self.gate_names[gate.index()]
+    }
+
+    /// Cell kind of a gate.
+    pub fn gate_kind(&self, gate: GateRef) -> CellKind {
+        self.gate_kinds[gate.index()]
+    }
+
+    /// Input nets of a gate, in pin order (`A`, `B`, …).
+    pub fn inputs_of(&self, gate: GateRef) -> &[NetRef] {
+        let idx = gate.index();
+        let start = self.gate_input_offsets[idx] as usize;
+        let end = self.gate_input_offsets[idx + 1] as usize;
+        &self.gate_inputs[start..end]
+    }
+
+    /// Output net of a gate.
+    pub fn output_of(&self, gate: GateRef) -> NetRef {
+        self.gate_outputs[gate.index()]
+    }
+
+    /// Looks up a gate by instance name (linear scan — the netlist keeps no
+    /// name→gate map, trading lookup speed for arena compactness).
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::UnknownGate`] if no gate has that name.
     pub fn find_gate(&self, name: &str) -> Result<GateRef, NetlistError> {
-        self.gates
+        self.gate_names
             .iter()
-            .position(|g| g.name == name)
-            .map(GateRef)
+            .position(|g| g == name)
+            .map(|idx| GateRef(idx as u32))
             .ok_or_else(|| NetlistError::UnknownGate(name.to_string()))
     }
 
     /// Name of a net.
     pub fn net_name(&self, net: NetRef) -> &str {
-        &self.net_names[net.0]
+        &self.net_names[net.index()]
     }
 
     /// Looks up a net by name.
@@ -147,7 +305,7 @@ impl Netlist {
     /// Explicit extra lumped load on a net (farads; `0.0` unless set through
     /// [`NetlistBuilder::net_load`]).
     pub fn net_load(&self, net: NetRef) -> f64 {
-        self.net_loads[net.0]
+        self.net_loads[net.index()]
     }
 
     /// Primary inputs in declaration order.
@@ -160,24 +318,86 @@ impl Netlist {
         &self.primary_outputs
     }
 
-    /// Whether a net is a primary input.
+    /// Whether a net is a primary input (O(1) mask lookup).
     pub fn is_primary_input(&self, net: NetRef) -> bool {
-        self.primary_inputs.contains(&net)
+        self.pi_mask[net.index()]
     }
 
-    /// Whether a net is a primary output.
+    /// Whether a net is a primary output (O(1) mask lookup).
     pub fn is_primary_output(&self, net: NetRef) -> bool {
-        self.primary_outputs.contains(&net)
+        self.po_mask[net.index()]
     }
 
     /// The gate driving a net, if any (primary inputs have none).
     pub fn driver_of(&self, net: NetRef) -> Option<GateRef> {
-        self.drivers[net.0]
+        self.drivers[net.index()]
     }
 
     /// The `(gate, pin)` pairs consuming a net, in gate insertion order.
-    pub fn fanout_of(&self, net: NetRef) -> &[(GateRef, usize)] {
-        &self.fanouts[net.0]
+    pub fn fanout_of(&self, net: NetRef) -> &[(GateRef, u32)] {
+        let idx = net.index();
+        let start = self.fanout_offsets[idx] as usize;
+        let end = self.fanout_offsets[idx + 1] as usize;
+        &self.fanouts[start..end]
+    }
+
+    /// Groups the gates into topological levels in a single O(V+E) pass.
+    ///
+    /// Level of a gate = longest driven path (in gates) from any schedule
+    /// root reaching it, so every gate's inputs are settled by the time its
+    /// level runs. Within a level, gates appear in insertion-index order; the
+    /// whole schedule is deterministic for a given netlist.
+    pub fn levels(&self) -> LevelSchedule {
+        let gates = self.gate_count();
+        // Kahn's algorithm with max-level propagation over the fanout CSR.
+        let mut pending: Vec<u32> = vec![0; gates];
+        for (idx, inputs) in (0..gates).map(|i| (i, self.inputs_of(GateRef(i as u32)))) {
+            pending[idx] = inputs
+                .iter()
+                .filter(|n| self.drivers[n.index()].is_some())
+                .count() as u32;
+        }
+        let mut level: Vec<u32> = vec![0; gates];
+        let mut stack: Vec<u32> = (0..gates as u32)
+            .filter(|&g| pending[g as usize] == 0)
+            .collect();
+        let mut max_level = 0u32;
+        while let Some(g) = stack.pop() {
+            let next = level[g as usize] + 1;
+            max_level = max_level.max(level[g as usize]);
+            for &(succ, _pin) in self.fanout_of(self.gate_outputs[g as usize]) {
+                let s = succ.index();
+                if level[s] < next {
+                    level[s] = next;
+                }
+                pending[s] -= 1;
+                if pending[s] == 0 {
+                    stack.push(succ.0);
+                }
+            }
+        }
+        // Counting sort by level; iterating gates in index order makes the
+        // placement stable, i.e. index order within each level.
+        let level_count = if gates == 0 {
+            0
+        } else {
+            max_level as usize + 1
+        };
+        let mut offsets = vec![0u32; level_count + 1];
+        for &l in &level {
+            offsets[l as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..level_count].to_vec();
+        let mut order = vec![GateRef(0); gates];
+        for (idx, &l) in level.iter().enumerate() {
+            let slot = &mut cursor[l as usize];
+            order[*slot as usize] = GateRef(idx as u32);
+            *slot += 1;
+        }
+        LevelSchedule { offsets, order }
     }
 
     /// ECO edit: swaps a gate's cell kind in place, keeping its connectivity.
@@ -195,19 +415,20 @@ impl Netlist {
     /// not match the instance's existing input nets. On error the netlist is
     /// unchanged.
     pub fn retype_gate(&mut self, gate: GateRef, kind: CellKind) -> Result<(), NetlistError> {
-        let inst = self
-            .gates
-            .get(gate.0)
-            .ok_or_else(|| NetlistError::UnknownGate(format!("#{}", gate.0)))?;
-        if inst.inputs.len() != kind.input_count() {
+        let idx = gate.index();
+        if idx >= self.gate_count() {
+            return Err(NetlistError::UnknownGate(format!("#{idx}")));
+        }
+        let pins = self.inputs_of(gate).len();
+        if pins != kind.input_count() {
             return Err(NetlistError::PinCountMismatch {
-                gate: inst.name.clone(),
+                gate: self.gate_names[idx].clone(),
                 cell: kind.name().to_string(),
                 expected: kind.input_count(),
-                got: inst.inputs.len(),
+                got: pins,
             });
         }
-        self.gates[gate.0].kind = kind;
+        self.gate_kinds[idx] = kind;
         Ok(())
     }
 
@@ -225,15 +446,15 @@ impl Netlist {
     pub fn set_net_load(&mut self, net: NetRef, farads: f64) -> Result<(), NetlistError> {
         let name = self
             .net_names
-            .get(net.0)
-            .ok_or_else(|| NetlistError::UnknownNet(format!("#{}", net.0)))?;
+            .get(net.index())
+            .ok_or_else(|| NetlistError::UnknownNet(format!("#{}", net.index())))?;
         if farads < 0.0 || !farads.is_finite() {
             return Err(NetlistError::InvalidLoad {
                 net: name.clone(),
                 farads,
             });
         }
-        self.net_loads[net.0] = farads;
+        self.net_loads[net.index()] = farads;
         Ok(())
     }
 
@@ -268,11 +489,10 @@ impl Netlist {
             (
                 "gates".into(),
                 JsonValue::Array(
-                    self.gates
-                        .iter()
+                    self.iter_gates()
                         .map(|g| {
                             JsonValue::Object(vec![
-                                ("name".into(), JsonValue::String(g.name.clone())),
+                                ("name".into(), JsonValue::String(g.name.to_string())),
                                 ("cell".into(), JsonValue::String(g.kind.name().to_string())),
                                 (
                                     "inputs".into(),
@@ -334,32 +554,36 @@ impl Netlist {
                 .require("load")?
                 .as_f64()
                 .ok_or_else(|| NetlistError::Json("net `load` must be a number".into()))?;
-            builder = builder.net(&net_name);
+            let net_ref = builder.net_ref(&net_name);
             if load != 0.0 {
-                builder = builder.net_load(&net_name, load);
+                builder.set_load(net_ref, load);
             }
         }
         for pi in array_of("primary_inputs")? {
-            builder = builder.primary_input(&str_of(&pi, "primary input")?);
+            let net_ref = builder.net_ref(&str_of(&pi, "primary input")?);
+            builder.mark_primary_input(net_ref);
         }
         for po in array_of("primary_outputs")? {
-            builder = builder.primary_output(&str_of(&po, "primary output")?);
+            let net_ref = builder.net_ref(&str_of(&po, "primary output")?);
+            builder.mark_primary_output(net_ref);
         }
+        let mut input_refs = Vec::new();
         for gate in array_of("gates")? {
             let gate_name = str_of(gate.require("name")?, "gate `name`")?;
             let cell = str_of(gate.require("cell")?, "gate `cell`")?;
             let kind = CellKind::from_name(&cell)
                 .ok_or_else(|| NetlistError::Json(format!("unknown cell `{cell}`")))?;
-            let inputs: Vec<String> = gate
+            input_refs.clear();
+            for v in gate
                 .require("inputs")?
                 .as_array()
                 .ok_or_else(|| NetlistError::Json("gate `inputs` must be an array".into()))?
-                .iter()
-                .map(|v| str_of(v, "gate input"))
-                .collect::<Result<_, _>>()?;
-            let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
-            let output = str_of(gate.require("output")?, "gate `output`")?;
-            builder = builder.gate(&gate_name, kind, &input_refs, &output);
+            {
+                let input = str_of(v, "gate input")?;
+                input_refs.push(builder.net_ref(&input));
+            }
+            let output = builder.net_ref(&str_of(gate.require("output")?, "gate `output`")?);
+            builder.add_gate(&gate_name, kind, &input_refs, output);
         }
         builder.build()
     }
@@ -388,18 +612,12 @@ impl FromJson for Netlist {
     }
 }
 
-/// Recorded gate declaration, checked at [`NetlistBuilder::build`] time.
-#[derive(Debug, Clone)]
-struct GateDecl {
-    name: String,
-    kind: CellKind,
-    inputs: Vec<usize>,
-    output: usize,
-}
-
 /// Fluent builder for [`Netlist`]: declare nets, primary I/O, gates and
 /// explicit loads in any order; all validation is deferred to
 /// [`NetlistBuilder::build`].
+///
+/// Two styles are supported. The fluent string-keyed style reads well for
+/// hand-written circuits:
 ///
 /// ```
 /// use mcsm_cells::cell::CellKind;
@@ -416,15 +634,38 @@ struct GateDecl {
 ///     .expect("valid netlist");
 /// assert_eq!(netlist.gate_count(), 2);
 /// ```
+///
+/// Generators producing large circuits should prefer the index-based
+/// `&mut self` API ([`NetlistBuilder::net_ref`], [`NetlistBuilder::add_gate`],
+/// [`NetlistBuilder::mark_primary_input`], …), which interns every net name
+/// once and appends gates straight into the flat arenas:
+///
+/// ```
+/// use mcsm_cells::cell::CellKind;
+/// use mcsm_net::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("prog");
+/// let a = b.net_ref("a");
+/// let out = b.net_ref("out");
+/// b.mark_primary_input(a);
+/// b.add_gate("u", CellKind::Inverter, &[a], out);
+/// b.mark_primary_output(out);
+/// assert_eq!(b.build().unwrap().gate_count(), 1);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct NetlistBuilder {
     name: String,
     net_names: Vec<String>,
-    net_index: HashMap<String, usize>,
+    net_index: HashMap<String, NetRef>,
     net_loads: Vec<f64>,
-    gates: Vec<GateDecl>,
-    primary_inputs: Vec<usize>,
-    primary_outputs: Vec<usize>,
+    gate_names: Vec<String>,
+    gate_kinds: Vec<CellKind>,
+    gate_outputs: Vec<NetRef>,
+    /// `gate_inputs[..ends[i]]` minus the previous end is gate `i`'s pins.
+    gate_input_ends: Vec<u32>,
+    gate_inputs: Vec<NetRef>,
+    primary_inputs: Vec<NetRef>,
+    primary_outputs: Vec<NetRef>,
 }
 
 impl NetlistBuilder {
@@ -436,15 +677,55 @@ impl NetlistBuilder {
         }
     }
 
-    fn intern(&mut self, name: &str) -> usize {
-        if let Some(&idx) = self.net_index.get(name) {
-            return idx;
+    /// Interns a net by name, returning its reference (creates the net on
+    /// first mention). This is the index-based twin of [`NetlistBuilder::net`].
+    pub fn net_ref(&mut self, name: &str) -> NetRef {
+        if let Some(&net) = self.net_index.get(name) {
+            return net;
         }
-        let idx = self.net_names.len();
+        let net = NetRef::from_index(self.net_names.len());
         self.net_names.push(name.to_string());
-        self.net_index.insert(name.to_string(), idx);
+        self.net_index.insert(name.to_string(), net);
         self.net_loads.push(0.0);
-        idx
+        net
+    }
+
+    /// Appends a gate instance by net reference: `inputs` in pin order,
+    /// driving `output`. Returns the new gate's reference.
+    pub fn add_gate(
+        &mut self,
+        name: &str,
+        kind: CellKind,
+        inputs: &[NetRef],
+        output: NetRef,
+    ) -> GateRef {
+        let gate = GateRef::from_index(self.gate_names.len());
+        self.gate_names.push(name.to_string());
+        self.gate_kinds.push(kind);
+        self.gate_outputs.push(output);
+        self.gate_inputs.extend_from_slice(inputs);
+        self.gate_input_ends.push(self.gate_inputs.len() as u32);
+        gate
+    }
+
+    /// Declares a net as a primary input (idempotent), by reference.
+    pub fn mark_primary_input(&mut self, net: NetRef) {
+        if !self.primary_inputs.contains(&net) {
+            self.primary_inputs.push(net);
+        }
+    }
+
+    /// Declares a net as a primary output (idempotent), by reference.
+    pub fn mark_primary_output(&mut self, net: NetRef) {
+        if !self.primary_outputs.contains(&net) {
+            self.primary_outputs.push(net);
+        }
+    }
+
+    /// Sets an explicit extra lumped load on a net (farads), by reference.
+    /// Replaces any previously set value.
+    pub fn set_load(&mut self, net: NetRef, farads: f64) {
+        self.net_loads[net.index()] = farads;
     }
 
     /// Declares a net by name without connecting it (nets are also created
@@ -452,41 +733,32 @@ impl NetlistBuilder {
     /// down net ordering, e.g. when rebuilding from JSON.
     #[must_use]
     pub fn net(mut self, name: &str) -> Self {
-        self.intern(name);
+        self.net_ref(name);
         self
     }
 
     /// Declares a net as a primary input (idempotent).
     #[must_use]
     pub fn primary_input(mut self, net: &str) -> Self {
-        let idx = self.intern(net);
-        if !self.primary_inputs.contains(&idx) {
-            self.primary_inputs.push(idx);
-        }
+        let net = self.net_ref(net);
+        self.mark_primary_input(net);
         self
     }
 
     /// Declares a net as a primary output (idempotent).
     #[must_use]
     pub fn primary_output(mut self, net: &str) -> Self {
-        let idx = self.intern(net);
-        if !self.primary_outputs.contains(&idx) {
-            self.primary_outputs.push(idx);
-        }
+        let net = self.net_ref(net);
+        self.mark_primary_output(net);
         self
     }
 
     /// Adds a gate instance: `inputs` in pin order, driving `output`.
     #[must_use]
     pub fn gate(mut self, name: &str, kind: CellKind, inputs: &[&str], output: &str) -> Self {
-        let inputs = inputs.iter().map(|n| self.intern(n)).collect();
-        let output = self.intern(output);
-        self.gates.push(GateDecl {
-            name: name.to_string(),
-            kind,
-            inputs,
-            output,
-        });
+        let inputs: Vec<NetRef> = inputs.iter().map(|n| self.net_ref(n)).collect();
+        let output = self.net_ref(output);
+        self.add_gate(name, kind, &inputs, output);
         self
     }
 
@@ -494,8 +766,8 @@ impl NetlistBuilder {
     /// off-chip capacitance. Replaces any previously set value.
     #[must_use]
     pub fn net_load(mut self, net: &str, farads: f64) -> Self {
-        let idx = self.intern(net);
-        self.net_loads[idx] = farads;
+        let net = self.net_ref(net);
+        self.set_load(net, farads);
         self
     }
 
@@ -517,69 +789,90 @@ impl NetlistBuilder {
     ///   non-finite;
     /// * [`NetlistError::CombinationalLoop`] — the gates do not form a DAG.
     pub fn build(self) -> Result<Netlist, NetlistError> {
-        if self.gates.is_empty() {
+        let gates = self.gate_names.len();
+        let nets = self.net_names.len();
+        if gates == 0 {
             return Err(NetlistError::Empty);
         }
 
+        let mut pi_mask = vec![false; nets];
+        for pi in &self.primary_inputs {
+            pi_mask[pi.index()] = true;
+        }
+        let mut po_mask = vec![false; nets];
+        for po in &self.primary_outputs {
+            po_mask[po.index()] = true;
+        }
+
         // Gate-local checks, in declaration order.
-        let mut seen = HashMap::new();
-        for (idx, gate) in self.gates.iter().enumerate() {
-            if seen.insert(gate.name.clone(), idx).is_some() {
-                return Err(NetlistError::DuplicateGate(gate.name.clone()));
+        let mut seen: HashMap<&str, usize> = HashMap::with_capacity(gates);
+        let mut start = 0usize;
+        for idx in 0..gates {
+            let end = self.gate_input_ends[idx] as usize;
+            if seen.insert(&self.gate_names[idx], idx).is_some() {
+                return Err(NetlistError::DuplicateGate(self.gate_names[idx].clone()));
             }
-            if gate.inputs.len() != gate.kind.input_count() {
+            let kind = self.gate_kinds[idx];
+            if end - start != kind.input_count() {
                 return Err(NetlistError::PinCountMismatch {
-                    gate: gate.name.clone(),
-                    cell: gate.kind.name().to_string(),
-                    expected: gate.kind.input_count(),
-                    got: gate.inputs.len(),
+                    gate: self.gate_names[idx].clone(),
+                    cell: kind.name().to_string(),
+                    expected: kind.input_count(),
+                    got: end - start,
                 });
             }
+            start = end;
         }
+        drop(seen);
 
         // Driver map; a net may have at most one, and primary inputs none.
-        let mut drivers: Vec<Option<GateRef>> = vec![None; self.net_names.len()];
-        for (idx, gate) in self.gates.iter().enumerate() {
-            if let Some(first) = drivers[gate.output] {
+        let mut drivers: Vec<Option<GateRef>> = vec![None; nets];
+        for (idx, output) in self.gate_outputs.iter().enumerate() {
+            let out = output.index();
+            if let Some(first) = drivers[out] {
                 return Err(NetlistError::MultipleDrivers {
-                    net: self.net_names[gate.output].clone(),
-                    first: self.gates[first.0].name.clone(),
-                    second: gate.name.clone(),
+                    net: self.net_names[out].clone(),
+                    first: self.gate_names[first.index()].clone(),
+                    second: self.gate_names[idx].clone(),
                 });
             }
-            if self.primary_inputs.contains(&gate.output) {
+            if pi_mask[out] {
                 return Err(NetlistError::MultipleDrivers {
-                    net: self.net_names[gate.output].clone(),
+                    net: self.net_names[out].clone(),
                     first: "<primary input>".to_string(),
-                    second: gate.name.clone(),
+                    second: self.gate_names[idx].clone(),
                 });
             }
-            drivers[gate.output] = Some(GateRef(idx));
+            drivers[out] = Some(GateRef(idx as u32));
         }
 
-        // Fanout map and connectivity checks.
-        let mut fanouts: Vec<Vec<(GateRef, usize)>> = vec![Vec::new(); self.net_names.len()];
-        for (idx, gate) in self.gates.iter().enumerate() {
-            for (pin, &input) in gate.inputs.iter().enumerate() {
-                fanouts[input].push((GateRef(idx), pin));
-                if drivers[input].is_none() && !self.primary_inputs.contains(&input) {
+        // Fanout counts and connectivity checks, in original (gate, pin)
+        // order so the first offender reported matches declaration order.
+        let mut fanout_counts = vec![0u32; nets];
+        let mut start = 0usize;
+        for idx in 0..gates {
+            let end = self.gate_input_ends[idx] as usize;
+            for (pin, input) in self.gate_inputs[start..end].iter().enumerate() {
+                fanout_counts[input.index()] += 1;
+                if drivers[input.index()].is_none() && !pi_mask[input.index()] {
                     return Err(NetlistError::UndrivenNet {
-                        net: self.net_names[input].clone(),
-                        consumer: format!("feeding gate `{}` pin {pin}", gate.name),
+                        net: self.net_names[input.index()].clone(),
+                        consumer: format!("feeding gate `{}` pin {pin}", self.gate_names[idx]),
                     });
                 }
             }
+            start = end;
         }
-        for &po in &self.primary_outputs {
-            if drivers[po].is_none() && !self.primary_inputs.contains(&po) {
+        for po in &self.primary_outputs {
+            if drivers[po.index()].is_none() && !pi_mask[po.index()] {
                 return Err(NetlistError::UndrivenNet {
-                    net: self.net_names[po].clone(),
+                    net: self.net_names[po.index()].clone(),
                     consumer: "a primary output".to_string(),
                 });
             }
         }
         for (idx, name) in self.net_names.iter().enumerate() {
-            if fanouts[idx].is_empty() && !self.primary_outputs.contains(&idx) {
+            if fanout_counts[idx] == 0 && !po_mask[idx] {
                 return Err(NetlistError::UnreadNet(name.clone()));
             }
         }
@@ -594,65 +887,83 @@ impl NetlistBuilder {
             }
         }
 
-        // Cycle check: Kahn's algorithm over gate-to-gate edges.
-        let mut pending = vec![0usize; self.gates.len()];
-        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
-        for (idx, gate) in self.gates.iter().enumerate() {
-            for &input in &gate.inputs {
-                if let Some(upstream) = drivers[input] {
-                    pending[idx] += 1;
-                    successors[upstream.0].push(idx);
-                }
-            }
+        // Second CSR pass: fill the fanout pool. Iterating gates (then pins)
+        // in insertion order keeps each net's fanout list in gate order.
+        let mut fanout_offsets = vec![0u32; nets + 1];
+        for idx in 0..nets {
+            fanout_offsets[idx + 1] = fanout_offsets[idx] + fanout_counts[idx];
         }
-        let mut wave: Vec<usize> = (0..self.gates.len())
-            .filter(|&idx| pending[idx] == 0)
+        let mut cursor: Vec<u32> = fanout_offsets[..nets].to_vec();
+        let mut fanouts = vec![(GateRef(0), 0u32); self.gate_inputs.len()];
+        let mut start = 0usize;
+        for idx in 0..gates {
+            let end = self.gate_input_ends[idx] as usize;
+            for (pin, input) in self.gate_inputs[start..end].iter().enumerate() {
+                let slot = &mut cursor[input.index()];
+                fanouts[*slot as usize] = (GateRef(idx as u32), pin as u32);
+                *slot += 1;
+            }
+            start = end;
+        }
+
+        // Cycle check: Kahn's algorithm over the freshly built fanout CSR.
+        // Each fanout entry of a driven net is one gate-to-gate edge.
+        let mut pending = vec![0u32; gates];
+        let mut start = 0usize;
+        for (idx, slot) in pending.iter_mut().enumerate() {
+            let end = self.gate_input_ends[idx] as usize;
+            *slot = self.gate_inputs[start..end]
+                .iter()
+                .filter(|n| drivers[n.index()].is_some())
+                .count() as u32;
+            start = end;
+        }
+        let mut wave: Vec<u32> = (0..gates as u32)
+            .filter(|&idx| pending[idx as usize] == 0)
             .collect();
         let mut placed = 0;
         while let Some(idx) = wave.pop() {
             placed += 1;
-            for &succ in &successors[idx] {
-                pending[succ] -= 1;
-                if pending[succ] == 0 {
-                    wave.push(succ);
+            let out = self.gate_outputs[idx as usize].index();
+            let span = fanout_offsets[out] as usize..fanout_offsets[out + 1] as usize;
+            for &(succ, _pin) in &fanouts[span] {
+                pending[succ.index()] -= 1;
+                if pending[succ.index()] == 0 {
+                    wave.push(succ.0);
                 }
             }
         }
-        if placed < self.gates.len() {
+        if placed < gates {
             let gates = self
-                .gates
+                .gate_names
                 .iter()
                 .enumerate()
                 .filter(|(idx, _)| pending[*idx] > 0)
-                .map(|(_, g)| g.name.clone())
+                .map(|(_, name)| name.clone())
                 .collect();
             return Err(NetlistError::CombinationalLoop { gates });
         }
 
-        let gates = self
-            .gates
-            .into_iter()
-            .map(|g| GateInst {
-                name: g.name,
-                kind: g.kind,
-                inputs: g.inputs.into_iter().map(NetRef).collect(),
-                output: NetRef(g.output),
-            })
-            .collect();
+        let mut gate_input_offsets = vec![0u32; gates + 1];
+        gate_input_offsets[1..].copy_from_slice(&self.gate_input_ends);
+
         Ok(Netlist {
             name: self.name,
             net_names: self.net_names,
-            net_index: self
-                .net_index
-                .into_iter()
-                .map(|(name, idx)| (name, NetRef(idx)))
-                .collect(),
+            net_index: self.net_index,
             net_loads: self.net_loads,
-            gates,
-            primary_inputs: self.primary_inputs.into_iter().map(NetRef).collect(),
-            primary_outputs: self.primary_outputs.into_iter().map(NetRef).collect(),
+            gate_names: self.gate_names,
+            gate_kinds: self.gate_kinds,
+            gate_outputs: self.gate_outputs,
+            gate_input_offsets,
+            gate_inputs: self.gate_inputs,
             drivers,
+            fanout_offsets,
             fanouts,
+            primary_inputs: self.primary_inputs,
+            primary_outputs: self.primary_outputs,
+            pi_mask,
+            po_mask,
         })
     }
 }
@@ -691,6 +1002,80 @@ mod tests {
     }
 
     #[test]
+    fn index_api_matches_the_fluent_api() {
+        let fluent = chain();
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.net_ref("a");
+        let bb = b.net_ref("b");
+        let mid = b.net_ref("mid");
+        let out = b.net_ref("out");
+        b.mark_primary_input(a);
+        b.mark_primary_input(bb);
+        b.add_gate("u_nor", CellKind::Nor2, &[a, bb], mid);
+        b.add_gate("u_inv", CellKind::Inverter, &[mid], out);
+        b.mark_primary_output(out);
+        let indexed = b.build().unwrap();
+        assert_eq!(fluent, indexed);
+    }
+
+    #[test]
+    fn refs_round_trip_through_indices() {
+        let n = chain();
+        for gate in n.gate_refs() {
+            assert_eq!(GateRef::from_index(gate.index()), gate);
+        }
+        for net in n.net_refs() {
+            assert_eq!(NetRef::from_index(net.index()), net);
+        }
+    }
+
+    #[test]
+    fn gate_views_and_csr_slices_are_consistent() {
+        let n = chain();
+        for gate in n.gate_refs() {
+            let view = n.gate(gate);
+            assert_eq!(view.name, n.gate_name(gate));
+            assert_eq!(view.kind, n.gate_kind(gate));
+            assert_eq!(view.inputs, n.inputs_of(gate));
+            assert_eq!(view.output, n.output_of(gate));
+            assert_eq!(view.inputs.len(), view.kind.input_count());
+            assert_eq!(n.driver_of(view.output), Some(gate));
+            // Every input appears in that net's fanout, with this pin index.
+            for (pin, &input) in view.inputs.iter().enumerate() {
+                assert!(n
+                    .fanout_of(input)
+                    .iter()
+                    .any(|&(g, p)| g == gate && p as usize == pin));
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_gates_match_the_views() {
+        let n = chain();
+        #[allow(deprecated)]
+        let owned = n.gates();
+        assert_eq!(owned.len(), n.gate_count());
+        for (inst, view) in owned.iter().zip(n.iter_gates()) {
+            assert_eq!(inst.name, view.name);
+            assert_eq!(inst.kind, view.kind);
+            assert_eq!(inst.inputs, view.inputs);
+            assert_eq!(inst.output, view.output);
+        }
+    }
+
+    #[test]
+    fn levels_respect_dependencies_and_index_order() {
+        let n = chain();
+        let levels = n.levels();
+        assert_eq!(levels.level_count(), 2);
+        assert_eq!(levels.gate_count(), 2);
+        assert_eq!(levels.gates(0), &[n.find_gate("u_nor").unwrap()]);
+        assert_eq!(levels.gates(1), &[n.find_gate("u_inv").unwrap()]);
+        assert_eq!(levels.iter().count(), 2);
+    }
+
+    #[test]
     fn explicit_loads_are_recorded() {
         let n = NetlistBuilder::new("loaded")
             .primary_input("a")
@@ -720,7 +1105,8 @@ mod tests {
         ));
         assert_eq!(n.gate(u_nor).kind, CellKind::Nand2);
         assert!(matches!(
-            n.retype_gate(GateRef(99), CellKind::Inverter).unwrap_err(),
+            n.retype_gate(GateRef::from_index(99), CellKind::Inverter)
+                .unwrap_err(),
             NetlistError::UnknownGate(_)
         ));
     }
@@ -740,7 +1126,7 @@ mod tests {
         }
         assert_eq!(n.net_load(mid), 3e-15);
         assert!(matches!(
-            n.set_net_load(NetRef(99), 0.0).unwrap_err(),
+            n.set_net_load(NetRef::from_index(99), 0.0).unwrap_err(),
             NetlistError::UnknownNet(_)
         ));
     }

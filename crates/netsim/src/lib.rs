@@ -96,5 +96,5 @@ pub use schedule::{
 };
 pub use sim::{
     resimulate_netlist, simulate_netlist, simulate_netlist_cached, NetsimOptions, NetsimResult,
-    NetsimStats, SimCaches, DEFAULT_EVENT_THRESHOLD,
+    NetsimStats, Observe, SimCaches, WaveformStore, DEFAULT_EVENT_THRESHOLD,
 };

@@ -5,16 +5,18 @@
 //! every gate whose longest driver chain from a primary input has `L` gates
 //! before it, so all gates of one level are mutually independent and can be
 //! solved concurrently once every earlier level has committed. This is the
-//! same schedule shape the level-parallel STA uses; here it is computed
-//! directly on the [`Netlist`] (whose validation already guarantees a DAG),
-//! keeping the simulator free of the STA-internal graph form.
+//! same schedule shape the level-parallel STA uses; here it is delegated to
+//! the netlist's own single-pass [`Netlist::levels`] (validation already
+//! guarantees a DAG), keeping the simulator free of the STA-internal graph
+//! form and of any per-level allocation — a [`LevelSchedule`] is two flat
+//! arrays regardless of depth.
 //!
 //! The scheduler also owns the *effective load* model: the lumped capacitance
 //! a driver sees is the sum of the characterized input-pin capacitances of
 //! every fanout pin, plus the netlist's explicit per-net extra load, plus the
 //! external load on primary outputs.
 
-use mcsm_net::{GateRef, NetRef, Netlist};
+use mcsm_net::{GateRef, LevelSchedule, NetRef, Netlist};
 use mcsm_sta::delaycalc::DelayCache;
 use mcsm_sta::models::ModelLibrary;
 use mcsm_sta::StaError;
@@ -24,44 +26,11 @@ use mcsm_sta::StaError;
 /// levels, and gates within a level are ordered by insertion index (so the
 /// schedule is deterministic and the per-level parallel fan-out is
 /// bit-identical to a sequential sweep).
-pub fn topological_levels(netlist: &Netlist) -> Vec<Vec<GateRef>> {
-    let gate_count = netlist.gate_count();
-    let refs: Vec<GateRef> = netlist.gate_refs().collect();
-
-    // Wave-synchronous Kahn sweep, O(gates + edges): a gate is released in
-    // the wave after its last driver, which is exactly the longest-path level
-    // (insertion order need not be topological — validation only guarantees a
-    // DAG).
-    let mut pending = vec![0usize; gate_count];
-    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); gate_count];
-    for (idx, gate) in netlist.gates().iter().enumerate() {
-        for &input in &gate.inputs {
-            if let Some(driver) = netlist.driver_of(input) {
-                pending[idx] += 1;
-                successors[driver.index()].push(idx);
-            }
-        }
-    }
-
-    let mut current: Vec<usize> = (0..gate_count).filter(|&idx| pending[idx] == 0).collect();
-    let mut levels = Vec::new();
-    while !current.is_empty() {
-        // Sort each wave by gate index so the schedule (and with it the
-        // per-level parallel fan-out) is deterministic.
-        current.sort_unstable();
-        let mut next = Vec::new();
-        for &idx in &current {
-            for &succ in &successors[idx] {
-                pending[succ] -= 1;
-                if pending[succ] == 0 {
-                    next.push(succ);
-                }
-            }
-        }
-        levels.push(current.iter().map(|&idx| refs[idx]).collect());
-        current = next;
-    }
-    levels
+///
+/// Thin wrapper over [`Netlist::levels`], kept so simulator code and tests
+/// have a crate-local name for the schedule.
+pub fn topological_levels(netlist: &Netlist) -> LevelSchedule {
+    netlist.levels()
 }
 
 /// The downstream cone of influence of a set of seed gates: every gate whose
@@ -85,7 +54,7 @@ pub fn cone_of_influence(netlist: &Netlist, seeds: &[GateRef]) -> Vec<GateRef> {
         }
     }
     while let Some(gate) = frontier.pop() {
-        for &(fanout_gate, _pin) in netlist.fanout_of(netlist.gate(gate).output) {
+        for &(fanout_gate, _pin) in netlist.fanout_of(netlist.output_of(gate)) {
             if !in_cone[fanout_gate.index()] {
                 in_cone[fanout_gate.index()] = true;
                 frontier.push(fanout_gate);
@@ -112,7 +81,7 @@ pub fn seeds_for_drive_change(netlist: &Netlist, net: NetRef) -> Vec<GateRef> {
 /// even though its own input waveforms are unchanged.
 pub fn seeds_for_gate_edit(netlist: &Netlist, gate: GateRef) -> Vec<GateRef> {
     let mut seeds = vec![gate];
-    for &input in &netlist.gate(gate).inputs {
+    for &input in netlist.inputs_of(gate) {
         if let Some(driver) = netlist.driver_of(input) {
             if !seeds.contains(&driver) {
                 seeds.push(driver);
@@ -148,7 +117,8 @@ pub fn effective_load(
 ) -> Result<f64, StaError> {
     let mut load = 0.0;
     for &(fanout_gate, pin) in netlist.fanout_of(net) {
-        let kind = netlist.gate(fanout_gate).kind;
+        let kind = netlist.gate_kind(fanout_gate);
+        let pin = pin as usize;
         load += cache.pin_capacitance(kind, pin, || library.input_pin_capacitance(kind, pin))?;
     }
     load += netlist.net_load(net);
@@ -170,7 +140,7 @@ mod tests {
     fn levels_respect_driver_ordering_on_c17() {
         let netlist = c17();
         let levels = topological_levels(&netlist);
-        assert_eq!(levels.iter().map(Vec::len).sum::<usize>(), 6);
+        assert_eq!(levels.gate_count(), 6);
         // Every gate's drivers sit in strictly earlier levels.
         let mut level_of = vec![usize::MAX; netlist.gate_count()];
         for (level, gates) in levels.iter().enumerate() {
@@ -178,8 +148,8 @@ mod tests {
                 level_of[g.index()] = level;
             }
         }
-        for (idx, gate) in netlist.gates().iter().enumerate() {
-            for &input in &gate.inputs {
+        for (idx, gate) in netlist.iter_gates().enumerate() {
+            for &input in gate.inputs {
                 if let Some(driver) = netlist.driver_of(input) {
                     assert!(level_of[driver.index()] < level_of[idx]);
                 }
@@ -187,7 +157,10 @@ mod tests {
         }
         // The schedule depth matches the STA lowering's.
         let graph = netlist.to_gate_graph().unwrap();
-        assert_eq!(levels.len(), graph.topological_levels().unwrap().len());
+        assert_eq!(
+            levels.level_count(),
+            graph.topological_levels().unwrap().len()
+        );
     }
 
     #[test]
@@ -201,9 +174,9 @@ mod tests {
             .build()
             .unwrap();
         let levels = topological_levels(&netlist);
-        assert_eq!(levels.len(), 2);
-        assert_eq!(netlist.gate(levels[0][0]).name, "u_early");
-        assert_eq!(netlist.gate(levels[1][0]).name, "u_late");
+        assert_eq!(levels.level_count(), 2);
+        assert_eq!(netlist.gate(levels.gates(0)[0]).name, "u_early");
+        assert_eq!(netlist.gate(levels.gates(1)[0]).name, "u_late");
 
         // A deep chain declared in fully reversed order still levelizes one
         // gate per level (the Kahn sweep does not depend on insertion order).
@@ -222,7 +195,7 @@ mod tests {
             .build()
             .unwrap();
         let levels = topological_levels(&chain);
-        assert_eq!(levels.len(), stages);
+        assert_eq!(levels.level_count(), stages);
         for (level, gates) in levels.iter().enumerate() {
             assert_eq!(gates.len(), 1);
             assert_eq!(chain.gate(gates[0]).name, format!("u{level}"));
@@ -234,9 +207,7 @@ mod tests {
         let netlist = c17();
         let gate = |name: &str| netlist.find_gate(name).unwrap();
         let names = |cone: &[GateRef]| -> Vec<&str> {
-            cone.iter()
-                .map(|&g| netlist.gate(g).name.as_str())
-                .collect()
+            cone.iter().map(|&g| netlist.gate_name(g)).collect()
         };
         // g10 feeds g22 only; g22 is a primary-output driver.
         let cone = cone_of_influence(&netlist, &[gate("g10")]);

@@ -17,6 +17,22 @@
 //! solved level-parallel over [`mcsm_num::par`] with the same determinism
 //! contract as the STA layer: results are bit-identical at every thread
 //! count.
+//!
+//! # Streaming waveform memory
+//!
+//! Keeping a full trace on every net makes result memory proportional to
+//! circuit size, which caps the reachable scale long before runtime does. The
+//! [`WaveformStore`] decouples the two: with
+//! [`NetsimOptions::observe`] set to [`Observe::Points`], full traces are kept
+//! only on *observation points* (primary outputs plus any caller-listed
+//! nets), every interior net's drive is handed to its fanouts as usual but
+//! **dropped as soon as its last fanout pin has consumed it** (a per-net
+//! refcount initialized from the fanout degree), and — optionally — handoffs
+//! are thinned to an error-bounded piecewise-linear form by
+//! [`NetsimOptions::thin_eps`]. Live memory then tracks the schedule's level
+//! width instead of the net count ([`NetsimStats::peak_live_waveforms`]
+//! reports the high-water mark), while observed nets stay **bit-identical**
+//! to a non-streaming run at every thread count (with `thin_eps == 0`).
 
 use crate::error::NetsimError;
 use crate::schedule::{cone_of_influence, effective_load, topological_levels};
@@ -27,12 +43,27 @@ use mcsm_spice::waveform::Waveform;
 use mcsm_sta::delaycalc::{DelayCache, DelayCalculator, WaveformCache};
 use mcsm_sta::models::ModelLibrary;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Default [`NetsimOptions::event_threshold`] (volts): excursions below 50 mV
 /// — deep noise-margin territory for any CMOS rail — are treated as
 /// quiescent.
 pub const DEFAULT_EVENT_THRESHOLD: f64 = 0.05;
+
+/// Which nets keep a full waveform trace in the [`NetsimResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Observe {
+    /// Keep a trace on every net — the classic mode; result memory is
+    /// proportional to circuit size.
+    All,
+    /// Streaming mode: keep traces only on primary outputs plus the listed
+    /// nets. Every other net's waveform is released once its last fanout pin
+    /// has consumed it, so live memory is bounded by the schedule's level
+    /// width instead of the net count. Un-observed nets report `None` from
+    /// [`NetsimResult::waveform`].
+    Points(Vec<NetRef>),
+}
 
 /// Options for one netlist transient simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,16 +82,27 @@ pub struct NetsimOptions {
     /// computed outputs whose total excursion over the window stays below
     /// this are treated as DC, and gates fed only by such nets are skipped.
     pub event_threshold: f64,
+    /// Which nets keep full traces — [`Observe::All`] (default) or streaming
+    /// [`Observe::Points`]. Observed nets are bit-identical between the two.
+    pub observe: Observe,
+    /// Maximum absolute voltage error (volts) allowed when thinning a solved
+    /// waveform into the piecewise-linear drive handed to fanout gates
+    /// (see [`Waveform::thin`]). `0.0` (default) disables thinning — handoff
+    /// shares the solved samples bit-identically.
+    pub thin_eps: f64,
 }
 
 impl NetsimOptions {
-    /// Creates sequential options with the default event threshold.
+    /// Creates sequential options with the default event threshold, observing
+    /// every net and no handoff thinning.
     pub fn new(calculator: DelayCalculator, primary_output_load: f64) -> Self {
         NetsimOptions {
             calculator,
             primary_output_load,
             threads: 1,
             event_threshold: DEFAULT_EVENT_THRESHOLD,
+            observe: Observe::All,
+            thin_eps: 0.0,
         }
     }
 
@@ -75,6 +117,20 @@ impl NetsimOptions {
     #[must_use]
     pub fn with_event_threshold(mut self, volts: f64) -> Self {
         self.event_threshold = volts;
+        self
+    }
+
+    /// Sets the observation mode (which nets keep full traces).
+    #[must_use]
+    pub fn with_observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+
+    /// Sets the handoff-thinning error bound (volts); `0.0` disables.
+    #[must_use]
+    pub fn with_thin_eps(mut self, eps: f64) -> Self {
+        self.thin_eps = eps;
         self
     }
 }
@@ -109,6 +165,14 @@ pub struct NetsimStats {
     pub waveform_hits: usize,
     /// Gate solves that ran the numerical engine and were then memoized.
     pub waveform_misses: usize,
+    /// High-water mark of simultaneously live waveforms in the
+    /// [`WaveformStore`] (nets holding a full trace or non-DC handoff
+    /// samples). With [`Observe::All`] this approaches the net count; in
+    /// streaming mode it tracks the schedule's level width.
+    pub peak_live_waveforms: usize,
+    /// Total breakpoints removed from fanout handoffs by
+    /// [`NetsimOptions::thin_eps`] thinning (zero when thinning is off).
+    pub breakpoints_dropped: usize,
 }
 
 /// Shared caches threaded through a sequence of simulations.
@@ -128,28 +192,273 @@ pub struct SimCaches<'a> {
     pub waveforms: Option<&'a WaveformCache>,
 }
 
+/// The per-net waveform state of a running simulation: committed traces,
+/// fanout handoff drives and event flags, with streaming release of interior
+/// traces when [`Observe::Points`] is active.
+///
+/// The store owns the memory-bounding machinery of the simulator: each net
+/// carries a *remaining-reads* refcount initialized from its fanout degree;
+/// the sweep consumes one read per gathered
+/// input pin, and when a net's count drains in streaming mode — and the net
+/// is not an observation point — its handoff samples are released on the
+/// spot. `peak_live_waveforms` records the high-water mark of nets holding
+/// sample data (full traces or non-DC drives; DC and analytic drives are
+/// O(1) and not counted).
+#[derive(Debug)]
+pub struct WaveformStore {
+    streaming: bool,
+    thin_eps: f64,
+    observed: Vec<bool>,
+    traces: Vec<Option<Waveform>>,
+    drives: Vec<Option<DriveWaveform>>,
+    active: Vec<bool>,
+    remaining_reads: Vec<u32>,
+    live: Vec<bool>,
+    live_count: usize,
+    peak_live: usize,
+    breakpoints_dropped: usize,
+}
+
+impl WaveformStore {
+    /// Builds the store for one run: the observed set is every primary output
+    /// plus the nets listed in `observe` (all of them with [`Observe::All`]),
+    /// and each net's read refcount is its fanout-pin degree.
+    ///
+    /// # Errors
+    ///
+    /// [`NetsimError::InvalidParameter`] if an observation point is out of
+    /// range for this netlist.
+    pub fn new(netlist: &Netlist, observe: &Observe, thin_eps: f64) -> Result<Self, NetsimError> {
+        let nets = netlist.net_count();
+        let (streaming, observed) = match observe {
+            Observe::All => (false, vec![true; nets]),
+            Observe::Points(points) => {
+                let mut observed = vec![false; nets];
+                for &po in netlist.primary_outputs() {
+                    observed[po.index()] = true;
+                }
+                for &net in points {
+                    if net.index() >= nets {
+                        return Err(NetsimError::InvalidParameter(format!(
+                            "observation point #{} is out of range for a netlist \
+                             with {nets} nets",
+                            net.index()
+                        )));
+                    }
+                    observed[net.index()] = true;
+                }
+                (true, observed)
+            }
+        };
+        Ok(WaveformStore {
+            streaming,
+            thin_eps,
+            observed,
+            traces: vec![None; nets],
+            drives: vec![None; nets],
+            active: vec![false; nets],
+            remaining_reads: netlist
+                .net_refs()
+                .map(|net| netlist.fanout_of(net).len() as u32)
+                .collect(),
+            live: vec![false; nets],
+            live_count: 0,
+            peak_live: 0,
+            breakpoints_dropped: 0,
+        })
+    }
+
+    /// Whether this store streams (drops un-observed traces).
+    pub fn streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Whether a net keeps its full trace in the result.
+    pub fn is_observed(&self, net: NetRef) -> bool {
+        self.observed[net.index()]
+    }
+
+    /// High-water mark of simultaneously live waveforms so far.
+    pub fn peak_live_waveforms(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Breakpoints removed by handoff thinning so far.
+    pub fn breakpoints_dropped(&self) -> usize {
+        self.breakpoints_dropped
+    }
+
+    fn wants_trace(&self, idx: usize) -> bool {
+        self.observed[idx] || !self.streaming
+    }
+
+    fn refresh_live(&mut self, idx: usize) {
+        let now = self.traces[idx].is_some()
+            || matches!(
+                self.drives[idx],
+                Some(DriveWaveform::Pwl(_)) | Some(DriveWaveform::Sampled(_))
+            );
+        if now != self.live[idx] {
+            self.live[idx] = now;
+            if now {
+                self.live_count += 1;
+                self.peak_live = self.peak_live.max(self.live_count);
+            } else {
+                self.live_count -= 1;
+            }
+        }
+    }
+
+    /// The committed handoff drive of a net. The level schedule plus the
+    /// fanout refcounts guarantee every input a gate gathers is still held.
+    fn drive(&self, net: NetRef) -> &DriveWaveform {
+        self.drives[net.index()]
+            .as_ref()
+            .expect("level order and fanout refcounts guarantee committed inputs")
+    }
+
+    fn is_active(&self, net: NetRef) -> bool {
+        self.active[net.index()]
+    }
+
+    /// Commits a primary input: event flag from the drive's span, trace (if
+    /// kept) sampled from the drive, handoff re-wrapped so sampled drives fan
+    /// out as a shared PWL (`Arc` clones, not sample copies — evaluation is
+    /// bit-identical through `Waveform::value_at`).
+    fn commit_input(
+        &mut self,
+        net: NetRef,
+        drive: &DriveWaveform,
+        t_stop: f64,
+        event_threshold: f64,
+    ) -> Result<(), NetsimError> {
+        let idx = net.index();
+        let (lo, hi) = drive_span(drive, t_stop);
+        self.active[idx] = hi - lo >= event_threshold;
+        if self.wants_trace(idx) {
+            self.traces[idx] = Some(drive_to_waveform(drive, t_stop)?);
+        }
+        self.drives[idx] = Some(match drive {
+            DriveWaveform::Sampled(w) => DriveWaveform::from_waveform(w.clone()),
+            other => other.clone(),
+        });
+        self.refresh_live(idx);
+        Ok(())
+    }
+
+    /// Commits a quiescent gate output: DC handoff, flat two-point trace when
+    /// the net is kept (streaming skips even that allocation).
+    fn commit_quiescent(
+        &mut self,
+        net: NetRef,
+        level_v: f64,
+        t_stop: f64,
+    ) -> Result<(), NetsimError> {
+        let idx = net.index();
+        if self.wants_trace(idx) {
+            self.traces[idx] = Some(Waveform::new(vec![0.0, t_stop], vec![level_v, level_v])?);
+        }
+        self.drives[idx] = Some(DriveWaveform::dc(level_v));
+        self.refresh_live(idx);
+        Ok(())
+    }
+
+    /// Commits an engine-solved gate output. Eventful outputs hand fanouts
+    /// the solved samples (shared, or thinned to `thin_eps`); settled outputs
+    /// hand a DC level so quiescence keeps propagating. The full trace is
+    /// kept only when the net is observed (or the store is non-streaming).
+    fn commit_solved(&mut self, net: NetRef, waveform: Arc<Waveform>, event_threshold: f64) {
+        let idx = net.index();
+        let (lo, hi) = (waveform.min_value(), waveform.max_value());
+        if hi - lo >= event_threshold {
+            self.active[idx] = true;
+            self.drives[idx] = Some(if self.thin_eps > 0.0 {
+                let thinned = waveform.thin(self.thin_eps);
+                self.breakpoints_dropped += waveform.len().saturating_sub(thinned.len());
+                DriveWaveform::from_waveform(thinned)
+            } else {
+                DriveWaveform::Pwl(Arc::clone(&waveform))
+            });
+        } else {
+            // The output barely moved: hand fanouts its settled DC level so
+            // quiescence keeps propagating, but keep the solved waveform for
+            // reporting where the net is observed.
+            self.drives[idx] = Some(DriveWaveform::dc(waveform.final_value()));
+        }
+        if self.wants_trace(idx) {
+            self.traces[idx] = Some(match Arc::try_unwrap(waveform) {
+                Ok(w) => w,
+                Err(shared) => (*shared).clone(),
+            });
+        }
+        self.refresh_live(idx);
+    }
+
+    /// Re-commits a net from a previous (non-streamed) result, for the gates
+    /// outside an incremental re-evaluation cone.
+    fn preload(&mut self, net: NetRef, trace: Waveform, drive: DriveWaveform, active: bool) {
+        let idx = net.index();
+        self.traces[idx] = Some(trace);
+        self.drives[idx] = Some(drive);
+        self.active[idx] = active;
+        self.refresh_live(idx);
+    }
+
+    /// Records one fanout pin having gathered this net. In streaming mode,
+    /// draining the count on an un-observed net releases its handoff samples
+    /// immediately — the schedule can never ask for them again.
+    fn consume(&mut self, net: NetRef) {
+        let idx = net.index();
+        self.remaining_reads[idx] = self.remaining_reads[idx].saturating_sub(1);
+        if self.streaming && self.remaining_reads[idx] == 0 && !self.observed[idx] {
+            self.drives[idx] = None;
+            self.refresh_live(idx);
+        }
+    }
+}
+
 /// The result of a netlist transient simulation: one voltage waveform per
-/// net — primary inputs sampled from their drives, gate outputs either solved
-/// by the engine or resolved to their DC level.
+/// *observed* net — primary inputs sampled from their drives, gate outputs
+/// either solved by the engine or resolved to their DC level. With
+/// [`Observe::All`] (the default) every net is observed; in streaming mode
+/// un-observed nets report `None`.
 #[derive(Debug, Clone)]
 pub struct NetsimResult {
-    waveforms: Vec<Waveform>,
+    waveforms: Vec<Option<Waveform>>,
     net_names: Vec<String>,
     vdd: f64,
     stats: NetsimStats,
     /// Committed per-net handoff drives, kept so [`resimulate_netlist`] can
     /// hand untouched nets' exact drives (Arc'd PWL or DC, cheap clones) to
-    /// the gates inside a re-evaluated cone.
-    drives: Vec<DriveWaveform>,
+    /// the gates inside a re-evaluated cone. Streamed results release
+    /// un-observed entries.
+    drives: Vec<Option<DriveWaveform>>,
     /// Committed per-net event flags, carried over for nets outside a
     /// re-evaluated cone.
     active: Vec<bool>,
+    /// Which nets were observation points for this run.
+    observed: Vec<bool>,
+    /// Whether the run streamed (dropped un-observed traces).
+    streamed: bool,
 }
 
 impl NetsimResult {
-    /// The waveform on a net. Every net of the simulated netlist has one.
-    pub fn waveform(&self, net: NetRef) -> &Waveform {
-        &self.waveforms[net.index()]
+    /// The waveform on a net, or `None` if the run streamed
+    /// ([`Observe::Points`]) and the net was not an observation point.
+    /// Non-streamed results return `Some` for every net.
+    pub fn waveform(&self, net: NetRef) -> Option<&Waveform> {
+        self.waveforms[net.index()].as_ref()
+    }
+
+    /// Whether a net was an observation point of this run (always true for
+    /// non-streamed runs).
+    pub fn observed(&self, net: NetRef) -> bool {
+        self.observed[net.index()]
+    }
+
+    /// Whether this run streamed (kept traces only on observation points).
+    pub fn streamed(&self) -> bool {
+        self.streamed
     }
 
     /// Name of a net (mirrors the simulated netlist, so results stay
@@ -158,7 +467,7 @@ impl NetsimResult {
         &self.net_names[net.index()]
     }
 
-    /// Number of nets (and waveforms).
+    /// Number of nets (observed or not).
     pub fn net_count(&self) -> usize {
         self.waveforms.len()
     }
@@ -174,9 +483,9 @@ impl NetsimResult {
     }
 
     /// The 50 % crossing time of the waveform on a net, for the given
-    /// direction.
+    /// direction. `None` if the net never crosses — or is not observed.
     pub fn arrival_time(&self, net: NetRef, rising: bool) -> Option<f64> {
-        self.waveform(net).crossing(0.5 * self.vdd, rising)
+        self.waveform(net)?.crossing(0.5 * self.vdd, rising)
     }
 
     /// The earliest 50 % crossing in either direction, with the direction
@@ -191,9 +500,10 @@ impl NetsimResult {
         )
     }
 
-    /// The 10 %–90 % transition time of the waveform on a net.
+    /// The 10 %–90 % transition time of the waveform on a net. `None` if it
+    /// never completes the transition — or is not observed.
     pub fn slew(&self, net: NetRef, rising: bool) -> Option<f64> {
-        self.waveform(net).transition_time(self.vdd, rising)
+        self.waveform(net)?.transition_time(self.vdd, rising)
     }
 }
 
@@ -261,11 +571,13 @@ fn drive_to_waveform(drive: &DriveWaveform, t_stop: f64) -> Result<Waveform, Net
     }
 }
 
-/// One gate's inputs gathered for a worker thread.
+/// One gate's solve job: the model, its gathered input range in the level's
+/// shared drive pool, and the output net. Holding a `Range` instead of an
+/// owned `Vec` keeps the gather phase allocation-free across levels.
 struct GateSolve<'a> {
-    store: &'a mcsm_core::store::ModelStore,
+    model: &'a mcsm_core::store::ModelStore,
     kind: mcsm_cells::cell::CellKind,
-    inputs: Vec<DriveWaveform>,
+    inputs: Range<usize>,
     load: f64,
     output: NetRef,
 }
@@ -278,12 +590,15 @@ struct GateSolve<'a> {
 /// the STA layer (including the §3.4 selective policy and the documented
 /// fallback chains); loads come from [`effective_load`]. Gates whose inputs
 /// are all quiescent are resolved to DC without entering the engine — see the
-/// module docs for the event model.
+/// module docs for the event model. With [`NetsimOptions::observe`] set to
+/// [`Observe::Points`] the run streams: see [`WaveformStore`].
 ///
 /// # Errors
 ///
 /// * [`NetsimError::MissingDrive`] — a primary input has no drive;
 /// * [`NetsimError::DrivenInternalNet`] — a drive targets a non-input net;
+/// * [`NetsimError::InvalidParameter`] — a malformed threshold, thinning
+///   bound or observation point;
 /// * [`NetsimError::Sta`] — model resolution or per-gate evaluation failed.
 pub fn simulate_netlist(
     netlist: &Netlist,
@@ -341,10 +656,15 @@ pub fn simulate_netlist_cached(
 /// inputs and loads. `stats.gates_reused` counts the gates that were not
 /// re-solved.
 ///
+/// Incremental runs require full retention on both sides: a streamed
+/// `previous` has released the very waveforms reuse depends on, and a
+/// streamed re-run could not be reused later itself — both are rejected.
+///
 /// # Errors
 ///
 /// Same as [`simulate_netlist`], plus [`NetsimError::InvalidParameter`] when
-/// `previous` was computed on a netlist with a different net count.
+/// `previous` was computed on a netlist with a different net count, when
+/// `previous` streamed, or when `options.observe` is not [`Observe::All`].
 pub fn resimulate_netlist(
     netlist: &Netlist,
     library: &ModelLibrary,
@@ -361,6 +681,21 @@ pub fn resimulate_netlist(
             previous.net_count(),
             netlist.net_count()
         )));
+    }
+    if previous.streamed() {
+        return Err(NetsimError::InvalidParameter(
+            "previous result streamed (Observe::Points) and released its \
+             interior waveforms — incremental re-simulation needs a full \
+             Observe::All result"
+                .to_string(),
+        ));
+    }
+    if options.observe != Observe::All {
+        return Err(NetsimError::InvalidParameter(
+            "incremental re-simulation requires Observe::All — streamed runs \
+             cannot be reused as a future `previous`"
+                .to_string(),
+        ));
     }
     let cone = cone_of_influence(netlist, seeds);
     run_levels(
@@ -402,6 +737,12 @@ fn run_levels(
             options.event_threshold
         )));
     }
+    if !(options.thin_eps >= 0.0) || !options.thin_eps.is_finite() {
+        return Err(NetsimError::InvalidParameter(format!(
+            "thin_eps must be finite and non-negative, got {}",
+            options.thin_eps
+        )));
+    }
 
     let t_stop = options.calculator.sim.t_stop;
     let vdd = options.calculator.vdd;
@@ -414,25 +755,35 @@ fn run_levels(
     let delay_misses_before = cache.misses();
     let waveform_counts_before = caches.waveforms.map(|w| (w.hits(), w.misses()));
 
-    // Per-net handoff state, committed level by level.
-    let mut drives: Vec<Option<DriveWaveform>> = vec![None; netlist.net_count()];
-    let mut active: Vec<bool> = vec![false; netlist.net_count()];
-    let mut waveforms: Vec<Option<Waveform>> = vec![None; netlist.net_count()];
+    // Per-net handoff state, committed level by level and released eagerly
+    // when streaming.
+    let mut store = WaveformStore::new(netlist, &options.observe, options.thin_eps)?;
 
     // Incremental scope: pre-commit every out-of-cone gate's output from the
     // previous result, then let the sweep skip those gates entirely.
+    // (`previous` is never streamed — resimulate_netlist rejects that — so
+    // every reused entry is present.)
     let in_cone: Option<Vec<bool>> = match previous {
         Some((prev, cone)) => {
             let mut mask = vec![false; netlist.gate_count()];
             for gate in cone {
                 mask[gate.index()] = true;
             }
-            for (idx, gate) in netlist.gates().iter().enumerate() {
-                if !mask[idx] {
-                    let out = gate.output.index();
-                    waveforms[out] = Some(prev.waveforms[out].clone());
-                    drives[out] = Some(prev.drives[out].clone());
-                    active[out] = prev.active[out];
+            for gate in netlist.gate_refs() {
+                if !mask[gate.index()] {
+                    let out = netlist.output_of(gate).index();
+                    store.preload(
+                        netlist.output_of(gate),
+                        prev.waveforms[out]
+                            .as_ref()
+                            .expect("non-streamed results hold every waveform")
+                            .clone(),
+                        prev.drives[out]
+                            .as_ref()
+                            .expect("non-streamed results hold every drive")
+                            .clone(),
+                        prev.active[out],
+                    );
                     stats.gates_reused += 1;
                 }
             }
@@ -442,74 +793,65 @@ fn run_levels(
     };
 
     for (&net, drive) in input_drives {
-        let (lo, hi) = drive_span(drive, t_stop);
-        active[net.index()] = hi - lo >= options.event_threshold;
-        waveforms[net.index()] = Some(drive_to_waveform(drive, t_stop)?);
-        // Re-wrap sampled drives as shared PWL so fanning one primary input
-        // into many gates clones an `Arc`, not the sample vectors (evaluation
-        // is bit-identical — both interpolate through `Waveform::value_at`).
-        drives[net.index()] = Some(match drive {
-            DriveWaveform::Sampled(w) => DriveWaveform::from_waveform(w.clone()),
-            other => other.clone(),
-        });
+        store.commit_input(net, drive, t_stop, options.event_threshold)?;
     }
 
-    for level in topological_levels(netlist) {
+    let schedule = topological_levels(netlist);
+    // Per-level scratch, reused across levels so the sequential gather phase
+    // stays allocation-free once the deepest level has been seen.
+    let mut level_inputs: Vec<DriveWaveform> = Vec::new();
+    let mut solves: Vec<GateSolve<'_>> = Vec::new();
+    let mut logic_buf: Vec<bool> = Vec::new();
+    for level in schedule.iter() {
         // Gather phase (sequential, cheap): split the level into gates that
-        // saw an event and gates that stayed quiescent.
-        let mut solves = Vec::new();
-        for gate_ref in level {
+        // saw an event and gates that stayed quiescent. Input drives land in
+        // one flat pool per level; each solve keeps a range into it.
+        level_inputs.clear();
+        solves.clear();
+        for &gate_ref in level {
             if let Some(mask) = &in_cone {
                 if !mask[gate_ref.index()] {
                     continue; // pre-committed from the previous result
                 }
             }
-            let gate = netlist.gate(gate_ref);
-            let drive_of = |net: &NetRef| -> &DriveWaveform {
-                drives[net.index()]
-                    .as_ref()
-                    .expect("level order guarantees committed inputs")
-            };
+            let kind = netlist.gate_kind(gate_ref);
+            let inputs = netlist.inputs_of(gate_ref);
+            let output = netlist.output_of(gate_ref);
 
-            if gate.inputs.iter().any(|net| active[net.index()]) {
+            if inputs.iter().any(|&net| store.is_active(net)) {
                 // Cloning the drives is cheap by construction: handoff drives
                 // are `Pwl` (Arc'd samples) and quiescent nets are DC.
-                let inputs: Vec<DriveWaveform> = gate
-                    .inputs
-                    .iter()
-                    .map(|net| drive_of(net).clone())
-                    .collect();
-                let load = effective_load(
-                    netlist,
-                    library,
-                    cache,
-                    gate.output,
-                    options.primary_output_load,
-                )?;
+                let start = level_inputs.len();
+                for &net in inputs {
+                    level_inputs.push(store.drive(net).clone());
+                }
+                let load =
+                    effective_load(netlist, library, cache, output, options.primary_output_load)?;
                 solves.push(GateSolve {
-                    store: library.store(gate.kind)?,
-                    kind: gate.kind,
-                    inputs,
+                    model: library.store(kind)?,
+                    kind,
+                    inputs: start..level_inputs.len(),
                     load,
-                    output: gate.output,
+                    output,
                 });
                 stats.gates_simulated += 1;
-                continue;
+            } else {
+                // Quiescent gate: its output is the DC level of its Boolean
+                // function at the input logic values — no engine run, and no
+                // waveform clones either (only initial values are read).
+                logic_buf.clear();
+                for &net in inputs {
+                    logic_buf.push(store.drive(net).initial_value() > 0.5 * vdd);
+                }
+                let level_v = if kind.evaluate(&logic_buf) { vdd } else { 0.0 };
+                store.commit_quiescent(output, level_v, t_stop)?;
+                stats.gates_skipped += 1;
             }
-
-            // Quiescent gate: its output is the DC level of its Boolean
-            // function at the input logic values — no engine run, and no
-            // waveform clones either (only initial values are read).
-            let logic: Vec<bool> = gate
-                .inputs
-                .iter()
-                .map(|net| drive_of(net).initial_value() > 0.5 * vdd)
-                .collect();
-            let level_v = if gate.kind.evaluate(&logic) { vdd } else { 0.0 };
-            let out = gate.output.index();
-            waveforms[out] = Some(Waveform::new(vec![0.0, t_stop], vec![level_v, level_v])?);
-            drives[out] = Some(DriveWaveform::dc(level_v));
-            stats.gates_skipped += 1;
+            // Every input pin of this gate has gathered what it needs; in
+            // streaming mode a drained un-observed net frees its samples now.
+            for &net in inputs {
+                store.consume(net);
+            }
         }
 
         // Solve phase: every eventful gate of the level in parallel, through
@@ -517,9 +859,9 @@ fn run_levels(
         // with bit-identical output — exact-bits keys).
         let outputs = par::par_map(options.threads, &solves, |_, solve| {
             options.calculator.gate_output_memoized(
-                solve.store,
+                solve.model,
                 solve.kind,
-                &solve.inputs,
+                &level_inputs[solve.inputs.clone()],
                 solve.load,
                 Some(cache),
                 caches.waveforms,
@@ -529,23 +871,12 @@ fn run_levels(
         // Commit phase (sequential, in level order, so the first error
         // matches what a sequential sweep would report).
         for (solve, waveform) in solves.iter().zip(outputs) {
-            let waveform = Arc::new(waveform?);
-            let (lo, hi) = (waveform.min_value(), waveform.max_value());
-            let out = solve.output.index();
-            if hi - lo >= options.event_threshold {
-                active[out] = true;
-                drives[out] = Some(DriveWaveform::Pwl(Arc::clone(&waveform)));
-            } else {
-                // The output barely moved: hand fanouts its settled DC level
-                // so quiescence keeps propagating, but keep the solved
-                // waveform for reporting.
-                drives[out] = Some(DriveWaveform::dc(waveform.final_value()));
-            }
-            waveforms[out] = Some((*waveform).clone());
+            store.commit_solved(solve.output, Arc::new(waveform?), options.event_threshold);
         }
     }
 
-    stats.events = active.iter().filter(|&&a| a).count();
+    stats.peak_live_waveforms = store.peak_live_waveforms();
+    stats.breakpoints_dropped = store.breakpoints_dropped();
     stats.cache_hits = cache.hits() - delay_hits_before;
     stats.cache_misses = cache.misses() - delay_misses_before;
     if let (Some(w), Some((hits_before, misses_before))) =
@@ -555,34 +886,42 @@ fn run_levels(
         stats.waveform_misses = w.misses() - misses_before;
     }
 
+    let WaveformStore {
+        streaming,
+        observed,
+        traces,
+        drives,
+        active,
+        ..
+    } = store;
+    stats.events = active.iter().filter(|&&a| a).count();
+
     // Netlist validation guarantees every net is a primary input or a gate
-    // output, so the schedule reaches all of them.
-    let mut committed_waveforms = Vec::with_capacity(netlist.net_count());
-    let mut committed_drives = Vec::with_capacity(netlist.net_count());
-    for (net, (waveform, drive)) in netlist
-        .net_refs()
-        .zip(waveforms.into_iter().zip(drives))
-    {
-        let unreached = || {
-            NetsimError::InvalidParameter(format!(
-                "net `{}` was never reached by the schedule",
-                netlist.net_name(net)
-            ))
-        };
-        committed_waveforms.push(waveform.ok_or_else(unreached)?);
-        committed_drives.push(drive.ok_or_else(unreached)?);
+    // output, so a non-streamed schedule reaches all of them; a streamed run
+    // intentionally holds `None` for released interior nets.
+    if !streaming {
+        for (net, (waveform, drive)) in netlist.net_refs().zip(traces.iter().zip(&drives)) {
+            if waveform.is_none() || drive.is_none() {
+                return Err(NetsimError::InvalidParameter(format!(
+                    "net `{}` was never reached by the schedule",
+                    netlist.net_name(net)
+                )));
+            }
+        }
     }
 
     Ok(NetsimResult {
-        waveforms: committed_waveforms,
+        waveforms: traces,
         net_names: netlist
             .net_refs()
             .map(|n| netlist.net_name(n).to_string())
             .collect(),
         vdd,
         stats,
-        drives: committed_drives,
+        drives,
         active,
+        observed,
+        streamed: streaming,
     })
 }
 
@@ -593,7 +932,7 @@ mod tests {
     use mcsm_cells::tech::Technology;
     use mcsm_core::config::CharacterizationConfig;
     use mcsm_core::sim::CsmSimOptions;
-    use mcsm_net::{nand_chain, NetlistBuilder};
+    use mcsm_net::{inverter_chain, nand_chain, NetlistBuilder};
     use mcsm_sta::delaycalc::DelayBackend;
 
     fn library() -> ModelLibrary {
@@ -678,13 +1017,18 @@ mod tests {
         assert_eq!(stats.gates_simulated, 0);
         assert_eq!(stats.gates_skipped, 4);
         assert_eq!(stats.events, 0);
+        // Full retention keeps a (flat) trace on every net.
+        assert_eq!(stats.peak_live_waveforms, netlist.net_count());
+        assert_eq!(stats.breakpoints_dropped, 0);
         // All-ones inputs: NAND chain alternates 0, 1, 0, 1 down the chain.
         let out = netlist.find_net("out").unwrap();
-        assert_eq!(result.waveform(out).final_value(), vdd);
+        assert_eq!(result.waveform(out).unwrap().final_value(), vdd);
         let n0 = netlist.find_net("n0").unwrap();
-        assert_eq!(result.waveform(n0).final_value(), 0.0);
+        assert_eq!(result.waveform(n0).unwrap().final_value(), 0.0);
         // No net ever crosses mid-rail.
         assert_eq!(result.arrival_any(out), None);
+        assert!(!result.streamed());
+        assert!(result.observed(n0));
     }
 
     #[test]
@@ -721,9 +1065,136 @@ mod tests {
         assert!(result.slew(aout, true).unwrap() > 0.0);
         // Double inversion of the quiet 0 V input settles back at 0 V.
         let bout = netlist.find_net("bout").unwrap();
-        assert_eq!(result.waveform(bout).final_value(), 0.0);
+        assert_eq!(result.waveform(bout).unwrap().final_value(), 0.0);
         assert_eq!(result.net_name(bout), "bout");
         assert_eq!(result.net_count(), netlist.net_count());
+    }
+
+    #[test]
+    fn streaming_points_bound_memory_and_stay_bit_identical() {
+        // A 24-stage inverter chain with a switching input: every interior
+        // net carries an eventful waveform, so full retention holds ~26 live
+        // traces while streaming holds a handful.
+        let netlist = inverter_chain(24);
+        let library = library();
+        let vdd = library.vdd();
+        let mut drives = HashMap::new();
+        for &pi in netlist.primary_inputs() {
+            drives.insert(pi, DriveWaveform::rising_ramp(vdd, 0.2e-9, 80e-12));
+        }
+        let out = netlist.primary_outputs()[0];
+        let mid = netlist.find_net("n12").unwrap();
+        let full = simulate_netlist(&netlist, &library, &drives, &options(vdd)).unwrap();
+        assert!(!full.streamed());
+        assert!(full.stats().peak_live_waveforms >= netlist.net_count() - 1);
+
+        for threads in [1, 2, 8] {
+            let streamed = simulate_netlist(
+                &netlist,
+                &library,
+                &drives,
+                &options(vdd)
+                    .with_threads(threads)
+                    .with_observe(Observe::Points(vec![mid])),
+            )
+            .unwrap();
+            assert!(streamed.streamed());
+            // Observed nets (the PO plus the requested point) are
+            // bit-identical to the full run; interior nets are released.
+            assert!(streamed.observed(out) && streamed.observed(mid));
+            assert_eq!(streamed.waveform(out), full.waveform(out));
+            assert_eq!(streamed.waveform(mid), full.waveform(mid));
+            let n5 = netlist.find_net("n5").unwrap();
+            assert!(!streamed.observed(n5));
+            assert_eq!(streamed.waveform(n5), None);
+            assert_eq!(streamed.arrival_any(n5), None);
+            assert_eq!(streamed.slew(n5, true), None);
+            // Event accounting is untouched by streaming…
+            assert_eq!(streamed.stats().events, full.stats().events);
+            // …but the live high-water mark collapses: a chain hands each
+            // waveform to exactly one fanout, which releases it a level later.
+            let peak = streamed.stats().peak_live_waveforms;
+            assert!(
+                peak <= 6,
+                "peak_live_waveforms = {peak} for {} nets",
+                netlist.net_count()
+            );
+        }
+
+        // An out-of-range observation point is rejected up front.
+        let bogus = Observe::Points(vec![NetRef::from_index(netlist.net_count())]);
+        assert!(matches!(
+            simulate_netlist(
+                &netlist,
+                &library,
+                &drives,
+                &options(vdd).with_observe(bogus)
+            ),
+            Err(NetsimError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn thinned_handoff_is_error_bounded_and_zero_eps_is_exact() {
+        // 5 stages: the final (even-indexed) stage output actually toggles,
+        // so `out` has a mid-rail crossing to compare.
+        let netlist = nand_chain(5);
+        let library = library();
+        let vdd = library.vdd();
+        let mut drives = HashMap::new();
+        for (i, &pi) in netlist.primary_inputs().iter().enumerate() {
+            drives.insert(
+                pi,
+                DriveWaveform::rising_ramp(vdd, 0.2e-9 + 30e-12 * i as f64, 80e-12),
+            );
+        }
+        let exact = simulate_netlist(&netlist, &library, &drives, &options(vdd)).unwrap();
+
+        // thin_eps = 0 is the identity: bit-identical everywhere, nothing
+        // dropped.
+        let zero = simulate_netlist(
+            &netlist,
+            &library,
+            &drives,
+            &options(vdd).with_thin_eps(0.0),
+        )
+        .unwrap();
+        for net in netlist.net_refs() {
+            assert_eq!(zero.waveform(net), exact.waveform(net));
+        }
+        assert_eq!(zero.stats().breakpoints_dropped, 0);
+
+        // A loose bound prunes real breakpoints while the chain's final logic
+        // levels survive (each stage's input error is bounded by eps, far
+        // inside the gates' noise margins).
+        let eps = 0.02;
+        let thinned = simulate_netlist(
+            &netlist,
+            &library,
+            &drives,
+            &options(vdd).with_thin_eps(eps),
+        )
+        .unwrap();
+        assert!(thinned.stats().breakpoints_dropped > 0);
+        let out = netlist.find_net("out").unwrap();
+        let t_exact = exact.arrival_any(out).unwrap();
+        let t_thin = thinned.arrival_any(out).unwrap();
+        assert_eq!(t_exact.1, t_thin.1, "edge polarity survives thinning");
+        assert!(
+            (t_exact.0 - t_thin.0).abs() < 100e-12,
+            "arrival moved {} ps",
+            (t_exact.0 - t_thin.0).abs() * 1e12
+        );
+        // NaN / negative bounds are rejected like bad thresholds.
+        assert!(matches!(
+            simulate_netlist(
+                &netlist,
+                &library,
+                &drives,
+                &options(vdd).with_thin_eps(f64::NAN)
+            ),
+            Err(NetsimError::InvalidParameter(_))
+        ));
     }
 
     #[test]
@@ -831,6 +1302,40 @@ mod tests {
                 caches,
                 &baseline,
                 &[]
+            ),
+            Err(NetsimError::InvalidParameter(_))
+        ));
+
+        // A streamed previous result released its interior waveforms and is
+        // rejected, as is a streamed re-run.
+        let streamed = simulate_netlist(
+            &netlist,
+            &library,
+            &drives,
+            &options(vdd).with_observe(Observe::Points(vec![])),
+        )
+        .unwrap();
+        assert!(matches!(
+            resimulate_netlist(
+                &netlist,
+                &library,
+                &drives,
+                &options(vdd),
+                caches,
+                &streamed,
+                &seeds
+            ),
+            Err(NetsimError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            resimulate_netlist(
+                &netlist,
+                &library,
+                &drives,
+                &options(vdd).with_observe(Observe::Points(vec![n22])),
+                caches,
+                &baseline,
+                &seeds
             ),
             Err(NetsimError::InvalidParameter(_))
         ));

@@ -24,7 +24,7 @@ use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
 use mcsm_net::{balanced_tree, c17, inverter_chain, nand_chain, NetRef, Netlist};
 use mcsm_netsim::{
     resimulate_netlist, seeds_for_drive_change, seeds_for_gate_edit, seeds_for_load_change,
-    simulate_netlist_cached, NetsimOptions, NetsimResult, NetsimStats, SimCaches,
+    simulate_netlist_cached, NetsimOptions, NetsimResult, NetsimStats, Observe, SimCaches,
     DEFAULT_EVENT_THRESHOLD,
 };
 use mcsm_num::json::JsonValue;
@@ -103,12 +103,23 @@ struct Circuit {
     drives: HashMap<NetRef, DriveWaveform>,
     result: Option<NetsimResult>,
     dirty: Dirty,
+    /// Streaming observation points (`load_netlist`'s `observe` list), or
+    /// `None` for full retention on every net.
+    observe: Option<Vec<NetRef>>,
+    /// Handoff-thinning bound (volts); `0.0` disables.
+    thin_eps: f64,
 }
 
 impl Circuit {
     /// Records that `seeds` must be re-solved. `Full` absorbs everything;
-    /// without a committed result only `Full` is possible.
+    /// without a committed result only `Full` is possible. Streamed sessions
+    /// always re-run in full: a streamed result has released the interior
+    /// waveforms incremental reuse depends on.
     fn invalidate(&mut self, seeds: Vec<mcsm_net::GateRef>) {
+        if self.observe.is_some() {
+            self.dirty = Dirty::Full;
+            return;
+        }
         match (&mut self.dirty, self.result.is_some()) {
             (Dirty::Full, _) | (_, false) => self.dirty = Dirty::Full,
             (Dirty::Seeds(existing), true) => {
@@ -199,6 +210,8 @@ fn stats_json(stats: &NetsimStats) -> JsonValue {
         ("cache_misses", num(stats.cache_misses as f64)),
         ("waveform_hits", num(stats.waveform_hits as f64)),
         ("waveform_misses", num(stats.waveform_misses as f64)),
+        ("peak_live_waveforms", num(stats.peak_live_waveforms as f64)),
+        ("breakpoints_dropped", num(stats.breakpoints_dropped as f64)),
     ])
 }
 
@@ -299,6 +312,12 @@ impl Session {
 
     /// `load_netlist {"builtin": "c17"}` or `{"netlist": {...}}`, optional
     /// `"window"` / `"dt"` overrides. Every primary input starts at DC 0 V.
+    ///
+    /// Streaming: an optional `"observe": ["net", ...]` list keeps full
+    /// waveforms only on primary outputs plus the listed nets (bounding
+    /// result memory on large netlists; waveform-bearing queries on other
+    /// nets are rejected), and `"thin_eps"` (volts) thins fanout handoffs to
+    /// an error-bounded piecewise-linear form.
     fn load_netlist(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
         let netlist = match (params.get("builtin"), params.get("netlist")) {
             (Some(builtin), None) => {
@@ -314,7 +333,7 @@ impl Session {
                 ))
             }
         };
-        for gate in netlist.gates() {
+        for gate in netlist.iter_gates() {
             if !self.library.contains(gate.kind) {
                 return Err(ServeError::Engine(format!(
                     "cell {} (gate `{}`) is not characterized in this session's library",
@@ -329,12 +348,29 @@ impl Session {
         if let Some(dt) = opt_f64(params, "dt") {
             self.config.dt = dt;
         }
+        let observe = match params.get("observe") {
+            None => None,
+            Some(spec) => {
+                let names = spec.as_array().ok_or_else(|| {
+                    ServeError::InvalidParams("`observe` must be an array of net names".into())
+                })?;
+                let mut points = Vec::with_capacity(names.len());
+                for name in names {
+                    let name = name.as_str().ok_or_else(|| {
+                        ServeError::InvalidParams("`observe` must be an array of net names".into())
+                    })?;
+                    points.push(netlist.find_net(name)?);
+                }
+                Some(points)
+            }
+        };
+        let thin_eps = opt_f64(params, "thin_eps").unwrap_or(0.0);
         let drives = netlist
             .primary_inputs()
             .iter()
             .map(|&pi| (pi, DriveWaveform::dc(0.0)))
             .collect();
-        let response = obj(vec![
+        let mut response_fields = vec![
             ("name", string(netlist.name())),
             ("gates", num(netlist.gate_count() as f64)),
             ("nets", num(netlist.net_count() as f64)),
@@ -358,12 +394,18 @@ impl Session {
                         .collect(),
                 ),
             ),
-        ]);
+        ];
+        if let Some(points) = &observe {
+            response_fields.push(("observe", num(points.len() as f64)));
+        }
+        let response = obj(response_fields);
         self.circuit = Some(Circuit {
             netlist,
             drives,
             result: None,
             dirty: Dirty::Full,
+            observe,
+            thin_eps,
         });
         Ok(response)
     }
@@ -501,7 +543,11 @@ impl Session {
             .circuit
             .as_mut()
             .ok_or_else(|| ServeError::InvalidParams("no netlist loaded".into()))?;
-        let options = self.config.netsim_options(self.library.vdd());
+        let mut options = self.config.netsim_options(self.library.vdd());
+        if let Some(points) = &circuit.observe {
+            options = options.with_observe(Observe::Points(points.clone()));
+        }
+        options = options.with_thin_eps(circuit.thin_eps);
         let caches = SimCaches {
             delay: &self.delay,
             waveforms: Some(&self.waveforms),
@@ -554,12 +600,29 @@ impl Session {
         Ok((name, net))
     }
 
+    /// Waveform-bearing queries on a streamed session only answer for
+    /// observation points; everywhere else the samples were released by
+    /// design, so report that instead of a null that looks like "no event".
+    fn require_observed(result: &NetsimResult, name: &str, net: NetRef) -> Result<(), ServeError> {
+        if result.observed(net) {
+            Ok(())
+        } else {
+            Err(ServeError::InvalidParams(format!(
+                "net `{name}` is not an observation point of this streamed \
+                 session — its waveform was released; list it in `observe` \
+                 when loading the netlist (or load without `observe` to keep \
+                 every net)"
+            )))
+        }
+    }
+
     /// `arrival {"net": "N22"}` — earliest 50 % crossing in either direction;
     /// pass `"rising": true/false` to pin the direction.
     fn arrival(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
         let (name, net) = self.find_result_net(params)?;
         let direction = params.get("rising").and_then(|v| v.as_bool());
         let result = self.ensure_result()?;
+        Self::require_observed(result, &name, net)?;
         let (time, rising) = match direction {
             Some(rising) => (result.arrival_time(net, rising), Some(rising)),
             None => match result.arrival_any(net) {
@@ -582,6 +645,7 @@ impl Session {
             .and_then(|v| v.as_bool())
             .ok_or_else(|| ServeError::InvalidParams("missing bool param `rising`".into()))?;
         let result = self.ensure_result()?;
+        Self::require_observed(result, &name, net)?;
         Ok(obj(vec![
             ("net", string(&name)),
             ("rising", JsonValue::Bool(rising)),
@@ -592,11 +656,16 @@ impl Session {
         ]))
     }
 
-    /// `waveform {"net": "N22"}` — the committed waveform samples.
+    /// `waveform {"net": "N22"}` — the committed waveform samples. On a
+    /// streamed session (`observe` was given at load), only observation
+    /// points have samples; other nets are a descriptive error.
     fn waveform(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
         let (name, net) = self.find_result_net(params)?;
         let result = self.ensure_result()?;
-        let waveform = result.waveform(net);
+        Self::require_observed(result, &name, net)?;
+        let waveform = result
+            .waveform(net)
+            .expect("observed nets keep their waveform");
         Ok(obj(vec![
             ("net", string(&name)),
             ("samples", num(waveform.len() as f64)),
@@ -786,6 +855,65 @@ mod tests {
         // Sequence advanced on every request, including the failed ones.
         let report = session.handle("stats", &params("{}")).unwrap();
         assert_eq!(report.get("seq").unwrap().as_f64(), Some(6.0));
+    }
+
+    #[test]
+    fn streamed_sessions_answer_points_and_reject_released_nets() {
+        let mut session = session();
+        let loaded = session
+            .handle(
+                "load_netlist",
+                &params(r#"{"builtin": "nand_chain:4", "observe": ["n1"], "thin_eps": 0.0}"#),
+            )
+            .unwrap();
+        assert_eq!(loaded.get("observe").unwrap().as_f64(), Some(1.0));
+        session
+            .handle(
+                "set_drive",
+                &params(r#"{"net": "in", "drive": {"kind": "rise"}}"#),
+            )
+            .unwrap();
+        // Observation points — the listed net and every primary output —
+        // keep their samples.
+        let wf = session
+            .handle("waveform", &params(r#"{"net": "n1"}"#))
+            .unwrap();
+        assert!(wf.get("samples").unwrap().as_f64().unwrap() >= 2.0);
+        session
+            .handle("waveform", &params(r#"{"net": "out"}"#))
+            .unwrap();
+        // A released interior net is a descriptive error, not a panic or a
+        // null that looks like "no event".
+        let err = session
+            .handle("waveform", &params(r#"{"net": "n0"}"#))
+            .unwrap_err();
+        assert_eq!(err.code(), -32602);
+        assert!(err.to_string().contains("n0"), "{err}");
+        assert!(err.to_string().contains("observe"), "{err}");
+        let err = session
+            .handle("arrival", &params(r#"{"net": "n0"}"#))
+            .unwrap_err();
+        assert_eq!(err.code(), -32602);
+        // Edits on a streamed session force a full re-run: the streamed
+        // result released the waveforms incremental reuse needs.
+        session
+            .handle(
+                "eco",
+                &params(r#"{"op": "set_net_load", "net": "out", "farads": 1e-15}"#),
+            )
+            .unwrap();
+        let resim = session.handle("resim", &params("{}")).unwrap();
+        assert_eq!(resim.get("mode").unwrap().as_str(), Some("full"));
+        let stats = resim.get("stats").unwrap();
+        assert!(stats.get("peak_live_waveforms").unwrap().as_f64().unwrap() >= 1.0);
+        // Unknown observe nets are rejected at load.
+        let err = session
+            .handle(
+                "load_netlist",
+                &params(r#"{"builtin": "c17", "observe": ["nope"]}"#),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
     }
 
     #[test]

@@ -221,6 +221,70 @@ impl Waveform {
         }
     }
 
+    /// Error-bounded breakpoint pruning: the same signal with every sample
+    /// removed whose absence changes the piecewise-linear reconstruction by at
+    /// most `eps` (volts) anywhere.
+    ///
+    /// Single O(n) greedy sweep: walk forward from an anchor sample keeping
+    /// the interval of segment slopes that pass within `±eps` of every skipped
+    /// sample (the intersection of per-sample slope corridors); when a
+    /// candidate sample falls outside the interval, emit the previous sample
+    /// as the next breakpoint and restart the corridor there. Because the
+    /// difference between the thinned and original waveforms is piecewise
+    /// linear with extrema at original sample times, bounding the error at
+    /// the original samples bounds it everywhere. First and last samples are
+    /// always kept, so `t_start`/`t_end`/`final_value` are invariant.
+    ///
+    /// `eps <= 0.0` (and NaN) returns a bit-identical clone — the streaming
+    /// simulator's "no thinning" mode.
+    pub fn thin(&self, eps: f64) -> Waveform {
+        let n = self.len();
+        if !(eps > 0.0) || n <= 2 {
+            return self.clone();
+        }
+        let (times, values) = (self.times.as_slice(), self.values.as_slice());
+        let mut out_times = Vec::with_capacity(8);
+        let mut out_values = Vec::with_capacity(8);
+        out_times.push(times[0]);
+        out_values.push(values[0]);
+        let mut anchor = 0usize;
+        let (mut lo, mut hi) = (f64::NEG_INFINITY, f64::INFINITY);
+        let mut k = anchor + 1;
+        while k < n - 1 {
+            let dt = times[k] - times[anchor];
+            let slope = (values[k] - values[anchor]) / dt;
+            if slope < lo || slope > hi {
+                // The segment can no longer pass within eps of sample k:
+                // commit the previous sample and restart the corridor. `k`
+                // stays put — it is re-tested against the fresh corridor
+                // (never violated at anchor+1, so the sweep always advances).
+                anchor = k - 1;
+                out_times.push(times[anchor]);
+                out_values.push(values[anchor]);
+                lo = f64::NEG_INFINITY;
+                hi = f64::INFINITY;
+                continue;
+            }
+            lo = lo.max((values[k] - values[anchor] - eps) / dt);
+            hi = hi.min((values[k] - values[anchor] + eps) / dt);
+            k += 1;
+        }
+        // The last sample is exact, not approximated: if the final segment
+        // cannot reach it within the corridor, keep its predecessor too.
+        let dt = times[n - 1] - times[anchor];
+        let slope = (values[n - 1] - values[anchor]) / dt;
+        if slope < lo || slope > hi {
+            out_times.push(times[n - 2]);
+            out_values.push(values[n - 2]);
+        }
+        out_times.push(times[n - 1]);
+        out_values.push(values[n - 1]);
+        Waveform {
+            times: Arc::new(out_times),
+            values: out_values,
+        }
+    }
+
     /// Normalized RMSE against a reference waveform over the reference's time base
     /// (the paper's Eq. 6 divided by `scale`).
     ///
@@ -499,6 +563,39 @@ mod tests {
         let w = ramp_waveform();
         assert_eq!(w.crossing(1.5, true), None);
         assert_eq!(w.crossing(-0.1, false), None);
+    }
+
+    #[test]
+    fn thin_prunes_within_the_error_bound() {
+        let w = ramp_waveform();
+        for eps in [1e-6, 0.01, 0.1, 0.5] {
+            let t = w.thin(eps);
+            assert_eq!(t.t_start(), w.t_start());
+            assert_eq!(t.t_end(), w.t_end());
+            assert_eq!(t.final_value(), w.final_value());
+            assert!(t.len() <= w.len());
+            let max_err = w
+                .times()
+                .iter()
+                .zip(w.values())
+                .map(|(&tt, &v)| (t.value_at(tt) - v).abs())
+                .fold(0.0, f64::max);
+            assert!(max_err <= eps + 1e-12, "eps {eps}: err {max_err}");
+        }
+        // The three-piece ramp collapses to its corner points even at a tight
+        // bound — the pruning is shape-aware, not rate-limited.
+        assert!(w.thin(1e-6).len() <= 6, "{}", w.thin(1e-6).len());
+    }
+
+    #[test]
+    fn thin_with_no_budget_is_bit_identical() {
+        let w = ramp_waveform();
+        assert_eq!(w.thin(0.0), w);
+        assert_eq!(w.thin(-1.0), w);
+        assert_eq!(w.thin(f64::NAN), w);
+        // Degenerate lengths pass through untouched.
+        let two = Waveform::new(vec![0.0, 1.0], vec![0.3, 0.9]).unwrap();
+        assert_eq!(two.thin(10.0), two);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Property tests for the arena netlist core and the streaming waveform
+//! memory: random DAGs built through the public [`NetlistBuilder`] must
+//! round-trip through JSON, levelize exactly like a naive longest-path
+//! reference, and present the same effective loads as a by-hand pin-cap sum;
+//! [`Waveform::thin`] must honour its error bound with `eps = 0` bit-exact.
+//!
+//! Randomized inputs come from the deterministic [`TestRng`] generator in
+//! `mcsm-num` (the build environment has no crates.io access, so `proptest`
+//! is unavailable); every test fixes its seed, so failures reproduce exactly.
+
+use mcsm_cells::cell::CellKind;
+use mcsm_cells::tech::Technology;
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_net::{GateRef, Netlist, NetlistBuilder};
+use mcsm_netsim::effective_load;
+use mcsm_num::json::JsonValue;
+use mcsm_num::testrand::TestRng;
+use mcsm_spice::waveform::Waveform;
+use mcsm_sta::delaycalc::DelayCache;
+use mcsm_sta::models::ModelLibrary;
+
+const KINDS: [CellKind; 3] = [CellKind::Inverter, CellKind::Nand2, CellKind::Nor2];
+
+/// A random DAG netlist built through the public builder: gates only consume
+/// nets that already exist (so declaration order is topological), and every
+/// net nothing reads — including unused primary inputs — becomes a primary
+/// output, as `build()` demands.
+fn random_netlist(rng: &mut TestRng, gates: usize) -> Netlist {
+    let pi_count = 4 + rng.index(5);
+    let mut builder = NetlistBuilder::new("prop_dag");
+    let mut nets: Vec<String> = Vec::new();
+    for i in 0..pi_count {
+        let name = format!("in{i}");
+        builder = builder.primary_input(&name);
+        nets.push(name);
+    }
+    let mut read = vec![false; pi_count + gates];
+    for g in 0..gates {
+        let kind = KINDS[rng.index(KINDS.len())];
+        let picks: Vec<usize> = (0..kind.input_count())
+            .map(|_| rng.index(nets.len()))
+            .collect();
+        let inputs: Vec<&str> = picks.iter().map(|&i| nets[i].as_str()).collect();
+        let output = format!("n{g}");
+        builder = builder.gate(&format!("g{g}"), kind, &inputs, &output);
+        for &i in &picks {
+            read[i] = true;
+        }
+        nets.push(output);
+    }
+    for (i, name) in nets.iter().enumerate() {
+        if !read[i] {
+            builder = builder.primary_output(name);
+        }
+        if rng.flip() {
+            builder = builder.net_load(name, rng.in_range(0.0, 5e-15));
+        }
+    }
+    builder.build().expect("generated DAGs are always valid")
+}
+
+/// Arena JSON serialization is lossless: `from_json_str(to_json_string(n))`
+/// reproduces the netlist exactly (names, kinds, pins, marks, loads — the
+/// derived CSR state included, since `Netlist: PartialEq` compares it all).
+#[test]
+fn random_netlists_round_trip_through_json() {
+    let mut rng = TestRng::new(0xa5ca1e);
+    for round in 0..12 {
+        let gates = 20 + rng.index(180);
+        let netlist = random_netlist(&mut rng, gates);
+        let reparsed = Netlist::from_json_str(&netlist.to_json_string())
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(reparsed, netlist, "round {round}");
+        // And the schedule derived from the reparsed arena is the same.
+        let a = netlist.levels();
+        let b = reparsed.levels();
+        assert_eq!(a.level_count(), b.level_count());
+        for (la, lb) in a.iter().zip(b.iter()) {
+            assert_eq!(la, lb);
+        }
+    }
+}
+
+/// Naive longest-path level of one gate: primary-input pins contribute 0,
+/// driven pins one more than their driver's level.
+fn naive_level(netlist: &Netlist, gate: GateRef, memo: &mut [Option<usize>]) -> usize {
+    if let Some(level) = memo[gate.index()] {
+        return level;
+    }
+    let mut level = 0;
+    for &input in netlist.inputs_of(gate) {
+        if let Some(driver) = netlist.driver_of(input) {
+            level = level.max(naive_level(netlist, driver, memo) + 1);
+        }
+    }
+    memo[gate.index()] = Some(level);
+    level
+}
+
+/// The arena's single-pass levelization agrees with the naive recursive
+/// longest-path reference on every gate, covers every gate exactly once, and
+/// never schedules a gate before one of its drivers.
+#[test]
+fn levelization_matches_the_naive_longest_path_reference() {
+    let mut rng = TestRng::new(0x1e7e15);
+    for _ in 0..10 {
+        let gates = 30 + rng.index(300);
+        let netlist = random_netlist(&mut rng, gates);
+        let schedule = netlist.levels();
+        assert_eq!(schedule.gate_count(), netlist.gate_count());
+
+        let mut memo = vec![None; netlist.gate_count()];
+        let mut seen = vec![false; netlist.gate_count()];
+        for (level, gates) in schedule.iter().enumerate() {
+            assert!(!gates.is_empty(), "levels are dense");
+            for &gate in gates {
+                assert!(!seen[gate.index()], "each gate scheduled once");
+                seen[gate.index()] = true;
+                assert_eq!(
+                    naive_level(&netlist, gate, &mut memo),
+                    level,
+                    "gate {}",
+                    netlist.gate_name(gate)
+                );
+                for &input in netlist.inputs_of(gate) {
+                    if let Some(driver) = netlist.driver_of(input) {
+                        let driver_level = memo[driver.index()].expect("driver already visited");
+                        assert!(driver_level < level, "drivers precede consumers");
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
+
+/// [`effective_load`] over the CSR fanout arrays equals the by-hand sum of
+/// fanout pin capacitances plus the explicit net load (plus the external load
+/// on primary outputs).
+#[test]
+fn effective_load_matches_a_naive_pin_capacitance_sum() {
+    let library = ModelLibrary::characterize(
+        &Technology::cmos_130nm(),
+        &KINDS,
+        &CharacterizationConfig::coarse(),
+    )
+    .unwrap();
+    let cache = DelayCache::new();
+    let po_load = 2e-15;
+    let mut rng = TestRng::new(0x10ad);
+    for _ in 0..6 {
+        let gates = 20 + rng.index(120);
+        let netlist = random_netlist(&mut rng, gates);
+        for net in netlist.net_refs() {
+            let got = effective_load(&netlist, &library, &cache, net, po_load).unwrap();
+            let mut expected = netlist.net_load(net);
+            for &(gate, pin) in netlist.fanout_of(net) {
+                expected += library
+                    .input_pin_capacitance(netlist.gate_kind(gate), pin as usize)
+                    .unwrap();
+            }
+            if netlist.is_primary_output(net) {
+                expected += po_load;
+            }
+            let err = (got - expected).abs();
+            assert!(err <= 1e-24, "net {}: {err:e}", netlist.net_name(net));
+        }
+    }
+}
+
+/// A random but physical waveform: strictly increasing times, a bounded
+/// random-walk voltage.
+fn random_waveform(rng: &mut TestRng, samples: usize, vdd: f64) -> Waveform {
+    let mut t = 0.0;
+    let mut v = rng.in_range(0.0, vdd);
+    let mut times = Vec::with_capacity(samples);
+    let mut values = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        times.push(t);
+        values.push(v);
+        t += rng.in_range(1e-12, 20e-12);
+        v = (v + rng.in_range(-0.3, 0.3)).clamp(0.0, vdd);
+    }
+    Waveform::new(times, values).unwrap()
+}
+
+/// `thin(eps)` never deviates more than `eps` from the original anywhere (the
+/// reconstruction error is piecewise linear with extrema at original sample
+/// times, so checking there bounds it everywhere), always keeps both
+/// endpoints exact, and `eps = 0` is a bit-identical clone.
+#[test]
+fn thin_is_error_bounded_and_exact_at_zero_eps() {
+    let mut rng = TestRng::new(0x7413);
+    let vdd = 1.3;
+    for round in 0..40 {
+        let samples = 3 + rng.index(400);
+        let waveform = random_waveform(&mut rng, samples, vdd);
+
+        let exact = waveform.thin(0.0);
+        assert_eq!(exact.times(), waveform.times());
+        assert_eq!(exact.values(), waveform.values());
+
+        let eps = rng.in_range(1e-4, 0.2);
+        let thinned = waveform.thin(eps);
+        assert!(thinned.len() <= waveform.len());
+        assert_eq!(thinned.t_start(), waveform.t_start());
+        assert_eq!(thinned.t_end(), waveform.t_end());
+        assert_eq!(thinned.final_value(), waveform.final_value());
+        for (&t, &v) in waveform.times().iter().zip(waveform.values()) {
+            let err = (thinned.value_at(t) - v).abs();
+            assert!(
+                err <= eps * (1.0 + 1e-9),
+                "round {round}: err {err:e} > eps {eps:e} at t {t:e}"
+            );
+        }
+    }
+}
+
+/// The committed `BENCH_scale.json` is well-formed and passed its own gates
+/// when it was generated: ascending tiers, positive throughputs, no recorded
+/// gate failures, and a passed streamed-vs-full identity check.
+#[test]
+fn committed_scale_report_is_well_formed() {
+    let report = JsonValue::parse(include_str!("../BENCH_scale.json")).unwrap();
+    assert_eq!(
+        report.get("experiment").and_then(JsonValue::as_str),
+        Some("scale")
+    );
+    let failures = report
+        .get("gate_failures")
+        .and_then(JsonValue::as_array)
+        .unwrap();
+    assert!(failures.is_empty(), "{failures:?}");
+    let tiers = report.get("tiers").and_then(JsonValue::as_array).unwrap();
+    assert!(tiers.len() >= 3, "10k / 100k / 1M tiers expected");
+    let mut previous_gates = 0.0;
+    let mut identity_checked = false;
+    for tier in tiers {
+        let gates = tier.get("gates").and_then(JsonValue::as_f64).unwrap();
+        assert!(gates > previous_gates, "tiers ascend");
+        previous_gates = gates;
+        assert!(tier.get("levels").and_then(JsonValue::as_f64).unwrap() > 1.0);
+        assert!(
+            tier.get("build_gates_per_second")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        if let Some(sim) = tier.get("sim").filter(|v| **v != JsonValue::Null) {
+            let live = sim
+                .get("live_fraction")
+                .and_then(JsonValue::as_f64)
+                .unwrap();
+            assert!(
+                live <= 0.1,
+                "streamed runs bound live waveforms, got {live}"
+            );
+            if sim.get("streamed_identical").and_then(JsonValue::as_bool) == Some(true) {
+                identity_checked = true;
+            }
+        }
+    }
+    assert!(
+        previous_gates >= 1_000_000.0,
+        "the sweep reaches a million gates"
+    );
+    assert!(
+        identity_checked,
+        "the streamed-identity gate ran and passed"
+    );
+}

@@ -74,7 +74,7 @@ fn netsim_arrivals_match_sta_on_generator_circuits() {
     ];
 
     for netlist in circuits {
-        let levels = topological_levels(&netlist).len();
+        let levels = topological_levels(&netlist).level_count();
         let window = 2e-9 + 0.4e-9 * levels as f64;
         let drives = falling_drives(&netlist, vdd);
 
@@ -192,8 +192,12 @@ fn netsim_matches_spice_on_c17() {
         }
         let name = netlist.net_name(net);
         let reference = spice.node(name).unwrap();
-        let merged = result.waveform(net).merge_time_grids(reference);
-        let mine = result.waveform(net).resample_onto(&merged).unwrap();
+        let merged = result.waveform(net).unwrap().merge_time_grids(reference);
+        let mine = result
+            .waveform(net)
+            .unwrap()
+            .resample_onto(&merged)
+            .unwrap();
         let theirs = reference.resample_onto(&merged).unwrap();
         let nrmse = mine.normalized_rmse_against(&theirs, vdd).unwrap();
         assert!(
@@ -226,7 +230,7 @@ fn netsim_parallel_is_bit_identical_at_1_2_8_threads() {
         max_fanout: 3,
         seed: 42,
     });
-    let levels = topological_levels(&netlist).len();
+    let levels = topological_levels(&netlist).level_count();
     let window = 2e-9 + 0.4e-9 * levels as f64;
 
     // Mixed activity: half the inputs switch, half idle at a rail — the skip
