@@ -1,0 +1,132 @@
+//! The `seqsim` experiment binary: times clocked sequential simulation over
+//! ISCAS-89 s27 and generated register pipelines and writes
+//! `BENCH_seqsim.json`.
+//!
+//! ```text
+//! seqsim [--threads N] [--out PATH] [--min-speedup X]
+//! ```
+//!
+//! * `--threads N` — worker threads for the parallel passes (default `0` =
+//!   auto from `MCSM_THREADS` / the machine).
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_seqsim.json` in the working directory).
+//! * `--min-speedup X` — CI perf gate: exit non-zero unless the aggregate
+//!   sequential-over-parallel speedup of the pipeline cases is at least `X`
+//!   (s27's cone is deep and narrow, so level parallelism cannot apply to
+//!   it; bit-identity failures always exit non-zero).
+//!
+//! `MCSM_BENCH_FAST=1` shrinks pipelines and grids for smoke runs.
+
+use mcsm_bench::{run_seqsim_sweep, write_json_report, SeqsimSweepOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    threads: usize,
+    out: PathBuf,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 0,
+        out: PathBuf::from("BENCH_seqsim.json"),
+        min_speedup: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    value("--min-speedup")?
+                        .parse()
+                        .map_err(|e| format!("--min-speedup: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("seqsim: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let options = SeqsimSweepOptions::for_threads(args.threads);
+    println!(
+        "# seqsim experiment: {} cycles, pipelines {:?}, {} threads{}",
+        options.cycles,
+        options.pipelines,
+        mcsm_num::par::resolve_threads(args.threads),
+        if mcsm_bench::fast_mode() {
+            " (fast mode)"
+        } else {
+            ""
+        }
+    );
+    let report = match run_seqsim_sweep(&options) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("seqsim: experiment failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "circuit | gates | regs | cone | cycles | simulated | skipped | seq s | par s | cycles/s | regs/s | speedup | identical"
+    );
+    for case in &report.cases {
+        println!(
+            "{} | {} | {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.1} | {:.1} | {:.2}x | {}",
+            case.circuit,
+            case.gates,
+            case.registers,
+            case.cone_gates,
+            case.cycles,
+            case.gates_simulated,
+            case.gates_skipped,
+            case.seq_seconds,
+            case.par_seconds,
+            case.cycles_per_second(),
+            case.registers_per_second(),
+            case.speedup(),
+            case.bit_identical,
+        );
+    }
+    println!(
+        "parallel speedup (pipeline cases): {:.2}x",
+        report.parallel_speedup()
+    );
+
+    if let Err(message) = write_json_report(&args.out, &report.to_json()) {
+        eprintln!("seqsim: {message}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+
+    if !report.all_identical() {
+        eprintln!("seqsim: parallel sequential runs differ from the single-threaded run");
+        return ExitCode::FAILURE;
+    }
+    if let Some(min) = args.min_speedup {
+        let speedup = report.parallel_speedup();
+        if speedup < min {
+            eprintln!("seqsim: parallel speedup {speedup:.2}x is below the {min:.2}x gate");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,7 @@ pub mod netlist_sweep;
 pub mod netsim;
 pub mod report;
 pub mod scale;
+pub mod seqsim;
 pub mod server;
 pub mod sim_hotpath;
 
@@ -21,5 +22,6 @@ pub use netlist_sweep::*;
 pub use netsim::*;
 pub use report::*;
 pub use scale::*;
+pub use seqsim::*;
 pub use server::*;
 pub use sim_hotpath::*;

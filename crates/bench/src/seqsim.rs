@@ -1,0 +1,402 @@
+//! The `seqsim` experiment: clocked sequential simulation throughput
+//! (cycles/sec and register-captures/sec) over ISCAS-89 s27 and generated
+//! register pipelines.
+//!
+//! Each circuit runs `mcsm_seq::simulate_sequential` for a fixed number of
+//! clock cycles with seeded random input vectors, once sequentially and once
+//! level-parallel, and the two runs are checked **bit-identical** (captured
+//! Booleans, primary-output samples and the analog capture voltages down to
+//! the last mantissa bit). Pipelines put every comb gate of every stage in
+//! one topological level — the widest possible epoch — so the
+//! level-parallel speedup of the epoch scheduler is what the CI perf gate
+//! gets to measure. Honors `MCSM_BENCH_FAST=1` (see
+//! [`crate::report::fast_mode`]).
+
+use crate::report::fast_or;
+use mcsm_cells::cell::CellKind;
+use mcsm_cells::tech::Technology;
+use mcsm_core::characterize::RegisterCharacterizationConfig;
+use mcsm_core::config::CharacterizationConfig;
+use mcsm_core::sim::CsmSimOptions;
+use mcsm_net::{pipelined_dag, s27, Netlist};
+use mcsm_netsim::NetsimOptions;
+use mcsm_num::json::JsonValue;
+use mcsm_num::par;
+use mcsm_num::testrand::TestRng;
+use mcsm_seq::{simulate_sequential, CycleInputs, SeqError, SeqNetlist, SeqOptions, SeqResult};
+use mcsm_sta::delaycalc::{DelayBackend, DelayCalculator};
+use mcsm_sta::models::ModelLibrary;
+use mcsm_sta::slack::ClockSpec;
+use std::time::Instant;
+
+/// Configuration of one seqsim-experiment run.
+#[derive(Debug, Clone)]
+pub struct SeqsimSweepOptions {
+    /// Worker threads for the parallel passes (`0` = auto).
+    pub threads: usize,
+    /// Clock cycles to simulate per circuit.
+    pub cycles: usize,
+    /// Pipeline sweep points as `(stages, width)` pairs.
+    pub pipelines: Vec<(usize, usize)>,
+    /// Characterization grids for the combinational models.
+    pub config: CharacterizationConfig,
+    /// Characterization settings for the register models.
+    pub registers: RegisterCharacterizationConfig,
+    /// Time step of the per-gate waveform simulations (seconds).
+    pub dt: f64,
+    /// Timed repetitions per pass; the best (minimum) wall clock is reported.
+    pub repeats: usize,
+}
+
+impl SeqsimSweepOptions {
+    /// The default sweep for a thread count; `MCSM_BENCH_FAST=1` shrinks the
+    /// pipelines and coarsens grids/steps so the smoke run finishes fast.
+    pub fn for_threads(threads: usize) -> Self {
+        SeqsimSweepOptions {
+            threads,
+            cycles: fast_or(4, 8),
+            pipelines: fast_or(vec![(3, 8), (4, 12)], vec![(3, 8), (4, 16), (6, 24)]),
+            config: fast_or(
+                CharacterizationConfig::coarse(),
+                CharacterizationConfig::standard(),
+            ),
+            registers: fast_or(
+                RegisterCharacterizationConfig::coarse(),
+                RegisterCharacterizationConfig::standard(),
+            ),
+            dt: fast_or(4e-12, 2e-12),
+            repeats: fast_or(2, 1),
+        }
+    }
+}
+
+/// One timed case of the sweep.
+#[derive(Debug, Clone)]
+pub struct SeqsimCase {
+    /// Name of the sequential circuit.
+    pub circuit: String,
+    /// Total gate count (comb gates plus registers).
+    pub gates: usize,
+    /// Register count.
+    pub registers: usize,
+    /// Gates in the partitioned comb cone.
+    pub cone_gates: usize,
+    /// Clock cycles simulated.
+    pub cycles: usize,
+    /// Comb-cone gate solves the epoch scheduler actually ran.
+    pub gates_simulated: usize,
+    /// Comb-cone gates resolved to DC without an engine run.
+    pub gates_skipped: usize,
+    /// Best wall-clock seconds of one sequential run.
+    pub seq_seconds: f64,
+    /// Best wall-clock seconds of one level-parallel run.
+    pub par_seconds: f64,
+    /// Whether the parallel run equals the sequential one bit-for-bit.
+    pub bit_identical: bool,
+}
+
+impl SeqsimCase {
+    /// Clock cycles per second of the level-parallel run.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.cycles as f64 / self.par_seconds.max(1e-12)
+    }
+
+    /// Register captures per second of the level-parallel run.
+    pub fn registers_per_second(&self) -> f64 {
+        (self.registers * self.cycles) as f64 / self.par_seconds.max(1e-12)
+    }
+
+    /// Sequential-over-parallel speedup of this case.
+    pub fn speedup(&self) -> f64 {
+        self.seq_seconds / self.par_seconds.max(1e-12)
+    }
+}
+
+/// The full experiment result, written to `BENCH_seqsim.json`.
+#[derive(Debug, Clone)]
+pub struct SeqsimReport {
+    /// Worker threads the parallel passes ran with (resolved, so never 0).
+    pub threads: usize,
+    /// All timed cases, s27 first, then pipelines in sweep order.
+    pub cases: Vec<SeqsimCase>,
+}
+
+impl SeqsimReport {
+    /// Whether every sequential-vs-parallel check passed.
+    pub fn all_identical(&self) -> bool {
+        self.cases.iter().all(|case| case.bit_identical)
+    }
+
+    /// Aggregate sequential-over-parallel speedup across the pipeline cases.
+    /// s27's cone is deep and narrow (a handful of gates per level), so level
+    /// parallelism cannot help it; the wide pipelines are the gated metric.
+    pub fn parallel_speedup(&self) -> f64 {
+        let (seq, par) = self
+            .cases
+            .iter()
+            .filter(|case| case.circuit.starts_with("pipe_"))
+            .fold((0.0, 0.0), |(s, p), case| {
+                (s + case.seq_seconds, p + case.par_seconds)
+            });
+        seq / par.max(1e-12)
+    }
+
+    /// The machine-readable report.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("experiment".into(), JsonValue::String("seqsim".into())),
+            (
+                "fast_mode".into(),
+                JsonValue::Bool(crate::report::fast_mode()),
+            ),
+            ("threads".into(), JsonValue::Number(self.threads as f64)),
+            (
+                "parallel_speedup".into(),
+                JsonValue::Number(self.parallel_speedup()),
+            ),
+            (
+                "cases".into(),
+                JsonValue::Array(
+                    self.cases
+                        .iter()
+                        .map(|case| {
+                            JsonValue::Object(vec![
+                                ("circuit".into(), JsonValue::String(case.circuit.clone())),
+                                ("gates".into(), JsonValue::Number(case.gates as f64)),
+                                ("registers".into(), JsonValue::Number(case.registers as f64)),
+                                (
+                                    "cone_gates".into(),
+                                    JsonValue::Number(case.cone_gates as f64),
+                                ),
+                                ("cycles".into(), JsonValue::Number(case.cycles as f64)),
+                                (
+                                    "gates_simulated".into(),
+                                    JsonValue::Number(case.gates_simulated as f64),
+                                ),
+                                (
+                                    "gates_skipped".into(),
+                                    JsonValue::Number(case.gates_skipped as f64),
+                                ),
+                                ("seq_seconds".into(), JsonValue::Number(case.seq_seconds)),
+                                ("par_seconds".into(), JsonValue::Number(case.par_seconds)),
+                                (
+                                    "cycles_per_second".into(),
+                                    JsonValue::Number(case.cycles_per_second()),
+                                ),
+                                (
+                                    "registers_per_second".into(),
+                                    JsonValue::Number(case.registers_per_second()),
+                                ),
+                                ("speedup".into(), JsonValue::Number(case.speedup())),
+                                ("bit_identical".into(), JsonValue::Bool(case.bit_identical)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Per-cycle input vectors over every non-clock primary input: each input
+/// gets a seeded random phase and then toggles every cycle, so every epoch
+/// is full-activity (the throughput the experiment is after) while staying
+/// reproducible.
+pub fn seqsim_cycle_inputs(
+    netlist: &Netlist,
+    clock: &str,
+    cycles: usize,
+    seed: u64,
+) -> Vec<CycleInputs> {
+    let clock = netlist
+        .find_net(clock)
+        .expect("generated circuits carry their clock net");
+    let mut rng = TestRng::new(seed);
+    let inputs: Vec<_> = netlist
+        .primary_inputs()
+        .iter()
+        .filter(|&&pi| pi != clock)
+        .map(|&pi| (pi, rng.flip()))
+        .collect();
+    (0..cycles)
+        .map(|k| {
+            CycleInputs::from_pairs(
+                inputs
+                    .iter()
+                    .map(|&(pi, phase)| (pi, phase ^ (k % 2 == 1)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// Whether two sequential runs are bit-identical: captured Booleans, primary
+/// outputs, and the sampled capture voltages down to the last mantissa bit.
+pub fn seq_results_identical(a: &SeqResult, b: &SeqResult) -> bool {
+    a.po_values == b.po_values
+        && a.states.len() == b.states.len()
+        && a.states.iter().zip(&b.states).all(|(sa, sb)| {
+            sa.len() == sb.len()
+                && sa.iter().zip(sb).all(|(ra, rb)| {
+                    ra.value == rb.value && ra.voltage.to_bits() == rb.voltage.to_bits()
+                })
+        })
+}
+
+/// Runs the experiment: characterize once (comb cells plus the DFF register),
+/// then time every circuit sequentially and level-parallel.
+///
+/// # Errors
+///
+/// Propagates characterization and simulation failures.
+pub fn run_seqsim_sweep(options: &SeqsimSweepOptions) -> Result<SeqsimReport, SeqError> {
+    let threads = par::resolve_threads(options.threads);
+    let technology = Technology::cmos_130nm();
+    let mut library = ModelLibrary::characterize_parallel(
+        &technology,
+        &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+        &options.config,
+        threads,
+    )
+    .map_err(SeqError::Sta)?;
+    library
+        .characterize_registers(&technology, &[CellKind::Dff], &options.registers)
+        .map_err(SeqError::Sta)?;
+
+    let mut circuits: Vec<(Netlist, &str)> = vec![(s27(), "CK")];
+    for (i, &(stages, width)) in options.pipelines.iter().enumerate() {
+        circuits.push((pipelined_dag(stages, width, 7 + i as u64), "clk"));
+    }
+
+    let mut cases = Vec::new();
+    for (netlist, clock_net) in &circuits {
+        cases.push(time_case(netlist, clock_net, &library, threads, options)?);
+    }
+    Ok(SeqsimReport { threads, cases })
+}
+
+fn time_case(
+    netlist: &Netlist,
+    clock_net: &str,
+    library: &ModelLibrary,
+    threads: usize,
+    options: &SeqsimSweepOptions,
+) -> Result<SeqsimCase, SeqError> {
+    let vdd = library.vdd();
+    let clock = ClockSpec::new(clock_net, 2e-9);
+    let cycles = seqsim_cycle_inputs(netlist, clock_net, options.cycles, 41);
+    let seq = SeqNetlist::partition(netlist)?;
+
+    let timed = |threads: usize| -> Result<(SeqResult, f64), SeqError> {
+        let calculator = DelayCalculator::new(
+            DelayBackend::CompleteMcsm,
+            CsmSimOptions::new(4e-9, options.dt),
+            vdd,
+        );
+        let run_options =
+            SeqOptions::new(NetsimOptions::new(calculator, 2e-15).with_threads(threads));
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..options.repeats.max(1) {
+            let start = Instant::now();
+            let r = simulate_sequential(netlist, library, &clock, &cycles, &run_options)?;
+            best = best.min(start.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        Ok((result.expect("at least one repeat"), best))
+    };
+
+    let (sequential, seq_seconds) = timed(1)?;
+    let (parallel, par_seconds) = timed(threads)?;
+
+    Ok(SeqsimCase {
+        circuit: netlist.name().to_string(),
+        gates: netlist.gate_count(),
+        registers: seq.registers().len(),
+        cone_gates: seq.comb().map_or(0, Netlist::gate_count),
+        cycles: options.cycles,
+        gates_simulated: parallel.stats.gates_simulated,
+        gates_skipped: parallel.stats.gates_skipped,
+        seq_seconds,
+        par_seconds,
+        bit_identical: seq_results_identical(&sequential, &parallel),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_and_gates_on_pipelines() {
+        let case = |circuit: &str, seq: f64, par: f64| SeqsimCase {
+            circuit: circuit.into(),
+            gates: 16,
+            registers: 3,
+            cone_gates: 13,
+            cycles: 4,
+            gates_simulated: 40,
+            gates_skipped: 12,
+            seq_seconds: seq,
+            par_seconds: par,
+            bit_identical: true,
+        };
+        let report = SeqsimReport {
+            threads: 2,
+            cases: vec![
+                case("s27", 5.0, 5.0),
+                case("pipe_2x4_seed7", 2.0, 1.0),
+                case("pipe_3x8_seed8", 4.0, 2.0),
+            ],
+        };
+        assert!(report.all_identical());
+        // s27 is excluded from the gated speedup: only the wide pipelines
+        // exercise level parallelism.
+        assert!((report.parallel_speedup() - 2.0).abs() < 1e-12);
+        assert!((report.cases[0].cycles_per_second() - 0.8).abs() < 1e-12);
+        assert!((report.cases[0].registers_per_second() - 2.4).abs() < 1e-9);
+        let json = report.to_json();
+        assert_eq!(
+            json.require("parallel_speedup").unwrap().as_f64(),
+            Some(2.0)
+        );
+        let reparsed = JsonValue::parse(&json.to_string_pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn cycle_inputs_are_seeded_and_clock_free() {
+        let netlist = s27();
+        let a = seqsim_cycle_inputs(&netlist, "CK", 3, 9);
+        let b = seqsim_cycle_inputs(&netlist, "CK", 3, 9);
+        let clock = netlist.find_net("CK").unwrap();
+        assert_eq!(a.len(), 3);
+        for (va, vb) in a.iter().zip(&b) {
+            assert_eq!(va.values, vb.values);
+            assert!(!va.values.contains_key(&clock));
+            assert_eq!(va.values.len(), netlist.primary_inputs().len() - 1);
+        }
+    }
+
+    #[test]
+    fn tiny_seqsim_sweep_runs_end_to_end() {
+        let options = SeqsimSweepOptions {
+            threads: 2,
+            cycles: 2,
+            pipelines: vec![(2, 3)],
+            config: CharacterizationConfig::coarse(),
+            registers: RegisterCharacterizationConfig::coarse(),
+            dt: 8e-12,
+            repeats: 1,
+        };
+        let report = run_seqsim_sweep(&options).unwrap();
+        assert_eq!(report.cases.len(), 2);
+        assert!(report.all_identical());
+        for case in &report.cases {
+            assert!(case.registers > 0 && case.cone_gates > 0);
+            assert!(case.seq_seconds > 0.0 && case.par_seconds > 0.0);
+            assert!(case.cycles_per_second() > 0.0);
+            assert!(case.registers_per_second() >= case.cycles_per_second());
+        }
+    }
+}

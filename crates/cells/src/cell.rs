@@ -27,6 +27,41 @@ pub enum CellKind {
     Nor3,
     /// AND-OR-INVERT21: `!(A·B + C)`; one internal node in each stack.
     Aoi21,
+    /// Positive-edge-triggered D flip-flop (pins `D`, `CLK`).
+    Dff,
+    /// Positive-edge-triggered D flip-flop with active-low async reset
+    /// (pins `D`, `CLK`, `RB`).
+    DffRb,
+    /// Level-sensitive D latch, transparent while `EN` is high (pins `D`, `EN`).
+    LatchD,
+}
+
+/// The role an input pin plays on a cell. Combinational cells have only
+/// [`PinRole::Data`] pins; the register kinds add clock, async-reset and
+/// latch-enable pins, which the sequential scheduler (`mcsm-seq`) treats as
+/// cone boundaries rather than ordinary data arcs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinRole {
+    /// An ordinary logic input (a combinational timing arc).
+    Data,
+    /// The sampling clock of an edge-triggered register.
+    Clock,
+    /// Active-low asynchronous reset.
+    ResetN,
+    /// Level-sensitive latch enable.
+    Enable,
+}
+
+impl PinRole {
+    /// Human-readable role name, used in validation error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            PinRole::Data => "data",
+            PinRole::Clock => "clock",
+            PinRole::ResetN => "async-reset",
+            PinRole::Enable => "latch-enable",
+        }
+    }
 }
 
 impl CellKind {
@@ -39,6 +74,9 @@ impl CellKind {
             CellKind::Nor2 => "NOR2",
             CellKind::Nor3 => "NOR3",
             CellKind::Aoi21 => "AOI21",
+            CellKind::Dff => "DFF",
+            CellKind::DffRb => "DFFRB",
+            CellKind::LatchD => "LATCHD",
         }
     }
 
@@ -49,7 +87,21 @@ impl CellKind {
     }
 
     /// Every cell topology the library provides, in a stable order.
-    pub const ALL: [CellKind; 6] = [
+    pub const ALL: [CellKind; 9] = [
+        CellKind::Inverter,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nor2,
+        CellKind::Nor3,
+        CellKind::Aoi21,
+        CellKind::Dff,
+        CellKind::DffRb,
+        CellKind::LatchD,
+    ];
+
+    /// The combinational cell kinds (every kind with only data pins), in the
+    /// same stable order as [`CellKind::ALL`].
+    pub const COMBINATIONAL: [CellKind; 6] = [
         CellKind::Inverter,
         CellKind::Nand2,
         CellKind::Nand3,
@@ -62,14 +114,41 @@ impl CellKind {
     pub fn input_count(self) -> usize {
         match self {
             CellKind::Inverter => 1,
-            CellKind::Nand2 | CellKind::Nor2 => 2,
-            CellKind::Nand3 | CellKind::Nor3 | CellKind::Aoi21 => 3,
+            CellKind::Nand2 | CellKind::Nor2 | CellKind::Dff | CellKind::LatchD => 2,
+            CellKind::Nand3 | CellKind::Nor3 | CellKind::Aoi21 | CellKind::DffRb => 3,
         }
     }
 
-    /// Conventional input pin names (`A`, `B`, `C`…).
+    /// Conventional input pin names (`A`, `B`, `C`… for combinational cells;
+    /// role names like `D`, `CLK`, `RB`, `EN` for register cells).
     pub fn input_names(self) -> Vec<&'static str> {
-        ["A", "B", "C"][..self.input_count()].to_vec()
+        match self {
+            CellKind::Dff => vec!["D", "CLK"],
+            CellKind::DffRb => vec!["D", "CLK", "RB"],
+            CellKind::LatchD => vec!["D", "EN"],
+            _ => ["A", "B", "C"][..self.input_count()].to_vec(),
+        }
+    }
+
+    /// The role of each input pin, in pin order. Combinational cells are all
+    /// [`PinRole::Data`]; the register kinds expose which pin is the clock,
+    /// async reset or latch enable.
+    pub fn pin_roles(self) -> Vec<PinRole> {
+        match self {
+            CellKind::Dff => vec![PinRole::Data, PinRole::Clock],
+            CellKind::DffRb => vec![PinRole::Data, PinRole::Clock, PinRole::ResetN],
+            CellKind::LatchD => vec![PinRole::Data, PinRole::Enable],
+            _ => vec![PinRole::Data; self.input_count()],
+        }
+    }
+
+    /// Whether the cell is a state element (flip-flop or latch). Sequential
+    /// cells have no Boolean function of their inputs — their output is
+    /// register state, advanced by the clocked epoch scheduler in `mcsm-seq` —
+    /// so [`CellKind::evaluate`] and [`CellKind::non_controlling_value`] panic
+    /// for them.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff | CellKind::DffRb | CellKind::LatchD)
     }
 
     /// Number of internal (stack) nodes in the transistor topology.
@@ -79,6 +158,9 @@ impl CellKind {
             CellKind::Nand2 | CellKind::Nor2 => 1,
             CellKind::Nand3 | CellKind::Nor3 => 2,
             CellKind::Aoi21 => 2,
+            // Register kinds are characterized behaviorally (clk-to-q and
+            // setup/hold windows), not through the stack-node MCSM flow.
+            CellKind::Dff | CellKind::DffRb | CellKind::LatchD => 0,
         }
     }
 
@@ -86,7 +168,10 @@ impl CellKind {
     ///
     /// # Panics
     ///
-    /// Panics if `inputs.len()` differs from [`CellKind::input_count`].
+    /// Panics if `inputs.len()` differs from [`CellKind::input_count`], or if
+    /// the cell is sequential (its output is register state, not a Boolean
+    /// function of its inputs — engines that might see registers must check
+    /// [`CellKind::is_sequential`] first).
     pub fn evaluate(self, inputs: &[bool]) -> bool {
         assert_eq!(
             inputs.len(),
@@ -102,6 +187,11 @@ impl CellKind {
             CellKind::Nor2 => !(inputs[0] || inputs[1]),
             CellKind::Nor3 => !(inputs[0] || inputs[1] || inputs[2]),
             CellKind::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+            CellKind::Dff | CellKind::DffRb | CellKind::LatchD => panic!(
+                "{} is sequential: its output is register state advanced by the \
+                 clocked epoch scheduler (mcsm-seq), not a Boolean function of its inputs",
+                self.name()
+            ),
         }
     }
 
@@ -110,6 +200,11 @@ impl CellKind {
     /// stacks). Used when characterizing a pair of switching inputs while the
     /// remaining inputs sit at their non-controlling value (Section 3 of the
     /// paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential kinds, which have no combinational
+    /// characterization flow (see [`CellKind::is_sequential`]).
     pub fn non_controlling_value(self) -> bool {
         match self {
             CellKind::Inverter => false,
@@ -118,6 +213,11 @@ impl CellKind {
             // For AOI21 the non-controlling value of every input is 0 (C = 0
             // disables the OR branch; A·B = 0 as long as either is 0).
             CellKind::Aoi21 => false,
+            CellKind::Dff | CellKind::DffRb | CellKind::LatchD => panic!(
+                "{} is sequential and has no non-controlling input value; \
+                 registers are characterized by the register flow in mcsm-core",
+                self.name()
+            ),
         }
     }
 }
@@ -224,6 +324,15 @@ impl CellTemplate {
                 self.kind.name(),
                 self.kind.input_count(),
                 inputs.len()
+            )));
+        }
+        if self.kind.is_sequential() {
+            return Err(SpiceError::InvalidParameter(format!(
+                "{} has no transistor-level template: register cells are \
+                 characterized behaviorally (clk-to-q and setup/hold windows) \
+                 by the register flow in mcsm-core, and sequential netlists \
+                 are lowered per combinational cone by mcsm-seq",
+                self.kind.name()
             )));
         }
         let gnd = Circuit::ground();
@@ -452,6 +561,9 @@ impl CellTemplate {
                     self.pmos_geometry(2),
                 )?;
             }
+            CellKind::Dff | CellKind::DffRb | CellKind::LatchD => {
+                unreachable!("sequential kinds are rejected before the topology match")
+            }
         }
 
         Ok(CellPorts {
@@ -513,6 +625,59 @@ mod tests {
     #[should_panic(expected = "expects")]
     fn evaluate_panics_on_wrong_arity() {
         CellKind::Nand2.evaluate(&[true]);
+    }
+
+    #[test]
+    fn register_kinds_expose_pin_roles() {
+        assert_eq!(CellKind::Dff.input_names(), vec!["D", "CLK"]);
+        assert_eq!(CellKind::DffRb.input_names(), vec!["D", "CLK", "RB"]);
+        assert_eq!(CellKind::LatchD.input_names(), vec!["D", "EN"]);
+        assert_eq!(
+            CellKind::Dff.pin_roles(),
+            vec![PinRole::Data, PinRole::Clock]
+        );
+        assert_eq!(
+            CellKind::DffRb.pin_roles(),
+            vec![PinRole::Data, PinRole::Clock, PinRole::ResetN]
+        );
+        assert_eq!(
+            CellKind::LatchD.pin_roles(),
+            vec![PinRole::Data, PinRole::Enable]
+        );
+        for kind in CellKind::COMBINATIONAL {
+            assert!(!kind.is_sequential());
+            assert!(kind.pin_roles().iter().all(|&r| r == PinRole::Data));
+        }
+        assert!(CellKind::Dff.is_sequential());
+        assert!(CellKind::DffRb.is_sequential());
+        assert!(CellKind::LatchD.is_sequential());
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn evaluate_panics_for_register_kinds() {
+        CellKind::Dff.evaluate(&[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn non_controlling_value_panics_for_register_kinds() {
+        CellKind::LatchD.non_controlling_value();
+    }
+
+    #[test]
+    fn register_kinds_have_no_transistor_template() {
+        let tech = Technology::cmos_130nm();
+        let template = CellTemplate::new(CellKind::Dff, tech);
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let q = c.node("q");
+        let d = c.node("d");
+        let clk = c.node("clk");
+        let err = template
+            .instantiate(&mut c, "r0", &[d, clk], q, vdd)
+            .unwrap_err();
+        assert!(err.to_string().contains("register"), "{err}");
     }
 
     #[test]

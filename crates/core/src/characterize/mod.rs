@@ -8,6 +8,7 @@
 //! [`CellTemplate`]: mcsm_cells::cell::CellTemplate
 
 pub mod flows;
+pub mod registers;
 pub mod rig;
 pub mod tables;
 
@@ -16,5 +17,6 @@ pub use flows::{
     characterize_sis, characterize_store, run_characterization_task, CharacterizationTask,
     CharacterizedModel,
 };
+pub use registers::{characterize_register, RegisterCharacterizationConfig, RegisterModel};
 pub use rig::{Rig, RigPin};
 pub use tables::{capacitance_tables, current_tables, input_pin_capacitance, CapacitanceTables};

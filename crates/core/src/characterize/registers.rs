@@ -1,0 +1,586 @@
+//! Register (sequential cell) characterization.
+//!
+//! Register cells ([`CellKind::Dff`], [`CellKind::DffRb`], [`CellKind::LatchD`])
+//! have no transistor-level template — they are characterized *behaviorally*,
+//! by replaying the existing single-gate CSM engine over an inverter chain that
+//! stands in for the flop's master/slave stages:
+//!
+//! - **clk-to-q delay and slew** — the capture edge propagates through a
+//!   two-inverter (Q rising) or three-inverter (Q falling) chain into each
+//!   output load; delay is measured from the clock's 50% crossing to Q's 50%
+//!   crossing, slew as the 10–90% transition time. This gives load-dependent
+//!   tables with the usual rise/fall asymmetry.
+//! - **setup window** — the master stage is an inverter driven by the D ramp;
+//!   the capture succeeds when the master output has swung past a rail margin
+//!   by the time the clock edge closes the sampling window. A binary search on
+//!   the D-to-CLK offset finds the latest D arrival that still captures — the
+//!   setup time (per D slew, worst of both data directions).
+//! - **hold window** — after the edge, D toggles back; the master must still
+//!   read the captured value when the clock transition finishes (the
+//!   transparency window closes). A binary search on the post-edge toggle
+//!   offset finds the earliest safe toggle — the hold time.
+//!
+//! [`CellKind::Dff`]: mcsm_cells::cell::CellKind::Dff
+//! [`CellKind::DffRb`]: mcsm_cells::cell::CellKind::DffRb
+//! [`CellKind::LatchD`]: mcsm_cells::cell::CellKind::LatchD
+
+use crate::characterize::flows::characterize_sis;
+use crate::config::CharacterizationConfig;
+use crate::error::CsmError;
+use crate::model::SisModel;
+use crate::sim::{CsmSimOptions, DriveWaveform, Simulation};
+use mcsm_cells::cell::{CellKind, CellTemplate};
+use mcsm_cells::tech::Technology;
+use mcsm_num::interp::interp1;
+use mcsm_spice::waveform::Waveform;
+
+/// Controls for register characterization: table axes, the behavioral stage
+/// model, and the binary-search resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterCharacterizationConfig {
+    /// Output load axis for the clk-to-q tables (farads).
+    pub loads: Vec<f64>,
+    /// D-input transition-time axis for the setup/hold tables (seconds).
+    pub d_slews: Vec<f64>,
+    /// Clock transition time used for every probe (seconds).
+    pub clk_slew: f64,
+    /// Load each internal (master/slave) inverter stage drives (farads).
+    pub internal_load: f64,
+    /// Time step for the engine replays (seconds).
+    pub dt: f64,
+    /// Binary-search resolution on the D-to-CLK offset (seconds).
+    pub search_tolerance: f64,
+    /// Rail margin (fraction of Vdd) a sampled master voltage must clear for a
+    /// capture to count as clean.
+    pub capture_margin: f64,
+    /// Settings for the inverter SIS model the behavioral stages replay.
+    pub inverter: CharacterizationConfig,
+}
+
+impl RegisterCharacterizationConfig {
+    /// Default accuracy/speed trade-off used by examples and the server.
+    pub fn standard() -> Self {
+        RegisterCharacterizationConfig {
+            loads: vec![2e-15, 4e-15, 8e-15, 16e-15],
+            d_slews: vec![20e-12, 50e-12, 100e-12],
+            clk_slew: 50e-12,
+            internal_load: 2e-15,
+            dt: 1e-12,
+            search_tolerance: 1e-12,
+            capture_margin: 0.1,
+            inverter: CharacterizationConfig::standard(),
+        }
+    }
+
+    /// Very coarse settings for fast unit tests.
+    pub fn coarse() -> Self {
+        RegisterCharacterizationConfig {
+            loads: vec![2e-15, 8e-15],
+            d_slews: vec![30e-12, 80e-12],
+            clk_slew: 50e-12,
+            internal_load: 2e-15,
+            dt: 2e-12,
+            search_tolerance: 2e-12,
+            capture_margin: 0.1,
+            inverter: CharacterizationConfig::coarse(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.loads.is_empty() || self.loads.iter().any(|&c| !(c > 0.0)) {
+            return Err("loads must be non-empty and positive".into());
+        }
+        if self.loads.windows(2).any(|w| w[1] <= w[0]) {
+            return Err("loads must be strictly increasing".into());
+        }
+        if self.d_slews.is_empty() || self.d_slews.iter().any(|&t| !(t > 0.0)) {
+            return Err("d_slews must be non-empty and positive".into());
+        }
+        if self.d_slews.windows(2).any(|w| w[1] <= w[0]) {
+            return Err("d_slews must be strictly increasing".into());
+        }
+        if !(self.clk_slew > 0.0) {
+            return Err("clk_slew must be positive".into());
+        }
+        if !(self.internal_load > 0.0) {
+            return Err("internal_load must be positive".into());
+        }
+        if !(self.dt > 0.0) {
+            return Err("dt must be positive".into());
+        }
+        if !(self.search_tolerance > 0.0) {
+            return Err("search_tolerance must be positive".into());
+        }
+        if !(self.capture_margin > 0.0 && self.capture_margin < 0.5) {
+            return Err("capture_margin must be in (0, 0.5)".into());
+        }
+        self.inverter.validate()
+    }
+}
+
+impl Default for RegisterCharacterizationConfig {
+    fn default() -> Self {
+        RegisterCharacterizationConfig::standard()
+    }
+}
+
+/// Characterized timing model of a register cell: clk-to-q delay/slew tables
+/// over output load, and setup/hold windows over D-input slew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterModel {
+    /// Cell name (`DFF`, `DFFRB`, `LATCHD`).
+    pub cell: String,
+    /// Supply voltage the model was characterized at (volts).
+    pub vdd: f64,
+    /// Clock transition time every table entry assumes (seconds).
+    pub clk_slew: f64,
+    /// Output load axis (farads), strictly increasing.
+    pub loads: Vec<f64>,
+    /// clk-to-q delay per load, Q rising (seconds).
+    pub clk_to_q_delay_rise: Vec<f64>,
+    /// clk-to-q delay per load, Q falling (seconds).
+    pub clk_to_q_delay_fall: Vec<f64>,
+    /// Q 10–90% transition time per load, Q rising (seconds).
+    pub clk_to_q_slew_rise: Vec<f64>,
+    /// Q 10–90% transition time per load, Q falling (seconds).
+    pub clk_to_q_slew_fall: Vec<f64>,
+    /// D transition-time axis (seconds), strictly increasing.
+    pub d_slews: Vec<f64>,
+    /// Setup time per D slew (seconds): D's 50% crossing must precede the
+    /// clock edge by at least this much.
+    pub setup: Vec<f64>,
+    /// Hold time per D slew (seconds): D must not toggle until this long after
+    /// the clock edge.
+    pub hold: Vec<f64>,
+    d_pin_capacitance: f64,
+}
+
+impl RegisterModel {
+    /// clk-to-q delay and slew for an output load (linear interpolation over
+    /// the load axis, clamped at the ends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpolation failures (empty axis).
+    pub fn clk_to_q(&self, load: f64, q_rising: bool) -> Result<(f64, f64), CsmError> {
+        let load = load.clamp(self.loads[0], *self.loads.last().expect("non-empty"));
+        let (delays, slews) = if q_rising {
+            (&self.clk_to_q_delay_rise, &self.clk_to_q_slew_rise)
+        } else {
+            (&self.clk_to_q_delay_fall, &self.clk_to_q_slew_fall)
+        };
+        let delay = interp1(&self.loads, delays, load)?;
+        let slew = interp1(&self.loads, slews, load)?;
+        Ok((delay, slew))
+    }
+
+    /// Setup time for a D-input transition time (clamped interpolation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpolation failures (empty axis).
+    pub fn setup_time(&self, d_slew: f64) -> Result<f64, CsmError> {
+        let s = d_slew.clamp(self.d_slews[0], *self.d_slews.last().expect("non-empty"));
+        Ok(interp1(&self.d_slews, &self.setup, s)?)
+    }
+
+    /// Hold time for a D-input transition time (clamped interpolation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpolation failures (empty axis).
+    pub fn hold_time(&self, d_slew: f64) -> Result<f64, CsmError> {
+        let s = d_slew.clamp(self.d_slews[0], *self.d_slews.last().expect("non-empty"));
+        Ok(interp1(&self.d_slews, &self.hold, s)?)
+    }
+
+    /// The capacitance the register's D pin presents to its driving cone: the
+    /// master-stage inverter input capacitance at mid-rail.
+    pub fn d_pin_capacitance(&self) -> f64 {
+        self.d_pin_capacitance
+    }
+}
+
+/// One behavioral stage replay: an inverter SIS solve.
+struct StageEngine {
+    model: SisModel,
+    vdd: f64,
+    dt: f64,
+}
+
+impl StageEngine {
+    fn new(tech: &Technology, cfg: &RegisterCharacterizationConfig) -> Result<Self, CsmError> {
+        let template = CellTemplate::new(CellKind::Inverter, tech.clone());
+        let model = characterize_sis(&template, 0, &cfg.inverter)?;
+        Ok(StageEngine {
+            model,
+            vdd: tech.vdd,
+            dt: cfg.dt,
+        })
+    }
+
+    /// Runs one inverter stage: `drive` in, `load` out, starting from
+    /// `v_out_initial`, simulated until `t_stop`.
+    fn solve(
+        &self,
+        drive: DriveWaveform,
+        load: f64,
+        v_out_initial: f64,
+        t_stop: f64,
+    ) -> Result<Waveform, CsmError> {
+        let result = Simulation::of(&self.model)
+            .input(drive)
+            .load(load)
+            .initial_output(v_out_initial)
+            .options(CsmSimOptions::new(t_stop, self.dt))
+            .run()?;
+        Ok(result.output)
+    }
+}
+
+/// Characterizes a register cell kind into a [`RegisterModel`].
+///
+/// Valid kinds are the sequential ones ([`CellKind::is_sequential`]); the
+/// async-reset pin of [`CellKind::DffRb`] and the transparency of
+/// [`CellKind::LatchD`] do not change the capture-edge timing model, so all
+/// three kinds share the characterization flow (the latch's "clock" is its
+/// enable's closing edge).
+///
+/// # Errors
+///
+/// Returns [`CsmError::UnsupportedCell`] for combinational kinds,
+/// [`CsmError::InvalidParameter`] for a bad config, and propagates engine
+/// failures.
+pub fn characterize_register(
+    kind: CellKind,
+    tech: &Technology,
+    cfg: &RegisterCharacterizationConfig,
+) -> Result<RegisterModel, CsmError> {
+    if !kind.is_sequential() {
+        return Err(CsmError::UnsupportedCell(format!(
+            "{} is combinational; register characterization only applies to sequential cells",
+            kind.name()
+        )));
+    }
+    cfg.validate().map_err(CsmError::InvalidParameter)?;
+
+    let engine = StageEngine::new(tech, cfg)?;
+    let vdd = tech.vdd;
+
+    // clk-to-q tables: capture edge through the behavioral slave chain.
+    let mut delay_rise = Vec::with_capacity(cfg.loads.len());
+    let mut delay_fall = Vec::with_capacity(cfg.loads.len());
+    let mut slew_rise = Vec::with_capacity(cfg.loads.len());
+    let mut slew_fall = Vec::with_capacity(cfg.loads.len());
+    for &load in &cfg.loads {
+        let (d, s) = clk_to_q_probe(&engine, cfg, load, true)?;
+        delay_rise.push(d);
+        slew_rise.push(s);
+        let (d, s) = clk_to_q_probe(&engine, cfg, load, false)?;
+        delay_fall.push(d);
+        slew_fall.push(s);
+    }
+
+    // Setup/hold windows per D slew, worst of both data directions.
+    let mut setup = Vec::with_capacity(cfg.d_slews.len());
+    let mut hold = Vec::with_capacity(cfg.d_slews.len());
+    for &d_slew in &cfg.d_slews {
+        let s_rise = setup_probe(&engine, cfg, d_slew, true)?;
+        let s_fall = setup_probe(&engine, cfg, d_slew, false)?;
+        setup.push(s_rise.max(s_fall));
+        let h_rise = hold_probe(&engine, cfg, d_slew, true)?;
+        let h_fall = hold_probe(&engine, cfg, d_slew, false)?;
+        hold.push(h_rise.max(h_fall));
+    }
+
+    let d_pin_capacitance = engine.model.input_capacitance(0.5 * vdd);
+
+    Ok(RegisterModel {
+        cell: kind.name().to_string(),
+        vdd,
+        clk_slew: cfg.clk_slew,
+        loads: cfg.loads.clone(),
+        clk_to_q_delay_rise: delay_rise,
+        clk_to_q_delay_fall: delay_fall,
+        clk_to_q_slew_rise: slew_rise,
+        clk_to_q_slew_fall: slew_fall,
+        d_slews: cfg.d_slews.clone(),
+        setup,
+        hold,
+        d_pin_capacitance,
+    })
+}
+
+/// clk-to-q for one load and output direction: the rising capture edge drives
+/// a two-inverter chain (Q rising) or three-inverter chain (Q falling) into
+/// the load. Delay runs from the clock's 50% crossing to Q's 50% crossing.
+fn clk_to_q_probe(
+    engine: &StageEngine,
+    cfg: &RegisterCharacterizationConfig,
+    load: f64,
+    q_rising: bool,
+) -> Result<(f64, f64), CsmError> {
+    let vdd = engine.vdd;
+    let t_start = 4.0 * cfg.clk_slew;
+    let t_clk_50 = t_start + 0.5 * cfg.clk_slew;
+    let t_stop = t_start + cfg.clk_slew + 40.0 * cfg.clk_slew;
+
+    let clock = DriveWaveform::rising_ramp(vdd, t_start, cfg.clk_slew);
+    // Stage 1 inverts the rising clock: output falls.
+    let w1 = engine.solve(clock, cfg.internal_load, vdd, t_stop)?;
+    // Stage 2 re-inverts: output rises.
+    let w2 = if q_rising {
+        engine.solve(DriveWaveform::from_waveform(w1), load, 0.0, t_stop)?
+    } else {
+        let mid = engine.solve(
+            DriveWaveform::from_waveform(w1),
+            cfg.internal_load,
+            0.0,
+            t_stop,
+        )?;
+        // Stage 3 inverts once more: output falls into the load.
+        engine.solve(DriveWaveform::from_waveform(mid), load, vdd, t_stop)?
+    };
+
+    let q50 = w2.crossing(0.5 * vdd, q_rising).ok_or_else(|| {
+        CsmError::InvalidParameter(format!(
+            "clk-to-q probe at load {load:e} never crossed mid-rail; \
+             increase the probe horizon or reduce the load axis"
+        ))
+    })?;
+    let slew = w2.transition_time(vdd, q_rising).ok_or_else(|| {
+        CsmError::InvalidParameter(format!(
+            "clk-to-q probe at load {load:e} never completed its transition"
+        ))
+    })?;
+    Ok((q50 - t_clk_50, slew))
+}
+
+/// Setup time for one D slew and data direction: binary search on how close to
+/// the clock edge D may arrive while the master stage still captures cleanly.
+fn setup_probe(
+    engine: &StageEngine,
+    cfg: &RegisterCharacterizationConfig,
+    d_slew: f64,
+    d_rising: bool,
+) -> Result<f64, CsmError> {
+    let vdd = engine.vdd;
+    let margin = cfg.capture_margin * vdd;
+    // Generous horizon: the edge sits late enough that even the earliest D
+    // arrival (largest offset probed) starts after t = 0.
+    let max_offset = 20.0 * d_slew + 4.0 * cfg.clk_slew;
+    let t_edge = max_offset + 4.0 * d_slew;
+    let t_stop = t_edge + 4.0 * cfg.clk_slew;
+
+    // Capture succeeds when the master inverter output has swung past the rail
+    // margin by the time the clock edge samples it.
+    let captured = |offset: f64| -> Result<bool, CsmError> {
+        let t_d50 = t_edge - offset;
+        let t_d_start = t_d50 - 0.5 * d_slew;
+        let (drive, v0, ok_low) = if d_rising {
+            (
+                DriveWaveform::rising_ramp(vdd, t_d_start, d_slew),
+                vdd,
+                true,
+            )
+        } else {
+            (
+                DriveWaveform::falling_ramp(vdd, t_d_start, d_slew),
+                0.0,
+                false,
+            )
+        };
+        let master = engine.solve(drive, cfg.internal_load, v0, t_stop)?;
+        let v = master.value_at(t_edge);
+        Ok(if ok_low {
+            v <= margin
+        } else {
+            v >= vdd - margin
+        })
+    };
+
+    binary_search_edge(0.0, max_offset, cfg.search_tolerance, captured).map_err(|e| match e {
+        SearchError::NeverPasses => CsmError::InvalidParameter(format!(
+            "setup search for d_slew {d_slew:e} never captured even {max_offset:e}s early; \
+             the master stage cannot settle — check the behavioral config"
+        )),
+        SearchError::Engine(e) => e,
+    })
+}
+
+/// Hold time for one D slew and data direction: binary search on how soon
+/// after the edge D may toggle back while the master still reads the captured
+/// value when the clock transition completes.
+fn hold_probe(
+    engine: &StageEngine,
+    cfg: &RegisterCharacterizationConfig,
+    d_slew: f64,
+    d_rising: bool,
+) -> Result<f64, CsmError> {
+    let vdd = engine.vdd;
+    let margin = cfg.capture_margin * vdd;
+    let t_edge = 20.0 * d_slew + 4.0 * cfg.clk_slew;
+    // The transparency window closes when the clock finishes its transition.
+    let t_close = t_edge + cfg.clk_slew;
+    let max_offset = 20.0 * d_slew + 4.0 * cfg.clk_slew;
+    let t_stop = t_close + max_offset + 4.0 * d_slew;
+
+    // D settled long before the edge (clean capture), then toggles back
+    // `offset` after the edge. The hold passes when the master output still
+    // shows the captured value at window close.
+    let held = |offset: f64| -> Result<bool, CsmError> {
+        let t_first_50 = t_edge - 10.0 * d_slew;
+        let t_second_50 = t_edge + offset;
+        let drive =
+            DriveWaveform::Sampled(d_pulse(vdd, t_first_50, t_second_50, d_slew, d_rising)?);
+        let v0 = if d_rising { vdd } else { 0.0 };
+        let master = engine.solve(drive, cfg.internal_load, v0, t_stop)?;
+        let v = master.value_at(t_close);
+        // Captured D=1 ⇒ master output low must persist; D=0 ⇒ high persists.
+        Ok(if d_rising {
+            v <= margin
+        } else {
+            v >= vdd - margin
+        })
+    };
+
+    binary_search_edge(0.0, max_offset, cfg.search_tolerance, held).map_err(|e| match e {
+        SearchError::NeverPasses => CsmError::InvalidParameter(format!(
+            "hold search for d_slew {d_slew:e} never settled even {max_offset:e}s after the edge"
+        )),
+        SearchError::Engine(e) => e,
+    })
+}
+
+/// A piecewise-linear D pulse: transitions through 50% at `t_first_50`
+/// (direction `rising_first`), holds, then transitions back through 50% at
+/// `t_second_50`.
+fn d_pulse(
+    vdd: f64,
+    t_first_50: f64,
+    t_second_50: f64,
+    slew: f64,
+    rising_first: bool,
+) -> Result<Waveform, CsmError> {
+    let (lo, hi) = (0.0, vdd);
+    let (start_v, mid_v) = if rising_first { (lo, hi) } else { (hi, lo) };
+    let f0 = t_first_50 - 0.5 * slew;
+    let f1 = t_first_50 + 0.5 * slew;
+    // Keep the plateau non-degenerate even when the second edge crowds the
+    // first: the second transition starts no earlier than the first ends.
+    let s0 = (t_second_50 - 0.5 * slew).max(f1 + 1e-15);
+    let s1 = s0 + slew;
+    let times = vec![0.0, f0, f1, s0, s1, s1 + slew];
+    let values = vec![start_v, start_v, mid_v, mid_v, start_v, start_v];
+    Ok(Waveform::new(times, values)?)
+}
+
+enum SearchError {
+    NeverPasses,
+    Engine(CsmError),
+}
+
+/// Binary search for the smallest `offset` in `[lo, hi]` where `passes`
+/// flips from false to true, to within `tol`. Assumes `passes` is monotone in
+/// the offset. Returns `lo` immediately if even `lo` passes.
+fn binary_search_edge(
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    mut passes: impl FnMut(f64) -> Result<bool, CsmError>,
+) -> Result<f64, SearchError> {
+    match passes(lo) {
+        Ok(true) => return Ok(lo),
+        Ok(false) => {}
+        Err(e) => return Err(SearchError::Engine(e)),
+    }
+    match passes(hi) {
+        Ok(true) => {}
+        Ok(false) => return Err(SearchError::NeverPasses),
+        Err(e) => return Err(SearchError::Engine(e)),
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        match passes(mid) {
+            Ok(true) => hi = mid,
+            Ok(false) => lo = mid,
+            Err(e) => return Err(SearchError::Engine(e)),
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RegisterModel {
+        let tech = Technology::cmos_130nm();
+        characterize_register(
+            CellKind::Dff,
+            &tech,
+            &RegisterCharacterizationConfig::coarse(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_combinational_kinds_and_bad_configs() {
+        let tech = Technology::cmos_130nm();
+        let cfg = RegisterCharacterizationConfig::coarse();
+        let err = characterize_register(CellKind::Nor2, &tech, &cfg).unwrap_err();
+        assert!(err.to_string().contains("combinational"));
+
+        let mut bad = cfg.clone();
+        bad.loads = vec![8e-15, 2e-15];
+        assert!(bad.validate().is_err());
+        let mut bad = cfg.clone();
+        bad.capture_margin = 0.6;
+        assert!(bad.validate().is_err());
+        assert!(RegisterCharacterizationConfig::standard()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn dff_tables_are_physical() {
+        let m = model();
+        assert_eq!(m.cell, "DFF");
+        // Delays positive, increasing with load; fall path (3 stages) slower
+        // than rise (2 stages).
+        for i in 0..m.loads.len() {
+            assert!(m.clk_to_q_delay_rise[i] > 0.0);
+            assert!(m.clk_to_q_delay_fall[i] > m.clk_to_q_delay_rise[i]);
+            assert!(m.clk_to_q_slew_rise[i] > 0.0);
+            assert!(m.clk_to_q_slew_fall[i] > 0.0);
+        }
+        assert!(m.clk_to_q_delay_rise[1] > m.clk_to_q_delay_rise[0]);
+
+        // Setup/hold windows are positive and picoseconds-scale.
+        for i in 0..m.d_slews.len() {
+            assert!(m.setup[i] > 0.0, "setup[{i}] = {}", m.setup[i]);
+            assert!(m.hold[i] >= 0.0, "hold[{i}] = {}", m.hold[i]);
+            assert!(m.setup[i] < 1e-9);
+            assert!(m.hold[i] < 1e-9);
+        }
+        // Slower data needs more setup.
+        assert!(m.setup[1] > m.setup[0]);
+
+        // Interpolated lookups stay within the table envelope and clamp.
+        let (d_mid, s_mid) = m.clk_to_q(5e-15, true).unwrap();
+        assert!(d_mid >= m.clk_to_q_delay_rise[0] && d_mid <= m.clk_to_q_delay_rise[1]);
+        assert!(s_mid > 0.0);
+        let (d_clamped, _) = m.clk_to_q(1e-12, true).unwrap();
+        assert!((d_clamped - *m.clk_to_q_delay_rise.last().unwrap()).abs() < 1e-18);
+        let su = m.setup_time(50e-12).unwrap();
+        assert!(su >= m.setup[0] && su <= m.setup[1]);
+        assert!(m.hold_time(1.0).unwrap() >= 0.0);
+
+        assert!(m.d_pin_capacitance() > 0.05e-15 && m.d_pin_capacitance() < 50e-15);
+    }
+}

@@ -90,8 +90,9 @@ pub mod store;
 pub mod table;
 
 pub use characterize::{
-    characterize_batch, characterize_mcsm, characterize_mis_baseline, characterize_sis,
-    characterize_store, CharacterizationTask, CharacterizedModel,
+    characterize_batch, characterize_mcsm, characterize_mis_baseline, characterize_register,
+    characterize_sis, characterize_store, CharacterizationTask, CharacterizedModel,
+    RegisterCharacterizationConfig, RegisterModel,
 };
 pub use config::CharacterizationConfig;
 pub use error::CsmError;

@@ -20,6 +20,23 @@ pub enum NetlistError {
         /// Nets the gate was given.
         got: usize,
     },
+    /// An ECO retype would change the role of a connected pin, or add or drop
+    /// a role-bearing register pin — e.g. retyping a NAND2 into a DFF would
+    /// turn data pin `B` into clock pin `CLK`. Reported instead of a generic
+    /// pin-count mismatch whenever a register kind is involved, naming the
+    /// offending pin.
+    PinRoleMismatch {
+        /// Instance name of the offending gate.
+        gate: String,
+        /// Cell the instance currently is.
+        from_cell: String,
+        /// Cell the retype requested.
+        to_cell: String,
+        /// Offending pin index.
+        pin: usize,
+        /// What is wrong with that pin (names the pin and its role).
+        detail: String,
+    },
     /// Two gates were declared with the same instance name.
     DuplicateGate(String),
     /// A net is driven by more than one gate output.
@@ -79,6 +96,16 @@ impl fmt::Display for NetlistError {
             } => write!(
                 f,
                 "gate `{gate}`: {cell} expects {expected} inputs, got {got}"
+            ),
+            NetlistError::PinRoleMismatch {
+                gate,
+                from_cell,
+                to_cell,
+                pin,
+                detail,
+            } => write!(
+                f,
+                "gate `{gate}`: cannot retype {from_cell} to {to_cell}: pin {pin} {detail}"
             ),
             NetlistError::DuplicateGate(gate) => {
                 write!(f, "duplicate gate instance name `{gate}`")

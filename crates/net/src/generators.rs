@@ -360,6 +360,109 @@ pub fn c17() -> Netlist {
         .expect("c17 is valid by construction")
 }
 
+/// The ISCAS-89 s27 benchmark: 4 primary inputs plus the clock `CK`, one
+/// primary output (`G17`), 3 DFFs and the classic 10-function combinational
+/// core, fixed (no seed).
+///
+/// The reference equations use AND/OR, which this library does not carry;
+/// each is expanded into its NAND2/NOR2 + INV pair (nets `G8n`, `G15n`,
+/// `G16n`), so the circuit has 13 combinational gates. All three feedback
+/// loops (`G11 → G5.D`, `G12 → G7.D`, `G8 → G6.D`) cross a register, which is
+/// exactly what the register-arc relaxation of the netlist loop check admits.
+pub fn s27() -> Netlist {
+    NetlistBuilder::new("s27")
+        .primary_input("G0")
+        .primary_input("G1")
+        .primary_input("G2")
+        .primary_input("G3")
+        .primary_input("CK")
+        // State elements.
+        .gate("R5", CellKind::Dff, &["G10", "CK"], "G5")
+        .gate("R6", CellKind::Dff, &["G11", "CK"], "G6")
+        .gate("R7", CellKind::Dff, &["G13", "CK"], "G7")
+        // Combinational core (AND/OR expanded through De Morgan pairs).
+        .gate("U14", CellKind::Inverter, &["G0"], "G14")
+        .gate("U17", CellKind::Inverter, &["G11"], "G17")
+        .gate("U8n", CellKind::Nand2, &["G14", "G6"], "G8n")
+        .gate("U8", CellKind::Inverter, &["G8n"], "G8")
+        .gate("U15n", CellKind::Nor2, &["G12", "G8"], "G15n")
+        .gate("U15", CellKind::Inverter, &["G15n"], "G15")
+        .gate("U16n", CellKind::Nor2, &["G3", "G8"], "G16n")
+        .gate("U16", CellKind::Inverter, &["G16n"], "G16")
+        .gate("U9", CellKind::Nand2, &["G16", "G15"], "G9")
+        .gate("U10", CellKind::Nor2, &["G14", "G11"], "G10")
+        .gate("U11", CellKind::Nor2, &["G5", "G9"], "G11")
+        .gate("U12", CellKind::Nor2, &["G1", "G7"], "G12")
+        .gate("U13", CellKind::Nor2, &["G2", "G12"], "G13")
+        .primary_output("G17")
+        .build()
+        .expect("s27 is valid by construction")
+}
+
+/// A seeded pipeline: `stages` register banks of `width` DFFs, each fed by a
+/// random combinational layer of `width` gates over the previous bank's Q
+/// nets (primary inputs for stage 0).
+///
+/// Gate `slot` of a layer always consumes net `slot` of the previous bank
+/// (round-robin, so every Q net is consumed); two-input gates draw their
+/// second pin uniformly from the previous bank. Cell kinds rotate over
+/// INV / NAND2 / NOR2 via [`TestRng`], so equal `(stages, width, seed)`
+/// triples give bit-equal netlists. One shared clock net `clk` feeds every
+/// register; the final bank's Q nets are the primary outputs.
+///
+/// # Panics
+///
+/// Panics if `stages` or `width` is zero.
+pub fn pipelined_dag(stages: usize, width: usize, seed: u64) -> Netlist {
+    assert!(stages > 0, "pipelined_dag needs at least one stage");
+    assert!(width > 0, "pipelined_dag needs a positive width");
+    let mut rng = TestRng::new(seed);
+    let mut builder = NetlistBuilder::new(&format!("pipe_{stages}x{width}_seed{seed}"));
+    let clk = builder.net_ref("clk");
+    builder.mark_primary_input(clk);
+
+    let mut previous: Vec<NetRef> = (0..width)
+        .map(|i| {
+            let net = builder.net_ref(&format!("in{i}"));
+            builder.mark_primary_input(net);
+            net
+        })
+        .collect();
+
+    let kinds = [CellKind::Inverter, CellKind::Nand2, CellKind::Nor2];
+    let mut inputs: Vec<NetRef> = Vec::with_capacity(2);
+    for stage in 0..stages {
+        // One combinational layer over the previous bank…
+        let mut layer = Vec::with_capacity(width);
+        for slot in 0..width {
+            let kind = kinds[rng.index(kinds.len())];
+            inputs.clear();
+            inputs.push(previous[slot]);
+            if kind.input_count() == 2 {
+                inputs.push(previous[rng.index(width)]);
+            }
+            let out = builder.net_ref(&format!("s{stage}_c{slot}"));
+            builder.add_gate(&format!("s{stage}_g{slot}"), kind, &inputs, out);
+            layer.push(out);
+        }
+        // …captured by one register bank.
+        let mut bank = Vec::with_capacity(width);
+        for (slot, &d) in layer.iter().enumerate() {
+            let q = builder.net_ref(&format!("s{stage}_q{slot}"));
+            builder.add_gate(&format!("s{stage}_r{slot}"), CellKind::Dff, &[d, clk], q);
+            bank.push(q);
+        }
+        previous = bank;
+    }
+
+    for &q in &previous {
+        builder.mark_primary_output(q);
+    }
+    builder
+        .build()
+        .expect("generator netlists are valid by construction")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +605,49 @@ mod tests {
             "depth {} should stay shallow",
             levels.level_count()
         );
+    }
+
+    #[test]
+    fn s27_matches_the_iscas_structure() {
+        let s = s27();
+        assert_eq!(s.primary_inputs().len(), 5);
+        assert_eq!(s.primary_outputs().len(), 1);
+        assert_eq!(s.gate_count(), 16);
+        let dffs: Vec<_> = s
+            .iter_gates()
+            .filter(|g| g.kind == CellKind::Dff)
+            .map(|g| g.name.to_string())
+            .collect();
+        assert_eq!(dffs, ["R5", "R6", "R7"]);
+        // Every DFF samples the shared clock on its CLK pin.
+        let ck = s.find_net("CK").unwrap();
+        assert_eq!(s.fanout_of(ck).len(), 3);
+        assert!(s.fanout_of(ck).iter().all(|&(_, pin)| pin == 1));
+        // The three feedback loops all cross a register: levels() terminates
+        // with the registers as roots.
+        let levels = s.levels();
+        assert_eq!(levels.gate_count(), 16);
+        assert!(levels.level_count() >= 4, "{}", levels.level_count());
+    }
+
+    #[test]
+    fn pipelined_dag_is_deterministic_and_register_bounded() {
+        let a = pipelined_dag(3, 4, 9);
+        let b = pipelined_dag(3, 4, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, pipelined_dag(3, 4, 10), "different seeds should differ");
+        // 3 stages × (4 comb + 4 DFF) gates.
+        assert_eq!(a.gate_count(), 24);
+        assert_eq!(
+            a.iter_gates().filter(|g| g.kind == CellKind::Dff).count(),
+            12
+        );
+        // clk + 4 data inputs; the last bank's Q nets are the outputs.
+        assert_eq!(a.primary_inputs().len(), 5);
+        assert_eq!(a.primary_outputs().len(), 4);
+        assert!(a.has_sequential_gates());
+        // JSON round trip survives the register kinds.
+        assert_eq!(Netlist::from_json_str(&a.to_json_string()).unwrap(), a);
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub mod netlist;
 
 pub use error::NetlistError;
 pub use generators::{
-    balanced_tree, c17, inverter_chain, nand_chain, random_dag, scale_free_dag, DagConfig,
-    ScaleFreeConfig,
+    balanced_tree, c17, inverter_chain, nand_chain, pipelined_dag, random_dag, s27, scale_free_dag,
+    DagConfig, ScaleFreeConfig,
 };
 pub use lower::SpiceNetlist;
 pub use netlist::{GateInst, GateRef, GateView, LevelSchedule, NetRef, Netlist, NetlistBuilder};

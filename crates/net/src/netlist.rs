@@ -341,17 +341,35 @@ impl Netlist {
         &self.fanouts[start..end]
     }
 
+    /// Whether any gate is a state element (flip-flop or latch). Sequential
+    /// netlists are scheduled per clocked epoch by `mcsm-seq`; the purely
+    /// combinational engines check this to reject them descriptively.
+    pub fn has_sequential_gates(&self) -> bool {
+        self.gate_kinds.iter().any(|k| k.is_sequential())
+    }
+
     /// Groups the gates into topological levels in a single O(V+E) pass.
     ///
     /// Level of a gate = longest driven path (in gates) from any schedule
     /// root reaching it, so every gate's inputs are settled by the time its
     /// level runs. Within a level, gates appear in insertion-index order; the
     /// whole schedule is deterministic for a given netlist.
+    ///
+    /// Sequential gates (registers) are schedule roots: their Q output is
+    /// state from the previous clock epoch, not a combinational function of
+    /// this epoch's inputs, so they sit at level 0 and the arcs *into* them
+    /// (D/CLK pins) do not extend the level depth — exactly mirroring the
+    /// register-arc relaxation of the `build()` cycle check.
     pub fn levels(&self) -> LevelSchedule {
         let gates = self.gate_count();
         // Kahn's algorithm with max-level propagation over the fanout CSR.
+        // Registers start as roots (pending 0) and edges into them are
+        // skipped, so register feedback cycles do not stall the wave.
         let mut pending: Vec<u32> = vec![0; gates];
         for (idx, inputs) in (0..gates).map(|i| (i, self.inputs_of(GateRef(i as u32)))) {
+            if self.gate_kinds[idx].is_sequential() {
+                continue;
+            }
             pending[idx] = inputs
                 .iter()
                 .filter(|n| self.drivers[n.index()].is_some())
@@ -367,6 +385,9 @@ impl Netlist {
             max_level = max_level.max(level[g as usize]);
             for &(succ, _pin) in self.fanout_of(self.gate_outputs[g as usize]) {
                 let s = succ.index();
+                if self.gate_kinds[s].is_sequential() {
+                    continue;
+                }
                 if level[s] < next {
                     level[s] = next;
                 }
@@ -412,20 +433,81 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::UnknownGate`] for an out-of-range reference and
     /// [`NetlistError::PinCountMismatch`] when the new kind's pin count does
-    /// not match the instance's existing input nets. On error the netlist is
-    /// unchanged.
+    /// not match the instance's existing input nets. When a register kind is
+    /// involved the check is pin-role-aware instead: a retype that would
+    /// change a connected pin's role (e.g. NAND2 → DFF turning data pin `B`
+    /// into clock pin `CLK`) or add/drop a role-bearing register pin (DFF →
+    /// DFFRB lacking the `RB` net) is rejected with
+    /// [`NetlistError::PinRoleMismatch`] naming the offending pin. On error
+    /// the netlist is unchanged.
     pub fn retype_gate(&mut self, gate: GateRef, kind: CellKind) -> Result<(), NetlistError> {
         let idx = gate.index();
         if idx >= self.gate_count() {
             return Err(NetlistError::UnknownGate(format!("#{idx}")));
         }
+        let old = self.gate_kinds[idx];
         let pins = self.inputs_of(gate).len();
+        let role_aware = old.is_sequential() || kind.is_sequential();
         if pins != kind.input_count() {
+            if role_aware {
+                // Name the first pin that would be dropped or is missing,
+                // with its role, rather than reporting a bare count.
+                let (pin, detail) = if kind.input_count() < pins {
+                    let names = old.input_names();
+                    let roles = old.pin_roles();
+                    let pin = kind.input_count();
+                    (
+                        pin,
+                        format!("`{}` ({}) would be dropped", names[pin], roles[pin].name()),
+                    )
+                } else {
+                    let names = kind.input_names();
+                    let roles = kind.pin_roles();
+                    let pin = pins;
+                    (
+                        pin,
+                        format!(
+                            "`{}` ({}) has no connected net",
+                            names[pin],
+                            roles[pin].name()
+                        ),
+                    )
+                };
+                return Err(NetlistError::PinRoleMismatch {
+                    gate: self.gate_names[idx].clone(),
+                    from_cell: old.name().to_string(),
+                    to_cell: kind.name().to_string(),
+                    pin,
+                    detail,
+                });
+            }
             return Err(NetlistError::PinCountMismatch {
                 gate: self.gate_names[idx].clone(),
                 cell: kind.name().to_string(),
                 expected: kind.input_count(),
                 got: pins,
+            });
+        }
+        if role_aware && old.pin_roles() != kind.pin_roles() {
+            let old_roles = old.pin_roles();
+            let new_roles = kind.pin_roles();
+            let pin = old_roles
+                .iter()
+                .zip(&new_roles)
+                .position(|(a, b)| a != b)
+                .expect("unequal role vectors differ at some pin");
+            return Err(NetlistError::PinRoleMismatch {
+                gate: self.gate_names[idx].clone(),
+                from_cell: old.name().to_string(),
+                to_cell: kind.name().to_string(),
+                pin,
+                detail: format!(
+                    "`{}` ({}) would become `{}` ({})",
+                    old.input_names()[pin],
+                    old_roles[pin].name(),
+                    kind.input_names()[pin],
+                    new_roles[pin].name()
+                ),
             });
         }
         self.gate_kinds[idx] = kind;
@@ -787,7 +869,10 @@ impl NetlistBuilder {
     ///   primary output;
     /// * [`NetlistError::InvalidLoad`] — an explicit load is negative or
     ///   non-finite;
-    /// * [`NetlistError::CombinationalLoop`] — the gates do not form a DAG.
+    /// * [`NetlistError::CombinationalLoop`] — a cycle exists that does not
+    ///   pass through a register (cycles crossing sequential gates are legal:
+    ///   a register's output is previous-epoch state, not a combinational
+    ///   function of this epoch's inputs).
     pub fn build(self) -> Result<Netlist, NetlistError> {
         let gates = self.gate_names.len();
         let nets = self.net_names.len();
@@ -907,15 +992,22 @@ impl NetlistBuilder {
         }
 
         // Cycle check: Kahn's algorithm over the freshly built fanout CSR.
-        // Each fanout entry of a driven net is one gate-to-gate edge.
+        // Each fanout entry of a driven net is one gate-to-gate edge — except
+        // edges *into* a sequential gate (its D/CLK pins), which are register
+        // arcs: a register's output is previous-epoch state, so a cycle is
+        // legal exactly when every lap through it crosses a register.
+        // Registers therefore start in the wave and their incoming edges are
+        // skipped; whatever remains unplaced is a genuine combinational loop.
         let mut pending = vec![0u32; gates];
         let mut start = 0usize;
         for (idx, slot) in pending.iter_mut().enumerate() {
             let end = self.gate_input_ends[idx] as usize;
-            *slot = self.gate_inputs[start..end]
-                .iter()
-                .filter(|n| drivers[n.index()].is_some())
-                .count() as u32;
+            if !self.gate_kinds[idx].is_sequential() {
+                *slot = self.gate_inputs[start..end]
+                    .iter()
+                    .filter(|n| drivers[n.index()].is_some())
+                    .count() as u32;
+            }
             start = end;
         }
         let mut wave: Vec<u32> = (0..gates as u32)
@@ -927,6 +1019,9 @@ impl NetlistBuilder {
             let out = self.gate_outputs[idx as usize].index();
             let span = fanout_offsets[out] as usize..fanout_offsets[out + 1] as usize;
             for &(succ, _pin) in &fanouts[span] {
+                if self.gate_kinds[succ.index()].is_sequential() {
+                    continue;
+                }
                 pending[succ.index()] -= 1;
                 if pending[succ.index()] == 0 {
                     wave.push(succ.0);
@@ -1227,6 +1322,115 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, NetlistError::UnreadNet("unused".into()));
+    }
+
+    /// A one-register feedback loop: q = DFF(d); d = INV(q).
+    fn feedback() -> Netlist {
+        NetlistBuilder::new("feedback")
+            .primary_input("clk")
+            .gate("r0", CellKind::Dff, &["d", "clk"], "q")
+            .gate("u_inv", CellKind::Inverter, &["q"], "d")
+            .primary_output("q")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_feedback_cycles_are_legal() {
+        let n = feedback();
+        assert!(n.has_sequential_gates());
+        assert!(!chain().has_sequential_gates());
+        // The register sits at level 0, the cone gate above it.
+        let levels = n.levels();
+        assert_eq!(levels.level_count(), 2);
+        assert_eq!(levels.gates(0), &[n.find_gate("r0").unwrap()]);
+        assert_eq!(levels.gates(1), &[n.find_gate("u_inv").unwrap()]);
+    }
+
+    #[test]
+    fn cycles_not_crossing_a_register_still_fail() {
+        // r0 breaks one loop, but u1/u2 form a second, purely combinational
+        // one — that one must still be reported.
+        let err = NetlistBuilder::new("bad")
+            .primary_input("clk")
+            .gate("r0", CellKind::Dff, &["d", "clk"], "q")
+            .gate("u_inv", CellKind::Inverter, &["q"], "d")
+            .gate("u1", CellKind::Nand2, &["q", "y"], "x")
+            .gate("u2", CellKind::Inverter, &["x"], "y")
+            .primary_output("y")
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::CombinationalLoop { ref gates }
+                if gates == &["u1".to_string(), "u2".to_string()]
+        ));
+    }
+
+    #[test]
+    fn retype_between_register_kinds_is_role_aware() {
+        let mut n = feedback();
+        let r0 = n.find_gate("r0").unwrap();
+        // DFF → DFFRB needs an RB net the instance does not have; the error
+        // names the missing reset pin rather than a bare pin count.
+        let err = n.retype_gate(r0, CellKind::DffRb).unwrap_err();
+        match &err {
+            NetlistError::PinRoleMismatch { pin, detail, .. } => {
+                assert_eq!(*pin, 2);
+                assert!(detail.contains("RB"), "{detail}");
+                assert!(detail.contains("async-reset"), "{detail}");
+            }
+            other => panic!("expected PinRoleMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("`RB`"), "{err}");
+        // DFF → LATCHD would turn the clock pin into a latch enable.
+        let err = n.retype_gate(r0, CellKind::LatchD).unwrap_err();
+        match &err {
+            NetlistError::PinRoleMismatch { pin, detail, .. } => {
+                assert_eq!(*pin, 1);
+                assert!(detail.contains("CLK") && detail.contains("EN"), "{detail}");
+            }
+            other => panic!("expected PinRoleMismatch, got {other:?}"),
+        }
+        // DFF → NAND2 would turn the clock pin into a data pin.
+        let err = n.retype_gate(r0, CellKind::Nand2).unwrap_err();
+        assert!(
+            matches!(&err, NetlistError::PinRoleMismatch { pin: 1, .. }),
+            "{err:?}"
+        );
+        // And the reverse: a combinational gate cannot silently become a
+        // register.
+        let u_inv = n.find_gate("u_inv").unwrap();
+        let err = n.retype_gate(u_inv, CellKind::Dff).unwrap_err();
+        assert!(
+            matches!(&err, NetlistError::PinRoleMismatch { pin: 1, .. }),
+            "{err:?}"
+        );
+        // The netlist survived every rejection unchanged.
+        assert_eq!(n.gate_kind(r0), CellKind::Dff);
+        assert_eq!(n.gate_kind(u_inv), CellKind::Inverter);
+        // Comb ↔ comb retypes keep the historical count-based error.
+        let err = n.retype_gate(u_inv, CellKind::Nor2).unwrap_err();
+        assert!(matches!(err, NetlistError::PinCountMismatch { .. }));
+    }
+
+    #[test]
+    fn register_netlists_round_trip_through_json() {
+        let n = NetlistBuilder::new("seq_rt")
+            .primary_input("clk")
+            .primary_input("rb")
+            .gate("r0", CellKind::DffRb, &["d", "clk", "rb"], "q")
+            .gate("u_inv", CellKind::Inverter, &["q"], "d")
+            .net_load("q", 1.5e-15)
+            .primary_output("q")
+            .build()
+            .unwrap();
+        let back = Netlist::from_json_str(&n.to_json_string()).unwrap();
+        assert_eq!(n, back);
+        assert_eq!(
+            back.gate_kind(back.find_gate("r0").unwrap()),
+            CellKind::DffRb
+        );
     }
 
     #[test]

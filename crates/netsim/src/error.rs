@@ -16,6 +16,13 @@ pub enum NetsimError {
     DrivenInternalNet(String),
     /// A simulation parameter is out of range.
     InvalidParameter(String),
+    /// The netlist contains register (sequential) gates, which the
+    /// combinational level sweep cannot evaluate — clocked simulation lives in
+    /// `mcsm-seq`.
+    SequentialNetlist {
+        /// One offending register instance, for the error message.
+        gate: String,
+    },
     /// A model-resolution or per-gate evaluation failure from the timing
     /// layer.
     Sta(StaError),
@@ -36,6 +43,11 @@ impl fmt::Display for NetsimError {
                 "net `{net}` is not a primary input; its waveform is computed, not driven"
             ),
             NetsimError::InvalidParameter(msg) => write!(f, "netsim: {msg}"),
+            NetsimError::SequentialNetlist { gate } => write!(
+                f,
+                "netlist contains register gates (e.g. `{gate}`); the combinational \
+                 simulator cannot evaluate them — use mcsm_seq::simulate_sequential"
+            ),
             NetsimError::Sta(e) => write!(f, "netsim gate evaluation: {e}"),
             NetsimError::Net(e) => write!(f, "netsim netlist: {e}"),
             NetsimError::Spice(msg) => write!(f, "netsim waveform: {msg}"),

@@ -595,6 +595,8 @@ struct GateSolve<'a> {
 ///
 /// # Errors
 ///
+/// * [`NetsimError::SequentialNetlist`] — the netlist contains register
+///   gates (clocked simulation lives in `mcsm-seq`);
 /// * [`NetsimError::MissingDrive`] — a primary input has no drive;
 /// * [`NetsimError::DrivenInternalNet`] — a drive targets a non-input net;
 /// * [`NetsimError::InvalidParameter`] — a malformed threshold, thinning
@@ -719,6 +721,14 @@ fn run_levels(
     caches: SimCaches<'_>,
     previous: Option<(&NetsimResult, &[GateRef])>,
 ) -> Result<NetsimResult, NetsimError> {
+    if let Some(gate) = netlist
+        .gate_refs()
+        .find(|&g| netlist.gate_kind(g).is_sequential())
+    {
+        return Err(NetsimError::SequentialNetlist {
+            gate: netlist.gate_name(gate).to_string(),
+        });
+    }
     for &pi in netlist.primary_inputs() {
         if !input_drives.contains_key(&pi) {
             return Err(NetsimError::MissingDrive(netlist.net_name(pi).to_string()));
@@ -1339,6 +1349,21 @@ mod tests {
             ),
             Err(NetsimError::InvalidParameter(_))
         ));
+    }
+
+    #[test]
+    fn sequential_netlists_are_rejected_with_a_pointer_to_seq() {
+        let netlist = mcsm_net::s27();
+        let library = library();
+        let vdd = library.vdd();
+        let mut drives = HashMap::new();
+        for &pi in netlist.primary_inputs() {
+            drives.insert(pi, DriveWaveform::dc(0.0));
+        }
+        let err = simulate_netlist(&netlist, &library, &drives, &options(vdd)).unwrap_err();
+        assert!(matches!(err, NetsimError::SequentialNetlist { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("simulate_sequential"), "{msg}");
     }
 
     #[test]

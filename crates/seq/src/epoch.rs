@@ -1,0 +1,616 @@
+//! The clocked epoch scheduler: one combinational netlist simulation per
+//! clock cycle, with register state carried between epochs.
+//!
+//! Each clock cycle is simulated as one *epoch* of the partitioned comb cone
+//! (see [`SeqNetlist`]): primary inputs that changed since the previous cycle
+//! ramp at the epoch origin, registers that captured a new value last cycle
+//! launch a clk-to-q-delayed ramp on their Q nets, and everything else sits at
+//! a DC rail. At the end of the cycle each register samples its D net at the
+//! capture instant (`period` after launch, shifted by that register's clock
+//! insertion delay) and the sampled Boolean becomes the next cycle's launch
+//! state. This epoch-carried state is exactly equivalent to flattening the
+//! pipeline into one unrolled combinational netlist — a property the test
+//! suite pins.
+//!
+//! This module is the **only** place in `mcsm-seq` that invokes the
+//! combinational netlist simulator (`simulate_netlist*`); CI greps for this.
+
+use crate::error::SeqError;
+use crate::partition::{NetSource, SeqNetlist};
+use mcsm_core::sim::DriveWaveform;
+use mcsm_net::{GateRef, NetRef};
+use mcsm_netsim::{
+    effective_load, resimulate_netlist, simulate_netlist_cached, NetsimOptions, NetsimResult,
+    SimCaches,
+};
+use mcsm_sta::{ClockSpec, DelayCache, ModelLibrary, WaveformCache};
+use std::collections::HashMap;
+
+/// One register's sampled state at the end of a cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegState {
+    /// The captured Boolean (D net above `vdd/2` at the capture instant).
+    pub value: bool,
+    /// The analog D-net voltage actually sampled.
+    pub voltage: f64,
+}
+
+/// Options for sequential simulation, wrapping the per-epoch netsim options.
+#[derive(Debug, Clone)]
+pub struct SeqOptions {
+    /// Per-epoch combinational simulation options. The simulation window
+    /// (`netsim.calculator.sim.t_stop`) must cover one full cycle: at least
+    /// `2*clock.slew + period + max insertion + 4*clock.slew`.
+    pub netsim: NetsimOptions,
+    /// Transition time of primary-input ramps when an input toggles (seconds).
+    pub pi_slew: f64,
+    /// Initial register values (index-aligned with [`SeqNetlist::registers`]);
+    /// `None` starts every register at logic 0.
+    pub initial_state: Option<Vec<bool>>,
+}
+
+impl SeqOptions {
+    /// Sequential options with a 50 ps input slew and all-zero reset state.
+    pub fn new(netsim: NetsimOptions) -> Self {
+        SeqOptions {
+            netsim,
+            pi_slew: 50e-12,
+            initial_state: None,
+        }
+    }
+
+    /// Sets the primary-input transition time.
+    #[must_use]
+    pub fn with_pi_slew(mut self, seconds: f64) -> Self {
+        self.pi_slew = seconds;
+        self
+    }
+
+    /// Sets the initial register values.
+    #[must_use]
+    pub fn with_initial_state(mut self, values: Vec<bool>) -> Self {
+        self.initial_state = Some(values);
+        self
+    }
+}
+
+/// Primary-input values for one clock cycle, keyed by *original*-netlist net.
+///
+/// Inputs omitted from `values` hold their previous value; the clock net must
+/// not appear (the scheduler owns the clock).
+#[derive(Debug, Clone, Default)]
+pub struct CycleInputs {
+    /// New values for this cycle.
+    pub values: HashMap<NetRef, bool>,
+}
+
+impl CycleInputs {
+    /// No input changes this cycle.
+    pub fn hold() -> Self {
+        CycleInputs::default()
+    }
+
+    /// Builds cycle inputs from `(net, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (NetRef, bool)>) -> Self {
+        CycleInputs {
+            values: pairs.into_iter().collect(),
+        }
+    }
+}
+
+/// The carried state of a sequential simulation between cycles.
+#[derive(Debug, Clone)]
+pub struct SeqState {
+    /// Current value of every non-clock primary input.
+    pub pi_values: HashMap<NetRef, bool>,
+    /// Current (launched this cycle) register values, aligned with
+    /// [`SeqNetlist::registers`].
+    pub reg_values: Vec<bool>,
+    /// Whether each register's value changed at the launch edge of the
+    /// upcoming cycle (drives a clk-to-q ramp instead of a DC rail).
+    pub reg_toggled: Vec<bool>,
+    /// Number of cycles simulated so far.
+    pub cycle: usize,
+}
+
+/// Everything produced by one simulated cycle.
+#[derive(Debug)]
+pub struct CycleOutcome {
+    /// Sampled register state at the capture edge, aligned with
+    /// [`SeqNetlist::registers`].
+    pub states: Vec<RegState>,
+    /// Primary-output Booleans sampled one period after the epoch origin, in
+    /// original PO declaration order.
+    pub po_values: Vec<bool>,
+    /// The comb-cone epoch simulation (`None` for registers-only netlists).
+    pub epoch: Option<NetsimResult>,
+    /// The drives handed to the comb cone, keyed by comb-cone net — kept for
+    /// incremental re-simulation after an ECO.
+    pub comb_drives: HashMap<NetRef, DriveWaveform>,
+    /// Drives of every original-netlist source net (non-clock PIs and
+    /// register Q nets) over this epoch.
+    pub orig_drives: HashMap<NetRef, DriveWaveform>,
+    /// Register values at the launch edge of this cycle (before capture).
+    pub values_before: Vec<bool>,
+}
+
+/// Aggregate result of [`simulate_sequential`].
+#[derive(Debug)]
+pub struct SeqResult {
+    /// Register instance names, index-aligned with the per-cycle states.
+    pub register_names: Vec<String>,
+    /// Per-cycle sampled register states: `states[cycle][register]`.
+    pub states: Vec<Vec<RegState>>,
+    /// Primary-output net names.
+    pub po_names: Vec<String>,
+    /// Per-cycle primary-output Booleans: `po_values[cycle][output]`.
+    pub po_values: Vec<Vec<bool>>,
+    /// Per-cycle epoch simulations (waveforms, stats).
+    pub epochs: Vec<Option<NetsimResult>>,
+    /// Aggregate counters across all cycles.
+    pub stats: SeqStats,
+}
+
+/// Aggregate epoch-simulation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeqStats {
+    /// Cycles simulated.
+    pub cycles: usize,
+    /// Gate solves actually run across all epochs.
+    pub gates_simulated: usize,
+    /// Quiescent gates resolved without an engine run.
+    pub gates_skipped: usize,
+    /// Voltage events processed.
+    pub events: usize,
+}
+
+/// The epoch time origin: input and launch ramps start at `2 * clock.slew`
+/// so every waveform has a settled DC prefix.
+pub fn epoch_t0(clock: &ClockSpec) -> f64 {
+    2.0 * clock.slew
+}
+
+/// The capture instant of `register` within an epoch: one period after the
+/// epoch origin, shifted by the register's clock insertion delay.
+pub fn capture_time(clock: &ClockSpec, register: &str) -> f64 {
+    epoch_t0(clock) + clock.period + clock.insertion_of(register)
+}
+
+/// Initial carried state: all non-clock primary inputs at 0, registers at
+/// `options.initial_state` (or all 0), nothing toggled.
+///
+/// # Errors
+///
+/// Returns [`SeqError::InvalidParameter`] when `initial_state` is present but
+/// its length differs from the register count.
+pub fn initial_seq_state(seq: &SeqNetlist, options: &SeqOptions) -> Result<SeqState, SeqError> {
+    let regs = seq.registers().len();
+    let reg_values = match &options.initial_state {
+        Some(values) if values.len() != regs => {
+            return Err(SeqError::InvalidParameter(format!(
+                "initial_state has {} values but the netlist has {regs} registers",
+                values.len()
+            )));
+        }
+        Some(values) => values.clone(),
+        None => vec![false; regs],
+    };
+    let pi_values = seq
+        .original()
+        .primary_inputs()
+        .iter()
+        .filter(|&&pi| pi != seq.clock_net())
+        .map(|&pi| (pi, false))
+        .collect();
+    Ok(SeqState {
+        pi_values,
+        reg_values,
+        reg_toggled: vec![false; regs],
+        cycle: 0,
+    })
+}
+
+fn rail(vdd: f64, value: bool) -> f64 {
+    if value {
+        vdd
+    } else {
+        0.0
+    }
+}
+
+fn ramp_to(vdd: f64, value: bool, t_start: f64, transition: f64) -> DriveWaveform {
+    if value {
+        DriveWaveform::rising_ramp(vdd, t_start, transition)
+    } else {
+        DriveWaveform::falling_ramp(vdd, t_start, transition)
+    }
+}
+
+fn validate_cycle(
+    seq: &SeqNetlist,
+    clock: &ClockSpec,
+    inputs: &CycleInputs,
+    options: &SeqOptions,
+) -> Result<(), SeqError> {
+    clock.validate().map_err(SeqError::Sta)?;
+    let original = seq.original();
+    let clock_name = original.net_name(seq.clock_net());
+    if clock.clock != clock_name {
+        return Err(SeqError::ClockMismatch(format!(
+            "clock spec is for `{}` but the netlist's clock net is `{clock_name}`",
+            clock.clock
+        )));
+    }
+    if !(options.pi_slew > 0.0) {
+        return Err(SeqError::InvalidParameter(format!(
+            "pi_slew must be positive, got {}",
+            options.pi_slew
+        )));
+    }
+    for &net in inputs.values.keys() {
+        if net == seq.clock_net() {
+            return Err(SeqError::InvalidParameter(format!(
+                "cycle inputs must not drive the clock net `{clock_name}` — \
+                 the epoch scheduler owns the clock"
+            )));
+        }
+        if !original.is_primary_input(net) {
+            return Err(SeqError::InvalidParameter(format!(
+                "cycle input `{}` is not a primary input",
+                original.net_name(net)
+            )));
+        }
+    }
+    let max_insertion = seq
+        .registers()
+        .iter()
+        .map(|r| clock.insertion_of(&r.name))
+        .fold(0.0, f64::max);
+    let needed = epoch_t0(clock) + clock.period + max_insertion + 4.0 * clock.slew;
+    let t_stop = options.netsim.calculator.sim.t_stop;
+    if t_stop < needed {
+        return Err(SeqError::InvalidParameter(format!(
+            "epoch window t_stop = {t_stop:.3e} s is too short: one cycle needs \
+             at least {needed:.3e} s (origin + period + max insertion + settle)"
+        )));
+    }
+    Ok(())
+}
+
+/// Builds the drives for one epoch over the *original* netlist's source nets
+/// (non-clock PIs and register Q nets), then translates them onto the comb
+/// cone's primary inputs.
+#[allow(clippy::type_complexity)]
+fn build_drives(
+    seq: &SeqNetlist,
+    library: &ModelLibrary,
+    clock: &ClockSpec,
+    state: &SeqState,
+    new_pi_values: &HashMap<NetRef, bool>,
+    options: &SeqOptions,
+    delay_cache: &DelayCache,
+) -> Result<
+    (
+        HashMap<NetRef, DriveWaveform>,
+        HashMap<NetRef, DriveWaveform>,
+    ),
+    SeqError,
+> {
+    let original = seq.original();
+    let vdd = options.netsim.calculator.vdd;
+    let t0 = epoch_t0(clock);
+    let mut orig_drives = HashMap::new();
+
+    for &pi in original.primary_inputs() {
+        if pi == seq.clock_net() {
+            continue;
+        }
+        let value = new_pi_values[&pi];
+        let drive = if value != state.pi_values[&pi] {
+            ramp_to(vdd, value, t0, options.pi_slew)
+        } else {
+            DriveWaveform::dc(rail(vdd, value))
+        };
+        orig_drives.insert(pi, drive);
+    }
+
+    for (idx, reg) in seq.registers().iter().enumerate() {
+        let value = state.reg_values[idx];
+        let drive = if state.reg_toggled[idx] {
+            let model = library.register(reg.kind)?;
+            let load = effective_load(
+                original,
+                library,
+                delay_cache,
+                reg.q_net,
+                options.netsim.primary_output_load,
+            )?;
+            let (delay, slew) = model.clk_to_q(load, value)?;
+            let t_q50 = t0 + clock.insertion_of(&reg.name) + delay;
+            let t_start = (t_q50 - 0.5 * slew).max(0.0);
+            ramp_to(vdd, value, t_start, slew)
+        } else {
+            DriveWaveform::dc(rail(vdd, value))
+        };
+        orig_drives.insert(reg.q_net, drive);
+    }
+
+    let mut comb_drives = HashMap::new();
+    for &(comb_net, source) in seq.comb_inputs() {
+        let orig_net = match source {
+            NetSource::PrimaryInput(net) => net,
+            NetSource::RegisterQ(idx) => seq.registers()[idx].q_net,
+            NetSource::CombGate(_) => unreachable!("cone inputs are never comb-driven"),
+        };
+        comb_drives.insert(comb_net, orig_drives[&orig_net].clone());
+    }
+    Ok((orig_drives, comb_drives))
+}
+
+/// Samples the analog value of a source net at time `t`.
+fn source_value(
+    seq: &SeqNetlist,
+    source: NetSource,
+    orig_drives: &HashMap<NetRef, DriveWaveform>,
+    epoch: Option<&NetsimResult>,
+    t: f64,
+) -> Result<f64, SeqError> {
+    match source {
+        NetSource::PrimaryInput(net) => Ok(orig_drives[&net].eval(t)),
+        NetSource::RegisterQ(idx) => Ok(orig_drives[&seq.registers()[idx].q_net].eval(t)),
+        NetSource::CombGate(orig_net) => {
+            let comb_net = seq.comb_net_of(orig_net).ok_or_else(|| {
+                SeqError::InvalidParameter(format!(
+                    "net `{}` is not in the combinational cone",
+                    seq.original().net_name(orig_net)
+                ))
+            })?;
+            let epoch = epoch.ok_or_else(|| {
+                SeqError::InvalidParameter(
+                    "comb-driven endpoint without an epoch simulation".to_string(),
+                )
+            })?;
+            let waveform = epoch.waveform(comb_net).ok_or_else(|| {
+                SeqError::InvalidParameter(format!(
+                    "net `{}` was not observed in the epoch — register D nets and \
+                     primary outputs are always observed, so this indicates a \
+                     partitioning bug",
+                    seq.original().net_name(orig_net)
+                ))
+            })?;
+            Ok(waveform.value_at(t))
+        }
+    }
+}
+
+/// Samples register captures and primary outputs from a finished epoch and
+/// folds them into the next carried state.
+fn capture(
+    seq: &SeqNetlist,
+    clock: &ClockSpec,
+    orig_drives: &HashMap<NetRef, DriveWaveform>,
+    epoch: Option<&NetsimResult>,
+    vdd: f64,
+) -> Result<(Vec<RegState>, Vec<bool>), SeqError> {
+    let threshold = 0.5 * vdd;
+    let mut states = Vec::with_capacity(seq.registers().len());
+    for (idx, reg) in seq.registers().iter().enumerate() {
+        let t_capture = capture_time(clock, &reg.name);
+        // Active-low async reset: a low RB at the capture instant forces 0.
+        let reset_active = reg
+            .rb_net
+            .map(|rb| orig_drives[&rb].eval(t_capture) < threshold)
+            .unwrap_or(false);
+        let state = if reset_active {
+            RegState {
+                value: false,
+                voltage: 0.0,
+            }
+        } else {
+            let voltage = source_value(seq, seq.d_sources()[idx], orig_drives, epoch, t_capture)?;
+            RegState {
+                value: voltage > threshold,
+                voltage,
+            }
+        };
+        states.push(state);
+    }
+
+    let t_po = epoch_t0(clock) + clock.period;
+    let mut po_values = Vec::with_capacity(seq.po_sources().len());
+    for &source in seq.po_sources() {
+        let voltage = source_value(seq, source, orig_drives, epoch, t_po)?;
+        po_values.push(voltage > threshold);
+    }
+    Ok((states, po_values))
+}
+
+/// Advances the sequential simulation by one clock cycle.
+///
+/// Builds this epoch's drives from the carried `state`, runs one comb-cone
+/// simulation, samples every register's D net at its capture instant and
+/// every primary output one period after the epoch origin, and updates
+/// `state` in place (captured values become the next launch values; toggles
+/// are recorded so the next epoch launches clk-to-q ramps).
+///
+/// # Errors
+///
+/// Propagates validation failures ([`SeqError::InvalidParameter`],
+/// [`SeqError::ClockMismatch`]), missing register models
+/// ([`SeqError::Sta`]), and epoch-simulation failures ([`SeqError::Netsim`]).
+pub fn step_cycle(
+    seq: &SeqNetlist,
+    library: &ModelLibrary,
+    clock: &ClockSpec,
+    inputs: &CycleInputs,
+    state: &mut SeqState,
+    options: &SeqOptions,
+    caches: SimCaches<'_>,
+) -> Result<CycleOutcome, SeqError> {
+    validate_cycle(seq, clock, inputs, options)?;
+    let mut new_pi_values = state.pi_values.clone();
+    for (&net, &value) in &inputs.values {
+        new_pi_values.insert(net, value);
+    }
+
+    let (orig_drives, comb_drives) = build_drives(
+        seq,
+        library,
+        clock,
+        state,
+        &new_pi_values,
+        options,
+        caches.delay,
+    )?;
+
+    let epoch = match seq.comb() {
+        Some(comb) => Some(simulate_netlist_cached(
+            comb,
+            library,
+            &comb_drives,
+            &options.netsim,
+            caches,
+        )?),
+        None => None,
+    };
+
+    let vdd = options.netsim.calculator.vdd;
+    let (states, po_values) = capture(seq, clock, &orig_drives, epoch.as_ref(), vdd)?;
+
+    let values_before = std::mem::replace(
+        &mut state.reg_values,
+        states.iter().map(|s| s.value).collect(),
+    );
+    state.reg_toggled = state
+        .reg_values
+        .iter()
+        .zip(&values_before)
+        .map(|(new, old)| new != old)
+        .collect();
+    state.pi_values = new_pi_values;
+    state.cycle += 1;
+
+    Ok(CycleOutcome {
+        states,
+        po_values,
+        epoch,
+        comb_drives,
+        orig_drives,
+        values_before,
+    })
+}
+
+/// Re-runs the *same* epoch after an ECO edit to the comb cone, re-solving
+/// only the cones of influence downstream of `seeds` (comb-cone gate
+/// references), then re-samples captures and outputs.
+///
+/// `seq` must be the re-partitioned post-ECO netlist (same structure — ECO
+/// retypes preserve net and gate identities) and `prev` the outcome of the
+/// cycle being replayed. Both the previous epoch and this one must observe
+/// all nets ([`mcsm_netsim::Observe::All`]).
+///
+/// # Errors
+///
+/// Fails when the previous cycle had no epoch simulation (registers-only
+/// cone) or when the incremental re-simulation itself fails.
+pub fn resimulate_cycle(
+    seq: &SeqNetlist,
+    library: &ModelLibrary,
+    clock: &ClockSpec,
+    prev: &CycleOutcome,
+    seeds: &[GateRef],
+    options: &SeqOptions,
+    caches: SimCaches<'_>,
+) -> Result<CycleOutcome, SeqError> {
+    let comb = seq.comb().ok_or_else(|| {
+        SeqError::InvalidParameter(
+            "cannot incrementally re-simulate a registers-only netlist".to_string(),
+        )
+    })?;
+    let prev_epoch = prev.epoch.as_ref().ok_or_else(|| {
+        SeqError::InvalidParameter(
+            "previous cycle has no epoch simulation to re-simulate".to_string(),
+        )
+    })?;
+    let epoch = resimulate_netlist(
+        comb,
+        library,
+        &prev.comb_drives,
+        &options.netsim,
+        caches,
+        prev_epoch,
+        seeds,
+    )?;
+    let vdd = options.netsim.calculator.vdd;
+    let (states, po_values) = capture(seq, clock, &prev.orig_drives, Some(&epoch), vdd)?;
+    Ok(CycleOutcome {
+        states,
+        po_values,
+        epoch: Some(epoch),
+        comb_drives: prev.comb_drives.clone(),
+        orig_drives: prev.orig_drives.clone(),
+        values_before: prev.values_before.clone(),
+    })
+}
+
+/// Simulates `cycles` clock cycles of a sequential netlist with carried
+/// register state.
+///
+/// Partitions `netlist` at its register boundaries, characterizes nothing
+/// itself (the `library` must already hold a register model for every
+/// register kind — see `ModelLibrary::characterize_registers`), and runs one
+/// comb-cone epoch per cycle. Delay and waveform caches are shared across
+/// cycles, so quiescent epochs are nearly free.
+///
+/// # Errors
+///
+/// Propagates partitioning failures ([`SeqError::GatedClock`],
+/// [`SeqError::Unsupported`]), clock/window validation failures, missing
+/// register models, and per-epoch simulation failures.
+pub fn simulate_sequential(
+    netlist: &mcsm_net::Netlist,
+    library: &ModelLibrary,
+    clock: &ClockSpec,
+    cycles: &[CycleInputs],
+    options: &SeqOptions,
+) -> Result<SeqResult, SeqError> {
+    let seq = SeqNetlist::partition(netlist)?;
+    let mut state = initial_seq_state(&seq, options)?;
+    let delay_cache = DelayCache::new();
+    let waveform_cache = WaveformCache::new();
+    let caches = SimCaches {
+        delay: &delay_cache,
+        waveforms: Some(&waveform_cache),
+    };
+
+    let mut states = Vec::with_capacity(cycles.len());
+    let mut po_values = Vec::with_capacity(cycles.len());
+    let mut epochs = Vec::with_capacity(cycles.len());
+    let mut stats = SeqStats::default();
+    for inputs in cycles {
+        let outcome = step_cycle(&seq, library, clock, inputs, &mut state, options, caches)?;
+        if let Some(epoch) = &outcome.epoch {
+            let s = epoch.stats();
+            stats.gates_simulated += s.gates_simulated;
+            stats.gates_skipped += s.gates_skipped;
+            stats.events += s.events;
+        }
+        stats.cycles += 1;
+        states.push(outcome.states);
+        po_values.push(outcome.po_values);
+        epochs.push(outcome.epoch);
+    }
+
+    Ok(SeqResult {
+        register_names: seq.registers().iter().map(|r| r.name.clone()).collect(),
+        states,
+        po_names: netlist
+            .primary_outputs()
+            .iter()
+            .map(|&po| netlist.net_name(po).to_string())
+            .collect(),
+        po_values,
+        epochs,
+        stats,
+    })
+}

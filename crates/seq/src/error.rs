@@ -1,0 +1,107 @@
+//! Errors produced while partitioning or simulating a sequential netlist.
+
+use mcsm_core::CsmError;
+use mcsm_net::NetlistError;
+use mcsm_netsim::NetsimError;
+use mcsm_sta::StaError;
+use std::fmt;
+
+/// Error produced by the sequential-simulation and signoff-timing layer.
+#[derive(Debug)]
+pub enum SeqError {
+    /// The netlist uses a sequential feature the epoch scheduler does not
+    /// support yet (e.g. level-sensitive latch transparency).
+    Unsupported(String),
+    /// A register's CLK pin is not fed directly by the clock primary input —
+    /// gated or derived clocks are not modeled.
+    GatedClock {
+        /// The offending register instance.
+        gate: String,
+        /// The net its CLK pin actually connects to.
+        net: String,
+    },
+    /// The netlist's clock net does not match the [`ClockSpec`]'s, or the
+    /// netlist has no registers at all.
+    ///
+    /// [`ClockSpec`]: mcsm_sta::slack::ClockSpec
+    ClockMismatch(String),
+    /// A simulation or analysis parameter is out of range.
+    InvalidParameter(String),
+    /// A netlist-level failure (construction of the combinational cone,
+    /// lookup).
+    Net(NetlistError),
+    /// A failure inside one combinational epoch.
+    Netsim(NetsimError),
+    /// A timing-layer failure (model lookup, waveform propagation, window
+    /// interpolation).
+    Sta(StaError),
+    /// A model-level failure (register characterization, table lookups).
+    Model(CsmError),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::Unsupported(msg) => write!(f, "sequential netlist unsupported: {msg}"),
+            SeqError::GatedClock { gate, net } => write!(
+                f,
+                "register `{gate}` is clocked by `{net}`, which is not the clock \
+                 primary input — gated/derived clocks are not modeled"
+            ),
+            SeqError::ClockMismatch(msg) => write!(f, "clock mismatch: {msg}"),
+            SeqError::InvalidParameter(msg) => write!(f, "seq: {msg}"),
+            SeqError::Net(e) => write!(f, "seq netlist: {e}"),
+            SeqError::Netsim(e) => write!(f, "seq epoch: {e}"),
+            SeqError::Sta(e) => write!(f, "seq timing: {e}"),
+            SeqError::Model(e) => write!(f, "seq model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+impl From<NetlistError> for SeqError {
+    fn from(e: NetlistError) -> Self {
+        SeqError::Net(e)
+    }
+}
+
+impl From<NetsimError> for SeqError {
+    fn from(e: NetsimError) -> Self {
+        SeqError::Netsim(e)
+    }
+}
+
+impl From<StaError> for SeqError {
+    fn from(e: StaError) -> Self {
+        SeqError::Sta(e)
+    }
+}
+
+impl From<CsmError> for SeqError {
+    fn from(e: CsmError) -> Self {
+        SeqError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offenders() {
+        let e = SeqError::GatedClock {
+            gate: "r0".into(),
+            net: "ck_gated".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("r0") && msg.contains("ck_gated"));
+        assert!(SeqError::Unsupported("latch transparency".into())
+            .to_string()
+            .contains("latch"));
+        let e: SeqError = NetlistError::UnknownNet("x".into()).into();
+        assert!(matches!(e, SeqError::Net(_)));
+        let e: SeqError = StaError::MissingModel("DFF".into()).into();
+        assert!(e.to_string().contains("DFF"));
+    }
+}

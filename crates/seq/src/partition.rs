@@ -1,0 +1,422 @@
+//! Register-boundary partitioning of a sequential netlist.
+//!
+//! A clocked netlist is, between any two consecutive clock edges, a purely
+//! combinational circuit: register Q pins and primary inputs are *cone
+//! sources*, register D/CLK pins and primary outputs are *cone sinks*.
+//! [`SeqNetlist::partition`] extracts that combinational interior into its own
+//! validated [`Netlist`] (the *comb cone*) and records, for every cone source
+//! and sink, where its value comes from — a primary input, a register's Q, or
+//! a comb-cone gate. The epoch driver then runs one `mcsm-netsim` pass over
+//! the comb cone per clock cycle, and the timing layer propagates waveforms
+//! over the same cone.
+//!
+//! Structural validation (every cycle passes through a register, single
+//! drivers, no dangling nets) is inherited from the original [`Netlist`]'s
+//! own `build()` checks — its combinational-loop check is relaxed exactly
+//! across register arcs. This module adds the *clocking* validation: every
+//! register must be clocked directly by one shared primary-input net (gated
+//! or derived clocks are rejected descriptively), async resets must be
+//! primary inputs, and level-sensitive latches are rejected until
+//! transparency is modeled.
+
+use crate::error::SeqError;
+use mcsm_cells::cell::{CellKind, PinRole};
+use mcsm_net::{GateRef, NetRef, Netlist, NetlistBuilder};
+
+/// One register instance of the original netlist, with its pins resolved by
+/// role.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Register {
+    /// The gate in the original netlist.
+    pub gate: GateRef,
+    /// Instance name.
+    pub name: String,
+    /// Cell kind ([`CellKind::Dff`] or [`CellKind::DffRb`]).
+    pub kind: CellKind,
+    /// Net feeding the D pin (original netlist reference).
+    pub d_net: NetRef,
+    /// Net feeding the CLK pin — always the shared clock primary input.
+    pub clk_net: NetRef,
+    /// Net feeding the active-low async reset, when the cell has one.
+    pub rb_net: Option<NetRef>,
+    /// The Q output net (original netlist reference).
+    pub q_net: NetRef,
+}
+
+/// Where a cone source or sink gets its value within one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetSource {
+    /// Driven by a primary input of the original netlist.
+    PrimaryInput(NetRef),
+    /// Driven by the Q output of the register at this index in
+    /// [`SeqNetlist::registers`].
+    RegisterQ(usize),
+    /// Driven by a gate of the comb cone; the [`NetRef`] is the net in the
+    /// *original* netlist (same name in the comb cone, where it is a primary
+    /// output whenever a register or original PO reads it).
+    CombGate(NetRef),
+}
+
+/// A netlist partitioned at its register boundaries.
+#[derive(Debug, Clone)]
+pub struct SeqNetlist {
+    original: Netlist,
+    comb: Option<Netlist>,
+    registers: Vec<Register>,
+    clock_net: NetRef,
+    /// Sources of the comb cone's primary inputs, `(comb net, source)`.
+    comb_inputs: Vec<(NetRef, NetSource)>,
+    /// Source of each register's D net, indexed like `registers`.
+    d_sources: Vec<NetSource>,
+    /// Source of each original primary output, in declaration order.
+    po_sources: Vec<NetSource>,
+}
+
+impl SeqNetlist {
+    /// Partitions a validated netlist at its register boundaries.
+    ///
+    /// # Errors
+    ///
+    /// * [`SeqError::ClockMismatch`] — the netlist has no registers;
+    /// * [`SeqError::Unsupported`] — latches, multiple clock nets, or an
+    ///   async reset that is not a primary input;
+    /// * [`SeqError::GatedClock`] — a register clocked by a non-PI net;
+    /// * [`SeqError::Net`] — comb-cone construction failures (impossible for
+    ///   a validated input, but propagated rather than unwrapped).
+    pub fn partition(netlist: &Netlist) -> Result<Self, SeqError> {
+        let mut registers = Vec::new();
+        for gate in netlist.gate_refs() {
+            let kind = netlist.gate_kind(gate);
+            if !kind.is_sequential() {
+                continue;
+            }
+            if kind == CellKind::LatchD {
+                return Err(SeqError::Unsupported(format!(
+                    "gate `{}` is a level-sensitive latch; latch transparency is \
+                     not yet supported — use edge-triggered DFF/DFFRB",
+                    netlist.gate_name(gate)
+                )));
+            }
+            let inputs = netlist.inputs_of(gate);
+            let roles = kind.pin_roles();
+            let pin_by_role = |role: PinRole| -> Option<NetRef> {
+                roles.iter().position(|&r| r == role).map(|pin| inputs[pin])
+            };
+            registers.push(Register {
+                gate,
+                name: netlist.gate_name(gate).to_string(),
+                kind,
+                d_net: pin_by_role(PinRole::Data).expect("registers have a data pin"),
+                clk_net: pin_by_role(PinRole::Clock).expect("flops have a clock pin"),
+                rb_net: pin_by_role(PinRole::ResetN),
+                q_net: netlist.output_of(gate),
+            });
+        }
+        if registers.is_empty() {
+            return Err(SeqError::ClockMismatch(format!(
+                "netlist `{}` has no registers; use the combinational flow directly",
+                netlist.name()
+            )));
+        }
+
+        // Clocking validation: one shared clock net, fed by a primary input.
+        let clock_net = registers[0].clk_net;
+        for reg in &registers {
+            if !netlist.is_primary_input(reg.clk_net) {
+                return Err(SeqError::GatedClock {
+                    gate: reg.name.clone(),
+                    net: netlist.net_name(reg.clk_net).to_string(),
+                });
+            }
+            if reg.clk_net != clock_net {
+                return Err(SeqError::Unsupported(format!(
+                    "register `{}` is clocked by `{}` but `{}` is clocked by \
+                     `{}` — multiple clock domains are not supported",
+                    registers[0].name,
+                    netlist.net_name(clock_net),
+                    reg.name,
+                    netlist.net_name(reg.clk_net)
+                )));
+            }
+            if let Some(rb) = reg.rb_net {
+                if !netlist.is_primary_input(rb) {
+                    return Err(SeqError::Unsupported(format!(
+                        "register `{}` has async reset `{}`, which is not a \
+                         primary input — derived resets are not modeled",
+                        reg.name,
+                        netlist.net_name(rb)
+                    )));
+                }
+            }
+        }
+
+        // Classify a net by its driver. `CombGate` keeps the original net ref;
+        // the comb cone reuses the net's name.
+        let reg_of_gate = |gate: GateRef| -> usize {
+            registers
+                .iter()
+                .position(|r| r.gate == gate)
+                .expect("every sequential gate was collected")
+        };
+        let classify = |net: NetRef| -> NetSource {
+            match netlist.driver_of(net) {
+                None => NetSource::PrimaryInput(net),
+                Some(driver) if netlist.gate_kind(driver).is_sequential() => {
+                    NetSource::RegisterQ(reg_of_gate(driver))
+                }
+                Some(_) => NetSource::CombGate(net),
+            }
+        };
+
+        // The comb cone: every non-sequential gate, with cone sources (nets
+        // read by comb gates but not driven by one) as primary inputs and
+        // cone sinks (comb-driven nets read by a register D pin or marked as
+        // original POs) as primary outputs.
+        let comb_gates: Vec<GateRef> = netlist
+            .gate_refs()
+            .filter(|&g| !netlist.gate_kind(g).is_sequential())
+            .collect();
+
+        let nets = netlist.net_count();
+        let mut comb_reads = vec![false; nets];
+        let mut comb_drives = vec![false; nets];
+        for &gate in &comb_gates {
+            for &input in netlist.inputs_of(gate) {
+                comb_reads[input.index()] = true;
+            }
+            comb_drives[netlist.output_of(gate).index()] = true;
+        }
+        let mut comb_po = vec![false; nets];
+        for reg in &registers {
+            if comb_drives[reg.d_net.index()] {
+                comb_po[reg.d_net.index()] = true;
+            }
+        }
+        for &po in netlist.primary_outputs() {
+            if comb_drives[po.index()] {
+                comb_po[po.index()] = true;
+            }
+        }
+
+        let (comb, comb_inputs) = if comb_gates.is_empty() {
+            (None, Vec::new())
+        } else {
+            let mut builder = NetlistBuilder::new(&format!("{}__comb", netlist.name()));
+            let mut sources = Vec::new();
+            for net in netlist.net_refs() {
+                if comb_reads[net.index()] && !comb_drives[net.index()] {
+                    builder = builder.primary_input(netlist.net_name(net));
+                    sources.push((net, classify(net)));
+                }
+            }
+            for &gate in &comb_gates {
+                let input_names: Vec<&str> = netlist
+                    .inputs_of(gate)
+                    .iter()
+                    .map(|&n| netlist.net_name(n))
+                    .collect();
+                builder = builder.gate(
+                    netlist.gate_name(gate),
+                    netlist.gate_kind(gate),
+                    &input_names,
+                    netlist.net_name(netlist.output_of(gate)),
+                );
+            }
+            for net in netlist.net_refs() {
+                if comb_po[net.index()] {
+                    builder = builder.primary_output(netlist.net_name(net));
+                }
+                let load = netlist.net_load(net);
+                if load > 0.0 && (comb_reads[net.index()] || comb_drives[net.index()]) {
+                    builder = builder.net_load(netlist.net_name(net), load);
+                }
+            }
+            let comb = builder.build()?;
+            // Re-key the sources by the comb cone's own net references.
+            let comb_inputs = sources
+                .into_iter()
+                .map(|(orig, source)| {
+                    let comb_net = comb
+                        .find_net(netlist.net_name(orig))
+                        .expect("cone inputs were just declared");
+                    (comb_net, source)
+                })
+                .collect();
+            (Some(comb), comb_inputs)
+        };
+
+        let d_sources = registers.iter().map(|r| classify(r.d_net)).collect();
+        let po_sources = netlist
+            .primary_outputs()
+            .iter()
+            .map(|&po| classify(po))
+            .collect();
+
+        Ok(SeqNetlist {
+            original: netlist.clone(),
+            comb,
+            registers,
+            clock_net,
+            comb_inputs,
+            d_sources,
+            po_sources,
+        })
+    }
+
+    /// The original (register-bearing) netlist.
+    pub fn original(&self) -> &Netlist {
+        &self.original
+    }
+
+    /// The combinational cone between register boundaries, or `None` when the
+    /// netlist is registers-only.
+    pub fn comb(&self) -> Option<&Netlist> {
+        self.comb.as_ref()
+    }
+
+    /// The registers, in original gate-insertion order.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// The shared clock net (a primary input of the original netlist).
+    pub fn clock_net(&self) -> NetRef {
+        self.clock_net
+    }
+
+    /// Sources of the comb cone's primary inputs, `(comb net, source)`.
+    pub fn comb_inputs(&self) -> &[(NetRef, NetSource)] {
+        &self.comb_inputs
+    }
+
+    /// Source of each register's D net, indexed like [`SeqNetlist::registers`].
+    pub fn d_sources(&self) -> &[NetSource] {
+        &self.d_sources
+    }
+
+    /// Source of each original primary output, in declaration order.
+    pub fn po_sources(&self) -> &[NetSource] {
+        &self.po_sources
+    }
+
+    /// Index of a register by instance name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::InvalidParameter`] naming the instance if no
+    /// register has that name.
+    pub fn register_index(&self, name: &str) -> Result<usize, SeqError> {
+        self.registers
+            .iter()
+            .position(|r| r.name == name)
+            .ok_or_else(|| SeqError::InvalidParameter(format!("no register named `{name}`")))
+    }
+
+    /// The comb-cone net corresponding to an original net, when the net
+    /// exists in the cone (same name on both sides).
+    pub fn comb_net_of(&self, orig: NetRef) -> Option<NetRef> {
+        self.comb
+            .as_ref()
+            .and_then(|c| c.find_net(self.original.net_name(orig)).ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsm_net::{pipelined_dag, s27};
+
+    #[test]
+    fn s27_partitions_into_a_14_gate_cone_with_3_registers() {
+        let seq = SeqNetlist::partition(&s27()).unwrap();
+        assert_eq!(seq.registers().len(), 3);
+        let names: Vec<&str> = seq.registers().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["R5", "R6", "R7"]);
+        let comb = seq.comb().unwrap();
+        assert_eq!(comb.gate_count(), 13);
+        // Cone sources: the four data PIs plus the three Q nets (the clock
+        // feeds only register CLK pins and stays out of the cone).
+        assert_eq!(comb.primary_inputs().len(), 7);
+        assert!(comb.find_net("CK").is_err());
+        let q_sources = seq
+            .comb_inputs()
+            .iter()
+            .filter(|(_, s)| matches!(s, NetSource::RegisterQ(_)))
+            .count();
+        assert_eq!(q_sources, 3);
+        // Cone sinks: the original PO G17 plus the three D nets.
+        assert_eq!(comb.primary_outputs().len(), 4);
+        for (reg, source) in seq.registers().iter().zip(seq.d_sources()) {
+            assert!(matches!(source, NetSource::CombGate(_)), "{}", reg.name);
+            assert!(comb.is_primary_output(seq.comb_net_of(reg.d_net).unwrap()));
+        }
+        assert_eq!(seq.original().net_name(seq.clock_net()), "CK");
+        assert_eq!(seq.register_index("R6").unwrap(), 1);
+        assert!(seq.register_index("R9").is_err());
+    }
+
+    #[test]
+    fn pipelines_partition_and_degenerate_netlists_are_rejected() {
+        let seq = SeqNetlist::partition(&pipelined_dag(3, 4, 7)).unwrap();
+        assert_eq!(seq.registers().len(), 12);
+        assert_eq!(seq.comb().unwrap().gate_count(), 12);
+
+        // No registers → pointed at the combinational flow.
+        let err = SeqNetlist::partition(&mcsm_net::c17()).unwrap_err();
+        assert!(matches!(err, SeqError::ClockMismatch(_)));
+
+        // A gated clock (comb-driven CLK net) names the offender.
+        let gated = mcsm_net::NetlistBuilder::new("gated")
+            .primary_input("ck")
+            .primary_input("en")
+            .primary_input("d")
+            .gate(
+                "u_gate",
+                mcsm_cells::cell::CellKind::Nand2,
+                &["ck", "en"],
+                "gck",
+            )
+            .gate("r0", CellKind::Dff, &["d", "gck"], "q")
+            .primary_output("q")
+            .build()
+            .unwrap();
+        let err = SeqNetlist::partition(&gated).unwrap_err();
+        assert!(matches!(err, SeqError::GatedClock { .. }));
+        assert!(err.to_string().contains("gck"));
+
+        // Latches are rejected descriptively.
+        let latched = mcsm_net::NetlistBuilder::new("latched")
+            .primary_input("ck")
+            .primary_input("d")
+            .gate("l0", CellKind::LatchD, &["d", "ck"], "q")
+            .primary_output("q")
+            .build()
+            .unwrap();
+        let err = SeqNetlist::partition(&latched).unwrap_err();
+        assert!(err.to_string().contains("latch"));
+    }
+
+    #[test]
+    fn registers_only_netlists_have_no_cone_and_direct_sources() {
+        // A two-stage shift register with no combinational gates at all.
+        let shift = mcsm_net::NetlistBuilder::new("shift2")
+            .primary_input("ck")
+            .primary_input("d")
+            .gate("r0", CellKind::Dff, &["d", "ck"], "q0")
+            .gate("r1", CellKind::Dff, &["q0", "ck"], "q1")
+            .primary_output("q1")
+            .build()
+            .unwrap();
+        let seq = SeqNetlist::partition(&shift).unwrap();
+        assert!(seq.comb().is_none());
+        assert!(seq.comb_inputs().is_empty());
+        assert_eq!(
+            seq.d_sources(),
+            [
+                NetSource::PrimaryInput(shift.find_net("d").unwrap()),
+                NetSource::RegisterQ(0)
+            ]
+        );
+        assert_eq!(seq.po_sources(), [NetSource::RegisterQ(1)]);
+    }
+}

@@ -3,6 +3,7 @@
 use mcsm_net::NetlistError;
 use mcsm_netsim::NetsimError;
 use mcsm_num::json::JsonError;
+use mcsm_seq::SeqError;
 use mcsm_sta::StaError;
 use std::fmt;
 
@@ -64,6 +65,19 @@ impl From<NetsimError> for ServeError {
 impl From<StaError> for ServeError {
     fn from(e: StaError) -> Self {
         ServeError::Engine(e.to_string())
+    }
+}
+
+impl From<SeqError> for ServeError {
+    fn from(e: SeqError) -> Self {
+        match &e {
+            // Bad clock specs / cycle inputs are caller mistakes, not engine
+            // failures: report them as invalid params.
+            SeqError::InvalidParameter(_) | SeqError::ClockMismatch(_) => {
+                ServeError::InvalidParams(e.to_string())
+            }
+            _ => ServeError::Engine(e.to_string()),
+        }
     }
 }
 

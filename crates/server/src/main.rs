@@ -13,6 +13,7 @@
 
 use mcsm_cells::cell::CellKind;
 use mcsm_cells::tech::Technology;
+use mcsm_core::characterize::RegisterCharacterizationConfig;
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::selective::SelectivePolicy;
 use mcsm_serve::{serve_stdio, serve_tcp, Engine, Session, SessionConfig};
@@ -89,8 +90,9 @@ fn main() -> ExitCode {
     };
     let kinds = [CellKind::Inverter, CellKind::Nand2, CellKind::Nor2];
     eprintln!("mcsm-serve: characterizing {} cell kinds ...", kinds.len());
-    let library = match ModelLibrary::characterize_parallel(
-        &Technology::cmos_130nm(),
+    let technology = Technology::cmos_130nm();
+    let mut library = match ModelLibrary::characterize_parallel(
+        &technology,
         &kinds,
         &characterization,
         config.threads,
@@ -101,6 +103,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let register_config = if mcsm_num::par::env_flag("MCSM_BENCH_FAST") {
+        RegisterCharacterizationConfig::coarse()
+    } else {
+        RegisterCharacterizationConfig::standard()
+    };
+    let register_kinds = [CellKind::Dff, CellKind::DffRb];
+    eprintln!(
+        "mcsm-serve: characterizing {} register kinds ...",
+        register_kinds.len()
+    );
+    if let Err(e) = library.characterize_registers(&technology, &register_kinds, &register_config) {
+        eprintln!("mcsm-serve: register characterization failed: {e}");
+        return ExitCode::FAILURE;
+    }
     let engine = Arc::new(Engine::new(Session::new(library, config)));
 
     match tcp_addr {

@@ -21,15 +21,23 @@ use crate::error::ServeError;
 use mcsm_cells::cell::CellKind;
 use mcsm_core::selective::SelectivePolicy;
 use mcsm_core::sim::{CsmSimOptions, DriveWaveform};
-use mcsm_net::{balanced_tree, c17, inverter_chain, nand_chain, NetRef, Netlist};
+use mcsm_net::{
+    balanced_tree, c17, inverter_chain, nand_chain, pipelined_dag, s27, NetRef, Netlist,
+};
 use mcsm_netsim::{
     resimulate_netlist, seeds_for_drive_change, seeds_for_gate_edit, seeds_for_load_change,
     simulate_netlist_cached, NetsimOptions, NetsimResult, NetsimStats, Observe, SimCaches,
     DEFAULT_EVENT_THRESHOLD,
 };
 use mcsm_num::json::JsonValue;
+use mcsm_seq::{
+    analyze_sequential, initial_seq_state, resimulate_cycle, step_cycle, CycleInputs, CycleOutcome,
+    SeqNetlist, SeqOptions, SeqState, SeqTimingOptions,
+};
 use mcsm_sta::delaycalc::{DelayBackend, DelayCache, DelayCalculator, WaveformCache};
 use mcsm_sta::models::ModelLibrary;
+use mcsm_sta::slack::{ClockSpec, EndpointKind};
+use mcsm_sta::TimingOptions;
 use std::collections::HashMap;
 
 /// Evaluation defaults of a session; individual fields can be overridden per
@@ -96,6 +104,18 @@ enum Dirty {
     Clean,
 }
 
+/// The resident sequential context of a clocked session: the partitioned
+/// netlist, the clock, and the carried register state, plus the last
+/// committed cycle for epoch-local incremental ECO re-simulation.
+#[derive(Debug)]
+struct SeqResident {
+    seq: SeqNetlist,
+    clock: ClockSpec,
+    pi_slew: f64,
+    state: SeqState,
+    last: Option<CycleOutcome>,
+}
+
 /// The resident circuit: netlist, drives, committed result, dirt tracking.
 #[derive(Debug)]
 struct Circuit {
@@ -108,6 +128,9 @@ struct Circuit {
     observe: Option<Vec<NetRef>>,
     /// Handoff-thinning bound (volts); `0.0` disables.
     thin_eps: f64,
+    /// Clocked sequential context (`load_clock` was called), or `None` for a
+    /// purely combinational session.
+    sequential: Option<SeqResident>,
 }
 
 impl Circuit {
@@ -200,6 +223,40 @@ fn opt_f64(params: &JsonValue, key: &str) -> Option<f64> {
     params.get(key).and_then(|v| v.as_f64())
 }
 
+fn seq_options(
+    config: &SessionConfig,
+    vdd: f64,
+    pi_slew: f64,
+    initial_state: Option<Vec<bool>>,
+) -> SeqOptions {
+    let mut options = SeqOptions::new(config.netsim_options(vdd)).with_pi_slew(pi_slew);
+    if let Some(state) = initial_state {
+        options = options.with_initial_state(state);
+    }
+    options
+}
+
+fn endpoint_json(e: &mcsm_sta::slack::EndpointSlack) -> JsonValue {
+    let optional = |value: Option<f64>| value.map_or(JsonValue::Null, num);
+    obj(vec![
+        ("endpoint", string(&e.endpoint)),
+        (
+            "kind",
+            string(match e.kind {
+                EndpointKind::RegisterD => "register-d",
+                EndpointKind::PrimaryOutput => "primary-output",
+            }),
+        ),
+        ("arrival_s", optional(e.arrival)),
+        ("slew_s", optional(e.slew)),
+        ("required_s", num(e.required)),
+        ("setup_s", num(e.setup)),
+        ("hold_s", num(e.hold)),
+        ("setup_slack_s", optional(e.setup_slack)),
+        ("hold_slack_s", optional(e.hold_slack)),
+    ])
+}
+
 fn stats_json(stats: &NetsimStats) -> JsonValue {
     obj(vec![
         ("gates_simulated", num(stats.gates_simulated as f64)),
@@ -261,6 +318,9 @@ impl Session {
             "slew" => self.slew(params),
             "waveform" => self.waveform(params),
             "resim" => self.resim(params),
+            "load_clock" => self.load_clock(params),
+            "cycle" => self.cycle(params),
+            "slack" => self.slack(),
             "stats" => self.stats(),
             other => Err(ServeError::MethodNotFound(other.to_string())),
         }?;
@@ -300,12 +360,33 @@ impl Session {
         };
         match name {
             "c17" => Ok(c17()),
+            "s27" => Ok(s27()),
             "nand_chain" => Ok(nand_chain(size(8)?)),
             "inverter_chain" => Ok(inverter_chain(size(8)?)),
             "balanced_tree" => Ok(balanced_tree(size(3)?, CellKind::Nand2)),
+            "pipeline" => {
+                // `pipeline[:STAGES[:WIDTH[:SEED]]]`, defaults 3:4:7.
+                let mut parts = arg.map(|a| a.split(':')).into_iter().flatten();
+                let mut field = |name: &str, default: u64| -> Result<u64, ServeError> {
+                    match parts.next() {
+                        None | Some("") => Ok(default),
+                        Some(text) => text.parse().map_err(|_| {
+                            ServeError::InvalidParams(format!(
+                                "bad pipeline {name} in `{spec}` (expected \
+                                 pipeline[:STAGES[:WIDTH[:SEED]]])"
+                            ))
+                        }),
+                    }
+                };
+                let stages = field("stage count", 3)? as usize;
+                let width = field("width", 4)? as usize;
+                let seed = field("seed", 7)?;
+                Ok(pipelined_dag(stages, width, seed))
+            }
             other => Err(ServeError::InvalidParams(format!(
-                "unknown builtin `{other}` (expected c17, nand_chain[:N], \
-                 inverter_chain[:N] or balanced_tree[:D])"
+                "unknown builtin `{other}` (expected c17, s27, nand_chain[:N], \
+                 inverter_chain[:N], balanced_tree[:D] or \
+                 pipeline[:STAGES[:WIDTH[:SEED]]])"
             ))),
         }
     }
@@ -334,7 +415,12 @@ impl Session {
             }
         };
         for gate in netlist.iter_gates() {
-            if !self.library.contains(gate.kind) {
+            let characterized = if gate.kind.is_sequential() {
+                self.library.contains_register(gate.kind)
+            } else {
+                self.library.contains(gate.kind)
+            };
+            if !characterized {
                 return Err(ServeError::Engine(format!(
                     "cell {} (gate `{}`) is not characterized in this session's library",
                     gate.kind.name(),
@@ -406,6 +492,7 @@ impl Session {
             dirty: Dirty::Full,
             observe,
             thin_eps,
+            sequential: None,
         });
         Ok(response)
     }
@@ -481,12 +568,18 @@ impl Session {
                 let seeds = seeds_for_gate_edit(&circuit.netlist, gate);
                 let invalidated = seeds.len();
                 circuit.invalidate(seeds);
-                Ok(obj(vec![
+                let clocked = circuit.sequential.is_some();
+                let mut fields = vec![
                     ("op", string(op)),
                     ("gate", string(&gate_name)),
                     ("cell", string(kind.name())),
                     ("invalidated_gates", num(invalidated as f64)),
-                ]))
+                ];
+                if clocked {
+                    let mode = self.reseat_sequential(&gate_name)?;
+                    fields.push(("sequential", string(mode)));
+                }
+                Ok(obj(fields))
             }
             "set_net_load" => {
                 let net_name = require_str(params, "net")?.to_string();
@@ -497,6 +590,12 @@ impl Session {
                 let seeds = seeds_for_load_change(&circuit.netlist, net);
                 let invalidated = seeds.len();
                 circuit.invalidate(seeds);
+                if let Some(resident) = circuit.sequential.as_mut() {
+                    // Loads change every epoch solve: committed cycles go
+                    // stale (the carried Boolean state stays).
+                    resident.seq = SeqNetlist::partition(&circuit.netlist)?;
+                    resident.last = None;
+                }
                 Ok(obj(vec![
                     ("op", string(op)),
                     ("net", string(&net_name)),
@@ -523,6 +622,9 @@ impl Session {
                 // for the previous backend remain valid if it comes back.
                 if let Some(circuit) = self.circuit.as_mut() {
                     circuit.dirty = Dirty::Full;
+                    if let Some(resident) = circuit.sequential.as_mut() {
+                        resident.last = None;
+                    }
                 }
                 Ok(obj(vec![
                     ("op", string(op)),
@@ -689,22 +791,355 @@ impl Session {
         ]))
     }
 
+    /// `load_clock {"clock": "CK", "period": 2e-9}` — partitions the loaded
+    /// netlist at its register boundaries, validates the clock against it,
+    /// and resets the carried register state. Optional fields: `"slew"`,
+    /// `"insertion"`, `"insertion_overrides": {"R6": 4e-11}`, `"pi_slew"`,
+    /// and `"initial_state": [true, ...]` (index-aligned with the reported
+    /// register list).
+    fn load_clock(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        let mut clock = ClockSpec::new(
+            require_str(params, "clock")?.to_string(),
+            require_f64(params, "period")?,
+        );
+        if let Some(slew) = opt_f64(params, "slew") {
+            clock = clock.with_slew(slew);
+        }
+        if let Some(insertion) = opt_f64(params, "insertion") {
+            clock = clock.with_insertion(insertion);
+        }
+        if let Some(spec) = params.get("insertion_overrides") {
+            let JsonValue::Object(members) = spec else {
+                return Err(ServeError::InvalidParams(
+                    "`insertion_overrides` must be an object of register name -> seconds".into(),
+                ));
+            };
+            for (register, seconds) in members {
+                let seconds = seconds.as_f64().ok_or_else(|| {
+                    ServeError::InvalidParams(format!(
+                        "`insertion_overrides.{register}` must be a number of seconds"
+                    ))
+                })?;
+                clock = clock.with_insertion_override(register.clone(), seconds);
+            }
+        }
+        clock.validate().map_err(ServeError::from)?;
+        let pi_slew = opt_f64(params, "pi_slew").unwrap_or(50e-12);
+        let initial_state = match params.get("initial_state") {
+            None => None,
+            Some(spec) => {
+                let values = spec.as_array().ok_or_else(|| {
+                    ServeError::InvalidParams("`initial_state` must be an array of bools".into())
+                })?;
+                let mut state = Vec::with_capacity(values.len());
+                for value in values {
+                    state.push(value.as_bool().ok_or_else(|| {
+                        ServeError::InvalidParams(
+                            "`initial_state` must be an array of bools".into(),
+                        )
+                    })?);
+                }
+                Some(state)
+            }
+        };
+
+        let Session {
+            library,
+            config,
+            circuit,
+            ..
+        } = self;
+        let circuit = circuit
+            .as_mut()
+            .ok_or_else(|| ServeError::InvalidParams("no netlist loaded".into()))?;
+        let seq = SeqNetlist::partition(&circuit.netlist)?;
+        let clock_net = circuit.netlist.net_name(seq.clock_net());
+        if clock.clock != clock_net {
+            return Err(ServeError::InvalidParams(format!(
+                "clock spec names `{}` but the netlist's clock net is `{clock_net}`",
+                clock.clock
+            )));
+        }
+        for reg in seq.registers() {
+            library.register(reg.kind)?;
+        }
+        let options = seq_options(config, library.vdd(), pi_slew, initial_state);
+        let state = initial_seq_state(&seq, &options)?;
+        let response = obj(vec![
+            ("clock", string(&clock.clock)),
+            ("period_s", num(clock.period)),
+            (
+                "registers",
+                JsonValue::Array(seq.registers().iter().map(|r| string(&r.name)).collect()),
+            ),
+            (
+                "cone_gates",
+                num(seq.comb().map_or(0, Netlist::gate_count) as f64),
+            ),
+        ]);
+        circuit.sequential = Some(SeqResident {
+            seq,
+            clock,
+            pi_slew,
+            state,
+            last: None,
+        });
+        Ok(response)
+    }
+
+    /// `cycle {"inputs": {"G0": true}, "count": 4}` — advances the clocked
+    /// session by `count` cycles (default 1): the given primary-input values
+    /// apply at the first cycle and hold for the rest; register state carries
+    /// across cycles and across `cycle` calls.
+    fn cycle(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        let count = match params.get("count") {
+            None => 1,
+            Some(value) => {
+                let n = value.as_f64().unwrap_or(-1.0);
+                if n < 1.0 || n.fract() != 0.0 {
+                    return Err(ServeError::InvalidParams(
+                        "`count` must be a positive integer".into(),
+                    ));
+                }
+                n as usize
+            }
+        };
+        let Session {
+            library,
+            config,
+            delay,
+            waveforms,
+            circuit,
+            ..
+        } = self;
+        let circuit = circuit
+            .as_mut()
+            .ok_or_else(|| ServeError::InvalidParams("no netlist loaded".into()))?;
+        let mut values = HashMap::new();
+        if let Some(spec) = params.get("inputs") {
+            let JsonValue::Object(members) = spec else {
+                return Err(ServeError::InvalidParams(
+                    "`inputs` must be an object of primary-input name -> bool".into(),
+                ));
+            };
+            for (name, value) in members {
+                let value = value.as_bool().ok_or_else(|| {
+                    ServeError::InvalidParams(format!("`inputs.{name}` must be a bool"))
+                })?;
+                values.insert(circuit.netlist.find_net(name)?, value);
+            }
+        }
+        let resident = circuit.sequential.as_mut().ok_or_else(|| {
+            ServeError::InvalidParams("no clock loaded — call load_clock first".into())
+        })?;
+        let options = seq_options(config, library.vdd(), resident.pi_slew, None);
+        let caches = SimCaches {
+            delay,
+            waveforms: Some(waveforms),
+        };
+        let first = CycleInputs::from_pairs(values);
+        let hold = CycleInputs::hold();
+        for i in 0..count {
+            let inputs = if i == 0 { &first } else { &hold };
+            let outcome = step_cycle(
+                &resident.seq,
+                library,
+                &resident.clock,
+                inputs,
+                &mut resident.state,
+                &options,
+                caches,
+            )?;
+            resident.last = Some(outcome);
+        }
+        let last = resident
+            .last
+            .as_ref()
+            .expect("count >= 1 committed a cycle");
+        let registers = resident
+            .seq
+            .registers()
+            .iter()
+            .zip(&last.states)
+            .map(|(reg, state)| (reg.name.clone(), JsonValue::Bool(state.value)))
+            .collect();
+        let voltages = resident
+            .seq
+            .registers()
+            .iter()
+            .zip(&last.states)
+            .map(|(reg, state)| (reg.name.clone(), num(state.voltage)))
+            .collect();
+        let outputs = circuit
+            .netlist
+            .primary_outputs()
+            .iter()
+            .zip(&last.po_values)
+            .map(|(&po, &value)| {
+                (
+                    circuit.netlist.net_name(po).to_string(),
+                    JsonValue::Bool(value),
+                )
+            })
+            .collect();
+        let mut fields = vec![
+            ("cycle", num(resident.state.cycle as f64)),
+            ("registers", JsonValue::Object(registers)),
+            ("voltages_v", JsonValue::Object(voltages)),
+            ("outputs", JsonValue::Object(outputs)),
+        ];
+        if let Some(epoch) = &last.epoch {
+            fields.push(("stats", stats_json(&epoch.stats())));
+        }
+        Ok(obj(fields))
+    }
+
+    /// `slack {}` — sequential signoff timing of the loaded netlist against
+    /// the loaded clock: per-endpoint setup/hold slack from characterized
+    /// register windows, worst endpoint first.
+    fn slack(&mut self) -> Result<JsonValue, ServeError> {
+        let Session {
+            library,
+            config,
+            circuit,
+            ..
+        } = self;
+        let circuit = circuit
+            .as_ref()
+            .ok_or_else(|| ServeError::InvalidParams("no netlist loaded".into()))?;
+        let resident = circuit.sequential.as_ref().ok_or_else(|| {
+            ServeError::InvalidParams("no clock loaded — call load_clock first".into())
+        })?;
+        let timing = SeqTimingOptions::new(TimingOptions::new(
+            config.netsim_options(library.vdd()).calculator,
+            config.primary_output_load,
+        ))
+        .with_pi_slew(resident.pi_slew);
+        let report = analyze_sequential(&circuit.netlist, library, &resident.clock, &timing)?;
+        let violations = report.violations().count();
+        let worst = report.worst().map_or(JsonValue::Null, |e| {
+            obj(vec![
+                ("endpoint", string(&e.endpoint)),
+                ("setup_slack_s", e.setup_slack.map_or(JsonValue::Null, num)),
+            ])
+        });
+        Ok(obj(vec![
+            ("period_s", num(resident.clock.period)),
+            ("violations", num(violations as f64)),
+            ("worst", worst),
+            (
+                "endpoints",
+                JsonValue::Array(report.endpoints.iter().map(endpoint_json).collect()),
+            ),
+        ]))
+    }
+
+    /// After a `retype_gate` ECO on a clocked session: re-partition (ECO
+    /// retypes preserve net and gate identities) and, when the edit landed in
+    /// the comb cone of a committed cycle, replay the current epoch
+    /// incrementally — only the edited gate's cone of influence re-solves —
+    /// and re-sample the captures so the carried register state reflects the
+    /// edit.
+    fn reseat_sequential(&mut self, edited_gate: &str) -> Result<&'static str, ServeError> {
+        let Session {
+            library,
+            config,
+            delay,
+            waveforms,
+            circuit,
+            ..
+        } = self;
+        let circuit = circuit.as_mut().expect("caller checked the circuit");
+        match SeqNetlist::partition(&circuit.netlist) {
+            Ok(seq) => {
+                circuit
+                    .sequential
+                    .as_mut()
+                    .expect("caller checked the clock")
+                    .seq = seq;
+            }
+            Err(e) => {
+                // The edit made the netlist un-clockable (e.g. introduced an
+                // unsupported latch): drop the sequential context rather than
+                // leave a stale partition behind.
+                circuit.sequential = None;
+                return Err(ServeError::Engine(format!(
+                    "ECO left the netlist without a valid clock partition \
+                     ({e}); sequential context dropped — call load_clock again"
+                )));
+            }
+        }
+        let resident = circuit.sequential.as_mut().expect("reseated above");
+        let Some(comb) = resident.seq.comb() else {
+            resident.last = None;
+            return Ok("restructured");
+        };
+        let Ok(gate) = comb.find_gate(edited_gate) else {
+            // The edit hit a register, not the cone: committed epochs are
+            // stale (the carried Boolean state stays).
+            resident.last = None;
+            return Ok("stale");
+        };
+        let Some(last) = resident.last.as_ref() else {
+            return Ok("repartitioned");
+        };
+        let seeds = seeds_for_gate_edit(comb, gate);
+        let options = seq_options(config, library.vdd(), resident.pi_slew, None);
+        let caches = SimCaches {
+            delay,
+            waveforms: Some(waveforms),
+        };
+        let outcome = resimulate_cycle(
+            &resident.seq,
+            library,
+            &resident.clock,
+            last,
+            &seeds,
+            &options,
+            caches,
+        )?;
+        resident.state.reg_values = outcome.states.iter().map(|s| s.value).collect();
+        resident.state.reg_toggled = resident
+            .state
+            .reg_values
+            .iter()
+            .zip(&outcome.values_before)
+            .map(|(new, old)| new != old)
+            .collect();
+        resident.last = Some(outcome);
+        Ok("resimulated")
+    }
+
     /// `stats {}` — session-cumulative cache counters and resident state.
     fn stats(&mut self) -> Result<JsonValue, ServeError> {
         let netlist = match &self.circuit {
-            Some(circuit) => obj(vec![
-                ("name", string(circuit.netlist.name())),
-                ("gates", num(circuit.netlist.gate_count() as f64)),
-                ("nets", num(circuit.netlist.net_count() as f64)),
-                (
-                    "dirty",
-                    string(match circuit.dirty {
-                        Dirty::Full => "full",
-                        Dirty::Seeds(_) => "seeds",
-                        Dirty::Clean => "clean",
-                    }),
-                ),
-            ]),
+            Some(circuit) => {
+                let mut fields = vec![
+                    ("name", string(circuit.netlist.name())),
+                    ("gates", num(circuit.netlist.gate_count() as f64)),
+                    ("nets", num(circuit.netlist.net_count() as f64)),
+                    (
+                        "dirty",
+                        string(match circuit.dirty {
+                            Dirty::Full => "full",
+                            Dirty::Seeds(_) => "seeds",
+                            Dirty::Clean => "clean",
+                        }),
+                    ),
+                ];
+                if let Some(resident) = &circuit.sequential {
+                    fields.push((
+                        "sequential",
+                        obj(vec![
+                            ("clock", string(&resident.clock.clock)),
+                            ("period_s", num(resident.clock.period)),
+                            ("registers", num(resident.seq.registers().len() as f64)),
+                            ("cycles", num(resident.state.cycle as f64)),
+                        ]),
+                    ));
+                }
+                obj(fields)
+            }
             None => JsonValue::Null,
         };
         let last_run = match &self.last_run {
@@ -919,11 +1354,137 @@ mod tests {
     #[test]
     fn builtin_specs_parse_sizes() {
         assert_eq!(Session::build_builtin("c17").unwrap().gate_count(), 6);
+        assert_eq!(Session::build_builtin("s27").unwrap().gate_count(), 16);
         assert_eq!(
             Session::build_builtin("nand_chain:5").unwrap().gate_count(),
             5
         );
+        // 3 stages x 4 bits, one comb gate and one register per bit per stage.
+        assert_eq!(Session::build_builtin("pipeline").unwrap().gate_count(), 24);
+        assert_eq!(
+            Session::build_builtin("pipeline:2:3:5")
+                .unwrap()
+                .gate_count(),
+            12
+        );
         assert!(Session::build_builtin("nand_chain:x").is_err());
+        assert!(Session::build_builtin("pipeline:two").is_err());
         assert!(Session::build_builtin("mystery").is_err());
+    }
+
+    fn clocked_session() -> Session {
+        use mcsm_core::characterize::RegisterCharacterizationConfig;
+        let technology = Technology::cmos_130nm();
+        let mut library = ModelLibrary::characterize(
+            &technology,
+            &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+            &CharacterizationConfig::coarse(),
+        )
+        .unwrap();
+        library
+            .characterize_registers(
+                &technology,
+                &[CellKind::Dff],
+                &RegisterCharacterizationConfig::coarse(),
+            )
+            .unwrap();
+        Session::new(library, SessionConfig::default())
+    }
+
+    #[test]
+    fn a_clocked_session_cycles_carries_state_and_reports_slack() {
+        let mut session = clocked_session();
+        session
+            .handle("load_netlist", &params(r#"{"builtin": "s27"}"#))
+            .unwrap();
+        // Cycling before a clock is loaded is a params error, not a panic.
+        let err = session.handle("cycle", &params("{}")).unwrap_err();
+        assert_eq!(err.code(), -32602);
+        assert!(err.to_string().contains("load_clock"), "{err}");
+
+        let loaded = session
+            .handle("load_clock", &params(r#"{"clock": "CK", "period": 2e-9}"#))
+            .unwrap();
+        let registers = loaded.get("registers").unwrap().as_array().unwrap();
+        assert_eq!(registers.len(), 3);
+        assert_eq!(registers[0].as_str(), Some("R5"));
+        assert_eq!(loaded.get("cone_gates").unwrap().as_f64(), Some(13.0));
+
+        let cycled = session
+            .handle(
+                "cycle",
+                &params(r#"{"inputs": {"G0": true, "G1": true}, "count": 2}"#),
+            )
+            .unwrap();
+        assert_eq!(cycled.get("cycle").unwrap().as_f64(), Some(2.0));
+        assert!(cycled.get("registers").unwrap().get("R6").is_some());
+        assert!(cycled.get("outputs").unwrap().get("G17").is_some());
+        // State carries across `cycle` calls.
+        let cycled = session.handle("cycle", &params("{}")).unwrap();
+        assert_eq!(cycled.get("cycle").unwrap().as_f64(), Some(3.0));
+
+        let slack = session.handle("slack", &params("{}")).unwrap();
+        assert_eq!(slack.get("endpoints").unwrap().as_array().unwrap().len(), 4);
+        assert!(slack.get("worst").unwrap().get("endpoint").is_some());
+        // A generous 2 ns period leaves no violations on s27.
+        assert_eq!(slack.get("violations").unwrap().as_f64(), Some(0.0));
+
+        let stats = session.handle("stats", &params("{}")).unwrap();
+        let sequential = stats.get("netlist").unwrap().get("sequential").unwrap();
+        assert_eq!(sequential.get("cycles").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn a_retype_eco_resimulates_the_current_epoch_incrementally() {
+        let mut session = clocked_session();
+        session
+            .handle("load_netlist", &params(r#"{"builtin": "s27"}"#))
+            .unwrap();
+        session
+            .handle("load_clock", &params(r#"{"clock": "CK", "period": 2e-9}"#))
+            .unwrap();
+        session
+            .handle("cycle", &params(r#"{"inputs": {"G0": true}}"#))
+            .unwrap();
+        // Retype a cone gate: the committed epoch replays incrementally
+        // (only the edited gate's cone of influence re-solves).
+        let eco = session
+            .handle(
+                "eco",
+                &params(r#"{"op": "retype_gate", "gate": "U9", "cell": "NOR2"}"#),
+            )
+            .unwrap();
+        assert_eq!(eco.get("sequential").unwrap().as_str(), Some("resimulated"));
+        // The session keeps cycling on the edited netlist.
+        let cycled = session.handle("cycle", &params("{}")).unwrap();
+        assert_eq!(cycled.get("cycle").unwrap().as_f64(), Some(2.0));
+        // Register-aware retype errors name the pin role, not a bare count.
+        let err = session
+            .handle(
+                "eco",
+                &params(r#"{"op": "retype_gate", "gate": "R5", "cell": "INV"}"#),
+            )
+            .unwrap_err();
+        assert_eq!(err.code(), -32000);
+        assert!(err.to_string().to_lowercase().contains("clock"), "{err}");
+    }
+
+    #[test]
+    fn load_clock_rejects_registerless_and_misnamed_clocks() {
+        let mut session = clocked_session();
+        session
+            .handle("load_netlist", &params(r#"{"builtin": "c17"}"#))
+            .unwrap();
+        let err = session
+            .handle("load_clock", &params(r#"{"clock": "N1", "period": 2e-9}"#))
+            .unwrap_err();
+        assert_eq!(err.code(), -32602, "{err}");
+        session
+            .handle("load_netlist", &params(r#"{"builtin": "s27"}"#))
+            .unwrap();
+        let err = session
+            .handle("load_clock", &params(r#"{"clock": "G0", "period": 2e-9}"#))
+            .unwrap_err();
+        assert!(err.to_string().contains("CK"), "{err}");
     }
 }

@@ -81,6 +81,7 @@ pub mod error;
 pub mod graph;
 pub mod models;
 pub mod noise;
+pub mod slack;
 
 pub use arrival::{propagate, TimingOptions, TimingResult};
 pub use delaycalc::{DelayBackend, DelayCache, DelayCalculator, WaveformCache};
@@ -88,3 +89,6 @@ pub use error::StaError;
 pub use graph::{Gate, GateGraph, GateId, NetId};
 pub use models::ModelLibrary;
 pub use noise::{sweep_injection_times, CrosstalkReference, CrosstalkScenario, NoisePoint};
+pub use slack::{
+    output_endpoint, register_endpoint, ClockSpec, EndpointKind, EndpointSlack, SlackReport,
+};

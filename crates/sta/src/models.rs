@@ -9,6 +9,9 @@ use crate::error::StaError;
 use mcsm_cells::cell::{CellKind, CellTemplate};
 use mcsm_cells::tech::Technology;
 use mcsm_core::characterize::characterize_batch;
+use mcsm_core::characterize::registers::{
+    characterize_register, RegisterCharacterizationConfig, RegisterModel,
+};
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::store::ModelStore;
 use std::collections::HashMap;
@@ -17,6 +20,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct ModelLibrary {
     stores: HashMap<String, ModelStore>,
+    registers: HashMap<String, RegisterModel>,
     /// Supply voltage shared by all stored models (volts).
     vdd: f64,
 }
@@ -26,6 +30,7 @@ impl ModelLibrary {
     pub fn new(vdd: f64) -> Self {
         ModelLibrary {
             stores: HashMap::new(),
+            registers: HashMap::new(),
             vdd,
         }
     }
@@ -54,6 +59,48 @@ impl ModelLibrary {
     /// Whether the library has models for the given kind.
     pub fn contains(&self, kind: CellKind) -> bool {
         self.stores.contains_key(kind.name())
+    }
+
+    /// Inserts (or replaces) the register timing model for a sequential kind.
+    pub fn insert_register(&mut self, kind: CellKind, model: RegisterModel) {
+        self.registers.insert(kind.name().to_string(), model);
+    }
+
+    /// The register timing model for a sequential cell kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::MissingModel`] if the kind was never characterized
+    /// as a register.
+    pub fn register(&self, kind: CellKind) -> Result<&RegisterModel, StaError> {
+        self.registers.get(kind.name()).ok_or_else(|| {
+            StaError::MissingModel(format!("no register timing model for {}", kind.name()))
+        })
+    }
+
+    /// Whether the library has a register timing model for the given kind.
+    pub fn contains_register(&self, kind: CellKind) -> bool {
+        self.registers.contains_key(kind.name())
+    }
+
+    /// Characterizes register timing models (clk-to-q tables plus setup/hold
+    /// windows) for the given sequential kinds and adds them to the library.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures (including passing a combinational
+    /// kind).
+    pub fn characterize_registers(
+        &mut self,
+        technology: &Technology,
+        kinds: &[CellKind],
+        config: &RegisterCharacterizationConfig,
+    ) -> Result<(), StaError> {
+        for &kind in kinds {
+            let model = characterize_register(kind, technology, config)?;
+            self.insert_register(kind, model);
+        }
+        Ok(())
     }
 
     /// Number of characterized cell kinds.
@@ -119,6 +166,11 @@ impl ModelLibrary {
     /// Returns [`StaError::MissingModel`] if the kind (or a usable model for the
     /// pin) is not in the library.
     pub fn input_pin_capacitance(&self, kind: CellKind, pin: usize) -> Result<f64, StaError> {
+        if kind.is_sequential() {
+            // Every register pin (D, CLK, reset) presents the behavioral
+            // master-stage inverter input capacitance.
+            return Ok(self.register(kind)?.d_pin_capacitance());
+        }
         let store = self.store(kind)?;
         let mid = 0.5 * self.vdd;
         if let Some(mcsm) = &store.mcsm {
