@@ -101,6 +101,13 @@ fn main() -> ExitCode {
         "overall warm ratio (cold/warm full evaluations): {:.2}x",
         report.overall_warm_ratio()
     );
+    println!(
+        "fault drill ({}): {} recovered requests, {} gate recoveries, bit-identical: {}",
+        report.fault_drill.circuit,
+        report.fault_drill.recovered_requests,
+        report.fault_drill.gate_recoveries,
+        report.fault_drill.bit_identical,
+    );
 
     if let Err(message) = write_json_report(&args.out, &report.to_json()) {
         eprintln!("server: {message}");
@@ -110,6 +117,10 @@ fn main() -> ExitCode {
 
     if !report.all_identical() {
         eprintln!("server: warm waveforms differ from the cold run");
+        return ExitCode::FAILURE;
+    }
+    if !report.fault_drill.bit_identical {
+        eprintln!("server: fault drill did not settle on the clean bits");
         return ExitCode::FAILURE;
     }
     if let Some(min) = args.min_warm_ratio {

@@ -16,6 +16,12 @@
 //! The warm-over-cold wall-clock ratio is the memoization payoff the CI gate
 //! checks (`--min-warm-ratio`), and the warm waveforms are checked
 //! bit-identical to the cold ones. Honors `MCSM_BENCH_FAST=1`.
+//!
+//! The sweep ends with a **fault drill**: the smallest circuit re-runs on an
+//! engine armed with request panics and gate faults (`mcsm_num::fault`), and
+//! the report records that the session kept answering (`recovered` errors),
+//! logged gate recoveries, and settled to bits identical to a clean session
+//! — the robustness contract the hardened server ships with.
 
 use crate::netlist_sweep::sweep_netlists;
 use crate::report::fast_or;
@@ -24,11 +30,13 @@ use mcsm_cells::tech::Technology;
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_net::Netlist;
 use mcsm_netsim::topological_levels;
+use mcsm_num::fault::{site, FaultPlan};
 use mcsm_num::json::JsonValue;
 use mcsm_num::par;
 use mcsm_serve::{Engine, Session, SessionConfig};
 use mcsm_sta::models::ModelLibrary;
 use mcsm_sta::StaError;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of one server-experiment run.
@@ -99,6 +107,21 @@ impl ServerCase {
     }
 }
 
+/// Outcome of the chaos sanity drill run after the timed sweep.
+#[derive(Debug, Clone)]
+pub struct FaultDrill {
+    /// Circuit the drill ran on (the smallest sweep circuit).
+    pub circuit: String,
+    /// Requests answered `-32000` with `recovered: true` (handler panics the
+    /// engine survived).
+    pub recovered_requests: usize,
+    /// Per-gate degraded-mode recoveries logged by the final full run.
+    pub gate_recoveries: usize,
+    /// Whether the post-recovery output waveforms equal a clean session's
+    /// bit-for-bit.
+    pub bit_identical: bool,
+}
+
 /// The full experiment result, written to `BENCH_server.json`.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
@@ -106,6 +129,8 @@ pub struct ServerReport {
     pub threads: usize,
     /// All timed cases, in topology-then-size order.
     pub cases: Vec<ServerCase>,
+    /// The chaos sanity drill on the smallest circuit.
+    pub fault_drill: FaultDrill,
 }
 
 impl ServerReport {
@@ -167,6 +192,27 @@ impl ServerReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "fault_drill".into(),
+                JsonValue::Object(vec![
+                    (
+                        "circuit".into(),
+                        JsonValue::String(self.fault_drill.circuit.clone()),
+                    ),
+                    (
+                        "recovered_requests".into(),
+                        JsonValue::Number(self.fault_drill.recovered_requests as f64),
+                    ),
+                    (
+                        "gate_recoveries".into(),
+                        JsonValue::Number(self.fault_drill.gate_recoveries as f64),
+                    ),
+                    (
+                        "bit_identical".into(),
+                        JsonValue::Bool(self.fault_drill.bit_identical),
+                    ),
+                ]),
             ),
         ])
     }
@@ -232,11 +278,88 @@ pub fn run_server_sweep(options: &ServerSweepOptions) -> Result<ServerReport, St
         threads,
     )?;
 
+    let netlists = sweep_netlists(&options.sizes);
     let mut cases = Vec::new();
-    for (topology, netlist) in sweep_netlists(&options.sizes) {
-        cases.push(time_case(&topology, &netlist, &library, threads, options));
+    for (topology, netlist) in &netlists {
+        cases.push(time_case(topology, netlist, &library, threads, options));
     }
-    Ok(ServerReport { threads, cases })
+    let smallest = netlists
+        .iter()
+        .min_by_key(|(_, netlist)| netlist.gate_count())
+        .map(|(_, netlist)| netlist)
+        .expect("sweep has at least one circuit");
+    let fault_drill = run_fault_drill(smallest, &library, threads, options);
+    Ok(ServerReport {
+        threads,
+        cases,
+        fault_drill,
+    })
+}
+
+/// Chaos sanity on the smallest sweep circuit: with request panics and gate
+/// faults armed (seeded, 30 % per site), the engine must keep answering —
+/// failed requests come back `-32000`/`recovered` and a resilient client
+/// retries — and the settled session must match a clean one bit-for-bit.
+fn run_fault_drill(
+    netlist: &Netlist,
+    library: &ModelLibrary,
+    threads: usize,
+    options: &ServerSweepOptions,
+) -> FaultDrill {
+    let plan = Arc::new(FaultPlan::new(42, 0.3).with_sites([
+        site::SERVER_REQUEST_PANIC,
+        site::NETSIM_GATE_PANIC,
+        site::NETSIM_GATE_DIVERGE,
+    ]));
+    let engine = |fault: Option<Arc<FaultPlan>>| {
+        let config = SessionConfig {
+            threads,
+            ..SessionConfig::default()
+        };
+        Engine::new(Session::new(library.clone(), config).with_fault(fault))
+    };
+    let faulted = engine(Some(Arc::clone(&plan)));
+    let clean = engine(None);
+    let mut recovered_requests = 0usize;
+    let mut send_resilient = |target: &Engine, line: &str| -> JsonValue {
+        for _ in 0..100 {
+            let doc = JsonValue::parse(&target.handle_line(line)).expect("response is JSON");
+            if let Some(result) = doc.get("result") {
+                return result.clone();
+            }
+            recovered_requests += 1;
+        }
+        panic!("fault drill: request never succeeded: {line}");
+    };
+    for line in setup_lines(netlist, options.dt) {
+        send_resilient(&faulted, &line);
+        send_resilient(&clean, &line);
+    }
+    let full_resim = r#"{"id": 0, "method": "resim", "params": {"full": true}}"#;
+    let run = send_resilient(&faulted, full_resim);
+    send_resilient(&clean, full_resim);
+    let gate_recoveries = run
+        .get("stats")
+        .and_then(|stats| stats.get("recoveries"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0) as usize;
+    let mut bit_identical = true;
+    for &po in netlist.primary_outputs() {
+        let query = format!(
+            r#"{{"id": 0, "method": "waveform", "params": {{"net": "{}"}}}}"#,
+            netlist.net_name(po)
+        );
+        let a = send_resilient(&faulted, &query);
+        let b = send_resilient(&clean, &query);
+        bit_identical &=
+            a.get("times_s") == b.get("times_s") && a.get("values_v") == b.get("values_v");
+    }
+    FaultDrill {
+        circuit: netlist.name().to_string(),
+        recovered_requests,
+        gate_recoveries,
+        bit_identical,
+    }
 }
 
 fn time_case(
@@ -327,6 +450,12 @@ mod tests {
         let report = ServerReport {
             threads: 2,
             cases: vec![case(4.0, 1.0), case(2.0, 1.0)],
+            fault_drill: FaultDrill {
+                circuit: "nand_chain_8".into(),
+                recovered_requests: 3,
+                gate_recoveries: 2,
+                bit_identical: true,
+            },
         };
         assert!(report.all_identical());
         assert!((report.overall_warm_ratio() - 3.0).abs() < 1e-12);
@@ -353,6 +482,10 @@ mod tests {
         let report = run_server_sweep(&options).unwrap();
         assert_eq!(report.cases.len(), 3, "chain, tree, dag");
         assert!(report.all_identical());
+        assert!(
+            report.fault_drill.bit_identical,
+            "fault drill settled on clean bits"
+        );
         for case in &report.cases {
             assert!(case.gates > 0);
             assert!(case.cold_seconds > 0.0 && case.warm_seconds > 0.0);

@@ -14,6 +14,11 @@ pub enum CsmError {
     InvalidParameter(String),
     /// A model store was asked to resolve a model family it does not hold.
     MissingModel(String),
+    /// The time-stepping integration produced a non-finite state (NaN or
+    /// infinite node voltage) — the explicit update diverged at the
+    /// configured step. The message names the cell, the time point and the
+    /// step so callers can retry on degraded settings.
+    Diverged(String),
     /// The underlying circuit simulation failed.
     Spice(SpiceError),
     /// A numerical routine failed.
@@ -28,6 +33,7 @@ impl fmt::Display for CsmError {
             CsmError::UnsupportedCell(msg) => write!(f, "unsupported cell: {msg}"),
             CsmError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CsmError::MissingModel(msg) => write!(f, "missing model: {msg}"),
+            CsmError::Diverged(msg) => write!(f, "integration diverged: {msg}"),
             CsmError::Spice(e) => write!(f, "circuit simulation failed: {e}"),
             CsmError::Numerical(e) => write!(f, "numerical error: {e}"),
             CsmError::Storage(msg) => write!(f, "model storage error: {msg}"),

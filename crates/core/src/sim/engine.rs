@@ -406,6 +406,21 @@ pub fn simulate(
             }
         }
 
+        // Divergence check: `clamp_voltage` bounds finite values but passes
+        // NaN through unchanged (IEEE-754 `clamp` of NaN is NaN), so a
+        // runaway explicit step must be caught here — as a descriptive error
+        // the degraded-mode retry chains upstream can act on — rather than
+        // leak poisoned samples into a committed waveform.
+        if !v_out.is_finite() || state.iter().any(|v| !v.is_finite()) {
+            return Err(CsmError::Diverged(format!(
+                "cell `{}`: non-finite state at t = {:.3e} s (dt = {:.3e} s); \
+                 retry with a smaller step or degraded settings",
+                model.cell_name(),
+                t_next,
+                dt
+            )));
+        }
+
         times.push(t_next);
         out_values.push(v_out);
         for (j, trace) in state_values.iter_mut().enumerate() {

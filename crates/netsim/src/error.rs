@@ -23,6 +23,26 @@ pub enum NetsimError {
         /// One offending register instance, for the error message.
         gate: String,
     },
+    /// A gate solve failed (panic, solver error or non-finite output) and
+    /// every degraded retry failed too — the run cannot produce a waveform
+    /// for this net.
+    GateUnrecoverable {
+        /// Instance name of the failing gate.
+        gate: String,
+        /// Name of the gate's output net.
+        net: String,
+        /// What the primary attempt died of.
+        failure: String,
+        /// Comma-separated list of the degraded settings that were tried.
+        attempted: String,
+    },
+    /// The run was abandoned at a cooperative cancellation checkpoint — its
+    /// deadline passed or the caller cancelled it. Committed caller-owned
+    /// state is untouched.
+    Cancelled {
+        /// Where the sweep stopped (level boundary or a named gate).
+        context: String,
+    },
     /// A model-resolution or per-gate evaluation failure from the timing
     /// layer.
     Sta(StaError),
@@ -47,6 +67,20 @@ impl fmt::Display for NetsimError {
                 f,
                 "netlist contains register gates (e.g. `{gate}`); the combinational \
                  simulator cannot evaluate them — use mcsm_seq::simulate_sequential"
+            ),
+            NetsimError::GateUnrecoverable {
+                gate,
+                net,
+                failure,
+                attempted,
+            } => write!(
+                f,
+                "gate `{gate}` (net `{net}`) failed to solve: {failure}; \
+                 degraded retries attempted: {attempted}"
+            ),
+            NetsimError::Cancelled { context } => write!(
+                f,
+                "run cancelled (deadline exceeded) at {context}; committed state untouched"
             ),
             NetsimError::Sta(e) => write!(f, "netsim gate evaluation: {e}"),
             NetsimError::Net(e) => write!(f, "netsim netlist: {e}"),

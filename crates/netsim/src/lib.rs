@@ -96,5 +96,6 @@ pub use schedule::{
 };
 pub use sim::{
     resimulate_netlist, simulate_netlist, simulate_netlist_cached, NetsimOptions, NetsimResult,
-    NetsimStats, Observe, SimCaches, WaveformStore, DEFAULT_EVENT_THRESHOLD,
+    NetsimStats, Observe, Recovery, RecoveryResolution, SimCaches, WaveformStore,
+    DEFAULT_EVENT_THRESHOLD,
 };

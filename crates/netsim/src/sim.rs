@@ -36,14 +36,17 @@
 
 use crate::error::NetsimError;
 use crate::schedule::{cone_of_influence, effective_load, topological_levels};
+use mcsm_core::eval::EvalMode;
 use mcsm_core::sim::DriveWaveform;
 use mcsm_net::{GateRef, NetRef, Netlist};
+use mcsm_num::fault::{site, Deadline, FaultPlan};
 use mcsm_num::par;
 use mcsm_spice::waveform::Waveform;
 use mcsm_sta::delaycalc::{DelayCache, DelayCalculator, WaveformCache};
 use mcsm_sta::models::ModelLibrary;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Default [`NetsimOptions::event_threshold`] (volts): excursions below 50 mV
@@ -66,7 +69,7 @@ pub enum Observe {
 }
 
 /// Options for one netlist transient simulation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct NetsimOptions {
     /// Per-gate solve: model backend, time stepping and supply voltage. The
     /// simulation window is the calculator's `sim.t_stop`, shared by every
@@ -90,6 +93,38 @@ pub struct NetsimOptions {
     /// (see [`Waveform::thin`]). `0.0` (default) disables thinning — handoff
     /// shares the solved samples bit-identically.
     pub thin_eps: f64,
+    /// Fault-injection plan queried by the gate-solve loop (chaos testing).
+    /// `None` (the default) disables injection — the production path pays a
+    /// single `Option` check per gate.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Cooperative cancellation: when set, the level sweep polls the token
+    /// before every level and every gate solve, and bails out with
+    /// [`NetsimError::Cancelled`] once it expires. Committed state owned by
+    /// the caller is untouched — only this run's in-flight result is dropped.
+    pub deadline: Option<Arc<Deadline>>,
+}
+
+/// Scalar options compare by value; the fault plan and deadline compare by
+/// identity (`Arc::ptr_eq`) — two runs are "the same configuration" only when
+/// they share the very same injection plan and cancellation token.
+impl PartialEq for NetsimOptions {
+    fn eq(&self, other: &Self) -> bool {
+        fn same_arc<T>(a: &Option<Arc<T>>, b: &Option<Arc<T>>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+        }
+        self.calculator == other.calculator
+            && self.primary_output_load == other.primary_output_load
+            && self.threads == other.threads
+            && self.event_threshold == other.event_threshold
+            && self.observe == other.observe
+            && self.thin_eps == other.thin_eps
+            && same_arc(&self.fault, &other.fault)
+            && same_arc(&self.deadline, &other.deadline)
+    }
 }
 
 impl NetsimOptions {
@@ -103,6 +138,8 @@ impl NetsimOptions {
             event_threshold: DEFAULT_EVENT_THRESHOLD,
             observe: Observe::All,
             thin_eps: 0.0,
+            fault: None,
+            deadline: None,
         }
     }
 
@@ -133,6 +170,61 @@ impl NetsimOptions {
         self.thin_eps = eps;
         self
     }
+
+    /// Arms a fault-injection plan for this run (chaos testing).
+    #[must_use]
+    pub fn with_fault(mut self, fault: Option<Arc<FaultPlan>>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, polled per level and per
+    /// gate solve.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Arc<Deadline>>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// How one faulted gate solve was recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryResolution {
+    /// Retried on the reference table-evaluation path ([`EvalMode::Reference`])
+    /// with the run's own time step. Reference and fast paths are
+    /// bit-identical by construction, so this recovery preserves the
+    /// bit-for-bit determinism contract.
+    ReferenceEval,
+    /// Retried on the reference path with a 4× coarser time step — the last
+    /// resort when the configured step itself diverges. Accuracy degrades
+    /// (the result is *not* bit-identical to a clean run on this gate), which
+    /// is why the entry is recorded in the stats for callers to inspect.
+    CoarseDt,
+}
+
+impl RecoveryResolution {
+    /// Short stable label for logs and the serving layer's stats report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryResolution::ReferenceEval => "reference-eval",
+            RecoveryResolution::CoarseDt => "coarse-dt",
+        }
+    }
+}
+
+/// One gate solve that failed (panic, solver error or non-finite output) and
+/// was recovered by a degraded retry instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Instance name of the recovered gate.
+    pub gate: String,
+    /// Name of the gate's output net.
+    pub net: String,
+    /// What the primary attempt died of (panic payload, solver error or a
+    /// non-finite-output description).
+    pub failure: String,
+    /// Which degraded setting produced the committed waveform.
+    pub resolution: RecoveryResolution,
 }
 
 /// Activity counters of one simulation run.
@@ -142,7 +234,7 @@ impl NetsimOptions {
 /// counters before and after and reports the difference. That delta is only
 /// meaningful when no concurrent run shares the same caches — the query
 /// server guarantees this by serializing runs through its session lock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NetsimStats {
     /// Gates handed to the numerical engine (at least one active input).
     pub gates_simulated: usize,
@@ -173,6 +265,10 @@ pub struct NetsimStats {
     /// Total breakpoints removed from fanout handoffs by
     /// [`NetsimOptions::thin_eps`] thinning (zero when thinning is off).
     pub breakpoints_dropped: usize,
+    /// Gates whose primary solve failed (panic, solver error, non-finite
+    /// output) and were committed from a degraded retry instead, in level
+    /// order. Empty on a healthy run.
+    pub recoveries: Vec<Recovery>,
 }
 
 /// Shared caches threaded through a sequence of simulations.
@@ -479,7 +575,7 @@ impl NetsimResult {
 
     /// Activity counters of the run.
     pub fn stats(&self) -> NetsimStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// The 50 % crossing time of the waveform on a net, for the given
@@ -579,7 +675,150 @@ struct GateSolve<'a> {
     kind: mcsm_cells::cell::CellKind,
     inputs: Range<usize>,
     load: f64,
+    gate: GateRef,
     output: NetRef,
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one solve attempt with panic isolation: a panicking gate becomes an
+/// `Err(description)` instead of tearing down the level sweep (the worker
+/// closure runs under `par_map`, whose scope would otherwise re-raise).
+fn run_guarded<T>(f: impl FnOnce() -> Result<T, NetsimError>) -> Result<T, String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!("gate solve panicked: {}", panic_message(&*payload))),
+    }
+}
+
+/// Whether every sample of a solved waveform is finite — the divergence
+/// detector of the degraded-mode retry chain.
+fn waveform_is_finite(w: &Waveform) -> bool {
+    w.values().iter().all(|v| v.is_finite())
+}
+
+/// A copy of `calculator` stepping on the reference table-evaluation path,
+/// with `dt` scaled by `dt_factor` (`1.0` keeps the configured step).
+fn degraded_calculator(calculator: &DelayCalculator, dt_factor: f64) -> DelayCalculator {
+    let mut degraded = calculator.clone();
+    degraded.sim.eval = EvalMode::Reference;
+    degraded.sim.dt = (calculator.sim.dt * dt_factor).min(calculator.sim.t_stop);
+    degraded
+}
+
+/// Solves one gate with fault injection, divergence detection and the
+/// degraded-mode retry chain.
+///
+/// The primary attempt runs the configured calculator through the waveform
+/// memo; a failure (injected or real panic, solver error, or non-finite
+/// output samples) is retried first on the reference evaluation path
+/// (bit-identical to the fast path by construction) and then on the reference
+/// path with a 4× coarser step. Both retries bypass the waveform memo — its
+/// keys do not include the time step, so caching a degraded solve would
+/// poison warm queries. An unrecoverable gate yields
+/// [`NetsimError::GateUnrecoverable`] naming the gate, its output net and
+/// every attempted fallback.
+fn solve_gate_resilient(
+    netlist: &Netlist,
+    options: &NetsimOptions,
+    cache: &DelayCache,
+    waveforms: Option<&WaveformCache>,
+    inputs: &[DriveWaveform],
+    solve: &GateSolve<'_>,
+) -> Result<(Waveform, Option<Recovery>), NetsimError> {
+    if let Some(deadline) = &options.deadline {
+        if deadline.expired() {
+            return Err(NetsimError::Cancelled {
+                context: format!(
+                    "gate `{}` (net `{}`)",
+                    netlist.gate_name(solve.gate),
+                    netlist.net_name(solve.output)
+                ),
+            });
+        }
+    }
+    let fault = options.fault.as_deref();
+    let key = solve.output.index() as u64;
+    let primary = run_guarded(|| {
+        if let Some(plan) = fault {
+            if plan.fires(site::NETSIM_GATE_PANIC, key) {
+                panic!("injected fault `{}` (key {key})", site::NETSIM_GATE_PANIC);
+            }
+        }
+        let waveform = options.calculator.gate_output_memoized(
+            solve.model,
+            solve.kind,
+            inputs,
+            solve.load,
+            Some(cache),
+            waveforms,
+        )?;
+        if let Some(plan) = fault {
+            if plan.fires(site::NETSIM_GATE_DIVERGE, key) {
+                // Simulated solver divergence: the committed samples come back
+                // NaN-poisoned, exactly as a runaway explicit step would look.
+                // The memo already holds the *clean* solve (inserted above),
+                // so warm queries are unaffected.
+                let times = waveform.times().to_vec();
+                let values = vec![f64::NAN; times.len()];
+                return Ok(Waveform::new(times, values)?);
+            }
+        }
+        Ok(waveform)
+    });
+    let failure = match primary {
+        Ok(w) if waveform_is_finite(&w) => return Ok((w, None)),
+        Ok(_) => "non-finite output samples (solver divergence)".to_string(),
+        Err(description) => description,
+    };
+
+    let recovery = |resolution: RecoveryResolution| Recovery {
+        gate: netlist.gate_name(solve.gate).to_string(),
+        net: netlist.net_name(solve.output).to_string(),
+        failure: failure.clone(),
+        resolution,
+    };
+    let mut attempted = Vec::new();
+    for resolution in [
+        RecoveryResolution::ReferenceEval,
+        RecoveryResolution::CoarseDt,
+    ] {
+        attempted.push(resolution.label());
+        let calculator = match resolution {
+            RecoveryResolution::ReferenceEval => degraded_calculator(&options.calculator, 1.0),
+            RecoveryResolution::CoarseDt => degraded_calculator(&options.calculator, 4.0),
+        };
+        let retry = run_guarded(|| {
+            Ok(calculator.gate_output_cached(
+                solve.model,
+                solve.kind,
+                inputs,
+                solve.load,
+                Some(cache),
+            )?)
+        });
+        if let Ok(w) = retry {
+            if waveform_is_finite(&w) {
+                return Ok((w, Some(recovery(resolution))));
+            }
+        }
+    }
+    Err(NetsimError::GateUnrecoverable {
+        gate: netlist.gate_name(solve.gate).to_string(),
+        net: netlist.net_name(solve.output).to_string(),
+        failure,
+        attempted: attempted.join(", "),
+    })
 }
 
 /// Simulates a whole netlist: every primary input driven by
@@ -813,6 +1052,16 @@ fn run_levels(
     let mut solves: Vec<GateSolve<'_>> = Vec::new();
     let mut logic_buf: Vec<bool> = Vec::new();
     for level in schedule.iter() {
+        // Cooperative cancellation checkpoint: a request whose deadline
+        // passed abandons the sweep here (and again per gate inside the solve
+        // closure) without touching any caller-owned committed state.
+        if let Some(deadline) = &options.deadline {
+            if deadline.expired() {
+                return Err(NetsimError::Cancelled {
+                    context: "level sweep".to_string(),
+                });
+            }
+        }
         // Gather phase (sequential, cheap): split the level into gates that
         // saw an event and gates that stayed quiescent. Input drives land in
         // one flat pool per level; each solve keeps a range into it.
@@ -842,6 +1091,7 @@ fn run_levels(
                     kind,
                     inputs: start..level_inputs.len(),
                     load,
+                    gate: gate_ref,
                     output,
                 });
                 stats.gates_simulated += 1;
@@ -866,22 +1116,29 @@ fn run_levels(
 
         // Solve phase: every eventful gate of the level in parallel, through
         // the waveform memo when one is supplied (a warm hit skips the engine
-        // with bit-identical output — exact-bits keys).
+        // with bit-identical output — exact-bits keys). Each solve is panic-
+        // isolated and retried on degraded settings before giving up; fault
+        // decisions are pure functions of (seed, site, output-net index), so
+        // the same faults fire at every thread count.
         let outputs = par::par_map(options.threads, &solves, |_, solve| {
-            options.calculator.gate_output_memoized(
-                solve.model,
-                solve.kind,
-                &level_inputs[solve.inputs.clone()],
-                solve.load,
-                Some(cache),
+            solve_gate_resilient(
+                netlist,
+                options,
+                cache,
                 caches.waveforms,
+                &level_inputs[solve.inputs.clone()],
+                solve,
             )
         });
 
-        // Commit phase (sequential, in level order, so the first error
-        // matches what a sequential sweep would report).
-        for (solve, waveform) in solves.iter().zip(outputs) {
-            store.commit_solved(solve.output, Arc::new(waveform?), options.event_threshold);
+        // Commit phase (sequential, in level order, so the first error — and
+        // the recovery log — matches what a sequential sweep would report).
+        for (solve, outcome) in solves.iter().zip(outputs) {
+            let (waveform, recovery) = outcome?;
+            if let Some(recovery) = recovery {
+                stats.recoveries.push(recovery);
+            }
+            store.commit_solved(solve.output, Arc::new(waveform), options.event_threshold);
         }
     }
 

@@ -1,0 +1,366 @@
+//! Deterministic fault injection and cooperative deadlines.
+//!
+//! Production robustness cannot be tested by waiting for production failures:
+//! the chaos tests inject them. A [`FaultPlan`] is a seeded, thread-safe
+//! description of *which* failures fire *where* — injection points scattered
+//! through the stack (the netsim gate-solve loop, the seq epoch driver, JSON
+//! parsing, the server I/O path) query it by **site name**, and the decision
+//! is a pure function of `(seed, site, key)` drawn through [`TestRng`]. That
+//! purity is what makes chaos runs reproducible: the same plan fires the same
+//! faults at every thread count and on every platform, so a fault-injected
+//! run can be pinned bit-identical to a clean run on everything the faults
+//! did not touch.
+//!
+//! The plan is carried as an `Option<Arc<FaultPlan>>` everywhere, so the
+//! disabled path compiles to a no-op `Option` check — production runs pay
+//! nothing.
+//!
+//! [`Deadline`] is the cooperative-cancellation half: a wall-clock budget
+//! plus a manual cancel flag, polled by long-running loops (the netsim level
+//! sweep checks it per gate) so a hung or oversized request can be abandoned
+//! without killing the engine that runs it.
+//!
+//! [`TestRng`]: crate::testrand::TestRng
+
+use crate::hash::ByteHasher;
+use crate::testrand::TestRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The catalog of injection sites wired through the workspace. Site names are
+/// dotted `layer.place.effect` strings; a plan can arm any subset.
+pub mod site {
+    /// Panics one gate solve inside the netsim level sweep (caught and
+    /// recovered by the degraded-mode retry chain).
+    pub const NETSIM_GATE_PANIC: &str = "netsim.gate.panic";
+    /// Poisons one solved gate waveform with NaN samples, simulating solver
+    /// divergence (recovered by the degraded-mode retry chain).
+    pub const NETSIM_GATE_DIVERGE: &str = "netsim.gate.diverge";
+    /// Sleeps before one clocked epoch solve in the seq driver.
+    pub const SEQ_EPOCH_LATENCY: &str = "seq.epoch.latency";
+    /// Forces one request line to fail JSON parsing (answered `-32700`).
+    pub const SERVER_PARSE_FAIL: &str = "server.parse.fail";
+    /// Panics inside one request handler while the session lock is held —
+    /// the full mutex-poison recovery path (answered `-32000`,
+    /// `recovered: true`).
+    pub const SERVER_REQUEST_PANIC: &str = "server.request.panic";
+    /// Sleeps before handling one request on the transport.
+    pub const SERVER_IO_LATENCY: &str = "server.io.latency";
+    /// Truncates one request line mid-byte before parsing.
+    pub const SERVER_IO_TRUNCATE: &str = "server.io.truncate";
+    /// Treats one request line as if it exceeded the transport's size limit
+    /// (answered `-32600`).
+    pub const SERVER_IO_OVERSIZE: &str = "server.io.oversize";
+}
+
+/// Every known injection site, for `MCSM_FAULT_SITES`-less plans and for the
+/// chaos matrix to sweep.
+pub const ALL_SITES: &[&str] = &[
+    site::NETSIM_GATE_PANIC,
+    site::NETSIM_GATE_DIVERGE,
+    site::SEQ_EPOCH_LATENCY,
+    site::SERVER_PARSE_FAIL,
+    site::SERVER_REQUEST_PANIC,
+    site::SERVER_IO_LATENCY,
+    site::SERVER_IO_TRUNCATE,
+    site::SERVER_IO_OVERSIZE,
+];
+
+/// A seeded, thread-safe fault-injection plan.
+///
+/// Each injection point asks [`FaultPlan::fires`] with its site name and a
+/// stable per-occurrence key (a gate's output-net index, a request counter).
+/// The yes/no answer is a pure function of `(seed, site, key)` — no shared
+/// mutable state feeds the decision, so concurrent queries from a thread pool
+/// fire the exact same faults as a sequential sweep. Fired counts are tracked
+/// separately (behind a mutex) for reporting only.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+    latency: Duration,
+    /// Armed sites; `None` arms every site.
+    sites: Option<Vec<String>>,
+    fired: Mutex<HashMap<String, usize>>,
+}
+
+impl FaultPlan {
+    /// A plan firing each armed site with probability `rate` (clamped to
+    /// `[0, 1]`) per queried key. All sites are armed until
+    /// [`FaultPlan::with_sites`] narrows the set.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            latency: Duration::from_millis(10),
+            sites: None,
+            fired: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Arms only the listed sites (see [`site`] for the catalog). Unknown
+    /// names are kept verbatim — they simply never match a real query.
+    #[must_use]
+    pub fn with_sites<I, S>(mut self, sites: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.sites = Some(sites.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Sets the artificial latency injected by the `*.latency` sites.
+    #[must_use]
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Builds a plan from the environment, or `None` when fault injection is
+    /// off (the production default):
+    ///
+    /// * `MCSM_FAULT_SEED` — required; the plan seed (a `u64`).
+    /// * `MCSM_FAULT_RATE` — per-key firing probability (default `0.05`).
+    /// * `MCSM_FAULT_SITES` — comma-separated site names (default: all).
+    /// * `MCSM_FAULT_LATENCY_MS` — `*.latency` sleep (default 10 ms).
+    pub fn from_env() -> Option<Arc<FaultPlan>> {
+        let seed: u64 = std::env::var("MCSM_FAULT_SEED").ok()?.trim().parse().ok()?;
+        let rate = std::env::var("MCSM_FAULT_RATE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0.05);
+        let mut plan = FaultPlan::new(seed, rate);
+        if let Ok(list) = std::env::var("MCSM_FAULT_SITES") {
+            let sites: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if !sites.is_empty() {
+                plan = plan.with_sites(sites);
+            }
+        }
+        if let Some(ms) = std::env::var("MCSM_FAULT_LATENCY_MS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+        {
+            plan = plan.with_latency(Duration::from_millis(ms));
+        }
+        Some(Arc::new(plan))
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-key firing probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The sleep injected by `*.latency` sites.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    fn armed(&self, site: &str) -> bool {
+        match &self.sites {
+            None => true,
+            Some(sites) => sites.iter().any(|s| s == site),
+        }
+    }
+
+    /// Whether the fault at `site` fires for this `key`.
+    ///
+    /// The decision is a pure function of `(seed, site, key)`: a fresh
+    /// [`TestRng`] is seeded from the three and a single uniform draw is
+    /// compared against the rate. Calling twice with the same arguments gives
+    /// the same answer — callers that must not re-fire on a retry simply use
+    /// a different site (the degraded-mode retry paths have no injection
+    /// points at all).
+    pub fn fires(&self, site: &str, key: u64) -> bool {
+        if self.rate <= 0.0 || !self.armed(site) {
+            return false;
+        }
+        let mut hasher = ByteHasher::new();
+        hasher.write_u64(self.seed);
+        hasher.write_bytes(site.as_bytes());
+        hasher.write_u64(key);
+        let mut rng = TestRng::new(hasher.finish());
+        let fired = rng.unit() < self.rate;
+        if fired {
+            if let Ok(mut counts) = self.fired.lock() {
+                *counts.entry(site.to_string()).or_insert(0) += 1;
+            }
+        }
+        fired
+    }
+
+    /// Fires the `site` for `key` and, when it fires, additionally sleeps for
+    /// the plan's latency — the shape every `*.latency` site uses.
+    pub fn maybe_delay(&self, site: &str, key: u64) -> bool {
+        if self.fires(site, key) {
+            std::thread::sleep(self.latency);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many times `site` has fired through this plan so far.
+    pub fn fired(&self, site: &str) -> usize {
+        self.fired
+            .lock()
+            .map(|counts| counts.get(site).copied().unwrap_or(0))
+            .unwrap_or(0)
+    }
+
+    /// Total fires across every site so far.
+    pub fn total_fired(&self) -> usize {
+        self.fired
+            .lock()
+            .map(|counts| counts.values().sum())
+            .unwrap_or(0)
+    }
+}
+
+/// A cooperative cancellation token: a wall-clock budget, a manual cancel
+/// flag, or both.
+///
+/// Long-running loops poll [`Deadline::expired`] at natural checkpoints (the
+/// netsim level sweep checks before each gate solve) and bail out with a
+/// descriptive error. Nothing is preempted — the contract is that every hot
+/// loop polls often enough for the engine to stay responsive.
+#[derive(Debug)]
+pub struct Deadline {
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Arc<Self> {
+        Arc::new(Deadline {
+            deadline: Instant::now().checked_add(budget),
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    /// A deadline `ms` milliseconds from now (convenience for the protocol's
+    /// `deadline_ms` request option). Non-finite or negative budgets expire
+    /// immediately.
+    pub fn after_ms(ms: f64) -> Arc<Self> {
+        if ms.is_finite() && ms >= 0.0 {
+            Deadline::after(Duration::from_secs_f64(ms / 1e3))
+        } else {
+            let deadline = Deadline::manual();
+            deadline.cancel();
+            deadline
+        }
+    }
+
+    /// A token with no wall-clock budget — expires only when
+    /// [`Deadline::cancel`] is called.
+    pub fn manual() -> Arc<Self> {
+        Arc::new(Deadline {
+            deadline: None,
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    /// Cancels the work guarded by this token.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the budget is exhausted or the token was cancelled.
+    pub fn expired(&self) -> bool {
+        if self.cancelled.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self.deadline {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_site_and_key() {
+        let plan = FaultPlan::new(42, 0.5);
+        let replay = FaultPlan::new(42, 0.5);
+        let mut fired = 0;
+        for key in 0..256 {
+            let a = plan.fires(site::NETSIM_GATE_PANIC, key);
+            // Same (seed, site, key) on a fresh plan and on re-query: same
+            // answer, regardless of query history.
+            assert_eq!(a, replay.fires(site::NETSIM_GATE_PANIC, key));
+            assert_eq!(a, plan.fires(site::NETSIM_GATE_PANIC, key));
+            fired += usize::from(a);
+        }
+        // Rate 0.5 over 256 keys: comfortably away from 0 and 256.
+        assert!((64..=192).contains(&fired), "fired {fired}/256");
+        assert_eq!(plan.fired(site::NETSIM_GATE_DIVERGE), 0);
+        assert!(plan.total_fired() >= fired);
+    }
+
+    #[test]
+    fn sites_and_seeds_decorrelate() {
+        let plan = FaultPlan::new(7, 0.5);
+        let other_seed = FaultPlan::new(8, 0.5);
+        let mut site_diff = 0;
+        let mut seed_diff = 0;
+        for key in 0..256 {
+            if plan.fires(site::NETSIM_GATE_PANIC, key)
+                != plan.fires(site::NETSIM_GATE_DIVERGE, key)
+            {
+                site_diff += 1;
+            }
+            if plan.fires(site::NETSIM_GATE_PANIC, key)
+                != other_seed.fires(site::NETSIM_GATE_PANIC, key)
+            {
+                seed_diff += 1;
+            }
+        }
+        assert!(site_diff > 32, "sites too correlated: {site_diff}");
+        assert!(seed_diff > 32, "seeds too correlated: {seed_diff}");
+    }
+
+    #[test]
+    fn disarmed_sites_and_zero_rate_never_fire() {
+        let plan = FaultPlan::new(1, 1.0).with_sites([site::SERVER_PARSE_FAIL]);
+        for key in 0..64 {
+            assert!(plan.fires(site::SERVER_PARSE_FAIL, key));
+            assert!(!plan.fires(site::NETSIM_GATE_PANIC, key));
+        }
+        let off = FaultPlan::new(1, 0.0);
+        assert!((0..64).all(|key| !off.fires(site::SERVER_PARSE_FAIL, key)));
+        assert_eq!(off.total_fired(), 0);
+    }
+
+    #[test]
+    fn deadlines_expire_by_budget_and_by_cancel() {
+        let expired = Deadline::after(Duration::from_secs(0));
+        assert!(expired.expired());
+        let generous = Deadline::after(Duration::from_secs(3600));
+        assert!(!generous.expired());
+        generous.cancel();
+        assert!(generous.expired());
+        let manual = Deadline::manual();
+        assert!(!manual.expired());
+        manual.cancel();
+        assert!(manual.expired());
+        // Degenerate budgets expire immediately instead of panicking.
+        assert!(Deadline::after_ms(f64::NAN).expired());
+        assert!(Deadline::after_ms(-5.0).expired());
+    }
+}

@@ -23,6 +23,9 @@
 //!   caches (waveform memoization), stable across runs and thread counts.
 //! * [`par`] — a `std::thread`-only thread pool and deterministic `par_map`
 //!   primitives used to fan characterization grids and STA levels across cores.
+//! * [`fault`] — a seeded, deterministic fault-injection plan (chaos testing)
+//!   and cooperative request deadlines, carried as `Option`s so production
+//!   runs pay nothing.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 //! ```
 
 pub mod error;
+pub mod fault;
 pub mod grid;
 pub mod hash;
 pub mod integrate;
@@ -56,6 +60,7 @@ pub mod testrand;
 pub mod units;
 
 pub use error::NumError;
+pub use fault::{Deadline, FaultPlan};
 pub use grid::Axis;
 pub use hash::ByteHasher;
 pub use json::{FromJson, JsonError, JsonValue, ToJson};

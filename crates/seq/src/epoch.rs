@@ -162,6 +162,9 @@ pub struct SeqStats {
     pub gates_skipped: usize,
     /// Voltage events processed.
     pub events: usize,
+    /// Gate solves across all epochs that failed and were committed from a
+    /// degraded retry (see [`mcsm_netsim::Recovery`]). Zero on healthy runs.
+    pub recoveries: usize,
 }
 
 /// The epoch time origin: input and launch ramps start at `2 * clock.slew`
@@ -463,6 +466,13 @@ pub fn step_cycle(
         caches.delay,
     )?;
 
+    // Chaos-testing injection point: an armed plan stalls this epoch's solve,
+    // exercising deadline handling in the layers above. Keyed by cycle index
+    // so the same cycles stall on every replay of the same plan.
+    if let Some(plan) = &options.netsim.fault {
+        plan.maybe_delay(mcsm_num::fault::site::SEQ_EPOCH_LATENCY, state.cycle as u64);
+    }
+
     let epoch = match seq.comb() {
         Some(comb) => Some(simulate_netlist_cached(
             comb,
@@ -594,6 +604,7 @@ pub fn simulate_sequential(
             stats.gates_simulated += s.gates_simulated;
             stats.gates_skipped += s.gates_skipped;
             stats.events += s.events;
+            stats.recoveries += s.recoveries.len();
         }
         stats.cycles += 1;
         states.push(outcome.states);

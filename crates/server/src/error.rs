@@ -19,6 +19,11 @@ pub enum ServeError {
     /// The engine failed to evaluate a valid request — characterization,
     /// simulation or netlist-edit errors (JSON-RPC `-32000`).
     Engine(String),
+    /// The request's `deadline_ms` budget expired before its computation
+    /// finished; the work was abandoned at a cooperative cancellation
+    /// checkpoint and committed session state is untouched (JSON-RPC
+    /// `-32001`).
+    Timeout(String),
 }
 
 impl ServeError {
@@ -28,6 +33,7 @@ impl ServeError {
             ServeError::MethodNotFound(_) => -32601,
             ServeError::InvalidParams(_) => -32602,
             ServeError::Engine(_) => -32000,
+            ServeError::Timeout(_) => -32001,
         }
     }
 }
@@ -38,6 +44,7 @@ impl fmt::Display for ServeError {
             ServeError::MethodNotFound(method) => write!(f, "unknown method `{method}`"),
             ServeError::InvalidParams(msg) => write!(f, "invalid params: {msg}"),
             ServeError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ServeError::Timeout(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }
@@ -58,7 +65,12 @@ impl From<NetlistError> for ServeError {
 
 impl From<NetsimError> for ServeError {
     fn from(e: NetsimError) -> Self {
-        ServeError::Engine(e.to_string())
+        match &e {
+            // A cancelled sweep is the request's own deadline firing, not an
+            // engine failure: report it as a timeout (-32001).
+            NetsimError::Cancelled { .. } => ServeError::Timeout(e.to_string()),
+            _ => ServeError::Engine(e.to_string()),
+        }
     }
 }
 
@@ -76,6 +88,9 @@ impl From<SeqError> for ServeError {
             SeqError::InvalidParameter(_) | SeqError::ClockMismatch(_) => {
                 ServeError::InvalidParams(e.to_string())
             }
+            // A cancelled epoch sweep inside a cycle is the request's own
+            // deadline firing: surface the timeout code through the wrapper.
+            SeqError::Netsim(NetsimError::Cancelled { .. }) => ServeError::Timeout(e.to_string()),
             _ => ServeError::Engine(e.to_string()),
         }
     }

@@ -28,6 +28,14 @@
 //! through the [`Engine`] session lock — any concurrent client interleaving
 //! is equivalent to the serial replay of the observed `seq` order.
 //!
+//! The serving path is hardened for long-lived operation: per-request panic
+//! isolation with session rollback to the last committed result (`-32000`,
+//! `recovered: true`), per-request `deadline_ms` budgets with cooperative
+//! cancellation (`-32001`), a bounded request-line length (default 4 MiB),
+//! and a deterministic fault-injection harness ([`mcsm_num::fault`], armed
+//! via the `MCSM_FAULT_*` environment knobs) to rehearse all of it in tests
+//! and CI without touching production defaults.
+//!
 //! # Example
 //!
 //! ```
@@ -47,5 +55,7 @@ pub mod session;
 
 pub use error::ServeError;
 pub use protocol::{handle_request_line, strip_timing};
-pub use server::{serve_stdio, serve_tcp, Engine, TcpServer};
+pub use server::{
+    serve_stdio, serve_tcp, Engine, TcpServer, TransportOptions, DEFAULT_MAX_LINE_BYTES,
+};
 pub use session::{Session, SessionConfig};

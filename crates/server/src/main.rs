@@ -3,20 +3,24 @@
 //!
 //! ```text
 //! mcsm-serve [--stdio | --tcp ADDR] [--threads N] [--backend NAME]
-//!            [--window SECONDS] [--dt SECONDS]
+//!            [--window SECONDS] [--dt SECONDS] [--max-line BYTES]
 //! ```
 //!
 //! `--backend` is one of `sis`, `baseline-mis`, `complete-mcsm` (default) or
-//! `selective`. Set `MCSM_BENCH_FAST=1` for coarse characterization grids
-//! (CI smoke mode). Diagnostics go to stderr; stdout carries only protocol
-//! responses.
+//! `selective`. `--max-line` bounds one request line (default 4 MiB). Set
+//! `MCSM_BENCH_FAST=1` for coarse characterization grids (CI smoke mode);
+//! set `MCSM_FAULT_SEED` (with optional `MCSM_FAULT_RATE`,
+//! `MCSM_FAULT_SITES`, `MCSM_FAULT_LATENCY_MS`) to arm deterministic fault
+//! injection for chaos testing. Diagnostics go to stderr; stdout carries
+//! only protocol responses.
 
 use mcsm_cells::cell::CellKind;
 use mcsm_cells::tech::Technology;
 use mcsm_core::characterize::RegisterCharacterizationConfig;
 use mcsm_core::config::CharacterizationConfig;
 use mcsm_core::selective::SelectivePolicy;
-use mcsm_serve::{serve_stdio, serve_tcp, Engine, Session, SessionConfig};
+use mcsm_num::fault::FaultPlan;
+use mcsm_serve::{serve_stdio, serve_tcp, Engine, Session, SessionConfig, TransportOptions};
 use mcsm_sta::delaycalc::DelayBackend;
 use mcsm_sta::models::ModelLibrary;
 use std::io::{BufReader, Write};
@@ -37,6 +41,7 @@ fn main() -> ExitCode {
     let mut config = SessionConfig::default();
     let mut tcp_addr: Option<String> = None;
     let mut serve_threads = 0usize;
+    let mut transport = TransportOptions::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +75,11 @@ fn main() -> ExitCode {
                     .map(|dt| config.dt = dt)
                     .map_err(|e| format!("--dt: {e}"))
             }),
+            "--max-line" => value("--max-line").and_then(|v| {
+                v.parse()
+                    .map(|bytes| transport = transport.clone().with_max_line_bytes(bytes))
+                    .map_err(|e| format!("--max-line: {e}"))
+            }),
             other => Err(format!("unknown argument `{other}`")),
         };
         if let Err(message) = result {
@@ -77,7 +87,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: mcsm-serve [--stdio | --tcp ADDR] [--threads N] \
                  [--backend sis|baseline-mis|complete-mcsm|selective] \
-                 [--window S] [--dt S]"
+                 [--window S] [--dt S] [--max-line BYTES]"
             );
             return ExitCode::FAILURE;
         }
@@ -117,7 +127,17 @@ fn main() -> ExitCode {
         eprintln!("mcsm-serve: register characterization failed: {e}");
         return ExitCode::FAILURE;
     }
-    let engine = Arc::new(Engine::new(Session::new(library, config)));
+    let fault = FaultPlan::from_env();
+    if let Some(plan) = &fault {
+        eprintln!(
+            "mcsm-serve: fault injection ARMED (seed {}, rate {}) — not for production",
+            plan.seed(),
+            plan.rate()
+        );
+    }
+    let transport = transport.with_fault(fault.clone());
+    let session = Session::new(library, config).with_fault(fault);
+    let engine = Arc::new(Engine::with_options(session, transport));
 
     match tcp_addr {
         Some(addr) => {

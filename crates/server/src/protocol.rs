@@ -11,13 +11,15 @@
 //! wall-clock `timing_us`); everything inside `result` comes from
 //! [`Session::handle`]. Standard JSON-RPC codes are used: `-32700` parse
 //! error, `-32600` invalid request, `-32601` method not found, `-32602`
-//! invalid params, `-32000` engine error.
+//! invalid params, `-32000` engine error, `-32001` deadline exceeded.
 
 use crate::session::Session;
+use mcsm_num::fault::site;
+use mcsm_num::hash::ByteHasher;
 use mcsm_num::json::JsonValue;
 use std::time::Instant;
 
-fn error_response(id: JsonValue, code: i64, message: String) -> JsonValue {
+pub(crate) fn error_response(id: JsonValue, code: i64, message: String) -> JsonValue {
     JsonValue::Object(vec![
         ("jsonrpc".to_string(), JsonValue::String("2.0".to_string())),
         ("id".to_string(), id),
@@ -31,12 +33,70 @@ fn error_response(id: JsonValue, code: i64, message: String) -> JsonValue {
     ])
 }
 
+/// Builds the `-32000` response for a request whose handler panicked: the
+/// session has been rolled back to its last committed result, the connection
+/// stays up, and `recovered: true` tells the client a retry is safe. The id
+/// is recovered from the request line when it still parses.
+pub(crate) fn recovered_response(line: &str, panic_msg: &str) -> JsonValue {
+    let id = JsonValue::parse(line)
+        .ok()
+        .and_then(|doc| doc.get("id").cloned())
+        .unwrap_or(JsonValue::Null);
+    JsonValue::Object(vec![
+        ("jsonrpc".to_string(), JsonValue::String("2.0".to_string())),
+        ("id".to_string(), id),
+        (
+            "error".to_string(),
+            JsonValue::Object(vec![
+                ("code".to_string(), JsonValue::Number(-32000.0)),
+                (
+                    "message".to_string(),
+                    JsonValue::String(format!(
+                        "request handler panicked ({panic_msg}); session \
+                         rolled back to last committed result"
+                    )),
+                ),
+                ("recovered".to_string(), JsonValue::Bool(true)),
+            ]),
+        ),
+    ])
+}
+
+/// Builds the `-32600` response for a request line that exceeded the
+/// transport's line-length bound, naming the limit so the client can react.
+pub(crate) fn oversize_response(got: usize, limit: usize) -> JsonValue {
+    error_response(
+        JsonValue::Null,
+        -32600,
+        format!("request line of {got} bytes exceeds the {limit}-byte limit"),
+    )
+}
+
+fn hash_line(line: &str) -> u64 {
+    let mut hasher = ByteHasher::new();
+    hasher.write_bytes(line.as_bytes());
+    hasher.finish()
+}
+
 /// Handles one request line against a session, returning the response
 /// document. Never panics on malformed input — every failure becomes a
 /// JSON-RPC error object (with a `null` id when the request's own id could
 /// not be read).
 pub fn handle_request_line(session: &mut Session, line: &str) -> JsonValue {
     let started = Instant::now();
+    let line = match session.fault() {
+        // Injected parse corruption: drop the tail of the line (keyed by the
+        // line's own bytes, so replays corrupt the same requests). The cut
+        // backs off to a char boundary so the slice itself cannot panic.
+        Some(plan) if plan.fires(site::SERVER_PARSE_FAIL, hash_line(line)) => {
+            let mut cut = line.len() / 2;
+            while cut > 0 && !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            &line[..cut]
+        }
+        _ => line,
+    };
     let doc = match JsonValue::parse(line) {
         Ok(doc) => doc,
         Err(e) => return error_response(JsonValue::Null, -32700, format!("parse error: {}", e.0)),

@@ -5,53 +5,300 @@
 //! requests from any number of connections serialize through it, each
 //! acquiring its `seq` under the lock — so every concurrent interleaving is
 //! equivalent to the serial replay of the observed `seq` order.
+//!
+//! The engine is fault-tolerant: a request handler that panics is caught per
+//! request (`catch_unwind`), the poisoned session lock is cleared and the
+//! session rolled back to its last committed result, and the failed request
+//! is answered with `-32000` / `recovered: true` — the server stays up.
+//! Request lines are bounded ([`TransportOptions::max_line_bytes`], default
+//! 4 MiB): an oversized line is answered with `-32600` naming the limit and
+//! the connection keeps serving. TCP connections poll with a short read
+//! timeout so [`TcpServer::stop`] drains in-flight requests instead of
+//! hanging on idle readers.
 
-use crate::protocol::handle_request_line;
+use crate::protocol::{handle_request_line, oversize_response, recovered_response};
 use crate::session::Session;
+use mcsm_num::fault::{site, FaultPlan};
 use mcsm_num::par::ThreadPool;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default bound on one request line: 4 MiB.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 4 << 20;
+
+/// Transport-level hardening knobs shared by the stdio and TCP servers.
+#[derive(Debug, Clone)]
+pub struct TransportOptions {
+    /// Longest request line accepted, in bytes; longer lines are answered
+    /// with `-32600` (naming the limit) without buffering the full payload.
+    pub max_line_bytes: usize,
+    /// Fault-injection plan for the transport-level sites
+    /// (`server.io.latency`, `server.io.truncate`, `server.io.oversize`).
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+impl TransportOptions {
+    /// The default transport: 4 MiB lines, no fault injection.
+    pub fn new() -> Self {
+        TransportOptions {
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            fault: None,
+        }
+    }
+
+    /// Sets the request-line length bound (clamped to at least 64 bytes so
+    /// the server can always read a minimal request).
+    pub fn with_max_line_bytes(mut self, max_line_bytes: usize) -> Self {
+        self.max_line_bytes = max_line_bytes.max(64);
+        self
+    }
+
+    /// Arms the transport-level fault sites.
+    pub fn with_fault(mut self, fault: Option<Arc<FaultPlan>>) -> Self {
+        self.fault = fault;
+        self
+    }
+}
+
+impl Default for TransportOptions {
+    fn default() -> Self {
+        TransportOptions::new()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A thread-safe request engine: one resident [`Session`] behind a lock.
 #[derive(Debug)]
 pub struct Engine {
     session: Mutex<Session>,
+    options: TransportOptions,
+    requests: AtomicU64,
 }
 
 impl Engine {
-    /// Wraps a session for concurrent serving.
+    /// Wraps a session for concurrent serving with default transport options.
     pub fn new(session: Session) -> Self {
+        Engine::with_options(session, TransportOptions::new())
+    }
+
+    /// Wraps a session with explicit transport options.
+    pub fn with_options(session: Session, options: TransportOptions) -> Self {
         Engine {
             session: Mutex::new(session),
+            options,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The request-line length bound enforced by [`Engine::handle_line`] and
+    /// the transports' bounded readers.
+    pub fn max_line_bytes(&self) -> usize {
+        self.options.max_line_bytes
+    }
+
+    /// Locks the session, recovering from a poisoned lock: a handler panic
+    /// unwound through the mutex, so clear the poison and roll the session
+    /// back to its last committed result before handing it out.
+    fn lock_session(&self) -> MutexGuard<'_, Session> {
+        match self.session.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.session.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.recover_after_panic();
+                guard
+            }
         }
     }
 
     /// Handles one request line, returning the compact one-line response.
     /// Safe to call from any thread; requests serialize through the session
-    /// lock.
+    /// lock. A panicking handler is confined to its own request: the session
+    /// rolls back to the last committed result and the response is `-32000`
+    /// with `recovered: true`.
     pub fn handle_line(&self, line: &str) -> String {
-        let mut session = self.session.lock().expect("session lock poisoned");
-        handle_request_line(&mut session, line).to_string_compact()
+        let key = self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut line = line;
+        let inflated;
+        if let Some(plan) = &self.options.fault {
+            plan.maybe_delay(site::SERVER_IO_LATENCY, key);
+            if plan.fires(site::SERVER_IO_TRUNCATE, key) {
+                // Simulate a client whose write was cut short mid-line.
+                let mut cut = line.len() / 3;
+                while cut > 0 && !line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                line = &line[..cut];
+            }
+            if plan.fires(site::SERVER_IO_OVERSIZE, key) {
+                // Simulate a client flooding one line past the bound.
+                inflated = format!(
+                    "{line}{}",
+                    " ".repeat(self.options.max_line_bytes.saturating_sub(line.len()) + 1)
+                );
+                line = &inflated;
+            }
+        }
+        if line.len() > self.options.max_line_bytes {
+            return oversize_response(line.len(), self.options.max_line_bytes).to_string_compact();
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut session = self.lock_session();
+            handle_request_line(&mut session, line).to_string_compact()
+        }));
+        match outcome {
+            Ok(response) => response,
+            Err(payload) => {
+                // Eagerly clear the poison and roll back on the thread that
+                // observed the panic, so concurrent requests never see it.
+                drop(self.lock_session());
+                recovered_response(line, &panic_message(payload.as_ref())).to_string_compact()
+            }
+        }
+    }
+}
+
+/// One framing outcome from the bounded line reader.
+enum BoundedLine {
+    /// A complete line within the bound (CR stripped, may be blank).
+    Line(String),
+    /// A line that exceeded the bound; payload is its observed byte length
+    /// (the excess bytes were discarded, not buffered).
+    Oversize(usize),
+}
+
+/// Newline framing with a hard per-line byte bound. Oversized lines are
+/// drained chunk-by-chunk and reported with their observed length — peak
+/// memory stays at `max + one BufRead chunk` no matter what a client sends.
+/// Partial lines survive across `WouldBlock`/`TimedOut` reads, so a caller
+/// polling a socket with a read timeout can resume mid-line.
+struct BoundedLineReader<R> {
+    reader: R,
+    max: usize,
+    buf: Vec<u8>,
+    /// Set once the current line exceeded `max`; bytes are counted, not kept.
+    overflowing: bool,
+    discarded: usize,
+}
+
+impl<R: BufRead> BoundedLineReader<R> {
+    fn new(reader: R, max: usize) -> Self {
+        BoundedLineReader {
+            reader,
+            max,
+            buf: Vec::new(),
+            overflowing: false,
+            discarded: 0,
+        }
+    }
+
+    fn take_oversize(&mut self) -> BoundedLine {
+        let total = self.discarded;
+        self.overflowing = false;
+        self.discarded = 0;
+        self.buf.clear();
+        BoundedLine::Oversize(total)
+    }
+
+    fn take_line(&mut self) -> BoundedLine {
+        let mut line = std::mem::take(&mut self.buf);
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        BoundedLine::Line(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// The next framed line, `Ok(None)` at EOF. Timeout-ish errors
+    /// (`WouldBlock`, `TimedOut`) surface to the caller with all partial
+    /// state intact — call again to resume.
+    fn next_line(&mut self) -> io::Result<Option<BoundedLine>> {
+        loop {
+            let available = match self.reader.fill_buf() {
+                Ok(available) => available,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF: flush whatever the unterminated final line held.
+                if self.overflowing {
+                    return Ok(Some(self.take_oversize()));
+                }
+                if self.buf.is_empty() {
+                    return Ok(None);
+                }
+                return Ok(Some(self.take_line()));
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if self.overflowing {
+                        self.discarded += pos;
+                        self.reader.consume(pos + 1);
+                        return Ok(Some(self.take_oversize()));
+                    }
+                    self.buf.extend_from_slice(&available[..pos]);
+                    self.reader.consume(pos + 1);
+                    if self.buf.len() > self.max {
+                        self.discarded = self.buf.len();
+                        return Ok(Some(self.take_oversize()));
+                    }
+                    return Ok(Some(self.take_line()));
+                }
+                None => {
+                    let n = available.len();
+                    if self.overflowing {
+                        self.discarded += n;
+                    } else {
+                        self.buf.extend_from_slice(available);
+                        if self.buf.len() > self.max {
+                            self.overflowing = true;
+                            self.discarded = self.buf.len();
+                            self.buf.clear();
+                        }
+                    }
+                    self.reader.consume(n);
+                }
+            }
+        }
     }
 }
 
 /// Serves newline-delimited requests from `input` to `output` until EOF —
 /// the stdin/stdout transport (`mcsm-serve --stdio`). Blank lines are
-/// ignored; every request line produces exactly one response line.
+/// ignored; every non-blank request line produces exactly one response line,
+/// including lines past the engine's length bound (answered `-32600`).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the reader or writer.
 pub fn serve_stdio(engine: &Engine, input: impl BufRead, mut output: impl Write) -> io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        writeln!(output, "{}", engine.handle_line(&line))?;
+    let mut lines = BoundedLineReader::new(input, engine.max_line_bytes());
+    while let Some(framed) = lines.next_line()? {
+        let response = match framed {
+            BoundedLine::Oversize(got) => {
+                oversize_response(got, engine.max_line_bytes()).to_string_compact()
+            }
+            BoundedLine::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                engine.handle_line(&line)
+            }
+        };
+        writeln!(output, "{response}")?;
         output.flush()?;
     }
     Ok(())
@@ -71,9 +318,10 @@ impl TcpServer {
         self.addr
     }
 
-    /// Signals the accept loop to exit and waits for it. In-flight
-    /// connections finish their current request queue (the worker pool joins
-    /// before the acceptor exits).
+    /// Signals the accept loop to exit and waits for it. In-flight requests
+    /// drain gracefully: connection loops poll with a short read timeout, so
+    /// each finishes its current request, notices the flag, and exits; the
+    /// worker pool joins before the acceptor does.
     pub fn stop(&mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             self.shutdown.store(true, Ordering::SeqCst);
@@ -90,18 +338,43 @@ impl Drop for TcpServer {
     }
 }
 
-fn serve_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        writeln!(writer, "{}", engine.handle_line(&line))?;
+/// How often an idle connection re-checks the shutdown flag.
+const CONNECTION_POLL: Duration = Duration::from_millis(200);
+
+fn serve_connection(engine: &Engine, stream: TcpStream, shutdown: &AtomicBool) -> io::Result<()> {
+    stream.set_read_timeout(Some(CONNECTION_POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut lines = BoundedLineReader::new(BufReader::new(stream), engine.max_line_bytes());
+    loop {
+        let framed = match lines.next_line() {
+            Ok(framed) => framed,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle poll tick: exit if shutting down, else keep waiting
+                // (any partial line is preserved by the reader).
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let Some(framed) = framed else {
+            return Ok(());
+        };
+        let response = match framed {
+            BoundedLine::Oversize(got) => {
+                oversize_response(got, engine.max_line_bytes()).to_string_compact()
+            }
+            BoundedLine::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                engine.handle_line(&line)
+            }
+        };
+        writeln!(writer, "{response}")?;
         writer.flush()?;
     }
-    Ok(())
 }
 
 /// Binds `addr` and serves connections on a [`ThreadPool`] of `threads`
@@ -126,8 +399,9 @@ pub fn serve_tcp(engine: Arc<Engine>, addr: &str, threads: usize) -> io::Result<
             }
             let Ok(stream) = stream else { continue };
             let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown_flag);
             pool.execute(move || {
-                let _ = serve_connection(&engine, stream);
+                let _ = serve_connection(&engine, stream, &shutdown);
             });
         }
         pool.join();
@@ -169,6 +443,56 @@ mod tests {
     }
 
     #[test]
+    fn oversized_lines_answer_without_buffering() {
+        let engine = Engine::with_options(
+            Session::new(ModelLibrary::new(1.2), SessionConfig::default()),
+            TransportOptions::new().with_max_line_bytes(256),
+        );
+        let huge = "x".repeat(10_000);
+        let input = format!("{huge}\n{{\"id\":2,\"method\":\"stats\"}}\n");
+        let mut output = Vec::new();
+        serve_stdio(&engine, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            2,
+            "oversize answered, next line served: {text}"
+        );
+        let doc = mcsm_num::json::JsonValue::parse(lines[0]).unwrap();
+        assert_eq!(
+            doc.get("error").unwrap().get("code").unwrap().as_f64(),
+            Some(-32600.0)
+        );
+        assert!(lines[0].contains("10000"), "length named: {}", lines[0]);
+        assert!(lines[0].contains("256"), "limit named: {}", lines[0]);
+        let doc = mcsm_num::json::JsonValue::parse(lines[1]).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn handler_panic_recovers_and_keeps_serving() {
+        use mcsm_num::fault::{site, FaultPlan};
+        // Rate 1.0 on the request-panic site: every request's handler
+        // panics under the lock; the engine must recover each time.
+        let plan = Arc::new(FaultPlan::new(7, 1.0).with_sites([site::SERVER_REQUEST_PANIC]));
+        let session = Session::new(ModelLibrary::new(1.2), SessionConfig::default())
+            .with_fault(Some(Arc::clone(&plan)));
+        let engine = Engine::new(session);
+        for id in 0..3 {
+            let response = engine.handle_line(&format!(
+                "{{\"id\":{id},\"method\":\"stats\",\"params\":{{}}}}"
+            ));
+            let doc = mcsm_num::json::JsonValue::parse(&response).unwrap();
+            let error = doc.get("error").unwrap();
+            assert_eq!(error.get("code").unwrap().as_f64(), Some(-32000.0));
+            assert_eq!(error.get("recovered").unwrap().as_bool(), Some(true));
+            assert_eq!(doc.get("id").unwrap().as_f64(), Some(id as f64));
+        }
+        assert_eq!(plan.fired(site::SERVER_REQUEST_PANIC), 3);
+    }
+
+    #[test]
     fn tcp_transport_round_trips() {
         let engine = Arc::new(engine());
         let mut server = serve_tcp(engine, "127.0.0.1:0", 2).unwrap();
@@ -185,5 +509,21 @@ mod tests {
         drop(writer);
         drop(reader);
         server.stop();
+    }
+
+    #[test]
+    fn tcp_stop_drains_idle_connections() {
+        let engine = Arc::new(engine());
+        let mut server = serve_tcp(engine, "127.0.0.1:0", 2).unwrap();
+        // An idle connected client must not wedge shutdown: the connection
+        // loop polls with a read timeout and notices the flag.
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let started = std::time::Instant::now();
+        server.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stop() hung on an idle connection"
+        );
+        drop(stream);
     }
 }

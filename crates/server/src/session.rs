@@ -29,6 +29,7 @@ use mcsm_netsim::{
     simulate_netlist_cached, NetsimOptions, NetsimResult, NetsimStats, Observe, SimCaches,
     DEFAULT_EVENT_THRESHOLD,
 };
+use mcsm_num::fault::{site, Deadline, FaultPlan};
 use mcsm_num::json::JsonValue;
 use mcsm_seq::{
     analyze_sequential, initial_seq_state, resimulate_cycle, step_cycle, CycleInputs, CycleOutcome,
@@ -39,6 +40,7 @@ use mcsm_sta::models::ModelLibrary;
 use mcsm_sta::slack::{ClockSpec, EndpointKind};
 use mcsm_sta::TimingOptions;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Evaluation defaults of a session; individual fields can be overridden per
 /// `load_netlist` request.
@@ -186,6 +188,12 @@ pub struct Session {
     seq: u64,
     runs: u64,
     last_run: Option<(RunMode, NetsimStats)>,
+    /// Fault-injection plan for chaos testing; `None` in production.
+    fault: Option<Arc<FaultPlan>>,
+    /// The active request's deadline (set from its `deadline_ms` option for
+    /// the duration of [`Session::handle`]), threaded into every netsim run
+    /// the request triggers.
+    deadline: Option<Arc<Deadline>>,
 }
 
 fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
@@ -258,7 +266,7 @@ fn endpoint_json(e: &mcsm_sta::slack::EndpointSlack) -> JsonValue {
 }
 
 fn stats_json(stats: &NetsimStats) -> JsonValue {
-    obj(vec![
+    let mut fields = vec![
         ("gates_simulated", num(stats.gates_simulated as f64)),
         ("gates_skipped", num(stats.gates_skipped as f64)),
         ("gates_reused", num(stats.gates_reused as f64)),
@@ -269,7 +277,28 @@ fn stats_json(stats: &NetsimStats) -> JsonValue {
         ("waveform_misses", num(stats.waveform_misses as f64)),
         ("peak_live_waveforms", num(stats.peak_live_waveforms as f64)),
         ("breakpoints_dropped", num(stats.breakpoints_dropped as f64)),
-    ])
+        ("recoveries", num(stats.recoveries.len() as f64)),
+    ];
+    if !stats.recoveries.is_empty() {
+        fields.push((
+            "recovery_log",
+            JsonValue::Array(
+                stats
+                    .recoveries
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("gate", string(&r.gate)),
+                            ("net", string(&r.net)),
+                            ("resolution", string(r.resolution.label())),
+                            ("failure", string(&r.failure)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    obj(fields)
 }
 
 impl Session {
@@ -284,12 +313,49 @@ impl Session {
             seq: 0,
             runs: 0,
             last_run: None,
+            fault: None,
+            deadline: None,
         }
+    }
+
+    /// Arms a fault-injection plan: the request handler and every engine run
+    /// it triggers query the plan at their injection sites (chaos testing).
+    #[must_use]
+    pub fn with_fault(mut self, fault: Option<Arc<FaultPlan>>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The armed fault plan, if any (queried by the protocol layer's
+    /// parse-fault site).
+    pub(crate) fn fault(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
     }
 
     /// Requests handled so far (the last assigned `seq`).
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Rolls the session back to its last committed state after a request
+    /// handler panicked while holding the session lock.
+    ///
+    /// The committed anchors — netlist, drives, result, carried register
+    /// values — survive a panic (they are only replaced on success); what a
+    /// half-finished request can leave behind is *stale bookkeeping*: a dirt
+    /// state cleared before its run finished, or a committed cycle outcome
+    /// mid-replacement. Recovery forces full re-evaluation on the next
+    /// waveform-bearing query and drops the replayable cycle, so every
+    /// subsequent answer is recomputed from the committed anchors.
+    pub fn recover_after_panic(&mut self) {
+        self.deadline = None;
+        self.last_run = None;
+        if let Some(circuit) = self.circuit.as_mut() {
+            circuit.dirty = Dirty::Full;
+            if let Some(resident) = circuit.sequential.as_mut() {
+                resident.last = None;
+            }
+        }
     }
 
     /// Handles one request: assigns the next `seq`, dispatches on `method`,
@@ -304,13 +370,28 @@ impl Session {
     pub fn handle(&mut self, method: &str, params: &JsonValue) -> Result<JsonValue, ServeError> {
         self.seq += 1;
         let seq = self.seq;
+        // Chaos-testing injection point: the panic fires *under the session
+        // lock*, exercising the full poison-recovery path in the transport
+        // layer. Keyed by seq so a replay of the same request stream faults
+        // the same requests.
+        if let Some(plan) = &self.fault {
+            if plan.fires(site::SERVER_REQUEST_PANIC, seq) {
+                panic!(
+                    "injected fault `{}` (seq {seq})",
+                    site::SERVER_REQUEST_PANIC
+                );
+            }
+        }
+        // Per-request deadline: engine runs triggered by this request poll the
+        // token and abandon the sweep when it expires (answered `-32001`).
+        self.deadline = opt_f64(params, "deadline_ms").map(Deadline::after_ms);
         let before = (
             self.delay.hits(),
             self.delay.misses(),
             self.waveforms.hits(),
             self.waveforms.misses(),
         );
-        let mut result = match method {
+        let outcome = match method {
             "load_netlist" => self.load_netlist(params),
             "set_drive" => self.set_drive(params),
             "eco" => self.eco(params),
@@ -323,7 +404,9 @@ impl Session {
             "slack" => self.slack(),
             "stats" => self.stats(),
             other => Err(ServeError::MethodNotFound(other.to_string())),
-        }?;
+        };
+        self.deadline = None;
+        let mut result = outcome?;
         if let JsonValue::Object(fields) = &mut result {
             fields.push(("seq".to_string(), num(seq as f64)));
             fields.push((
@@ -429,10 +512,29 @@ impl Session {
             }
         }
         if let Some(window) = opt_f64(params, "window") {
+            if !window.is_finite() || window <= 0.0 {
+                return Err(ServeError::InvalidParams(format!(
+                    "`window` must be a finite positive number of seconds, got {window}"
+                )));
+            }
             self.config.window = window;
         }
         if let Some(dt) = opt_f64(params, "dt") {
+            if !dt.is_finite() || dt <= 0.0 {
+                return Err(ServeError::InvalidParams(format!(
+                    "`dt` must be a finite positive number of seconds, got {dt}"
+                )));
+            }
             self.config.dt = dt;
+        }
+        // Bound the per-gate step count so a hostile (or fuzzed) window/dt
+        // pair cannot wedge the single-writer session in one giant solve.
+        let steps = self.config.window / self.config.dt;
+        if !(steps <= 5e6) {
+            return Err(ServeError::InvalidParams(format!(
+                "window/dt implies {steps:.0} engine steps per gate solve \
+                 (limit 5000000); raise `dt` or shrink `window`"
+            )));
         }
         let observe = match params.get("observe") {
             None => None,
@@ -649,33 +751,55 @@ impl Session {
         if let Some(points) = &circuit.observe {
             options = options.with_observe(Observe::Points(points.clone()));
         }
-        options = options.with_thin_eps(circuit.thin_eps);
+        options = options
+            .with_thin_eps(circuit.thin_eps)
+            .with_fault(self.fault.clone())
+            .with_deadline(self.deadline.clone());
         let caches = SimCaches {
             delay: &self.delay,
             waveforms: Some(&self.waveforms),
         };
-        match std::mem::replace(&mut circuit.dirty, Dirty::Clean) {
+        // Take the dirt, run, and only commit Clean on success: a failed or
+        // timed-out run restores the taken dirt so the next request retries
+        // the same work instead of silently serving a stale result.
+        let dirty = std::mem::replace(&mut circuit.dirty, Dirty::Clean);
+        let dirty = match dirty {
+            // Seed-dirty with no committed baseline (e.g. a panic rollback
+            // dropped the result) cannot run incrementally — promote to full.
+            Dirty::Seeds(_) if circuit.result.is_none() => Dirty::Full,
+            other => other,
+        };
+        match dirty {
             Dirty::Clean => {
                 self.last_run = Some((RunMode::Noop, NetsimStats::default()));
             }
             Dirty::Full => {
-                let result = simulate_netlist_cached(
+                let run = simulate_netlist_cached(
                     &circuit.netlist,
                     &self.library,
                     &circuit.drives,
                     &options,
                     caches,
-                )?;
+                );
+                let result = match run {
+                    Ok(result) => result,
+                    Err(e) => {
+                        circuit.dirty = Dirty::Full;
+                        return Err(e.into());
+                    }
+                };
                 self.runs += 1;
                 self.last_run = Some((RunMode::Full, result.stats()));
                 circuit.result = Some(result);
             }
             Dirty::Seeds(seeds) => {
-                let previous = circuit
-                    .result
-                    .as_ref()
-                    .expect("seed-dirty state always has a committed result");
-                let result = resimulate_netlist(
+                let Some(previous) = circuit.result.as_ref() else {
+                    circuit.dirty = Dirty::Full;
+                    return Err(ServeError::Engine(
+                        "internal: seed-dirty session lost its committed result".into(),
+                    ));
+                };
+                let run = resimulate_netlist(
                     &circuit.netlist,
                     &self.library,
                     &circuit.drives,
@@ -683,16 +807,25 @@ impl Session {
                     caches,
                     previous,
                     &seeds,
-                )?;
+                );
+                let result = match run {
+                    Ok(result) => result,
+                    Err(e) => {
+                        circuit.dirty = Dirty::Seeds(seeds);
+                        return Err(e.into());
+                    }
+                };
                 self.runs += 1;
                 self.last_run = Some((RunMode::Incremental, result.stats()));
                 circuit.result = Some(result);
             }
         }
-        Ok(circuit
-            .result
-            .as_ref()
-            .expect("ensure_result always commits a result"))
+        match circuit.result.as_ref() {
+            Some(result) => Ok(result),
+            None => Err(ServeError::Engine(
+                "internal: run committed no result".into(),
+            )),
+        }
     }
 
     fn find_result_net(&mut self, params: &JsonValue) -> Result<(String, NetRef), ServeError> {
@@ -765,9 +898,11 @@ impl Session {
         let (name, net) = self.find_result_net(params)?;
         let result = self.ensure_result()?;
         Self::require_observed(result, &name, net)?;
-        let waveform = result
-            .waveform(net)
-            .expect("observed nets keep their waveform");
+        let waveform = result.waveform(net).ok_or_else(|| {
+            ServeError::Engine(format!(
+                "internal: observed net `{name}` has no committed waveform"
+            ))
+        })?;
         Ok(obj(vec![
             ("net", string(&name)),
             ("samples", num(waveform.len() as f64)),
@@ -784,10 +919,17 @@ impl Session {
             self.circuit_mut()?.dirty = Dirty::Full;
         }
         self.ensure_result()?;
-        let (mode, stats) = self.last_run.expect("ensure_result records the run");
+        let (mode, stats) = match &self.last_run {
+            Some((mode, stats)) => (*mode, stats),
+            None => {
+                return Err(ServeError::Engine(
+                    "internal: run recorded no statistics".into(),
+                ))
+            }
+        };
         Ok(obj(vec![
             ("mode", string(mode.name())),
-            ("stats", stats_json(&stats)),
+            ("stats", stats_json(stats)),
         ]))
     }
 
@@ -901,6 +1043,12 @@ impl Session {
                         "`count` must be a positive integer".into(),
                     ));
                 }
+                if n > 4096.0 {
+                    return Err(ServeError::InvalidParams(format!(
+                        "`count` is capped at 4096 cycles per request, got {n:.0}; \
+                         split the run across requests (state carries over)"
+                    )));
+                }
                 n as usize
             }
         };
@@ -910,6 +1058,8 @@ impl Session {
             delay,
             waveforms,
             circuit,
+            fault,
+            deadline,
             ..
         } = self;
         let circuit = circuit
@@ -932,7 +1082,11 @@ impl Session {
         let resident = circuit.sequential.as_mut().ok_or_else(|| {
             ServeError::InvalidParams("no clock loaded — call load_clock first".into())
         })?;
-        let options = seq_options(config, library.vdd(), resident.pi_slew, None);
+        let mut options = seq_options(config, library.vdd(), resident.pi_slew, None);
+        options.netsim = options
+            .netsim
+            .with_fault(fault.clone())
+            .with_deadline(deadline.clone());
         let caches = SimCaches {
             delay,
             waveforms: Some(waveforms),
@@ -940,6 +1094,16 @@ impl Session {
         let first = CycleInputs::from_pairs(values);
         let hold = CycleInputs::hold();
         for i in 0..count {
+            // Cooperative cancellation between cycles: completed cycles stay
+            // committed in the carried register state, the rest are dropped.
+            if let Some(d) = deadline.as_ref() {
+                if d.expired() {
+                    return Err(ServeError::Timeout(format!(
+                        "request budget spent after {i} of {count} cycles; \
+                         register state holds the last completed cycle"
+                    )));
+                }
+            }
             let inputs = if i == 0 { &first } else { &hold };
             let outcome = step_cycle(
                 &resident.seq,
@@ -952,10 +1116,11 @@ impl Session {
             )?;
             resident.last = Some(outcome);
         }
-        let last = resident
-            .last
-            .as_ref()
-            .expect("count >= 1 committed a cycle");
+        let Some(last) = resident.last.as_ref() else {
+            return Err(ServeError::Engine(
+                "internal: cycle loop committed no outcome".into(),
+            ));
+        };
         let registers = resident
             .seq
             .registers()
@@ -1049,15 +1214,20 @@ impl Session {
             circuit,
             ..
         } = self;
-        let circuit = circuit.as_mut().expect("caller checked the circuit");
+        let Some(circuit) = circuit.as_mut() else {
+            return Err(ServeError::Engine(
+                "internal: reseat_sequential called with no netlist loaded".into(),
+            ));
+        };
         match SeqNetlist::partition(&circuit.netlist) {
-            Ok(seq) => {
-                circuit
-                    .sequential
-                    .as_mut()
-                    .expect("caller checked the clock")
-                    .seq = seq;
-            }
+            Ok(seq) => match circuit.sequential.as_mut() {
+                Some(resident) => resident.seq = seq,
+                None => {
+                    return Err(ServeError::Engine(
+                        "internal: reseat_sequential called with no clock loaded".into(),
+                    ))
+                }
+            },
             Err(e) => {
                 // The edit made the netlist un-clockable (e.g. introduced an
                 // unsupported latch): drop the sequential context rather than
@@ -1069,7 +1239,11 @@ impl Session {
                 )));
             }
         }
-        let resident = circuit.sequential.as_mut().expect("reseated above");
+        let Some(resident) = circuit.sequential.as_mut() else {
+            return Err(ServeError::Engine(
+                "internal: sequential context vanished during reseat".into(),
+            ));
+        };
         let Some(comb) = resident.seq.comb() else {
             resident.last = None;
             return Ok("restructured");
