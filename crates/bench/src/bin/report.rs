@@ -1,0 +1,86 @@
+//! The `report` binary: merges committed `BENCH_*.json` files into one
+//! performance-trajectory table.
+//!
+//! ```text
+//! report [--dir DIR] [--out-md PATH] [--out-json PATH]
+//! ```
+//!
+//! * `--dir DIR` — directory scanned for `BENCH_*.json` (default `.`, the
+//!   repo root where the bench binaries write their reports).
+//! * `--out-md PATH` — markdown output (default `bench-out/REPORT.md`).
+//! * `--out-json PATH` — JSON mirror (default `bench-out/REPORT.json`).
+//!
+//! The markdown is also printed to stdout. CI runs this after the bench
+//! smoke job and uploads both outputs, so headline metrics can be compared
+//! across commits without opening each report. A corrupt report fails the
+//! run rather than silently dropping out of the table.
+
+use mcsm_bench::{scan_dir, to_json, to_markdown, write_json_report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    dir: PathBuf,
+    out_md: PathBuf,
+    out_json: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: PathBuf::from("."),
+        out_md: PathBuf::from("bench-out/REPORT.md"),
+        out_json: PathBuf::from("bench-out/REPORT.json"),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--dir" => args.dir = PathBuf::from(value("--dir")?),
+            "--out-md" => args.out_md = PathBuf::from(value("--out-md")?),
+            "--out-json" => args.out_json = PathBuf::from(value("--out-json")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("report: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reports = match scan_dir(&args.dir) {
+        Ok(reports) => reports,
+        Err(message) => {
+            eprintln!("report: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let markdown = to_markdown(&reports);
+    print!("{markdown}");
+    for path in [&args.out_md, &args.out_json] {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out_md, &markdown) {
+        eprintln!("report: cannot write {}: {e}", args.out_md.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(message) = write_json_report(&args.out_json, &to_json(&reports)) {
+        eprintln!("report: {message}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "report: merged {} reports into {} and {}",
+        reports.len(),
+        args.out_md.display(),
+        args.out_json.display()
+    );
+    ExitCode::SUCCESS
+}

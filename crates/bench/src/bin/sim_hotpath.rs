@@ -3,7 +3,7 @@
 //! writes `BENCH_sim.json`.
 //!
 //! ```text
-//! sim_hotpath [--out PATH] [--min-speedup X]
+//! sim_hotpath [--out PATH] [--min-speedup X] [--max-obs-overhead PCT]
 //! ```
 //!
 //! * `--out PATH` — where to write the JSON report (default `BENCH_sim.json`
@@ -11,22 +11,29 @@
 //! * `--min-speedup X` — CI perf gate: exit non-zero unless the fast path is
 //!   at least `X` times faster than the reference path overall (and every
 //!   family's outputs are bit-identical across the paths).
+//! * `--max-obs-overhead PCT` — CI observability gate: re-run the
+//!   complete-MCSM workload with `mcsm-obs` disarmed vs armed (interleaved,
+//!   best-of) and exit non-zero if arming costs more than `PCT` percent —
+//!   the "tracing is free when off" guarantee, measured within one process
+//!   so shared-runner noise cancels.
 //!
 //! `MCSM_BENCH_FAST=1` shrinks circuits and grids for smoke runs.
 
-use mcsm_bench::{run_sim_hotpath, write_json_report, SimHotpathOptions};
+use mcsm_bench::{measure_obs_overhead, run_sim_hotpath, write_json_report, SimHotpathOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     out: PathBuf,
     min_speedup: Option<f64>,
+    max_obs_overhead: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         out: PathBuf::from("BENCH_sim.json"),
         min_speedup: None,
+        max_obs_overhead: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -38,6 +45,13 @@ fn parse_args() -> Result<Args, String> {
                     value("--min-speedup")?
                         .parse()
                         .map_err(|e| format!("--min-speedup: {e}"))?,
+                );
+            }
+            "--max-obs-overhead" => {
+                args.max_obs_overhead = Some(
+                    value("--max-obs-overhead")?
+                        .parse()
+                        .map_err(|e| format!("--max-obs-overhead: {e}"))?,
                 );
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -100,6 +114,28 @@ fn main() -> ExitCode {
         let speedup = report.overall_speedup();
         if speedup < min {
             eprintln!("sim_hotpath: overall speedup {speedup:.2}x is below the {min:.2}x gate");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(max) = args.max_obs_overhead {
+        let overhead = match measure_obs_overhead(&options) {
+            Ok(overhead) => overhead,
+            Err(error) => {
+                eprintln!("sim_hotpath: obs-overhead measurement failed: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "obs overhead: {:.2}% (disarmed {:.3}s, armed {:.3}s)",
+            overhead.overhead_percent(),
+            overhead.disabled_seconds,
+            overhead.armed_seconds
+        );
+        if overhead.overhead_percent() > max {
+            eprintln!(
+                "sim_hotpath: obs overhead {:.2}% exceeds the {max:.2}% gate",
+                overhead.overhead_percent()
+            );
             return ExitCode::FAILURE;
         }
     }

@@ -1,0 +1,109 @@
+//! The `trace_check` binary: validates a Chrome trace-event JSON file.
+//!
+//! ```text
+//! trace_check PATH [--min-spans N] [--require NAME]...
+//! ```
+//!
+//! * `PATH` — trace file written by `MCSM_TRACE_OUT`, `--trace-out` or the
+//!   `trace` RPC.
+//! * `--min-spans N` — fail unless at least `N` complete (`"ph":"X"`) span
+//!   events are present (default 1).
+//! * `--require NAME` — fail unless some span's name contains `NAME`
+//!   (repeatable; e.g. `--require rpc. --require netsim.level` proves the
+//!   trace nests from the serve loop down into the simulator).
+//!
+//! CI runs this against the smoke-session trace to gate trace validity: the
+//! file must parse, carry the `traceEvents` array, and contain the expected
+//! span names — a silently empty or malformed trace fails the step.
+
+use mcsm_num::json::JsonValue;
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    min_spans: usize,
+    require: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut path = None;
+    let mut min_spans = 1usize;
+    let mut require = Vec::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--min-spans" => {
+                min_spans = value("--min-spans")?
+                    .parse()
+                    .map_err(|e| format!("--min-spans: {e}"))?;
+            }
+            "--require" => require.push(value("--require")?),
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err("expected exactly one trace file path".to_string());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        path: path.ok_or("usage: trace_check PATH [--min-spans N] [--require NAME]...")?,
+        min_spans,
+        require,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("{} is not JSON: {}", args.path, e.0))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or_else(|| format!("{} has no `traceEvents` field", args.path))?;
+    let JsonValue::Array(events) = events else {
+        return Err(format!("{}: `traceEvents` is not an array", args.path));
+    };
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|event| event.get("ph").and_then(|ph| ph.as_str()) == Some("X"))
+        .filter_map(|event| event.get("name").and_then(|name| name.as_str()))
+        .collect();
+    println!(
+        "trace_check: {} — {} events, {} complete spans",
+        args.path,
+        events.len(),
+        names.len()
+    );
+    if names.len() < args.min_spans {
+        return Err(format!(
+            "only {} complete spans, need at least {}",
+            names.len(),
+            args.min_spans
+        ));
+    }
+    for needle in &args.require {
+        if !names.iter().any(|name| name.contains(needle.as_str())) {
+            return Err(format!("no span name contains `{needle}`"));
+        }
+        println!("trace_check: found required span `{needle}`");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("trace_check: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("trace_check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,6 +15,7 @@ pub mod scale;
 pub mod seqsim;
 pub mod server;
 pub mod sim_hotpath;
+pub mod trajectory;
 
 pub use batch::*;
 pub use experiments::*;
@@ -25,3 +26,4 @@ pub use scale::*;
 pub use seqsim::*;
 pub use server::*;
 pub use sim_hotpath::*;
+pub use trajectory::*;

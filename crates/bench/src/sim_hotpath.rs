@@ -318,6 +318,70 @@ pub fn run_sim_hotpath(options: &SimHotpathOptions) -> Result<SimHotpathReport, 
     Ok(SimHotpathReport { gates, cases })
 }
 
+/// Result of the observability-overhead measurement: best wall-clock of the
+/// complete-MCSM fast-path pass with obs fully disarmed vs with metrics and
+/// tracing armed, interleaved within one process so machine noise cancels.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverheadReport {
+    /// Best pass seconds with metrics and tracing disarmed.
+    pub disabled_seconds: f64,
+    /// Best pass seconds with metrics and tracing armed.
+    pub armed_seconds: f64,
+}
+
+impl ObsOverheadReport {
+    /// Armed-over-disabled overhead in percent (negative when armed happened
+    /// to run faster). The CI gate checks this stays under a small bound —
+    /// and since the disarmed path does strictly less work than the armed one
+    /// (one relaxed flag load per probe), armed-within-bound implies the
+    /// disabled instrumentation is free within the same bound.
+    pub fn overhead_percent(&self) -> f64 {
+        (self.armed_seconds / self.disabled_seconds.max(1e-12) - 1.0) * 100.0
+    }
+}
+
+/// Measures instrumentation overhead on the engine hot path: replays the
+/// complete-MCSM gate workload with obs disarmed and armed, alternating per
+/// repeat, and reports the best time of each. Leaves obs disarmed on return.
+///
+/// # Errors
+///
+/// Propagates characterization and simulation failures.
+pub fn measure_obs_overhead(options: &SimHotpathOptions) -> Result<ObsOverheadReport, StaError> {
+    let technology = Technology::cmos_130nm();
+    let library = ModelLibrary::characterize_parallel(
+        &technology,
+        &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+        &options.config,
+        0,
+    )?;
+    let netlists = sweep_netlists(&options.sizes);
+    let sim_options = CsmSimOptions::new(options.t_stop, options.dt);
+    let tasks = family_tasks(&library, &netlists, "complete_mcsm", technology.vdd)?;
+
+    let mut disabled_seconds = f64::INFINITY;
+    let mut armed_seconds = f64::INFINITY;
+    for _ in 0..options.repeats.max(2) {
+        mcsm_obs::set_metrics(false);
+        mcsm_obs::set_trace(false);
+        let (_, seconds) = run_pass(&tasks, &sim_options, EvalMode::Fast)?;
+        disabled_seconds = disabled_seconds.min(seconds);
+
+        mcsm_obs::set_metrics(true);
+        mcsm_obs::set_trace(true);
+        let (_, seconds) = run_pass(&tasks, &sim_options, EvalMode::Fast)?;
+        armed_seconds = armed_seconds.min(seconds);
+    }
+    mcsm_obs::set_metrics(false);
+    mcsm_obs::set_trace(false);
+    mcsm_obs::span::clear();
+
+    Ok(ObsOverheadReport {
+        disabled_seconds,
+        armed_seconds,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,210 @@
+//! Merges committed `BENCH_*.json` reports into one performance-trajectory
+//! table.
+//!
+//! Every bench binary writes a `BENCH_<experiment>.json` with a small set of
+//! top-level headline scalars (`overall_speedup`, `parallel_speedup`,
+//! `overall_warm_ratio`, ...) above its per-case detail arrays. The `report`
+//! binary collects whatever `BENCH_*.json` files are present, flattens the
+//! headline scalars into long-format rows and emits one markdown table plus a
+//! machine-readable JSON mirror — the artifact CI uploads from the bench
+//! smoke job so the headline numbers can be tracked across commits without
+//! opening each report.
+
+use mcsm_num::json::JsonValue;
+use std::path::{Path, PathBuf};
+
+/// One parsed `BENCH_*.json`: its headline scalars plus the sizes of its
+/// detail arrays (reported as `<name>_count` so a shrinking sweep is visible
+/// in the trajectory even though the per-case rows are not merged).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// File name (not path) the report was read from, e.g. `BENCH_sim.json`.
+    pub file: String,
+    /// The report's `experiment` tag, or `?` when absent.
+    pub experiment: String,
+    /// Whether the report was produced under `MCSM_BENCH_FAST=1`. Fast-mode
+    /// numbers use trimmed sweeps — comparable to other fast runs only.
+    pub fast_mode: bool,
+    /// Name-sorted headline scalars: top-level numbers plus one
+    /// `<name>_count` per top-level array.
+    pub scalars: Vec<(String, f64)>,
+}
+
+/// Parses one `BENCH_*.json` file into a [`BenchReport`].
+///
+/// # Errors
+///
+/// Returns a message naming the file for unreadable or unparseable input.
+pub fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc =
+        JsonValue::parse(&text).map_err(|e| format!("cannot parse {}: {}", path.display(), e.0))?;
+    let JsonValue::Object(fields) = &doc else {
+        return Err(format!("{}: top level is not an object", path.display()));
+    };
+    let file = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let mut report = BenchReport {
+        file,
+        experiment: "?".to_string(),
+        fast_mode: false,
+        scalars: Vec::new(),
+    };
+    for (name, value) in fields {
+        match value {
+            JsonValue::String(s) if name == "experiment" => report.experiment = s.clone(),
+            JsonValue::Bool(b) if name == "fast_mode" => report.fast_mode = *b,
+            JsonValue::Number(n) => report.scalars.push((name.clone(), *n)),
+            JsonValue::Array(items) => report
+                .scalars
+                .push((format!("{name}_count"), items.len() as f64)),
+            _ => {}
+        }
+    }
+    report.scalars.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(report)
+}
+
+/// Finds every `BENCH_*.json` directly inside `dir` (no recursion), sorted by
+/// file name so the merged output is directory-order independent.
+///
+/// # Errors
+///
+/// Returns a message for an unreadable directory or any unparseable report —
+/// a corrupt committed report should fail the CI step, not vanish from the
+/// table.
+pub fn scan_dir(dir: &Path) -> Result<Vec<BenchReport>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            path.file_name()
+                .map(|n| n.to_string_lossy())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    paths.iter().map(|path| load_report(path)).collect()
+}
+
+/// Renders the merged trajectory as a long-format markdown table (one row per
+/// headline scalar), preceded by a per-report summary list.
+pub fn to_markdown(reports: &[BenchReport]) -> String {
+    let mut out = String::from("# Benchmark trajectory\n\n");
+    if reports.is_empty() {
+        out.push_str("No BENCH_*.json reports found.\n");
+        return out;
+    }
+    for report in reports {
+        let mode = if report.fast_mode { "fast" } else { "full" };
+        out.push_str(&format!(
+            "- `{}` — experiment `{}` ({mode} mode, {} headline metrics)\n",
+            report.file,
+            report.experiment,
+            report.scalars.len()
+        ));
+    }
+    out.push_str("\n| report | experiment | mode | metric | value |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for report in reports {
+        let mode = if report.fast_mode { "fast" } else { "full" };
+        for (name, value) in &report.scalars {
+            out.push_str(&format!(
+                "| {} | {} | {mode} | {name} | {value:.4} |\n",
+                report.file, report.experiment
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the merged trajectory as JSON: an array of per-report objects with
+/// name-sorted scalar maps, suitable for machine diffing across commits.
+pub fn to_json(reports: &[BenchReport]) -> JsonValue {
+    JsonValue::Array(
+        reports
+            .iter()
+            .map(|report| {
+                JsonValue::Object(vec![
+                    ("file".to_string(), JsonValue::String(report.file.clone())),
+                    (
+                        "experiment".to_string(),
+                        JsonValue::String(report.experiment.clone()),
+                    ),
+                    ("fast_mode".to_string(), JsonValue::Bool(report.fast_mode)),
+                    (
+                        "scalars".to_string(),
+                        JsonValue::Object(
+                            report
+                                .scalars
+                                .iter()
+                                .map(|(name, value)| (name.clone(), JsonValue::Number(*value)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, text: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mcsm_trajectory_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn load_flattens_scalars_and_counts_arrays() {
+        let path = write_temp(
+            "BENCH_demo.json",
+            r#"{"experiment":"demo","fast_mode":true,"overall_speedup":2.5,
+                "threads":2,"cases":[{"a":1},{"a":2}],"note":"ignored"}"#,
+        );
+        let report = load_report(&path).unwrap();
+        assert_eq!(report.experiment, "demo");
+        assert!(report.fast_mode);
+        // Name-sorted: cases_count, overall_speedup, threads.
+        assert_eq!(
+            report.scalars,
+            vec![
+                ("cases_count".to_string(), 2.0),
+                ("overall_speedup".to_string(), 2.5),
+                ("threads".to_string(), 2.0),
+            ]
+        );
+        let md = to_markdown(std::slice::from_ref(&report));
+        assert!(md.contains("| BENCH_demo.json | demo | fast | overall_speedup | 2.5000 |"));
+        let json = to_json(&[report]).to_string_compact();
+        assert!(json.contains("\"overall_speedup\""));
+    }
+
+    #[test]
+    fn scan_rejects_corrupt_reports() {
+        let good = write_temp("BENCH_ok.json", r#"{"experiment":"ok","x":1}"#);
+        write_temp("BENCH_bad.json", "{not json");
+        let dir = good.parent().unwrap();
+        let err = scan_dir(dir).unwrap_err();
+        assert!(err.contains("BENCH_bad.json"), "{err}");
+    }
+
+    #[test]
+    fn empty_directory_renders_placeholder() {
+        let dir =
+            std::env::temp_dir().join(format!("mcsm_trajectory_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let reports = scan_dir(&dir).unwrap();
+        assert!(reports.is_empty());
+        assert!(to_markdown(&reports).contains("No BENCH_*.json reports"));
+    }
+}

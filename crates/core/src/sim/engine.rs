@@ -428,6 +428,13 @@ pub fn simulate(
         }
     }
 
+    let lut_evals = stepper.eval.lookups();
+    mcsm_obs::counters(&[
+        ("core.sim.calls", 1),
+        ("core.sim.steps", substeps),
+        ("core.sim.lut_evals", lut_evals),
+    ]);
+
     // One shared time vector for the output and every state trace: an N-state
     // model must not clone the time axis N+1 times.
     let times = Arc::new(times);
@@ -438,7 +445,7 @@ pub fn simulate(
             .map(|values| Waveform::with_shared_times(Arc::clone(&times), values))
             .collect::<Result<_, _>>()?,
         steps: substeps,
-        lut_evals: stepper.eval.lookups(),
+        lut_evals,
     })
 }
 

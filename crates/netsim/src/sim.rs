@@ -747,6 +747,9 @@ fn solve_gate_resilient(
             });
         }
     }
+    let mut gate_span = mcsm_obs::span("netsim.gate");
+    gate_span.arg("gate", solve.gate.index() as f64);
+    gate_span.arg("net", solve.output.index() as f64);
     let fault = options.fault.as_deref();
     let key = solve.output.index() as u64;
     let primary = run_guarded(|| {
@@ -809,6 +812,7 @@ fn solve_gate_resilient(
         });
         if let Ok(w) = retry {
             if waveform_is_finite(&w) {
+                gate_span.arg("recovered", 1.0);
                 return Ok((w, Some(recovery(resolution))));
             }
         }
@@ -996,6 +1000,9 @@ fn run_levels(
     let t_stop = options.calculator.sim.t_stop;
     let vdd = options.calculator.vdd;
     let cache = caches.delay;
+    let mut run_span = mcsm_obs::span("netsim.run");
+    run_span.arg("gates", netlist.gate_count() as f64);
+    run_span.arg("incremental", if previous.is_some() { 1.0 } else { 0.0 });
     let mut stats = NetsimStats::default();
     // Cache counters are cumulative across runs of shared caches; report this
     // run's contribution as a delta (the session layer serializes runs, so no
@@ -1051,7 +1058,14 @@ fn run_levels(
     let mut level_inputs: Vec<DriveWaveform> = Vec::new();
     let mut solves: Vec<GateSolve<'_>> = Vec::new();
     let mut logic_buf: Vec<bool> = Vec::new();
-    for level in schedule.iter() {
+    let mut level_count = 0u64;
+    for (level_index, level) in schedule.iter().enumerate() {
+        level_count += 1;
+        let mut level_span = mcsm_obs::span("netsim.level");
+        let solved_before = stats.gates_simulated;
+        let skipped_before = stats.gates_skipped;
+        let recovered_before = stats.recoveries.len();
+        let mut level_reused = 0usize;
         // Cooperative cancellation checkpoint: a request whose deadline
         // passed abandons the sweep here (and again per gate inside the solve
         // closure) without touching any caller-owned committed state.
@@ -1070,6 +1084,7 @@ fn run_levels(
         for &gate_ref in level {
             if let Some(mask) = &in_cone {
                 if !mask[gate_ref.index()] {
+                    level_reused += 1;
                     continue; // pre-committed from the previous result
                 }
             }
@@ -1140,6 +1155,17 @@ fn run_levels(
             }
             store.commit_solved(solve.output, Arc::new(waveform), options.event_threshold);
         }
+
+        if level_span.enabled() {
+            level_span.arg("level", level_index as f64);
+            level_span.arg("solved", (stats.gates_simulated - solved_before) as f64);
+            level_span.arg("skipped", (stats.gates_skipped - skipped_before) as f64);
+            level_span.arg("reused", level_reused as f64);
+            level_span.arg(
+                "recovered",
+                (stats.recoveries.len() - recovered_before) as f64,
+            );
+        }
     }
 
     stats.peak_live_waveforms = store.peak_live_waveforms();
@@ -1162,6 +1188,39 @@ fn run_levels(
         ..
     } = store;
     stats.events = active.iter().filter(|&&a| a).count();
+
+    // Mirror the per-run stats into the global metric registry. Every value
+    // is a deterministic function of the workload (pinned at 1/2/8 threads by
+    // the netsim determinism tests), so counter snapshots stay bit-identical
+    // across thread schedules.
+    mcsm_obs::counters(&[
+        ("netsim.runs", 1),
+        ("netsim.levels", level_count),
+        ("netsim.gates_simulated", stats.gates_simulated as u64),
+        ("netsim.gates_skipped", stats.gates_skipped as u64),
+        ("netsim.gates_reused", stats.gates_reused as u64),
+        ("netsim.events", stats.events as u64),
+        ("netsim.cache_hits", stats.cache_hits as u64),
+        ("netsim.cache_misses", stats.cache_misses as u64),
+        ("netsim.waveform_hits", stats.waveform_hits as u64),
+        ("netsim.waveform_misses", stats.waveform_misses as u64),
+        ("netsim.recoveries", stats.recoveries.len() as u64),
+        (
+            "netsim.breakpoints_dropped",
+            stats.breakpoints_dropped as u64,
+        ),
+    ]);
+    mcsm_obs::gauge_max(
+        "netsim.peak_live_waveforms",
+        stats.peak_live_waveforms as f64,
+    );
+    if run_span.enabled() {
+        run_span.arg("levels", level_count as f64);
+        run_span.arg("solved", stats.gates_simulated as f64);
+        run_span.arg("skipped", stats.gates_skipped as f64);
+        run_span.arg("reused", stats.gates_reused as f64);
+        run_span.arg("recovered", stats.recoveries.len() as f64);
+    }
 
     // Netlist validation guarantees every net is a primary input or a gate
     // output, so a non-streamed schedule reaches all of them; a streamed run

@@ -28,6 +28,68 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
+use std::time::Instant;
+
+/// An observation hook for the parallel substrate.
+///
+/// `mcsm-num` sits below the observability crate in the dependency order, so
+/// it cannot record spans itself; instead an observer installs a sink here
+/// (once per process) and [`par_map`] / [`ThreadPool::execute`] report one
+/// [`hook::JobTiming`] per job — the instant it was handed to the substrate,
+/// the instant a worker picked it up (queue wait), and the instant it
+/// finished (execution). When no sink is installed the only cost on the job
+/// path is one relaxed atomic load per `par_map` call.
+pub mod hook {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// Wall-clock timeline of one job: queued → picked up → finished.
+    #[derive(Debug, Clone, Copy)]
+    pub struct JobTiming {
+        /// Item index within its `par_map` batch (submission order for
+        /// [`super::ThreadPool::execute`]).
+        pub index: usize,
+        /// When the batch (or job) was handed to the substrate.
+        pub queued: Instant,
+        /// When a worker started executing the job.
+        pub started: Instant,
+        /// When the job finished.
+        pub finished: Instant,
+    }
+
+    /// The sink signature: called on the worker thread right after each job.
+    pub type Sink = Box<dyn Fn(&JobTiming) + Send + Sync>;
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static SINK: OnceLock<Sink> = OnceLock::new();
+
+    /// Installs the process-wide job sink. The first installation wins;
+    /// returns whether this call installed its sink. The sink is invoked on
+    /// the worker thread that ran the job, right after the job returns.
+    pub fn install(sink: Sink) -> bool {
+        let installed = SINK.set(sink).is_ok();
+        if installed {
+            ARMED.store(true, Ordering::Release);
+        }
+        installed
+    }
+
+    /// Whether a sink is installed — the single relaxed-load branch the job
+    /// path checks before paying for any `Instant::now()` calls.
+    #[inline]
+    pub fn armed() -> bool {
+        ARMED.load(Ordering::Relaxed)
+    }
+
+    /// Reports one job timing to the installed sink, if any.
+    #[inline]
+    pub fn emit(timing: &JobTiming) {
+        if let Some(sink) = SINK.get() {
+            sink(timing);
+        }
+    }
+}
 
 /// The number of worker threads "auto" resolves to: the `MCSM_THREADS`
 /// environment variable if set to a positive integer, otherwise
@@ -107,6 +169,7 @@ pub struct ThreadPool {
     workers: Vec<thread::JoinHandle<()>>,
     sender: Option<mpsc::Sender<Job>>,
     pending: PendingCounter,
+    submitted: AtomicUsize,
 }
 
 impl ThreadPool {
@@ -144,6 +207,7 @@ impl ThreadPool {
             workers,
             sender: Some(sender),
             pending,
+            submitted: AtomicUsize::new(0),
         }
     }
 
@@ -156,10 +220,26 @@ impl ThreadPool {
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
         let (count, _) = &*self.pending;
         *count.lock().expect("pending counter poisoned") += 1;
+        let job: Job = if hook::armed() {
+            let index = self.submitted.fetch_add(1, Ordering::Relaxed);
+            let queued = Instant::now();
+            Box::new(move || {
+                let started = Instant::now();
+                job();
+                hook::emit(&hook::JobTiming {
+                    index,
+                    queued,
+                    started,
+                    finished: Instant::now(),
+                });
+            })
+        } else {
+            Box::new(job)
+        };
         self.sender
             .as_ref()
             .expect("pool sender alive while pool exists")
-            .send(Box::new(job))
+            .send(job)
             .expect("pool workers alive while pool exists");
     }
 
@@ -200,8 +280,35 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let threads = resolve_threads(threads).min(items.len().max(1));
+    // When the hook is armed, every job reports queue-wait and execution
+    // timestamps; the batch handoff instant doubles as the queue timestamp.
+    let queued_at = if hook::armed() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    let run_one = |index: usize, item: &T| -> R {
+        match queued_at {
+            Some(queued) => {
+                let started = Instant::now();
+                let result = f(index, item);
+                hook::emit(&hook::JobTiming {
+                    index,
+                    queued,
+                    started,
+                    finished: Instant::now(),
+                });
+                result
+            }
+            None => f(index, item),
+        }
+    };
     if threads <= 1 || items.len() < 2 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_one(i, t))
+            .collect();
     }
 
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
@@ -213,7 +320,7 @@ where
                 if index >= items.len() {
                     break;
                 }
-                let result = f(index, &items[index]);
+                let result = run_one(index, &items[index]);
                 *slots[index].lock().expect("result slot poisoned") = Some(result);
             });
         }

@@ -1,0 +1,379 @@
+//! Deterministic-friendly observability for the MCSM workspace.
+//!
+//! Three pieces, all std-only (the build environment has no crates.io
+//! access):
+//!
+//! * [`mod@span`] — hierarchical spans recorded into per-thread ring buffers
+//!   (monotonic clock, process-unique ids, parent links), exported as Chrome
+//!   trace-event JSON via [`trace`] — the file loads directly in Perfetto or
+//!   `chrome://tracing`.
+//! * [`metrics`] — counters, gauges and log₂-bucketed latency histograms
+//!   behind a process-global [`Registry`]. Aggregation is
+//!   thread-schedule-independent: counters are commutative sums and
+//!   snapshots are name-sorted, so equal work yields bit-identical counter
+//!   snapshots at any thread count.
+//! * the arming layer in this module — env-driven like `mcsm_num::fault`:
+//!
+//!   | variable         | effect                                            |
+//!   |------------------|---------------------------------------------------|
+//!   | `MCSM_TRACE`     | `1` arms span recording *and* metrics             |
+//!   | `MCSM_TRACE_OUT` | default path trace dumps are written to           |
+//!   | `MCSM_TRACE_BUF` | per-thread ring capacity in spans (default 65536) |
+//!
+//! Disabled is the default and costs one relaxed atomic load per
+//! instrumentation site (the `sim_hotpath` bench gates this in CI). Metrics
+//! can also be armed programmatically ([`arm_metrics`] — the server does, so
+//! its `metrics` RPC always has data) without paying for span recording.
+//!
+//! Instrumentation for `mcsm_num::par` arrives through the job hook that
+//! crate exposes (`mcsm_num::par::hook`): arming installs a sink that turns
+//! each job timing into `par.queue`/`par.exec` spans and histograms. This
+//! keeps the dependency order acyclic — `num` never depends on `obs`.
+
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{Histogram, Registry, Snapshot, HIST_BUCKETS};
+pub use span::{Span, SpanEvent};
+pub use trace::{chrome_trace, write_trace, TraceSummary};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+const F_INIT: u8 = 1;
+const F_METRICS: u8 = 2;
+const F_TRACE: u8 = 4;
+
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static TRACE_OUT: Mutex<Option<String>> = Mutex::new(None);
+
+/// The process trace epoch — every timestamp is an offset from this instant.
+/// Fixed on first use.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Microseconds since the process trace epoch — the workspace's single
+/// wall-clock source for request timing (`timing_us`) and latency histograms.
+#[inline]
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Converts an [`Instant`] (e.g. from the `par` job hook) to nanoseconds on
+/// the trace timeline; instants before the epoch clamp to 0.
+pub fn instant_ns(instant: Instant) -> u64 {
+    instant
+        .checked_duration_since(epoch())
+        .map_or(0, |d| d.as_nanos() as u64)
+}
+
+#[cold]
+fn init_slow() -> u8 {
+    // Reads the environment once; idempotent and race-free (both racers
+    // compute the same flags from the same environment).
+    let mut flags = F_INIT;
+    if mcsm_num::par::env_flag("MCSM_TRACE") {
+        flags |= F_TRACE | F_METRICS;
+    }
+    if let Ok(value) = std::env::var("MCSM_TRACE_BUF") {
+        if let Ok(cap) = value.trim().parse::<usize>() {
+            if cap > 0 {
+                span::set_buffer_capacity(cap);
+            }
+        }
+    }
+    FLAGS.fetch_or(flags, Ordering::Relaxed);
+    if flags & (F_TRACE | F_METRICS) != 0 {
+        install_par_hook();
+    }
+    epoch();
+    FLAGS.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn flags() -> u8 {
+    let flags = FLAGS.load(Ordering::Relaxed);
+    if flags & F_INIT == 0 {
+        init_slow()
+    } else {
+        flags
+    }
+}
+
+/// Reads the `MCSM_TRACE*` environment once and arms accordingly. Called
+/// lazily by every instrumentation site; calling it eagerly (server startup,
+/// bench mains) just pins the trace epoch early.
+pub fn init_from_env() {
+    flags();
+}
+
+/// Whether span recording is armed.
+#[inline]
+pub fn trace_enabled() -> bool {
+    flags() & F_TRACE != 0
+}
+
+/// Whether metric recording is armed.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    flags() & F_METRICS != 0
+}
+
+/// Arms metric recording regardless of the environment (the server does this
+/// so `metrics` RPC snapshots are always populated).
+pub fn arm_metrics() {
+    flags();
+    FLAGS.fetch_or(F_METRICS, Ordering::Relaxed);
+    install_par_hook();
+}
+
+/// Forces metric recording on or off (benches measuring armed-vs-disabled
+/// overhead; not intended for production paths).
+pub fn set_metrics(enabled: bool) {
+    flags();
+    if enabled {
+        arm_metrics();
+    } else {
+        FLAGS.fetch_and(!F_METRICS, Ordering::Relaxed);
+    }
+}
+
+/// Forces span recording on or off (benches and tests).
+pub fn set_trace(enabled: bool) {
+    flags();
+    if enabled {
+        FLAGS.fetch_or(F_TRACE, Ordering::Relaxed);
+        install_par_hook();
+    } else {
+        FLAGS.fetch_and(!F_TRACE, Ordering::Relaxed);
+    }
+}
+
+fn install_par_hook() {
+    // The sink checks the flags itself so arming/disarming after
+    // installation behaves; `install` is first-call-wins and cheap to retry.
+    let _ = mcsm_num::par::hook::install(Box::new(|timing| {
+        let flags = FLAGS.load(Ordering::Relaxed);
+        let queued_ns = instant_ns(timing.queued);
+        let started_ns = instant_ns(timing.started);
+        let finished_ns = instant_ns(timing.finished);
+        if flags & F_TRACE != 0 {
+            let index = timing.index as f64;
+            span::record_raw("par.queue", queued_ns, started_ns, vec![("job", index)]);
+            span::record_raw("par.exec", started_ns, finished_ns, vec![("job", index)]);
+        }
+        if flags & F_METRICS != 0 {
+            let registry = global();
+            registry.counter_add("par.jobs", 1);
+            registry.observe("par.queue_us", started_ns.saturating_sub(queued_ns) / 1000);
+            registry.observe("par.exec_us", finished_ns.saturating_sub(started_ns) / 1000);
+        }
+    }));
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-global metric registry.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Adds to a global counter when metrics are armed.
+#[inline]
+pub fn counter_add(name: &str, value: u64) {
+    if metrics_enabled() {
+        GLOBAL.counter_add(name, value);
+    }
+}
+
+/// Adds several global counters behind a single armed check (one lock per
+/// counter, but zero work at all when disarmed).
+#[inline]
+pub fn counters(pairs: &[(&str, u64)]) {
+    if metrics_enabled() {
+        for (name, value) in pairs {
+            GLOBAL.counter_add(name, *value);
+        }
+    }
+}
+
+/// Sets a global gauge when metrics are armed.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if metrics_enabled() {
+        GLOBAL.gauge_set(name, value);
+    }
+}
+
+/// Raises a global high-water-mark gauge when metrics are armed.
+#[inline]
+pub fn gauge_max(name: &str, value: f64) {
+    if metrics_enabled() {
+        GLOBAL.gauge_max(name, value);
+    }
+}
+
+/// Records a sample into a global histogram when metrics are armed.
+#[inline]
+pub fn observe_us(name: &str, us: u64) {
+    if metrics_enabled() {
+        GLOBAL.observe(name, us);
+    }
+}
+
+/// Opens a span named `name` on this thread; inert when tracing is disarmed.
+#[inline]
+pub fn span(name: &str) -> Span {
+    if trace_enabled() {
+        Span::begin(name.to_string())
+    } else {
+        Span::disabled()
+    }
+}
+
+/// Opens a span whose name is only built when tracing is armed — use for
+/// `format!`-ed names so the disabled path never allocates.
+#[inline]
+pub fn span_lazy(name: impl FnOnce() -> String) -> Span {
+    if trace_enabled() {
+        Span::begin(name())
+    } else {
+        Span::disabled()
+    }
+}
+
+/// Overrides the trace output path (`--trace-out`); takes precedence over
+/// `MCSM_TRACE_OUT`.
+pub fn set_trace_out(path: &str) {
+    let mut slot = match TRACE_OUT.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *slot = Some(path.to_string());
+}
+
+///// Where a trace dump should go: the [`set_trace_out`] override, else
+/// `MCSM_TRACE_OUT`, else `None`.
+pub fn trace_out_path() -> Option<String> {
+    let slot = match TRACE_OUT.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(path) = slot.as_ref() {
+        return Some(path.clone());
+    }
+    drop(slot);
+    match std::env::var("MCSM_TRACE_OUT") {
+        Ok(path) if !path.is_empty() => Some(path),
+        _ => None,
+    }
+}
+
+/// Dumps the trace to [`trace_out_path`] if tracing is armed and a path is
+/// configured. Servers and examples call this on shutdown; returns what was
+/// written, or `None` when nothing was configured.
+pub fn dump_trace_if_configured() -> Option<std::io::Result<(String, TraceSummary)>> {
+    if !trace_enabled() {
+        return None;
+    }
+    let path = trace_out_path()?;
+    Some(write_trace(&path).map(|summary| (path, summary)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The arming flags and span sink are process-global, so everything that
+    // toggles them lives in this one test to avoid cross-test interference
+    // (`cargo test` runs tests on threads within one process).
+    #[test]
+    fn arming_spans_and_export_work_end_to_end() {
+        init_from_env();
+        // Disabled by default in the test environment: spans are inert.
+        assert!(!trace_enabled(), "MCSM_TRACE must not leak into tests");
+        {
+            let mut inert = span("never.recorded");
+            inert.arg("x", 1.0);
+            assert!(!inert.enabled());
+        }
+        let (events, _) = span::collect();
+        assert!(events.iter().all(|e| e.name != "never.recorded"));
+
+        // Armed: spans nest via parent links and export as trace events.
+        set_trace(true);
+        {
+            let _outer = span("outer");
+            {
+                let mut inner = span_lazy(|| format!("inner.{}", 7));
+                inner.arg("level", 3.0);
+            }
+        }
+        set_trace(false);
+        let (events, dropped) = span::collect();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner.7").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.tid, outer.tid);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= events.iter().map(|e| e.end_ns).max().unwrap());
+        assert_eq!(inner.args, vec![("level", 3.0)]);
+        assert_eq!(dropped, 0);
+
+        // Chrome export: valid JSON, one X event per span plus metadata.
+        let document = chrome_trace();
+        let reparsed = mcsm_num::json::JsonValue::parse(&document.to_string_pretty()).unwrap();
+        let trace_events = reparsed.get("traceEvents").unwrap().as_array().unwrap();
+        let complete: Vec<_> = trace_events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), events.len());
+        let exported_inner = complete
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("inner.7"))
+            .unwrap();
+        assert_eq!(
+            exported_inner
+                .get("args")
+                .unwrap()
+                .get("parent")
+                .unwrap()
+                .as_f64(),
+            Some(outer.id as f64)
+        );
+
+        // Metrics arming: counter_add is a no-op until armed.
+        let before = global().snapshot().counter("obs.test.counter");
+        counter_add("obs.test.counter", 5);
+        assert_eq!(global().snapshot().counter("obs.test.counter"), before);
+        set_metrics(true);
+        counter_add("obs.test.counter", 5);
+        observe_us("obs.test.us", 250);
+        set_metrics(false);
+        let snapshot = global().snapshot();
+        assert_eq!(snapshot.counter("obs.test.counter"), before + 5);
+        assert_eq!(snapshot.histogram("obs.test.us").unwrap().count(), 1);
+        span::clear();
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        assert!(now_us() <= now_ns() / 1000 + 1);
+        assert_eq!(instant_ns(epoch()), 0);
+    }
+}

@@ -1,0 +1,548 @@
+//! Counters, gauges and log-bucketed histograms behind a [`Registry`].
+//!
+//! Everything here is **schedule-independent by construction**: counters and
+//! histogram buckets are commutative sums, gauges keep the last write (or the
+//! maximum, via [`Registry::gauge_max`]), and [`Registry::snapshot`] returns
+//! name-sorted vectors. Two runs that perform the same work therefore produce
+//! bit-identical counter snapshots regardless of how many threads recorded
+//! them or in which order — the property the 1/2/8-thread determinism tests
+//! pin.
+
+use mcsm_num::json::JsonValue;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `k`
+/// (`1 <= k < 39`) holds values in `[2^(k-1), 2^k)`, and the last bucket is
+/// the overflow bucket for everything at or above `2^38` (~76 hours in
+/// microseconds — far past any latency this system records).
+pub const HIST_BUCKETS: usize = 40;
+
+/// A log₂-bucketed histogram of non-negative integer samples (latencies in
+/// microseconds by convention; metric names end in `.us`).
+///
+/// Recording is one subtraction, one `leading_zeros` and one add — cheap
+/// enough for per-RPC and per-job paths. Quantiles are resolved to bucket
+/// edges (one octave of resolution), clamped to the exact observed maximum so
+/// tail quantiles of tight distributions stay honest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// The bucket a value lands in (see [`HIST_BUCKETS`] for the layout).
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, `0` when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `p`-th percentile (`0 < p <= 100`), resolved to the upper edge of
+    /// the bucket holding that rank and clamped to the observed maximum.
+    /// Returns `0` for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if index == 0 {
+                    return 0;
+                }
+                if index == HIST_BUCKETS - 1 {
+                    // Overflow bucket: the edge is meaningless, report max.
+                    return self.max;
+                }
+                return (1u64 << index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one (bucket-wise sums, min/max
+    /// merges) — commutative and associative, so merge order never matters.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Fixed-shape JSON summary: `count`, `sum`, `min`, `max`, `p50`, `p90`,
+    /// `p95`, `p99`. The key set never depends on the recorded data, so
+    /// digit-normalized smoke diffs stay stable.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("count".into(), JsonValue::Number(self.count as f64)),
+            ("sum".into(), JsonValue::Number(self.sum as f64)),
+            ("min".into(), JsonValue::Number(self.min() as f64)),
+            ("max".into(), JsonValue::Number(self.max as f64)),
+            (
+                "p50".into(),
+                JsonValue::Number(self.percentile(50.0) as f64),
+            ),
+            (
+                "p90".into(),
+                JsonValue::Number(self.percentile(90.0) as f64),
+            ),
+            (
+                "p95".into(),
+                JsonValue::Number(self.percentile(95.0) as f64),
+            ),
+            (
+                "p99".into(),
+                JsonValue::Number(self.percentile(99.0) as f64),
+            ),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A set of named counters, gauges and histograms.
+///
+/// The process-global instance lives behind [`crate::global`]; local
+/// instances are plain values, which is what the deterministic-merge tests
+/// use. All operations take `&self` (one short mutex section each) — the
+/// enabled/disabled decision happens *before* calling in, at the
+/// [`crate::counter_add`]-level convenience layer.
+#[derive(Debug)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry only means a panic elsewhere while recording;
+        // the data is still sums and maxima, so keep serving it.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Adds `value` to the named counter.
+    pub fn counter_add(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(slot) => *slot += value,
+            None => {
+                inner.counters.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raises the named gauge to `value` if larger (schedule-independent
+    /// high-water mark).
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(slot) => *slot = slot.max(value),
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        match inner.histograms.get_mut(name) {
+            Some(hist) => hist.record(value),
+            None => {
+                let mut hist = Histogram::new();
+                hist.record(value);
+                inner.histograms.insert(name.to_string(), hist);
+            }
+        }
+    }
+
+    /// A name-sorted point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Clears every metric (benches and tests that measure deltas).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, total)` pairs, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, ascending by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` pairs, ascending by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl Snapshot {
+    /// The named counter's total, `0` when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| &self.histograms[i].1)
+            .ok()
+    }
+
+    /// Counter deltas against an earlier snapshot (names present in either,
+    /// sorted; counters are monotonic so deltas saturate at zero).
+    pub fn counter_deltas(&self, earlier: &Snapshot) -> Vec<(String, u64)> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, value) in &self.counters {
+            out.insert(name.clone(), *value);
+        }
+        for (name, value) in &earlier.counters {
+            let slot = out.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_sub(*value);
+        }
+        out.into_iter().collect()
+    }
+
+    /// Merges another snapshot into this one: counters and histogram buckets
+    /// sum, gauges keep the maximum. Commutative and associative, so the
+    /// result is independent of merge order — the property that makes
+    /// sharded/multi-registry aggregation thread-schedule-independent.
+    pub fn merge(&mut self, other: &Snapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (name, value) in &other.counters {
+            *counters.entry(name.clone()).or_insert(0) += value;
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, f64> = self.gauges.drain(..).collect();
+        for (name, value) in &other.gauges {
+            let slot = gauges.entry(name.clone()).or_insert(f64::NEG_INFINITY);
+            *slot = slot.max(*value);
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, Histogram> = self.histograms.drain(..).collect();
+        for (name, hist) in &other.histograms {
+            histograms.entry(name.clone()).or_default().merge(hist);
+        }
+        self.histograms = histograms.into_iter().collect();
+    }
+
+    /// JSON rendering: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {name: summary}}`, every map sorted by name.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "counters".into(),
+                JsonValue::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Number(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                JsonValue::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Number(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                JsonValue::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = Histogram::new();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 0);
+        for p in [1.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(hist.percentile(p), 0, "p{p}");
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut hist = Histogram::new();
+        hist.record(37);
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.min(), 37);
+        assert_eq!(hist.max(), 37);
+        // 37 lives in [32, 64); the upper edge clamps to the observed max.
+        for p in [1.0, 50.0, 99.0] {
+            assert_eq!(hist.percentile(p), 37, "p{p}");
+        }
+    }
+
+    #[test]
+    fn zero_samples_land_in_the_zero_bucket() {
+        let mut hist = Histogram::new();
+        hist.record(0);
+        hist.record(0);
+        assert_eq!(hist.buckets()[0], 2);
+        assert_eq!(hist.percentile(50.0), 0);
+        assert_eq!(hist.min(), 0);
+    }
+
+    #[test]
+    fn overflow_values_land_in_the_last_bucket_and_report_max() {
+        let mut hist = Histogram::new();
+        hist.record(u64::MAX);
+        hist.record(1u64 << 50);
+        assert_eq!(hist.buckets()[HIST_BUCKETS - 1], 2);
+        assert_eq!(hist.percentile(50.0), u64::MAX);
+        assert_eq!(hist.percentile(99.0), u64::MAX);
+        assert_eq!(hist.max(), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_of_a_known_uniform_distribution() {
+        // 1..=100: bucket k holds [2^(k-1), 2^k), so rank 50 falls in the
+        // [32, 64) bucket and the tail ranks fall in [64, 128) clamped to
+        // the true maximum of 100.
+        let mut hist = Histogram::new();
+        for v in 1..=100u64 {
+            hist.record(v);
+        }
+        assert_eq!(hist.count(), 100);
+        assert_eq!(hist.min(), 1);
+        assert_eq!(hist.max(), 100);
+        assert_eq!(hist.sum(), 5050);
+        let p50 = hist.percentile(50.0);
+        assert!(
+            (32..=64).contains(&p50),
+            "p50 {p50} outside its octave bucket"
+        );
+        assert_eq!(hist.percentile(95.0), 100);
+        assert_eq!(hist.percentile(99.0), 100);
+    }
+
+    #[test]
+    fn percentiles_of_a_known_bimodal_distribution() {
+        // 90 fast samples at 2 us, 10 slow at 5000 us: p50/p90 resolve to
+        // the fast mode's bucket edge, p95/p99 to the slow tail.
+        let mut hist = Histogram::new();
+        for _ in 0..90 {
+            hist.record(2);
+        }
+        for _ in 0..10 {
+            hist.record(5000);
+        }
+        assert!(hist.percentile(50.0) <= 4);
+        assert!(hist.percentile(90.0) <= 4);
+        assert!(hist.percentile(95.0) >= 4096);
+        assert_eq!(hist.percentile(99.0), hist.percentile(95.0));
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 5, 900, 0] {
+            a.record(v);
+        }
+        for v in [7u64, 7, 1 << 45] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 7);
+        assert_eq!(ab.min(), 0);
+        assert_eq!(ab.max(), 1 << 45);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_queryable() {
+        let registry = Registry::new();
+        registry.counter_add("z.last", 3);
+        registry.counter_add("a.first", 1);
+        registry.counter_add("z.last", 4);
+        registry.gauge_set("g.latest", 2.5);
+        registry.gauge_max("g.peak", 10.0);
+        registry.gauge_max("g.peak", 4.0);
+        registry.observe("h.us", 100);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+        assert_eq!(snapshot.counter("z.last"), 7);
+        assert_eq!(snapshot.counter("missing"), 0);
+        assert_eq!(snapshot.gauges[1], ("g.peak".to_string(), 10.0));
+        assert_eq!(snapshot.histogram("h.us").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_and_deltas() {
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        r1.counter_add("x", 2);
+        r2.counter_add("x", 3);
+        r2.counter_add("y", 1);
+        r1.observe("h", 1);
+        r2.observe("h", 1000);
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counter("x"), 5);
+        assert_eq!(merged.counter("y"), 1);
+        assert_eq!(merged.histogram("h").unwrap().count(), 2);
+
+        let earlier = merged.clone();
+        let r3 = Registry::new();
+        r3.counter_add("x", 10);
+        merged.merge(&r3.snapshot());
+        let deltas = merged.counter_deltas(&earlier);
+        assert!(deltas.contains(&("x".to_string(), 10)));
+        assert!(deltas.contains(&("y".to_string(), 0)));
+    }
+
+    #[test]
+    fn snapshot_json_has_fixed_histogram_shape() {
+        let registry = Registry::new();
+        registry.observe("rpc.us", 12);
+        let json = registry.snapshot().to_json();
+        let hist = json.get("histograms").unwrap().get("rpc.us").unwrap();
+        for key in ["count", "sum", "min", "max", "p50", "p90", "p95", "p99"] {
+            assert!(hist.get(key).is_some(), "missing {key}");
+        }
+        let reparsed = JsonValue::parse(&json.to_string_pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+}

@@ -1,0 +1,337 @@
+//! Hierarchical spans recorded into per-thread ring buffers.
+//!
+//! Every thread that records a span lazily registers one ring buffer (capacity
+//! `MCSM_TRACE_BUF` spans, oldest-dropped) with the process-wide sink and
+//! keeps a stack of open span ids for parent links. Recording a span touches
+//! only that thread's buffer — one uncontended mutex lock — so worker threads
+//! never serialize against each other. When a thread exits, its buffer is
+//! retired into the sink so short-lived `par_map` scope workers do not leak
+//! registrations and their spans survive for export.
+//!
+//! Span ids are process-unique (a shared atomic counter); `parent == 0` means
+//! the span had no open parent on its thread. Timestamps come from
+//! [`crate::now_ns`] — one monotonic epoch for the whole process, so spans
+//! from different threads share a timeline.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default per-thread ring capacity in spans (`MCSM_TRACE_BUF` overrides).
+pub const DEFAULT_BUF: usize = 65536;
+
+/// Retired spans kept at the sink once their threads exit, as a multiple of
+/// the per-thread capacity. Oldest spans beyond this are dropped (counted).
+const RETIRED_FACTOR: usize = 8;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the innermost span open on the same thread when this one began,
+    /// or 0 for a root span.
+    pub parent: u64,
+    /// Small dense id of the recording thread (assigned on first span).
+    pub tid: u64,
+    /// Span name, e.g. `rpc.arrival` or `netsim.level`.
+    pub name: String,
+    /// Start offset from the process trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the process trace epoch, nanoseconds.
+    pub end_ns: u64,
+    /// Numeric attachments (level index, gate counts, ...).
+    pub args: Vec<(&'static str, f64)>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    cap: usize,
+    events: VecDeque<SpanEvent>,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            cap: cap.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: SpanEvent) {
+        if self.events.len() >= self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+#[derive(Debug, Default)]
+struct SinkState {
+    live: Vec<Arc<Mutex<Ring>>>,
+    retired: VecDeque<SpanEvent>,
+    retired_dropped: u64,
+}
+
+static SINK: Mutex<SinkState> = Mutex::new(SinkState {
+    live: Vec::new(),
+    retired: VecDeque::new(),
+    retired_dropped: 0,
+});
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static BUF_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_BUF);
+
+/// Sets the per-thread ring capacity for buffers created from now on
+/// (parsed from `MCSM_TRACE_BUF` at arming time).
+pub(crate) fn set_buffer_capacity(cap: usize) {
+    BUF_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+fn lock_sink() -> std::sync::MutexGuard<'static, SinkState> {
+    match SINK.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct ThreadRecorder {
+    tid: u64,
+    ring: Arc<Mutex<Ring>>,
+    stack: Vec<u64>,
+}
+
+impl ThreadRecorder {
+    fn new() -> Self {
+        let ring = Arc::new(Mutex::new(Ring::new(BUF_CAP.load(Ordering::Relaxed))));
+        lock_sink().live.push(Arc::clone(&ring));
+        ThreadRecorder {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            ring,
+            stack: Vec::new(),
+        }
+    }
+}
+
+impl Drop for ThreadRecorder {
+    fn drop(&mut self) {
+        // Retire this thread's spans into the sink so scoped workers neither
+        // leak live registrations nor lose their data before export.
+        let mut sink = lock_sink();
+        sink.live.retain(|entry| !Arc::ptr_eq(entry, &self.ring));
+        let mut ring = match self.ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sink.retired_dropped += ring.dropped;
+        let retired_cap = BUF_CAP.load(Ordering::Relaxed).max(1) * RETIRED_FACTOR;
+        for event in ring.events.drain(..) {
+            if sink.retired.len() >= retired_cap {
+                sink.retired.pop_front();
+                sink.retired_dropped += 1;
+            }
+            sink.retired.push_back(event);
+        }
+    }
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<ThreadRecorder>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's recorder, creating it on first use. Returns
+/// `None` during thread teardown (the thread-local is already destroyed).
+fn with_recorder<R>(f: impl FnOnce(&mut ThreadRecorder) -> R) -> Option<R> {
+    RECORDER
+        .try_with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let recorder = slot.get_or_insert_with(ThreadRecorder::new);
+            f(recorder)
+        })
+        .ok()
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    tid: u64,
+    name: String,
+    start_ns: u64,
+    args: Vec<(&'static str, f64)>,
+    ring: Arc<Mutex<Ring>>,
+}
+
+/// A RAII span: records one [`SpanEvent`] on drop. Obtained from
+/// [`crate::span()`] / [`crate::span_lazy`]; inert (and allocation-free) when
+/// tracing is disabled.
+pub struct Span(Option<ActiveSpan>);
+
+impl Span {
+    /// The inert span the disabled path hands out.
+    pub(crate) fn disabled() -> Self {
+        Span(None)
+    }
+
+    /// Opens a span on the current thread. Only called once the enabled
+    /// check has passed.
+    pub(crate) fn begin(name: String) -> Self {
+        let start_ns = crate::now_ns();
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let opened = with_recorder(|recorder| {
+            let parent = recorder.stack.last().copied().unwrap_or(0);
+            recorder.stack.push(id);
+            (parent, recorder.tid, Arc::clone(&recorder.ring))
+        });
+        match opened {
+            Some((parent, tid, ring)) => Span(Some(ActiveSpan {
+                id,
+                parent,
+                tid,
+                name,
+                start_ns,
+                args: Vec::new(),
+                ring,
+            })),
+            None => Span(None),
+        }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches a numeric argument (no-op when disabled).
+    pub fn arg(&mut self, key: &'static str, value: f64) {
+        if let Some(active) = &mut self.0 {
+            active.args.push((key, value));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        let end_ns = crate::now_ns();
+        // Pop this span from its thread's open stack. Guards drop LIFO, but
+        // tolerate leaked guards by removing the id wherever it sits.
+        let _ = RECORDER.try_with(|cell| {
+            if let Some(recorder) = cell.borrow_mut().as_mut() {
+                match recorder.stack.last() {
+                    Some(&top) if top == active.id => {
+                        recorder.stack.pop();
+                    }
+                    _ => recorder.stack.retain(|&id| id != active.id),
+                }
+            }
+        });
+        let event = SpanEvent {
+            id: active.id,
+            parent: active.parent,
+            tid: active.tid,
+            name: active.name,
+            start_ns: active.start_ns,
+            end_ns,
+            args: active.args,
+        };
+        let mut ring = match active.ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.push(event);
+    }
+}
+
+/// Records an already-timed span on the current thread (the `par` job hook,
+/// whose timestamps were taken inside `mcsm_num::par`). The parent link is
+/// whatever span is open on this thread right now.
+pub(crate) fn record_raw(
+    name: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+    args: Vec<(&'static str, f64)>,
+) {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    with_recorder(|recorder| {
+        let event = SpanEvent {
+            id,
+            parent: recorder.stack.last().copied().unwrap_or(0),
+            tid: recorder.tid,
+            name: name.to_string(),
+            start_ns,
+            end_ns,
+            args,
+        };
+        let mut ring = match recorder.ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.push(event);
+    });
+}
+
+/// Collects every recorded span — retired threads first, then a snapshot of
+/// each live thread's ring — sorted by `(start_ns, id)` so the result is a
+/// deterministic function of the recorded set. Returns the spans and the
+/// total number dropped to ring-buffer overflow.
+pub fn collect() -> (Vec<SpanEvent>, u64) {
+    let sink = lock_sink();
+    let mut events: Vec<SpanEvent> = sink.retired.iter().cloned().collect();
+    let mut dropped = sink.retired_dropped;
+    for ring in &sink.live {
+        let ring = match ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        dropped += ring.dropped;
+        events.extend(ring.events.iter().cloned());
+    }
+    drop(sink);
+    events.sort_by_key(|event| (event.start_ns, event.id));
+    (events, dropped)
+}
+
+/// Clears every recorded span (tests and repeated bench passes).
+pub fn clear() {
+    let mut sink = lock_sink();
+    sink.retired.clear();
+    sink.retired_dropped = 0;
+    for ring in &sink.live {
+        let mut ring = match ring.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.events.clear();
+        ring.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut ring = Ring::new(2);
+        for i in 0..4u64 {
+            ring.push(SpanEvent {
+                id: i + 1,
+                parent: 0,
+                tid: 1,
+                name: "x".into(),
+                start_ns: i,
+                end_ns: i + 1,
+                args: Vec::new(),
+            });
+        }
+        assert_eq!(ring.dropped, 2);
+        assert_eq!(ring.events.len(), 2);
+        assert_eq!(ring.events[0].id, 3);
+    }
+}

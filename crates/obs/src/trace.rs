@@ -1,0 +1,103 @@
+//! Chrome trace-event export: the recorded spans as a JSON document that
+//! loads directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+//!
+//! The object form of the trace-event format is used: `{"traceEvents": [...],
+//! "displayTimeUnit": "ms"}` with one complete (`"ph": "X"`) event per span.
+//! Timestamps and durations are microseconds with nanosecond fractions,
+//! offset from the process trace epoch. Span id and parent id travel in each
+//! event's `args` alongside the instrumentation's numeric attachments, so the
+//! hierarchy survives even across thread tracks.
+
+use crate::span::{self, SpanEvent};
+use mcsm_num::json::JsonValue;
+use std::io;
+use std::path::Path;
+
+fn event_json(event: &SpanEvent) -> JsonValue {
+    let mut args = vec![
+        ("span_id".to_string(), JsonValue::Number(event.id as f64)),
+        ("parent".to_string(), JsonValue::Number(event.parent as f64)),
+    ];
+    for (key, value) in &event.args {
+        args.push((key.to_string(), JsonValue::Number(*value)));
+    }
+    JsonValue::Object(vec![
+        ("name".to_string(), JsonValue::String(event.name.clone())),
+        ("cat".to_string(), JsonValue::String("mcsm".to_string())),
+        ("ph".to_string(), JsonValue::String("X".to_string())),
+        (
+            "ts".to_string(),
+            JsonValue::Number(event.start_ns as f64 / 1000.0),
+        ),
+        (
+            "dur".to_string(),
+            JsonValue::Number(event.end_ns.saturating_sub(event.start_ns) as f64 / 1000.0),
+        ),
+        ("pid".to_string(), JsonValue::Number(1.0)),
+        ("tid".to_string(), JsonValue::Number(event.tid as f64)),
+        ("args".to_string(), JsonValue::Object(args)),
+    ])
+}
+
+/// Builds the full trace document from every span recorded so far.
+pub fn chrome_trace() -> JsonValue {
+    let (events, dropped) = span::collect();
+    build_trace(&events, dropped)
+}
+
+fn build_trace(events: &[SpanEvent], dropped: u64) -> JsonValue {
+    let mut trace_events = vec![JsonValue::Object(vec![
+        (
+            "name".to_string(),
+            JsonValue::String("process_name".to_string()),
+        ),
+        ("ph".to_string(), JsonValue::String("M".to_string())),
+        ("pid".to_string(), JsonValue::Number(1.0)),
+        (
+            "args".to_string(),
+            JsonValue::Object(vec![(
+                "name".to_string(),
+                JsonValue::String("mcsm".to_string()),
+            )]),
+        ),
+    ])];
+    trace_events.extend(events.iter().map(event_json));
+    JsonValue::Object(vec![
+        ("traceEvents".to_string(), JsonValue::Array(trace_events)),
+        (
+            "displayTimeUnit".to_string(),
+            JsonValue::String("ms".to_string()),
+        ),
+        (
+            "otherData".to_string(),
+            JsonValue::Object(vec![
+                ("spans".to_string(), JsonValue::Number(events.len() as f64)),
+                (
+                    "dropped_spans".to_string(),
+                    JsonValue::Number(dropped as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// What a trace dump wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Spans exported.
+    pub spans: u64,
+    /// Spans lost to ring-buffer overflow before the export.
+    pub dropped: u64,
+}
+
+/// Writes the current trace to `path`, returning how many spans it contains.
+pub fn write_trace<P: AsRef<Path>>(path: P) -> io::Result<TraceSummary> {
+    let (events, dropped) = span::collect();
+    let document = build_trace(&events, dropped);
+    std::fs::write(path, document.to_string_pretty())?;
+    Ok(TraceSummary {
+        spans: events.len() as u64,
+        dropped,
+    })
+}

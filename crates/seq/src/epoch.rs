@@ -450,6 +450,10 @@ pub fn step_cycle(
     options: &SeqOptions,
     caches: SimCaches<'_>,
 ) -> Result<CycleOutcome, SeqError> {
+    let mut cycle_span = mcsm_obs::span("seq.cycle");
+    cycle_span.arg("cycle", state.cycle as f64);
+    cycle_span.arg("registers", seq.registers().len() as f64);
+    mcsm_obs::counter_add("seq.cycles", 1);
     validate_cycle(seq, clock, inputs, options)?;
     let mut new_pi_values = state.pi_values.clone();
     for (&net, &value) in &inputs.values {

@@ -4,15 +4,19 @@
 //! ```text
 //! mcsm-serve [--stdio | --tcp ADDR] [--threads N] [--backend NAME]
 //!            [--window SECONDS] [--dt SECONDS] [--max-line BYTES]
+//!            [--trace-out PATH]
 //! ```
 //!
 //! `--backend` is one of `sis`, `baseline-mis`, `complete-mcsm` (default) or
-//! `selective`. `--max-line` bounds one request line (default 4 MiB). Set
-//! `MCSM_BENCH_FAST=1` for coarse characterization grids (CI smoke mode);
-//! set `MCSM_FAULT_SEED` (with optional `MCSM_FAULT_RATE`,
-//! `MCSM_FAULT_SITES`, `MCSM_FAULT_LATENCY_MS`) to arm deterministic fault
-//! injection for chaos testing. Diagnostics go to stderr; stdout carries
-//! only protocol responses.
+//! `selective`. `--max-line` bounds one request line (default 4 MiB).
+//! `--trace-out PATH` arms span tracing and writes a Chrome trace-event file
+//! to PATH on shutdown (equivalent to `MCSM_TRACE=1 MCSM_TRACE_OUT=PATH`;
+//! the `trace` RPC can also dump it mid-session). Set `MCSM_BENCH_FAST=1`
+//! for coarse characterization grids (CI smoke mode); set `MCSM_FAULT_SEED`
+//! (with optional `MCSM_FAULT_RATE`, `MCSM_FAULT_SITES`,
+//! `MCSM_FAULT_LATENCY_MS`) to arm deterministic fault injection for chaos
+//! testing. Diagnostics go to stderr; stdout carries only protocol
+//! responses.
 
 use mcsm_cells::cell::CellKind;
 use mcsm_cells::tech::Technology;
@@ -38,6 +42,7 @@ fn parse_backend(name: &str) -> Option<DelayBackend> {
 }
 
 fn main() -> ExitCode {
+    mcsm_obs::init_from_env();
     let mut config = SessionConfig::default();
     let mut tcp_addr: Option<String> = None;
     let mut serve_threads = 0usize;
@@ -80,6 +85,10 @@ fn main() -> ExitCode {
                     .map(|bytes| transport = transport.clone().with_max_line_bytes(bytes))
                     .map_err(|e| format!("--max-line: {e}"))
             }),
+            "--trace-out" => value("--trace-out").map(|path| {
+                mcsm_obs::set_trace(true);
+                mcsm_obs::set_trace_out(&path);
+            }),
             other => Err(format!("unknown argument `{other}`")),
         };
         if let Err(message) = result {
@@ -87,7 +96,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: mcsm-serve [--stdio | --tcp ADDR] [--threads N] \
                  [--backend sis|baseline-mis|complete-mcsm|selective] \
-                 [--window S] [--dt S] [--max-line BYTES]"
+                 [--window S] [--dt S] [--max-line BYTES] [--trace-out PATH]"
             );
             return ExitCode::FAILURE;
         }
@@ -155,6 +164,7 @@ fn main() -> ExitCode {
             let mut sink = Vec::new();
             let _ = std::io::copy(&mut std::io::stdin().lock(), &mut sink);
             server.stop();
+            dump_trace();
             eprintln!("mcsm-serve: shut down");
             ExitCode::SUCCESS
         }
@@ -163,6 +173,7 @@ fn main() -> ExitCode {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             let result = serve_stdio(&engine, BufReader::new(stdin.lock()), stdout.lock());
+            dump_trace();
             if let Err(e) = result {
                 eprintln!("mcsm-serve: transport error: {e}");
                 return ExitCode::FAILURE;
@@ -170,5 +181,19 @@ fn main() -> ExitCode {
             let _ = std::io::stdout().flush();
             ExitCode::SUCCESS
         }
+    }
+}
+
+/// Writes the Chrome trace file on shutdown when tracing was armed with an
+/// output path (`--trace-out` or `MCSM_TRACE_OUT`). A failed write must not
+/// change the exit code — the protocol work already succeeded.
+fn dump_trace() {
+    match mcsm_obs::dump_trace_if_configured() {
+        Some(Ok((path, summary))) => eprintln!(
+            "mcsm-serve: wrote {} spans ({} dropped) to {path}",
+            summary.spans, summary.dropped
+        ),
+        Some(Err(e)) => eprintln!("mcsm-serve: trace dump failed: {e}"),
+        None => {}
     }
 }

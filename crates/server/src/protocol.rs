@@ -8,16 +8,21 @@
 //! ```
 //!
 //! The framing layer owns the envelope (id echo, error codes, per-request
-//! wall-clock `timing_us`); everything inside `result` comes from
-//! [`Session::handle`]. Standard JSON-RPC codes are used: `-32700` parse
-//! error, `-32600` invalid request, `-32601` method not found, `-32602`
-//! invalid params, `-32000` engine error, `-32001` deadline exceeded.
+//! `timing_us`); everything inside `result` comes from [`Session::handle`].
+//! Standard JSON-RPC codes are used: `-32700` parse error, `-32600` invalid
+//! request, `-32601` method not found, `-32602` invalid params, `-32000`
+//! engine error, `-32001` deadline exceeded.
+//!
+//! Request timing has one source: the `mcsm_obs` monotonic clock. The same
+//! reading stamps `timing_us`, feeds the per-method latency histograms
+//! (`server.rpc.<method>.us`) and bounds the `rpc.<method>` span — so the
+//! `metrics`/`trace` views and the per-response field can never disagree
+//! about what was measured.
 
 use crate::session::Session;
 use mcsm_num::fault::site;
 use mcsm_num::hash::ByteHasher;
 use mcsm_num::json::JsonValue;
-use std::time::Instant;
 
 pub(crate) fn error_response(id: JsonValue, code: i64, message: String) -> JsonValue {
     JsonValue::Object(vec![
@@ -83,7 +88,7 @@ fn hash_line(line: &str) -> u64 {
 /// JSON-RPC error object (with a `null` id when the request's own id could
 /// not be read).
 pub fn handle_request_line(session: &mut Session, line: &str) -> JsonValue {
-    let started = Instant::now();
+    let started_us = mcsm_obs::now_us();
     let line = match session.fault() {
         // Injected parse corruption: drop the tail of the line (keyed by the
         // line's own bytes, so replays corrupt the same requests). The cut
@@ -110,12 +115,25 @@ pub fn handle_request_line(session: &mut Session, line: &str) -> JsonValue {
     };
     let empty = JsonValue::Object(Vec::new());
     let params = doc.get("params").unwrap_or(&empty);
-    match session.handle(&method, params) {
+    let mut rpc_span = mcsm_obs::span_lazy(|| format!("rpc.{method}"));
+    let outcome = session.handle(&method, params);
+    let elapsed_us = mcsm_obs::now_us().saturating_sub(started_us);
+    rpc_span.arg("us", elapsed_us as f64);
+    drop(rpc_span);
+    // Per-method metric names are minted only for methods the dispatcher
+    // recognized (`-32601` means it did not) — an unknown method name from a
+    // hostile client must not grow the registry.
+    let known_method = !matches!(&outcome, Err(e) if e.code() == -32601);
+    if known_method && mcsm_obs::metrics_enabled() {
+        mcsm_obs::observe_us(&format!("server.rpc.{method}.us"), elapsed_us);
+        mcsm_obs::counter_add(&format!("server.rpc.{method}.calls"), 1);
+    }
+    match outcome {
         Ok(mut result) => {
             if let JsonValue::Object(fields) = &mut result {
                 fields.push((
                     "timing_us".to_string(),
-                    JsonValue::Number(started.elapsed().as_micros() as f64),
+                    JsonValue::Number(elapsed_us as f64),
                 ));
             }
             JsonValue::Object(vec![
@@ -124,7 +142,10 @@ pub fn handle_request_line(session: &mut Session, line: &str) -> JsonValue {
                 ("result".to_string(), result),
             ])
         }
-        Err(e) => error_response(id, e.code(), e.to_string()),
+        Err(e) => {
+            mcsm_obs::counter_add("server.rpc_errors", 1);
+            error_response(id, e.code(), e.to_string())
+        }
     }
 }
 

@@ -132,6 +132,7 @@ impl Engine {
     /// with `recovered: true`.
     pub fn handle_line(&self, line: &str) -> String {
         let key = self.requests.fetch_add(1, Ordering::Relaxed);
+        mcsm_obs::counter_add("server.requests", 1);
         let mut line = line;
         let inflated;
         if let Some(plan) = &self.options.fault {
@@ -154,6 +155,7 @@ impl Engine {
             }
         }
         if line.len() > self.options.max_line_bytes {
+            mcsm_obs::counter_add("server.oversize", 1);
             return oversize_response(line.len(), self.options.max_line_bytes).to_string_compact();
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -165,6 +167,7 @@ impl Engine {
             Err(payload) => {
                 // Eagerly clear the poison and roll back on the thread that
                 // observed the panic, so concurrent requests never see it.
+                mcsm_obs::counter_add("server.recovered_panics", 1);
                 drop(self.lock_session());
                 recovered_response(line, &panic_message(payload.as_ref())).to_string_compact()
             }

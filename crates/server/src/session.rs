@@ -303,7 +303,12 @@ fn stats_json(stats: &NetsimStats) -> JsonValue {
 
 impl Session {
     /// Creates a session around a characterized library.
+    ///
+    /// Arms metric recording unconditionally (one relaxed flag): a server
+    /// must always be able to answer its own `metrics` RPC. Span tracing
+    /// stays opt-in via `MCSM_TRACE` / `--trace-out`.
     pub fn new(library: ModelLibrary, config: SessionConfig) -> Self {
+        mcsm_obs::arm_metrics();
         Session {
             library,
             config,
@@ -403,6 +408,8 @@ impl Session {
             "cycle" => self.cycle(params),
             "slack" => self.slack(),
             "stats" => self.stats(),
+            "metrics" => self.metrics(),
+            "trace" => self.trace(params),
             other => Err(ServeError::MethodNotFound(other.to_string())),
         };
         self.deadline = None;
@@ -1282,6 +1289,53 @@ impl Session {
             .collect();
         resident.last = Some(outcome);
         Ok("resimulated")
+    }
+
+    /// `metrics {}` — a name-sorted snapshot of the process-global metric
+    /// registry: counters (`server.rpc.*`, `netsim.*`, `core.sim.*`, ...),
+    /// gauges, and fixed-shape latency-histogram summaries per RPC method.
+    /// The key set is a deterministic function of the request history, so
+    /// digit-normalized smoke diffs stay stable across runs and threads.
+    fn metrics(&mut self) -> Result<JsonValue, ServeError> {
+        Ok(mcsm_obs::global().snapshot().to_json())
+    }
+
+    /// `trace {path?}` — dumps every recorded span as a Chrome trace-event
+    /// file (Perfetto-loadable). The path defaults to `--trace-out` /
+    /// `MCSM_TRACE_OUT`. Fixed response shape whether or not tracing is
+    /// armed: `{armed, written, path, spans, dropped}`.
+    fn trace(&mut self, params: &JsonValue) -> Result<JsonValue, ServeError> {
+        let armed = mcsm_obs::trace_enabled();
+        let path = match params.get("path").and_then(|p| p.as_str()) {
+            Some(path) => Some(path.to_string()),
+            None => mcsm_obs::trace_out_path(),
+        };
+        let mut written = false;
+        let mut spans = 0u64;
+        let mut dropped = 0u64;
+        if armed {
+            if let Some(path) = &path {
+                let summary = mcsm_obs::write_trace(path).map_err(|e| {
+                    ServeError::Engine(format!("cannot write trace to `{path}`: {e}"))
+                })?;
+                written = true;
+                spans = summary.spans;
+                dropped = summary.dropped;
+            }
+        }
+        Ok(obj(vec![
+            ("armed", JsonValue::Bool(armed)),
+            ("written", JsonValue::Bool(written)),
+            (
+                "path",
+                match &path {
+                    Some(path) if written => string(path),
+                    _ => JsonValue::Null,
+                },
+            ),
+            ("spans", num(spans as f64)),
+            ("dropped", num(dropped as f64)),
+        ]))
     }
 
     /// `stats {}` — session-cumulative cache counters and resident state.

@@ -11,6 +11,10 @@
 //!
 //! Run with `cargo run --release --example server_session`.
 //! Set `MCSM_BENCH_FAST=1` for coarse characterization grids (CI smoke mode).
+//! Set `MCSM_TRACE=1 MCSM_TRACE_OUT=PATH` to record the whole session as a
+//! Chrome trace-event file (load it at <https://ui.perfetto.dev>) — the
+//! committed `examples/traces/server_session.trace.json` was produced this
+//! way.
 
 use mcsm::cells::cell::CellKind;
 use mcsm::cells::tech::Technology;
@@ -20,6 +24,7 @@ use mcsm::serve::{Engine, Session, SessionConfig};
 use mcsm::sta::models::ModelLibrary;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    mcsm::obs::init_from_env();
     let tech = Technology::cmos_130nm();
     let config = if mcsm::num::par::env_flag("MCSM_BENCH_FAST") {
         CharacterizationConfig::coarse()
@@ -121,5 +126,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         waveforms.get("hits").unwrap().as_f64().unwrap(),
         waveforms.get("misses").unwrap().as_f64().unwrap(),
     );
+
+    // When tracing was armed, dump every span of the session as a Chrome
+    // trace-event file for Perfetto.
+    match mcsm::obs::dump_trace_if_configured() {
+        Some(Ok((path, summary))) => {
+            println!("wrote {} spans to {path}", summary.spans);
+        }
+        Some(Err(e)) => eprintln!("trace dump failed: {e}"),
+        None => {}
+    }
     Ok(())
 }

@@ -4,6 +4,7 @@ pub use mcsm_core as core;
 pub use mcsm_net as net;
 pub use mcsm_netsim as netsim;
 pub use mcsm_num as num;
+pub use mcsm_obs as obs;
 pub use mcsm_seq as seq;
 pub use mcsm_serve as serve;
 pub use mcsm_spice as spice;

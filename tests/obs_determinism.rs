@@ -1,0 +1,182 @@
+//! Integration tests of the observability layer's determinism contract:
+//!
+//! * engine/netsim counter deltas are bit-identical whether the simulator
+//!   runs on 1, 2 or 8 threads — metrics count *work*, not *scheduling*;
+//! * a registry hammered from many threads in arbitrary interleavings
+//!   produces one canonical (name-sorted, value-summed) snapshot, and
+//!   per-thread snapshot merging is commutative.
+//!
+//! This file is its own process (one file = one test binary), so arming the
+//! global registry here cannot disturb other suites. The two tests still
+//! serialize against each other through `GLOBAL_GUARD` because the thread-
+//! count sweep measures global-registry deltas.
+
+use mcsm::cells::cell::CellKind;
+use mcsm::cells::tech::Technology;
+use mcsm::core::config::CharacterizationConfig;
+use mcsm::core::sim::{CsmSimOptions, DriveWaveform};
+use mcsm::net::{random_dag, DagConfig};
+use mcsm::netsim::{simulate_netlist, NetsimOptions};
+use mcsm::obs::{Registry, Snapshot};
+use mcsm::sta::delaycalc::{DelayBackend, DelayCalculator};
+use mcsm::sta::models::ModelLibrary;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+static GLOBAL_GUARD: Mutex<()> = Mutex::new(());
+
+#[test]
+fn netsim_counter_deltas_are_identical_at_1_2_8_threads() {
+    let _guard = GLOBAL_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    mcsm::obs::arm_metrics();
+
+    let library = ModelLibrary::characterize(
+        &Technology::cmos_130nm(),
+        &[CellKind::Inverter, CellKind::Nand2, CellKind::Nor2],
+        &CharacterizationConfig::coarse(),
+    )
+    .unwrap();
+    let vdd = library.vdd();
+    let netlist = random_dag(&DagConfig {
+        levels: 4,
+        width: 4,
+        max_fanout: 3,
+        seed: 0x0B5,
+    });
+    let drives: HashMap<_, _> = netlist
+        .primary_inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &pi)| {
+            let skew = 20e-12 * (i % 5) as f64;
+            (pi, DriveWaveform::falling_ramp(vdd, 1e-9 + skew, 80e-12))
+        })
+        .collect();
+    let calculator = DelayCalculator::new(
+        DelayBackend::CompleteMcsm,
+        CsmSimOptions::new(4e-9, 4e-12),
+        vdd,
+    );
+    let options = NetsimOptions::new(calculator, 2e-15);
+
+    // Only work-proportional counters take part in the contract; par.* and
+    // server.* are timing/transport-shaped and excluded by prefix.
+    let pinned = |deltas: Vec<(String, u64)>| -> Vec<(String, u64)> {
+        deltas
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("netsim.") || name.starts_with("core.sim."))
+            .collect()
+    };
+
+    let mut per_thread: Vec<(usize, Vec<(String, u64)>)> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let before = mcsm::obs::global().snapshot();
+        let result = simulate_netlist(
+            &netlist,
+            &library,
+            &drives,
+            &options.clone().with_threads(threads),
+        )
+        .unwrap();
+        assert!(result.stats().gates_simulated > 0);
+        let after = mcsm::obs::global().snapshot();
+        per_thread.push((threads, pinned(after.counter_deltas(&before))));
+    }
+
+    let (_, baseline) = &per_thread[0];
+    assert!(
+        baseline
+            .iter()
+            .any(|(name, v)| name == "netsim.runs" && *v == 1),
+        "netsim.runs missing from deltas: {baseline:?}"
+    );
+    assert!(
+        baseline
+            .iter()
+            .any(|(name, v)| name == "core.sim.lut_evals" && *v > 0),
+        "core.sim.lut_evals missing from deltas: {baseline:?}"
+    );
+    for (threads, deltas) in &per_thread[1..] {
+        assert_eq!(
+            deltas, baseline,
+            "counter deltas diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn concurrent_recording_yields_one_canonical_snapshot() {
+    let _guard = GLOBAL_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    // A local registry: the same type the global uses, without the global.
+    let registry = Registry::new();
+    let threads = 8usize;
+    // Divisible by 3: every thread then contributes the same count to each
+    // name of the rotation no matter its starting offset.
+    let per_thread = 501u64;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let registry = &registry;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Different insertion orders per thread: names are minted
+                    // in a thread-dependent rotation, so map-insertion order
+                    // cannot be what makes the snapshot deterministic.
+                    let name = match (i as usize + t) % 3 {
+                        0 => "work.alpha",
+                        1 => "work.beta",
+                        _ => "work.gamma",
+                    };
+                    registry.counter_add(name, 1);
+                    registry.observe(name, i);
+                    registry.gauge_max("work.peak", (t as f64) * 1000.0 + i as f64);
+                }
+            });
+        }
+    });
+
+    let snapshot = registry.snapshot();
+    // Every thread contributes the same name rotation, so each counter sees
+    // exactly threads * per_thread / 3 increments.
+    let expected = threads as u64 * per_thread / 3;
+    for name in ["work.alpha", "work.beta", "work.gamma"] {
+        assert_eq!(snapshot.counter(name), expected, "{name}");
+        let hist = snapshot.histogram(name).unwrap();
+        assert_eq!(hist.count(), expected);
+    }
+    // Names come out sorted regardless of insertion interleaving.
+    let names: Vec<&str> = snapshot
+        .counters
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+
+    // Merging per-thread snapshots is commutative: fold two local registries
+    // in both orders and compare the canonical forms.
+    let a = Registry::new();
+    let b = Registry::new();
+    a.counter_add("m.x", 3);
+    a.observe("m.lat", 10);
+    b.counter_add("m.x", 4);
+    b.counter_add("m.y", 1);
+    b.observe("m.lat", 1000);
+    let (sa, sb) = (a.snapshot(), b.snapshot());
+    let mut ab: Snapshot = sa.clone();
+    ab.merge(&sb);
+    let mut ba: Snapshot = sb;
+    ba.merge(&sa);
+    assert_eq!(ab.counter("m.x"), 7);
+    assert_eq!(ab.counters, ba.counters);
+    assert_eq!(ab.gauges, ba.gauges);
+    assert_eq!(
+        ab.histogram("m.lat").unwrap().count(),
+        ba.histogram("m.lat").unwrap().count()
+    );
+    assert_eq!(
+        ab.histogram("m.lat").unwrap().to_json().to_string_compact(),
+        ba.histogram("m.lat").unwrap().to_json().to_string_compact()
+    );
+}
